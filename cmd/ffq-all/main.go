@@ -1,0 +1,70 @@
+// Command ffq-all runs the complete experiment suite — every figure
+// of the FFQ paper's evaluation — and writes the tables to stdout (or
+// to a file), ready to be pasted into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ffq-all -scale 0.1 -runs 3          # quick pass
+//	ffq-all -out results.txt            # full paper-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ffq/internal/affinity"
+	"ffq/internal/experiments"
+)
+
+func main() {
+	runs := flag.Int("runs", 10, "repetitions per data point (paper: 10)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	maxThreads := flag.Int("max-threads", 0, "sweep cap (0 = NumCPU)")
+	maxExp := flag.Int("max-size", 20, "largest queue size exponent for size sweeps")
+	pairs := flag.Int("pairs", 1, "producer/consumer pairs for figure 6")
+	out := flag.String("out", "", "write output to this file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-all:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	o := experiments.DefaultOptions()
+	o.Runs = *runs
+	o.Scale = *scale
+	o.MaxThreads = *maxThreads
+	o.MaxSizeExp = *maxExp
+
+	top := affinity.Detect()
+	fmt.Fprintf(w, "# FFQ reproduction run\n")
+	fmt.Fprintf(w, "date: %s\n", time.Now().Format(time.RFC3339))
+	fmt.Fprintf(w, "go: %s  GOOS/GOARCH: %s/%s  NumCPU: %d  cores: %d  pinning: %v\n",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH,
+		runtime.NumCPU(), top.NumCores(), affinity.Supported())
+	fmt.Fprintf(w, "runs=%d scale=%g\n\n", o.Runs, o.Scale)
+
+	start := time.Now()
+	tables, err := experiments.All(o, *pairs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-all:", err)
+		os.Exit(1)
+	}
+	for _, tbl := range tables {
+		if err := tbl.Fprint(w); err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-all:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Second))
+}

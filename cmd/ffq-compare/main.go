@@ -1,0 +1,96 @@
+// Command ffq-compare regenerates the comparative study of the FFQ
+// paper (Figure 8): the enqueue/dequeue pairs benchmark of Yang &
+// Mellor-Crummey's framework, run over every queue in this module's
+// registry (FFQ variants, wfqueue, lcrq, ccqueue, msqueue, the
+// emulated-HTM ring, the Vyukov MPMC ring, and a Go channel for
+// reference) across a thread sweep.
+//
+// Usage:
+//
+//	ffq-compare                          # full sweep, 10^7 pairs
+//	ffq-compare -scale 0.1 -runs 3
+//	ffq-compare -queue ffq-mpmc -queue wfqueue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ffq/internal/allqueues"
+	"ffq/internal/experiments"
+	"ffq/internal/report"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+func main() {
+	runs := flag.Int("runs", 10, "repetitions per data point (paper: 10)")
+	scale := flag.Float64("scale", 1.0, "pair-count scale factor (1.0 = 10^7 pairs)")
+	maxThreads := flag.Int("max-threads", 0, "sweep up to 2x this many threads (0 = NumCPU)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	latency := flag.Int("latency", 0, "measure per-op latency at this thread count instead of the throughput sweep")
+	list := flag.Bool("list", false, "list the queue registry and exit")
+	var only listFlag
+	flag.Var(&only, "queue", "restrict to this queue (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, f := range allqueues.Factories() {
+			fmt.Printf("%-10s %s\n", f.Name, f.Brief)
+		}
+		return
+	}
+	for _, name := range only {
+		if _, err := allqueues.ByName(name); err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-compare:", err)
+			os.Exit(1)
+		}
+	}
+
+	o := experiments.DefaultOptions()
+	o.Runs = *runs
+	o.Scale = *scale
+	o.MaxThreads = *maxThreads
+
+	var tbl *report.Table
+	var err error
+	if *latency > 0 {
+		tbl, err = experiments.PairsLatency(o, *latency)
+	} else {
+		tbl, err = experiments.Fig8(o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-compare:", err)
+		os.Exit(1)
+	}
+	if len(only) > 0 {
+		keep := map[string]bool{}
+		for _, n := range only {
+			keep[n] = true
+		}
+		var rows [][]string
+		for _, r := range tbl.Rows {
+			if len(r) > 0 && keep[r[0]] {
+				rows = append(rows, r)
+			}
+		}
+		tbl.Rows = rows
+	}
+	if *csv {
+		err = tbl.CSV(os.Stdout)
+	} else {
+		err = tbl.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-compare:", err)
+		os.Exit(1)
+	}
+}

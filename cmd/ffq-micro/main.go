@@ -1,0 +1,64 @@
+// Command ffq-micro regenerates the microbenchmark figures of the FFQ
+// paper on the host machine:
+//
+//	-fig 2   false-sharing layouts (Figure 2)
+//	-fig 3   throughput vs queue size (Figure 3)
+//	-fig 6   throughput vs queue size x thread affinity (Figure 6)
+//
+// Usage:
+//
+//	ffq-micro -fig 3 -runs 10 -scale 1.0
+//	ffq-micro -fig 6 -pairs 2 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffq/internal/experiments"
+	"ffq/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 3, "figure to regenerate: 2, 3 or 6")
+	runs := flag.Int("runs", 10, "repetitions per data point (paper: 10)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-sized)")
+	minExp := flag.Int("min-size", 6, "smallest queue size as a power-of-two exponent")
+	maxExp := flag.Int("max-size", 20, "largest queue size as a power-of-two exponent")
+	pairs := flag.Int("pairs", 1, "producer/consumer pairs (figure 6)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Runs = *runs
+	o.Scale = *scale
+	o.MinSizeExp = *minExp
+	o.MaxSizeExp = *maxExp
+
+	var tbl *report.Table
+	var err error
+	switch *fig {
+	case 2:
+		tbl, err = experiments.Fig2(o)
+	case 3:
+		tbl, err = experiments.Fig3(o)
+	case 6:
+		tbl, err = experiments.Fig6(o, *pairs)
+	default:
+		err = fmt.Errorf("unknown figure %d (have 2, 3, 6)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-micro:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		err = tbl.CSV(os.Stdout)
+	} else {
+		err = tbl.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-micro:", err)
+		os.Exit(1)
+	}
+}

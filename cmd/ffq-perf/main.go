@@ -1,0 +1,67 @@
+// Command ffq-perf regenerates the cache-locality figures of the FFQ
+// paper from the cache-hierarchy simulation (Figures 4 and 5). The
+// paper reads these metrics from Intel PCM hardware counters; this
+// module substitutes a trace-driven simulator (see DESIGN.md,
+// substitution #3), so the output reproduces the paper's shapes, not
+// its absolute values.
+//
+// Usage:
+//
+//	ffq-perf -fig 4
+//	ffq-perf -fig 5 -max-size 22 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffq/internal/cachesim"
+	"ffq/internal/experiments"
+	"ffq/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 4, "figure to regenerate: 4 or 5")
+	server := flag.String("server", "skylake", "simulated hierarchy: skylake, haswell or p8 (the paper's three servers)")
+	scale := flag.Float64("scale", 1.0, "simulated item-count scale factor")
+	minExp := flag.Int("min-size", 6, "smallest queue size as a power-of-two exponent")
+	maxExp := flag.Int("max-size", 20, "largest queue size as a power-of-two exponent")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	cacheCfg, err := cachesim.ServerConfig(*server)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-perf:", err)
+		os.Exit(1)
+	}
+	o := experiments.DefaultOptions()
+	o.Runs = 1 // the simulation is deterministic
+	o.Scale = *scale
+	o.MinSizeExp = *minExp
+	o.MaxSizeExp = *maxExp
+	o.Cache = &cacheCfg
+
+	var tbl *report.Table
+	switch *fig {
+	case 4:
+		tbl, err = experiments.Fig4(o)
+	case 5:
+		tbl, err = experiments.Fig5(o)
+	default:
+		err = fmt.Errorf("unknown figure %d (have 4, 5)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-perf:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		err = tbl.CSV(os.Stdout)
+	} else {
+		err = tbl.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-perf:", err)
+		os.Exit(1)
+	}
+}

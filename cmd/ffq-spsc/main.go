@@ -1,0 +1,80 @@
+// Command ffq-spsc benchmarks the single-producer/single-consumer
+// queue lineage the FFQ paper discusses in its related work (Section
+// II) — Lamport's ring, FastForward, MCRingBuffer, BatchQueue and
+// B-Queue — against the FFQ SPSC variant, using a streaming transfer
+// workload. This experiment is not a figure of the paper; it
+// substantiates the Section II comparisons on the host machine.
+//
+// Usage:
+//
+//	ffq-spsc
+//	ffq-spsc -items 5000000 -runs 5 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffq/internal/harness"
+	"ffq/internal/report"
+	"ffq/internal/spscqueues"
+	"ffq/internal/workload"
+)
+
+func main() {
+	items := flag.Int("items", 2_000_000, "items to stream per run")
+	runs := flag.Int("runs", 5, "repetitions per data point")
+	minExp := flag.Int("min-size", 6, "smallest capacity as a power-of-two exponent")
+	maxExp := flag.Int("max-size", 16, "largest capacity as a power-of-two exponent")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	sizes := harness.PowersOfTwo(*minExp, *maxExp)
+	tbl := &report.Table{
+		Title: "SPSC lineage (Section II): streaming transfer throughput, Mops/s",
+		Note:  fmt.Sprintf("items=%d runs=%d", *items, *runs),
+	}
+	tbl.Columns = append([]string{"queue"}, func() []string {
+		var cols []string
+		for _, s := range sizes {
+			cols = append(cols, fmt.Sprintf("cap=%d", s))
+		}
+		return cols
+	}()...)
+
+	for _, f := range spscqueues.Factories() {
+		row := []any{f.Name}
+		for _, size := range sizes {
+			f, size := f, size
+			sum, err := harness.RepeatErr(*runs, func() (float64, error) {
+				res, err := workload.RunStream(workload.StreamConfig{
+					Factory:  f,
+					Items:    *items,
+					Capacity: size,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.MopsPerSec(), nil
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ffq-spsc:", err)
+				os.Exit(1)
+			}
+			row = append(row, sum.Mean)
+		}
+		tbl.AddRow(row...)
+	}
+
+	var err error
+	if *csv {
+		err = tbl.CSV(os.Stdout)
+	} else {
+		err = tbl.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-spsc:", err)
+		os.Exit(1)
+	}
+}

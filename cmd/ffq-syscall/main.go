@@ -1,0 +1,55 @@
+// Command ffq-syscall regenerates the application benchmark of the
+// FFQ paper (Figure 7): getppid throughput and latency through the
+// simulated secure-enclave syscall proxy, comparing the native path,
+// the FFQ-based framework and the shared-MPMC framework. Real SGX is
+// replaced by a calibrated cost model (DESIGN.md, substitution #4).
+//
+// Usage:
+//
+//	ffq-syscall                 # throughput vs cores (Figure 7 left)
+//	ffq-syscall -latency        # per-variant latency (Figure 7 right)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffq/internal/experiments"
+	"ffq/internal/report"
+)
+
+func main() {
+	latency := flag.Bool("latency", false, "measure per-call latency instead of throughput")
+	runs := flag.Int("runs", 10, "repetitions per data point")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	maxCores := flag.Int("max-cores", 0, "largest core count to sweep (0 = NumCPU)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Runs = *runs
+	o.Scale = *scale
+	o.MaxThreads = *maxCores
+
+	var tbl *report.Table
+	var err error
+	if *latency {
+		tbl, err = experiments.Fig7Latency(o)
+	} else {
+		tbl, err = experiments.Fig7Throughput(o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-syscall:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		err = tbl.CSV(os.Stdout)
+	} else {
+		err = tbl.Fprint(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-syscall:", err)
+		os.Exit(1)
+	}
+}

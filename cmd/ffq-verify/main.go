@@ -1,0 +1,174 @@
+// Command ffq-verify runs the repository's algorithm-level
+// verification suites from the command line:
+//
+//	ffq-verify -mode model           # exhaustive interleavings of Algorithm 1
+//	ffq-verify -mode model -mutate norecheck
+//	ffq-verify -mode lin -rounds 200 # linearizability campaigns on every queue
+//
+// The model mode explores every schedule of a small FFQ^s
+// configuration (see internal/modelcheck); the mutate flags re-inject
+// the two races the paper documents, which must make verification
+// fail. The lin mode records concurrent histories of every queue in
+// the registry and checks them against a sequential FIFO
+// specification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ffq/internal/allqueues"
+	"ffq/internal/linearizability"
+	"ffq/internal/modelcheck"
+)
+
+func main() {
+	mode := flag.String("mode", "model", "verification mode: model or lin")
+	cells := flag.Int("cells", 2, "model: queue capacity")
+	items := flag.Int("items", 4, "model: items enqueued")
+	consumers := flag.Int("consumers", 2, "model: concurrent consumers")
+	mutate := flag.String("mutate", "", "model: inject a documented race: norecheck or rankfirst")
+	liveness := flag.Bool("liveness", true, "model: also check terminal reachability")
+	rounds := flag.Int("rounds", 100, "lin: history windows per queue")
+	flag.Parse()
+
+	switch *mode {
+	case "model":
+		runModel(*cells, *items, *consumers, *mutate, *liveness)
+	case "lin":
+		runLin(*rounds)
+	default:
+		fmt.Fprintf(os.Stderr, "ffq-verify: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runModel(cells, items, consumers int, mutate string, liveness bool) {
+	var mutation modelcheck.Mutation
+	switch mutate {
+	case "":
+		mutation = modelcheck.MutationNone
+	case "norecheck":
+		mutation = modelcheck.MutationNoRecheck
+	case "rankfirst":
+		mutation = modelcheck.MutationRankBeforeData
+	default:
+		fmt.Fprintf(os.Stderr, "ffq-verify: unknown mutation %q\n", mutate)
+		os.Exit(2)
+	}
+	takes := make([]int, consumers)
+	for i := range takes {
+		takes[i] = items / consumers
+	}
+	takes[0] += items % consumers
+	cfg := modelcheck.Config{
+		Cells: cells, Items: items, Consumers: consumers, Takes: takes,
+		Mutation: mutation, CheckLiveness: liveness,
+	}
+	fmt.Printf("exploring Algorithm 1: cells=%d items=%d consumers=%d takes=%v mutation=%q liveness=%v\n",
+		cells, items, consumers, takes, mutate, liveness)
+	res, err := modelcheck.Explore(cfg)
+	fmt.Printf("states=%d terminals=%d max-gaps=%d\n", res.States, res.Terminals, res.MaxGapsSeen)
+	if err != nil {
+		fmt.Printf("VIOLATION: %v\n", err)
+		if mutate != "" {
+			fmt.Println("(expected: this mutation re-injects a race the paper documents)")
+			return
+		}
+		os.Exit(1)
+	}
+	fmt.Println("no violations: exactly-once delivery, per-consumer order" +
+		map[bool]string{true: ", liveness", false: ""}[liveness] + " hold over all schedules")
+	if mutate != "" {
+		fmt.Fprintln(os.Stderr, "ffq-verify: mutation went UNDETECTED — checker weakness")
+		os.Exit(1)
+	}
+}
+
+func runLin(rounds int) {
+	for _, f := range allqueues.Factories() {
+		producers, consumers := 2, 2
+		blocking := f.Name == "ffq-mpmc" || f.Name == "ffq-spmc"
+		if f.MaxThreads == 1 {
+			producers = 1
+			if f.Name == "ffq-spsc" {
+				consumers = 1
+			}
+		}
+		checked, skipped := 0, 0
+		for r := 0; r < rounds; r++ {
+			h := recordWindow(f, producers, consumers, blocking)
+			if len(h) > linearizability.MaxOps {
+				skipped++
+				continue
+			}
+			ok, err := linearizability.CheckFIFO(h)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ffq-verify: %s: %v\n", f.Name, err)
+				os.Exit(1)
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ffq-verify: %s: NON-LINEARIZABLE history:\n%v\n", f.Name, h)
+				os.Exit(1)
+			}
+			checked++
+		}
+		fmt.Printf("%-10s %d histories linearizable (%d oversized windows skipped)\n",
+			f.Name, checked, skipped)
+	}
+}
+
+// recordWindow runs one small concurrent window against a fresh queue
+// instance and returns its history.
+func recordWindow(f allqueues.Named, producers, consumers int, blocking bool) []linearizability.Op {
+	const opsPerWorker = 3
+	shared := f.New(64, producers+consumers)
+	var rec linearizability.Recorder
+	var sessions []*linearizability.Session
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		s := rec.NewSession()
+		sessions = append(sessions, s)
+		wg.Add(1)
+		go func(p int, s *linearizability.Session) {
+			defer wg.Done()
+			q := shared.Register()
+			for i := 0; i < opsPerWorker; i++ {
+				v := uint64(p*opsPerWorker + i + 1)
+				st := s.Begin()
+				q.Enqueue(v)
+				s.EndEnqueue(st, v)
+			}
+		}(p, s)
+	}
+	total := int64(producers * opsPerWorker)
+	var tickets atomic.Int64
+	for c := 0; c < consumers; c++ {
+		s := rec.NewSession()
+		sessions = append(sessions, s)
+		wg.Add(1)
+		go func(s *linearizability.Session) {
+			defer wg.Done()
+			q := shared.Register()
+			for tickets.Add(1) <= total {
+				st := s.Begin()
+				v, ok := q.Dequeue()
+				for !ok {
+					if !blocking {
+						s.EndDequeue(st, 0, false)
+					}
+					runtime.Gosched()
+					st = s.Begin()
+					v, ok = q.Dequeue()
+				}
+				s.EndDequeue(st, v, true)
+			}
+		}(s)
+	}
+	wg.Wait()
+	return linearizability.Merge(sessions...)
+}

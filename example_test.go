@@ -1,0 +1,102 @@
+package ffq_test
+
+import (
+	"fmt"
+	"sync"
+
+	"ffq"
+)
+
+// The headline FFQ configuration: one producer, a pool of consumers.
+func ExampleSPMC() {
+	q, err := ffq.NewSPMC[int](64)
+	if err != nil {
+		panic(err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var received []int
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return // closed and drained
+				}
+				mu.Lock()
+				received = append(received, v)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(i * 10)
+	}
+	q.Close()
+	wg.Wait()
+
+	sum := 0
+	for _, v := range received {
+		sum += v
+	}
+	fmt.Println(len(received), sum)
+	// Output: 5 150
+}
+
+// SPSC is the cheapest variant when there is exactly one consumer:
+// TryDequeue polls without blocking.
+func ExampleSPSC() {
+	q, err := ffq.NewSPSC[string](16, ffq.WithLayout(ffq.LayoutPadded))
+	if err != nil {
+		panic(err)
+	}
+	q.Enqueue("a")
+	q.Enqueue("b")
+
+	for {
+		v, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// a
+	// b
+}
+
+// MPMC accepts concurrent producers; items from one producer keep
+// their order.
+func ExampleMPMC() {
+	q, err := ffq.NewMPMC[int](32)
+	if err != nil {
+		panic(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				q.Enqueue(p*100 + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.Close()
+
+	sum := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		sum += v
+	}
+	fmt.Println(sum)
+	// Output: 306
+}

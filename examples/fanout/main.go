@@ -1,0 +1,85 @@
+// Fanout: the full submission/response topology of the paper's
+// microbenchmark (Section V-A) built directly on the public API: one
+// producer owns an SPMC submission queue and one SPSC response queue
+// per consumer; consumers echo each item back; the producer drains the
+// responses — at most `window` requests in flight, which is the
+// "implicit flow control" that keeps the FFQ enqueue wait-free.
+//
+//	go run ./examples/fanout
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ffq"
+)
+
+const (
+	consumers = 3
+	items     = 300_000
+	queueSize = 1024
+	window    = queueSize / 2
+)
+
+func main() {
+	sub, err := ffq.NewSPMC[uint64](queueSize, ffq.WithLayout(ffq.LayoutPadded))
+	if err != nil {
+		panic(err)
+	}
+	resps := make([]*ffq.SPSC[uint64], consumers)
+	for i := range resps {
+		if resps[i], err = ffq.NewSPSC[uint64](queueSize); err != nil {
+			panic(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				v, ok := sub.Dequeue()
+				if !ok {
+					resps[c].Close()
+					return
+				}
+				resps[c].Enqueue(v * 2) // "process" the request
+			}
+		}(c)
+	}
+
+	start := time.Now()
+	var sent, received, outstanding int
+	var sum uint64
+	for received < items {
+		for sent < items && outstanding < window {
+			sub.Enqueue(uint64(sent + 1))
+			sent++
+			outstanding++
+		}
+		drained := false
+		for _, r := range resps {
+			if v, ok := r.TryDequeue(); ok {
+				sum += v
+				received++
+				outstanding--
+				drained = true
+			}
+		}
+		if !drained {
+			runtime.Gosched() // let consumers run instead of busy-polling
+		}
+	}
+	sub.Close()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	want := uint64(items) * (items + 1) // sum of 2*i
+	fmt.Printf("%d round-trips in %v (%.2f M/s), checksum ok: %v\n",
+		received, elapsed.Round(time.Millisecond),
+		float64(received)/elapsed.Seconds()/1e6, sum == want)
+}

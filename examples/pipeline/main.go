@@ -1,0 +1,83 @@
+// Pipeline: a three-stage processing pipeline connected by FFQ SPSC
+// queues — the pipeline-parallelism use case that motivated the SPSC
+// queue family the paper builds on (FastForward, MCRingBuffer,
+// BatchQueue; Section II).
+//
+// Stage 1 generates records, stage 2 transforms them, stage 3
+// aggregates. Each stage is one goroutine; adjacent stages share one
+// SPSC queue, so no stage ever contends with more than one neighbour.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ffq"
+)
+
+const (
+	records   = 200_000
+	queueSize = 4096
+)
+
+type record struct {
+	id      uint64
+	payload uint64
+}
+
+func main() {
+	s1to2, err := ffq.NewSPSC[record](queueSize)
+	if err != nil {
+		panic(err)
+	}
+	s2to3, err := ffq.NewSPSC[record](queueSize)
+	if err != nil {
+		panic(err)
+	}
+
+	// Stage 2: transform (hash the payload).
+	go func() {
+		for {
+			r, ok := s1to2.Dequeue()
+			if !ok {
+				s2to3.Close()
+				return
+			}
+			h := fnv.New64a()
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(r.payload >> (8 * i))
+			}
+			h.Write(b[:])
+			r.payload = h.Sum64()
+			s2to3.Enqueue(r)
+		}
+	}()
+
+	// Stage 3: aggregate.
+	done := make(chan uint64)
+	go func() {
+		var xor uint64
+		var count int
+		for {
+			r, ok := s2to3.Dequeue()
+			if !ok {
+				fmt.Printf("stage 3 aggregated %d records\n", count)
+				done <- xor
+				return
+			}
+			xor ^= r.payload
+			count++
+		}
+	}()
+
+	// Stage 1: generate.
+	for i := uint64(0); i < records; i++ {
+		s1to2.Enqueue(record{id: i, payload: i * 2654435761})
+	}
+	s1to2.Close()
+
+	fmt.Printf("pipeline checksum: %#x\n", <-done)
+}

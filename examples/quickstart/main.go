@@ -1,0 +1,54 @@
+// Quickstart: one producer fans work out to a pool of consumers
+// through an FFQ SPMC queue — the paper's headline configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ffq"
+)
+
+func main() {
+	// A power-of-two capacity sized so the queue never fills (the
+	// producer stays wait-free; see the package docs).
+	q, err := ffq.NewSPMC[int](1024, ffq.WithLayout(ffq.LayoutPadded))
+	if err != nil {
+		panic(err)
+	}
+
+	const consumers = 4
+	const jobs = 100_000
+
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var handled int
+			for {
+				job, ok := q.Dequeue()
+				if !ok {
+					// Queue closed and drained.
+					fmt.Printf("consumer %d handled %d jobs\n", c, handled)
+					return
+				}
+				sum.Add(int64(job))
+				handled++
+			}
+		}(c)
+	}
+
+	for j := 1; j <= jobs; j++ {
+		q.Enqueue(j)
+	}
+	q.Close()
+	wg.Wait()
+
+	want := int64(jobs) * (jobs + 1) / 2
+	fmt.Printf("sum = %d (want %d, match = %v)\n", sum.Load(), want, sum.Load() == want)
+}

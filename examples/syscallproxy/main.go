@@ -1,0 +1,51 @@
+// Syscallproxy: the scenario that motivated FFQ (Section I of the
+// paper). Application threads "inside an enclave" issue system calls
+// by messaging a kernel-side worker pool through an FFQ SPMC
+// submission queue; results come back through per-worker SPSC response
+// queues. This example runs the simulated enclave framework of
+// internal/enclave and prints the throughput of the three variants the
+// paper's Figure 7 compares.
+//
+//	go run ./examples/syscallproxy
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"ffq/internal/enclave"
+	"ffq/internal/syscalls"
+)
+
+func main() {
+	fmt.Printf("simulated getppid() through the enclave syscall proxy (NumCPU=%d)\n\n", runtime.NumCPU())
+	const callsPerAppThread = 20_000
+
+	for _, v := range enclave.Variants {
+		cfg := enclave.Config{
+			Variant:         v,
+			OSThreads:       2,
+			AppThreadsPerOS: 4,
+			WorkersPerOS:    2,
+			Call:            syscalls.GetPPID,
+		}
+		res, err := enclave.RunThroughput(cfg, callsPerAppThread)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %8.0f calls/s (%d calls in %v)\n",
+			v.String(), res.CallsPerSec(), res.Calls, res.Elapsed.Round(1e6))
+	}
+
+	fmt.Println("\nsingle-thread end-to-end latency:")
+	for _, v := range enclave.Variants {
+		sum, err := enclave.MeasureLatency(enclave.Config{
+			Variant: v, OSThreads: 1, AppThreadsPerOS: 1, WorkersPerOS: 1,
+			Call: syscalls.GetPPID,
+		}, 20_000)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s mean %6.0f ns  (min %.0f, max %.0f)\n", v.String(), sum.Mean, sum.Min, sum.Max)
+	}
+}

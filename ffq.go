@@ -1,0 +1,177 @@
+// Package ffq is a Go implementation of FFQ, the fast
+// single-producer/multiple-consumer concurrent FIFO queue of
+//
+//	S. Arnautov, C. Fetzer, B. Trach, P. Felber:
+//	"FFQ: A Fast Single-Producer/Multiple-Consumer Concurrent FIFO
+//	Queue", IPDPS 2017,
+//
+// together with the multi-producer variant (FFQ^m) and the SPSC
+// specialization the paper evaluates.
+//
+// # Choosing a variant
+//
+//   - SPSC: one producer goroutine, one consumer goroutine. Cheapest:
+//     no atomic read-modify-write on either side.
+//   - SPMC: one producer, any number of consumers. Enqueue is
+//     wait-free while the queue has a free slot; Dequeue is lock-free
+//     (one fetch-and-add plus a cell handshake). This is the paper's
+//     headline algorithm: use one SPMC queue per producer and fan
+//     work out to a consumer pool.
+//   - MPMC: any number of producers and consumers. Costs one
+//     fetch-and-add plus an (emulated) double-width CAS per
+//     operation; still competitive with the fastest general-purpose
+//     queues, but if you can give each producer its own SPMC queue,
+//     do that instead — it is what the algorithm was designed for.
+//
+// # Semantics shared by all variants
+//
+// Queues are bounded; capacities must be powers of two. Enqueue never
+// fails: when the queue is full it spins (the paper's deployments size
+// queues so that an empty slot always exists — see the "implicit flow
+// control" observation in Section I). Dequeue blocks while the queue
+// is empty (SPSC additionally offers TryDequeue) and returns ok=false
+// only after Close, once every item has been delivered. Values are
+// delivered exactly once, in FIFO order per producer.
+//
+// # Memory layout
+//
+// The WithLayout option selects the cell placement strategies the
+// paper studies for false sharing (Section IV-A): compact cells,
+// one cell per cache line, index randomization, or both. The default
+// is compact; LayoutPadded is the best all-round choice on multi-core
+// hardware and costs only memory.
+package ffq
+
+import (
+	"ffq/internal/core"
+)
+
+// Layout selects the cell memory placement. See the Layout constants.
+type Layout = core.Layout
+
+// Cell memory layouts (Section IV-A of the paper).
+const (
+	// LayoutCompact packs cells contiguously ("not aligned").
+	LayoutCompact = core.LayoutCompact
+	// LayoutPadded places every cell on its own cache line ("aligned").
+	LayoutPadded = core.LayoutPadded
+	// LayoutRandomized rotates index bits so consecutive ranks land 16
+	// slots apart ("randomized").
+	LayoutRandomized = core.LayoutRandomized
+	// LayoutPaddedRandomized combines both ("both").
+	LayoutPaddedRandomized = core.LayoutPaddedRandomized
+)
+
+// Option configures queue construction.
+type Option = core.Option
+
+// WithLayout selects the memory layout of the cell array.
+func WithLayout(l Layout) Option { return core.WithLayout(l) }
+
+// SPSC is a bounded FIFO queue for exactly one producer goroutine and
+// exactly one consumer goroutine.
+type SPSC[T any] struct{ q *core.SPSC[T] }
+
+// NewSPSC returns an SPSC queue; capacity must be a power of two >= 2.
+func NewSPSC[T any](capacity int, opts ...Option) (*SPSC[T], error) {
+	q, err := core.NewSPSC[T](capacity, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &SPSC[T]{q: q}, nil
+}
+
+// Enqueue inserts v at the tail, spinning while the queue is full.
+// Producer goroutine only.
+func (s *SPSC[T]) Enqueue(v T) { s.q.Enqueue(v) }
+
+// TryEnqueue inserts v if the tail slot is free. Producer only.
+func (s *SPSC[T]) TryEnqueue(v T) bool { return s.q.TryEnqueue(v) }
+
+// Dequeue removes the head item, blocking while the queue is empty;
+// ok=false after Close once drained. Consumer goroutine only.
+func (s *SPSC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
+
+// TryDequeue removes the head item if one is ready. Consumer only.
+func (s *SPSC[T]) TryDequeue() (v T, ok bool) { return s.q.TryDequeue() }
+
+// Close marks the queue closed (producer side, after the final
+// Enqueue).
+func (s *SPSC[T]) Close() { s.q.Close() }
+
+// Len approximates the number of queued items.
+func (s *SPSC[T]) Len() int { return s.q.Len() }
+
+// Cap returns the capacity.
+func (s *SPSC[T]) Cap() int { return s.q.Cap() }
+
+// SPMC is the paper's FFQ^s: a bounded FIFO queue with one producer
+// goroutine and any number of concurrent consumers.
+type SPMC[T any] struct{ q *core.SPMC[T] }
+
+// NewSPMC returns an SPMC queue; capacity must be a power of two >= 2.
+func NewSPMC[T any](capacity int, opts ...Option) (*SPMC[T], error) {
+	q, err := core.NewSPMC[T](capacity, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &SPMC[T]{q: q}, nil
+}
+
+// Enqueue inserts v at the tail. Wait-free while a slot is free;
+// spins when full. Producer goroutine only.
+func (s *SPMC[T]) Enqueue(v T) { s.q.Enqueue(v) }
+
+// TryEnqueue inserts v if the tail slot is free. Producer only.
+func (s *SPMC[T]) TryEnqueue(v T) bool { return s.q.TryEnqueue(v) }
+
+// Dequeue removes the next item, blocking while the queue is empty;
+// ok=false after Close once drained. Safe for any number of
+// concurrent consumers. Note there is no TryDequeue: a consumer
+// reserves a rank with fetch-and-add and cannot abandon it (see the
+// paper's Algorithm 1).
+func (s *SPMC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
+
+// Close marks the queue closed (producer side, after the final
+// Enqueue).
+func (s *SPMC[T]) Close() { s.q.Close() }
+
+// Len approximates the number of queued items.
+func (s *SPMC[T]) Len() int { return s.q.Len() }
+
+// Cap returns the capacity.
+func (s *SPMC[T]) Cap() int { return s.q.Cap() }
+
+// MPMC is the paper's FFQ^m: a bounded FIFO queue safe for any number
+// of producers and consumers. The paper's 128-bit double
+// compare-and-set is emulated with a packed 64-bit word; the queue
+// supports (2^32-3) x capacity operations over its lifetime (about
+// 500 hours at a billion operations per second on a 4096-slot queue).
+type MPMC[T any] struct{ q *core.MPMC[T] }
+
+// NewMPMC returns an MPMC queue; capacity must be a power of two >= 2.
+func NewMPMC[T any](capacity int, opts ...Option) (*MPMC[T], error) {
+	q, err := core.NewMPMC[T](capacity, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &MPMC[T]{q: q}, nil
+}
+
+// Enqueue inserts v at the tail; lock-free while a slot is free,
+// spins when full. Safe for concurrent producers.
+func (s *MPMC[T]) Enqueue(v T) { s.q.Enqueue(v) }
+
+// Dequeue removes the next item, blocking while the queue is empty;
+// ok=false after Close once drained. Safe for concurrent consumers.
+func (s *MPMC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
+
+// Close marks the queue closed. Call only after every producer's
+// final Enqueue has returned.
+func (s *MPMC[T]) Close() { s.q.Close() }
+
+// Len approximates the number of queued items.
+func (s *MPMC[T]) Len() int { return s.q.Len() }
+
+// Cap returns the capacity.
+func (s *MPMC[T]) Cap() int { return s.q.Cap() }

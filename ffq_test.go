@@ -1,0 +1,117 @@
+package ffq_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffq"
+)
+
+func TestPublicSPSC(t *testing.T) {
+	q, err := ffq.NewSPSC[string](8, ffq.WithLayout(ffq.LayoutPadded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 8 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	q.Enqueue("a")
+	if !q.TryEnqueue("b") {
+		t.Fatal("TryEnqueue failed")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if v, ok := q.TryDequeue(); !ok || v != "a" {
+		t.Fatalf("got %q,%v", v, ok)
+	}
+	q.Close()
+	if v, ok := q.Dequeue(); !ok || v != "b" {
+		t.Fatalf("got %q,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained closed queue returned ok")
+	}
+}
+
+func TestPublicSPMC(t *testing.T) {
+	q, err := ffq.NewSPMC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 4
+	const items = 10000
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				sum.Add(int64(v))
+			}
+		}()
+	}
+	if !q.TryEnqueue(1) {
+		t.Fatal("TryEnqueue on empty queue failed")
+	}
+	for i := 2; i <= items; i++ {
+		q.Enqueue(i)
+	}
+	q.Close()
+	wg.Wait()
+	if want := int64(items) * (items + 1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestPublicMPMC(t *testing.T) {
+	q, err := ffq.NewMPMC[uint64](128, ffq.WithLayout(ffq.LayoutPaddedRandomized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const perWorker = 5000
+	var sum atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q.Enqueue(uint64(i + 1))
+				v, _ := q.Dequeue()
+				sum.Add(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after balanced ops", q.Len())
+	}
+	want := uint64(workers) * perWorker * (perWorker + 1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+	q.Close()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained closed queue returned ok")
+	}
+}
+
+func TestPublicValidationErrors(t *testing.T) {
+	if _, err := ffq.NewSPSC[int](3); err == nil {
+		t.Error("SPSC: bad capacity accepted")
+	}
+	if _, err := ffq.NewSPMC[int](0); err == nil {
+		t.Error("SPMC: bad capacity accepted")
+	}
+	if _, err := ffq.NewMPMC[int](-8); err == nil {
+		t.Error("MPMC: bad capacity accepted")
+	}
+}

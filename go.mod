@@ -1,0 +1,3 @@
+module ffq
+
+go 1.23

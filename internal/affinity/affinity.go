@@ -1,0 +1,223 @@
+// Package affinity pins OS threads to CPUs, reproducing the thread
+// placement study of the paper (Section IV-B): on Linux it wraps
+// sched_setaffinity on the calling goroutine's locked OS thread; on
+// other systems every call degrades to a recorded no-op so benchmarks
+// still run (with placement left to the OS, i.e. the paper's "no
+// affinity" policy).
+//
+// The four policies of the paper are modeled by Placement:
+//
+//   - SiblingHT: producer and consumer on the two hardware threads of
+//     one core.
+//   - SameHT: producer and consumer time-share one hardware thread.
+//   - OtherCore: producer and consumer on different cores.
+//   - NoAffinity: the OS scheduler decides.
+package affinity
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Policy is one of the paper's four thread-placement strategies.
+type Policy uint8
+
+const (
+	// NoAffinity leaves placement to the OS scheduler.
+	NoAffinity Policy = iota
+	// SameHT puts producer and consumer on the same hardware thread.
+	SameHT
+	// SiblingHT puts them on the two hardware threads of one core.
+	SiblingHT
+	// OtherCore puts them on different physical cores.
+	OtherCore
+)
+
+// Policies lists all placement policies in the paper's order.
+var Policies = []Policy{SiblingHT, SameHT, OtherCore, NoAffinity}
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case NoAffinity:
+		return "no-affinity"
+	case SameHT:
+		return "same-HT"
+	case SiblingHT:
+		return "sibling-HT"
+	case OtherCore:
+		return "other-core"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy converts a policy name (as produced by String) back.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return NoAffinity, fmt.Errorf("affinity: unknown policy %q", s)
+}
+
+// Topology describes the CPUs visible to the process as
+// core -> hardware threads.
+type Topology struct {
+	// Cores[i] lists the logical CPU ids sharing physical core i,
+	// sorted; cores are sorted by their first CPU id.
+	Cores [][]int
+}
+
+// NumCPUs returns the number of logical CPUs in the topology.
+func (t *Topology) NumCPUs() int {
+	n := 0
+	for _, c := range t.Cores {
+		n += len(c)
+	}
+	return n
+}
+
+// NumCores returns the number of physical cores.
+func (t *Topology) NumCores() int { return len(t.Cores) }
+
+// Detect reads /sys/devices/system/cpu to build the topology. When
+// sysfs is unavailable (non-Linux, containers without /sys) it
+// synthesizes a flat topology of runtime.NumCPU single-thread cores.
+func Detect() *Topology {
+	if t, err := detectSysfs("/sys/devices/system/cpu"); err == nil && len(t.Cores) > 0 {
+		return t
+	}
+	return Synthetic(runtime.NumCPU(), 1)
+}
+
+// Synthetic builds a topology of cores physical cores with htPerCore
+// hardware threads each, numbered the common Linux way (thread k of
+// core c is CPU c + k*cores).
+func Synthetic(cores, htPerCore int) *Topology {
+	if cores < 1 {
+		cores = 1
+	}
+	if htPerCore < 1 {
+		htPerCore = 1
+	}
+	t := &Topology{Cores: make([][]int, cores)}
+	for c := 0; c < cores; c++ {
+		for k := 0; k < htPerCore; k++ {
+			t.Cores[c] = append(t.Cores[c], c+k*cores)
+		}
+	}
+	return t
+}
+
+// detectSysfs parses core ids out of sysfs.
+func detectSysfs(root string) (*Topology, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	type key struct{ pkg, core int }
+	groups := map[key][]int{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cpu") {
+			continue
+		}
+		id, err := strconv.Atoi(name[3:])
+		if err != nil {
+			continue
+		}
+		coreB, err := os.ReadFile(root + "/" + name + "/topology/core_id")
+		if err != nil {
+			continue
+		}
+		pkgB, err := os.ReadFile(root + "/" + name + "/topology/physical_package_id")
+		if err != nil {
+			pkgB = []byte("0")
+		}
+		core, err := strconv.Atoi(strings.TrimSpace(string(coreB)))
+		if err != nil {
+			continue
+		}
+		pkg, _ := strconv.Atoi(strings.TrimSpace(string(pkgB)))
+		groups[key{pkg, core}] = append(groups[key{pkg, core}], id)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("affinity: no topology under %s", root)
+	}
+	t := &Topology{}
+	for _, cpus := range groups {
+		sort.Ints(cpus)
+		t.Cores = append(t.Cores, cpus)
+	}
+	sort.Slice(t.Cores, func(i, j int) bool { return t.Cores[i][0] < t.Cores[j][0] })
+	return t, nil
+}
+
+// Assignment maps one producer/consumer pair (pair index k) to CPU
+// sets under a policy. Empty sets mean "no pinning".
+type Assignment struct {
+	Producer []int
+	Consumer []int
+}
+
+// Assign computes placement for pair k of nPairs under policy p.
+// Pairs are spread round-robin over cores.
+func (t *Topology) Assign(p Policy, k int) Assignment {
+	if len(t.Cores) == 0 || p == NoAffinity {
+		return Assignment{}
+	}
+	core := t.Cores[k%len(t.Cores)]
+	switch p {
+	case SameHT:
+		cpu := core[0]
+		return Assignment{Producer: []int{cpu}, Consumer: []int{cpu}}
+	case SiblingHT:
+		if len(core) >= 2 {
+			return Assignment{Producer: []int{core[0]}, Consumer: []int{core[1]}}
+		}
+		// No SMT available: degrade to same-HT on this core.
+		return Assignment{Producer: []int{core[0]}, Consumer: []int{core[0]}}
+	case OtherCore:
+		other := t.Cores[(k+1)%len(t.Cores)]
+		if len(t.Cores) == 1 {
+			// Single core: the best we can do is separate hardware
+			// threads (or the same one).
+			if len(core) >= 2 {
+				return Assignment{Producer: []int{core[0]}, Consumer: []int{core[1]}}
+			}
+			return Assignment{Producer: []int{core[0]}, Consumer: []int{core[0]}}
+		}
+		return Assignment{Producer: []int{core[0]}, Consumer: []int{other[0]}}
+	default:
+		return Assignment{}
+	}
+}
+
+// Pin restricts the calling goroutine's OS thread to cpus and returns
+// an undo function restoring the previous mask. The goroutine must
+// already be locked to its thread (runtime.LockOSThread); Pin calls
+// LockOSThread itself as a belt-and-braces measure. An empty cpus
+// slice is a no-op.
+//
+// On unsupported platforms or when the syscall fails (e.g. restricted
+// containers) Pin records the attempt and returns a no-op undo with a
+// nil error: affinity is an optimization, not a correctness
+// requirement, and the paper's "no affinity" behaviour is the natural
+// fallback.
+func Pin(cpus []int) (undo func(), err error) {
+	if len(cpus) == 0 {
+		return func() {}, nil
+	}
+	runtime.LockOSThread()
+	return pinThread(cpus)
+}
+
+// Supported reports whether thread pinning actually takes effect on
+// this platform/build.
+func Supported() bool { return pinSupported }

@@ -1,0 +1,55 @@
+//go:build linux
+
+package affinity
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+const pinSupported = true
+
+// cpuSet mirrors the kernel's cpu_set_t (1024 bits).
+type cpuSet [16]uint64
+
+func (s *cpuSet) set(cpu int) {
+	if cpu >= 0 && cpu < len(s)*64 {
+		s[cpu/64] |= 1 << (uint(cpu) % 64)
+	}
+}
+
+func schedSetaffinity(set *cpuSet) error {
+	// pid 0 = the calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(*set)), uintptr(unsafe.Pointer(set)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func schedGetaffinity(set *cpuSet) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(unsafe.Sizeof(*set)), uintptr(unsafe.Pointer(set)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// pinThread applies the mask to the current thread. Failures (EPERM
+// in sandboxes, EINVAL for offline CPUs) degrade to a no-op.
+func pinThread(cpus []int) (func(), error) {
+	var prev cpuSet
+	if err := schedGetaffinity(&prev); err != nil {
+		return func() {}, nil
+	}
+	var want cpuSet
+	for _, c := range cpus {
+		want.set(c)
+	}
+	if err := schedSetaffinity(&want); err != nil {
+		return func() {}, nil
+	}
+	return func() { _ = schedSetaffinity(&prev) }, nil
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package affinity
+
+const pinSupported = false
+
+// pinThread is a no-op outside Linux; placement falls back to the OS
+// scheduler (the paper's "no affinity" policy).
+func pinThread(cpus []int) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,113 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	names := map[Policy]string{
+		NoAffinity: "no-affinity",
+		SameHT:     "same-HT",
+		SiblingHT:  "sibling-HT",
+		OtherCore:  "other-core",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+		back, err := ParsePolicy(want)
+		if err != nil || back != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy parsed")
+	}
+}
+
+func TestSyntheticTopology(t *testing.T) {
+	top := Synthetic(4, 2)
+	if top.NumCores() != 4 || top.NumCPUs() != 8 {
+		t.Fatalf("cores=%d cpus=%d", top.NumCores(), top.NumCPUs())
+	}
+	// Linux-style numbering: core 0 holds CPUs {0, 4}.
+	if got := top.Cores[0]; len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Fatalf("core 0 = %v", got)
+	}
+	// Degenerate args clamp.
+	if Synthetic(0, 0).NumCPUs() != 1 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestAssignPolicies(t *testing.T) {
+	top := Synthetic(4, 2)
+	a := top.Assign(SameHT, 0)
+	if len(a.Producer) != 1 || a.Producer[0] != a.Consumer[0] {
+		t.Errorf("SameHT: %+v", a)
+	}
+	a = top.Assign(SiblingHT, 0)
+	if a.Producer[0] == a.Consumer[0] {
+		t.Errorf("SiblingHT placed both on one CPU: %+v", a)
+	}
+	if a.Producer[0] != 0 || a.Consumer[0] != 4 {
+		t.Errorf("SiblingHT: %+v", a)
+	}
+	a = top.Assign(OtherCore, 0)
+	if a.Producer[0] == a.Consumer[0] {
+		t.Errorf("OtherCore on same CPU: %+v", a)
+	}
+	if top.Assign(NoAffinity, 0).Producer != nil {
+		t.Error("NoAffinity returned a pin set")
+	}
+	// Pairs spread across cores.
+	b := top.Assign(SiblingHT, 1)
+	if b.Producer[0] == 0 {
+		t.Errorf("pair 1 not spread: %+v", b)
+	}
+}
+
+func TestAssignDegenerateTopologies(t *testing.T) {
+	one := Synthetic(1, 1)
+	for _, p := range Policies {
+		a := one.Assign(p, 0)
+		for _, c := range append(a.Producer, a.Consumer...) {
+			if c != 0 {
+				t.Errorf("%v on 1x1: cpu %d", p, c)
+			}
+		}
+	}
+	smt := Synthetic(1, 2)
+	a := smt.Assign(OtherCore, 0)
+	if len(a.Producer) == 1 && len(a.Consumer) == 1 && a.Producer[0] == a.Consumer[0] {
+		t.Errorf("OtherCore on 1x2 should use both HTs: %+v", a)
+	}
+}
+
+func TestDetectDoesNotPanic(t *testing.T) {
+	top := Detect()
+	if top.NumCPUs() < 1 {
+		t.Fatal("empty topology")
+	}
+	if top.NumCPUs() < runtime.NumCPU() {
+		t.Errorf("topology has %d CPUs, runtime sees %d", top.NumCPUs(), runtime.NumCPU())
+	}
+}
+
+func TestPinRoundTrip(t *testing.T) {
+	// Pin to CPU 0 (always present) and undo. On unsupported
+	// platforms this must silently no-op.
+	undo, err := Pin([]int{0})
+	if err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	undo()
+	runtime.UnlockOSThread()
+
+	undo, err = Pin(nil)
+	if err != nil {
+		t.Fatalf("Pin(nil): %v", err)
+	}
+	undo()
+}

@@ -1,0 +1,217 @@
+// Package allqueues adapts every queue implementation in this module
+// to the common benchmarking interface of internal/queue and exposes
+// the registry the comparative harness (the paper's Figure 8) sweeps
+// over.
+package allqueues
+
+import (
+	"fmt"
+
+	"ffq/internal/ccqueue"
+	"ffq/internal/chanq"
+	"ffq/internal/core"
+	"ffq/internal/htmqueue"
+	"ffq/internal/lcrq"
+	"ffq/internal/msqueue"
+	"ffq/internal/queue"
+	"ffq/internal/vyukov"
+	"ffq/internal/wfqueue"
+)
+
+// ffqMPMCAdapter drops the ok result of the FFQ dequeue (it blocks
+// rather than reporting empty; see queue.Queue's contract).
+type ffqMPMCAdapter struct{ q *core.MPMC[uint64] }
+
+func (a ffqMPMCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
+func (a ffqMPMCAdapter) Dequeue() (uint64, bool) {
+	return a.q.Dequeue()
+}
+
+type ffqSPMCAdapter struct{ q *core.SPMC[uint64] }
+
+func (a ffqSPMCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
+func (a ffqSPMCAdapter) Dequeue() (uint64, bool) {
+	return a.q.Dequeue()
+}
+
+type ffqSPSCAdapter struct{ q *core.SPSC[uint64] }
+
+func (a ffqSPSCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
+func (a ffqSPSCAdapter) Dequeue() (uint64, bool) {
+	return a.q.TryDequeue()
+}
+
+type wfAdapter struct{ q *wfqueue.Queue }
+
+func (a wfAdapter) Register() queue.Queue { return a.q.Register() }
+
+type ccAdapter struct{ q *ccqueue.Queue }
+
+func (a ccAdapter) Register() queue.Queue { return a.q.Register() }
+
+// mustLayout builds FFQ queues with the paper's best all-round layout
+// (dedicated cache lines).
+var ffqLayout = core.WithLayout(core.LayoutPadded)
+
+// Factories returns the full queue registry. Entries whose MaxThreads
+// is non-zero are only meaningful up to that many workers (the FFQ
+// SPSC/SPMC variants appear in the paper's Figure 8 as single-threaded
+// marks).
+func Factories() []Named {
+	return []Named{
+		{
+			Factory: queue.Factory{
+				Name:  "ffq-mpmc",
+				Brief: "FFQ^m, this paper (packed-word DCAS port)",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := core.NewMPMC[uint64](capacity, ffqLayout)
+					check(err)
+					return queue.SelfRegistering{Q: ffqMPMCAdapter{q}}
+				},
+				Bounded: true,
+			},
+		},
+		{
+			MaxThreads: 1,
+			Factory: queue.Factory{
+				Name:  "ffq-spmc",
+				Brief: "FFQ^s, this paper (single producer)",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := core.NewSPMC[uint64](capacity, ffqLayout)
+					check(err)
+					return queue.SelfRegistering{Q: ffqSPMCAdapter{q}}
+				},
+				Bounded: true,
+			},
+		},
+		{
+			MaxThreads: 1,
+			Factory: queue.Factory{
+				Name:  "ffq-spsc",
+				Brief: "FFQ SPSC variant (no consumer FAA)",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := core.NewSPSC[uint64](capacity, ffqLayout)
+					check(err)
+					return queue.SelfRegistering{Q: ffqSPSCAdapter{q}}
+				},
+				Bounded: true,
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "wfqueue",
+				Brief: "Yang & Mellor-Crummey wait-free queue (WF-10)",
+				New: func(_, _ int) queue.Shared {
+					return wfAdapter{wfqueue.New()}
+				},
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "lcrq",
+				Brief: "Morrison & Afek LCRQ (packed-cell port)",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := lcrq.New(capacity)
+					check(err)
+					return queue.SelfRegistering{Q: q}
+				},
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "ccqueue",
+				Brief: "Fatourou & Kallimanis CC-Queue (CC-Synch combining)",
+				New: func(_, _ int) queue.Shared {
+					return ccAdapter{ccqueue.New()}
+				},
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "msqueue",
+				Brief: "Michael & Scott lock-free queue",
+				New: func(_, _ int) queue.Shared {
+					return queue.SelfRegistering{Q: msqueue.New()}
+				},
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "htm",
+				Brief: "circular buffer in (emulated) HTM transactions",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := htmqueue.New(capacity)
+					check(err)
+					return queue.SelfRegistering{Q: htmAdapter{q}}
+				},
+				Bounded: true,
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "chan",
+				Brief: "buffered Go channel (not in the paper)",
+				New: func(capacity, _ int) queue.Shared {
+					return queue.SelfRegistering{Q: chanAdapter{chanq.New(capacity)}}
+				},
+				Bounded: true,
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "vyukov",
+				Brief: "Vyukov bounded MPMC (the paper's external-queue baseline)",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := vyukov.New(capacity)
+					check(err)
+					return queue.SelfRegistering{Q: vyukovAdapter{q}}
+				},
+				Bounded: true,
+			},
+		},
+	}
+}
+
+type htmAdapter struct{ q *htmqueue.Queue }
+
+func (a htmAdapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
+func (a htmAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+
+type chanAdapter struct{ q *chanq.Queue }
+
+func (a chanAdapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
+func (a chanAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+
+type vyukovAdapter struct{ q *vyukov.Queue }
+
+func (a vyukovAdapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
+func (a vyukovAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+
+// Named couples a Factory with registry metadata.
+type Named struct {
+	queue.Factory
+	// MaxThreads restricts the entry to runs with at most this many
+	// workers (0 = unrestricted).
+	MaxThreads int
+}
+
+// ByName returns the named factory or an error listing the valid names.
+func ByName(name string) (Named, error) {
+	fs := Factories()
+	for _, f := range fs {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return Named{}, fmt.Errorf("unknown queue %q (have %v)", name, names)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,77 @@
+package allqueues_test
+
+import (
+	"testing"
+
+	"ffq/internal/allqueues"
+	"ffq/internal/queuetest"
+)
+
+// Every registry entry must pass the conformance suite through the
+// exact adapter the benchmarks use.
+func TestRegistryConformance(t *testing.T) {
+	for _, f := range allqueues.Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			opts := queuetest.DefaultOptions()
+			opts.Capacity = 1024
+			opts.ItemsPerProducer = 2000
+			opts.Blocking = f.Name == "ffq-mpmc" || f.Name == "ffq-spmc"
+			if f.MaxThreads == 1 {
+				opts.Producers = 1
+				if f.Name == "ffq-spsc" {
+					opts.Consumers = 1
+				}
+			}
+			queuetest.Sequential(t, f.Factory, opts)
+			queuetest.Concurrent(t, f.Factory, opts)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := allqueues.ByName("ffq-mpmc")
+	if err != nil || f.Name != "ffq-mpmc" {
+		t.Fatalf("ByName: %v, %+v", err, f)
+	}
+	if _, err := allqueues.ByName("nonesuch"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestFactoryMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range allqueues.Factories() {
+		if f.Name == "" || f.Brief == "" || f.New == nil {
+			t.Errorf("incomplete factory %+v", f)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate factory name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, want := range []string{"ffq-mpmc", "ffq-spmc", "ffq-spsc", "wfqueue", "lcrq", "ccqueue", "msqueue", "htm", "vyukov", "chan"} {
+		if !seen[want] {
+			t.Errorf("registry is missing %q", want)
+		}
+	}
+}
+
+// Every registry queue's concurrent histories must be linearizable
+// with respect to a sequential FIFO queue.
+func TestRegistryLinearizable(t *testing.T) {
+	for _, f := range allqueues.Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			opts := queuetest.DefaultOptions()
+			opts.Blocking = f.Name == "ffq-mpmc" || f.Name == "ffq-spmc"
+			if f.MaxThreads == 1 {
+				opts.Producers = 1
+				if f.Name == "ffq-spsc" {
+					opts.Consumers = 1
+				}
+			}
+			queuetest.Linearizable(t, f.Factory, opts, 25)
+		})
+	}
+}

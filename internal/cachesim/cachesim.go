@@ -1,0 +1,601 @@
+// Package cachesim is a trace-driven multi-level cache hierarchy
+// simulator with MESI-style private-cache coherence. It stands in for
+// the hardware performance counters (Intel PCM) the paper reads in its
+// cache-locality study (Section V-D, Figures 4 and 5): the perfmodel
+// package replays the memory access pattern of an FFQ
+// producer/consumer pair against this hierarchy and derives hit
+// ratios, miss counts, memory bandwidth and IPC from the simulation
+// instead of from MSRs.
+//
+// The model: per-core L1D and L2, one shared inclusive L3, 64-byte
+// lines, true-LRU sets, a directory tracking which private caches hold
+// each line. Writes require exclusivity (other cores' copies are
+// invalidated); a miss that hits a dirty remote copy pays a
+// core-to-core transfer. Latencies are configurable and default to
+// Skylake-client-like values.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Access outcome levels.
+const (
+	L1 Level = iota
+	L2
+	L3
+	Memory
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Memory:
+		return "mem"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// LevelConfig sizes one cache level.
+type LevelConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyCycles is the load-to-use latency on a hit at this level.
+	LatencyCycles int
+}
+
+// Config describes the hierarchy.
+type Config struct {
+	// LineSize in bytes (64).
+	LineSize int
+	// Cores is the number of simulated cores (each with private L1/L2).
+	Cores int
+	// L1D, L2 are per-core; L3 is shared and inclusive.
+	L1D, L2, L3 LevelConfig
+	// MemLatencyCycles is the miss-to-DRAM latency.
+	MemLatencyCycles int
+	// TransferLatencyCycles is the extra cost of pulling a line out of
+	// another core's private cache (dirty sharing).
+	TransferLatencyCycles int
+	// PrefetchDepth enables a per-core next-line streaming prefetcher:
+	// when a core misses two consecutive lines in ascending order, the
+	// following PrefetchDepth lines are pulled into its L2 in the
+	// background (0 disables). Real Intel cores ship an equivalent
+	// streamer; without it the sequential queue traversal of the
+	// paper's workload would never produce the rising L2 hit ratios of
+	// Figure 4.
+	PrefetchDepth int
+}
+
+// SkylakeConfig returns a configuration resembling the paper's Skylake
+// server (Xeon E3-1270 v5: 4 cores, 32 KiB L1D, 256 KiB L2, 8 MiB L3).
+func SkylakeConfig() Config {
+	return Config{
+		LineSize:              64,
+		Cores:                 4,
+		L1D:                   LevelConfig{SizeBytes: 32 << 10, Assoc: 8, LatencyCycles: 4},
+		L2:                    LevelConfig{SizeBytes: 256 << 10, Assoc: 4, LatencyCycles: 12},
+		L3:                    LevelConfig{SizeBytes: 8 << 20, Assoc: 16, LatencyCycles: 42},
+		MemLatencyCycles:      200,
+		TransferLatencyCycles: 60,
+		PrefetchDepth:         2,
+	}
+}
+
+// HaswellConfig resembles one socket of the paper's Haswell server
+// (Xeon E5-2683 v3: 14 cores at 2 GHz, 35 MB shared L3; rounded to
+// 32 MiB here because the simulator indexes sets with a mask).
+func HaswellConfig() Config {
+	return Config{
+		LineSize:              64,
+		Cores:                 14,
+		L1D:                   LevelConfig{SizeBytes: 32 << 10, Assoc: 8, LatencyCycles: 4},
+		L2:                    LevelConfig{SizeBytes: 256 << 10, Assoc: 8, LatencyCycles: 12},
+		L3:                    LevelConfig{SizeBytes: 32 << 20, Assoc: 16, LatencyCycles: 50},
+		MemLatencyCycles:      230,
+		TransferLatencyCycles: 80,
+		PrefetchDepth:         2,
+	}
+}
+
+// Power8Config resembles the paper's POWER8 server (8284-22A: 10 cores
+// at 3.42 GHz, 512 KiB L2 and 8 MB L3 per core; the L3 here models one
+// core's local region times the core count as a shared victim space,
+// the closest single-L3 approximation this model supports). POWER8
+// lines are 128 bytes.
+func Power8Config() Config {
+	return Config{
+		LineSize:              128,
+		Cores:                 10,
+		L1D:                   LevelConfig{SizeBytes: 64 << 10, Assoc: 8, LatencyCycles: 3},
+		L2:                    LevelConfig{SizeBytes: 512 << 10, Assoc: 8, LatencyCycles: 13},
+		L3:                    LevelConfig{SizeBytes: 80 << 20, Assoc: 10, LatencyCycles: 55},
+		MemLatencyCycles:      250,
+		TransferLatencyCycles: 70,
+		PrefetchDepth:         4,
+	}
+}
+
+// ServerConfig returns the named configuration ("skylake", "haswell",
+// "p8").
+func ServerConfig(name string) (Config, error) {
+	switch name {
+	case "skylake":
+		return SkylakeConfig(), nil
+	case "haswell":
+		return HaswellConfig(), nil
+	case "p8":
+		return Power8Config(), nil
+	default:
+		return Config{}, fmt.Errorf("cachesim: unknown server %q (have skylake, haswell, p8)", name)
+	}
+}
+
+// way is one cache line slot.
+type way struct {
+	tag   uint64 // line address (addr >> log2(LineSize))
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// cache is one set-associative cache of lines.
+type cache struct {
+	sets    [][]way
+	setMask uint64
+	tick    uint64
+}
+
+func newCache(c LevelConfig, lineSize int) (*cache, error) {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 {
+		return nil, fmt.Errorf("cachesim: bad level config %+v", c)
+	}
+	nSets := c.SizeBytes / (lineSize * c.Assoc)
+	if nSets < 1 || nSets&(nSets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: %d sets (size %d, assoc %d) is not a power of two",
+			nSets, c.SizeBytes, c.Assoc)
+	}
+	sets := make([][]way, nSets)
+	backing := make([]way, nSets*c.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*c.Assoc : (i+1)*c.Assoc]
+	}
+	return &cache{sets: sets, setMask: uint64(nSets - 1)}, nil
+}
+
+func (c *cache) set(line uint64) []way {
+	return c.sets[line&c.setMask]
+}
+
+// lookup returns the way holding line, or nil.
+func (c *cache) lookup(line uint64) *way {
+	s := c.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			c.tick++
+			s[i].lru = c.tick
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// insert places line, evicting the LRU way. It returns the evicted
+// line (valid=false when the slot was free).
+func (c *cache) insert(line uint64, dirty bool) (evicted way) {
+	s := c.set(line)
+	victim := 0
+	for i := range s {
+		if !s[i].valid {
+			victim = i
+			break
+		}
+		if s[i].lru < s[victim].lru {
+			victim = i
+		}
+	}
+	evicted = s[victim]
+	c.tick++
+	s[victim] = way{tag: line, valid: true, dirty: dirty, lru: c.tick}
+	return evicted
+}
+
+// invalidate drops line if present, returning whether it was dirty.
+func (c *cache) invalidate(line uint64) (present, dirty bool) {
+	s := c.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			d := s[i].dirty
+			s[i].valid = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// dirEntry tracks which cores' private caches hold a line.
+type dirEntry struct {
+	owners uint64 // bitmask of cores
+	dirty  int8   // core holding it modified, or -1
+}
+
+// Stats are cumulative counters for the whole hierarchy.
+type Stats struct {
+	// Accesses is the total number of Access calls.
+	Accesses uint64
+	// Hits per level (L1, L2, L3); Memory counts DRAM fills.
+	L1Hits, L2Hits, L3Hits, MemFills uint64
+	// Writebacks counts dirty lines written toward memory.
+	Writebacks uint64
+	// Invalidations counts coherence invalidations of private copies.
+	Invalidations uint64
+	// Transfers counts core-to-core dirty-line transfers.
+	Transfers uint64
+	// Prefetches counts lines pulled into private L2s by the streamer.
+	Prefetches uint64
+	// Cycles is the summed access latency.
+	Cycles uint64
+}
+
+// L1Ratio returns L1 hits / accesses.
+func (s Stats) L1Ratio() float64 { return ratio(s.L1Hits, s.Accesses) }
+
+// L2Ratio returns L2 hits / L1 misses (the "L2 hit ratio" of Fig. 4).
+func (s Stats) L2Ratio() float64 { return ratio(s.L2Hits, s.Accesses-s.L1Hits) }
+
+// L3Ratio returns L3 hits / L2 misses (the "L3 hit ratio" of Fig. 5).
+func (s Stats) L3Ratio() float64 {
+	return ratio(s.L3Hits, s.Accesses-s.L1Hits-s.L2Hits)
+}
+
+// MemBytes returns bytes moved to/from DRAM assuming 64-byte lines.
+func (s Stats) MemBytes() uint64 { return (s.MemFills + s.Writebacks) * 64 }
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Hierarchy is the simulated cache system. Not safe for concurrent
+// use: the perfmodel drives it from one event loop.
+type Hierarchy struct {
+	cfg       Config
+	lineShift uint
+	l1, l2    []*cache
+	l3        *cache
+	dir       map[uint64]*dirEntry
+	stats     Stats
+	// streams holds each core's stream detectors: streams[core][k] is
+	// the next line a tracked stream expects. Real streamers track
+	// several independent streams (Intel: one per 4 KiB page); a small
+	// fixed table with round-robin replacement captures that.
+	streams  [][]uint64
+	streamRR []int
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("cachesim: need at least one core")
+	}
+	if cfg.Cores > 64 {
+		return nil, fmt.Errorf("cachesim: directory bitmask supports at most 64 cores")
+	}
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d is not a power of two", cfg.LineSize)
+	}
+	h := &Hierarchy{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		dir:       make(map[uint64]*dirEntry),
+		streamRR:  make([]int, cfg.Cores),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		h.streams = append(h.streams, make([]uint64, 8))
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		l1, err := newCache(cfg.L1D, cfg.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := newCache(cfg.L2, cfg.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+	}
+	l3, err := newCache(cfg.L3, cfg.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	h.l3 = l3
+	return h, nil
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a snapshot of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters (cache contents are kept, so a warmed
+// hierarchy can be measured separately).
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// entry returns (creating) the directory entry for line.
+func (h *Hierarchy) entry(line uint64) *dirEntry {
+	e := h.dir[line]
+	if e == nil {
+		e = &dirEntry{dirty: -1}
+		h.dir[line] = e
+	}
+	return e
+}
+
+// Access simulates one memory access by core to byte address addr and
+// returns the level that satisfied it plus its cycle cost.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) (Level, int) {
+	line := addr >> h.lineShift
+	h.stats.Accesses++
+
+	if w := h.l1[core].lookup(line); w != nil {
+		cycles := h.cfg.L1D.LatencyCycles
+		if write {
+			cycles += h.ensureExclusive(core, line)
+			w.dirty = true
+		}
+		h.stats.L1Hits++
+		h.stats.Cycles += uint64(cycles)
+		return L1, cycles
+	}
+	if w := h.l2[core].lookup(line); w != nil {
+		cycles := h.cfg.L2.LatencyCycles
+		dirty := w.dirty
+		if write {
+			cycles += h.ensureExclusive(core, line)
+			dirty = true
+			w.dirty = true
+		}
+		h.fillL1(core, line, dirty && write)
+		h.stats.L2Hits++
+		h.stats.Cycles += uint64(cycles)
+		return L2, cycles
+	}
+
+	// Private miss: consult the directory for remote copies.
+	cycles := 0
+	level := L3
+	e := h.entry(line)
+	remote := e.owners &^ (1 << uint(core))
+	if e.dirty >= 0 && int(e.dirty) != core && remote&(1<<uint(e.dirty)) != 0 {
+		// Dirty in another core's private cache: transfer it, write it
+		// back to L3, downgrade the owner to shared.
+		cycles += h.cfg.TransferLatencyCycles
+		h.stats.Transfers++
+		h.writebackPrivate(e.dirty, line)
+		e.dirty = -1
+		if h.l3.lookup(line) == nil {
+			h.insertL3(line, true)
+		}
+	}
+
+	if h.l3.lookup(line) != nil {
+		cycles += h.cfg.L3.LatencyCycles
+		h.stats.L3Hits++
+	} else {
+		cycles += h.cfg.MemLatencyCycles
+		h.stats.MemFills++
+		h.insertL3(line, false)
+		level = Memory
+	}
+
+	if write {
+		cycles += h.ensureExclusive(core, line)
+	}
+	h.fillL2(core, line, write)
+	h.fillL1(core, line, write)
+	e = h.entry(line) // insertL3 back-invalidation may have replaced it
+	e.owners |= 1 << uint(core)
+	if write {
+		e.dirty = int8(core)
+	}
+	h.prefetch(core, line)
+	h.stats.Cycles += uint64(cycles)
+	return level, cycles
+}
+
+// prefetch runs the per-core next-line streamer after a private miss
+// on line: two consecutive ascending misses trigger background fills
+// of the following PrefetchDepth lines into this core's L2. Prefetch
+// fills are clean and free of charge (they overlap with execution on
+// real hardware); they still consume L2/L3 capacity, which is what
+// creates the Figure 4/5 interplay.
+func (h *Hierarchy) prefetch(core int, line uint64) {
+	if h.cfg.PrefetchDepth <= 0 {
+		return
+	}
+	table := h.streams[core]
+	hit := false
+	for k := range table {
+		if table[k] == line && line != 0 {
+			table[k] = line + 1 // stream confirmed; advance it
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		// Allocate a detector expecting the next line (round-robin
+		// victim) and wait for confirmation before prefetching.
+		table[h.streamRR[core]] = line + 1
+		h.streamRR[core] = (h.streamRR[core] + 1) % len(table)
+		return
+	}
+	for d := 1; d <= h.cfg.PrefetchDepth; d++ {
+		pl := line + uint64(d)
+		if h.l2[core].lookup(pl) != nil || h.l1[core].lookup(pl) != nil {
+			continue
+		}
+		// A dirty remote copy is snooped exactly as a demand load
+		// would snoop it — the streamer pulling the producer's freshly
+		// written cells early is precisely what raises the consumer's
+		// L2 hit ratio on streaming handoffs (Figure 4).
+		if e := h.dir[pl]; e != nil && e.dirty >= 0 && int(e.dirty) != core {
+			h.writebackPrivate(e.dirty, pl)
+			e.dirty = -1
+			if h.l3.lookup(pl) == nil {
+				h.insertL3(pl, true)
+			}
+			h.stats.Transfers++
+		}
+		if h.l3.lookup(pl) == nil {
+			h.insertL3(pl, false)
+			h.stats.MemFills++
+		}
+		h.fillL2(core, pl, false)
+		if e := h.entry(pl); e != nil {
+			e.owners |= 1 << uint(core)
+		}
+		h.stats.Prefetches++
+	}
+}
+
+// ensureExclusive invalidates all other private copies of line and
+// returns the added cycle cost.
+func (h *Hierarchy) ensureExclusive(core int, line uint64) int {
+	e := h.entry(line)
+	others := e.owners &^ (1 << uint(core))
+	if others == 0 {
+		e.dirty = int8(core)
+		return 0
+	}
+	cost := 0
+	for c := 0; c < h.cfg.Cores; c++ {
+		if others&(1<<uint(c)) == 0 {
+			continue
+		}
+		p1, d1 := h.l1[c].invalidate(line)
+		p2, d2 := h.l2[c].invalidate(line)
+		if p1 || p2 {
+			h.stats.Invalidations++
+			cost += h.cfg.TransferLatencyCycles / 2
+			if d1 || d2 {
+				// Their dirty data reaches us through L3.
+				if w := h.l3.lookup(line); w != nil {
+					w.dirty = true
+				}
+			}
+		}
+		e.owners &^= 1 << uint(c)
+	}
+	e.owners |= 1 << uint(core)
+	e.dirty = int8(core)
+	return cost
+}
+
+// writebackPrivate flushes line out of core's private caches into L3.
+func (h *Hierarchy) writebackPrivate(core int8, line uint64) {
+	h.l1[core].invalidate(line)
+	h.l2[core].invalidate(line)
+	e := h.entry(line)
+	e.owners &^= 1 << uint(core)
+}
+
+// fillL1 inserts line into core's L1, handling the victim.
+func (h *Hierarchy) fillL1(core int, line uint64, dirty bool) {
+	if h.l1[core].lookup(line) != nil {
+		return
+	}
+	ev := h.l1[core].insert(line, dirty)
+	if ev.valid && ev.dirty {
+		// Dirty victim falls into L2.
+		if w := h.l2[core].lookup(ev.tag); w != nil {
+			w.dirty = true
+		} else {
+			h.fillL2(core, ev.tag, true)
+		}
+	}
+	if ev.valid {
+		h.noteEviction(core, ev.tag)
+	}
+}
+
+// fillL2 inserts line into core's L2, handling the victim.
+func (h *Hierarchy) fillL2(core int, line uint64, dirty bool) {
+	if w := h.l2[core].lookup(line); w != nil {
+		w.dirty = w.dirty || dirty
+		return
+	}
+	ev := h.l2[core].insert(line, dirty)
+	if ev.valid {
+		if ev.dirty {
+			if w := h.l3.lookup(ev.tag); w != nil {
+				w.dirty = true
+			} else {
+				h.insertL3(ev.tag, true)
+			}
+		}
+		// The line may still be in L1 (non-inclusive victim): evict it
+		// too to keep the model simple (mostly-inclusive hierarchy).
+		h.l1[core].invalidate(ev.tag)
+		h.noteEviction(core, ev.tag)
+	}
+}
+
+// insertL3 inserts line into the shared L3, back-invalidating private
+// copies of the victim (inclusive L3).
+func (h *Hierarchy) insertL3(line uint64, dirty bool) {
+	ev := h.l3.insert(line, dirty)
+	if !ev.valid {
+		return
+	}
+	if e := h.dir[ev.tag]; e != nil {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if e.owners&(1<<uint(c)) == 0 {
+				continue
+			}
+			_, d1 := h.l1[c].invalidate(ev.tag)
+			_, d2 := h.l2[c].invalidate(ev.tag)
+			if d1 || d2 {
+				ev.dirty = true
+			}
+			h.stats.Invalidations++
+		}
+		delete(h.dir, ev.tag)
+	}
+	if ev.dirty {
+		h.stats.Writebacks++
+	}
+}
+
+// noteEviction clears core's directory bit once the line has left both
+// of its private levels.
+func (h *Hierarchy) noteEviction(core int, line uint64) {
+	if h.l1[core].lookup(line) != nil || h.l2[core].lookup(line) != nil {
+		return
+	}
+	if e := h.dir[line]; e != nil {
+		e.owners &^= 1 << uint(core)
+		if e.dirty == int8(core) {
+			e.dirty = -1
+		}
+		if e.owners == 0 && h.l3.lookup(line) == nil {
+			delete(h.dir, line)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() Config {
+	return Config{
+		LineSize:              64,
+		Cores:                 2,
+		L1D:                   LevelConfig{SizeBytes: 1 << 10, Assoc: 2, LatencyCycles: 4},
+		L2:                    LevelConfig{SizeBytes: 4 << 10, Assoc: 4, LatencyCycles: 12},
+		L3:                    LevelConfig{SizeBytes: 16 << 10, Assoc: 4, LatencyCycles: 40},
+		MemLatencyCycles:      200,
+		TransferLatencyCycles: 60,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := tiny()
+	bad.Cores = 0
+	if _, err := New(bad); err == nil {
+		t.Error("0 cores accepted")
+	}
+	bad = tiny()
+	bad.LineSize = 48
+	if _, err := New(bad); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	bad = tiny()
+	bad.L1D.SizeBytes = 100 // 100/(64*2) -> 0 sets
+	if _, err := New(bad); err == nil {
+		t.Error("degenerate L1 accepted")
+	}
+	if _, err := New(SkylakeConfig()); err != nil {
+		t.Errorf("SkylakeConfig rejected: %v", err)
+	}
+}
+
+func TestColdMissThenHits(t *testing.T) {
+	h, err := New(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, cyc := h.Access(0, 0x1000, false)
+	if lvl != Memory || cyc < 200 {
+		t.Fatalf("cold access: %v, %d cycles", lvl, cyc)
+	}
+	lvl, cyc = h.Access(0, 0x1000, false)
+	if lvl != L1 || cyc != 4 {
+		t.Fatalf("warm access: %v, %d cycles", lvl, cyc)
+	}
+	// Another address in the same line also hits.
+	if lvl, _ = h.Access(0, 0x1030, false); lvl != L1 {
+		t.Fatalf("same-line access: %v", lvl)
+	}
+	st := h.Stats()
+	if st.Accesses != 3 || st.L1Hits != 2 || st.MemFills != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	h, _ := New(tiny())
+	// L1: 1 KiB / 64B / 2-way = 8 sets. Touch 3 lines in the same set
+	// (stride 8*64=512) to overflow a 2-way set.
+	h.Access(0, 0, false)
+	h.Access(0, 512, false)
+	h.Access(0, 1024, false) // evicts line 0 from L1
+	lvl, _ := h.Access(0, 0, false)
+	if lvl != L2 {
+		t.Fatalf("evicted line came from %v, want L2", lvl)
+	}
+}
+
+func TestCoherenceReadAfterRemoteWrite(t *testing.T) {
+	h, _ := New(tiny())
+	h.Access(0, 0x2000, true) // core 0 writes (Modified)
+	lvl, cyc := h.Access(1, 0x2000, false)
+	if lvl == L1 || lvl == L2 {
+		t.Fatalf("remote dirty line hit locally: %v", lvl)
+	}
+	if cyc < tiny().TransferLatencyCycles {
+		t.Fatalf("no transfer cost: %d", cyc)
+	}
+	if st := h.Stats(); st.Transfers != 1 {
+		t.Fatalf("transfers = %d, want 1", st.Transfers)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	h, _ := New(tiny())
+	h.Access(0, 0x3000, false) // both cores share the line
+	h.Access(1, 0x3000, false)
+	h.Access(0, 0x3000, true) // core 0 upgrades to Modified
+	if st := h.Stats(); st.Invalidations == 0 {
+		t.Fatal("no invalidation recorded")
+	}
+	// Core 1 must now miss privately.
+	lvl, _ := h.Access(1, 0x3000, false)
+	if lvl == L1 || lvl == L2 {
+		t.Fatalf("stale copy survived invalidation: %v", lvl)
+	}
+}
+
+func TestPingPongGeneratesTransfers(t *testing.T) {
+	h, _ := New(tiny())
+	for i := 0; i < 100; i++ {
+		h.Access(0, 0x4000, true)
+		h.Access(1, 0x4000, true)
+	}
+	st := h.Stats()
+	if st.Transfers < 50 {
+		t.Fatalf("ping-pong transfers = %d, want many", st.Transfers)
+	}
+}
+
+func TestWorkingSetBeyondL3SpillsToMemory(t *testing.T) {
+	h, _ := New(tiny()) // L3 = 16 KiB = 256 lines
+	lines := 1024       // 64 KiB working set
+	// Two passes: the second still misses to memory because the set
+	// does not fit.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			h.Access(0, uint64(i)*64, false)
+		}
+	}
+	st := h.Stats()
+	if st.L3Ratio() > 0.5 {
+		t.Fatalf("L3 ratio %.2f for a working set 4x L3", st.L3Ratio())
+	}
+	// And a small working set stays cached (8 lines = 512 B fits the
+	// 1 KiB L1 with one line per set).
+	h2, _ := New(tiny())
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 8; i++ {
+			h2.Access(0, uint64(i)*64, false)
+		}
+	}
+	if r := h2.Stats().L1Ratio(); r < 0.8 {
+		t.Fatalf("L1 ratio %.2f for a tiny working set", r)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h, _ := New(tiny())
+	h.Access(0, 0, false)
+	h.ResetStats()
+	if st := h.Stats(); st.Accesses != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+	// Cache content is preserved: next access is a hit.
+	if lvl, _ := h.Access(0, 0, false); lvl != L1 {
+		t.Fatalf("warm line lost on ResetStats: %v", lvl)
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	s := Stats{Accesses: 100, L1Hits: 50, L2Hits: 25, L3Hits: 20, MemFills: 5, Writebacks: 3}
+	if s.L1Ratio() != 0.5 {
+		t.Error("L1Ratio")
+	}
+	if s.L2Ratio() != 0.5 {
+		t.Error("L2Ratio")
+	}
+	if s.L3Ratio() != 0.8 {
+		t.Error("L3Ratio")
+	}
+	if s.MemBytes() != 8*64 {
+		t.Error("MemBytes")
+	}
+	var zero Stats
+	if zero.L1Ratio() != 0 || zero.L2Ratio() != 0 || zero.L3Ratio() != 0 {
+		t.Error("zero-stats ratios should be 0")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{L1: "L1", L2: "L2", L3: "L3", Memory: "mem"} {
+		if lvl.String() != want {
+			t.Errorf("%d: %q", lvl, lvl.String())
+		}
+	}
+}
+
+// Property: accesses always return a sane level and non-negative cost,
+// and per-level hit counters never exceed total accesses.
+func TestAccessInvariantsProperty(t *testing.T) {
+	h, _ := New(tiny())
+	f := func(core bool, addr uint32, write bool) bool {
+		c := 0
+		if core {
+			c = 1
+		}
+		lvl, cyc := h.Access(c, uint64(addr), write)
+		if cyc < 0 || lvl > Memory {
+			return false
+		}
+		st := h.Stats()
+		return st.L1Hits+st.L2Hits+st.L3Hits+st.MemFills <= st.Accesses+st.Transfers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The streaming prefetcher must turn a sequential scan into L2 hits
+// (after the first two misses establish the stream).
+func TestPrefetcherSequentialScan(t *testing.T) {
+	cfg := tiny()
+	cfg.PrefetchDepth = 2
+	h, _ := New(cfg)
+	hits := 0
+	for i := 0; i < 64; i++ {
+		lvl, _ := h.Access(0, uint64(i)*64, false)
+		if lvl == L2 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("sequential scan produced no prefetched L2 hits")
+	}
+	if h.Stats().Prefetches == 0 {
+		t.Fatal("prefetch counter did not advance")
+	}
+	// Disabled prefetcher: no L2 hits on a cold sequential scan.
+	cfg.PrefetchDepth = 0
+	h2, _ := New(cfg)
+	for i := 0; i < 64; i++ {
+		if lvl, _ := h2.Access(0, uint64(i)*64, false); lvl == L2 {
+			t.Fatal("L2 hit with prefetcher disabled on a cold scan")
+		}
+	}
+}
+
+// Random access must not trigger the streamer.
+func TestPrefetcherIgnoresRandomAccess(t *testing.T) {
+	cfg := tiny()
+	cfg.PrefetchDepth = 4
+	h, _ := New(cfg)
+	x := uint64(12345)
+	for i := 0; i < 200; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		h.Access(0, (x%4096)*64*3, false)
+	}
+	st := h.Stats()
+	if st.Prefetches > st.Accesses/4 {
+		t.Fatalf("random access triggered %d prefetches over %d accesses", st.Prefetches, st.Accesses)
+	}
+}
+
+func TestServerConfigs(t *testing.T) {
+	for _, name := range []string{"skylake", "haswell", "p8"} {
+		cfg, err := ServerConfig(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := New(cfg); err != nil {
+			t.Errorf("%s: hierarchy rejected: %v", name, err)
+		}
+	}
+	if _, err := ServerConfig("vax"); err == nil {
+		t.Error("unknown server accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package ccqueue implements the CC-Queue of Fatourou & Kallimanis
+// [PPoPP'12]: the two-lock Michael & Scott queue with each lock
+// replaced by CC-Synch combining. Threads announce operations in a
+// swap-built list; the thread at the head becomes the combiner and
+// executes a whole batch of pending operations sequentially, turning
+// n contended CAS storms into one cache-friendly sweep.
+//
+// This is the "ccqueue" baseline of the paper's Figure 8: fastest in
+// sequential runs (the combiner reuses the same nodes and takes no
+// misses without contention), degrading as threads multiply.
+package ccqueue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// combineLimit bounds how many pending operations one combiner serves
+// before handing the role over (H in the CC-Synch paper).
+const combineLimit = 64
+
+// ccNode is one announcement slot in a CC-Synch list. ret and
+// completed are plain fields: the combiner writes them before its
+// releasing wait.Store(false), and the poster reads them only after
+// observing wait == false.
+type ccNode struct {
+	arg       uint64
+	ret       uint64
+	retOK     bool
+	completed bool
+	wait      atomic.Bool
+	next      atomic.Pointer[ccNode]
+	_         [24]byte // keep hot nodes off each other's lines
+}
+
+// ccSynch is one combining instance protecting one sequential
+// operation (enqueue side or dequeue side).
+type ccSynch struct {
+	tail atomic.Pointer[ccNode]
+}
+
+func newCCSynch() *ccSynch {
+	s := &ccSynch{}
+	dummy := &ccNode{}
+	s.tail.Store(dummy)
+	return s
+}
+
+// apply posts op's argument and blocks until some combiner (possibly
+// this thread) has executed it against the sequential state. myNode is
+// the caller's reusable announcement node; apply returns the node the
+// caller must use next time (CC-Synch recycles the predecessor node).
+func (s *ccSynch) apply(myNode *ccNode, arg uint64, exec func(arg uint64) (uint64, bool)) (ret uint64, ok bool, nextNode *ccNode) {
+	next := myNode
+	next.next.Store(nil)
+	next.wait.Store(true)
+	next.completed = false
+
+	cur := s.tail.Swap(next)
+	cur.arg = arg
+	cur.next.Store(next) // publishes arg to the combiner
+
+	spins := 0
+	for cur.wait.Load() {
+		spins++
+		ccBackoff(spins)
+	}
+	if cur.completed {
+		return cur.ret, cur.retOK, cur
+	}
+	// This thread is the combiner: serve every announced request (a
+	// node with a non-nil link has its arg posted), up to the limit.
+	tmp := cur
+	for served := 0; ; served++ {
+		nxt := tmp.next.Load()
+		if nxt == nil || served >= combineLimit {
+			break
+		}
+		tmp.ret, tmp.retOK = exec(tmp.arg)
+		tmp.completed = true
+		tmp.wait.Store(false)
+		tmp = nxt
+	}
+	// tmp is either the open tail node (its future owner starts as
+	// combiner immediately) or a posted request past the combining
+	// limit (its owner takes over the combiner role).
+	tmp.wait.Store(false)
+	return cur.ret, cur.retOK, cur
+}
+
+func ccBackoff(spins int) {
+	if spins%128 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// seqNode is a node of the sequential linked-list queue underneath.
+// next is atomic because, exactly as in the two-lock Michael & Scott
+// queue this design descends from, the enqueue combiner writes the
+// last node's link while the dequeue combiner may be reading it (they
+// meet on the dummy node when the queue is empty).
+type seqNode struct {
+	value uint64
+	next  atomic.Pointer[seqNode]
+}
+
+// Queue is the combining FIFO queue.
+type Queue struct {
+	enqSide *ccSynch
+	deqSide *ccSynch
+	_       [64]byte
+	head    *seqNode // owned by the dequeue combiner
+	_       [64]byte
+	tail    *seqNode // owned by the enqueue combiner
+	_       [64]byte
+	// pool recycles retired list nodes from the dequeue combiner back
+	// to the enqueue combiner. The C original's sequential benchmark
+	// advantage (the paper: "it reuses the same node for every
+	// enqueue/dequeue pair") depends on nodes not being reallocated;
+	// without this the Go port pays an allocation per enqueue.
+	pool sync.Pool
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	dummy := &seqNode{}
+	q := &Queue{
+		enqSide: newCCSynch(),
+		deqSide: newCCSynch(),
+		head:    dummy,
+		tail:    dummy,
+	}
+	q.pool.New = func() any { return new(seqNode) }
+	return q
+}
+
+// Handle is a per-goroutine registration carrying the caller's
+// reusable combining nodes.
+type Handle struct {
+	q       *Queue
+	enqNode *ccNode
+	deqNode *ccNode
+}
+
+// Register returns a handle for the calling goroutine. Each goroutine
+// must use its own handle.
+func (q *Queue) Register() *Handle {
+	return &Handle{q: q, enqNode: &ccNode{}, deqNode: &ccNode{}}
+}
+
+// Enqueue inserts v at the tail.
+func (h *Handle) Enqueue(v uint64) {
+	_, _, h.enqNode = h.q.enqSide.apply(h.enqNode, v, h.q.seqEnqueue)
+}
+
+// Dequeue removes the item at the head; ok=false if the queue was
+// observed empty.
+func (h *Handle) Dequeue() (uint64, bool) {
+	v, ok, n := h.q.deqSide.apply(h.deqNode, 0, func(uint64) (uint64, bool) { return h.q.seqDequeue() })
+	h.deqNode = n
+	return v, ok
+}
+
+// seqEnqueue runs under the enqueue combiner only. The value is
+// written before the atomic link store, so the dequeue combiner that
+// observes the link also observes the value.
+func (q *Queue) seqEnqueue(v uint64) (uint64, bool) {
+	n := q.pool.Get().(*seqNode)
+	n.value = v
+	n.next.Store(nil)
+	q.tail.next.Store(n)
+	q.tail = n
+	return 0, true
+}
+
+// seqDequeue runs under the dequeue combiner only.
+func (q *Queue) seqDequeue() (uint64, bool) {
+	next := q.head.next.Load()
+	if next == nil {
+		return 0, false
+	}
+	v := next.value
+	old := q.head
+	q.head = next
+	// old is unreachable from the list now; recycle it. (next's value
+	// was copied out above, so the node can be reused immediately.)
+	q.pool.Put(old)
+	return v, true
+}

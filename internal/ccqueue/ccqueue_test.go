@@ -1,0 +1,85 @@
+package ccqueue_test
+
+import (
+	"sync"
+	"testing"
+
+	"ffq/internal/ccqueue"
+	"ffq/internal/queue"
+	"ffq/internal/queuetest"
+)
+
+type adapter struct{ q *ccqueue.Queue }
+
+func (a adapter) Register() queue.Queue { return a.q.Register() }
+
+func factory() queue.Factory {
+	return queue.Factory{
+		Name: "ccqueue",
+		New: func(_, _ int) queue.Shared {
+			return adapter{ccqueue.New()}
+		},
+	}
+}
+
+func TestSequential(t *testing.T) {
+	queuetest.Sequential(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestEmpty(t *testing.T) {
+	queuetest.EmptyBehaviour(t, factory())
+}
+
+func TestConcurrent(t *testing.T) {
+	queuetest.Concurrent(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestManyThreadsCombining(t *testing.T) {
+	// More threads than the combining limit, all hammering both sides,
+	// so combiner handoff paths are exercised.
+	q := ccqueue.New()
+	const threads = 8
+	const perThread = 5000
+	var wg sync.WaitGroup
+	sums := make([]uint64, threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := q.Register()
+			var sum uint64
+			for j := 0; j < perThread; j++ {
+				h.Enqueue(uint64(j + 1))
+				v, ok := h.Dequeue()
+				for !ok {
+					v, ok = h.Dequeue()
+				}
+				sum += v
+			}
+			sums[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range sums {
+		total += s
+	}
+	want := uint64(threads) * uint64(perThread) * uint64(perThread+1) / 2
+	if total != want {
+		t.Fatalf("sum of dequeued values = %d, want %d", total, want)
+	}
+}
+
+func TestHandlePerGoroutine(t *testing.T) {
+	q := ccqueue.New()
+	h1 := q.Register()
+	h2 := q.Register()
+	h1.Enqueue(1)
+	h2.Enqueue(2)
+	if v, ok := h2.Dequeue(); !ok || v != 1 {
+		t.Fatalf("got %d,%v want 1", v, ok)
+	}
+	if v, ok := h1.Dequeue(); !ok || v != 2 {
+		t.Fatalf("got %d,%v want 2", v, ok)
+	}
+}

@@ -1,0 +1,42 @@
+// Package chanq wraps a buffered Go channel in the module's common
+// queue interface. It is not a baseline from the paper; it is included
+// because a Go reader's first question about any Go queue library is
+// "how does it compare to a channel?".
+package chanq
+
+// Queue is a bounded MPMC FIFO queue backed by a buffered channel.
+type Queue struct {
+	ch chan uint64
+}
+
+// New returns a queue with the given capacity.
+func New(capacity int) *Queue {
+	return &Queue{ch: make(chan uint64, capacity)}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return cap(q.ch) }
+
+// Enqueue inserts v, blocking while the queue is full.
+func (q *Queue) Enqueue(v uint64) { q.ch <- v }
+
+// TryEnqueue inserts v, reporting false if the queue is full.
+func (q *Queue) TryEnqueue(v uint64) bool {
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Dequeue removes the head item; ok=false if the queue was observed
+// empty.
+func (q *Queue) Dequeue() (uint64, bool) {
+	select {
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

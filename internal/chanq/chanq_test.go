@@ -1,0 +1,43 @@
+package chanq_test
+
+import (
+	"testing"
+
+	"ffq/internal/chanq"
+	"ffq/internal/queue"
+	"ffq/internal/queuetest"
+)
+
+func factory() queue.Factory {
+	return queue.Factory{
+		Name: "chan",
+		New: func(capacity, _ int) queue.Shared {
+			return queue.SelfRegistering{Q: chanq.New(capacity)}
+		},
+	}
+}
+
+func TestSequential(t *testing.T) {
+	queuetest.Sequential(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestEmpty(t *testing.T) {
+	queuetest.EmptyBehaviour(t, factory())
+}
+
+func TestConcurrent(t *testing.T) {
+	queuetest.Concurrent(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestCapAndTryEnqueue(t *testing.T) {
+	q := chanq.New(2)
+	if q.Cap() != 2 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	if !q.TryEnqueue(1) || !q.TryEnqueue(2) {
+		t.Fatal("TryEnqueue failed below capacity")
+	}
+	if q.TryEnqueue(3) {
+		t.Fatal("TryEnqueue succeeded on full queue")
+	}
+}

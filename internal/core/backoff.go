@@ -1,0 +1,38 @@
+package core
+
+import "runtime"
+
+// backoffYieldThreshold is the number of failed polls after which a
+// spinning thread starts yielding its processor to the Go scheduler.
+// Below the threshold the thread busy-waits, which matches the paper's
+// "back off and wait for a few nanoseconds" (Algorithm 1, line 32);
+// above it the thread is likely waiting on a descheduled peer, and
+// yielding lets that peer run. On a uniprocessor spinning can never
+// help — the peer needs this CPU — so the threshold drops to 1, the
+// same reasoning the Go runtime applies to mutex spinning.
+var backoffYieldThreshold = func() int {
+	if runtime.NumCPU() > 1 {
+		return 64
+	}
+	return 1
+}()
+
+// backoff delays a spinning thread. spins counts consecutive failed
+// polls of the same cell.
+func backoff(spins int) {
+	if spins < backoffYieldThreshold {
+		cpuRelax()
+		return
+	}
+	runtime.Gosched()
+}
+
+// cpuRelax burns a few cycles without touching shared memory. Go does
+// not expose a PAUSE intrinsic; the gc compiler does not eliminate
+// counted empty loops, so this stands in for it.
+//
+//go:noinline
+func cpuRelax() {
+	for i := 0; i < 32; i++ {
+	}
+}

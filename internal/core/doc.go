@@ -1,0 +1,49 @@
+// Package core implements the FFQ family of concurrent FIFO queues from
+//
+//	S. Arnautov, C. Fetzer, B. Trach, P. Felber:
+//	"FFQ: A Fast Single-Producer/Multiple-Consumer Concurrent FIFO Queue",
+//	IPDPS 2017.
+//
+// Three variants are provided:
+//
+//   - SPSC: single producer, single consumer. The head counter is owned
+//     by the one consumer, so dequeue needs no atomic read-modify-write.
+//   - SPMC (the paper's FFQ^s, Algorithm 1): single producer, multiple
+//     consumers. Enqueue is wait-free while the queue is not full;
+//     dequeue is lock-free while the queue is not empty.
+//   - MPMC (the paper's FFQ^m, Algorithm 2): multiple producers and
+//     consumers. The paper's 128-bit double-compare-and-set over the
+//     adjacent (rank, gap) cell fields is emulated here by packing both
+//     fields, as 32-bit lap numbers, into a single 64-bit word that is
+//     updated with CompareAndSwapUint64 (see mpmc.go).
+//
+// # Ranks, gaps and cells
+//
+// A queue of capacity N is a circular array of cells. The head and tail
+// counters are monotonically increasing ranks; the item with rank k
+// lives in cell (k mod N). A cell stores the rank of the item it holds
+// (or -1 when free) and a gap announcement: when the producer finds the
+// tail cell still occupied by a slow consumer, it skips that rank and
+// records it in the cell's gap field so consumers know to move on.
+//
+// # Memory layout options
+//
+// Section IV-A of the paper evaluates four cell layouts; all four are
+// supported through the Layout constructor option:
+//
+//   - LayoutCompact: cells are packed back to back.
+//   - LayoutPadded: a stride keeps any two logical cells on distinct
+//     cache lines ("dedicated cache lines" in the paper).
+//   - LayoutRandomized: the low index bits are rotated by 4, placing
+//     consecutive ranks 16 slots apart ("address randomization").
+//   - LayoutPaddedRandomized: both of the above.
+//
+// # Memory model
+//
+// The reference C implementation orders the data and rank stores with
+// release/acquire fences. Go's sync/atomic operations are sequentially
+// consistent, which is strictly stronger, so the data field itself can
+// be a plain (non-atomic) field: it is only ever accessed by the thread
+// that owns the cell between the publishing rank store and the consuming
+// rank reset. All queues in this package are race-detector clean.
+package core

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzSPSCModel drives an SPSC queue with an arbitrary single-threaded
+// op tape and cross-checks every result against a slice model. Byte
+// semantics: low 2 bits select the op (0,1 = TryEnqueue, 2 =
+// TryDequeue, 3 = blocking-enqueue-with-room-check skipped to keep the
+// tape total), remaining bits feed the capacity choice on byte 0.
+func FuzzSPSCModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 2, 2})
+	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 2, 2, 2, 2})
+	f.Add([]byte{255, 0, 2, 0, 2, 0, 2, 0, 2, 0, 2})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) == 0 {
+			return
+		}
+		capacities := []int{2, 4, 16, 64}
+		capacity := capacities[int(tape[0])%len(capacities)]
+		layout := Layouts[int(tape[0]>>4)%len(Layouts)]
+		q, err := NewSPSC[uint64](capacity, WithLayout(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []uint64
+		next := uint64(1)
+		for _, b := range tape[1:] {
+			switch b % 4 {
+			case 0, 1, 3:
+				if q.TryEnqueue(next) {
+					model = append(model, next)
+				} else if len(model) < capacity {
+					t.Fatalf("cap=%d layout=%v: full with %d/%d items", capacity, layout, len(model), capacity)
+				}
+				next++
+			case 2:
+				v, ok := q.TryDequeue()
+				if ok {
+					if len(model) == 0 {
+						t.Fatalf("cap=%d layout=%v: phantom item %d", capacity, layout, v)
+					}
+					if model[0] != v {
+						t.Fatalf("cap=%d layout=%v: got %d, want %d", capacity, layout, v, model[0])
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					t.Fatalf("cap=%d layout=%v: empty with %d items in model", capacity, layout, len(model))
+				}
+			}
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("cap=%d layout=%v: Len=%d model=%d", capacity, layout, q.Len(), len(model))
+		}
+	})
+}
+
+// FuzzMPMCSequentialModel does the same single-threaded cross-check
+// against the MPMC variant (whose packed-word state machine has more
+// transitions to get wrong). Only blocking ops exist on MPMC, so the
+// tape is balanced: a dequeue is only issued when the model is
+// non-empty, an enqueue only below capacity.
+func FuzzMPMCSequentialModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1})
+	f.Add([]byte{3, 0, 0, 0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) == 0 {
+			return
+		}
+		capacities := []int{2, 4, 16}
+		capacity := capacities[int(tape[0])%len(capacities)]
+		q, err := NewMPMC[uint64](capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []uint64
+		next := uint64(1)
+		for _, b := range tape[1:] {
+			if b%2 == 0 {
+				if len(model) >= capacity {
+					continue // full: a blocking enqueue would spin
+				}
+				q.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				if len(model) == 0 {
+					continue // empty: a blocking dequeue would spin
+				}
+				v, ok := q.Dequeue()
+				if !ok || v != model[0] {
+					t.Fatalf("cap=%d: got %d,%v want %d", capacity, v, ok, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("cap=%d: Len=%d model=%d", capacity, q.Len(), len(model))
+		}
+	})
+}

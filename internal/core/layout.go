@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CacheLineSize is the coherence granularity assumed by the padded
+// layouts. 64 bytes matches every x86-64 and POWER8 part the paper
+// evaluates on (POWER8 lines are 128 bytes; padding to 64 still keeps
+// logical cells from sharing a 64-byte sector, which is what matters
+// for the false-sharing experiments here).
+const CacheLineSize = 64
+
+// rotBits is the index rotation amount used by the randomized layouts.
+// The paper rotates the index bits by 4, "effectively placing two
+// consecutive cells 16 positions apart in memory" (Section IV-A).
+const rotBits = 4
+
+// Layout selects how logical cells are placed in memory. It reproduces
+// the four configurations of the paper's false-sharing study (Fig. 2).
+type Layout uint8
+
+const (
+	// LayoutCompact packs cells back to back ("not aligned").
+	LayoutCompact Layout = iota
+	// LayoutPadded gives every logical cell its own cache line
+	// ("aligned" / dedicated cache lines).
+	LayoutPadded
+	// LayoutRandomized keeps cells compact but rotates the low index
+	// bits by 4 so that consecutive ranks map to cells 16 slots apart
+	// ("randomized").
+	LayoutRandomized
+	// LayoutPaddedRandomized combines padding and randomization
+	// ("both").
+	LayoutPaddedRandomized
+)
+
+// Layouts lists all supported layouts in the order the paper's Figure 2
+// presents them.
+var Layouts = []Layout{LayoutCompact, LayoutPadded, LayoutRandomized, LayoutPaddedRandomized}
+
+// String returns the paper's name for the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutCompact:
+		return "not-aligned"
+	case LayoutPadded:
+		return "aligned"
+	case LayoutRandomized:
+		return "randomized"
+	case LayoutPaddedRandomized:
+		return "both"
+	default:
+		return fmt.Sprintf("Layout(%d)", uint8(l))
+	}
+}
+
+func (l Layout) padded() bool {
+	return l == LayoutPadded || l == LayoutPaddedRandomized
+}
+
+func (l Layout) randomized() bool {
+	return l == LayoutRandomized || l == LayoutPaddedRandomized
+}
+
+// indexer maps a rank to the physical slot index of its cell. The
+// logical index is rank mod N; the physical index applies the optional
+// bit rotation and padding stride on top. All operations are branch-
+// predictable shifts and masks so the hot paths stay cheap.
+type indexer struct {
+	mask   uint64 // N - 1
+	logN   uint   // log2(N)
+	rot    uint   // rotation amount (0 = no randomization)
+	stride uint64 // physical slots per logical cell (1 = compact)
+}
+
+// newIndexer validates capacity and builds the rank-to-slot mapping.
+// cellSize is the in-memory size of one cell, used to compute the
+// padding stride so that no two logical cells share a cache line.
+func newIndexer(capacity int, layout Layout, cellSize uintptr) (indexer, error) {
+	if capacity < 2 {
+		return indexer{}, fmt.Errorf("ffq: capacity %d too small (minimum 2)", capacity)
+	}
+	if capacity&(capacity-1) != 0 {
+		return indexer{}, fmt.Errorf("ffq: capacity %d is not a power of two", capacity)
+	}
+	if capacity > 1<<30 {
+		return indexer{}, fmt.Errorf("ffq: capacity %d exceeds the 2^30 maximum", capacity)
+	}
+	ix := indexer{
+		mask:   uint64(capacity - 1),
+		logN:   uint(bits.TrailingZeros64(uint64(capacity))),
+		stride: 1,
+	}
+	if layout.randomized() && ix.logN > rotBits {
+		ix.rot = rotBits
+	}
+	if layout.padded() {
+		// Two cells with start-to-start distance D and size s can share
+		// an aligned cache line iff D < CacheLineSize + s (a line can
+		// start after the first cell's head and still reach past the
+		// second cell's start). Go gives no alignment guarantee for the
+		// backing array, so the stride must satisfy the inequality for
+		// any base offset: stride*s >= CacheLineSize + s.
+		ix.stride = uint64((CacheLineSize+cellSize-1)/cellSize) + 1
+	}
+	return ix, nil
+}
+
+// slots returns the number of physical cell slots to allocate.
+func (ix indexer) slots() int {
+	return int((ix.mask + 1) * ix.stride)
+}
+
+// capacity returns the logical capacity N.
+func (ix indexer) capacity() int {
+	return int(ix.mask + 1)
+}
+
+// phys maps a rank to its physical slot index.
+func (ix indexer) phys(rank int64) uint64 {
+	i := uint64(rank) & ix.mask
+	if ix.rot != 0 {
+		i = ((i << ix.rot) | (i >> (ix.logN - ix.rot))) & ix.mask
+	}
+	return i * ix.stride
+}

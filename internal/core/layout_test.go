@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutString(t *testing.T) {
+	want := map[Layout]string{
+		LayoutCompact:          "not-aligned",
+		LayoutPadded:           "aligned",
+		LayoutRandomized:       "randomized",
+		LayoutPaddedRandomized: "both",
+		Layout(200):            "Layout(200)",
+	}
+	for l, s := range want {
+		if got := l.String(); got != s {
+			t.Errorf("Layout(%d).String() = %q, want %q", l, got, s)
+		}
+	}
+}
+
+func TestLayoutPredicates(t *testing.T) {
+	cases := []struct {
+		l            Layout
+		padded, rand bool
+	}{
+		{LayoutCompact, false, false},
+		{LayoutPadded, true, false},
+		{LayoutRandomized, false, true},
+		{LayoutPaddedRandomized, true, true},
+	}
+	for _, c := range cases {
+		if c.l.padded() != c.padded || c.l.randomized() != c.rand {
+			t.Errorf("%v: padded=%v randomized=%v, want %v/%v",
+				c.l, c.l.padded(), c.l.randomized(), c.padded, c.rand)
+		}
+	}
+}
+
+func TestNewIndexerErrors(t *testing.T) {
+	for _, capacity := range []int{-1, 0, 1, 3, 5, 6, 7, 100, 1<<30 + 1, 1 << 31} {
+		if _, err := newIndexer(capacity, LayoutCompact, 24); err == nil {
+			t.Errorf("newIndexer(%d) succeeded, want error", capacity)
+		}
+	}
+	for _, capacity := range []int{2, 4, 8, 64, 1024, 1 << 20, 1 << 30} {
+		if _, err := newIndexer(capacity, LayoutCompact, 24); err != nil {
+			t.Errorf("newIndexer(%d): %v", capacity, err)
+		}
+	}
+}
+
+func TestIndexerStride(t *testing.T) {
+	cases := []struct {
+		layout   Layout
+		cellSize uintptr
+		stride   uint64
+	}{
+		{LayoutCompact, 24, 1},
+		{LayoutRandomized, 24, 1},
+		{LayoutPadded, 24, 4},  // 4*24 = 96 >= 64+24: base-independent
+		{LayoutPadded, 16, 5},  // 5*16 = 80 >= 64+16
+		{LayoutPadded, 64, 2},  // 128 >= 64+64
+		{LayoutPadded, 128, 2}, // 256 >= 64+128
+		{LayoutPaddedRandomized, 24, 4},
+	}
+	for _, c := range cases {
+		ix, err := newIndexer(64, c.layout, c.cellSize)
+		if err != nil {
+			t.Fatalf("newIndexer: %v", err)
+		}
+		if ix.stride != c.stride {
+			t.Errorf("%v cellSize=%d: stride=%d, want %d", c.layout, c.cellSize, ix.stride, c.stride)
+		}
+		if got := ix.slots(); got != 64*int(c.stride) {
+			t.Errorf("%v cellSize=%d: slots=%d, want %d", c.layout, c.cellSize, got, 64*int(c.stride))
+		}
+		if ix.capacity() != 64 {
+			t.Errorf("capacity = %d, want 64", ix.capacity())
+		}
+	}
+}
+
+// Padded layouts must never place two distinct logical cells on the
+// same cache line, regardless of how the allocator aligned the array.
+func TestIndexerPaddingSeparation(t *testing.T) {
+	const cellSize = 24
+	for _, layout := range []Layout{LayoutPadded, LayoutPaddedRandomized} {
+		ix, err := newIndexer(256, layout, cellSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range []uint64{0, 8, 16, 40, 56} { // any 8-aligned base
+			lines := make(map[uint64]int64)
+			for r := int64(0); r < 256; r++ {
+				byteOff := base + ix.phys(r)*cellSize
+				first := byteOff / CacheLineSize
+				last := (byteOff + cellSize - 1) / CacheLineSize
+				for line := first; line <= last; line++ {
+					if prev, dup := lines[line]; dup {
+						t.Fatalf("%v base=%d: ranks %d and %d share cache line %d",
+							layout, base, prev, r, line)
+					}
+					lines[line] = r
+				}
+			}
+		}
+	}
+}
+
+// The physical mapping must be a bijection over one lap for every
+// layout and capacity: no two ranks within a lap may collide, and every
+// slot group must be hit.
+func TestIndexerBijection(t *testing.T) {
+	for _, layout := range Layouts {
+		for _, capacity := range []int{2, 4, 16, 32, 64, 256, 4096} {
+			ix, err := newIndexer(capacity, layout, 24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[uint64]bool, capacity)
+			for r := int64(0); r < int64(capacity); r++ {
+				p := ix.phys(r)
+				if p >= uint64(ix.slots()) {
+					t.Fatalf("%v cap=%d: phys(%d)=%d out of range %d", layout, capacity, r, p, ix.slots())
+				}
+				if p%ix.stride != 0 {
+					t.Fatalf("%v cap=%d: phys(%d)=%d not stride-aligned", layout, capacity, r, p)
+				}
+				if seen[p] {
+					t.Fatalf("%v cap=%d: phys collision at rank %d (slot %d)", layout, capacity, r, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+// Property: phys is lap-periodic — ranks N apart map to the same slot.
+func TestIndexerLapPeriodicProperty(t *testing.T) {
+	for _, layout := range Layouts {
+		ix, err := newIndexer(1024, layout, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(rank uint32, laps uint8) bool {
+			r := int64(rank)
+			return ix.phys(r) == ix.phys(r+int64(laps)*1024)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", layout, err)
+		}
+	}
+}
+
+// The randomized layout must actually separate consecutive ranks: the
+// paper wants consecutive cells 16 positions apart.
+func TestIndexerRandomizationSeparates(t *testing.T) {
+	ix, err := newIndexer(1024, LayoutRandomized, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < 64; r++ {
+		a, b := ix.phys(r), ix.phys(r+1)
+		d := int64(b) - int64(a)
+		if d < 0 {
+			d = -d
+		}
+		if d < 16 && int64(b) != 0 { // wrap-around steps are fine
+			t.Errorf("ranks %d,%d map to slots %d,%d (distance %d < 16)", r, r+1, a, b, d)
+		}
+	}
+}
+
+// Tiny capacities cannot rotate meaningfully; the randomized layout
+// must degrade to the identity mapping rather than corrupt indexes.
+func TestIndexerRandomizedTinyCapacity(t *testing.T) {
+	for _, capacity := range []int{2, 4, 8, 16} {
+		ix, err := newIndexer(capacity, LayoutRandomized, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.rot != 0 {
+			t.Errorf("cap=%d: rot=%d, want 0", capacity, ix.rot)
+		}
+	}
+	ix, err := newIndexer(32, LayoutRandomized, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.rot != rotBits {
+		t.Errorf("cap=32: rot=%d, want %d", ix.rot, rotBits)
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMPMCPackUnpackProperty(t *testing.T) {
+	f := func(r, g uint32) bool {
+		r2, g2 := mpmcUnpack(mpmcPack(r, g))
+		return r2 == r && g2 == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewMPMCValidation(t *testing.T) {
+	if _, err := NewMPMC[int](7); err == nil {
+		t.Error("non-power-of-two capacity accepted")
+	}
+	q, err := NewMPMC[int](16, WithLayout(LayoutPaddedRandomized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 16 || q.Layout() != LayoutPaddedRandomized {
+		t.Errorf("Cap=%d Layout=%v", q.Cap(), q.Layout())
+	}
+	if q.Len() != 0 || q.Closed() {
+		t.Error("fresh queue not empty/open")
+	}
+}
+
+func TestMPMCLapEncoding(t *testing.T) {
+	q, err := NewMPMC[int](8) // logN = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rank int64
+		lap  uint32
+	}{
+		{0, 1}, {7, 1}, {8, 2}, {15, 2}, {16, 3}, {8 * 1000, 1001},
+	}
+	for _, c := range cases {
+		if got := q.lapOf(c.rank); got != c.lap {
+			t.Errorf("lapOf(%d) = %d, want %d", c.rank, got, c.lap)
+		}
+	}
+}
+
+func TestMPMCLapExhaustionPanics(t *testing.T) {
+	q, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on lap exhaustion")
+		}
+	}()
+	q.lapOf(int64(mpmcMaxLap) * 8)
+}
+
+func TestMPMCSequentialFIFO(t *testing.T) {
+	for _, layout := range Layouts {
+		q, err := NewMPMC[int](16, WithLayout(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 20; round++ { // several laps
+			for i := 0; i < 16; i++ {
+				q.Enqueue(round*16 + i)
+			}
+			for i := 0; i < 16; i++ {
+				v, ok := q.Dequeue()
+				if !ok || v != round*16+i {
+					t.Fatalf("%v: Dequeue = %d,%v, want %d", layout, v, ok, round*16+i)
+				}
+			}
+		}
+	}
+}
+
+func TestMPMCCloseDrains(t *testing.T) {
+	q, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Close()
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 2 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained closed queue returned ok")
+	}
+}
+
+// White-box: a producer must skip a cell still occupied by an older
+// item, and the gap announcement must divert the matching consumer.
+func TestMPMCGapSkip(t *testing.T) {
+	q, err := NewMPMC[string](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"A", "B", "C", "D"} {
+		q.Enqueue(s)
+	}
+	q.head.Store(1) // abandon rank 0 (simulated stalled consumer)
+	for _, want := range []string{"B", "C", "D"} {
+		if v, ok := q.Dequeue(); !ok || v != want {
+			t.Fatalf("got %q,%v want %q", v, ok, want)
+		}
+	}
+	q.Enqueue("E") // rank 4 hits occupied cell 0, gap lap 2 announced; E at rank 5
+	c0 := &q.cells[q.ix.phys(0)]
+	r32, g32 := mpmcUnpack(c0.state.Load())
+	if r32 != 1 { // lap of rank 0, offset by one
+		t.Fatalf("cell 0 rank lap = %d, want 1", r32)
+	}
+	if g32 != 2 { // lap of rank 4, offset by one
+		t.Fatalf("cell 0 gap lap = %d, want 2", g32)
+	}
+	if v, ok := q.Dequeue(); !ok || v != "E" {
+		t.Fatalf("got %q,%v want E", v, ok)
+	}
+	if h := q.head.Load(); h != 6 {
+		t.Fatalf("head = %d, want 6", h)
+	}
+	// Release the stalled cell; the producer can reuse it.
+	c0.state.Store(mpmcPack(mpmcLapFree, g32))
+	q.Enqueue("F")
+	if v, ok := q.Dequeue(); !ok || v != "F" {
+		t.Fatalf("got %q,%v want F", v, ok)
+	}
+}
+
+// White-box: a producer must not enqueue "in the past". If the gap of
+// the cell has been raised at or beyond the producer's rank, the claim
+// must fail and the producer must take a fresh rank (the second race
+// of Section III-B).
+func TestMPMCNoEnqueueInThePast(t *testing.T) {
+	q, err := NewMPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-announce a gap at lap 3 on cell 0 (as if a faster producer
+	// skipped rank 8 there) while the cell is free.
+	c0 := &q.cells[q.ix.phys(0)]
+	c0.state.Store(mpmcPack(mpmcLapFree, 3))
+	// The producer acquiring rank 0 (lap 1) must refuse cell 0 and
+	// retry with rank 1: value 42 must land at rank 1 / cell 1.
+	q.Enqueue(42)
+	if r32, _ := mpmcUnpack(c0.state.Load()); r32 != mpmcLapFree {
+		t.Fatalf("cell 0 was claimed in the past (rank lap %d)", r32)
+	}
+	c1 := &q.cells[q.ix.phys(1)]
+	if r32, _ := mpmcUnpack(c1.state.Load()); r32 != 1 {
+		t.Fatalf("cell 1 rank lap = %d, want 1", r32)
+	}
+	// A consumer drawing rank 0 must skip it via the gap and get 42.
+	if v, ok := q.Dequeue(); !ok || v != 42 {
+		t.Fatalf("got %d,%v want 42", v, ok)
+	}
+}
+
+// White-box: consumers must wait (not consume, not skip) while a
+// producer holds a cell claimed (the -2 state).
+func TestMPMCClaimBlocksConsumer(t *testing.T) {
+	q, err := NewMPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := &q.cells[q.ix.phys(0)]
+	c0.state.Store(mpmcPack(mpmcLapClaim, mpmcNoGap)) // simulated stalled producer
+	done := make(chan int, 1)
+	go func() {
+		v, _ := q.Dequeue() // rank 0: must block until publish
+		done <- v
+	}()
+	time.Sleep(20 * time.Millisecond) // give the consumer time to misbehave
+	select {
+	case v := <-done:
+		t.Fatalf("Dequeue returned %d while cell was claimed", v)
+	default:
+	}
+	// Publish, completing the stalled producer's protocol.
+	c0.data = 99
+	c0.state.Store(mpmcPack(1, mpmcNoGap))
+	if v := <-done; v != 99 {
+		t.Fatalf("got %d, want 99", v)
+	}
+}
+
+func TestMPMCConcurrentExactlyOnce(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+	)
+	for _, layout := range Layouts {
+		for _, capacity := range []int{4, 64, 1024} {
+			perProd := 10000
+			if capacity < 64 {
+				// A full queue is the algorithm's pathological regime
+				// (producers burn ranks); keep the tiny-capacity case
+				// small so the suite stays fast on small machines.
+				perProd = 1000
+			}
+			q, err := NewMPMC[uint64](capacity, WithLayout(layout))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]atomic.Int32, producers*perProd)
+			var prodWG, consWG sync.WaitGroup
+			// lastSeen[c][p] checks per-producer FIFO order at each consumer.
+			lastSeen := make([][]int64, consumers)
+			for c := range lastSeen {
+				lastSeen[c] = make([]int64, producers)
+				for p := range lastSeen[c] {
+					lastSeen[c][p] = -1
+				}
+			}
+			for c := 0; c < consumers; c++ {
+				consWG.Add(1)
+				go func(c int) {
+					defer consWG.Done()
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						p := int(v / uint64(perProd))
+						seq := int64(v % uint64(perProd))
+						if p >= producers {
+							t.Errorf("bogus value %d", v)
+							return
+						}
+						if seq <= lastSeen[c][p] {
+							t.Errorf("consumer %d saw producer %d seq %d after %d", c, p, seq, lastSeen[c][p])
+							return
+						}
+						lastSeen[c][p] = seq
+						got[v].Add(1)
+					}
+				}(c)
+			}
+			for p := 0; p < producers; p++ {
+				prodWG.Add(1)
+				go func(p int) {
+					defer prodWG.Done()
+					base := uint64(p) * uint64(perProd)
+					for i := 0; i < perProd; i++ {
+						q.Enqueue(base + uint64(i))
+					}
+				}(p)
+			}
+			prodWG.Wait()
+			q.Close()
+			consWG.Wait()
+			for i := range got {
+				if n := got[i].Load(); n != 1 {
+					t.Fatalf("%v cap=%d: item %d delivered %d times", layout, capacity, i, n)
+				}
+			}
+		}
+	}
+}
+
+// Single producer through the MPMC interface must preserve total FIFO
+// order at a single consumer.
+func TestMPMCSingleProducerOrder(t *testing.T) {
+	q, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 50000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		expect := 0
+		for {
+			v, ok := q.Dequeue()
+			if !ok {
+				break
+			}
+			if v != expect {
+				t.Errorf("got %d, want %d", v, expect)
+				return
+			}
+			expect++
+		}
+		if expect != items {
+			t.Errorf("received %d, want %d", expect, items)
+		}
+	}()
+	for i := 0; i < items; i++ {
+		q.Enqueue(i)
+	}
+	q.Close()
+	wg.Wait()
+}
+
+func TestMPMCGapCounter(t *testing.T) {
+	q, err := NewMPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		q.Enqueue(round)
+		q.Dequeue()
+	}
+	if g := q.Gaps(); g != 0 {
+		t.Fatalf("Gaps = %d in slack operation", g)
+	}
+	q2, err := NewMPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		q2.Enqueue(i)
+	}
+	q2.head.Store(1)
+	for i := 1; i < 4; i++ {
+		q2.Dequeue()
+	}
+	q2.Enqueue(100)
+	if g := q2.Gaps(); g != 1 {
+		t.Fatalf("Gaps = %d after one forced skip", g)
+	}
+}

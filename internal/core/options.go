@@ -1,0 +1,19 @@
+package core
+
+// Option configures a queue at construction time.
+type Option func(*config)
+
+type config struct {
+	layout Layout
+}
+
+func defaultConfig() config {
+	return config{layout: LayoutCompact}
+}
+
+// WithLayout selects the memory layout of the cell array. The default
+// is LayoutCompact. See the Layout constants for the four
+// configurations evaluated in the paper's Figure 2.
+func WithLayout(l Layout) Option {
+	return func(c *config) { c.layout = l }
+}

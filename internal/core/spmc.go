@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// freeRank marks a cell that holds no item (the paper's special
+// negative rank value, Algorithm 1 line 3).
+const freeRank = -1
+
+// noGap is the initial value of a cell's gap field: no rank has ever
+// been skipped at this cell.
+const noGap = -1
+
+// cell is one slot of the SPSC/SPMC circular arrays (Figure 1 of the
+// paper). rank holds the rank of the stored item, or freeRank when the
+// cell is empty. gap holds the highest rank that was skipped at this
+// cell, or noGap. data is plain: the rank protocol guarantees exclusive
+// access between the publishing rank store and the consuming reset.
+//
+// For a T of 8 bytes the cell occupies 24 bytes, matching the paper's
+// "not aligned" configuration.
+type cell[T any] struct {
+	rank atomic.Int64
+	gap  atomic.Int64
+	data T
+}
+
+// SPMC is the paper's FFQ^s (Algorithm 1): a bounded FIFO queue with a
+// single producer and any number of consumers.
+//
+// Progress: Enqueue is wait-free as long as the queue has a free slot
+// (it degrades to spinning-with-skips when consumers fall behind, as
+// footnote 2 of the paper describes). Dequeue is lock-free as long as
+// the queue is non-empty.
+//
+// Exactly one goroutine may call Enqueue, TryEnqueue and Close; any
+// number of goroutines may call Dequeue concurrently.
+type SPMC[T any] struct {
+	ix     indexer
+	cells  []cell[T]
+	layout Layout
+	_      [CacheLineSize]byte
+	head   atomic.Int64 // shared: fetch-and-incremented by consumers
+	_      [CacheLineSize]byte
+	tail   atomic.Int64 // written by the producer only
+	_      [CacheLineSize]byte
+	closed atomic.Bool
+	// gaps counts ranks the producer skipped (Section III-A). Updated
+	// on the skip path only, which is never taken while the queue has
+	// slack, so the counter is free in normal operation.
+	gaps atomic.Int64
+}
+
+// NewSPMC returns an SPMC queue with the given capacity, which must be
+// a power of two (the rank-to-cell mapping is a mask, Section III-A).
+func NewSPMC[T any](capacity int, opts ...Option) (*SPMC[T], error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ix, err := newIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
+	if err != nil {
+		return nil, err
+	}
+	q := &SPMC[T]{ix: ix, layout: cfg.layout, cells: make([]cell[T], ix.slots())}
+	for i := range q.cells {
+		q.cells[i].rank.Store(freeRank)
+		q.cells[i].gap.Store(noGap)
+	}
+	return q, nil
+}
+
+// Cap returns the logical capacity of the queue.
+func (q *SPMC[T]) Cap() int { return q.ix.capacity() }
+
+// Layout returns the memory layout the queue was built with.
+func (q *SPMC[T]) Layout() Layout { return q.layout }
+
+// Len returns an instantaneous approximation of the number of enqueued
+// items (skipped ranks are counted until consumers pass them).
+func (q *SPMC[T]) Len() int {
+	n := q.tail.Load() - q.head.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Enqueue inserts v at the tail of the queue. It is wait-free while
+// the queue has an empty slot; if every cell is occupied it spins,
+// skipping ranks, until a consumer frees one.
+//
+// Must be called by the single producer goroutine only.
+func (q *SPMC[T]) Enqueue(v T) {
+	t := q.tail.Load()
+	skips := 0
+	for {
+		c := &q.cells[q.ix.phys(t)]
+		if c.rank.Load() >= 0 {
+			// The cell still holds an older item: a slow consumer has
+			// not finished dequeuing it. Skip this rank and announce
+			// the gap (Algorithm 1, line 14).
+			c.gap.Store(t)
+			t++
+			q.tail.Store(t)
+			q.gaps.Add(1)
+			// Consecutive skips mean the queue is full; back off so
+			// consumers can drain instead of chasing burnt ranks.
+			skips++
+			backoff(skips << 4)
+			continue
+		}
+		// Publish: data first, then the rank store, which is the
+		// linearization point (Algorithm 1, lines 16-17).
+		c.data = v
+		c.rank.Store(t)
+		q.tail.Store(t + 1)
+		return
+	}
+}
+
+// TryEnqueue inserts v if the tail cell is free and reports whether it
+// did. A false return means the tail cell is still occupied by an
+// undequeued item; unlike Enqueue it does not skip ranks, so it never
+// burns rank numbers on a full queue.
+func (q *SPMC[T]) TryEnqueue(v T) bool {
+	t := q.tail.Load()
+	c := &q.cells[q.ix.phys(t)]
+	if c.rank.Load() >= 0 {
+		return false
+	}
+	c.data = v
+	c.rank.Store(t)
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Dequeue removes and returns the item at the head of the queue,
+// blocking (spinning, then yielding) while the queue is empty. It
+// returns ok=false only after Close has been called and every
+// remaining item has been handed to some consumer.
+//
+// Safe for concurrent use by any number of consumers.
+func (q *SPMC[T]) Dequeue() (v T, ok bool) {
+	// Acquire a unique rank (Algorithm 1, line 21).
+	rank := q.head.Add(1) - 1
+	c := &q.cells[q.ix.phys(rank)]
+	spins := 0
+	for {
+		if c.rank.Load() == rank {
+			// The cell holds our item; consume it and recycle the
+			// cell. The rank reset is the linearization point
+			// (Algorithm 1, lines 26-27).
+			v = c.data
+			var zero T
+			c.data = zero
+			c.rank.Store(freeRank)
+			return v, true
+		}
+		// The rank may have been skipped. Re-check the cell's rank
+		// after reading the gap: the producer might have published our
+		// item in between (the line 29 re-check in the paper).
+		if c.gap.Load() >= rank && c.rank.Load() != rank {
+			rank = q.head.Add(1) - 1
+			c = &q.cells[q.ix.phys(rank)]
+			spins = 0
+			continue
+		}
+		// The producer has not reached this rank yet.
+		if q.closed.Load() && rank >= q.tail.Load() {
+			// The queue is closed and this rank is beyond the final
+			// tail: no item will ever be published here.
+			var zero T
+			return zero, false
+		}
+		spins++
+		backoff(spins)
+	}
+}
+
+// Gaps returns the number of ranks the producer has skipped because a
+// slow consumer still held the target cell. A non-zero value means the
+// queue ran full at some point (consider a larger capacity).
+func (q *SPMC[T]) Gaps() int64 { return q.gaps.Load() }
+
+// Close marks the queue closed. Consumers blocked in Dequeue return
+// ok=false once every published item has been consumed. Close must be
+// called by the producer after its final Enqueue; Enqueue after Close
+// is a caller bug (items may never be delivered to spinning consumers
+// that already observed the closed state).
+func (q *SPMC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (q *SPMC[T]) Closed() bool { return q.closed.Load() }

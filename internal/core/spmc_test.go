@@ -1,0 +1,319 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewSPMCValidation(t *testing.T) {
+	if _, err := NewSPMC[int](0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewSPMC[int](100); err == nil {
+		t.Error("non-power-of-two capacity accepted")
+	}
+	q, err := NewSPMC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 64 {
+		t.Errorf("Cap = %d, want 64", q.Cap())
+	}
+	if q.Layout() != LayoutCompact {
+		t.Errorf("default layout = %v, want compact", q.Layout())
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len of empty queue = %d", q.Len())
+	}
+	if q.Closed() {
+		t.Error("new queue reports closed")
+	}
+}
+
+func TestSPMCSequentialFIFO(t *testing.T) {
+	for _, layout := range Layouts {
+		q, err := NewSPMC[int](16, WithLayout(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 10; round++ {
+			for i := 0; i < 16; i++ {
+				q.Enqueue(round*100 + i)
+			}
+			if q.Len() != 16 {
+				t.Fatalf("%v: Len=%d, want 16", layout, q.Len())
+			}
+			for i := 0; i < 16; i++ {
+				v, ok := q.Dequeue()
+				if !ok || v != round*100+i {
+					t.Fatalf("%v: Dequeue = %d,%v, want %d,true", layout, v, ok, round*100+i)
+				}
+			}
+		}
+	}
+}
+
+func TestSPMCTryEnqueue(t *testing.T) {
+	q, err := NewSPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue(%d) failed on non-full queue", i)
+		}
+	}
+	if q.TryEnqueue(4) {
+		t.Error("TryEnqueue succeeded on full queue")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 0 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+	if !q.TryEnqueue(4) {
+		t.Error("TryEnqueue failed after a slot was freed")
+	}
+}
+
+func TestSPMCCloseDrains(t *testing.T) {
+	q, err := NewSPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v, want 1,true", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 2 {
+		t.Fatalf("Dequeue = %d,%v, want 2,true", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on closed+drained queue returned ok")
+	}
+	// Subsequent calls keep returning false.
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("second drained Dequeue returned ok")
+	}
+}
+
+// A slow consumer holds a cell across a producer wrap-around; the
+// producer must skip the rank, announce the gap, and consumers must
+// hop over it (the core gap mechanism of Algorithm 1). The stuck
+// consumer is simulated white-box by abandoning rank 0.
+func TestSPMCGapSkip(t *testing.T) {
+	q, err := NewSPMC[string](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"A", "B", "C", "D"} {
+		q.Enqueue(s)
+	}
+	// Simulate a consumer that acquired rank 0 but stalled before
+	// resetting the cell: skip the head past it.
+	q.head.Store(1)
+	for _, want := range []string{"B", "C", "D"} {
+		if v, ok := q.Dequeue(); !ok || v != want {
+			t.Fatalf("Dequeue = %q,%v, want %q", v, ok, want)
+		}
+	}
+	// Cell 0 still holds "A" (rank 0). The producer must skip rank 4.
+	q.Enqueue("E") // lands at rank 5, cell 1
+	c0 := &q.cells[q.ix.phys(0)]
+	if g := c0.gap.Load(); g != 4 {
+		t.Fatalf("cell 0 gap = %d, want 4", g)
+	}
+	if r := c0.rank.Load(); r != 0 {
+		t.Fatalf("cell 0 rank = %d, want 0 (still occupied)", r)
+	}
+	// A consumer drawing rank 4 must observe the gap and hop to 5.
+	if v, ok := q.Dequeue(); !ok || v != "E" {
+		t.Fatalf("Dequeue = %q,%v, want E", v, ok)
+	}
+	if h := q.head.Load(); h != 6 {
+		t.Fatalf("head = %d, want 6 (rank 4 skipped)", h)
+	}
+	// The stalled consumer finally finishes: the cell is recycled and
+	// the producer can use it again.
+	c0.rank.Store(freeRank)
+	q.Enqueue("F")
+	q.Enqueue("G")
+	if v, ok := q.Dequeue(); !ok || v != "F" {
+		t.Fatalf("Dequeue = %q,%v, want F", v, ok)
+	}
+	if v, ok := q.Dequeue(); !ok || v != "G" {
+		t.Fatalf("Dequeue = %q,%v, want G", v, ok)
+	}
+}
+
+// The same cell can be skipped multiple times; gap must hold the most
+// recent skipped rank.
+func TestSPMCRepeatedGap(t *testing.T) {
+	q, err := NewSPMC[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(10) // rank 0, cell 0
+	q.Enqueue(11) // rank 1, cell 1
+	q.head.Store(1)
+	if v, ok := q.Dequeue(); !ok || v != 11 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	// Cell 0 stuck. Each pair of enqueues wraps past it once.
+	q.Enqueue(12) // skips rank 2 (cell 0, gap=2), lands rank 3 cell 1
+	c0 := &q.cells[q.ix.phys(0)]
+	if g := c0.gap.Load(); g != 2 {
+		t.Fatalf("gap = %d, want 2", g)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 12 { // consumes rank 2 gap then 3
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	q.Enqueue(13) // skips rank 4 (gap=4), lands rank 5 cell 1
+	if g := c0.gap.Load(); g != 4 {
+		t.Fatalf("gap = %d, want 4", g)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 13 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+}
+
+func TestSPMCPointerDataCleared(t *testing.T) {
+	q, err := NewSPMC[*int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 42
+	q.Enqueue(&x)
+	if v, ok := q.Dequeue(); !ok || *v != 42 {
+		t.Fatal("round-trip failed")
+	}
+	// The consumed cell must not pin the pointer.
+	for i := range q.cells {
+		if q.cells[i].data != nil {
+			t.Fatalf("cell %d still references dequeued data", i)
+		}
+	}
+}
+
+// concurrent exactly-once delivery: one producer, many consumers, every
+// item delivered exactly once, and delivery order is FIFO per observer
+// window (global order across consumers is not defined, but the
+// producer's sequence must arrive without loss or duplication).
+func TestSPMCConcurrentExactlyOnce(t *testing.T) {
+	const (
+		consumers = 8
+		items     = 50000
+	)
+	for _, layout := range Layouts {
+		q, err := NewSPMC[int](256, WithLayout(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got = make([]atomic.Int32, items)
+		var wg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				prev := -1
+				for {
+					v, ok := q.Dequeue()
+					if !ok {
+						return
+					}
+					if v <= prev {
+						// Ranks are handed out in order, and a single
+						// consumer's draws are monotonic.
+						t.Errorf("%v: consumer saw %d after %d", layout, v, prev)
+						return
+					}
+					prev = v
+					got[v].Add(1)
+				}
+			}()
+		}
+		for i := 0; i < items; i++ {
+			q.Enqueue(i)
+		}
+		q.Close()
+		wg.Wait()
+		for i := range got {
+			if n := got[i].Load(); n != 1 {
+				t.Fatalf("%v: item %d delivered %d times", layout, i, n)
+			}
+		}
+	}
+}
+
+// Hammer the queue with a tiny capacity so wrap-arounds and gaps are
+// frequent; run with -race to verify the publication protocol.
+func TestSPMCTinyCapacityStress(t *testing.T) {
+	q, err := NewSPMC[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 20000
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				sum.Add(int64(v))
+			}
+		}()
+	}
+	for i := 1; i <= items; i++ {
+		q.Enqueue(i)
+	}
+	q.Close()
+	wg.Wait()
+	want := int64(items) * (items + 1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+// Gap statistics: zero in slack operation, positive once the producer
+// wraps onto an unconsumed cell.
+func TestSPMCGapCounter(t *testing.T) {
+	q, err := NewSPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 100; round++ {
+		q.Enqueue(round)
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	}
+	if g := q.Gaps(); g != 0 {
+		t.Fatalf("Gaps = %d in slack operation", g)
+	}
+	// Force a skip on a fresh queue: fill it, abandon rank 0, drain
+	// the rest, then wrap.
+	q2, err := NewSPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		q2.Enqueue(i)
+	}
+	q2.head.Store(1)
+	for i := 1; i < 8; i++ {
+		q2.Dequeue()
+	}
+	q2.Enqueue(100) // must skip the stuck cell 0
+	if g := q2.Gaps(); g != 1 {
+		t.Fatalf("Gaps = %d after one forced skip", g)
+	}
+}

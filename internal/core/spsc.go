@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// SPSC is the single-producer/single-consumer FFQ variant discussed in
+// Section V-G of the paper: because only one consumer exists, the head
+// counter is owned by that consumer and dequeue needs no atomic
+// fetch-and-increment. This is the variant whose single-threaded mark
+// appears as "SPSC" in the paper's Figure 8 and the variant used for
+// the response queues of the syscall framework (Section V-A).
+//
+// Exactly one goroutine may enqueue and exactly one (possibly
+// different) goroutine may dequeue.
+type SPSC[T any] struct {
+	ix     indexer
+	cells  []cell[T]
+	layout Layout
+	_      [CacheLineSize]byte
+	head   atomic.Int64 // written by the consumer only
+	_      [CacheLineSize]byte
+	tail   atomic.Int64 // written by the producer only
+	_      [CacheLineSize]byte
+	closed atomic.Bool
+	// gaps counts skipped ranks; see SPMC.Gaps.
+	gaps atomic.Int64
+}
+
+// NewSPSC returns an SPSC queue with the given power-of-two capacity.
+func NewSPSC[T any](capacity int, opts ...Option) (*SPSC[T], error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ix, err := newIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
+	if err != nil {
+		return nil, err
+	}
+	q := &SPSC[T]{ix: ix, layout: cfg.layout, cells: make([]cell[T], ix.slots())}
+	for i := range q.cells {
+		q.cells[i].rank.Store(freeRank)
+		q.cells[i].gap.Store(noGap)
+	}
+	return q, nil
+}
+
+// Cap returns the logical capacity of the queue.
+func (q *SPSC[T]) Cap() int { return q.ix.capacity() }
+
+// Layout returns the memory layout the queue was built with.
+func (q *SPSC[T]) Layout() Layout { return q.layout }
+
+// Len returns an instantaneous approximation of the number of enqueued
+// items.
+func (q *SPSC[T]) Len() int {
+	n := q.tail.Load() - q.head.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Enqueue inserts v at the tail, wait-free while a slot is free.
+// Producer goroutine only.
+func (q *SPSC[T]) Enqueue(v T) {
+	t := q.tail.Load()
+	skips := 0
+	for {
+		c := &q.cells[q.ix.phys(t)]
+		if c.rank.Load() >= 0 {
+			c.gap.Store(t)
+			t++
+			q.tail.Store(t)
+			q.gaps.Add(1)
+			// Consecutive skips mean the queue is full; back off so
+			// the consumer can drain instead of chasing burnt ranks.
+			skips++
+			backoff(skips << 4)
+			continue
+		}
+		c.data = v
+		c.rank.Store(t)
+		q.tail.Store(t + 1)
+		return
+	}
+}
+
+// TryEnqueue inserts v if the tail cell is free and reports whether it
+// did. Producer goroutine only.
+func (q *SPSC[T]) TryEnqueue(v T) bool {
+	t := q.tail.Load()
+	c := &q.cells[q.ix.phys(t)]
+	if c.rank.Load() >= 0 {
+		return false
+	}
+	c.data = v
+	c.rank.Store(t)
+	q.tail.Store(t + 1)
+	return true
+}
+
+// TryDequeue removes the head item if one is ready. Unlike the SPMC
+// variant this is a true non-blocking poll: the head counter is private
+// to the consumer, so an empty queue costs nothing and reserves no
+// rank. Consumer goroutine only.
+func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
+	h := q.head.Load()
+	for {
+		c := &q.cells[q.ix.phys(h)]
+		if c.rank.Load() == h {
+			v = c.data
+			var zero T
+			c.data = zero
+			c.rank.Store(freeRank)
+			q.head.Store(h + 1)
+			return v, true
+		}
+		if c.gap.Load() >= h && c.rank.Load() != h {
+			// Rank h was skipped by the producer; advance past it.
+			h++
+			q.head.Store(h)
+			continue
+		}
+		var zero T
+		return zero, false
+	}
+}
+
+// Dequeue removes and returns the head item, blocking while the queue
+// is empty. It returns ok=false only once the queue is closed and
+// drained. Consumer goroutine only.
+func (q *SPSC[T]) Dequeue() (v T, ok bool) {
+	spins := 0
+	for {
+		if v, ok = q.TryDequeue(); ok {
+			return v, true
+		}
+		if q.closed.Load() && q.head.Load() >= q.tail.Load() {
+			var zero T
+			return zero, false
+		}
+		spins++
+		backoff(spins)
+	}
+}
+
+// Gaps returns the number of ranks the producer has skipped; see
+// SPMC.Gaps.
+func (q *SPSC[T]) Gaps() int64 { return q.gaps.Load() }
+
+// Close marks the queue closed; see SPMC.Close.
+func (q *SPSC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (q *SPSC[T]) Closed() bool { return q.closed.Load() }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSPSCValidation(t *testing.T) {
+	if _, err := NewSPSC[int](3); err == nil {
+		t.Error("non-power-of-two capacity accepted")
+	}
+	q, err := NewSPSC[int](8, WithLayout(LayoutPadded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 8 || q.Layout() != LayoutPadded {
+		t.Errorf("Cap=%d Layout=%v", q.Cap(), q.Layout())
+	}
+}
+
+func TestSPSCSequentialFIFO(t *testing.T) {
+	for _, layout := range Layouts {
+		q, err := NewSPSC[uint64](32, WithLayout(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var next uint64 // next value expected out
+		for i := uint64(0); i < 1000; i++ {
+			q.Enqueue(i)
+			if i%3 == 0 {
+				continue // let the queue fill a little
+			}
+			for q.Len() > 0 {
+				v, ok := q.TryDequeue()
+				if !ok {
+					t.Fatalf("%v: TryDequeue failed with Len=%d", layout, q.Len())
+				}
+				if v != next {
+					t.Fatalf("%v: got %d, want %d", layout, v, next)
+				}
+				next++
+			}
+		}
+	}
+}
+
+func TestSPSCTryDequeueEmpty(t *testing.T) {
+	q, err := NewSPSC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("TryDequeue on empty queue returned ok")
+	}
+	q.Enqueue(7)
+	if v, ok := q.TryDequeue(); !ok || v != 7 {
+		t.Errorf("TryDequeue = %d,%v", v, ok)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("TryDequeue after drain returned ok")
+	}
+}
+
+func TestSPSCTryEnqueueFull(t *testing.T) {
+	q, err := NewSPSC[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.TryEnqueue(1) || !q.TryEnqueue(2) {
+		t.Fatal("TryEnqueue failed on empty queue")
+	}
+	if q.TryEnqueue(3) {
+		t.Fatal("TryEnqueue succeeded on full queue")
+	}
+}
+
+func TestSPSCCloseDrains(t *testing.T) {
+	q, err := NewSPSC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(5)
+	q.Close()
+	if v, ok := q.Dequeue(); !ok || v != 5 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue after close+drain returned ok")
+	}
+}
+
+// Model-based property test: an arbitrary interleaving of enqueues and
+// try-dequeues must match a slice-backed reference queue.
+func TestSPSCModelProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q, err := NewSPSC[uint64](16)
+		if err != nil {
+			return false
+		}
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			if op%3 != 0 { // bias toward enqueue to exercise fullness
+				if q.TryEnqueue(next) {
+					model = append(model, next)
+				} else if len(model) < q.Cap() {
+					return false // queue claimed full while model is not
+				}
+				next++
+			} else {
+				v, ok := q.TryDequeue()
+				if ok {
+					if len(model) == 0 || model[0] != v {
+						return false
+					}
+					model = model[1:]
+				} else if len(model) != 0 {
+					return false // queue claimed empty while model is not
+				}
+			}
+		}
+		// Drain and compare the remainder.
+		for _, want := range model {
+			v, ok := q.TryDequeue()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.TryDequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPSCConcurrentTransfer(t *testing.T) {
+	for _, layout := range Layouts {
+		for _, capacity := range []int{2, 8, 1024} {
+			q, err := NewSPSC[uint64](capacity, WithLayout(layout))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const items = 100000
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var expect uint64
+				for {
+					v, ok := q.Dequeue()
+					if !ok {
+						break
+					}
+					if v != expect {
+						t.Errorf("layout=%v cap=%d: got %d, want %d", layout, capacity, v, expect)
+						return
+					}
+					expect++
+				}
+				if expect != items {
+					t.Errorf("layout=%v cap=%d: received %d items, want %d", layout, capacity, expect, items)
+				}
+			}()
+			for i := uint64(0); i < items; i++ {
+				q.Enqueue(i)
+			}
+			q.Close()
+			wg.Wait()
+		}
+	}
+}
+
+// The SPSC gap path: a stalled dequeue (simulated by abandoning rank 0
+// with a manual head bump) must not wedge the queue.
+func TestSPSCGapSkip(t *testing.T) {
+	q, err := NewSPSC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		q.Enqueue(i)
+	}
+	q.head.Store(1) // abandon rank 0; cell 0 stays occupied
+	for want := 1; want < 4; want++ {
+		if v, ok := q.TryDequeue(); !ok || v != want {
+			t.Fatalf("got %d,%v want %d", v, ok, want)
+		}
+	}
+	q.Enqueue(100) // must skip rank 4 (cell 0 occupied) and land at rank 5
+	if v, ok := q.TryDequeue(); !ok || v != 100 {
+		t.Fatalf("got %d,%v want 100", v, ok)
+	}
+}
+
+func TestSPSCGapCounter(t *testing.T) {
+	q, err := NewSPSC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(0)
+	q.TryDequeue()
+	if g := q.Gaps(); g != 0 {
+		t.Fatalf("Gaps = %d in slack operation", g)
+	}
+	q2, err := NewSPSC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		q2.Enqueue(i)
+	}
+	q2.head.Store(1)
+	for i := 1; i < 4; i++ {
+		q2.TryDequeue()
+	}
+	q2.Enqueue(100)
+	if g := q2.Gaps(); g != 1 {
+		t.Fatalf("Gaps = %d after one forced skip", g)
+	}
+}

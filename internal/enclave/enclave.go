@@ -1,0 +1,468 @@
+// Package enclave simulates the secure-application framework that
+// motivated FFQ (Sections I and V-F): application threads run "inside"
+// an SGX enclave and must not exit it to issue system calls, so each
+// enclave OS thread forwards calls through a submission FIFO to a pool
+// of kernel-side worker threads, which push results back through
+// per-worker response queues.
+//
+// This is substitution #4 of DESIGN.md. Real SGX is replaced by a cost
+// model (internal/syscalls): requests pay an EPC-memory penalty per
+// hop instead of hardware memory encryption, and the "native" baseline
+// pays a trap cost instead of a real mode switch. What the substitution
+// preserves is the property the paper measures: with transitions off
+// the table, the submission queue is the bottleneck, so syscall
+// throughput tracks queue throughput and the FFQ variant scales with
+// cores while a shared MPMC queue does not.
+//
+// The m:n threading of the paper's framework (application threads
+// multiplexed on enclave OS threads, Section I) is modeled exactly:
+// each OS thread runs an event loop over its application threads'
+// states, issuing at most one outstanding call per application thread
+// — which is also what makes the FFQ "always an empty slot" assumption
+// hold by construction.
+package enclave
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ffq/internal/core"
+	"ffq/internal/spin"
+	"ffq/internal/stats"
+	"ffq/internal/syscalls"
+	"ffq/internal/vyukov"
+)
+
+// Variant selects the syscall path.
+type Variant uint8
+
+const (
+	// Native: direct trap per call, no enclave (the glibc baseline).
+	Native Variant = iota
+	// FFQVariant: per-OS-thread FFQ SPMC submission queues and SPSC
+	// response queues (the paper's design).
+	FFQVariant
+	// MPMCVariant: one shared bounded MPMC submission queue (the
+	// paper's "external MPMC queue" baseline, i.e. the Vyukov ring).
+	MPMCVariant
+)
+
+// String names the variant as in Figure 7.
+func (v Variant) String() string {
+	switch v {
+	case Native:
+		return "native"
+	case FFQVariant:
+		return "ffq"
+	case MPMCVariant:
+		return "mpmc"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Variants lists the three binaries of the paper's Figure 7.
+var Variants = []Variant{Native, FFQVariant, MPMCVariant}
+
+// Config describes one framework instance.
+type Config struct {
+	// Variant selects the syscall path.
+	Variant Variant
+	// OSThreads is the number of enclave-side OS threads (producers).
+	OSThreads int
+	// AppThreadsPerOS is the number of application threads multiplexed
+	// on each OS thread.
+	AppThreadsPerOS int
+	// WorkersPerOS is the number of kernel-side executor threads per
+	// submission queue (FFQ variant) or in total divided evenly
+	// (MPMC variant uses OSThreads*WorkersPerOS workers on one queue).
+	WorkersPerOS int
+	// SubQueueSize and RespQueueSize are queue capacities (powers of
+	// two; defaults 1024 / 256).
+	SubQueueSize, RespQueueSize int
+	// Call is the system call to benchmark (the paper uses getppid).
+	Call syscalls.Number
+	// Cost overrides the cost model (DefaultCostModel when zero).
+	Cost *syscalls.CostModel
+}
+
+// Result of a throughput run.
+type Result struct {
+	// Calls completed.
+	Calls int
+	// Elapsed wall time.
+	Elapsed time.Duration
+}
+
+// CallsPerSec returns the syscall throughput.
+func (r Result) CallsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Calls) / r.Elapsed.Seconds()
+}
+
+// request packs (appThread, call) into a queue payload. App ids are
+// local to one OS thread.
+func packReq(app uint32, call syscalls.Number) uint64 {
+	return uint64(app)<<16 | uint64(uint16(call)) + 1 // +1 keeps 0 reserved
+}
+
+func unpackReq(v uint64) (app uint32, call syscalls.Number) {
+	v--
+	return uint32(v >> 16), syscalls.Number(uint16(v))
+}
+
+// nextPow2 rounds n up to a power of two (the shared MPMC ring must
+// hold every OS thread's outstanding requests).
+func nextPow2(n int) int {
+	p := 2
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (c *Config) defaults() error {
+	if c.OSThreads < 1 || c.AppThreadsPerOS < 1 || c.WorkersPerOS < 1 {
+		return fmt.Errorf("enclave: non-positive thread counts in %+v", *c)
+	}
+	if c.SubQueueSize == 0 {
+		c.SubQueueSize = 1024
+	}
+	if c.RespQueueSize == 0 {
+		c.RespQueueSize = 256
+	}
+	if c.SubQueueSize < 2*c.AppThreadsPerOS {
+		// Implicit flow control: every app thread has at most one
+		// outstanding call, so a queue of >= 2x app threads always has
+		// an empty slot.
+		return fmt.Errorf("enclave: submission queue %d too small for %d app threads",
+			c.SubQueueSize, c.AppThreadsPerOS)
+	}
+	return nil
+}
+
+// RunThroughput executes callsPerAppThread system calls on every
+// application thread and reports aggregate throughput.
+func RunThroughput(cfg Config, callsPerAppThread int) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	cost := syscalls.DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	kernel := syscalls.NewKernel(cost)
+	totalCalls := cfg.OSThreads * cfg.AppThreadsPerOS * callsPerAppThread
+
+	if cfg.Variant == Native {
+		res := runNative(cfg, kernel, callsPerAppThread)
+		return res, nil
+	}
+
+	f, err := newProxied(cfg, kernel)
+	if err != nil {
+		return Result{}, err
+	}
+	t0 := time.Now()
+	f.run(callsPerAppThread)
+	return Result{Calls: totalCalls, Elapsed: time.Since(t0)}, nil
+}
+
+// runNative: every application thread is a goroutine making direct
+// (trap-cost) calls.
+func runNative(cfg Config, kernel *syscalls.Kernel, calls int) Result {
+	var wg sync.WaitGroup
+	n := cfg.OSThreads * cfg.AppThreadsPerOS
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < calls; c++ {
+				kernel.ExecuteNative(cfg.Call, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	return Result{Calls: n * calls, Elapsed: time.Since(t0)}
+}
+
+// proxied is the queue-based framework (FFQ or MPMC variant).
+type proxied struct {
+	cfg    Config
+	cost   syscalls.CostModel
+	kernel *syscalls.Kernel
+
+	// FFQ variant state: one submission queue and worker set per OS
+	// thread.
+	subFFQ []*core.SPMC[uint64]
+	resps  [][]*core.SPSC[uint64] // [osThread][worker]
+
+	// MPMC variant state: one shared submission queue; per-OS-thread
+	// response rings (many workers produce into them).
+	subMPMC  *vyukov.Queue
+	respMPMC []*vyukov.Queue
+}
+
+func newProxied(cfg Config, kernel *syscalls.Kernel) (*proxied, error) {
+	f := &proxied{cfg: cfg, cost: kernel.Cost(), kernel: kernel}
+	switch cfg.Variant {
+	case FFQVariant:
+		for p := 0; p < cfg.OSThreads; p++ {
+			q, err := core.NewSPMC[uint64](cfg.SubQueueSize, core.WithLayout(core.LayoutPadded))
+			if err != nil {
+				return nil, err
+			}
+			f.subFFQ = append(f.subFFQ, q)
+			var rs []*core.SPSC[uint64]
+			for w := 0; w < cfg.WorkersPerOS; w++ {
+				r, err := core.NewSPSC[uint64](cfg.RespQueueSize, core.WithLayout(core.LayoutPadded))
+				if err != nil {
+					return nil, err
+				}
+				rs = append(rs, r)
+			}
+			f.resps = append(f.resps, rs)
+		}
+	case MPMCVariant:
+		q, err := vyukov.New(nextPow2(cfg.SubQueueSize * cfg.OSThreads))
+		if err != nil {
+			return nil, err
+		}
+		f.subMPMC = q
+		for p := 0; p < cfg.OSThreads; p++ {
+			r, err := vyukov.New(cfg.RespQueueSize)
+			if err != nil {
+				return nil, err
+			}
+			f.respMPMC = append(f.respMPMC, r)
+		}
+	default:
+		return nil, fmt.Errorf("enclave: %v is not a proxied variant", cfg.Variant)
+	}
+	return f, nil
+}
+
+// run drives all OS threads and workers until every application
+// thread has completed `calls` calls.
+func (f *proxied) run(calls int) {
+	cfg := f.cfg
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Kernel-side workers.
+	if cfg.Variant == FFQVariant {
+		for p := 0; p < cfg.OSThreads; p++ {
+			for w := 0; w < cfg.WorkersPerOS; w++ {
+				wg.Add(1)
+				go func(p, w int) {
+					defer wg.Done()
+					sub := f.subFFQ[p]
+					resp := f.resps[p][w]
+					for {
+						v, ok := sub.Dequeue()
+						if !ok {
+							resp.Close()
+							return
+						}
+						app, call := unpackReq(v)
+						f.kernel.Execute(call, 0)
+						resp.Enqueue(uint64(app) + 1)
+					}
+				}(p, w)
+			}
+		}
+	} else {
+		workers := cfg.OSThreads * cfg.WorkersPerOS
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					v, ok := f.subMPMC.TryDequeue()
+					if !ok {
+						select {
+						case <-stop:
+							return
+						default:
+							runtime.Gosched()
+							continue
+						}
+					}
+					// MPMC requests carry the OS thread id in the
+					// upper bits so the response can be routed.
+					os := int(v >> 48)
+					app, call := unpackReq(v & (1<<48 - 1))
+					f.kernel.Execute(call, 0)
+					f.respMPMC[os].Enqueue(uint64(app) + 1)
+				}
+			}()
+		}
+	}
+
+	// Enclave-side OS threads: each multiplexes its application
+	// threads (cooperative m:n scheduling as in the paper).
+	var osWG sync.WaitGroup
+	for p := 0; p < cfg.OSThreads; p++ {
+		osWG.Add(1)
+		go func(p int) {
+			defer osWG.Done()
+			remaining := make([]int, cfg.AppThreadsPerOS)
+			for i := range remaining {
+				remaining[i] = calls
+			}
+			// Issue the first call of every app thread.
+			for app := 0; app < cfg.AppThreadsPerOS; app++ {
+				f.submit(p, uint32(app))
+			}
+			completedAll := 0
+			for completedAll < cfg.AppThreadsPerOS {
+				app, ok := f.pollResponse(p)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				remaining[app]--
+				if remaining[app] > 0 {
+					f.submit(p, app)
+				} else if remaining[app] == 0 {
+					completedAll++
+				}
+			}
+		}(p)
+	}
+	osWG.Wait()
+	// Shut the workers down.
+	if cfg.Variant == FFQVariant {
+		for _, q := range f.subFFQ {
+			q.Close()
+		}
+	} else {
+		close(stop)
+	}
+	wg.Wait()
+}
+
+// submit enqueues one request from app thread `app` of OS thread p,
+// paying the EPC write penalty.
+func (f *proxied) submit(p int, app uint32) {
+	spin.Nanoseconds(f.cost.EPCAccessNS)
+	req := packReq(app, f.cfg.Call)
+	if f.cfg.Variant == FFQVariant {
+		f.subFFQ[p].Enqueue(req)
+	} else {
+		f.subMPMC.Enqueue(uint64(p)<<48 | req)
+	}
+}
+
+// pollResponse checks p's response queues once, returning a completed
+// app thread id.
+func (f *proxied) pollResponse(p int) (uint32, bool) {
+	if f.cfg.Variant == FFQVariant {
+		for _, r := range f.resps[p] {
+			if v, ok := r.TryDequeue(); ok {
+				return uint32(v - 1), true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := f.respMPMC[p].TryDequeue(); ok {
+		return uint32(v - 1), true
+	}
+	return 0, false
+}
+
+// MeasureLatency runs a single application thread for `samples` calls
+// and returns the end-to-end per-call latency distribution in
+// nanoseconds (the paper's Figure 7 right reports cycles; callers can
+// convert with their clock).
+func MeasureLatency(cfg Config, samples int) (stats.Summary, error) {
+	cfg.OSThreads = 1
+	cfg.AppThreadsPerOS = 1
+	if err := cfg.defaults(); err != nil {
+		return stats.Summary{}, err
+	}
+	cost := syscalls.DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	kernel := syscalls.NewKernel(cost)
+
+	var s stats.Stream
+	if cfg.Variant == Native {
+		for i := 0; i < samples; i++ {
+			t0 := time.Now()
+			kernel.ExecuteNative(cfg.Call, 0)
+			s.Add(float64(time.Since(t0).Nanoseconds()))
+		}
+		return s.Summarize(), nil
+	}
+
+	f, err := newProxied(cfg, kernel)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// One worker (ping/pong partner).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			var v uint64
+			var ok bool
+			if cfg.Variant == FFQVariant {
+				v, ok = f.subFFQ[0].Dequeue()
+				if !ok {
+					return
+				}
+			} else {
+				v, ok = f.subMPMC.TryDequeue()
+				if !ok {
+					select {
+					case <-stop:
+						return
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				v &= 1<<48 - 1
+			}
+			app, call := unpackReq(v)
+			kernel.Execute(call, 0)
+			if cfg.Variant == FFQVariant {
+				f.resps[0][0].Enqueue(uint64(app) + 1)
+			} else {
+				f.respMPMC[0].Enqueue(uint64(app) + 1)
+			}
+		}
+	}()
+	for i := 0; i < samples; i++ {
+		t0 := time.Now()
+		f.submit(0, 0)
+		for spins := 0; ; spins++ {
+			if _, ok := f.pollResponse(0); ok {
+				break
+			}
+			if spins >= 128 {
+				// Oversubscribed host: the worker needs our CPU. This
+				// inflates the absolute latency but keeps the relative
+				// ordering of the variants.
+				runtime.Gosched()
+			}
+		}
+		s.Add(float64(time.Since(t0).Nanoseconds()))
+	}
+	if cfg.Variant == FFQVariant {
+		f.subFFQ[0].Close()
+	} else {
+		close(stop)
+	}
+	wg.Wait()
+	return s.Summarize(), nil
+}

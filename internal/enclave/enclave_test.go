@@ -1,0 +1,150 @@
+package enclave
+
+import (
+	"runtime"
+	"testing"
+
+	"ffq/internal/syscalls"
+)
+
+// zeroCost removes all modeled delays so tests measure only
+// correctness, not the cost model.
+func zeroCost() *syscalls.CostModel {
+	return &syscalls.CostModel{}
+}
+
+func TestPackUnpackReq(t *testing.T) {
+	for _, app := range []uint32{0, 1, 7, 65535} {
+		for _, call := range []syscalls.Number{syscalls.GetPPID, syscalls.GetPID, syscalls.Write64} {
+			a, c := unpackReq(packReq(app, call))
+			if a != app || c != call {
+				t.Fatalf("roundtrip (%d,%v) -> (%d,%v)", app, call, a, c)
+			}
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 2, 1: 2, 2: 2, 3: 4, 1024: 1024, 3072: 4096}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Native.String() != "native" || FFQVariant.String() != "ffq" || MPMCVariant.String() != "mpmc" {
+		t.Error("variant names")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunThroughput(Config{}, 1); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad := Config{Variant: FFQVariant, OSThreads: 1, AppThreadsPerOS: 100, WorkersPerOS: 1, SubQueueSize: 64}
+	if _, err := RunThroughput(bad, 1); err == nil {
+		t.Error("undersized submission queue accepted")
+	}
+}
+
+func TestThroughputAllVariants(t *testing.T) {
+	for _, v := range Variants {
+		cfg := Config{
+			Variant:         v,
+			OSThreads:       2,
+			AppThreadsPerOS: 4,
+			WorkersPerOS:    2,
+			Call:            syscalls.GetPPID,
+			Cost:            zeroCost(),
+		}
+		res, err := RunThroughput(cfg, 500)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Calls != 2*4*500 {
+			t.Fatalf("%v: calls = %d", v, res.Calls)
+		}
+		if res.CallsPerSec() <= 0 {
+			t.Fatalf("%v: throughput %v", v, res.CallsPerSec())
+		}
+	}
+}
+
+func TestThroughputSingleEverything(t *testing.T) {
+	for _, v := range []Variant{FFQVariant, MPMCVariant} {
+		res, err := RunThroughput(Config{
+			Variant: v, OSThreads: 1, AppThreadsPerOS: 1, WorkersPerOS: 1,
+			Cost: zeroCost(),
+		}, 1000)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Calls != 1000 {
+			t.Fatalf("%v: %d calls", v, res.Calls)
+		}
+	}
+}
+
+func TestThroughputOddOSThreads(t *testing.T) {
+	// Exercises the next-power-of-two path of the shared MPMC ring.
+	res, err := RunThroughput(Config{
+		Variant: MPMCVariant, OSThreads: 3, AppThreadsPerOS: 2, WorkersPerOS: 1,
+		Cost: zeroCost(),
+	}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls != 3*2*200 {
+		t.Fatalf("calls = %d", res.Calls)
+	}
+}
+
+func TestMeasureLatencyAllVariants(t *testing.T) {
+	for _, v := range Variants {
+		sum, err := MeasureLatency(Config{
+			Variant: v, OSThreads: 4 /* overridden to 1 */, AppThreadsPerOS: 9,
+			WorkersPerOS: 1, Cost: zeroCost(),
+		}, 200)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if sum.N != 200 || sum.Mean <= 0 {
+			t.Fatalf("%v: %+v", v, sum)
+		}
+	}
+}
+
+// The core claim of Figure 7: with several OS threads, the FFQ variant
+// must outperform the shared-MPMC variant. That claim needs real
+// parallelism — on an oversubscribed single CPU, a blocked FFQ worker
+// holds its reserved rank until the scheduler wakes it, serializing
+// handoffs, while MPMC lets any runnable worker steal any item. So the
+// ranking is only asserted on hosts with enough cores; elsewhere this
+// degrades to a completion smoke test (the quantitative reproduction
+// lives in the recorded ffq-syscall outputs, see EXPERIMENTS.md).
+func TestFFQBeatsMPMCWithParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative smoke test")
+	}
+	run := func(v Variant) float64 {
+		res, err := RunThroughput(Config{
+			Variant: v, OSThreads: 2, AppThreadsPerOS: 8, WorkersPerOS: 2,
+			Cost: zeroCost(),
+		}, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CallsPerSec()
+	}
+	ffq := run(FFQVariant)
+	mpmc := run(MPMCVariant)
+	if ffq <= 0 || mpmc <= 0 {
+		t.Fatalf("zero throughput: ffq=%.0f mpmc=%.0f", ffq, mpmc)
+	}
+	if runtime.NumCPU() >= 8 && ffq < mpmc {
+		t.Errorf("ffq %.0f calls/s < mpmc %.0f with %d CPUs", ffq, mpmc, runtime.NumCPU())
+	}
+	t.Logf("ffq=%.0f calls/s, mpmc=%.0f calls/s (NumCPU=%d)", ffq, mpmc, runtime.NumCPU())
+}

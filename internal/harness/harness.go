@@ -1,0 +1,71 @@
+// Package harness repeats benchmark runs and aggregates their results,
+// following the paper's methodology (Section V-A: "the reported
+// results represent the average of 10 runs"). It also centralizes the
+// scaling knobs that let the full paper-sized experiments shrink to
+// CI-sized smoke runs without changing the experiment code.
+package harness
+
+import (
+	"ffq/internal/stats"
+)
+
+// Repeat runs fn `runs` times (at least once) and returns the summary
+// of its returned metric.
+func Repeat(runs int, fn func() float64) stats.Summary {
+	if runs < 1 {
+		runs = 1
+	}
+	var s stats.Stream
+	for i := 0; i < runs; i++ {
+		s.Add(fn())
+	}
+	return s.Summarize()
+}
+
+// RepeatErr is Repeat for metric functions that can fail; the first
+// error aborts.
+func RepeatErr(runs int, fn func() (float64, error)) (stats.Summary, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var s stats.Stream
+	for i := 0; i < runs; i++ {
+		v, err := fn()
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		s.Add(v)
+	}
+	return s.Summarize(), nil
+}
+
+// ScaleInt multiplies n by scale, clamping to at least min.
+func ScaleInt(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// PowersOfTwo returns 2^lo .. 2^hi inclusive.
+func PowersOfTwo(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// ThreadSweep returns the thread counts for a comparative sweep:
+// doubling from 1 up to 2*maxCPU (the paper oversubscribes 2x).
+func ThreadSweep(maxCPU int) []int {
+	if maxCPU < 1 {
+		maxCPU = 1
+	}
+	var out []int
+	for t := 1; t <= 2*maxCPU; t *= 2 {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"testing"
+)
+
+func TestRepeat(t *testing.T) {
+	calls := 0
+	sum := Repeat(5, func() float64 { calls++; return float64(calls) })
+	if calls != 5 || sum.N != 5 || sum.Mean != 3 {
+		t.Fatalf("calls=%d summary=%+v", calls, sum)
+	}
+	// Clamps to one run.
+	calls = 0
+	Repeat(0, func() float64 { calls++; return 0 })
+	if calls != 1 {
+		t.Fatalf("runs=0 executed %d times", calls)
+	}
+}
+
+func TestRepeatErr(t *testing.T) {
+	sum, err := RepeatErr(3, func() (float64, error) { return 2, nil })
+	if err != nil || sum.Mean != 2 {
+		t.Fatalf("%v %+v", err, sum)
+	}
+	calls := 0
+	_, err = RepeatErr(3, func() (float64, error) {
+		calls++
+		return 0, errTest
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("error not propagated immediately: %v calls=%d", err, calls)
+	}
+}
+
+type testErr struct{}
+
+func (testErr) Error() string { return "boom" }
+
+var errTest = testErr{}
+
+func TestScaleInt(t *testing.T) {
+	if ScaleInt(1000, 0.5, 1) != 500 {
+		t.Error("scale 0.5")
+	}
+	if ScaleInt(1000, 0.0001, 25) != 25 {
+		t.Error("min clamp")
+	}
+	if ScaleInt(1000, 2, 1) != 2000 {
+		t.Error("scale 2")
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(3, 6)
+	want := []int{8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%v", got)
+		}
+	}
+	if PowersOfTwo(5, 4) != nil {
+		t.Error("inverted range should be empty")
+	}
+}
+
+func TestThreadSweep(t *testing.T) {
+	got := ThreadSweep(4)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%v", got)
+		}
+	}
+	if got := ThreadSweep(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("clamped sweep: %v", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package htmqueue implements the paper's HTM baseline (Section V-G):
+// "a simple concurrent queue algorithm that uses hardware
+// transactional memory ... based on a bounded circular buffer [that]
+// simply executes the enqueue and dequeue operations inside hardware
+// transactions."
+//
+// Go has no HTM intrinsics, so the transactions run on the software
+// transactional memory of internal/stm (see that package and DESIGN.md
+// substitution #2 for why the emulation preserves the comparison's
+// shape: cheap uncontended, retry-collapse under contention).
+package htmqueue
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"ffq/internal/stm"
+)
+
+// maxRetries is the optimistic retry budget before an operation takes
+// the fallback lock, mirroring common RTM retry loops.
+const maxRetries = 8
+
+// Memory word layout of the queue state.
+const (
+	wordHead = 0
+	wordTail = 1
+	wordBase = 2 // slots start here
+)
+
+// Queue is a bounded MPMC FIFO queue whose operations each run inside
+// one (emulated) hardware transaction.
+type Queue struct {
+	mem     *stm.Memory
+	mask    uint64
+	retries int
+
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	fallbacks atomic.Uint64
+}
+
+// New returns a queue with the given power-of-two capacity and the
+// default retry budget.
+func New(capacity int) (*Queue, error) {
+	return NewWithRetries(capacity, maxRetries)
+}
+
+// NewWithRetries returns a queue whose transactions retry
+// optimistically `retries` times before taking the fallback lock
+// (0 = fall back immediately; used by the retry-budget ablation).
+func NewWithRetries(capacity, retries int) (*Queue, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("htmqueue: capacity %d is not a power of two >= 2", capacity)
+	}
+	if retries < 0 {
+		return nil, fmt.Errorf("htmqueue: negative retry budget %d", retries)
+	}
+	return &Queue{
+		mem:     stm.NewMemory(wordBase + capacity),
+		mask:    uint64(capacity - 1),
+		retries: retries,
+	}, nil
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.mem.Len() - wordBase }
+
+// TryEnqueue inserts v inside a transaction; false means full.
+func (q *Queue) TryEnqueue(v uint64) bool {
+	ok := false
+	st := q.mem.Atomically(q.retries, func(tx *stm.Tx) {
+		ok = false
+		head := tx.Load(wordHead)
+		tail := tx.Load(wordTail)
+		if tx.Aborted() || tail-head > q.mask {
+			return // full (or conflicted)
+		}
+		tx.Store(wordBase+int(tail&q.mask), v)
+		tx.Store(wordTail, tail+1)
+		ok = true
+	})
+	q.account(st)
+	return ok
+}
+
+// TryDequeue removes the head item inside a transaction; false means
+// empty.
+func (q *Queue) TryDequeue() (uint64, bool) {
+	var v uint64
+	ok := false
+	st := q.mem.Atomically(q.retries, func(tx *stm.Tx) {
+		ok = false
+		head := tx.Load(wordHead)
+		tail := tx.Load(wordTail)
+		if tx.Aborted() || head == tail {
+			return // empty (or conflicted)
+		}
+		v = tx.Load(wordBase + int(head&q.mask))
+		tx.Store(wordHead, head+1)
+		ok = true
+	})
+	q.account(st)
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// Enqueue inserts v, spinning (and yielding) while the queue is full.
+func (q *Queue) Enqueue(v uint64) {
+	for spins := 0; !q.TryEnqueue(v); spins++ {
+		if spins >= 4 {
+			runtime.Gosched() // full: let consumers drain
+		}
+	}
+}
+
+// Dequeue removes the head item; ok=false if the queue was observed
+// empty.
+func (q *Queue) Dequeue() (uint64, bool) { return q.TryDequeue() }
+
+func (q *Queue) account(st stm.Stats) {
+	if st.Commits > 0 {
+		q.commits.Add(st.Commits)
+	}
+	if st.Aborts > 0 {
+		q.aborts.Add(st.Aborts)
+	}
+	if st.Fallbacks > 0 {
+		q.fallbacks.Add(st.Fallbacks)
+	}
+}
+
+// Stats returns cumulative transaction outcome counters.
+func (q *Queue) Stats() (commits, aborts, fallbacks uint64) {
+	return q.commits.Load(), q.aborts.Load(), q.fallbacks.Load()
+}

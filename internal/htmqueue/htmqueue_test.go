@@ -1,0 +1,85 @@
+package htmqueue_test
+
+import (
+	"testing"
+
+	"ffq/internal/htmqueue"
+	"ffq/internal/queue"
+	"ffq/internal/queuetest"
+)
+
+type adapter struct{ q *htmqueue.Queue }
+
+func (a adapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
+func (a adapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+
+func factory() queue.Factory {
+	return queue.Factory{
+		Name: "htm",
+		New: func(capacity, _ int) queue.Shared {
+			q, err := htmqueue.New(capacity)
+			if err != nil {
+				panic(err)
+			}
+			return queue.SelfRegistering{Q: adapter{q}}
+		},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, c := range []int{0, 1, 3, 100} {
+		if _, err := htmqueue.New(c); err == nil {
+			t.Errorf("capacity %d accepted", c)
+		}
+	}
+	q, err := htmqueue.New(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 32 {
+		t.Errorf("Cap = %d", q.Cap())
+	}
+}
+
+func TestSequential(t *testing.T) {
+	queuetest.Sequential(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestEmpty(t *testing.T) {
+	queuetest.EmptyBehaviour(t, factory())
+}
+
+func TestFull(t *testing.T) {
+	q, _ := htmqueue.New(4)
+	for i := uint64(1); i <= 4; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue(%d) failed below capacity", i)
+		}
+	}
+	if q.TryEnqueue(5) {
+		t.Fatal("TryEnqueue succeeded on full queue")
+	}
+	if v, ok := q.TryDequeue(); !ok || v != 1 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	opts := queuetest.DefaultOptions()
+	opts.ItemsPerProducer = 2000 // STM transactions are slow; keep CI time sane
+	queuetest.Concurrent(t, factory(), opts)
+}
+
+func TestStatsAdvance(t *testing.T) {
+	q, _ := htmqueue.New(16)
+	for i := uint64(1); i <= 100; i++ {
+		q.Enqueue(i)
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	}
+	commits, _, _ := q.Stats()
+	if commits < 200 {
+		t.Fatalf("commits = %d, want >= 200", commits)
+	}
+}

@@ -1,0 +1,242 @@
+// Package lcrq implements the LCRQ of Morrison & Afek [PPoPP'13]: an
+// unbounded MPMC FIFO queue built as a linked list of CRQs (circular
+// ring queues driven by fetch-and-add). It is one of the baselines of
+// the paper's Figure 8.
+//
+// # Substitution: 128-bit CAS2 -> packed 64-bit CAS
+//
+// The original CRQ updates a cell's (safe bit, index, value) triple
+// with a 128-bit compare-and-swap. Go has no 128-bit CAS, so a cell is
+// packed into one uint64:
+//
+//	[63]    safe bit
+//	[62:36] index lap (the cell at slot i only ever sees indexes
+//	        u with u mod R == i, so u/R preserves all comparisons;
+//	        27 bits = 2^27 laps per ring, and rings are replaced long
+//	        before that under the closing rule)
+//	[35:0]  value (all-ones = empty); payloads are capped at 2^36-2
+//
+// This keeps all CRQ transitions single-word atomic, at the price of a
+// bounded payload range, which the benchmarks respect (queue.MaxValue).
+package lcrq
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+const (
+	safeBit  = uint64(1) << 63
+	lapShift = 36
+	lapMask  = (uint64(1) << 27) - 1
+	valMask  = (uint64(1) << lapShift) - 1
+	emptyVal = valMask // in-cell "no value" marker
+
+	// MaxValue is the largest enqueueable payload.
+	MaxValue = valMask - 1
+
+	// closedBit marks a ring's tail counter as closed.
+	closedBit = uint64(1) << 63
+
+	// starvationLimit bounds how long an enqueuer fights an unsafe /
+	// contended ring before closing it and appending a new one.
+	starvationLimit = 8
+)
+
+func packCell(safe bool, lap uint64, val uint64) uint64 {
+	w := (lap&lapMask)<<lapShift | (val & valMask)
+	if safe {
+		w |= safeBit
+	}
+	return w
+}
+
+func unpackCell(w uint64) (safe bool, lap uint64, val uint64) {
+	return w&safeBit != 0, (w >> lapShift) & lapMask, w & valMask
+}
+
+// crq is one bounded circular ring queue.
+type crq struct {
+	mask  uint64
+	logR  uint
+	cells []atomic.Uint64
+	_     [64]byte
+	head  atomic.Uint64
+	_     [64]byte
+	tail  atomic.Uint64 // bit 63 = closed
+	_     [64]byte
+	next  atomic.Pointer[crq]
+}
+
+func newCRQ(capacity int, logR uint) *crq {
+	r := &crq{mask: uint64(capacity - 1), logR: logR, cells: make([]atomic.Uint64, capacity)}
+	for i := range r.cells {
+		// lap 0, empty, safe
+		r.cells[i].Store(packCell(true, 0, emptyVal))
+	}
+	return r
+}
+
+func (r *crq) lapOf(u uint64) uint64 { return u >> r.logR }
+
+// enqueue attempts to insert v; false means the ring is (now) closed.
+func (r *crq) enqueue(v uint64) bool {
+	tries := 0
+	for {
+		t := r.tail.Add(1) - 1
+		if t&closedBit != 0 {
+			return false
+		}
+		c := &r.cells[t&r.mask]
+		w := c.Load()
+		safe, lap, val := unpackCell(w)
+		myLap := r.lapOf(t)
+		if val == emptyVal && lap <= myLap && (safe || r.head.Load() <= t) {
+			// CAS2((safe,lap,empty) -> (1,myLap,v))
+			if c.CompareAndSwap(w, packCell(true, myLap, v)) {
+				return true
+			}
+		}
+		// Failed: check for fullness/starvation and close if needed.
+		h := r.head.Load()
+		tries++
+		if t-h >= uint64(len(r.cells)) || tries > starvationLimit {
+			r.tail.Or(closedBit)
+			return false
+		}
+	}
+}
+
+// dequeue removes the head item. ok=false means the ring was observed
+// empty (the caller then checks whether it is closed and drained).
+func (r *crq) dequeue() (uint64, bool) {
+	for {
+		h := r.head.Add(1) - 1
+		c := &r.cells[h&r.mask]
+		myLap := r.lapOf(h)
+		for {
+			w := c.Load()
+			safe, lap, val := unpackCell(w)
+			if lap > myLap {
+				break // our index is long gone; try the next head
+			}
+			if val != emptyVal {
+				if lap == myLap {
+					// Transition: consume, advancing the cell one lap.
+					if c.CompareAndSwap(w, packCell(safe, myLap+1, emptyVal)) {
+						return val, true
+					}
+				} else {
+					// An old value parked here; mark the cell unsafe so
+					// the lagging enqueuer cannot complete blindly.
+					if c.CompareAndSwap(w, packCell(false, lap, val)) {
+						break
+					}
+				}
+			} else {
+				// Empty: advance the cell to our lap+1 so a slow
+				// enqueuer with our index cannot deposit in the past.
+				if c.CompareAndSwap(w, packCell(safe, myLap+1, emptyVal)) {
+					break
+				}
+			}
+		}
+		// Empty check.
+		t := r.tail.Load() &^ closedBit
+		if t <= h+1 {
+			r.fixState()
+			return 0, false
+		}
+	}
+}
+
+// fixState resynchronizes head and tail after head overtakes tail.
+func (r *crq) fixState() {
+	for {
+		t := r.tail.Load()
+		h := r.head.Load()
+		if r.tail.Load() != t {
+			continue
+		}
+		if h <= t&^closedBit {
+			return
+		}
+		if r.tail.CompareAndSwap(t, h|(t&closedBit)) {
+			return
+		}
+	}
+}
+
+// Queue is the unbounded linked list of CRQs.
+type Queue struct {
+	ringCap int
+	logR    uint
+	_       [64]byte
+	head    atomic.Pointer[crq]
+	_       [64]byte
+	tail    atomic.Pointer[crq]
+	_       [64]byte
+}
+
+// New returns an empty LCRQ whose rings hold ringCap (a power of two)
+// items each.
+func New(ringCap int) (*Queue, error) {
+	if ringCap < 2 || ringCap&(ringCap-1) != 0 {
+		return nil, fmt.Errorf("lcrq: ring capacity %d is not a power of two >= 2", ringCap)
+	}
+	logR := uint(0)
+	for 1<<logR < ringCap {
+		logR++
+	}
+	q := &Queue{ringCap: ringCap, logR: logR}
+	r := newCRQ(ringCap, logR)
+	q.head.Store(r)
+	q.tail.Store(r)
+	return q, nil
+}
+
+// Enqueue inserts v (which must be <= MaxValue). Lock-free.
+func (q *Queue) Enqueue(v uint64) {
+	if v > MaxValue {
+		panic("lcrq: value exceeds the 36-bit payload bound of the packed-cell port")
+	}
+	for {
+		r := q.tail.Load()
+		if nxt := r.next.Load(); nxt != nil {
+			q.tail.CompareAndSwap(r, nxt) // help swing tail
+			continue
+		}
+		if r.enqueue(v) {
+			return
+		}
+		// Ring closed: append a fresh ring seeded with v.
+		nr := newCRQ(q.ringCap, q.logR)
+		nr.tail.Store(1)
+		nr.cells[0].Store(packCell(true, 0, v))
+		if r.next.CompareAndSwap(nil, nr) {
+			q.tail.CompareAndSwap(r, nr)
+			return
+		}
+	}
+}
+
+// Dequeue removes the head item; ok=false if the queue was observed
+// empty. Lock-free.
+func (q *Queue) Dequeue() (uint64, bool) {
+	for {
+		r := q.head.Load()
+		if v, ok := r.dequeue(); ok {
+			return v, true
+		}
+		// Ring empty: if no successor, the whole queue is empty.
+		if r.next.Load() == nil {
+			return 0, false
+		}
+		// Successor exists; this ring will receive no new items (it is
+		// closed). Re-check once to drain stragglers, then retire it.
+		if v, ok := r.dequeue(); ok {
+			return v, true
+		}
+		q.head.CompareAndSwap(r, r.next.Load())
+	}
+}

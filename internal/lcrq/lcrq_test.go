@@ -1,0 +1,165 @@
+package lcrq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ffq/internal/queue"
+	"ffq/internal/queuetest"
+)
+
+func factory() queue.Factory {
+	return queue.Factory{
+		Name: "lcrq",
+		New: func(capacity, _ int) queue.Shared {
+			q, err := New(capacity)
+			if err != nil {
+				panic(err)
+			}
+			return queue.SelfRegistering{Q: q}
+		},
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(safe bool, lap32 uint32, val32 uint32) bool {
+		lap := uint64(lap32) & lapMask
+		val := uint64(val32) // always < 2^36-1
+		s, l, v := unpackCell(packCell(safe, lap, val))
+		return s == safe && l == lap && v == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, c := range []int{0, 1, 3, 100} {
+		if _, err := New(c); err == nil {
+			t.Errorf("ring capacity %d accepted", c)
+		}
+	}
+	if _, err := New(1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueBound(t *testing.T) {
+	q, _ := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range value")
+		}
+	}()
+	q.Enqueue(MaxValue + 1)
+}
+
+func TestSequential(t *testing.T) {
+	queuetest.Sequential(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestEmpty(t *testing.T) {
+	queuetest.EmptyBehaviour(t, factory())
+}
+
+func TestConcurrent(t *testing.T) {
+	queuetest.Concurrent(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestConcurrentTinyRing(t *testing.T) {
+	// Tiny rings force frequent ring closings and list growth.
+	opts := queuetest.DefaultOptions()
+	opts.Capacity = 4
+	opts.ItemsPerProducer = 2000
+	queuetest.Concurrent(t, factory(), opts)
+}
+
+func TestRingClosingAppendsNewRing(t *testing.T) {
+	q, _ := New(2)
+	// Fill beyond one ring's capacity without dequeuing: the first
+	// ring must close and a second must be appended.
+	for i := uint64(1); i <= 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.head.Load() == q.tail.Load() {
+		t.Fatal("expected multiple rings after overfilling a size-2 ring")
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue returned an item")
+	}
+}
+
+func TestFixState(t *testing.T) {
+	r := newCRQ(4, 2)
+	// Dequeue on empty ring overshoots head past tail; fixState must
+	// resynchronize so subsequent enqueues are not lost.
+	if _, ok := r.dequeue(); ok {
+		t.Fatal("empty ring returned item")
+	}
+	if !r.enqueue(7) {
+		t.Fatal("enqueue failed on open ring")
+	}
+	if v, ok := r.dequeue(); !ok || v != 7 {
+		t.Fatalf("got %d,%v want 7", v, ok)
+	}
+}
+
+// White-box: a dequeuer that finds an older-lap value parked in its
+// cell must mark the cell unsafe (so the lagging enqueuer cannot
+// complete blindly), and enqueuers must refuse unsafe cells when the
+// consumer may still visit them.
+func TestUnsafeTransition(t *testing.T) {
+	r := newCRQ(4, 2)
+	// Plant an old value: lap 0 at cell 0.
+	r.cells[0].Store(packCell(true, 0, 7))
+	// A consumer at head 4 (lap 1) maps to cell 0 and must not consume
+	// the lap-0 value.
+	r.head.Store(4)
+	if v, ok := r.dequeue(); ok {
+		t.Fatalf("dequeue stole an old-lap value: %d", v)
+	}
+	safe, lap, val := unpackCell(r.cells[0].Load())
+	if safe {
+		t.Fatal("cell not marked unsafe")
+	}
+	if lap != 0 || val != 7 {
+		t.Fatalf("cell disturbed: lap=%d val=%d", lap, val)
+	}
+	// An enqueuer acquiring an index that maps to the unsafe cell with
+	// head beyond it must refuse the cell (it may retry elsewhere or
+	// close the ring, but must never overwrite the parked value).
+	r.tail.Store(4) // next enqueue index 4 -> cell 0
+	r.head.Store(9) // head well past index 4: unsafe condition fails
+	_ = r.enqueue(9)
+	_, _, val = unpackCell(r.cells[0].Load())
+	if val == 9 {
+		t.Fatal("enqueue used an unsafe cell it had to refuse")
+	}
+}
+
+// Closing: an enqueue into a full ring must close it rather than spin.
+func TestFullRingCloses(t *testing.T) {
+	r := newCRQ(2, 1)
+	if !r.enqueue(1) || !r.enqueue(2) {
+		t.Fatal("fill failed")
+	}
+	if r.enqueue(3) {
+		t.Fatal("enqueue succeeded on a full ring")
+	}
+	if r.tail.Load()&closedBit == 0 {
+		t.Fatal("full ring did not close")
+	}
+	// Parked values remain retrievable.
+	if v, ok := r.dequeue(); !ok || v != 1 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if v, ok := r.dequeue(); !ok || v != 2 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+}

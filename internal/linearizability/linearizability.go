@@ -1,0 +1,226 @@
+// Package linearizability checks concurrent FIFO-queue histories for
+// linearizability (Herlihy & Wing), in the spirit of the Wing & Gong
+// search as refined by Lowe: a depth-first enumeration of
+// linearization orders, pruned by real-time precedence and memoized on
+// (linearized-set, queue-state) pairs.
+//
+// The paper's Proposition 3 states that FFQ is linearizable and omits
+// the proof; this package provides the testing-side counterpart — any
+// recorded concurrent history of the implementation must admit a
+// legal sequential FIFO ordering. Histories are small (the search is
+// exponential in the worst case); the queue tests record many small
+// windows rather than one large one.
+package linearizability
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync/atomic"
+)
+
+// Kind is the type of a recorded operation.
+type Kind uint8
+
+// Operation kinds.
+const (
+	// Enqueue of Op.Value.
+	Enqueue Kind = iota
+	// DequeueOK: a dequeue that returned Op.Value.
+	DequeueOK
+	// DequeueEmpty: a dequeue that reported an empty queue.
+	DequeueEmpty
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Enqueue:
+		return "enq"
+	case DequeueOK:
+		return "deq"
+	case DequeueEmpty:
+		return "deq-empty"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed operation with its real-time interval. Start and
+// End come from a shared logical clock: Op A precedes Op B iff
+// A.End < B.Start.
+type Op struct {
+	Kind       Kind
+	Value      uint64
+	Start, End int64
+}
+
+func (o Op) String() string {
+	if o.Kind == DequeueEmpty {
+		return fmt.Sprintf("%s[%d,%d]", o.Kind, o.Start, o.End)
+	}
+	return fmt.Sprintf("%s(%d)[%d,%d]", o.Kind, o.Value, o.Start, o.End)
+}
+
+// MaxOps bounds the history size the checker accepts (the linearized
+// set is a 64-bit mask).
+const MaxOps = 64
+
+// CheckFIFO reports whether the history is linearizable with respect
+// to a sequential FIFO queue. Enqueue values must be pairwise distinct
+// (the recorder below guarantees it). Histories longer than MaxOps are
+// rejected with ok=false and a non-nil error.
+func CheckFIFO(history []Op) (bool, error) {
+	if len(history) > MaxOps {
+		return false, fmt.Errorf("linearizability: history of %d ops exceeds the %d-op limit", len(history), MaxOps)
+	}
+	seenVals := map[uint64]int{}
+	for _, o := range history {
+		if o.Kind == Enqueue {
+			seenVals[o.Value]++
+			if seenVals[o.Value] > 1 {
+				return false, fmt.Errorf("linearizability: duplicate enqueue value %d", o.Value)
+			}
+		}
+		if o.End < o.Start {
+			return false, fmt.Errorf("linearizability: op %v ends before it starts", o)
+		}
+	}
+	c := &checker{history: history, memo: map[memoKey]bool{}}
+	return c.search(0, nil), nil
+}
+
+type memoKey struct {
+	mask  uint64
+	qhash uint64
+}
+
+type checker struct {
+	history []Op
+	memo    map[memoKey]bool
+	seed    maphash.Seed
+	seeded  bool
+}
+
+func (c *checker) hashQueue(q []uint64) uint64 {
+	if !c.seeded {
+		c.seed = maphash.MakeSeed()
+		c.seeded = true
+	}
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	for _, v := range q {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// search tries to linearize the remaining operations given the mask of
+// already-linearized ones and the current queue content.
+func (c *checker) search(mask uint64, queue []uint64) bool {
+	full := uint64(1)<<len(c.history) - 1
+	if mask == full {
+		return true
+	}
+	key := memoKey{mask, c.hashQueue(queue)}
+	if done, ok := c.memo[key]; ok {
+		return done
+	}
+	// An un-linearized op o is a candidate iff no other un-linearized
+	// op strictly precedes it in real time (p.End < o.Start would force
+	// p to linearize first).
+	for i, o := range c.history {
+		bit := uint64(1) << i
+		if mask&bit != 0 {
+			continue
+		}
+		minimal := true
+		for j, p := range c.history {
+			if i == j || mask&(uint64(1)<<j) != 0 {
+				continue
+			}
+			if p.End < o.Start {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		// Apply o to the sequential FIFO model.
+		switch o.Kind {
+		case Enqueue:
+			if c.search(mask|bit, append(queue[:len(queue):len(queue)], o.Value)) {
+				c.memo[key] = true
+				return true
+			}
+		case DequeueOK:
+			if len(queue) > 0 && queue[0] == o.Value {
+				if c.search(mask|bit, queue[1:]) {
+					c.memo[key] = true
+					return true
+				}
+			}
+		case DequeueEmpty:
+			if len(queue) == 0 {
+				if c.search(mask|bit, queue) {
+					c.memo[key] = true
+					return true
+				}
+			}
+		}
+	}
+	c.memo[key] = false
+	return false
+}
+
+// Recorder collects a concurrent history with a shared logical clock.
+// Each worker obtains a Session (its private op buffer); Merge gathers
+// everything once the workers are done.
+type Recorder struct {
+	clock atomic.Int64
+}
+
+// Session is one goroutine's private recording buffer.
+type Session struct {
+	r   *Recorder
+	ops []Op
+}
+
+// NewSession returns a private session for one worker goroutine.
+func (r *Recorder) NewSession() *Session {
+	return &Session{r: r}
+}
+
+// Begin stamps the start of an operation.
+func (s *Session) Begin() int64 {
+	return s.r.clock.Add(1)
+}
+
+// EndEnqueue records a completed enqueue.
+func (s *Session) EndEnqueue(start int64, v uint64) {
+	s.ops = append(s.ops, Op{Kind: Enqueue, Value: v, Start: start, End: s.r.clock.Add(1)})
+}
+
+// EndDequeue records a completed dequeue (ok=false means it reported
+// empty).
+func (s *Session) EndDequeue(start int64, v uint64, ok bool) {
+	k := DequeueOK
+	if !ok {
+		k = DequeueEmpty
+	}
+	s.ops = append(s.ops, Op{Kind: k, Value: v, Start: start, End: s.r.clock.Add(1)})
+}
+
+// Merge concatenates the sessions' histories. Call only after every
+// worker has finished.
+func Merge(sessions ...*Session) []Op {
+	var out []Op
+	for _, s := range sessions {
+		out = append(out, s.ops...)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package linearizability
+
+import (
+	"sync"
+	"testing"
+
+	"ffq/internal/core"
+)
+
+// seq builds a strictly sequential history from (kind, value) pairs.
+func seq(ops ...Op) []Op {
+	t := int64(0)
+	out := make([]Op, len(ops))
+	for i, o := range ops {
+		t++
+		o.Start = t
+		t++
+		o.End = t
+		out[i] = o
+	}
+	return out
+}
+
+func mustCheck(t *testing.T, h []Op) bool {
+	t.Helper()
+	ok, err := CheckFIFO(h)
+	if err != nil {
+		t.Fatalf("CheckFIFO: %v", err)
+	}
+	return ok
+}
+
+func TestSequentialValid(t *testing.T) {
+	h := seq(
+		Op{Kind: Enqueue, Value: 1},
+		Op{Kind: Enqueue, Value: 2},
+		Op{Kind: DequeueOK, Value: 1},
+		Op{Kind: DequeueOK, Value: 2},
+		Op{Kind: DequeueEmpty},
+	)
+	if !mustCheck(t, h) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestSequentialFIFOViolation(t *testing.T) {
+	h := seq(
+		Op{Kind: Enqueue, Value: 1},
+		Op{Kind: Enqueue, Value: 2},
+		Op{Kind: DequeueOK, Value: 2}, // LIFO, not FIFO
+	)
+	if mustCheck(t, h) {
+		t.Fatal("LIFO history accepted as FIFO")
+	}
+}
+
+func TestDequeueOfPhantomValue(t *testing.T) {
+	h := seq(
+		Op{Kind: Enqueue, Value: 1},
+		Op{Kind: DequeueOK, Value: 9},
+	)
+	if mustCheck(t, h) {
+		t.Fatal("phantom dequeue accepted")
+	}
+}
+
+func TestEmptyWhileFull(t *testing.T) {
+	h := seq(
+		Op{Kind: Enqueue, Value: 1},
+		Op{Kind: DequeueEmpty}, // strictly after the enqueue completed
+	)
+	if mustCheck(t, h) {
+		t.Fatal("empty observation after completed enqueue accepted")
+	}
+}
+
+// Overlapping operations may be reordered: a dequeue that starts
+// before a concurrent enqueue completes may legally return its value.
+func TestConcurrentReorderingAllowed(t *testing.T) {
+	h := []Op{
+		{Kind: Enqueue, Value: 1, Start: 1, End: 10},
+		{Kind: DequeueOK, Value: 1, Start: 2, End: 9},
+	}
+	if !mustCheck(t, h) {
+		t.Fatal("legal concurrent overlap rejected")
+	}
+	// And a concurrent empty observation is also legal.
+	h2 := []Op{
+		{Kind: Enqueue, Value: 1, Start: 1, End: 10},
+		{Kind: DequeueEmpty, Start: 2, End: 9},
+		{Kind: DequeueOK, Value: 1, Start: 11, End: 12},
+	}
+	if !mustCheck(t, h2) {
+		t.Fatal("legal concurrent empty rejected")
+	}
+}
+
+// Two concurrent enqueues can land in either order, but both orders
+// must agree with the dequeues that follow.
+func TestConcurrentEnqueueOrders(t *testing.T) {
+	base := []Op{
+		{Kind: Enqueue, Value: 1, Start: 1, End: 5},
+		{Kind: Enqueue, Value: 2, Start: 2, End: 6},
+	}
+	ok1 := append(append([]Op{}, base...),
+		Op{Kind: DequeueOK, Value: 2, Start: 7, End: 8},
+		Op{Kind: DequeueOK, Value: 1, Start: 9, End: 10})
+	if !mustCheck(t, ok1) {
+		t.Fatal("2-then-1 rejected despite concurrent enqueues")
+	}
+	bad := append(append([]Op{}, base...),
+		Op{Kind: DequeueOK, Value: 2, Start: 7, End: 8},
+		Op{Kind: DequeueOK, Value: 2, Start: 9, End: 10}) // duplicate delivery
+	if mustCheck(t, bad) {
+		t.Fatal("duplicate delivery accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := CheckFIFO(make([]Op, MaxOps+1)); err == nil {
+		t.Error("oversized history accepted")
+	}
+	dup := seq(Op{Kind: Enqueue, Value: 5}, Op{Kind: Enqueue, Value: 5})
+	if _, err := CheckFIFO(dup); err == nil {
+		t.Error("duplicate enqueue values accepted")
+	}
+	rev := []Op{{Kind: Enqueue, Value: 1, Start: 5, End: 2}}
+	if _, err := CheckFIFO(rev); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+// Recorded histories of the real FFQ implementations must always be
+// linearizable (the testing-side half of the paper's Proposition 3).
+func TestFFQMPMCHistoriesLinearizable(t *testing.T) {
+	const rounds = 40
+	for r := 0; r < rounds; r++ {
+		q, err := core.NewMPMC[uint64](4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec Recorder
+		const workers = 3
+		const perWorker = 4
+		sessions := make([]*Session, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			sessions[w] = rec.NewSession()
+			wg.Add(1)
+			go func(w int, s *Session) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					v := uint64(w*perWorker + i + 1)
+					st := s.Begin()
+					q.Enqueue(v)
+					s.EndEnqueue(st, v)
+					st = s.Begin()
+					got, _ := q.Dequeue() // blocking: always ok
+					s.EndDequeue(st, got, true)
+				}
+			}(w, sessions[w])
+		}
+		wg.Wait()
+		h := Merge(sessions...)
+		ok, err := CheckFIFO(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("round %d: non-linearizable history:\n%v", r, h)
+		}
+	}
+}
+
+func TestFFQSPMCHistoriesLinearizable(t *testing.T) {
+	const rounds = 40
+	for r := 0; r < rounds; r++ {
+		q, err := core.NewSPMC[uint64](8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec Recorder
+		prod := rec.NewSession()
+		const consumers = 3
+		const items = 9
+		sessions := []*Session{prod}
+		var wg sync.WaitGroup
+		consSessions := make([]*Session, consumers)
+		for c := 0; c < consumers; c++ {
+			consSessions[c] = rec.NewSession()
+			sessions = append(sessions, consSessions[c])
+			wg.Add(1)
+			go func(s *Session) {
+				defer wg.Done()
+				for i := 0; i < items/consumers; i++ {
+					st := s.Begin()
+					v, _ := q.Dequeue()
+					s.EndDequeue(st, v, true)
+				}
+			}(consSessions[c])
+		}
+		for i := 1; i <= items; i++ {
+			st := prod.Begin()
+			q.Enqueue(uint64(i))
+			prod.EndEnqueue(st, uint64(i))
+		}
+		wg.Wait()
+		ok, err := CheckFIFO(Merge(sessions...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("round %d: non-linearizable SPMC history", r)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Enqueue.String() != "enq" || DequeueOK.String() != "deq" || DequeueEmpty.String() != "deq-empty" {
+		t.Error("kind names")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind")
+	}
+}

@@ -1,0 +1,496 @@
+// Package modelcheck exhaustively explores every interleaving of a
+// small FFQ^s (Algorithm 1) configuration at shared-memory-access
+// granularity — a bounded model checker for the algorithm itself,
+// independent of the Go implementation.
+//
+// The producer and each consumer are encoded as explicit state
+// machines whose transitions perform exactly one access to shared
+// state (a cell's rank/gap/data, or the head counter); thread-private
+// state (the tail counter, loop locals) piggybacks on adjacent steps,
+// which is sound because no other thread can observe it. A depth-first
+// search over all schedules, de-duplicated on full global state,
+// visits every reachable interleaving; spin loops terminate the search
+// naturally because a re-read that changes nothing reproduces an
+// already-visited state.
+//
+// Checked properties:
+//
+//   - Safety at every state: counters within bounds, cells well-formed.
+//   - No stuck states: every non-terminal state has a transition that
+//     changes it (the paper's progress claims, Propositions 1-2, at
+//     this configuration size).
+//   - At every terminal state: every enqueued value is delivered
+//     exactly once, and each consumer's deliveries are in increasing
+//     production order (FIFO per observer, the order property the
+//     single producer induces).
+//
+// Configurations are tiny (2-4 cells, 2-3 consumers, 3-6 items) but
+// they exercise every line of Algorithm 1 including wrap-around and
+// gap creation; the state spaces run to a few hundred thousand states.
+package modelcheck
+
+import (
+	"fmt"
+)
+
+// Config sizes the explored system.
+type Config struct {
+	// Cells is the queue capacity N (power of two not required here;
+	// the model uses real modulo).
+	Cells int
+	// Items is how many values the producer enqueues (values 1..Items).
+	Items int
+	// Consumers is the number of concurrent dequeuers.
+	Consumers int
+	// Takes[i] is how many items consumer i must dequeue; the sum must
+	// equal Items.
+	Takes []int
+	// MaxStates aborts runaway explorations (0 = 5,000,000).
+	MaxStates int
+	// MaxGaps bounds how many ranks the producer may skip in one run
+	// (0 = 4). Without a bound the producer can skip forever while the
+	// scheduler starves the consumers — the exact regime the paper's
+	// "always some empty slot" assumption (footnote 2) excludes — so
+	// schedules exceeding the bound are pruned as assumption
+	// violations. This makes the exploration a bounded check under the
+	// paper's environment assumption, not an unbounded proof.
+	MaxGaps int
+	// Mutation optionally injects one of the bugs the paper warns
+	// about, to validate that this checker (and the paper's arguments)
+	// actually catch them.
+	Mutation Mutation
+	// CheckLiveness additionally verifies that every reachable state
+	// can still reach a terminal state — the model-level counterpart
+	// of the paper's progress claims (Propositions 1-2). Costs the
+	// memory of the full transition graph.
+	CheckLiveness bool
+}
+
+// Mutation selects an injected algorithm bug.
+type Mutation uint8
+
+const (
+	// MutationNone explores the correct Algorithm 1.
+	MutationNone Mutation = iota
+	// MutationNoRecheck drops the "cell.rank != rank" re-check of
+	// Algorithm 1 line 29. The paper explains why it is needed: the
+	// producer may publish the expected element between the line-25
+	// check and the gap check, and a consumer that skips anyway loses
+	// the element.
+	MutationNoRecheck
+	// MutationRankBeforeData makes the producer publish the rank
+	// before writing the data (the ordering footnote 3 enforces with
+	// barriers): a consumer can then read stale data.
+	MutationRankBeforeData
+)
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct global states visited.
+	States int
+	// Terminals is the number of distinct terminal states reached.
+	Terminals int
+	// MaxGapsSeen is the largest number of skipped ranks in any run.
+	MaxGapsSeen int
+}
+
+// producer program counters.
+const (
+	pIdle = iota // decide next item / finish
+	pReadRank
+	pWriteGap
+	pWriteData
+	pWriteRank
+	pDone
+)
+
+// consumer program counters.
+const (
+	cIdle    = iota // decide next take / finish
+	cAcquire        // FAA on head
+	cReadRank
+	cReadData
+	cClearRank
+	cReadGap
+	cRecheckRank
+	cDone
+)
+
+const freeRank = -1
+
+// state is the full global state. It must be comparable for the
+// visited set, hence fixed-size arrays bounded by the limits below.
+const (
+	maxCells     = 4
+	maxConsumers = 3
+	maxItems     = 7
+)
+
+type cellState struct {
+	rank int8
+	gap  int8
+	data int8
+}
+
+type consumerState struct {
+	pc    int8
+	rank  int8 // acquired rank
+	r     int8 // last rank read
+	g     int8 // last gap read
+	taken int8 // items delivered so far
+	// recv records delivered values in order (bounded by maxItems).
+	recv [maxItems]int8
+}
+
+type state struct {
+	cells [maxCells]cellState
+	head  int8
+	tail  int8
+	// producer
+	ppc   int8
+	pitem int8 // next value to enqueue (1-based)
+	pr    int8 // last rank read
+	gaps  int8 // skipped ranks so far (for reporting)
+	cons  [maxConsumers]consumerState
+}
+
+// Explore runs the exhaustive search. It returns an error describing
+// the first property violation found, if any.
+func Explore(cfg Config) (Result, error) {
+	if cfg.Cells < 1 || cfg.Cells > maxCells {
+		return Result{}, fmt.Errorf("modelcheck: cells must be in [1,%d]", maxCells)
+	}
+	if cfg.Items < 1 || cfg.Items > maxItems-1 {
+		return Result{}, fmt.Errorf("modelcheck: items must be in [1,%d]", maxItems-1)
+	}
+	if cfg.Consumers < 1 || cfg.Consumers > maxConsumers {
+		return Result{}, fmt.Errorf("modelcheck: consumers must be in [1,%d]", maxConsumers)
+	}
+	if len(cfg.Takes) != cfg.Consumers {
+		return Result{}, fmt.Errorf("modelcheck: need %d take counts", cfg.Consumers)
+	}
+	sum := 0
+	for _, t := range cfg.Takes {
+		sum += t
+	}
+	if sum != cfg.Items {
+		return Result{}, fmt.Errorf("modelcheck: takes sum to %d, want %d", sum, cfg.Items)
+	}
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 5_000_000
+	}
+	if cfg.MaxGaps == 0 {
+		cfg.MaxGaps = 4
+	}
+
+	var init state
+	for i := 0; i < cfg.Cells; i++ {
+		init.cells[i] = cellState{rank: freeRank, gap: freeRank}
+	}
+	init.pitem = 1
+	e := &explorer{cfg: cfg, visited: map[state]bool{}}
+	if cfg.CheckLiveness {
+		e.edges = map[state][]state{}
+		e.terminals = map[state]bool{}
+		e.assumed = map[state]bool{}
+	}
+	if err := e.dfs(init); err != nil {
+		return e.result, err
+	}
+	if cfg.CheckLiveness {
+		if err := e.liveness(); err != nil {
+			return e.result, err
+		}
+	}
+	return e.result, nil
+}
+
+// liveness verifies that a terminal state is reachable from every
+// visited state, by a reverse closure from the terminals.
+func (e *explorer) liveness() error {
+	// Build the reverse adjacency.
+	rev := make(map[state][]state, len(e.edges))
+	for from, tos := range e.edges {
+		for _, to := range tos {
+			rev[to] = append(rev[to], from)
+		}
+	}
+	canFinish := make(map[state]bool, len(e.visited))
+	var stack []state
+	for t := range e.terminals {
+		canFinish[t] = true
+		stack = append(stack, t)
+	}
+	for t := range e.assumed {
+		if !canFinish[t] {
+			canFinish[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !canFinish[p] {
+				canFinish[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for s := range e.visited {
+		if !canFinish[s] {
+			return fmt.Errorf("modelcheck: livelock — no terminal reachable from %+v", s)
+		}
+	}
+	return nil
+}
+
+type explorer struct {
+	cfg       Config
+	visited   map[state]bool
+	edges     map[state][]state // only with CheckLiveness
+	terminals map[state]bool    // only with CheckLiveness
+	assumed   map[state]bool    // states whose continuation was pruned
+	result    Result
+}
+
+func (e *explorer) dfs(s state) error {
+	if e.visited[s] {
+		return nil
+	}
+	if len(e.visited) >= e.cfg.MaxStates {
+		return fmt.Errorf("modelcheck: state budget of %d exhausted", e.cfg.MaxStates)
+	}
+	e.visited[s] = true
+	e.result.States++
+	if int(s.gaps) > e.result.MaxGapsSeen {
+		e.result.MaxGapsSeen = int(s.gaps)
+	}
+	if err := e.invariants(s); err != nil {
+		return err
+	}
+
+	if e.terminal(s) {
+		e.result.Terminals++
+		if e.terminals != nil {
+			e.terminals[s] = true
+		}
+		return e.checkTerminal(s)
+	}
+
+	progressed := false
+	// Producer step.
+	if s.ppc != pDone {
+		next := e.stepProducer(s)
+		if int(next.gaps) > e.cfg.MaxGaps {
+			// Assumption violation (queue persistently full): prune
+			// this schedule rather than explore unbounded skipping.
+			// For the liveness pass such states count as vacuously
+			// completable — the runs they cut off are exactly the ones
+			// the paper's environment assumption excludes.
+			progressed = true
+			if e.assumed != nil {
+				e.assumed[s] = true
+			}
+		} else {
+			if next != s {
+				progressed = true
+			}
+			if e.edges != nil {
+				e.edges[s] = append(e.edges[s], next)
+			}
+			if err := e.dfs(next); err != nil {
+				return err
+			}
+		}
+	}
+	// Consumer steps.
+	for c := 0; c < e.cfg.Consumers; c++ {
+		if s.cons[c].pc == cDone {
+			continue
+		}
+		next := e.stepConsumer(s, c)
+		if next != s {
+			progressed = true
+		}
+		if e.edges != nil {
+			e.edges[s] = append(e.edges[s], next)
+		}
+		if err := e.dfs(next); err != nil {
+			return err
+		}
+	}
+	if !progressed {
+		return fmt.Errorf("modelcheck: stuck state (no thread can change the state): %+v", s)
+	}
+	return nil
+}
+
+func (e *explorer) terminal(s state) bool {
+	if s.ppc != pDone {
+		return false
+	}
+	for c := 0; c < e.cfg.Consumers; c++ {
+		if s.cons[c].pc != cDone {
+			return false
+		}
+	}
+	return true
+}
+
+// invariants hold at every reachable state.
+func (e *explorer) invariants(s state) error {
+	if s.head < 0 || s.tail < 0 {
+		return fmt.Errorf("modelcheck: negative counter in %+v", s)
+	}
+	for i := 0; i < e.cfg.Cells; i++ {
+		c := s.cells[i]
+		if c.rank != freeRank && int(c.rank)%e.cfg.Cells != i {
+			return fmt.Errorf("modelcheck: cell %d holds foreign rank %d", i, c.rank)
+		}
+		if c.gap != freeRank && int(c.gap)%e.cfg.Cells != i {
+			return fmt.Errorf("modelcheck: cell %d holds foreign gap %d", i, c.gap)
+		}
+	}
+	return nil
+}
+
+// checkTerminal verifies exactly-once delivery and per-consumer order.
+func (e *explorer) checkTerminal(s state) error {
+	seen := make([]bool, e.cfg.Items+1)
+	for c := 0; c < e.cfg.Consumers; c++ {
+		cs := s.cons[c]
+		prev := int8(0)
+		for k := int8(0); k < cs.taken; k++ {
+			v := cs.recv[k]
+			if v < 1 || int(v) > e.cfg.Items {
+				return fmt.Errorf("modelcheck: consumer %d received bogus value %d", c, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("modelcheck: value %d delivered twice", v)
+			}
+			seen[v] = true
+			if v <= prev {
+				return fmt.Errorf("modelcheck: consumer %d order violation: %d after %d", c, v, prev)
+			}
+			prev = v
+		}
+	}
+	for v := 1; v <= e.cfg.Items; v++ {
+		if !seen[v] {
+			return fmt.Errorf("modelcheck: value %d lost", v)
+		}
+	}
+	return nil
+}
+
+// stepProducer performs the producer's next shared-memory access
+// (Algorithm 1, FFQ_ENQ).
+func (e *explorer) stepProducer(s state) state {
+	n := int8(e.cfg.Cells)
+	switch s.ppc {
+	case pIdle:
+		if int(s.pitem) > e.cfg.Items {
+			s.ppc = pDone
+			return s
+		}
+		s.ppc = pReadRank
+		return s
+	case pReadRank:
+		s.pr = s.cells[s.tail%n].rank
+		if s.pr >= 0 {
+			s.ppc = pWriteGap // occupied: skip (separate shared write)
+		} else {
+			s.ppc = pWriteData
+		}
+		return s
+	case pWriteGap:
+		// Announce the gap (Algorithm 1 line 14); the private tail
+		// increment rides along with the single shared write.
+		s.cells[s.tail%n].gap = s.tail
+		s.tail++
+		s.gaps++
+		s.ppc = pReadRank
+		return s
+	case pWriteData:
+		if e.cfg.Mutation == MutationRankBeforeData {
+			// Publish the rank first (the bug footnote 3's barrier
+			// prevents); the data store happens in the next step.
+			s.cells[s.tail%n].rank = s.tail
+		} else {
+			s.cells[s.tail%n].data = s.pitem
+		}
+		s.ppc = pWriteRank
+		return s
+	case pWriteRank:
+		if e.cfg.Mutation == MutationRankBeforeData {
+			s.cells[s.tail%n].data = s.pitem
+		} else {
+			s.cells[s.tail%n].rank = s.tail
+		}
+		s.tail++
+		s.pitem++
+		s.ppc = pIdle
+		return s
+	default:
+		return s
+	}
+}
+
+// stepConsumer performs consumer c's next shared-memory access
+// (Algorithm 1, FFQ_DEQ).
+func (e *explorer) stepConsumer(s state, c int) state {
+	n := int8(e.cfg.Cells)
+	cs := &s.cons[c]
+	switch cs.pc {
+	case cIdle:
+		if int(cs.taken) >= e.cfg.Takes[c] {
+			cs.pc = cDone
+			return s
+		}
+		cs.pc = cAcquire
+		return s
+	case cAcquire:
+		cs.rank = s.head // fetch-and-increment (one atomic step)
+		s.head++
+		cs.pc = cReadRank
+		return s
+	case cReadRank:
+		cs.r = s.cells[cs.rank%n].rank
+		if cs.r == cs.rank {
+			cs.pc = cReadData
+		} else {
+			cs.pc = cReadGap
+		}
+		return s
+	case cReadData:
+		v := s.cells[cs.rank%n].data
+		cs.recv[cs.taken] = v
+		cs.pc = cClearRank
+		return s
+	case cClearRank:
+		s.cells[cs.rank%n].rank = freeRank
+		cs.taken++
+		cs.pc = cIdle
+		return s
+	case cReadGap:
+		cs.g = s.cells[cs.rank%n].gap
+		cs.pc = cRecheckRank
+		return s
+	case cRecheckRank:
+		r2 := s.cells[cs.rank%n].rank
+		if e.cfg.Mutation == MutationNoRecheck {
+			r2 = freeRank // pretend the re-check never matches
+		}
+		if cs.g >= cs.rank && r2 != cs.rank {
+			// Rank skipped: acquire a new one (lines 29-31).
+			cs.pc = cAcquire
+		} else {
+			// Back off and re-poll (line 32).
+			cs.pc = cReadRank
+		}
+		return s
+	default:
+		return s
+	}
+}

@@ -1,0 +1,111 @@
+package modelcheck
+
+import "testing"
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Cells: 0, Items: 2, Consumers: 1, Takes: []int{2}},
+		{Cells: 9, Items: 2, Consumers: 1, Takes: []int{2}},
+		{Cells: 2, Items: 0, Consumers: 1, Takes: []int{0}},
+		{Cells: 2, Items: 2, Consumers: 0, Takes: nil},
+		{Cells: 2, Items: 2, Consumers: 1, Takes: []int{1}}, // sum mismatch
+		{Cells: 2, Items: 2, Consumers: 2, Takes: []int{2}}, // count mismatch
+	}
+	for i, cfg := range bad {
+		if _, err := Explore(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// Single consumer, queue bigger than the items: trivially sequential
+// interleavings, but validates the harness end to end.
+func TestTinySequential(t *testing.T) {
+	res, err := Explore(Config{Cells: 4, Items: 3, Consumers: 1, Takes: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminals == 0 || res.States == 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// Two consumers on a two-cell queue with wrap-around: exercises gap
+// creation, gap supersession and the re-check of line 29 across every
+// schedule.
+func TestTwoConsumersWrapAround(t *testing.T) {
+	res, err := Explore(Config{Cells: 2, Items: 4, Consumers: 2, Takes: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("states=%d terminals=%d maxGaps=%d", res.States, res.Terminals, res.MaxGapsSeen)
+	if res.MaxGapsSeen == 0 {
+		t.Error("no schedule produced a gap; the configuration is too easy")
+	}
+}
+
+// Liveness: from every reachable state a terminal remains reachable
+// (the model-level progress property behind Propositions 1-2).
+func TestLiveness(t *testing.T) {
+	res, err := Explore(Config{
+		Cells: 2, Items: 3, Consumers: 2, Takes: []int{2, 1},
+		CheckLiveness: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States == 0 {
+		t.Fatal("no states explored")
+	}
+}
+
+// Three consumers with asymmetric takes on a tiny ring.
+func TestThreeConsumers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	res, err := Explore(Config{
+		Cells: 2, Items: 3, Consumers: 3, Takes: []int{1, 1, 1},
+		MaxStates: 8_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("states=%d terminals=%d maxGaps=%d", res.States, res.Terminals, res.MaxGapsSeen)
+}
+
+// A deliberately broken model variant is beyond this package's scope,
+// but the bounds checks must reject oversized configurations rather
+// than overflow the fixed-size state arrays.
+func TestBoundsRejected(t *testing.T) {
+	if _, err := Explore(Config{Cells: 2, Items: maxItems, Consumers: 1, Takes: []int{maxItems}}); err == nil {
+		t.Error("item bound not enforced")
+	}
+}
+
+// Mutation validation: the checker must rediscover the two races the
+// paper documents when their countermeasures are removed.
+func TestMutationNoRecheckCaught(t *testing.T) {
+	// The lost element manifests as livelock: the consumer that
+	// skipped it spins forever on a rank that will never be published,
+	// so no terminal remains reachable — hence CheckLiveness.
+	_, err := Explore(Config{
+		Cells: 2, Items: 4, Consumers: 2, Takes: []int{2, 2},
+		Mutation: MutationNoRecheck, CheckLiveness: true,
+	})
+	if err == nil {
+		t.Fatal("dropping the line-29 re-check went undetected")
+	}
+	t.Logf("caught: %v", err)
+}
+
+func TestMutationRankBeforeDataCaught(t *testing.T) {
+	_, err := Explore(Config{
+		Cells: 2, Items: 4, Consumers: 2, Takes: []int{2, 2},
+		Mutation: MutationRankBeforeData,
+	})
+	if err == nil {
+		t.Fatal("publishing rank before data went undetected")
+	}
+	t.Logf("caught: %v", err)
+}

@@ -1,0 +1,84 @@
+// Package msqueue implements the classic Michael & Scott non-blocking
+// unbounded MPMC FIFO queue [PODC'96], one of the baselines of the
+// paper's comparative study (Section V-G). As the paper notes, it
+// "does not scale well in practice due to contention on tail and head
+// pointers": every operation is a CAS loop on one of two hot words.
+//
+// The Go port replaces the original's counted pointers (needed to
+// defeat ABA under manual memory reuse) with garbage-collected nodes:
+// a node address is never recycled while any thread still holds it, so
+// plain atomic.Pointer CAS is ABA-safe.
+package msqueue
+
+import "sync/atomic"
+
+type node struct {
+	value uint64
+	next  atomic.Pointer[node]
+}
+
+// Queue is an unbounded multi-producer/multi-consumer FIFO queue.
+// The zero value is not usable; call New.
+type Queue struct {
+	_    [64]byte
+	head atomic.Pointer[node]
+	_    [64]byte
+	tail atomic.Pointer[node]
+	_    [64]byte
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	q := &Queue{}
+	dummy := &node{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue inserts v at the tail. Lock-free.
+func (q *Queue) Enqueue(v uint64) {
+	n := &node{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue // tail moved under us; re-read
+		}
+		if next != nil {
+			// Tail is lagging: help advance it, then retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			// Linearized. Swing tail (failure is fine: someone helped).
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes the item at the head. ok=false if the queue was
+// observed empty. Lock-free.
+func (q *Queue) Dequeue() (uint64, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return 0, false // empty
+			}
+			// Tail lagging behind an in-flight enqueue: help it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			return v, true
+		}
+	}
+}

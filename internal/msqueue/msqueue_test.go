@@ -1,0 +1,60 @@
+package msqueue_test
+
+import (
+	"testing"
+
+	"ffq/internal/msqueue"
+	"ffq/internal/queue"
+	"ffq/internal/queuetest"
+)
+
+func factory() queue.Factory {
+	return queue.Factory{
+		Name: "msqueue",
+		New: func(_, _ int) queue.Shared {
+			return queue.SelfRegistering{Q: msqueue.New()}
+		},
+	}
+}
+
+func TestSequential(t *testing.T) {
+	queuetest.Sequential(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestEmpty(t *testing.T) {
+	queuetest.EmptyBehaviour(t, factory())
+}
+
+func TestConcurrent(t *testing.T) {
+	queuetest.Concurrent(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestUnbounded(t *testing.T) {
+	q := msqueue.New()
+	const n = 100000
+	for i := uint64(1); i <= n; i++ {
+		q.Enqueue(i)
+	}
+	for i := uint64(1); i <= n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+func TestInterleavedEmpty(t *testing.T) {
+	q := msqueue.New()
+	for i := 0; i < 1000; i++ {
+		if _, ok := q.Dequeue(); ok {
+			t.Fatal("phantom item")
+		}
+		q.Enqueue(uint64(i + 1))
+		if v, ok := q.Dequeue(); !ok || v != uint64(i+1) {
+			t.Fatalf("round %d: got %d,%v", i, v, ok)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package perfmodel reproduces the paper's cache-locality study
+// (Section V-D, Figures 4-6) by simulation: it replays the memory
+// access pattern of one FFQ producer/consumer pair — submission queue
+// one way, response queue the other, exactly the microbenchmark of
+// Section V-A — against the cache hierarchy of internal/cachesim, and
+// derives the metrics the paper reads from Intel PCM: IPC, L2/L3 hit
+// ratios, L3 misses, and memory bandwidth.
+//
+// This is substitution #3 of DESIGN.md: the real experiment needs
+// model-specific registers; the simulation preserves the *shapes* the
+// paper reports — hit ratios that climb with queue size and collapse
+// once the working set spills out of L3, bandwidth exploding past that
+// knee, and the crossovers between the thread-placement policies.
+//
+// The thread-placement policies map onto the simulation as:
+//
+//   - OtherCore / NoAffinity: producer and consumer run concurrently
+//     on different simulated cores; every handoff of a cell line is a
+//     coherence transfer. (The paper observes these two behave alike
+//     because Linux spreads runnable threads across cores.)
+//   - SiblingHT: both agents on one core, sharing its L1/L2, running
+//     concurrently but paying an SMT issue-sharing penalty on
+//     instruction throughput.
+//   - SameHT: both agents time-share one hardware thread; execution
+//     alternates in batches (the producer runs until the queue fills,
+//     then the consumer drains it) with a context-switch cost per
+//     swap. This is what an OS actually does with two runnable threads
+//     on one CPU, and it is why large queues help this policy: fewer,
+//     longer batches.
+package perfmodel
+
+import (
+	"fmt"
+
+	"ffq/internal/affinity"
+	"ffq/internal/cachesim"
+)
+
+// Config parameterizes one simulated run.
+type Config struct {
+	// QueueEntries is the FFQ capacity (cells per direction).
+	QueueEntries int
+	// CellBytes is the in-memory footprint per cell (64 = the paper's
+	// cache-aligned cells).
+	CellBytes int
+	// Items is the number of round-trips to simulate.
+	Items int
+	// Policy is the thread-placement policy under study.
+	Policy affinity.Policy
+	// Cache is the simulated hierarchy (SkylakeConfig() when zero).
+	Cache cachesim.Config
+	// FreqGHz converts cycles to seconds (Skylake: 3.6).
+	FreqGHz float64
+	// ProducerInstr/ConsumerInstr are the non-memory instruction counts
+	// per operation (enqueue+response-poll / dequeue+response-write).
+	ProducerInstr, ConsumerInstr int
+	// BaseCPI is cycles per instruction apart from memory stalls.
+	BaseCPI float64
+	// SMTPenalty multiplies instruction cycles when two hardware
+	// threads share a core (SiblingHT).
+	SMTPenalty float64
+	// SwitchCycles is the context-switch cost for SameHT batching.
+	SwitchCycles int
+}
+
+// DefaultConfig returns Skylake-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		QueueEntries:  1 << 12,
+		CellBytes:     64,
+		Items:         200_000,
+		Policy:        affinity.NoAffinity,
+		Cache:         cachesim.SkylakeConfig(),
+		FreqGHz:       3.6,
+		ProducerInstr: 24,
+		ConsumerInstr: 24,
+		BaseCPI:       0.35,
+		SMTPenalty:    1.45,
+		SwitchCycles:  4000,
+	}
+}
+
+// Result carries the derived counters for one run.
+type Result struct {
+	// ThroughputMops is completed round-trips per second, in millions.
+	ThroughputMops float64
+	// IPC is instructions per cycle over the busy agent(s).
+	IPC float64
+	// L2HitRatio and L3HitRatio follow the paper's definitions
+	// (hits at the level / accesses reaching the level).
+	L2HitRatio, L3HitRatio float64
+	// L3Misses is the absolute number of L3 misses.
+	L3Misses uint64
+	// MemBandwidthGBs is DRAM traffic in GB/s.
+	MemBandwidthGBs float64
+	// Cycles is the simulated wall time in cycles.
+	Cycles float64
+	// Cache is the raw hierarchy counter snapshot.
+	Cache cachesim.Stats
+}
+
+// agent is one simulated thread.
+type agent struct {
+	core  int
+	time  float64 // virtual cycles
+	instr uint64
+}
+
+// Run simulates the configured producer/consumer pair.
+func Run(cfg Config) (Result, error) {
+	if cfg.QueueEntries < 2 {
+		return Result{}, fmt.Errorf("perfmodel: queue of %d entries", cfg.QueueEntries)
+	}
+	if cfg.Cache.Cores == 0 {
+		cfg.Cache = cachesim.SkylakeConfig()
+	}
+	if cfg.FreqGHz == 0 {
+		def := DefaultConfig()
+		cfg.FreqGHz = def.FreqGHz
+		cfg.ProducerInstr = def.ProducerInstr
+		cfg.ConsumerInstr = def.ConsumerInstr
+		cfg.BaseCPI = def.BaseCPI
+		cfg.SMTPenalty = def.SMTPenalty
+		cfg.SwitchCycles = def.SwitchCycles
+	}
+	h, err := cachesim.New(cfg.Cache)
+	if err != nil {
+		return Result{}, err
+	}
+
+	n := uint64(cfg.QueueEntries)
+	cell := uint64(cfg.CellBytes)
+	subBase := uint64(1) << 30  // arbitrary, line-aligned
+	respBase := uint64(3) << 30 // disjoint region for the response queue
+
+	prodCore, consCore := 0, 1
+	smt := 1.0
+	switch cfg.Policy {
+	case affinity.SiblingHT:
+		prodCore, consCore = 0, 0
+		smt = cfg.SMTPenalty
+	case affinity.SameHT:
+		prodCore, consCore = 0, 0
+	case affinity.OtherCore, affinity.NoAffinity:
+		if cfg.Cache.Cores < 2 {
+			return Result{}, fmt.Errorf("perfmodel: %v needs >= 2 simulated cores", cfg.Policy)
+		}
+	}
+
+	prod := &agent{core: prodCore}
+	cons := &agent{core: consCore}
+
+	// producerOp: enqueue item i (write data+rank into the submission
+	// cell, one rank re-read) and poll the response cell of an earlier
+	// item (read rank+data, write rank reset).
+	producerOp := func(i uint64) {
+		addr := subBase + (i%n)*cell
+		_, c1 := h.Access(prod.core, addr, false) // check cell free
+		_, c2 := h.Access(prod.core, addr, true)  // data + rank stores
+		cost := float64(c1 + c2)
+		raddr := respBase + (i%n)*cell
+		_, c3 := h.Access(prod.core, raddr, false) // poll response rank
+		_, c4 := h.Access(prod.core, raddr, true)  // consume + reset
+		cost += float64(c3 + c4)
+		cost += float64(cfg.ProducerInstr) * cfg.BaseCPI * smt
+		prod.time += cost
+		prod.instr += uint64(cfg.ProducerInstr) + 4
+	}
+	// consumerOp: dequeue item i (read rank+data, write rank reset)
+	// and write the response (write data+rank).
+	consumerOp := func(i uint64) {
+		addr := subBase + (i%n)*cell
+		_, c1 := h.Access(cons.core, addr, false) // rank + data load
+		_, c2 := h.Access(cons.core, addr, true)  // rank reset
+		cost := float64(c1 + c2)
+		raddr := respBase + (i%n)*cell
+		_, c3 := h.Access(cons.core, raddr, true) // response store
+		cost += float64(c3)
+		cost += float64(cfg.ConsumerInstr) * cfg.BaseCPI * smt
+		cons.time += cost
+		cons.instr += uint64(cfg.ConsumerInstr) + 3
+	}
+
+	items := uint64(cfg.Items)
+	var produced, consumed uint64
+
+	// sim advances the simulation until `target` round-trips have
+	// completed, preserving cache and queue state across calls.
+	sim := func(target uint64) {
+		if cfg.Policy == affinity.SameHT {
+			// Batched time multiplexing on one hardware thread.
+			now := prod.time
+			if cons.time > now {
+				now = cons.time
+			}
+			for consumed < target {
+				// Producer batch: fill the queue (or finish).
+				batch := n - (produced - consumed)
+				if target-produced < batch {
+					batch = target - produced
+				}
+				prod.time = now
+				for k := uint64(0); k < batch; k++ {
+					producerOp(produced)
+					produced++
+				}
+				now = prod.time + float64(cfg.SwitchCycles)
+				// Consumer batch: drain everything produced so far.
+				cons.time = now
+				for consumed < produced {
+					consumerOp(consumed)
+					consumed++
+				}
+				now = cons.time + float64(cfg.SwitchCycles)
+			}
+			prod.time, cons.time = now, now
+			return
+		}
+		// Concurrent agents: interleave by virtual time, with queue
+		// fullness/emptiness stalls.
+		for consumed < target {
+			inflight := produced - consumed
+			canProduce := produced < target && inflight < n
+			canConsume := inflight > 0
+			switch {
+			case canProduce && (!canConsume || prod.time <= cons.time):
+				producerOp(produced)
+				produced++
+			case canConsume:
+				if cons.time < prod.time && produced == consumed+1 {
+					// The item it needs was just published; it cannot
+					// be consumed before its production finished.
+					cons.time = prod.time
+				}
+				consumerOp(consumed)
+				consumed++
+			default:
+				// Queue empty and producer ahead in time: consumer
+				// stalls until the producer catches up.
+				cons.time = prod.time
+			}
+		}
+	}
+
+	// Warm up for one queue lap (bounded by the workload size) so the
+	// measured phase reflects steady state, as hardware counters
+	// sampled mid-run would; then reset every counter.
+	warm := n
+	if warm > items {
+		warm = items
+	}
+	sim(warm)
+	h.ResetStats()
+	prod.time, prod.instr = 0, 0
+	cons.time, cons.instr = 0, 0
+	sim(warm + items)
+
+	wallCycles := prod.time
+	if cons.time > wallCycles {
+		wallCycles = cons.time
+	}
+
+	st := h.Stats()
+	seconds := wallCycles / (cfg.FreqGHz * 1e9)
+	res := Result{
+		L2HitRatio: st.L2Ratio(),
+		L3HitRatio: st.L3Ratio(),
+		L3Misses:   st.MemFills,
+		Cycles:     wallCycles,
+		Cache:      st,
+	}
+	// A level that no access ever reached never missed: report its hit
+	// ratio as 1 (SiblingHT/SameHT serve everything from private
+	// caches once warm).
+	if st.Accesses-st.L1Hits == 0 {
+		res.L2HitRatio = 1
+	}
+	if st.Accesses-st.L1Hits-st.L2Hits == 0 {
+		res.L3HitRatio = 1
+	}
+	if seconds > 0 {
+		res.ThroughputMops = float64(items) / seconds / 1e6
+		res.MemBandwidthGBs = float64(st.MemBytes()) / seconds / 1e9
+	}
+	if wallCycles > 0 {
+		res.IPC = float64(prod.instr+cons.instr) / wallCycles
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"ffq/internal/affinity"
+)
+
+func cfgWith(policy affinity.Policy, entries, items int) Config {
+	c := DefaultConfig()
+	c.Policy = policy
+	c.QueueEntries = entries
+	c.Items = items
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(cfgWith(affinity.NoAffinity, 1, 10)); err == nil {
+		t.Error("queue of 1 entry accepted")
+	}
+	bad := cfgWith(affinity.OtherCore, 64, 10)
+	bad.Cache.Cores = 1
+	if _, err := Run(bad); err == nil {
+		t.Error("other-core with one simulated core accepted")
+	}
+}
+
+func TestRunProducesSaneNumbers(t *testing.T) {
+	for _, p := range affinity.Policies {
+		res, err := Run(cfgWith(p, 1<<10, 50_000))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.ThroughputMops <= 0 {
+			t.Errorf("%v: throughput %v", p, res.ThroughputMops)
+		}
+		if res.IPC <= 0 || res.IPC > 8 {
+			t.Errorf("%v: IPC %v", p, res.IPC)
+		}
+		if res.L2HitRatio < 0 || res.L2HitRatio > 1 || res.L3HitRatio < 0 || res.L3HitRatio > 1 {
+			t.Errorf("%v: hit ratios %v %v", p, res.L2HitRatio, res.L3HitRatio)
+		}
+		if res.Cycles <= 0 {
+			t.Errorf("%v: cycles %v", p, res.Cycles)
+		}
+	}
+}
+
+// The headline shape of Figure 5: once the two queues' working set
+// exceeds the simulated L3, the L3 hit ratio collapses and memory
+// bandwidth rises.
+func TestL3KneeShape(t *testing.T) {
+	small, err := Run(cfgWith(affinity.NoAffinity, 1<<12, 100_000)) // 2*4k*64B = 512 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(cfgWith(affinity.NoAffinity, 1<<18, 300_000)) // 2*256k*64B = 32 MiB >> 8 MiB L3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.L3HitRatio >= small.L3HitRatio {
+		t.Errorf("L3 ratio did not collapse past capacity: small=%.3f big=%.3f",
+			small.L3HitRatio, big.L3HitRatio)
+	}
+	if big.MemBandwidthGBs <= small.MemBandwidthGBs {
+		t.Errorf("memory bandwidth did not rise past capacity: small=%.3f big=%.3f",
+			small.MemBandwidthGBs, big.MemBandwidthGBs)
+	}
+	if big.L3Misses <= small.L3Misses {
+		t.Errorf("L3 misses did not rise: small=%d big=%d", small.L3Misses, big.L3Misses)
+	}
+}
+
+// SiblingHT shares L1/L2, so for cache-resident queues it must show a
+// better private hit profile than OtherCore, which pays a coherence
+// transfer per line handoff.
+func TestSiblingBeatsOtherCoreOnHits(t *testing.T) {
+	sib, err := Run(cfgWith(affinity.SiblingHT, 1<<10, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Run(cfgWith(affinity.OtherCore, 1<<10, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibPrivate := sib.Cache.L1Ratio()
+	otherPrivate := other.Cache.L1Ratio()
+	if sibPrivate <= otherPrivate {
+		t.Errorf("sibling L1 ratio %.3f <= other-core %.3f", sibPrivate, otherPrivate)
+	}
+	if other.Cache.Transfers == 0 {
+		t.Error("other-core produced no coherence transfers")
+	}
+}
+
+// SameHT batching means the producer fills the whole queue before the
+// consumer runs: with a queue far beyond L3 capacity, SameHT must be
+// hurt more than SiblingHT (every batched line is evicted before its
+// consumer arrives), matching Figure 6's large-size behaviour.
+func TestSameHTLargeQueuePenalty(t *testing.T) {
+	const entries = 1 << 18 // 32 MiB working set
+	same, err := Run(cfgWith(affinity.SameHT, entries, 200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sib, err := Run(cfgWith(affinity.SiblingHT, entries, 200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.ThroughputMops >= sib.ThroughputMops {
+		t.Errorf("sameHT %.2f Mops >= siblingHT %.2f Mops at 2^18 entries",
+			same.ThroughputMops, sib.ThroughputMops)
+	}
+}
+
+// NoAffinity and OtherCore must behave identically in the model (the
+// paper observes "almost the same behaviour").
+func TestNoAffinityMatchesOtherCore(t *testing.T) {
+	a, err := Run(cfgWith(affinity.NoAffinity, 1<<12, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfgWith(affinity.OtherCore, 1<<12, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputMops != b.ThroughputMops {
+		t.Errorf("no-affinity %.3f != other-core %.3f", a.ThroughputMops, b.ThroughputMops)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	res, err := Run(Config{QueueEntries: 256, CellBytes: 64, Items: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputMops <= 0 {
+		t.Error("defaults produced no throughput")
+	}
+}

@@ -1,0 +1,57 @@
+// Package queue defines the uniform interface through which the
+// comparative benchmark (the paper's Figure 8, built on the framework
+// of Yang & Mellor-Crummey [21]) drives every queue implementation.
+//
+// All implementations move uint64 payloads. Queues that need
+// thread-local state (wfqueue handles, ccqueue combining nodes) hand
+// each worker goroutine its own view through Shared.Register; queues
+// without per-thread state return themselves. Driving every queue
+// through the same interface keeps the dynamic-dispatch overhead equal
+// across implementations, which is what makes the comparison fair.
+package queue
+
+// Queue is a per-goroutine view of a concurrent FIFO queue.
+type Queue interface {
+	// Enqueue inserts v. Implementations may reserve sentinel values;
+	// all queues in this module accept values in [1, 2^36-2], which the
+	// benchmarks stay within.
+	Enqueue(v uint64)
+	// Dequeue removes the item at the head. ok=false means the queue
+	// was observed empty; callers retry. Blocking implementations (the
+	// FFQ family reserves a rank per dequeue and therefore cannot
+	// abandon one) may block instead of returning false; under the
+	// benchmark workloads every reserved rank is eventually filled.
+	Dequeue() (v uint64, ok bool)
+}
+
+// Shared is a queue instance shared by all workers of a benchmark run.
+type Shared interface {
+	// Register returns the calling goroutine's view of the queue. It is
+	// called exactly once per worker, before the measured phase.
+	Register() Queue
+}
+
+// Factory constructs queue instances for benchmark runs.
+type Factory struct {
+	// Name identifies the implementation in reports ("ffq-mpmc",
+	// "wfqueue", ...).
+	Name string
+	// Brief is a one-line description for report headers.
+	Brief string
+	// New builds a shared instance. capacity is a power of two; bounded
+	// queues must hold at least capacity items, unbounded queues may
+	// ignore it. nthreads is the number of workers that will Register.
+	New func(capacity, nthreads int) Shared
+	// Bounded reports whether the queue can refuse enqueues when full.
+	Bounded bool
+}
+
+// SelfRegistering adapts a Queue with no per-thread state to Shared.
+type SelfRegistering struct{ Q Queue }
+
+// Register returns the underlying queue itself.
+func (s SelfRegistering) Register() Queue { return s.Q }
+
+// MaxValue is the largest payload every implementation in this module
+// can carry (the LCRQ port packs values into 36 bits).
+const MaxValue = 1<<36 - 2

@@ -1,0 +1,239 @@
+// Package queuetest provides reusable conformance tests for every
+// queue implementation behind the internal/queue interface: FIFO order
+// under a single thread, exactly-once delivery under concurrency, and
+// per-producer order preservation. Each queue package's _test file
+// instantiates these against its own factory.
+package queuetest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffq/internal/linearizability"
+	"ffq/internal/queue"
+)
+
+// Options tunes the conformance run for a queue's properties.
+type Options struct {
+	// Producers and Consumers bound the concurrency (some queues are
+	// single-producer or single-consumer).
+	Producers, Consumers int
+	// ItemsPerProducer is the number of items each producer sends.
+	ItemsPerProducer int
+	// Capacity passed to the factory.
+	Capacity int
+	// Blocking marks queues whose Dequeue blocks on empty instead of
+	// returning ok=false (the FFQ family: a reserved rank cannot be
+	// abandoned). Such queues must never be polled when provably
+	// empty, so the kit claims a ticket before every dequeue.
+	Blocking bool
+}
+
+// DefaultOptions is a moderate stress configuration.
+func DefaultOptions() Options {
+	return Options{Producers: 4, Consumers: 4, ItemsPerProducer: 5000, Capacity: 256}
+}
+
+// Sequential checks strict FIFO order single-threaded, including
+// several wrap-arounds of bounded queues.
+func Sequential(t *testing.T, f queue.Factory, opts Options) {
+	t.Helper()
+	const capacity = 16
+	shared := f.New(capacity, 1)
+	q := shared.Register()
+	next := uint64(1)
+	expect := uint64(1)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < capacity; i++ {
+			q.Enqueue(next)
+			next++
+		}
+		for i := 0; i < capacity; i++ {
+			v, ok := dequeueRetry(q)
+			if !ok {
+				t.Fatalf("%s: queue empty with %d items outstanding", f.Name, capacity-i)
+			}
+			if v != expect {
+				t.Fatalf("%s: got %d, want %d", f.Name, v, expect)
+			}
+			expect++
+		}
+	}
+	if !opts.Blocking {
+		if v, ok := q.Dequeue(); ok {
+			t.Fatalf("%s: drained queue returned %d", f.Name, v)
+		}
+	}
+}
+
+// Concurrent checks exactly-once delivery and per-producer FIFO order
+// under opts' concurrency. Values are producer*Items+seq+1. Consumers
+// claim tickets so that exactly as many dequeues are attempted as
+// items exist; this keeps blocking queues from wedging on the last
+// item.
+func Concurrent(t *testing.T, f queue.Factory, opts Options) {
+	t.Helper()
+	total := int64(opts.Producers * opts.ItemsPerProducer)
+	shared := f.New(opts.Capacity, opts.Producers+opts.Consumers)
+	got := make([]atomic.Int32, total)
+	var tickets atomic.Int64
+
+	var wg sync.WaitGroup
+	for p := 0; p < opts.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			q := shared.Register()
+			base := uint64(p * opts.ItemsPerProducer)
+			for i := 0; i < opts.ItemsPerProducer; i++ {
+				q.Enqueue(base + uint64(i) + 1)
+			}
+		}(p)
+	}
+	for c := 0; c < opts.Consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := shared.Register()
+			lastSeen := make([]int64, opts.Producers)
+			for i := range lastSeen {
+				lastSeen[i] = -1
+			}
+			for tickets.Add(1) <= total {
+				v, ok := q.Dequeue()
+				for !ok {
+					runtime.Gosched() // empty observation; let producers run
+					v, ok = q.Dequeue()
+				}
+				v--
+				p := int(v) / opts.ItemsPerProducer
+				seq := int64(v) % int64(opts.ItemsPerProducer)
+				if p < 0 || p >= opts.Producers {
+					t.Errorf("%s: bogus value %d", f.Name, v+1)
+					return
+				}
+				if seq <= lastSeen[p] {
+					t.Errorf("%s: producer %d order violated: %d after %d", f.Name, p, seq, lastSeen[p])
+					return
+				}
+				lastSeen[p] = seq
+				got[v].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("%s: item %d delivered %d times", f.Name, i+1, n)
+		}
+	}
+}
+
+// EmptyBehaviour checks that a fresh non-blocking queue reports empty
+// and still works afterwards. Do not call it for Blocking queues.
+func EmptyBehaviour(t *testing.T, f queue.Factory) {
+	t.Helper()
+	shared := f.New(16, 1)
+	q := shared.Register()
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("%s: empty queue returned %d", f.Name, v)
+	}
+	q.Enqueue(9)
+	if v, ok := dequeueRetry(q); !ok || v != 9 {
+		t.Fatalf("%s: got %d,%v after empty poll", f.Name, v, ok)
+	}
+}
+
+// dequeueRetry retries empty observations a bounded number of times
+// (single-threaded callers should never need many; helping-based
+// queues settle within a few).
+func dequeueRetry(q queue.Queue) (uint64, bool) {
+	for i := 0; i < 1000; i++ {
+		if v, ok := q.Dequeue(); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Linearizable records small concurrent histories of the queue and
+// verifies each against the sequential FIFO specification (the
+// testing-side counterpart of the paper's Proposition 3). rounds
+// windows of (2 producers x 3 ops, 2 consumers x 3 ops) keep the
+// checker's search tractable while still interleaving heavily.
+func Linearizable(t *testing.T, f queue.Factory, opts Options, rounds int) {
+	t.Helper()
+	producers, consumers := 2, 2
+	if opts.Producers < producers {
+		producers = opts.Producers
+	}
+	if opts.Consumers < consumers {
+		consumers = opts.Consumers
+	}
+	const opsPerWorker = 3
+	for r := 0; r < rounds; r++ {
+		shared := f.New(64, producers+consumers)
+		var rec linearizability.Recorder
+		var sessions []*linearizability.Session
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			s := rec.NewSession()
+			sessions = append(sessions, s)
+			wg.Add(1)
+			go func(p int, s *linearizability.Session) {
+				defer wg.Done()
+				q := shared.Register()
+				for i := 0; i < opsPerWorker; i++ {
+					v := uint64(p*opsPerWorker + i + 1)
+					st := s.Begin()
+					q.Enqueue(v)
+					s.EndEnqueue(st, v)
+				}
+			}(p, s)
+		}
+		total := int64(producers * opsPerWorker)
+		var tickets atomic.Int64
+		for c := 0; c < consumers; c++ {
+			s := rec.NewSession()
+			sessions = append(sessions, s)
+			wg.Add(1)
+			go func(s *linearizability.Session) {
+				defer wg.Done()
+				q := shared.Register()
+				for tickets.Add(1) <= total {
+					st := s.Begin()
+					v, ok := q.Dequeue()
+					if !ok && opts.Blocking {
+						t.Error("blocking queue reported empty")
+						return
+					}
+					for !ok {
+						// Record the empty observation, then retry
+						// with a fresh interval.
+						s.EndDequeue(st, 0, false)
+						runtime.Gosched()
+						st = s.Begin()
+						v, ok = q.Dequeue()
+					}
+					s.EndDequeue(st, v, true)
+				}
+			}(s)
+		}
+		wg.Wait()
+		h := linearizability.Merge(sessions...)
+		if len(h) > linearizability.MaxOps {
+			// An empty-retry storm blew past the checker's size cap;
+			// dropping ops would be unsound, so skip this round.
+			continue
+		}
+		ok, err := linearizability.CheckFIFO(h)
+		if err != nil {
+			t.Fatalf("%s: round %d: %v", f.Name, r, err)
+		}
+		if !ok {
+			t.Fatalf("%s: round %d produced a non-linearizable history:\n%v", f.Name, r, h)
+		}
+	}
+}

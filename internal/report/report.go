@@ -1,0 +1,159 @@
+// Package report formats experiment results as aligned text tables
+// and CSV, the two output forms of every cmd tool in this module. A
+// Table corresponds to one figure (or one panel of a figure) of the
+// paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of results.
+type Table struct {
+	// Title names the table ("Figure 3: throughput vs queue size").
+	Title string
+	// Note is an optional free-form annotation printed under the title.
+	Note string
+	// Columns are header labels.
+	Columns []string
+	// Rows hold the cells, row-major; ragged rows are padded blank.
+	Rows [][]string
+}
+
+// AddRow appends a row built from Sprint-formatted values.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "   %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				// Left-align the first (label) column.
+				b.WriteString(cell + strings.Repeat(" ", width-len(cell)))
+			} else {
+				b.WriteString(strings.Repeat(" ", width-len(cell)) + cell)
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if len(t.Columns) > 0 {
+		if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+			return err
+		}
+		total := 0
+		for _, width := range widths {
+			total += width + 2
+		}
+		if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if len(t.Columns) > 0 {
+		if err := writeRow(t.Columns); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b)
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Figure X: sample",
+		Note:    "a note",
+		Columns: []string{"queue", "threads", "Mops/s"},
+	}
+	t.AddRow("ffq-mpmc", 4, 12.5)
+	t.AddRow("msqueue", 4, 0.75)
+	t.AddRow("weird,name", 1, float32(2.0))
+	return t
+}
+
+func TestFprintAligned(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "## Figure X: sample") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a note") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(out, "\n")
+	var header, sep string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "queue") {
+			header, sep = l, lines[i+1]
+			break
+		}
+	}
+	if header == "" || !strings.HasPrefix(sep, "---") {
+		t.Fatalf("bad header/separator:\n%s", out)
+	}
+	// Numbers are right-aligned under their columns: the Mops column
+	// values end at the same offset.
+	var ends []int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ffq-mpmc") || strings.HasPrefix(l, "msqueue") {
+			ends = append(ends, len(l))
+		}
+	}
+	if len(ends) != 2 || ends[0] != ends[1] {
+		t.Errorf("misaligned numeric column: %v\n%s", ends, out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "queue,threads,Mops/s" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(out, `"weird,name"`) {
+		t.Error("comma-containing cell not quoted")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	var tb Table
+	tb.AddRow(0.0, 1234.5678, 42.4242, 3.14159)
+	row := tb.Rows[0]
+	want := []string{"0", "1235", "42.42", "3.1416"}
+	for i, w := range want {
+		if row[i] != w {
+			t.Errorf("cell %d = %q, want %q", i, row[i], w)
+		}
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow("x")
+	tb.AddRow("y", 1, 2) // wider than the header
+	out := tb.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "y") {
+		t.Fatalf("rows lost:\n%s", out)
+	}
+}

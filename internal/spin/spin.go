@@ -1,0 +1,90 @@
+// Package spin provides calibrated busy-wait delays. The comparative
+// benchmark of the paper (Section V-G, following Yang &
+// Mellor-Crummey's framework) inserts "an arbitrary delay (between 50
+// and 150 ns)" between operations "to avoid scenarios where a cache
+// line is held by one thread for a long time"; sleeping is far too
+// coarse for that, so the delay must burn cycles.
+package spin
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// itersPerNano is the calibrated number of inner-loop iterations per
+// nanosecond, stored as iterations per 1024 ns to keep integer math.
+var itersPer1024ns atomic.Int64
+
+func init() {
+	itersPer1024ns.Store(calibrate())
+}
+
+// calibrate measures the spin loop against the wall clock.
+func calibrate() int64 {
+	const probe = 1 << 16
+	best := int64(1 << 62)
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		burn(probe)
+		el := time.Since(start).Nanoseconds()
+		if el < 1 {
+			el = 1
+		}
+		if el < best {
+			best = el
+		}
+	}
+	ip := probe * 1024 / best
+	if ip < 1 {
+		ip = 1
+	}
+	return ip
+}
+
+//go:noinline
+func burn(iters int64) {
+	for i := int64(0); i < iters; i++ {
+	}
+}
+
+// Nanoseconds busy-waits approximately d nanoseconds.
+func Nanoseconds(d int64) {
+	if d <= 0 {
+		return
+	}
+	burn(d * itersPer1024ns.Load() / 1024)
+}
+
+// Recalibrate re-runs the timing calibration (useful after CPU
+// frequency changes in long-running benchmark processes).
+func Recalibrate() {
+	itersPer1024ns.Store(calibrate())
+}
+
+// Delayer produces the paper's 50-150 ns inter-operation delays with a
+// cheap per-goroutine xorshift generator (no locks, no allocation).
+type Delayer struct {
+	state   uint64
+	min, sp int64 // minimum ns and span ns
+}
+
+// NewDelayer returns a Delayer for delays uniform in [minNS, maxNS].
+// seed disambiguates goroutines.
+func NewDelayer(minNS, maxNS int64, seed uint64) *Delayer {
+	if maxNS < minNS {
+		maxNS = minNS
+	}
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Delayer{state: seed, min: minNS, sp: maxNS - minNS + 1}
+}
+
+// Wait busy-waits for the next random delay.
+func (d *Delayer) Wait() {
+	d.state ^= d.state << 13
+	d.state ^= d.state >> 7
+	d.state ^= d.state << 17
+	ns := d.min + int64(d.state%uint64(d.sp))
+	Nanoseconds(ns)
+}

@@ -1,0 +1,61 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNanosecondsRoughMagnitude(t *testing.T) {
+	// Busy-wait calibration on shared machines is noisy; only insist
+	// the delay is neither instant nor wildly long.
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		Nanoseconds(1000) // 1 µs x1000 = ~1 ms
+	}
+	el := time.Since(start)
+	if el < 100*time.Microsecond {
+		t.Errorf("1ms worth of spinning finished in %v", el)
+	}
+	if el > 400*time.Millisecond {
+		t.Errorf("1ms worth of spinning took %v", el)
+	}
+}
+
+func TestNanosecondsNonPositive(t *testing.T) {
+	Nanoseconds(0)
+	Nanoseconds(-5) // must not hang or panic
+}
+
+func TestRecalibrate(t *testing.T) {
+	before := itersPer1024ns.Load()
+	Recalibrate()
+	after := itersPer1024ns.Load()
+	if before <= 0 || after <= 0 {
+		t.Fatalf("calibration produced %d -> %d", before, after)
+	}
+}
+
+func TestDelayerBounds(t *testing.T) {
+	d := NewDelayer(50, 150, 1)
+	// The delays themselves are busy-waits; verify the generator stays
+	// in range by reading its internals through timing-free math: run
+	// the xorshift separately.
+	state := uint64(1)
+	for i := 0; i < 10000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		ns := 50 + int64(state%101)
+		if ns < 50 || ns > 150 {
+			t.Fatalf("delay %d out of [50,150]", ns)
+		}
+	}
+	d.Wait() // smoke: must return promptly
+}
+
+func TestDelayerDegenerate(t *testing.T) {
+	d := NewDelayer(100, 50, 0) // max < min clamps; zero seed replaced
+	d.Wait()
+	d2 := NewDelayer(0, 0, 7)
+	d2.Wait()
+}

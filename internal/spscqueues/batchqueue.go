@@ -1,0 +1,90 @@
+package spscqueues
+
+import "sync/atomic"
+
+// BatchQueue implements the two-section design of Preud'homme et al.
+// [19]: the buffer is split into two halves; the producer fills one
+// half privately and hands it to the consumer wholesale, then switches
+// to the other half. Producer and consumer therefore never touch the
+// same half concurrently (no false sharing by construction — the
+// property the paper's Section II highlights), at the price of
+// half-a-buffer visibility latency.
+type BatchQueue struct {
+	half int
+	buf  []uint64
+
+	// committed[h] = 0 while the producer owns half h, else the number
+	// of items the consumer must drain from it.
+	committed [2]atomic.Int64
+
+	_     [64]byte
+	pHalf int // producer-private
+	pIdx  int
+	_     [64]byte
+	cHalf int // consumer-private
+	cIdx  int
+	_     [64]byte
+}
+
+// NewBatchQueue returns a queue with the given power-of-two capacity
+// (split into two halves).
+func NewBatchQueue(capacity int) (*BatchQueue, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	return &BatchQueue{half: capacity / 2, buf: make([]uint64, capacity)}, nil
+}
+
+// Cap returns the capacity.
+func (q *BatchQueue) Cap() int { return len(q.buf) }
+
+// TryEnqueue inserts v, reporting false when both halves are owned by
+// the consumer. Producer only.
+func (q *BatchQueue) TryEnqueue(v uint64) bool {
+	if q.pIdx == 0 && q.committed[q.pHalf].Load() != 0 {
+		return false // the consumer has not drained this half yet
+	}
+	q.buf[q.pHalf*q.half+q.pIdx] = v
+	q.pIdx++
+	if q.pIdx == q.half {
+		q.committed[q.pHalf].Store(int64(q.half)) // hand over the half
+		q.pHalf ^= 1
+		q.pIdx = 0
+	}
+	return true
+}
+
+// Enqueue inserts v, spinning while both halves are full. Producer
+// only.
+func (q *BatchQueue) Enqueue(v uint64) {
+	for spins := 0; !q.TryEnqueue(v); spins++ {
+		spinWait(spins)
+	}
+}
+
+// Dequeue removes the head item; ok=false when no committed half has
+// items. Consumer only.
+func (q *BatchQueue) Dequeue() (uint64, bool) {
+	n := q.committed[q.cHalf].Load()
+	if n == 0 {
+		return 0, false
+	}
+	v := q.buf[q.cHalf*q.half+q.cIdx]
+	q.cIdx++
+	if int64(q.cIdx) == n {
+		q.committed[q.cHalf].Store(0) // return the half to the producer
+		q.cHalf ^= 1
+		q.cIdx = 0
+	}
+	return v, true
+}
+
+// Flush commits the partially filled half so the consumer can see its
+// items. Producer only.
+func (q *BatchQueue) Flush() {
+	if q.pIdx > 0 && q.committed[q.pHalf].Load() == 0 {
+		q.committed[q.pHalf].Store(int64(q.pIdx))
+		q.pHalf ^= 1
+		q.pIdx = 0
+	}
+}

@@ -1,0 +1,106 @@
+package spscqueues
+
+import "sync/atomic"
+
+// BQueue implements B-Queue (Wang, Zhang, Tang, Hua [20]):
+// FastForward-style in-band slots, but each side probes a whole batch
+// of slots at once so the common case touches the control state once
+// per batch. The consumer *backtracks* — halving its probe distance
+// until it finds a filled prefix — which removes the producer/consumer
+// batch deadlock of earlier batching designs without any tuning
+// parameter (the property the paper credits it for in Section II).
+//
+// Slot value 0 means empty; payloads are stored as v+1. Items are
+// visible to the consumer as soon as they are written (the batching is
+// in the probing, not in publication), so Flush is a no-op.
+type BQueue struct {
+	mask  uint64
+	batch uint64
+	buf   []atomic.Uint64
+
+	_         [64]byte
+	head      uint64 // producer-private: next slot to write
+	batchHead uint64 // producer-private: end of the probed free span
+	_         [64]byte
+	tail      uint64 // consumer-private: next slot to read
+	batchTail uint64 // consumer-private: end of the probed filled span
+	_         [64]byte
+}
+
+// DefaultBQueueBatch is the probe span used when it fits the capacity.
+const DefaultBQueueBatch = 64
+
+// NewBQueue returns a queue with the given power-of-two capacity.
+func NewBQueue(capacity int) (*BQueue, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	batch := uint64(DefaultBQueueBatch)
+	if max := uint64(capacity / 2); batch > max {
+		batch = max
+	}
+	if batch == 0 {
+		batch = 1
+	}
+	return &BQueue{
+		mask:  uint64(capacity - 1),
+		batch: batch,
+		buf:   make([]atomic.Uint64, capacity),
+	}, nil
+}
+
+// Cap returns the capacity.
+func (q *BQueue) Cap() int { return len(q.buf) }
+
+// TryEnqueue inserts v (< MaxUint64); false when no free batch span is
+// available. Producer only.
+func (q *BQueue) TryEnqueue(v uint64) bool {
+	if q.head == q.batchHead {
+		// Probe: if the last slot of the next span is empty, the whole
+		// span is (the single consumer empties slots in order).
+		if q.buf[(q.head+q.batch-1)&q.mask].Load() != 0 {
+			return false
+		}
+		q.batchHead = q.head + q.batch
+	}
+	q.buf[q.head&q.mask].Store(v + 1)
+	q.head++
+	return true
+}
+
+// Enqueue inserts v, spinning while no span is free. Producer only.
+func (q *BQueue) Enqueue(v uint64) {
+	for spins := 0; !q.TryEnqueue(v); spins++ {
+		spinWait(spins)
+	}
+}
+
+// Dequeue removes the head item; ok=false when the queue is empty.
+// Consumer only.
+func (q *BQueue) Dequeue() (uint64, bool) {
+	if q.tail == q.batchTail {
+		// Probe with backtracking: shrink the span until its last slot
+		// is filled (then the whole prefix is), or give up at 0.
+		b := q.batch
+		for {
+			if q.buf[(q.tail+b-1)&q.mask].Load() != 0 {
+				q.batchTail = q.tail + b
+				break
+			}
+			b >>= 1
+			if b == 0 {
+				return 0, false
+			}
+		}
+	}
+	v := q.buf[q.tail&q.mask].Load()
+	if v == 0 {
+		return 0, false
+	}
+	q.buf[q.tail&q.mask].Store(0)
+	q.tail++
+	return v - 1, true
+}
+
+// Flush is a no-op: slots publish in-band on every enqueue.
+func (q *BQueue) Flush() {}

@@ -1,0 +1,69 @@
+package spscqueues
+
+import "sync/atomic"
+
+// FastForward implements Giacomoni et al.'s queue [7]: the "empty"
+// condition lives in the data slots themselves (an in-band marker),
+// so producer and consumer never read each other's counter — the
+// optimization FFQ's rank field generalizes to multiple consumers.
+// The original also proposes "temporal slipping" to keep the two
+// threads a cache line apart; slipping needs system-specific tuning
+// (one of the paper's criticisms), so this port implements the core
+// algorithm without it.
+//
+// Slot value 0 means empty; payloads are stored as v+1.
+type FastForward struct {
+	mask uint64
+	buf  []atomic.Uint64
+	_    [64]byte
+	head uint64 // consumer-private
+	_    [64]byte
+	tail uint64 // producer-private
+	_    [64]byte
+}
+
+// NewFastForward returns a queue with the given power-of-two capacity.
+func NewFastForward(capacity int) (*FastForward, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	return &FastForward{mask: uint64(capacity - 1), buf: make([]atomic.Uint64, capacity)}, nil
+}
+
+// Cap returns the capacity.
+func (q *FastForward) Cap() int { return len(q.buf) }
+
+// TryEnqueue inserts v (< MaxUint64), reporting false when the next
+// slot is still occupied. Producer only.
+func (q *FastForward) TryEnqueue(v uint64) bool {
+	s := &q.buf[q.tail&q.mask]
+	if s.Load() != 0 {
+		return false
+	}
+	s.Store(v + 1)
+	q.tail++
+	return true
+}
+
+// Enqueue inserts v, spinning while the slot is occupied. Producer
+// only.
+func (q *FastForward) Enqueue(v uint64) {
+	for spins := 0; !q.TryEnqueue(v); spins++ {
+		spinWait(spins)
+	}
+}
+
+// Dequeue removes the head item. Consumer only.
+func (q *FastForward) Dequeue() (uint64, bool) {
+	s := &q.buf[q.head&q.mask]
+	v := s.Load()
+	if v == 0 {
+		return 0, false
+	}
+	s.Store(0)
+	q.head++
+	return v - 1, true
+}
+
+// Flush is a no-op: every enqueue publishes its slot immediately.
+func (q *FastForward) Flush() {}

@@ -1,0 +1,35 @@
+package spscqueues
+
+import "ffq/internal/core"
+
+// FFQAdapter exposes the FFQ SPSC variant through this package's
+// streaming interface, so the lineage comparison includes the paper's
+// own design.
+type FFQAdapter struct {
+	q *core.SPSC[uint64]
+}
+
+// NewFFQAdapter returns an adapter over a padded-layout FFQ SPSC
+// queue.
+func NewFFQAdapter(capacity int) (*FFQAdapter, error) {
+	q, err := core.NewSPSC[uint64](capacity, core.WithLayout(core.LayoutPadded))
+	if err != nil {
+		return nil, err
+	}
+	return &FFQAdapter{q: q}, nil
+}
+
+// Cap returns the capacity.
+func (a *FFQAdapter) Cap() int { return a.q.Cap() }
+
+// TryEnqueue inserts v if the tail cell is free. Producer only.
+func (a *FFQAdapter) TryEnqueue(v uint64) bool { return a.q.TryEnqueue(v) }
+
+// Enqueue inserts v, spinning while the queue is full. Producer only.
+func (a *FFQAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
+
+// Dequeue removes the head item; ok=false when empty. Consumer only.
+func (a *FFQAdapter) Dequeue() (uint64, bool) { return a.q.TryDequeue() }
+
+// Flush is a no-op: FFQ publishes on every enqueue.
+func (a *FFQAdapter) Flush() {}

@@ -1,0 +1,63 @@
+package spscqueues
+
+import "sync/atomic"
+
+// Lamport is the classic single-producer/single-consumer ring buffer
+// of Lamport [11]: a bounded array with shared, monotonically
+// increasing head and tail counters. Correct without any
+// read-modify-write operations, but every operation reads the other
+// side's counter, so the two control cache lines ping-pong between
+// the producer's and consumer's cores — the cost every later design
+// in this package exists to remove.
+type Lamport struct {
+	mask uint64
+	buf  []uint64
+	_    [64]byte
+	head atomic.Uint64 // consumer-owned
+	_    [64]byte
+	tail atomic.Uint64 // producer-owned
+	_    [64]byte
+}
+
+// NewLamport returns a ring with the given power-of-two capacity.
+func NewLamport(capacity int) (*Lamport, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	return &Lamport{mask: uint64(capacity - 1), buf: make([]uint64, capacity)}, nil
+}
+
+// Cap returns the capacity.
+func (q *Lamport) Cap() int { return len(q.buf) }
+
+// TryEnqueue inserts v, reporting false when full. Producer only.
+func (q *Lamport) TryEnqueue(v uint64) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() > q.mask {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1) // release: publishes buf[t]
+	return true
+}
+
+// Enqueue inserts v, spinning while full. Producer only.
+func (q *Lamport) Enqueue(v uint64) {
+	for spins := 0; !q.TryEnqueue(v); spins++ {
+		spinWait(spins)
+	}
+}
+
+// Dequeue removes the head item. Consumer only.
+func (q *Lamport) Dequeue() (uint64, bool) {
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return 0, false
+	}
+	v := q.buf[h&q.mask]
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Flush is a no-op: Lamport's ring publishes on every enqueue.
+func (q *Lamport) Flush() {}

@@ -1,0 +1,110 @@
+package spscqueues
+
+import "sync/atomic"
+
+// MCRing implements MCRingBuffer (Lee, Bu, Chandranmenon [13]):
+// Lamport's ring with *batched* updates of the shared control
+// variables. Each side works against a private copy of the other
+// side's counter and refreshes it only when it runs out, and publishes
+// its own counter only every batchSize operations — cutting the
+// control-line coherence traffic by the batch factor. The price is
+// visibility latency, which Flush bounds.
+type MCRing struct {
+	mask  uint64
+	batch uint64
+	buf   []uint64
+
+	_     [64]byte
+	read  atomic.Uint64 // shared: consumer's published position
+	write atomic.Uint64 // shared: producer's published position
+
+	_         [64]byte
+	nextWrite uint64 // producer-private
+	wBatch    uint64
+	localRead uint64 // producer's cache of read
+
+	_          [64]byte
+	nextRead   uint64 // consumer-private
+	rBatch     uint64
+	localWrite uint64 // consumer's cache of write
+	_          [64]byte
+}
+
+// DefaultMCRingBatch is the control-update batch size used when the
+// caller passes 0 (the paper's evaluation uses sizes of this order).
+const DefaultMCRingBatch = 32
+
+// NewMCRing returns a queue with the given power-of-two capacity and
+// control batch size (0 = DefaultMCRingBatch; clamped to capacity/2).
+func NewMCRing(capacity int, batch int) (*MCRing, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	if batch <= 0 {
+		batch = DefaultMCRingBatch
+	}
+	if batch > capacity/2 {
+		batch = capacity / 2
+	}
+	return &MCRing{
+		mask:  uint64(capacity - 1),
+		batch: uint64(batch),
+		buf:   make([]uint64, capacity),
+	}, nil
+}
+
+// Cap returns the capacity.
+func (q *MCRing) Cap() int { return len(q.buf) }
+
+// TryEnqueue inserts v, reporting false when full. Producer only.
+func (q *MCRing) TryEnqueue(v uint64) bool {
+	if q.nextWrite-q.localRead > q.mask {
+		q.localRead = q.read.Load() // refresh the cached counter
+		if q.nextWrite-q.localRead > q.mask {
+			return false
+		}
+	}
+	q.buf[q.nextWrite&q.mask] = v
+	q.nextWrite++
+	q.wBatch++
+	if q.wBatch >= q.batch {
+		q.write.Store(q.nextWrite)
+		q.wBatch = 0
+	}
+	return true
+}
+
+// Enqueue inserts v, flushing and spinning while full. Producer only.
+func (q *MCRing) Enqueue(v uint64) {
+	for spins := 0; !q.TryEnqueue(v); spins++ {
+		q.Flush() // make room visible to the consumer
+		spinWait(spins)
+	}
+}
+
+// Dequeue removes the head item; ok=false when no published item is
+// visible. Consumer only.
+func (q *MCRing) Dequeue() (uint64, bool) {
+	if q.nextRead == q.localWrite {
+		q.localWrite = q.write.Load()
+		if q.nextRead == q.localWrite {
+			return 0, false
+		}
+	}
+	v := q.buf[q.nextRead&q.mask]
+	q.nextRead++
+	q.rBatch++
+	if q.rBatch >= q.batch {
+		q.read.Store(q.nextRead)
+		q.rBatch = 0
+	}
+	return v, true
+}
+
+// Flush publishes all enqueued items to the consumer. Producer only.
+func (q *MCRing) Flush() {
+	if q.wBatch > 0 {
+		q.write.Store(q.nextWrite)
+		q.wBatch = 0
+	}
+}

@@ -1,0 +1,129 @@
+// Package spscqueues implements the single-producer/single-consumer
+// FIFO queues the FFQ paper builds on and discusses in its related
+// work (Section II): Lamport's classic ring buffer, FastForward,
+// MCRingBuffer, BatchQueue and B-Queue — alongside an adapter for the
+// FFQ SPSC variant — behind one streaming interface, so the historical
+// lineage the paper sketches can be measured head-to-head.
+//
+// # Interface notes
+//
+// Batching designs (MCRingBuffer, BatchQueue, B-Queue) deliberately
+// delay visibility of enqueued items until a batch boundary; Flush
+// makes everything enqueued so far visible. Streaming benchmarks call
+// Flush when the producer finishes (and on the blocking-enqueue slow
+// path); ping-pong workloads are the wrong shape for these queues,
+// which is exactly the trade-off the paper points out when motivating
+// an unbatched SPMC design.
+//
+// Payloads are uint64. Implementations that reserve an in-band "empty"
+// marker (FastForward, B-Queue) store v+1 internally, so the full
+// uint64 range except MaxUint64 is usable.
+package spscqueues
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Queue is a single-producer/single-consumer FIFO queue. Exactly one
+// goroutine may call the producer methods (Enqueue, TryEnqueue, Flush)
+// and exactly one the consumer methods (Dequeue).
+type Queue interface {
+	// TryEnqueue inserts v, reporting false when the queue is full.
+	TryEnqueue(v uint64) bool
+	// Enqueue inserts v, spinning (and yielding) while the queue is
+	// full. Implementations flush pending batches before spinning so
+	// the consumer can make room.
+	Enqueue(v uint64)
+	// Dequeue removes the head item; ok=false when no item is visible
+	// (the queue is empty or items are parked in an unflushed batch).
+	Dequeue() (v uint64, ok bool)
+	// Flush publishes any batched items to the consumer. A no-op for
+	// unbatched designs.
+	Flush()
+	// Cap returns the queue capacity.
+	Cap() int
+}
+
+// Factory builds an SPSC queue implementation.
+type Factory struct {
+	// Name identifies the algorithm ("lamport", "fastforward", ...).
+	Name string
+	// Brief is a one-line description with the source citation.
+	Brief string
+	// Batching reports whether items may be invisible until Flush.
+	Batching bool
+	// New builds a queue with the given power-of-two capacity.
+	New func(capacity int) (Queue, error)
+}
+
+// Factories returns the SPSC registry in the paper's Section II order,
+// with FFQ's own SPSC variant last.
+func Factories() []Factory {
+	return []Factory{
+		{
+			Name:  "lamport",
+			Brief: "Lamport's ring buffer [11]: shared head/tail counters",
+			New:   func(c int) (Queue, error) { return NewLamport(c) },
+		},
+		{
+			Name:  "fastforward",
+			Brief: "FastForward [7]: in-band empty marker, no shared counters",
+			New:   func(c int) (Queue, error) { return NewFastForward(c) },
+		},
+		{
+			Name:     "mcring",
+			Brief:    "MCRingBuffer [13]: Lamport with batched control updates",
+			Batching: true,
+			New:      func(c int) (Queue, error) { return NewMCRing(c, 0) },
+		},
+		{
+			Name:     "batchqueue",
+			Brief:    "BatchQueue [19]: two halves exchanged wholesale",
+			Batching: true,
+			New:      func(c int) (Queue, error) { return NewBatchQueue(c) },
+		},
+		{
+			Name:  "bqueue",
+			Brief: "B-Queue [20]: batch probing with backtracking",
+			// Not marked Batching: publication is in-band per slot;
+			// only the probing is batched.
+			New: func(c int) (Queue, error) { return NewBQueue(c) },
+		},
+		{
+			Name:  "ffq-spsc",
+			Brief: "FFQ SPSC variant (this paper)",
+			New:   func(c int) (Queue, error) { return NewFFQAdapter(c) },
+		},
+	}
+}
+
+// ByName returns the named factory.
+func ByName(name string) (Factory, error) {
+	fs := Factories()
+	for _, f := range fs {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return Factory{}, fmt.Errorf("spscqueues: unknown queue %q (have %v)", name, names)
+}
+
+// checkCapacity validates the shared power-of-two requirement.
+func checkCapacity(c int) error {
+	if c < 2 || c&(c-1) != 0 {
+		return fmt.Errorf("spscqueues: capacity %d is not a power of two >= 2", c)
+	}
+	return nil
+}
+
+// spinWait yields after a short spin; used by all blocking enqueues.
+func spinWait(spins int) {
+	if spins > 16 || runtime.NumCPU() == 1 {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,241 @@
+package spscqueues
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistry(t *testing.T) {
+	fs := Factories()
+	if len(fs) != 6 {
+		t.Fatalf("registry has %d entries", len(fs))
+	}
+	seen := map[string]bool{}
+	for _, f := range fs {
+		if f.Name == "" || f.Brief == "" || f.New == nil {
+			t.Errorf("incomplete factory %+v", f)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	if _, err := ByName("lamport"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	for _, f := range Factories() {
+		for _, c := range []int{0, 1, 3, 100} {
+			if _, err := f.New(c); err == nil {
+				t.Errorf("%s: capacity %d accepted", f.Name, c)
+			}
+		}
+		q, err := f.New(64)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if q.Cap() != 64 {
+			t.Errorf("%s: Cap = %d", f.Name, q.Cap())
+		}
+	}
+}
+
+// Sequential FIFO with Flush at arbitrary points, across wraps.
+func TestSequentialFIFO(t *testing.T) {
+	for _, f := range Factories() {
+		q, err := f.New(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, expect := uint64(0), uint64(0)
+		for round := 0; round < 20; round++ {
+			n := (round % 7) + 1
+			for i := 0; i < n; i++ {
+				q.Enqueue(next)
+				next++
+			}
+			q.Flush()
+			for i := 0; i < n; i++ {
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Fatalf("%s: empty with %d outstanding", f.Name, n-i)
+				}
+				if v != expect {
+					t.Fatalf("%s: got %d, want %d", f.Name, v, expect)
+				}
+				expect++
+			}
+			if _, ok := q.Dequeue(); ok {
+				t.Fatalf("%s: phantom item after drain", f.Name)
+			}
+		}
+	}
+}
+
+// Full-queue behaviour: TryEnqueue must eventually report false and
+// recover after a drain.
+func TestFullness(t *testing.T) {
+	for _, f := range Factories() {
+		q, err := f.New(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted := 0
+		for i := 0; i < 64; i++ {
+			if !q.TryEnqueue(uint64(i)) {
+				break
+			}
+			inserted++
+		}
+		if inserted == 64 {
+			t.Fatalf("%s: never reported full", f.Name)
+		}
+		if inserted == 0 {
+			t.Fatalf("%s: could not insert into empty queue", f.Name)
+		}
+		q.Flush()
+		for i := 0; i < inserted; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != uint64(i) {
+				t.Fatalf("%s: item %d: got %d,%v", f.Name, i, v, ok)
+			}
+		}
+		if !q.TryEnqueue(99) {
+			t.Fatalf("%s: full after full drain", f.Name)
+		}
+	}
+}
+
+// Concurrent streaming transfer: every item arrives exactly once in
+// order.
+func TestConcurrentStream(t *testing.T) {
+	const items = 200000
+	for _, f := range Factories() {
+		for _, capacity := range []int{4, 64, 4096} {
+			q, err := f.New(capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				expect := uint64(0)
+				for expect < items {
+					v, ok := q.Dequeue()
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+					if v != expect {
+						t.Errorf("%s cap=%d: got %d, want %d", f.Name, capacity, v, expect)
+						return
+					}
+					expect++
+				}
+			}()
+			for i := uint64(0); i < items; i++ {
+				q.Enqueue(i)
+			}
+			q.Flush()
+			wg.Wait()
+		}
+	}
+}
+
+// Property: any interleaving of try-enqueues/flushes/dequeues matches
+// a model FIFO (single-threaded).
+func TestModelProperty(t *testing.T) {
+	for _, f := range Factories() {
+		f := f
+		prop := func(ops []uint8) bool {
+			q, err := f.New(16)
+			if err != nil {
+				return false
+			}
+			var model []uint64
+			visible := 0 // model items the consumer may see
+			if !f.Batching {
+				visible = -1 // everything visible immediately
+			}
+			next := uint64(1)
+			for _, op := range ops {
+				switch op % 4 {
+				case 0, 1: // enqueue
+					if q.TryEnqueue(next) {
+						model = append(model, next)
+						next++
+					}
+				case 2: // flush
+					q.Flush()
+					visible = len(model)
+				case 3: // dequeue
+					v, ok := q.Dequeue()
+					if ok {
+						if len(model) == 0 || model[0] != v {
+							return false
+						}
+						model = model[1:]
+						if visible > 0 {
+							visible--
+						}
+					} else if !f.Batching && len(model) != 0 {
+						return false // unbatched queues must deliver
+					} else if f.Batching && visible > 0 {
+						return false // flushed items must be visible
+					}
+				}
+			}
+			// Drain everything after a final flush.
+			q.Flush()
+			for _, want := range model {
+				v, ok := q.Dequeue()
+				if !ok || v != want {
+					return false
+				}
+			}
+			_, ok := q.Dequeue()
+			return !ok
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestMCRingBatchClamp(t *testing.T) {
+	q, err := NewMCRing(8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch clamped to capacity/2 = 4: after 4 enqueues items must be
+	// visible without a flush.
+	for i := uint64(0); i < 4; i++ {
+		q.Enqueue(i)
+	}
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("batch boundary did not publish")
+	}
+}
+
+func TestBQueueBacktracking(t *testing.T) {
+	q, err := NewBQueue(256) // batch = 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single item must be visible despite the 64-slot probe span.
+	q.Enqueue(7)
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("phantom item")
+	}
+}

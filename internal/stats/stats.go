@@ -1,0 +1,193 @@
+// Package stats provides the statistics used by the benchmark
+// harness: streaming mean/variance (Welford), min/max, percentiles,
+// and a log-bucketed latency histogram. The paper reports the average
+// of 10 runs (Section V-A); Summary carries everything needed to do
+// the same and to report dispersion alongside.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates observations with Welford's online algorithm.
+type Stream struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Stream) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Stream) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// RelStddev returns stddev/mean (0 when the mean is 0).
+func (s *Stream) RelStddev() float64 {
+	if s.mean == 0 {
+		return 0
+	}
+	return s.Stddev() / s.mean
+}
+
+// Summary is a frozen view of a Stream.
+type Summary struct {
+	N            int
+	Mean, Stddev float64
+	Min, Max     float64
+}
+
+// Summarize freezes the stream.
+func (s *Stream) Summarize() Summary {
+	return Summary{N: s.n, Mean: s.mean, Stddev: s.Stddev(), Min: s.min, Max: s.max}
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.4g sd=%.2g min=%.4g max=%.4g n=%d", s.Mean, s.Stddev, s.Min, s.Max, s.N)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation; xs need not be sorted (a copy is sorted).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a base-2 log-bucketed histogram for latency-like
+// non-negative values.
+type Histogram struct {
+	counts [64]uint64
+	total  uint64
+	sum    float64
+}
+
+// Add records v (values < 1 land in bucket 0).
+func (h *Histogram) Add(v float64) {
+	b := 0
+	for x := v; x >= 2 && b < 63; x /= 2 {
+		b++
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += v
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean of recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an upper bound for the q-quantile (0<=q<=1) using
+// bucket upper edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			return math.Pow(2, float64(b+1))
+		}
+	}
+	return math.Pow(2, 64)
+}
+
+// Merge adds the contents of other into h (bucket-wise; the mean is
+// preserved exactly, quantiles at bucket resolution).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for b := range other.counts {
+		h.counts[b] += other.counts[b]
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Buckets invokes fn for every non-empty bucket with its lower edge
+// and count, in ascending order.
+func (h *Histogram) Buckets(fn func(lowerEdge float64, count uint64)) {
+	for b, c := range h.counts {
+		if c > 0 {
+			fn(math.Pow(2, float64(b)), c)
+		}
+	}
+}

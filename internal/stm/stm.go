@@ -1,0 +1,249 @@
+// Package stm is a word-granularity software transactional memory in
+// the style of TL2 (versioned stripe locks, lazy write-back). It
+// exists to emulate the hardware transactional memory (Intel TSX /
+// POWER8 HTM) that the paper's HTM-based queue baseline runs on
+// (Section V-G): Go exposes no HTM intrinsics.
+//
+// The emulation preserves the behavioural shape that matters for the
+// comparison: transactions are cheap when uncontended, abort and retry
+// under conflicts, and fall back to a global lock after repeated
+// aborts — exactly the execution profile of an RTM enqueue/dequeue
+// with a lock fallback path. Absolute costs differ (software
+// validation vs. hardware cache tracking), which DESIGN.md records as
+// substitution #2.
+//
+// Transactions operate on a Memory: a fixed array of uint64 words,
+// each guarded by a versioned lock. This confines the unsafe aliasing
+// questions of address-based STMs away entirely.
+package stm
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrAborted is returned by Atomically's callback plumbing when a
+// transaction conflicts and must retry. User code inside a transaction
+// never sees it; it is exported for tests and direct Tx users.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// lockedBit marks a stripe's version word as write-locked.
+const lockedBit = uint64(1) << 63
+
+// Memory is a transactional array of uint64 words.
+type Memory struct {
+	words []atomic.Uint64
+	locks []atomic.Uint64 // versioned stripe locks, one per word
+	clock atomic.Uint64   // global version clock
+
+	// fallback serializes transactions that exceeded their retry
+	// budget, mirroring an HTM lock fallback path.
+	fallback sync.Mutex
+	fbActive atomic.Int32
+}
+
+// NewMemory returns a transactional memory of n words, all zero.
+func NewMemory(n int) *Memory {
+	return &Memory{
+		words: make([]atomic.Uint64, n),
+		locks: make([]atomic.Uint64, n),
+	}
+}
+
+// Len returns the number of words.
+func (m *Memory) Len() int { return len(m.words) }
+
+// ReadDirect reads word i non-transactionally (for tests/snapshots).
+func (m *Memory) ReadDirect(i int) uint64 { return m.words[i].Load() }
+
+// Tx is an in-flight transaction. A Tx is single-goroutine and must
+// not outlive its Atomically call.
+type Tx struct {
+	m         *Memory
+	readVer   uint64
+	readSet   []int
+	writeIdx  []int
+	writeVal  []uint64
+	aborted   bool
+	cancelled bool
+}
+
+// Abort cancels the transaction: nothing will be committed and
+// Atomically will not retry it. Subsequent reads return 0; callers
+// inside Atomically should return promptly after calling Abort.
+func (tx *Tx) Abort() {
+	tx.aborted = true
+	tx.cancelled = true
+}
+
+// Aborted reports whether the transaction has observed a conflict.
+func (tx *Tx) Aborted() bool { return tx.aborted }
+
+// Load transactionally reads word i.
+func (tx *Tx) Load(i int) uint64 {
+	if tx.aborted {
+		return 0
+	}
+	// Write-set lookup first (read-your-writes).
+	for k := len(tx.writeIdx) - 1; k >= 0; k-- {
+		if tx.writeIdx[k] == i {
+			return tx.writeVal[k]
+		}
+	}
+	v1 := tx.m.locks[i].Load()
+	val := tx.m.words[i].Load()
+	v2 := tx.m.locks[i].Load()
+	if v1 != v2 || v1&lockedBit != 0 || v1 > tx.readVer {
+		tx.aborted = true
+		return 0
+	}
+	tx.readSet = append(tx.readSet, i)
+	return val
+}
+
+// Store transactionally writes word i (buffered until commit).
+func (tx *Tx) Store(i int, v uint64) {
+	if tx.aborted {
+		return
+	}
+	for k := len(tx.writeIdx) - 1; k >= 0; k-- {
+		if tx.writeIdx[k] == i {
+			tx.writeVal[k] = v
+			return
+		}
+	}
+	tx.writeIdx = append(tx.writeIdx, i)
+	tx.writeVal = append(tx.writeVal, v)
+}
+
+// commit attempts to publish the write set. It returns false on
+// conflict.
+func (tx *Tx) commit() bool {
+	if tx.aborted {
+		return false
+	}
+	if len(tx.writeIdx) == 0 {
+		return true // read-only transactions validate on the fly
+	}
+	m := tx.m
+	// Lock the write set in index order (deadlock freedom).
+	order := append([]int(nil), tx.writeIdx...)
+	insertionSort(order)
+	locked := 0
+	for _, i := range order {
+		v := m.locks[i].Load()
+		if v&lockedBit != 0 || v > tx.readVer || !m.locks[i].CompareAndSwap(v, v|lockedBit) {
+			// Conflict: unlock what we hold and abort.
+			for _, j := range order[:locked] {
+				m.locks[j].Store(m.locks[j].Load() &^ lockedBit)
+			}
+			return false
+		}
+		locked++
+	}
+	// Validate the read set against the locked state.
+	for _, i := range tx.readSet {
+		v := m.locks[i].Load()
+		if v&lockedBit != 0 && !tx.inWriteSet(i) {
+			for _, j := range order {
+				m.locks[j].Store(m.locks[j].Load() &^ lockedBit)
+			}
+			return false
+		}
+		if v&^lockedBit > tx.readVer {
+			for _, j := range order {
+				m.locks[j].Store(m.locks[j].Load() &^ lockedBit)
+			}
+			return false
+		}
+	}
+	wv := m.clock.Add(1)
+	for k, i := range tx.writeIdx {
+		m.words[i].Store(tx.writeVal[k])
+	}
+	for _, i := range order {
+		m.locks[i].Store(wv) // write version + unlock
+	}
+	return true
+}
+
+func (tx *Tx) inWriteSet(i int) bool {
+	for _, j := range tx.writeIdx {
+		if j == i {
+			return true
+		}
+	}
+	return false
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Stats counts transaction outcomes (monotonic, approximate under
+// concurrency).
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	Fallbacks uint64
+}
+
+// Atomically runs fn as a transaction against m, retrying on conflict
+// up to maxRetries times and then executing under the global fallback
+// lock (the HTM lock-elision pattern). fn must confine its shared
+// reads/writes to the Tx. It returns the retry statistics of this call.
+func (m *Memory) Atomically(maxRetries int, fn func(tx *Tx)) Stats {
+	var st Stats
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if m.fbActive.Load() != 0 {
+			break // a fallback holder is running; don't fight it
+		}
+		tx := Tx{m: m, readVer: m.clock.Load()}
+		fn(&tx)
+		if tx.cancelled {
+			return st // user-cancelled: commit nothing, do not retry
+		}
+		if tx.commit() {
+			st.Commits++
+			return st
+		}
+		st.Aborts++
+		backoffSpin(attempt)
+	}
+	// Fallback: take the global lock and raise fbActive, which stops
+	// new optimistic transactions from starting (the analogue of an
+	// RTM fast path subscribing to the fallback lock). The operation
+	// itself still runs as a fully validated transaction — in-flight
+	// optimistic commits may land before it, making it retry — but
+	// with no new competitors it wins in a bounded number of rounds.
+	m.fallback.Lock()
+	m.fbActive.Add(1)
+	for {
+		tx := Tx{m: m, readVer: m.clock.Load()}
+		fn(&tx)
+		if tx.cancelled || tx.commit() {
+			break
+		}
+		st.Aborts++
+		runtime.Gosched()
+	}
+	m.fbActive.Add(-1)
+	m.fallback.Unlock()
+	st.Fallbacks++
+	return st
+}
+
+func backoffSpin(attempt int) {
+	if attempt > 3 {
+		runtime.Gosched()
+		return
+	}
+	for i := 0; i < 16<<attempt; i++ {
+	}
+}

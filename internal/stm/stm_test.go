@@ -1,0 +1,267 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialReadWrite(t *testing.T) {
+	m := NewMemory(8)
+	st := m.Atomically(4, func(tx *Tx) {
+		tx.Store(0, 10)
+		tx.Store(1, 20)
+	})
+	if st.Commits != 1 || st.Aborts != 0 || st.Fallbacks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	m.Atomically(4, func(tx *Tx) {
+		if tx.Load(0) != 10 || tx.Load(1) != 20 {
+			t.Error("reads do not observe prior commit")
+		}
+	})
+	if m.ReadDirect(0) != 10 {
+		t.Fatalf("ReadDirect(0) = %d", m.ReadDirect(0))
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	m := NewMemory(4)
+	m.Atomically(4, func(tx *Tx) {
+		tx.Store(2, 7)
+		if tx.Load(2) != 7 {
+			t.Error("write not visible to own read")
+		}
+		tx.Store(2, 8)
+		if tx.Load(2) != 8 {
+			t.Error("second write not visible")
+		}
+	})
+	if m.ReadDirect(2) != 8 {
+		t.Fatalf("committed %d, want 8", m.ReadDirect(2))
+	}
+}
+
+func TestLenAndZeroInit(t *testing.T) {
+	m := NewMemory(16)
+	if m.Len() != 16 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := 0; i < 16; i++ {
+		if m.ReadDirect(i) != 0 {
+			t.Fatalf("word %d not zero", i)
+		}
+	}
+}
+
+// Transactional counter increments from many goroutines must not lose
+// updates — the fundamental atomicity property.
+func TestConcurrentCounter(t *testing.T) {
+	m := NewMemory(1)
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Atomically(8, func(tx *Tx) {
+					tx.Store(0, tx.Load(0)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.ReadDirect(0); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// Two words updated together must never be observed torn.
+func TestConcurrentInvariant(t *testing.T) {
+	m := NewMemory(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Atomically(8, func(tx *Tx) {
+				tx.Store(0, i)
+				tx.Store(1, i)
+			})
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		m.Atomically(8, func(tx *Tx) {
+			a := tx.Load(0)
+			b := tx.Load(1)
+			if !tx.Aborted() && a != b {
+				t.Errorf("torn read: %d != %d", a, b)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The fallback path must preserve atomicity: force it by exhausting
+// the retry budget (maxRetries = 0 aborts optimism immediately under
+// any concurrent writer).
+func TestFallbackCounter(t *testing.T) {
+	m := NewMemory(1)
+	const goroutines = 4
+	const perG = 1000
+	var wg sync.WaitGroup
+	var sawFallback sync.Once
+	fallbackSeen := false
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				st := m.Atomically(0, func(tx *Tx) {
+					tx.Store(0, tx.Load(0)+1)
+				})
+				if st.Fallbacks > 0 {
+					sawFallback.Do(func() { fallbackSeen = true })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.ReadDirect(0); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	_ = fallbackSeen // may or may not trigger on a single-CPU box; the count is the invariant
+}
+
+// Property: a random batch of stores commits all-or-nothing and reads
+// back exactly.
+func TestBatchStoreProperty(t *testing.T) {
+	m := NewMemory(32)
+	f := func(idxs []uint8, vals []uint64) bool {
+		n := len(idxs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		want := make(map[int]uint64)
+		m.Atomically(8, func(tx *Tx) {
+			for k := 0; k < n; k++ {
+				i := int(idxs[k]) % 32
+				tx.Store(i, vals[k])
+			}
+		})
+		// Recompute expected final values (last store per index wins).
+		for k := 0; k < n; k++ {
+			want[int(idxs[k])%32] = vals[k]
+		}
+		for i, v := range want {
+			if m.ReadDirect(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	m := NewMemory(2)
+	st := m.Atomically(3, func(tx *Tx) {
+		tx.Store(0, 99)
+		tx.Abort()
+	})
+	// An explicitly aborted transaction retries and ultimately goes to
+	// the fallback, where it aborts again... the final state must not
+	// contain the write. (Abort inside the fallback means the caller
+	// really wants nothing committed; the loop breaks via commit()
+	// returning false — guard against infinite loops by checking the
+	// visible effect only.)
+	_ = st
+	if m.ReadDirect(0) == 99 {
+		t.Fatal("aborted write became visible")
+	}
+}
+
+// Classic STM invariant: concurrent random transfers between accounts
+// preserve the total balance at every consistent snapshot.
+func TestConcurrentTransfersPreserveSum(t *testing.T) {
+	const accounts = 8
+	const initial = 1000
+	m := NewMemory(accounts)
+	m.Atomically(4, func(tx *Tx) {
+		for i := 0; i < accounts; i++ {
+			tx.Store(i, initial)
+		}
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := uint64(g + 1)
+			for i := 0; i < 3000; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				from := int(rng % accounts)
+				to := int((rng >> 8) % accounts)
+				amt := rng % 10
+				m.Atomically(8, func(tx *Tx) {
+					b := tx.Load(from)
+					if tx.Aborted() || b < amt {
+						return
+					}
+					tx.Store(from, b-amt)
+					tx.Store(to, tx.Load(to)+amt)
+				})
+			}
+		}(g)
+	}
+	// Concurrent auditor: transactional snapshots must always sum
+	// exactly.
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sum uint64
+			aborted := false
+			m.Atomically(8, func(tx *Tx) {
+				sum = 0
+				for i := 0; i < accounts; i++ {
+					sum += tx.Load(i)
+				}
+				aborted = tx.Aborted()
+			})
+			if !aborted && sum != accounts*initial {
+				t.Errorf("torn snapshot: sum=%d", sum)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-auditDone
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		sum += m.ReadDirect(i)
+	}
+	if sum != accounts*initial {
+		t.Fatalf("final sum = %d, want %d", sum, accounts*initial)
+	}
+}

@@ -1,0 +1,117 @@
+// Package syscalls simulates the kernel side of the paper's
+// application benchmark (Section V-F): a table of system calls with
+// calibrated in-kernel costs, plus the cost model for how a call
+// reaches the kernel (native trap vs. enclave queue proxy).
+//
+// The paper benchmarks getppid(2) because it is nearly free in the
+// kernel and copies no arguments, making the call *path* — trap or
+// queue — the dominant cost; the simulation keeps that property.
+package syscalls
+
+import (
+	"os"
+
+	"ffq/internal/spin"
+)
+
+// Number identifies a simulated system call.
+type Number uint32
+
+// The simulated syscall table.
+const (
+	// GetPPID returns the parent process id (the paper's benchmark call).
+	GetPPID Number = iota
+	// GetPID returns the process id.
+	GetPID
+	// Nop does nothing in the kernel (pure path cost).
+	Nop
+	// Write64 pretends to write 64 bytes (adds copy cost).
+	Write64
+	numCalls
+)
+
+// String names the call.
+func (n Number) String() string {
+	switch n {
+	case GetPPID:
+		return "getppid"
+	case GetPID:
+		return "getpid"
+	case Nop:
+		return "nop"
+	case Write64:
+		return "write64"
+	default:
+		return "invalid"
+	}
+}
+
+// CostModel holds the path costs in nanoseconds. Defaults approximate
+// the paper's Skylake numbers.
+type CostModel struct {
+	// TrapNS is the user->kernel->user transition of a native syscall
+	// (the glibc baseline pays this per call).
+	TrapNS int64
+	// KernelNS is the in-kernel work per call, by Number.
+	KernelNS [numCalls]int64
+	// EnclaveExitNS is a full SGX enclave exit+re-enter (what the
+	// framework avoids; "up to 50,000 cycles" per Section II).
+	EnclaveExitNS int64
+	// EPCAccessNS is the added per-request cost of working on
+	// encrypted enclave memory (queue cells living in the EPC).
+	EPCAccessNS int64
+}
+
+// DefaultCostModel returns Skylake-flavoured costs (3.6 GHz: 1 ns ~=
+// 3.6 cycles).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TrapNS:        120,
+		KernelNS:      [numCalls]int64{GetPPID: 15, GetPID: 15, Nop: 0, Write64: 80},
+		EnclaveExitNS: 3500,
+		EPCAccessNS:   60,
+	}
+}
+
+// Kernel executes simulated system calls.
+type Kernel struct {
+	cost CostModel
+	ppid uint64
+	pid  uint64
+}
+
+// NewKernel returns a kernel with the given cost model.
+func NewKernel(cost CostModel) *Kernel {
+	return &Kernel{
+		cost: cost,
+		ppid: uint64(os.Getppid()),
+		pid:  uint64(os.Getpid()),
+	}
+}
+
+// Cost returns the kernel's cost model.
+func (k *Kernel) Cost() CostModel { return k.cost }
+
+// Execute performs the in-kernel work of call n (burning its modeled
+// cost) and returns its result. It does not include any path cost.
+func (k *Kernel) Execute(n Number, arg uint64) uint64 {
+	if n < numCalls {
+		spin.Nanoseconds(k.cost.KernelNS[n])
+	}
+	switch n {
+	case GetPPID:
+		return k.ppid
+	case GetPID:
+		return k.pid
+	case Write64:
+		return arg
+	default:
+		return 0
+	}
+}
+
+// ExecuteNative performs a native syscall: trap cost plus kernel work.
+func (k *Kernel) ExecuteNative(n Number, arg uint64) uint64 {
+	spin.Nanoseconds(k.cost.TrapNS)
+	return k.Execute(n, arg)
+}

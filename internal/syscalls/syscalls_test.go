@@ -1,0 +1,59 @@
+package syscalls
+
+import (
+	"os"
+	"testing"
+)
+
+func TestNumberString(t *testing.T) {
+	names := map[Number]string{
+		GetPPID: "getppid", GetPID: "getpid", Nop: "nop", Write64: "write64",
+		Number(99): "invalid",
+	}
+	for n, want := range names {
+		if n.String() != want {
+			t.Errorf("%d: %q want %q", n, n.String(), want)
+		}
+	}
+}
+
+func TestExecuteResults(t *testing.T) {
+	k := NewKernel(CostModel{}) // zero costs: pure results
+	if got := k.Execute(GetPPID, 0); got != uint64(os.Getppid()) {
+		t.Errorf("getppid = %d, want %d", got, os.Getppid())
+	}
+	if got := k.Execute(GetPID, 0); got != uint64(os.Getpid()) {
+		t.Errorf("getpid = %d", got)
+	}
+	if got := k.Execute(Write64, 77); got != 77 {
+		t.Errorf("write64 = %d", got)
+	}
+	if got := k.Execute(Nop, 5); got != 0 {
+		t.Errorf("nop = %d", got)
+	}
+	if got := k.Execute(Number(99), 5); got != 0 {
+		t.Errorf("invalid call = %d", got)
+	}
+}
+
+func TestCostModelApplied(t *testing.T) {
+	cm := DefaultCostModel()
+	k := NewKernel(cm)
+	if k.Cost().TrapNS != cm.TrapNS {
+		t.Error("cost model not stored")
+	}
+	// Native execution must return the right value and not hang.
+	if got := k.ExecuteNative(GetPPID, 0); got != uint64(os.Getppid()) {
+		t.Errorf("native getppid = %d", got)
+	}
+}
+
+func TestDefaultCostModelSanity(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.TrapNS <= 0 || cm.EnclaveExitNS <= cm.TrapNS || cm.EPCAccessNS <= 0 {
+		t.Errorf("implausible cost model %+v", cm)
+	}
+	if cm.KernelNS[GetPPID] <= 0 {
+		t.Error("getppid kernel cost must be positive")
+	}
+}

@@ -1,0 +1,109 @@
+// Package vyukov implements Dmitry Vyukov's bounded MPMC queue
+// (1024cores.net), the "external MPMC queue" the paper's application
+// benchmark compares FFQ against (Section V-F, footnote 8).
+//
+// Each cell carries a sequence number; a producer may write cell i on
+// lap k when seq == i + k*N, a consumer may read it when seq is one
+// ahead. Producers and consumers each do one fetch-and-add-like CAS on
+// their own counter, so the queue is fast but, unlike FFQ, a stalled
+// thread that has claimed a cell blocks the counterpart side when the
+// queue wraps to that cell.
+package vyukov
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+type cell struct {
+	seq  atomic.Uint64
+	data uint64
+	_    [48]byte // one cell per cache line, as in the reference code
+}
+
+// Queue is a bounded multi-producer/multi-consumer FIFO queue.
+type Queue struct {
+	mask  uint64
+	cells []cell
+	_     [64]byte
+	enq   atomic.Uint64
+	_     [64]byte
+	deq   atomic.Uint64
+	_     [64]byte
+}
+
+// New returns a queue with the given power-of-two capacity.
+func New(capacity int) (*Queue, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("vyukov: capacity %d is not a power of two >= 2", capacity)
+	}
+	q := &Queue{mask: uint64(capacity - 1), cells: make([]cell, capacity)}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q, nil
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.cells) }
+
+// TryEnqueue inserts v, reporting false if the queue is full.
+func (q *Queue) TryEnqueue(v uint64) bool {
+	pos := q.enq.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				c.data = v
+				c.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case diff < 0:
+			return false // full
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// TryDequeue removes the head item, reporting false if the queue is
+// empty.
+func (q *Queue) TryDequeue() (uint64, bool) {
+	pos := q.deq.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch diff := int64(seq) - int64(pos+1); {
+		case diff == 0:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				v := c.data
+				c.seq.Store(pos + q.mask + 1)
+				return v, true
+			}
+			pos = q.deq.Load()
+		case diff < 0:
+			return 0, false // empty
+		default:
+			pos = q.deq.Load()
+		}
+	}
+}
+
+// Enqueue inserts v, spinning (and yielding) while the queue is full.
+func (q *Queue) Enqueue(v uint64) {
+	for spins := 0; !q.TryEnqueue(v); spins++ {
+		if spins >= 16 {
+			runtime.Gosched() // full: let consumers drain
+		}
+	}
+}
+
+// Dequeue removes the head item; ok=false if the queue was observed
+// empty (callers retry).
+func (q *Queue) Dequeue() (uint64, bool) {
+	return q.TryDequeue()
+}

@@ -1,0 +1,79 @@
+package vyukov_test
+
+import (
+	"testing"
+
+	"ffq/internal/queue"
+	"ffq/internal/queuetest"
+	"ffq/internal/vyukov"
+)
+
+func factory() queue.Factory {
+	return queue.Factory{
+		Name: "vyukov",
+		New: func(capacity, _ int) queue.Shared {
+			q, err := vyukov.New(capacity)
+			if err != nil {
+				panic(err)
+			}
+			return queue.SelfRegistering{Q: adapter{q}}
+		},
+	}
+}
+
+type adapter struct{ q *vyukov.Queue }
+
+func (a adapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
+func (a adapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+
+func TestValidation(t *testing.T) {
+	for _, c := range []int{0, 1, 3, 100} {
+		if _, err := vyukov.New(c); err == nil {
+			t.Errorf("capacity %d accepted", c)
+		}
+	}
+	q, err := vyukov.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 64 {
+		t.Errorf("Cap = %d", q.Cap())
+	}
+}
+
+func TestSequential(t *testing.T) {
+	queuetest.Sequential(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestEmpty(t *testing.T) {
+	queuetest.EmptyBehaviour(t, factory())
+}
+
+func TestFull(t *testing.T) {
+	q, _ := vyukov.New(4)
+	for i := uint64(1); i <= 4; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue(%d) failed below capacity", i)
+		}
+	}
+	if q.TryEnqueue(5) {
+		t.Fatal("TryEnqueue succeeded on full queue")
+	}
+	if v, ok := q.TryDequeue(); !ok || v != 1 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if !q.TryEnqueue(5) {
+		t.Fatal("TryEnqueue failed after freeing a slot")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	queuetest.Concurrent(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestConcurrentTinyCapacity(t *testing.T) {
+	opts := queuetest.DefaultOptions()
+	opts.Capacity = 4
+	opts.ItemsPerProducer = 2000
+	queuetest.Concurrent(t, factory(), opts)
+}

@@ -1,0 +1,132 @@
+package wfqueue
+
+import (
+	"sync"
+	"testing"
+)
+
+// Force the enqueue slow path black-box style: every empty dequeue
+// marks its cell TOP (help_enq CASes BOT->TOP when nothing arrives),
+// so patience+1 empty dequeues leave a run of dead cells that defeats
+// every fast-path attempt of the next enqueue.
+func TestEnqueueSlowPathForced(t *testing.T) {
+	q := New()
+	h := q.Register()
+	for i := 0; i <= patience+2; i++ {
+		if _, ok := h.Dequeue(); ok {
+			t.Fatal("empty queue delivered an item")
+		}
+	}
+	// di is now ahead of ei with TOP-marked cells in between; this
+	// enqueue must burn through them and take the slow path.
+	h.Enqueue(42)
+	if got := h.er.id.Load(); got >= 0 && got != 0 {
+		t.Fatalf("slow-path record left pending: id=%d", got)
+	}
+	v, ok := h.Dequeue()
+	if !ok || v != 42 {
+		t.Fatalf("got %d,%v want 42", v, ok)
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("phantom item after slow-path roundtrip")
+	}
+}
+
+// The slow path must also work repeatedly and interleaved with fast
+// operations.
+func TestEnqueueSlowPathRepeated(t *testing.T) {
+	q := New()
+	h := q.Register()
+	expect := uint64(1)
+	for round := 0; round < 20; round++ {
+		// Kill the next patience+2 cells.
+		for i := 0; i <= patience+1; i++ {
+			h.Dequeue()
+		}
+		h.Enqueue(expect)
+		v, ok := h.Dequeue()
+		if !ok || v != expect {
+			t.Fatalf("round %d: got %d,%v want %d", round, v, ok, expect)
+		}
+		expect++
+	}
+}
+
+// Two handles: one parks a slow-path enqueue request; the peer's
+// dequeues must help complete it (the help_enq path through a peer's
+// request record).
+func TestPeerHelpingCompletesSlowEnqueue(t *testing.T) {
+	q := New()
+	h1 := q.Register()
+	h2 := q.Register()
+	// Dead cells so h1's enqueue goes slow.
+	for i := 0; i <= patience+2; i++ {
+		h1.Dequeue()
+	}
+	done := make(chan struct{})
+	go func() {
+		h1.Enqueue(7)
+		close(done)
+	}()
+	// h2 dequeues until the item surfaces; its help_enq walks h1's
+	// request record when it finds cells with parked requests.
+	var got uint64
+	for {
+		v, ok := h2.Dequeue()
+		if ok {
+			got = v
+			break
+		}
+	}
+	<-done
+	if got != 7 {
+		t.Fatalf("got %d want 7", got)
+	}
+}
+
+// Segment cleanup: after traversing several segments, the queue's head
+// segment pointer must advance so the GC can reclaim old segments.
+func TestSegmentCleanupAdvances(t *testing.T) {
+	q := New()
+	h := q.Register()
+	const n = 6 * SegSize
+	for i := uint64(1); i <= n; i++ {
+		h.Enqueue(i)
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("roundtrip %d: %d,%v", i, v, ok)
+		}
+	}
+	if id := q.hp.Load().id; id == 0 {
+		t.Fatal("head segment never advanced; old segments are pinned")
+	}
+}
+
+// Handle registration is concurrency-safe and every handle ends up in
+// a ring reachable from every other.
+func TestConcurrentRegistration(t *testing.T) {
+	q := New()
+	const n = 16
+	handles := make([]*Handle, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			handles[i] = q.Register()
+		}(i)
+	}
+	wg.Wait()
+	// Walk the ring from handle 0: every registered handle must be
+	// reachable within n steps.
+	reach := map[*Handle]bool{}
+	cur := handles[0]
+	for i := 0; i < 4*n; i++ {
+		reach[cur] = true
+		cur = cur.next.Load()
+	}
+	for i, h := range handles {
+		if !reach[h] {
+			t.Fatalf("handle %d not reachable in the helping ring", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package wfqueue_test
+
+import (
+	"sync"
+	"testing"
+
+	"ffq/internal/queue"
+	"ffq/internal/queuetest"
+	"ffq/internal/wfqueue"
+)
+
+type adapter struct{ q *wfqueue.Queue }
+
+func (a adapter) Register() queue.Queue { return a.q.Register() }
+
+func factory() queue.Factory {
+	return queue.Factory{
+		Name: "wfqueue",
+		New: func(_, _ int) queue.Shared {
+			return adapter{wfqueue.New()}
+		},
+	}
+}
+
+func TestSequential(t *testing.T) {
+	queuetest.Sequential(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestEmpty(t *testing.T) {
+	queuetest.EmptyBehaviour(t, factory())
+}
+
+func TestSentinelsRejected(t *testing.T) {
+	q := wfqueue.New()
+	h := q.Register()
+	for _, v := range []uint64{0, ^uint64(0), ^uint64(0) - 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("value %d accepted", v)
+				}
+			}()
+			h.Enqueue(v)
+		}()
+	}
+}
+
+func TestCrossSegment(t *testing.T) {
+	// Push enough items through one handle to cross several segment
+	// boundaries and trigger cleanup.
+	q := wfqueue.New()
+	h := q.Register()
+	const n = 5 * wfqueue.SegSize
+	for i := uint64(1); i <= n; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(1); i <= n; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("drained queue returned an item")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	queuetest.Concurrent(t, factory(), queuetest.DefaultOptions())
+}
+
+func TestConcurrentManyThreads(t *testing.T) {
+	opts := queuetest.DefaultOptions()
+	opts.Producers = 8
+	opts.Consumers = 8
+	opts.ItemsPerProducer = 3000
+	queuetest.Concurrent(t, factory(), opts)
+}
+
+// Pairwise enqueue/dequeue from many threads (the Figure 8 workload
+// shape) with per-thread handles.
+func TestPairsWorkload(t *testing.T) {
+	q := wfqueue.New()
+	const threads = 6
+	const pairs = 5000
+	var wg sync.WaitGroup
+	var sums = make([]uint64, threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := q.Register()
+			var sum uint64
+			for j := 0; j < pairs; j++ {
+				h.Enqueue(uint64(j + 1))
+				v, ok := h.Dequeue()
+				for !ok {
+					v, ok = h.Dequeue()
+				}
+				sum += v
+			}
+			sums[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range sums {
+		total += s
+	}
+	want := uint64(threads) * uint64(pairs) * uint64(pairs+1) / 2
+	if total != want {
+		t.Fatalf("sum = %d, want %d", total, want)
+	}
+}

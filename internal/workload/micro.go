@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ffq/internal/affinity"
+	"ffq/internal/core"
+)
+
+// Variant selects which FFQ implementation serves as the submission
+// queue of the microbenchmark.
+type Variant uint8
+
+const (
+	// VariantSPMC is the paper's default (FFQ^s submission queues).
+	VariantSPMC Variant = iota
+	// VariantMPMC uses FFQ^m (the configuration of Figure 2).
+	VariantMPMC
+	// VariantSPSC uses the SPSC queue; requires exactly one consumer
+	// per producer.
+	VariantSPSC
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantSPMC:
+		return "spmc"
+	case VariantMPMC:
+		return "mpmc"
+	case VariantSPSC:
+		return "spsc"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// MicroConfig parameterizes the submission/response microbenchmark of
+// Section V-A. Each producer owns one submission queue consumed by
+// ConsumersPerProducer consumers; every consumer echoes each item into
+// its own SPSC response queue, which the producer drains.
+type MicroConfig struct {
+	// Variant selects the submission queue implementation.
+	Variant Variant
+	// Layout is the cell memory layout for all queues.
+	Layout core.Layout
+	// Producers is the number of producer threads, each with its own
+	// submission queue (the paper's Figure 2 uses 1 and 8).
+	Producers int
+	// ConsumersPerProducer (>= 1).
+	ConsumersPerProducer int
+	// ItemsPerProducer is the number of round-trips each producer
+	// completes.
+	ItemsPerProducer int
+	// QueueSize is the submission queue capacity (power of two).
+	QueueSize int
+	// RespQueueSize is the response queue capacity (defaults to
+	// QueueSize when 0; always at least 2).
+	RespQueueSize int
+	// Policy places producer/consumer pairs on CPUs.
+	Policy affinity.Policy
+	// Topology used for placement (Detect() when nil).
+	Topology *affinity.Topology
+}
+
+// MicroResult is the outcome of one microbenchmark run.
+type MicroResult struct {
+	// Items is the number of completed round-trips.
+	Items int
+	// Elapsed is the wall time of the parallel phase.
+	Elapsed time.Duration
+}
+
+// MopsPerSec returns round-trips per second in millions.
+func (r MicroResult) MopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Items) / r.Elapsed.Seconds() / 1e6
+}
+
+// submission abstracts the three FFQ variants behind one face.
+type submission interface {
+	enqueue(v uint64)
+	dequeue() (uint64, bool)
+	close()
+}
+
+type spmcSub struct{ q *core.SPMC[uint64] }
+
+func (s spmcSub) enqueue(v uint64)        { s.q.Enqueue(v) }
+func (s spmcSub) dequeue() (uint64, bool) { return s.q.Dequeue() }
+func (s spmcSub) close()                  { s.q.Close() }
+
+type mpmcSub struct{ q *core.MPMC[uint64] }
+
+func (s mpmcSub) enqueue(v uint64)        { s.q.Enqueue(v) }
+func (s mpmcSub) dequeue() (uint64, bool) { return s.q.Dequeue() }
+func (s mpmcSub) close()                  { s.q.Close() }
+
+type spscSub struct{ q *core.SPSC[uint64] }
+
+func (s spscSub) enqueue(v uint64)        { s.q.Enqueue(v) }
+func (s spscSub) dequeue() (uint64, bool) { return s.q.Dequeue() }
+func (s spscSub) close()                  { s.q.Close() }
+
+func newSubmission(cfg MicroConfig) (submission, error) {
+	opt := core.WithLayout(cfg.Layout)
+	switch cfg.Variant {
+	case VariantSPMC:
+		q, err := core.NewSPMC[uint64](cfg.QueueSize, opt)
+		return spmcSub{q}, err
+	case VariantMPMC:
+		q, err := core.NewMPMC[uint64](cfg.QueueSize, opt)
+		return mpmcSub{q}, err
+	case VariantSPSC:
+		if cfg.ConsumersPerProducer != 1 {
+			return nil, fmt.Errorf("workload: SPSC variant requires exactly 1 consumer, got %d", cfg.ConsumersPerProducer)
+		}
+		q, err := core.NewSPSC[uint64](cfg.QueueSize, opt)
+		return spscSub{q}, err
+	default:
+		return nil, fmt.Errorf("workload: unknown variant %v", cfg.Variant)
+	}
+}
+
+// RunMicro executes the microbenchmark once.
+func RunMicro(cfg MicroConfig) (MicroResult, error) {
+	if cfg.Producers < 1 || cfg.ConsumersPerProducer < 1 || cfg.ItemsPerProducer < 1 {
+		return MicroResult{}, fmt.Errorf("workload: non-positive micro config %+v", cfg)
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 1 << 10
+	}
+	if cfg.RespQueueSize == 0 {
+		cfg.RespQueueSize = cfg.QueueSize
+	}
+	if cfg.RespQueueSize < 2 {
+		cfg.RespQueueSize = 2
+	}
+	top := cfg.Topology
+	if top == nil {
+		top = affinity.Detect()
+	}
+
+	type producerState struct {
+		sub   submission
+		resps []*core.SPSC[uint64]
+	}
+	states := make([]*producerState, cfg.Producers)
+	for p := range states {
+		sub, err := newSubmission(cfg)
+		if err != nil {
+			return MicroResult{}, err
+		}
+		st := &producerState{sub: sub}
+		for c := 0; c < cfg.ConsumersPerProducer; c++ {
+			rq, err := core.NewSPSC[uint64](cfg.RespQueueSize, core.WithLayout(cfg.Layout))
+			if err != nil {
+				return MicroResult{}, err
+			}
+			st.resps = append(st.resps, rq)
+		}
+		states[p] = st
+	}
+
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+
+	// maxOutstanding bounds in-flight items so the FFQ "always an
+	// empty slot" assumption holds by construction (the paper's
+	// implicit flow control, Section I observation 2).
+	maxOutstanding := cfg.QueueSize / 2
+	if m := cfg.RespQueueSize / 2 * cfg.ConsumersPerProducer; m < maxOutstanding {
+		maxOutstanding = m
+	}
+	if maxOutstanding < 1 {
+		maxOutstanding = 1
+	}
+
+	for p, st := range states {
+		asn := top.Assign(cfg.Policy, p)
+		// Consumers.
+		for c := 0; c < cfg.ConsumersPerProducer; c++ {
+			ready.Add(1)
+			done.Add(1)
+			go func(st *producerState, c int) {
+				defer done.Done()
+				undo, _ := affinity.Pin(asn.Consumer)
+				defer undo()
+				ready.Done()
+				<-start
+				rq := st.resps[c]
+				for {
+					v, ok := st.sub.dequeue()
+					if !ok {
+						rq.Close()
+						return
+					}
+					rq.Enqueue(v)
+				}
+			}(st, c)
+		}
+		// Producer.
+		ready.Add(1)
+		done.Add(1)
+		go func(st *producerState, p int) {
+			defer done.Done()
+			undo, _ := affinity.Pin(asn.Producer)
+			defer undo()
+			ready.Done()
+			<-start
+			sent, received, outstanding := 0, 0, 0
+			for received < cfg.ItemsPerProducer {
+				for sent < cfg.ItemsPerProducer && outstanding < maxOutstanding {
+					st.sub.enqueue(uint64(sent + 1))
+					sent++
+					outstanding++
+				}
+				drained := false
+				for _, rq := range st.resps {
+					if _, ok := rq.TryDequeue(); ok {
+						received++
+						outstanding--
+						drained = true
+					}
+				}
+				if !drained {
+					runtime.Gosched()
+				}
+			}
+			st.sub.close()
+		}(st, p)
+	}
+
+	ready.Wait()
+	t0 := time.Now()
+	close(start)
+	done.Wait()
+	return MicroResult{Items: cfg.Producers * cfg.ItemsPerProducer, Elapsed: time.Since(t0)}, nil
+}
+
+// pin is a tiny affinity shim for workloads that carry raw CPU lists.
+func pin(cpus []int) (func(), error) {
+	return affinity.Pin(cpus)
+}

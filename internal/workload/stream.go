@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"ffq/internal/spscqueues"
+)
+
+// StreamConfig parameterizes the SPSC streaming transfer benchmark:
+// one producer pushes Items values through the queue to one consumer
+// as fast as possible (the workload FastForward, MCRingBuffer,
+// BatchQueue and B-Queue were designed for; Section II of the paper).
+type StreamConfig struct {
+	// Factory builds the queue under test.
+	Factory spscqueues.Factory
+	// Items to transfer.
+	Items int
+	// Capacity of the queue (power of two).
+	Capacity int
+	// PinProducer/PinConsumer optionally pin the two threads.
+	PinProducer, PinConsumer []int
+}
+
+// StreamResult is the outcome of one streaming run.
+type StreamResult struct {
+	// Items transferred.
+	Items int
+	// Elapsed wall time.
+	Elapsed time.Duration
+}
+
+// MopsPerSec returns items transferred per second, in millions.
+func (r StreamResult) MopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Items) / r.Elapsed.Seconds() / 1e6
+}
+
+// RunStream executes the streaming transfer once.
+func RunStream(cfg StreamConfig) (StreamResult, error) {
+	if cfg.Items < 1 {
+		cfg.Items = 1
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 1 << 12
+	}
+	q, err := cfg.Factory.New(cfg.Capacity)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	ready := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		undo, _ := pin(cfg.PinConsumer)
+		defer undo()
+		close(ready)
+		<-start
+		expect := uint64(0)
+		for expect < uint64(cfg.Items) {
+			v, ok := q.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			_ = v
+			expect++
+		}
+	}()
+	<-ready
+	undo, _ := pin(cfg.PinProducer)
+	defer undo()
+	t0 := time.Now()
+	close(start)
+	for i := uint64(0); i < uint64(cfg.Items); i++ {
+		q.Enqueue(i)
+	}
+	q.Flush()
+	wg.Wait()
+	return StreamResult{Items: cfg.Items, Elapsed: time.Since(t0)}, nil
+}

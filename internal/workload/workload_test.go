@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"ffq/internal/affinity"
+	"ffq/internal/allqueues"
+	"ffq/internal/core"
+	"ffq/internal/spscqueues"
+)
+
+func TestRunPairsSmoke(t *testing.T) {
+	f, err := allqueues.ByName("ffq-mpmc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPairs(PairsConfig{
+		Factory:    f.Factory,
+		Threads:    2,
+		TotalPairs: 2000,
+		Capacity:   1 << 10,
+		DelayMinNS: 0,
+		DelayMaxNS: 0,
+	})
+	if res.Ops != 4000 {
+		t.Fatalf("Ops = %d, want 4000", res.Ops)
+	}
+	if res.MopsPerSec() <= 0 {
+		t.Fatalf("throughput %v", res.MopsPerSec())
+	}
+}
+
+func TestRunPairsEveryQueue(t *testing.T) {
+	for _, f := range allqueues.Factories() {
+		threads := 2
+		if f.MaxThreads == 1 {
+			threads = 1
+		}
+		res := RunPairs(PairsConfig{
+			Factory:    f.Factory,
+			Threads:    threads,
+			TotalPairs: 500,
+			Capacity:   1 << 10,
+		})
+		if res.MopsPerSec() <= 0 {
+			t.Errorf("%s: zero throughput", f.Name)
+		}
+	}
+}
+
+func TestRunPairsDefaultsClamp(t *testing.T) {
+	f, _ := allqueues.ByName("msqueue")
+	res := RunPairs(PairsConfig{Factory: f.Factory, Threads: 0, TotalPairs: 10})
+	if res.Ops < 2 {
+		t.Fatalf("Ops = %d", res.Ops)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantSPMC.String() != "spmc" || VariantMPMC.String() != "mpmc" || VariantSPSC.String() != "spsc" {
+		t.Error("variant names")
+	}
+}
+
+func TestRunMicroValidation(t *testing.T) {
+	if _, err := RunMicro(MicroConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	_, err := RunMicro(MicroConfig{
+		Variant: VariantSPSC, Producers: 1, ConsumersPerProducer: 2, ItemsPerProducer: 10,
+	})
+	if err == nil {
+		t.Error("SPSC with 2 consumers accepted")
+	}
+}
+
+func TestRunMicroAllVariants(t *testing.T) {
+	for _, v := range []Variant{VariantSPMC, VariantMPMC, VariantSPSC} {
+		consumers := 2
+		if v == VariantSPSC {
+			consumers = 1
+		}
+		res, err := RunMicro(MicroConfig{
+			Variant:              v,
+			Layout:               core.LayoutPadded,
+			Producers:            1,
+			ConsumersPerProducer: consumers,
+			ItemsPerProducer:     3000,
+			QueueSize:            256,
+			Policy:               affinity.NoAffinity,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Items != 3000 || res.MopsPerSec() <= 0 {
+			t.Fatalf("%v: %+v", v, res)
+		}
+	}
+}
+
+func TestRunMicroMultiProducer(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		Variant:              VariantMPMC,
+		Producers:            2,
+		ConsumersPerProducer: 2,
+		ItemsPerProducer:     2000,
+		QueueSize:            128,
+		Policy:               affinity.SiblingHT, // exercises pinning paths
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != 4000 {
+		t.Fatalf("Items = %d", res.Items)
+	}
+}
+
+func TestRunMicroAllLayouts(t *testing.T) {
+	for _, l := range core.Layouts {
+		res, err := RunMicro(MicroConfig{
+			Variant:              VariantSPMC,
+			Layout:               l,
+			Producers:            1,
+			ConsumersPerProducer: 1,
+			ItemsPerProducer:     2000,
+			QueueSize:            64,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if res.Items != 2000 {
+			t.Fatalf("%v: %+v", l, res)
+		}
+	}
+}
+
+func TestRunStreamEveryQueue(t *testing.T) {
+	for _, f := range spscqueues.Factories() {
+		res, err := RunStream(StreamConfig{Factory: f, Items: 50000, Capacity: 256})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if res.Items != 50000 || res.MopsPerSec() <= 0 {
+			t.Errorf("%s: %+v", f.Name, res)
+		}
+	}
+}
+
+func TestRunStreamDefaults(t *testing.T) {
+	f, err := spscqueues.ByName("ffq-spsc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStream(StreamConfig{Factory: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != 1 {
+		t.Fatalf("Items = %d", res.Items)
+	}
+}
+
+func TestRunPairsLatency(t *testing.T) {
+	f, err := allqueues.ByName("ffq-mpmc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPairs(PairsConfig{
+		Factory:        f.Factory,
+		Threads:        2,
+		TotalPairs:     2000,
+		Capacity:       1 << 10,
+		MeasureLatency: true,
+	})
+	if res.EnqueueNS == nil || res.DequeueNS == nil {
+		t.Fatal("latency histograms missing")
+	}
+	if res.EnqueueNS.Total() != 2000 || res.DequeueNS.Total() != 2000 {
+		t.Fatalf("histogram totals: enq=%d deq=%d", res.EnqueueNS.Total(), res.DequeueNS.Total())
+	}
+	if res.EnqueueNS.Mean() <= 0 || res.DequeueNS.Quantile(0.99) <= 0 {
+		t.Fatal("degenerate latency stats")
+	}
+	// Without the flag the histograms stay nil.
+	res2 := RunPairs(PairsConfig{Factory: f.Factory, Threads: 1, TotalPairs: 10})
+	if res2.EnqueueNS != nil || res2.DequeueNS != nil {
+		t.Fatal("histograms allocated without MeasureLatency")
+	}
+}
