@@ -335,3 +335,46 @@ func BenchmarkAblationPrefetchDepth(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkInstrumentation is the cost gate for the observability
+// layer. The "off" sub-benchmarks build the queue without a recorder —
+// they must stay within noise (<3%) of the pre-instrumentation
+// BenchmarkCoreOps numbers, since the disabled path adds only one
+// predicted nil-check branch per operation. The "on" sub-benchmarks
+// price the enabled path (a few uncontended atomic additions per
+// enqueue/dequeue pair).
+func BenchmarkInstrumentation(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []core.Option
+	}{
+		{"off", []core.Option{core.WithLayout(core.LayoutPadded)}},
+		{"on", []core.Option{core.WithLayout(core.LayoutPadded), core.WithInstrumentation()}},
+	}
+	for _, m := range modes {
+		b.Run("spsc/"+m.name, func(b *testing.B) {
+			q, _ := core.NewSPSC[uint64](1<<16, m.opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i))
+				q.TryDequeue()
+			}
+		})
+		b.Run("spmc/"+m.name, func(b *testing.B) {
+			q, _ := core.NewSPMC[uint64](1<<16, m.opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i))
+				q.Dequeue()
+			}
+		})
+		b.Run("mpmc/"+m.name, func(b *testing.B) {
+			q, _ := core.NewMPMC[uint64](1<<16, m.opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i))
+				q.Dequeue()
+			}
+		})
+	}
+}

@@ -9,15 +9,23 @@
 //
 //	ffq-micro -fig 3 -runs 10 -scale 1.0
 //	ffq-micro -fig 6 -pairs 2 -csv
+//	ffq-micro -json BENCH_spmc.json -variant spmc -consumers 4
+//
+// With -json the tool instead runs the instrumented queue-size sweep
+// and writes benchmark records (throughput plus per-queue spin, yield,
+// gap and wait counters) as a JSON array to the given file ("-" for
+// stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ffq/internal/experiments"
 	"ffq/internal/report"
+	"ffq/internal/workload"
 )
 
 func main() {
@@ -28,6 +36,9 @@ func main() {
 	maxExp := flag.Int("max-size", 20, "largest queue size as a power-of-two exponent")
 	pairs := flag.Int("pairs", 1, "producer/consumer pairs (figure 6)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := flag.String("json", "", "write the instrumented stats sweep as JSON to this file (\"-\" = stdout)")
+	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc or mpmc")
+	consumers := flag.Int("consumers", 1, "consumers per producer for -json")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -35,6 +46,14 @@ func main() {
 	o.Scale = *scale
 	o.MinSizeExp = *minExp
 	o.MaxSizeExp = *maxExp
+
+	if *jsonOut != "" {
+		if err := runStatsSweep(o, *jsonOut, *variant, *consumers); err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-micro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tbl *report.Table
 	var err error
@@ -61,4 +80,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ffq-micro:", err)
 		os.Exit(1)
 	}
+}
+
+// runStatsSweep executes the instrumented sweep and writes the JSON
+// records.
+func runStatsSweep(o experiments.Options, path, variant string, consumers int) error {
+	var v workload.Variant
+	switch variant {
+	case "spsc":
+		v = workload.VariantSPSC
+	case "spmc":
+		v = workload.VariantSPMC
+	case "mpmc":
+		v = workload.VariantMPMC
+	default:
+		return fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc)", variant)
+	}
+	recs, err := experiments.StatsSweep(o, v, consumers)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return report.WriteJSON(w, recs)
 }

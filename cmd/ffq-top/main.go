@@ -1,0 +1,313 @@
+// Command ffq-top runs a configurable produce/consume workload on an
+// instrumented FFQ queue and renders a refreshing terminal view of its
+// live internals: depth, enqueue/dequeue rates, spin ratios, scheduler
+// yields, gap creation/skip counts and the blocking-wait histogram —
+// the quantities behind the paper's evaluation (Figures 2-8), live.
+//
+// Usage:
+//
+//	ffq-top                                  # spmc, 4 consumers, 1024 slots
+//	ffq-top -variant mpmc -producers 4 -consumers 2 -cap 64 \
+//	        -consumer-delay 2us              # small queue + slow consumers = gaps
+//	ffq-top -http :8077                      # also serve /metrics (Prometheus)
+//	                                         # and /debug/vars (expvar)
+//	ffq-top -yield-threshold 1               # exaggerate scheduler yields
+//
+// The terminal view refreshes in place every -interval. With -plain
+// (or when stdout is not a terminal) it appends one summary line per
+// tick instead, suitable for piping. The run stops after -duration
+// (0 = until interrupted).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ffq/internal/core"
+	"ffq/internal/obs"
+	"ffq/internal/obs/expvarx"
+)
+
+// queue adapts the three core variants behind one face.
+type queue interface {
+	enqueue(v uint64)
+	dequeue() (uint64, bool)
+	close()
+	len() int
+	stats() obs.Stats
+}
+
+type spscQ struct{ q *core.SPSC[uint64] }
+
+func (s spscQ) enqueue(v uint64)        { s.q.Enqueue(v) }
+func (s spscQ) dequeue() (uint64, bool) { return s.q.Dequeue() }
+func (s spscQ) close()                  { s.q.Close() }
+func (s spscQ) len() int                { return s.q.Len() }
+func (s spscQ) stats() obs.Stats        { return s.q.Stats() }
+
+type spmcQ struct{ q *core.SPMC[uint64] }
+
+func (s spmcQ) enqueue(v uint64)        { s.q.Enqueue(v) }
+func (s spmcQ) dequeue() (uint64, bool) { return s.q.Dequeue() }
+func (s spmcQ) close()                  { s.q.Close() }
+func (s spmcQ) len() int                { return s.q.Len() }
+func (s spmcQ) stats() obs.Stats        { return s.q.Stats() }
+
+type mpmcQ struct{ q *core.MPMC[uint64] }
+
+func (s mpmcQ) enqueue(v uint64)        { s.q.Enqueue(v) }
+func (s mpmcQ) dequeue() (uint64, bool) { return s.q.Dequeue() }
+func (s mpmcQ) close()                  { s.q.Close() }
+func (s mpmcQ) len() int                { return s.q.Len() }
+func (s mpmcQ) stats() obs.Stats        { return s.q.Stats() }
+
+func newQueue(variant string, capacity int, opts ...core.Option) (queue, error) {
+	switch variant {
+	case "spsc":
+		q, err := core.NewSPSC[uint64](capacity, opts...)
+		return spscQ{q}, err
+	case "spmc":
+		q, err := core.NewSPMC[uint64](capacity, opts...)
+		return spmcQ{q}, err
+	case "mpmc":
+		q, err := core.NewMPMC[uint64](capacity, opts...)
+		return mpmcQ{q}, err
+	default:
+		return nil, fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc)", variant)
+	}
+}
+
+func main() {
+	variant := flag.String("variant", "spmc", "queue variant: spsc, spmc or mpmc")
+	producers := flag.Int("producers", 1, "producer goroutines (>1 requires -variant mpmc)")
+	consumers := flag.Int("consumers", 4, "consumer goroutines (spsc requires exactly 1)")
+	capacity := flag.Int("cap", 1<<10, "queue capacity (power of two)")
+	interval := flag.Duration("interval", time.Second, "refresh interval")
+	duration := flag.Duration("duration", 0, "run length (0 = until interrupted)")
+	httpAddr := flag.String("http", "", "serve /metrics (Prometheus) and /debug/vars (expvar) on this address")
+	yieldTh := flag.Int("yield-threshold", 0, "spin count before yielding to the scheduler (0 = default)")
+	prodDelay := flag.Duration("producer-delay", 0, "artificial work per enqueue")
+	consDelay := flag.Duration("consumer-delay", 0, "artificial work per dequeue (slows consumers, forces gaps)")
+	plain := flag.Bool("plain", false, "append one line per tick instead of refreshing in place")
+	flag.Parse()
+
+	if *producers < 1 || *consumers < 1 {
+		fatal(fmt.Errorf("need at least one producer and one consumer"))
+	}
+	if *producers > 1 && *variant != "mpmc" {
+		fatal(fmt.Errorf("%d producers require -variant mpmc", *producers))
+	}
+	if *variant == "spsc" && *consumers != 1 {
+		fatal(fmt.Errorf("spsc supports exactly 1 consumer, got %d", *consumers))
+	}
+
+	q, err := newQueue(*variant, *capacity,
+		core.WithInstrumentation(),
+		core.WithLayout(core.LayoutPadded),
+		core.WithYieldThreshold(*yieldTh))
+	if err != nil {
+		fatal(err)
+	}
+	if err := expvarx.Register("ffq-top", expvarx.QueueInfo{
+		Stats: q.stats,
+		Len:   q.len,
+		Cap:   *capacity,
+	}); err != nil {
+		fatal(err)
+	}
+
+	if *httpAddr != "" {
+		http.Handle("/metrics", expvarx.Handler())
+		go func() {
+			// DefaultServeMux already carries expvar's /debug/vars.
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ffq-top: http:", err)
+			}
+		}()
+	}
+
+	// Workload. Producers enqueue monotonic counters until told to
+	// stop; consumers drain until the queue closes. The artificial
+	// delays are busy-waits: sleeping would park the goroutine and
+	// hide exactly the spin behavior this tool visualizes.
+	var stop atomic.Bool
+	var prodWG, consWG sync.WaitGroup
+	for p := 0; p < *producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			pprof.Do(context.Background(), pprof.Labels(
+				"ffq_role", "producer", "ffq_worker", strconv.Itoa(p),
+			), func(context.Context) {
+				var n uint64
+				for !stop.Load() {
+					q.enqueue(n)
+					n++
+					busyWait(*prodDelay)
+				}
+			})
+		}(p)
+	}
+	for c := 0; c < *consumers; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			pprof.Do(context.Background(), pprof.Labels(
+				"ffq_role", "consumer", "ffq_worker", strconv.Itoa(c),
+			), func(context.Context) {
+				for {
+					if _, ok := q.dequeue(); !ok {
+						return
+					}
+					busyWait(*consDelay)
+				}
+			})
+		}(c)
+	}
+
+	// Drive the display until the deadline or a signal.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	start := time.Now()
+	prev := q.stats()
+	prevAt := start
+loop:
+	for {
+		select {
+		case <-sig:
+			break loop
+		case <-deadline:
+			break loop
+		case now := <-ticker.C:
+			cur := q.stats()
+			render(os.Stdout, *plain, *variant, *capacity, q.len(), now.Sub(start),
+				cur, cur.Sub(prev), now.Sub(prevAt))
+			prev, prevAt = cur, now
+		}
+	}
+
+	// Shut down: stop producers first (MPMC close requires all
+	// producers done), then close and let consumers drain.
+	stop.Store(true)
+	prodWG.Wait()
+	q.close()
+	consWG.Wait()
+
+	final := q.stats()
+	fmt.Printf("\n--- final after %s ---\n%s\n", time.Since(start).Round(time.Millisecond), final)
+	if final.WaitCount > 0 {
+		fmt.Printf("wait histogram: %s\n", sparkline(final.WaitBuckets))
+	}
+}
+
+// render draws one refresh frame (or appends one line with plain).
+func render(w *os.File, plain bool, variant string, capacity, depth int,
+	elapsed time.Duration, cur, d obs.Stats, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	if plain {
+		fmt.Fprintf(w, "t=%-8s depth=%-6d enq/s=%-12.0f deq/s=%-12.0f spin/op=%-8.2f gaps=%d/%d\n",
+			elapsed.Round(time.Second), depth,
+			float64(d.Enqueues)/secs, float64(d.Dequeues)/secs,
+			d.SpinRatio(), cur.GapsCreated, cur.GapsSkipped)
+		return
+	}
+	var b strings.Builder
+	// Clear screen, home cursor.
+	b.WriteString("\x1b[2J\x1b[H")
+	fmt.Fprintf(&b, "ffq-top — %s cap=%d — up %s\n\n", variant, capacity, elapsed.Round(time.Second))
+	fmt.Fprintf(&b, "  depth      %10d / %d (%.0f%%)\n", depth, capacity, 100*float64(depth)/float64(capacity))
+	fmt.Fprintf(&b, "  enqueue/s  %10.0f   (total %d)\n", float64(d.Enqueues)/secs, cur.Enqueues)
+	fmt.Fprintf(&b, "  dequeue/s  %10.0f   (total %d)\n", float64(d.Dequeues)/secs, cur.Dequeues)
+	fmt.Fprintf(&b, "  full spins %10.0f/s (total %d, %.3f per enqueue)\n",
+		float64(d.FullSpins)/secs, cur.FullSpins, per(cur.FullSpins, cur.Enqueues))
+	fmt.Fprintf(&b, "  empty spins%10.0f/s (total %d, %.3f per dequeue)\n",
+		float64(d.EmptySpins)/secs, cur.EmptySpins, per(cur.EmptySpins, cur.Dequeues))
+	fmt.Fprintf(&b, "  yields     %10.0f/s (producer %d, consumer %d)\n",
+		float64(d.ProducerYields+d.ConsumerYields)/secs, cur.ProducerYields, cur.ConsumerYields)
+	fmt.Fprintf(&b, "  gaps       %10.0f/s created (total %d created, %d skipped)\n",
+		float64(d.GapsCreated)/secs, cur.GapsCreated, cur.GapsSkipped)
+	if cur.WaitCount > 0 {
+		fmt.Fprintf(&b, "  waits      %10d   mean %s\n", cur.WaitCount, cur.MeanWait())
+		fmt.Fprintf(&b, "  wait hist  %s  (64ns .. 17s, log2 buckets)\n", sparkline(cur.WaitBuckets))
+	}
+	fmt.Fprintf(&b, "\n(ctrl-c to stop)\n")
+	w.WriteString(b.String())
+}
+
+// per returns n/d guarding the empty denominator.
+func per(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// sparkline renders histogram buckets 6..34 (64ns..17s) as a bar rune
+// per bucket, scaled to the largest bucket.
+func sparkline(buckets []int64) string {
+	const lo, hi = 6, 34
+	bars := []rune("▁▂▃▄▅▆▇█")
+	if len(buckets) < hi+1 {
+		return ""
+	}
+	var max int64
+	for e := lo; e <= hi; e++ {
+		if buckets[e] > max {
+			max = buckets[e]
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", hi-lo+1)
+	}
+	var b strings.Builder
+	for e := lo; e <= hi; e++ {
+		if buckets[e] == 0 {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := int(buckets[e] * int64(len(bars)-1) / max)
+		b.WriteRune(bars[idx])
+	}
+	return b.String()
+}
+
+// busyWait spins for roughly d without sleeping (sleeping parks the
+// goroutine and hides the queue's own spin behavior). Long delays fall
+// back to Sleep to stay scheduler-friendly.
+func busyWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	for end := time.Now().Add(d); time.Now().Before(end); {
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffq-top:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Example observability: attach instrumentation to a queue, read the
+// counters through the public Stats facade, and expose them through
+// expvar and the Prometheus text format.
+//
+// A deliberately tiny SPMC queue is driven by one producer and two
+// artificially slow consumers, so every instrument registers: the
+// producer runs into the full queue and burns ranks (gaps), consumers
+// block on the empty queue after the close, and the blocking-wait
+// histogram fills in between.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ffq"
+	"ffq/internal/obs/expvarx"
+)
+
+func main() {
+	q, err := ffq.NewSPMC[int](8,
+		ffq.WithInstrumentation(),
+		ffq.WithLayout(ffq.LayoutPadded))
+	if err != nil {
+		panic(err)
+	}
+
+	// Expose the queue. In a service this line plus an http.ListenAndServe
+	// is all Prometheus needs; here we render the exposition by hand.
+	if err := expvarx.Register("example", expvarx.QueueInfo{
+		Stats: q.Stats,
+		Len:   q.Len,
+		Cap:   q.Cap(),
+	}); err != nil {
+		panic(err)
+	}
+
+	const items = 10_000
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := q.Dequeue(); !ok {
+					return
+				}
+				// Pretend each item takes a little work, keeping the
+				// tiny queue full and the producer skipping ranks.
+				for t := time.Now(); time.Since(t) < time.Microsecond; {
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		q.Enqueue(i)
+	}
+	q.Close()
+	wg.Wait()
+
+	s := q.Stats()
+	fmt.Println("queue drained; counters:")
+	fmt.Printf("  enqueues        %d\n", s.Enqueues)
+	fmt.Printf("  dequeues        %d\n", s.Dequeues)
+	fmt.Printf("  full spins      %d\n", s.FullSpins)
+	fmt.Printf("  empty spins     %d\n", s.EmptySpins)
+	fmt.Printf("  gaps created    %d (also via q.Gaps() = %d)\n", s.GapsCreated, q.Gaps())
+	fmt.Printf("  gaps skipped    %d\n", s.GapsSkipped)
+	fmt.Printf("  spin ratio      %.3f spins/op\n", s.SpinRatio())
+	if s.WaitCount > 0 {
+		fmt.Printf("  blocking waits  %d, mean %s\n", s.WaitCount, s.MeanWait())
+	}
+	if s.Enqueues-s.Dequeues != int64(q.Len()) {
+		panic("accounting identity violated")
+	}
+
+	fmt.Println("\nPrometheus exposition (excerpt):")
+	for _, line := range strings.Split(expvarx.Exposition(), "\n") {
+		if strings.HasPrefix(line, "ffq_enqueues_total") ||
+			strings.HasPrefix(line, "ffq_gaps_created_total") ||
+			strings.HasPrefix(line, "ffq_wait_ns_count") {
+			fmt.Println("  " + line)
+		}
+	}
+}

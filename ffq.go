@@ -44,6 +44,7 @@ package ffq
 
 import (
 	"ffq/internal/core"
+	"ffq/internal/obs"
 )
 
 // Layout selects the cell memory placement. See the Layout constants.
@@ -67,6 +68,29 @@ type Option = core.Option
 
 // WithLayout selects the memory layout of the cell array.
 func WithLayout(l Layout) Option { return core.WithLayout(l) }
+
+// Stats is a point-in-time snapshot of a queue's instrumentation
+// counters: completed operations, full-/empty-queue spin iterations,
+// scheduler yields, gap creation and gap-skip counts, and a
+// log2-bucketed histogram of blocking-path wait times. All counters
+// are monotonic over the queue's lifetime. See the Stats method on
+// each variant.
+type Stats = obs.Stats
+
+// WithInstrumentation enables per-queue metrics: every operation,
+// spin, yield, gap and blocking wait is counted, readable through the
+// queue's Stats method. Instrumentation costs a few atomic additions
+// on the paths it observes; without it (the default) a queue keeps no
+// per-operation state and the hot paths pay only one predicted branch,
+// so leave it off in throughput-critical production queues and enable
+// it when sizing, debugging or live-monitoring a deployment.
+func WithInstrumentation() Option { return core.WithInstrumentation() }
+
+// WithYieldThreshold overrides the number of consecutive failed polls
+// after which a blocked goroutine yields to the Go scheduler instead
+// of busy-waiting (default: 64 on multiprocessors, 1 on a
+// uniprocessor). n <= 0 restores the default.
+func WithYieldThreshold(n int) Option { return core.WithYieldThreshold(n) }
 
 // SPSC is a bounded FIFO queue for exactly one producer goroutine and
 // exactly one consumer goroutine.
@@ -105,6 +129,17 @@ func (s *SPSC[T]) Len() int { return s.q.Len() }
 // Cap returns the capacity.
 func (s *SPSC[T]) Cap() int { return s.q.Cap() }
 
+// Gaps returns the number of ranks the producer has skipped because
+// the consumer still held the target cell. Always available; a
+// non-zero value means the queue ran full (consider a larger
+// capacity).
+func (s *SPSC[T]) Gaps() int64 { return s.q.Gaps() }
+
+// Stats snapshots the queue's instrumentation counters. Without
+// WithInstrumentation only the always-on GapsCreated counter is
+// populated.
+func (s *SPSC[T]) Stats() Stats { return s.q.Stats() }
+
 // SPMC is the paper's FFQ^s: a bounded FIFO queue with one producer
 // goroutine and any number of concurrent consumers.
 type SPMC[T any] struct{ q *core.SPMC[T] }
@@ -142,6 +177,17 @@ func (s *SPMC[T]) Len() int { return s.q.Len() }
 // Cap returns the capacity.
 func (s *SPMC[T]) Cap() int { return s.q.Cap() }
 
+// Gaps returns the number of ranks the producer has skipped because a
+// slow consumer still held the target cell (Section III-A of the
+// paper). Always available; a non-zero value means the queue ran full
+// at some point (consider a larger capacity).
+func (s *SPMC[T]) Gaps() int64 { return s.q.Gaps() }
+
+// Stats snapshots the queue's instrumentation counters. Without
+// WithInstrumentation only the always-on GapsCreated counter is
+// populated.
+func (s *SPMC[T]) Stats() Stats { return s.q.Stats() }
+
 // MPMC is the paper's FFQ^m: a bounded FIFO queue safe for any number
 // of producers and consumers. The paper's 128-bit double
 // compare-and-set is emulated with a packed 64-bit word; the queue
@@ -175,3 +221,13 @@ func (s *MPMC[T]) Len() int { return s.q.Len() }
 
 // Cap returns the capacity.
 func (s *MPMC[T]) Cap() int { return s.q.Cap() }
+
+// Gaps returns the number of successful gap announcements made by
+// producers. Always available; a non-zero value means the queue ran
+// full at some point (consider a larger capacity).
+func (s *MPMC[T]) Gaps() int64 { return s.q.Gaps() }
+
+// Stats snapshots the queue's instrumentation counters. Without
+// WithInstrumentation only the always-on GapsCreated counter is
+// populated.
+func (s *MPMC[T]) Stats() Stats { return s.q.Stats() }

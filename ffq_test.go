@@ -1,6 +1,7 @@
 package ffq_test
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -113,5 +114,140 @@ func TestPublicValidationErrors(t *testing.T) {
 	}
 	if _, err := ffq.NewMPMC[int](-8); err == nil {
 		t.Error("MPMC: bad capacity accepted")
+	}
+}
+
+// TestPublicInstrumentation exercises WithInstrumentation, Stats and
+// Gaps through the facade on all three variants, with concurrent
+// consumers, and checks the quiescence identity
+// Enqueues - Dequeues == Len.
+func TestPublicInstrumentation(t *testing.T) {
+	const items = 500
+
+	t.Run("spsc", func(t *testing.T) {
+		q, err := ffq.NewSPSC[int](8, ffq.WithInstrumentation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			q.Enqueue(i)
+		}
+		q.TryDequeue()
+		s := q.Stats()
+		if s.Enqueues != 3 || s.Dequeues != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+		if s.Enqueues-s.Dequeues != int64(q.Len()) {
+			t.Fatalf("Enqueues-Dequeues=%d Len=%d", s.Enqueues-s.Dequeues, q.Len())
+		}
+	})
+
+	t.Run("spmc", func(t *testing.T) {
+		q, err := ffq.NewSPMC[int](1<<6, ffq.WithInstrumentation(), ffq.WithYieldThreshold(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < 3; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, ok := q.Dequeue(); !ok {
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < items; i++ {
+			q.Enqueue(i)
+		}
+		q.Close()
+		wg.Wait()
+		s := q.Stats()
+		if s.Enqueues != items || s.Dequeues != items {
+			t.Fatalf("stats = %+v", s)
+		}
+		if s.Enqueues-s.Dequeues != int64(q.Len()) {
+			t.Fatalf("quiescence identity violated: %+v Len=%d", s, q.Len())
+		}
+		if s.GapsCreated != q.Gaps() {
+			t.Fatalf("Stats gaps %d != Gaps() %d", s.GapsCreated, q.Gaps())
+		}
+	})
+
+	t.Run("mpmc", func(t *testing.T) {
+		q, err := ffq.NewMPMC[int](1<<6, ffq.WithInstrumentation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prod, cons sync.WaitGroup
+		for p := 0; p < 2; p++ {
+			prod.Add(1)
+			go func() {
+				defer prod.Done()
+				for i := 0; i < items; i++ {
+					q.Enqueue(i)
+				}
+			}()
+		}
+		for c := 0; c < 3; c++ {
+			cons.Add(1)
+			go func() {
+				defer cons.Done()
+				for {
+					if _, ok := q.Dequeue(); !ok {
+						return
+					}
+				}
+			}()
+		}
+		prod.Wait()
+		q.Close()
+		cons.Wait()
+		s := q.Stats()
+		if s.Enqueues != 2*items || s.Dequeues != 2*items {
+			t.Fatalf("stats = %+v", s)
+		}
+		if s.Enqueues-s.Dequeues != int64(q.Len()) {
+			t.Fatalf("quiescence identity violated: %+v Len=%d", s, q.Len())
+		}
+		if s.GapsCreated != q.Gaps() {
+			t.Fatalf("Stats gaps %d != Gaps() %d", s.GapsCreated, q.Gaps())
+		}
+	})
+}
+
+// TestPublicGapsUninstrumented checks the satellite requirement that
+// Gaps is available on every facade without instrumentation, and that
+// Stats folds it in.
+func TestPublicGapsUninstrumented(t *testing.T) {
+	q, err := ffq.NewMPMC[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Gaps() != 0 {
+		t.Fatalf("fresh queue Gaps = %d", q.Gaps())
+	}
+	// Fill the queue, then force a producer skip with a slow consumer.
+	q.Enqueue(0)
+	q.Enqueue(1)
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(2)
+		close(done)
+	}()
+	for q.Gaps() == 0 {
+		runtime.Gosched()
+	}
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("Dequeue failed")
+	}
+	<-done
+	if q.Gaps() == 0 {
+		t.Fatal("Gaps not visible through facade")
+	}
+	if got := q.Stats().GapsCreated; got != q.Gaps() {
+		t.Fatalf("Stats().GapsCreated = %d, Gaps() = %d", got, q.Gaps())
 	}
 }

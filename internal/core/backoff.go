@@ -2,7 +2,7 @@ package core
 
 import "runtime"
 
-// backoffYieldThreshold is the number of failed polls after which a
+// defaultYieldThreshold is the number of failed polls after which a
 // spinning thread starts yielding its processor to the Go scheduler.
 // Below the threshold the thread busy-waits, which matches the paper's
 // "back off and wait for a few nanoseconds" (Algorithm 1, line 32);
@@ -10,21 +10,26 @@ import "runtime"
 // yielding lets that peer run. On a uniprocessor spinning can never
 // help — the peer needs this CPU — so the threshold drops to 1, the
 // same reasoning the Go runtime applies to mutex spinning.
-var backoffYieldThreshold = func() int {
+//
+// WithYieldThreshold overrides the value per queue.
+var defaultYieldThreshold = func() int {
 	if runtime.NumCPU() > 1 {
 		return 64
 	}
 	return 1
 }()
 
-// backoff delays a spinning thread. spins counts consecutive failed
-// polls of the same cell.
-func backoff(spins int) {
-	if spins < backoffYieldThreshold {
+// backoff delays a spinning thread and reports whether it yielded the
+// processor (rather than busy-waiting), so instrumented callers can
+// count scheduler round-trips. spins counts consecutive failed polls
+// of the same cell; threshold is the queue's yield threshold.
+func backoff(spins, threshold int) bool {
+	if spins < threshold {
 		cpuRelax()
-		return
+		return false
 	}
 	runtime.Gosched()
+	return true
 }
 
 // cpuRelax burns a few cycles without touching shared memory. Go does

@@ -38,6 +38,17 @@
 //     consecutive ranks 16 slots apart ("address randomization").
 //   - LayoutPaddedRandomized: both of the above.
 //
+// # Instrumentation
+//
+// WithInstrumentation (or WithRecorder for a shared aggregate) attaches
+// an obs.Recorder to a queue: completed operations, full-/empty-queue
+// spin iterations, scheduler yields, gap creation/skip counts and a
+// log2 histogram of blocking-path wait times are then counted, and
+// snapshotted by the Stats method. The recorder field is nil by
+// default and every path checks it before recording, so the disabled
+// configuration costs one predicted branch per operation
+// (BenchmarkInstrumentation in the root package gates this).
+//
 // # Memory model
 //
 // The reference C implementation orders the data and rank stores with

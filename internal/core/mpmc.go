@@ -2,7 +2,10 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 	"unsafe"
+
+	"ffq/internal/obs"
 )
 
 // FFQ^m (Algorithm 2) updates the cell's rank and gap fields with a
@@ -54,9 +57,14 @@ type mcell[T any] struct {
 // operations over its lifetime; exceeding that panics. At one billion
 // operations per second on a 4096-entry queue that is ~500 hours.
 type MPMC[T any] struct {
-	ix     indexer
-	logN   uint
-	layout Layout
+	ix      indexer
+	logN    uint
+	layout  Layout
+	yieldTh int
+	// rec is nil unless WithInstrumentation/WithRecorder was given;
+	// every path checks it before recording, so the disabled queue
+	// pays one predicted branch per operation.
+	rec    *obs.Recorder
 	cells  []mcell[T]
 	_      [CacheLineSize]byte
 	head   atomic.Int64
@@ -78,7 +86,7 @@ func NewMPMC[T any](capacity int, opts ...Option) (*MPMC[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	q := &MPMC[T]{ix: ix, logN: ix.logN, layout: cfg.layout, cells: make([]mcell[T], ix.slots())}
+	q := &MPMC[T]{ix: ix, logN: ix.logN, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]mcell[T], ix.slots())}
 	init := mpmcPack(mpmcLapFree, mpmcNoGap)
 	for i := range q.cells {
 		q.cells[i].state.Store(init)
@@ -116,6 +124,8 @@ func (q *MPMC[T]) Len() int {
 // slots; spins when full.
 func (q *MPMC[T]) Enqueue(v T) {
 	skips := 0
+	waited := false
+	var waitStart time.Time
 	for {
 		if skips > 0 {
 			// The previous rank died (the cell was occupied or a gap
@@ -125,7 +135,14 @@ func (q *MPMC[T]) Enqueue(v T) {
 			// must skip each dead rank individually, can never catch
 			// up. This path is never taken while the queue has slack,
 			// so it does not affect the fast path the paper measures.
-			backoff(skips << 4)
+			if q.rec != nil {
+				q.rec.FullSpin()
+				if backoff(skips<<4, q.yieldTh) {
+					q.rec.ProducerYield()
+				}
+			} else {
+				backoff(skips<<4, q.yieldTh)
+			}
 		}
 		// Acquire a unique rank (Algorithm 2, line 4).
 		rank := q.tail.Add(1) - 1
@@ -139,6 +156,10 @@ func (q *MPMC[T]) Enqueue(v T) {
 				// A gap at or after our rank was announced: our rank
 				// is dead, acquire a new one (line 6 exit).
 				skips++
+				if q.rec != nil && !waited {
+					waited = true
+					waitStart = time.Now()
+				}
 				break
 			}
 			switch {
@@ -153,13 +174,30 @@ func (q *MPMC[T]) Enqueue(v T) {
 					// >= 0, and no consumer matches lap -2, so nobody
 					// else writes this word while we hold the claim.
 					c.state.Store(mpmcPack(my, g32))
+					if q.rec != nil {
+						q.rec.Enqueue()
+						if waited {
+							q.rec.ObserveWait(time.Since(waitStart))
+						}
+					}
 					return
 				}
 			case r32 == mpmcLapClaim:
 				// Another producer is mid-publish on an older rank;
 				// wait for it (this is why FFQ^m is not wait-free).
 				spins++
-				backoff(spins)
+				if q.rec != nil {
+					if !waited {
+						waited = true
+						waitStart = time.Now()
+					}
+					q.rec.FullSpin()
+					if backoff(spins, q.yieldTh) {
+						q.rec.ProducerYield()
+					}
+				} else {
+					backoff(spins, q.yieldTh)
+				}
 			default:
 				// Occupied by an undequeued item: skip our rank by
 				// announcing the gap, preserving the rank half
@@ -168,6 +206,9 @@ func (q *MPMC[T]) Enqueue(v T) {
 				// the inner loop; failure re-reads and retries.
 				if c.state.CompareAndSwap(s, mpmcPack(r32, my)) {
 					q.gaps.Add(1)
+					if q.rec != nil {
+						q.rec.GapCreated()
+					}
 				}
 			}
 		}
@@ -183,6 +224,8 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 	c := &q.cells[q.ix.phys(rank)]
 	my := q.lapOf(rank)
 	spins := 0
+	waited := false
+	var waitStart time.Time
 	for {
 		s := c.state.Load()
 		r32, g32 := mpmcUnpack(s)
@@ -197,6 +240,12 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 				s = c.state.Load()
 				_, g32 = mpmcUnpack(s)
 			}
+			if q.rec != nil {
+				q.rec.Dequeue()
+				if waited {
+					q.rec.ObserveWait(time.Since(waitStart))
+				}
+			}
 			return v, true
 		}
 		if g32 >= my {
@@ -207,6 +256,9 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 			c = &q.cells[q.ix.phys(rank)]
 			my = q.lapOf(rank)
 			spins = 0
+			if q.rec != nil {
+				q.rec.GapSkipped()
+			}
 			continue
 		}
 		if q.closed.Load() && rank >= q.tail.Load() {
@@ -214,13 +266,38 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 			return zero, false
 		}
 		spins++
-		backoff(spins)
+		if q.rec != nil {
+			if !waited {
+				waited = true
+				waitStart = time.Now()
+			}
+			q.rec.EmptySpin()
+			if backoff(spins, q.yieldTh) {
+				q.rec.ConsumerYield()
+			}
+		} else {
+			backoff(spins, q.yieldTh)
+		}
 	}
 }
 
 // Gaps returns the number of successful gap announcements made by
 // producers; see SPMC.Gaps.
 func (q *MPMC[T]) Gaps() int64 { return q.gaps.Load() }
+
+// Recorder returns the queue's attached metrics recorder, or nil when
+// the queue was built without instrumentation.
+func (q *MPMC[T]) Recorder() *obs.Recorder { return q.rec }
+
+// Stats snapshots the queue's instrumentation counters. Without
+// instrumentation only the always-on gap counter is populated.
+func (q *MPMC[T]) Stats() obs.Stats {
+	s := q.rec.Snapshot()
+	if q.rec == nil {
+		s.GapsCreated = q.gaps.Load()
+	}
+	return s
+}
 
 // Close marks the queue closed. It must be called only after every
 // producer's final Enqueue has returned; consumers then drain the

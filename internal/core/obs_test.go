@@ -1,0 +1,317 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"ffq/internal/obs"
+)
+
+// TestInstrumentedSPSCCounts checks exact op counts on the
+// single-threaded variant.
+func TestInstrumentedSPSCCounts(t *testing.T) {
+	q, err := NewSPSC[int](8, WithInstrumentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Recorder() == nil {
+		t.Fatal("WithInstrumentation did not attach a recorder")
+	}
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.TryDequeue(); !ok {
+			t.Fatal("TryDequeue failed on non-empty queue")
+		}
+	}
+	s := q.Stats()
+	if s.Enqueues != 5 || s.Dequeues != 3 {
+		t.Fatalf("stats = %+v, want enq=5 deq=3", s)
+	}
+	if got := s.Enqueues - s.Dequeues; got != int64(q.Len()) {
+		t.Fatalf("Enqueues-Dequeues = %d, Len = %d", got, q.Len())
+	}
+}
+
+// TestUninstrumentedStats checks the default path: nil recorder, zero
+// Stats except the always-on gap counter.
+func TestUninstrumentedStats(t *testing.T) {
+	q, err := NewSPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Recorder() != nil {
+		t.Fatal("default queue has a recorder attached")
+	}
+	q.Enqueue(1)
+	s := q.Stats()
+	if s.Enqueues != 0 || s.Dequeues != 0 {
+		t.Fatalf("uninstrumented stats should not count ops: %+v", s)
+	}
+}
+
+// TestSharedRecorder aggregates two queues into one Recorder.
+func TestSharedRecorder(t *testing.T) {
+	rec := obs.NewRecorder()
+	a, err := NewSPSC[int](4, WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSPSC[int](4, WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Enqueue(1)
+	b.Enqueue(2)
+	if got := rec.Snapshot().Enqueues; got != 2 {
+		t.Fatalf("shared recorder enqueues = %d, want 2", got)
+	}
+}
+
+// TestInstrumentedGapCounters forces the SPMC producer to skip ranks
+// (full queue, stalled consumer) and checks that both gap counters and
+// the wait histogram fire.
+func TestInstrumentedGapCounters(t *testing.T) {
+	q, err := NewSPMC[int](2, WithInstrumentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue, then TryEnqueue must fail without burning ranks.
+	q.Enqueue(0)
+	q.Enqueue(1)
+	if q.TryEnqueue(2) {
+		t.Fatal("TryEnqueue succeeded on a full queue")
+	}
+	// A blocking Enqueue on the full queue skips ranks until a consumer
+	// frees a cell.
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(2)
+		close(done)
+	}()
+	// Let the producer start skipping, then free a slot.
+	for q.Stats().GapsCreated == 0 {
+		runtime.Gosched()
+	}
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("Dequeue failed")
+	}
+	<-done
+	s := q.Stats()
+	if s.GapsCreated == 0 || s.FullSpins == 0 {
+		t.Fatalf("full-queue enqueue recorded no gaps/spins: %+v", s)
+	}
+	if s.WaitCount == 0 {
+		t.Fatalf("blocked enqueue recorded no wait: %+v", s)
+	}
+	if s.GapsCreated != q.Gaps() {
+		t.Fatalf("recorder gaps %d != queue gaps %d", s.GapsCreated, q.Gaps())
+	}
+	// Drain: consumers must skip the ranks the producer burnt.
+	q.Close()
+	seen := 0
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+		seen++
+	}
+	if seen != 2 {
+		t.Fatalf("drained %d items, want 2", seen)
+	}
+	if got := q.Stats().GapsSkipped; got == 0 {
+		t.Fatalf("consumers skipped no gaps (created %d)", q.Stats().GapsCreated)
+	}
+}
+
+// TestMPMCGapCounters drives FFQ^m through its gap machinery with a
+// deliberately tiny queue and checks created/skipped counters.
+func TestMPMCGapCounters(t *testing.T) {
+	q, err := NewMPMC[int](2, WithInstrumentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(0)
+	q.Enqueue(1)
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(2)
+		close(done)
+	}()
+	for q.Stats().GapsCreated == 0 {
+		runtime.Gosched()
+	}
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("Dequeue failed")
+	}
+	<-done
+	q.Close()
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+	}
+	s := q.Stats()
+	if s.GapsCreated == 0 || s.GapsSkipped == 0 {
+		t.Fatalf("MPMC gap counters silent: %+v", s)
+	}
+	if s.GapsCreated != q.Gaps() {
+		t.Fatalf("recorder gaps %d != queue gaps %d", s.GapsCreated, q.Gaps())
+	}
+}
+
+// quiescentLenProperty drains concurrency out of a queue and asserts
+// the satellite property: Enqueues - Dequeues == Len at quiescence.
+func quiescentLenProperty(t *testing.T, stats func() obs.Stats, length func() int) {
+	t.Helper()
+	s := stats()
+	if got, want := s.Enqueues-s.Dequeues, int64(length()); got != want {
+		t.Fatalf("Enqueues-Dequeues = %d, Len = %d (stats %+v)", got, want, s)
+	}
+}
+
+// TestPropertyEnqMinusDeqEqualsLen runs an instrumented
+// produce/consume burst on every variant under concurrency, pauses at
+// quiescence, and checks the counter/Len identity.
+func TestPropertyEnqMinusDeqEqualsLen(t *testing.T) {
+	const items = 2000
+	const consumers = 4
+
+	t.Run("spsc", func(t *testing.T) {
+		q, err := NewSPSC[int](1<<8, WithInstrumentation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				if _, ok := q.Dequeue(); !ok {
+					return
+				}
+			}
+		}()
+		for i := 0; i < items; i++ {
+			q.Enqueue(i)
+		}
+		wg.Wait()
+		quiescentLenProperty(t, q.Stats, q.Len)
+		// Leave a residue and re-check.
+		q.Enqueue(1)
+		q.Enqueue(2)
+		quiescentLenProperty(t, q.Stats, q.Len)
+	})
+
+	t.Run("spmc", func(t *testing.T) {
+		q, err := NewSPMC[int](1<<8, WithInstrumentation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, ok := q.Dequeue(); !ok {
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < items; i++ {
+			q.Enqueue(i)
+		}
+		q.Close()
+		wg.Wait()
+		quiescentLenProperty(t, q.Stats, q.Len)
+	})
+
+	t.Run("mpmc", func(t *testing.T) {
+		q, err := NewMPMC[int](1<<8, WithInstrumentation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prod, cons sync.WaitGroup
+		for p := 0; p < 2; p++ {
+			prod.Add(1)
+			go func() {
+				defer prod.Done()
+				for i := 0; i < items; i++ {
+					q.Enqueue(i)
+				}
+			}()
+		}
+		for c := 0; c < consumers; c++ {
+			cons.Add(1)
+			go func() {
+				defer cons.Done()
+				for {
+					if _, ok := q.Dequeue(); !ok {
+						return
+					}
+				}
+			}()
+		}
+		prod.Wait()
+		q.Close()
+		cons.Wait()
+		quiescentLenProperty(t, q.Stats, q.Len)
+		s := q.Stats()
+		if s.Enqueues != 2*items || s.Dequeues != 2*items {
+			t.Fatalf("op counts wrong at quiescence: %+v", s)
+		}
+	})
+}
+
+// TestYieldThresholdOption checks the per-queue override plumbing and
+// that a threshold of 1 produces scheduler yields immediately.
+func TestYieldThresholdOption(t *testing.T) {
+	q, err := NewSPMC[int](4, WithInstrumentation(), WithYieldThreshold(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.yieldTh != 1 {
+		t.Fatalf("yieldTh = %d, want 1", q.yieldTh)
+	}
+	// Default restored for n <= 0.
+	qd, err := NewSPMC[int](4, WithYieldThreshold(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qd.yieldTh != defaultYieldThreshold {
+		t.Fatalf("yieldTh = %d, want default %d", qd.yieldTh, defaultYieldThreshold)
+	}
+	// With threshold 1, the very first backoff of a blocked consumer
+	// must be a yield.
+	done := make(chan struct{})
+	go func() {
+		q.Dequeue()
+		close(done)
+	}()
+	for q.Stats().EmptySpins == 0 {
+		runtime.Gosched()
+	}
+	q.Enqueue(1)
+	<-done
+	s := q.Stats()
+	if s.ConsumerYields == 0 {
+		t.Fatalf("threshold-1 consumer never yielded: %+v", s)
+	}
+	if s.ConsumerYields != s.EmptySpins {
+		t.Fatalf("threshold 1 must yield on every spin: %+v", s)
+	}
+}
+
+// TestBackoffThreshold pins the backoff yield decision itself.
+func TestBackoffThreshold(t *testing.T) {
+	if backoff(1, 2) {
+		t.Fatal("backoff yielded below threshold")
+	}
+	if !backoff(2, 2) {
+		t.Fatal("backoff busy-waited at threshold")
+	}
+}

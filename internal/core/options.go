@@ -1,14 +1,18 @@
 package core
 
+import "ffq/internal/obs"
+
 // Option configures a queue at construction time.
 type Option func(*config)
 
 type config struct {
-	layout Layout
+	layout  Layout
+	rec     *obs.Recorder
+	yieldTh int
 }
 
 func defaultConfig() config {
-	return config{layout: LayoutCompact}
+	return config{layout: LayoutCompact, yieldTh: defaultYieldThreshold}
 }
 
 // WithLayout selects the memory layout of the cell array. The default
@@ -16,4 +20,37 @@ func defaultConfig() config {
 // configurations evaluated in the paper's Figure 2.
 func WithLayout(l Layout) Option {
 	return func(c *config) { c.layout = l }
+}
+
+// WithInstrumentation attaches a fresh obs.Recorder to the queue:
+// operations, spins, yields, gaps and blocking-wait latencies are
+// counted from then on, readable through the queue's Stats and
+// Recorder methods. Without this option (the default) the queue keeps
+// no per-operation metrics and the hot paths pay only a single
+// predicted nil-check branch.
+func WithInstrumentation() Option {
+	return WithRecorder(obs.NewRecorder())
+}
+
+// WithRecorder attaches a specific Recorder, letting several queues
+// share one aggregate (for example a whole pool of per-producer SPMC
+// queues). A nil r disables instrumentation.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(c *config) { c.rec = r }
+}
+
+// WithYieldThreshold overrides the number of consecutive failed polls
+// after which a spinning goroutine yields to the Go scheduler instead
+// of busy-waiting. The default is 64 on multiprocessors and 1 on a
+// uniprocessor. Lower values trade latency for CPU time on
+// oversubscribed machines; n <= 0 resets to the default. Mostly a
+// demonstration and testing knob (ffq-top uses it to exaggerate yield
+// behavior).
+func WithYieldThreshold(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = defaultYieldThreshold
+		}
+		c.yieldTh = n
+	}
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 	"unsafe"
+
+	"ffq/internal/obs"
 )
 
 // freeRank marks a cell that holds no item (the paper's special
@@ -38,9 +41,14 @@ type cell[T any] struct {
 // Exactly one goroutine may call Enqueue, TryEnqueue and Close; any
 // number of goroutines may call Dequeue concurrently.
 type SPMC[T any] struct {
-	ix     indexer
-	cells  []cell[T]
-	layout Layout
+	ix      indexer
+	cells   []cell[T]
+	layout  Layout
+	yieldTh int
+	// rec is nil unless WithInstrumentation/WithRecorder was given;
+	// every path checks it before recording, so the disabled queue
+	// pays one predicted branch per operation.
+	rec    *obs.Recorder
 	_      [CacheLineSize]byte
 	head   atomic.Int64 // shared: fetch-and-incremented by consumers
 	_      [CacheLineSize]byte
@@ -64,7 +72,7 @@ func NewSPMC[T any](capacity int, opts ...Option) (*SPMC[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	q := &SPMC[T]{ix: ix, layout: cfg.layout, cells: make([]cell[T], ix.slots())}
+	q := &SPMC[T]{ix: ix, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]cell[T], ix.slots())}
 	for i := range q.cells {
 		q.cells[i].rank.Store(freeRank)
 		q.cells[i].gap.Store(noGap)
@@ -96,6 +104,7 @@ func (q *SPMC[T]) Len() int {
 func (q *SPMC[T]) Enqueue(v T) {
 	t := q.tail.Load()
 	skips := 0
+	var waitStart time.Time
 	for {
 		c := &q.cells[q.ix.phys(t)]
 		if c.rank.Load() >= 0 {
@@ -109,7 +118,18 @@ func (q *SPMC[T]) Enqueue(v T) {
 			// Consecutive skips mean the queue is full; back off so
 			// consumers can drain instead of chasing burnt ranks.
 			skips++
-			backoff(skips << 4)
+			if q.rec != nil {
+				if skips == 1 {
+					waitStart = time.Now()
+				}
+				q.rec.GapCreated()
+				q.rec.FullSpin()
+				if backoff(skips<<4, q.yieldTh) {
+					q.rec.ProducerYield()
+				}
+			} else {
+				backoff(skips<<4, q.yieldTh)
+			}
 			continue
 		}
 		// Publish: data first, then the rank store, which is the
@@ -117,6 +137,12 @@ func (q *SPMC[T]) Enqueue(v T) {
 		c.data = v
 		c.rank.Store(t)
 		q.tail.Store(t + 1)
+		if q.rec != nil {
+			q.rec.Enqueue()
+			if skips > 0 {
+				q.rec.ObserveWait(time.Since(waitStart))
+			}
+		}
 		return
 	}
 }
@@ -134,6 +160,9 @@ func (q *SPMC[T]) TryEnqueue(v T) bool {
 	c.data = v
 	c.rank.Store(t)
 	q.tail.Store(t + 1)
+	if q.rec != nil {
+		q.rec.Enqueue()
+	}
 	return true
 }
 
@@ -148,6 +177,8 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 	rank := q.head.Add(1) - 1
 	c := &q.cells[q.ix.phys(rank)]
 	spins := 0
+	waited := false
+	var waitStart time.Time
 	for {
 		if c.rank.Load() == rank {
 			// The cell holds our item; consume it and recycle the
@@ -157,6 +188,12 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 			var zero T
 			c.data = zero
 			c.rank.Store(freeRank)
+			if q.rec != nil {
+				q.rec.Dequeue()
+				if waited {
+					q.rec.ObserveWait(time.Since(waitStart))
+				}
+			}
 			return v, true
 		}
 		// The rank may have been skipped. Re-check the cell's rank
@@ -166,6 +203,9 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 			rank = q.head.Add(1) - 1
 			c = &q.cells[q.ix.phys(rank)]
 			spins = 0
+			if q.rec != nil {
+				q.rec.GapSkipped()
+			}
 			continue
 		}
 		// The producer has not reached this rank yet.
@@ -176,7 +216,18 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 			return zero, false
 		}
 		spins++
-		backoff(spins)
+		if q.rec != nil {
+			if !waited {
+				waited = true
+				waitStart = time.Now()
+			}
+			q.rec.EmptySpin()
+			if backoff(spins, q.yieldTh) {
+				q.rec.ConsumerYield()
+			}
+		} else {
+			backoff(spins, q.yieldTh)
+		}
 	}
 }
 
@@ -184,6 +235,20 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 // slow consumer still held the target cell. A non-zero value means the
 // queue ran full at some point (consider a larger capacity).
 func (q *SPMC[T]) Gaps() int64 { return q.gaps.Load() }
+
+// Recorder returns the queue's attached metrics recorder, or nil when
+// the queue was built without instrumentation.
+func (q *SPMC[T]) Recorder() *obs.Recorder { return q.rec }
+
+// Stats snapshots the queue's instrumentation counters. Without
+// instrumentation only the always-on gap counter is populated.
+func (q *SPMC[T]) Stats() obs.Stats {
+	s := q.rec.Snapshot()
+	if q.rec == nil {
+		s.GapsCreated = q.gaps.Load()
+	}
+	return s
+}
 
 // Close marks the queue closed. Consumers blocked in Dequeue return
 // ok=false once every published item has been consumed. Close must be

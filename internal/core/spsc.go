@@ -2,7 +2,10 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 	"unsafe"
+
+	"ffq/internal/obs"
 )
 
 // SPSC is the single-producer/single-consumer FFQ variant discussed in
@@ -15,9 +18,14 @@ import (
 // Exactly one goroutine may enqueue and exactly one (possibly
 // different) goroutine may dequeue.
 type SPSC[T any] struct {
-	ix     indexer
-	cells  []cell[T]
-	layout Layout
+	ix      indexer
+	cells   []cell[T]
+	layout  Layout
+	yieldTh int
+	// rec is nil unless WithInstrumentation/WithRecorder was given;
+	// every path checks it before recording, so the disabled queue
+	// pays one predicted branch per operation.
+	rec    *obs.Recorder
 	_      [CacheLineSize]byte
 	head   atomic.Int64 // written by the consumer only
 	_      [CacheLineSize]byte
@@ -38,7 +46,7 @@ func NewSPSC[T any](capacity int, opts ...Option) (*SPSC[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	q := &SPSC[T]{ix: ix, layout: cfg.layout, cells: make([]cell[T], ix.slots())}
+	q := &SPSC[T]{ix: ix, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]cell[T], ix.slots())}
 	for i := range q.cells {
 		q.cells[i].rank.Store(freeRank)
 		q.cells[i].gap.Store(noGap)
@@ -67,6 +75,7 @@ func (q *SPSC[T]) Len() int {
 func (q *SPSC[T]) Enqueue(v T) {
 	t := q.tail.Load()
 	skips := 0
+	var waitStart time.Time
 	for {
 		c := &q.cells[q.ix.phys(t)]
 		if c.rank.Load() >= 0 {
@@ -77,12 +86,29 @@ func (q *SPSC[T]) Enqueue(v T) {
 			// Consecutive skips mean the queue is full; back off so
 			// the consumer can drain instead of chasing burnt ranks.
 			skips++
-			backoff(skips << 4)
+			if q.rec != nil {
+				if skips == 1 {
+					waitStart = time.Now()
+				}
+				q.rec.GapCreated()
+				q.rec.FullSpin()
+				if backoff(skips<<4, q.yieldTh) {
+					q.rec.ProducerYield()
+				}
+			} else {
+				backoff(skips<<4, q.yieldTh)
+			}
 			continue
 		}
 		c.data = v
 		c.rank.Store(t)
 		q.tail.Store(t + 1)
+		if q.rec != nil {
+			q.rec.Enqueue()
+			if skips > 0 {
+				q.rec.ObserveWait(time.Since(waitStart))
+			}
+		}
 		return
 	}
 }
@@ -98,6 +124,9 @@ func (q *SPSC[T]) TryEnqueue(v T) bool {
 	c.data = v
 	c.rank.Store(t)
 	q.tail.Store(t + 1)
+	if q.rec != nil {
+		q.rec.Enqueue()
+	}
 	return true
 }
 
@@ -115,12 +144,18 @@ func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
 			c.data = zero
 			c.rank.Store(freeRank)
 			q.head.Store(h + 1)
+			if q.rec != nil {
+				q.rec.Dequeue()
+			}
 			return v, true
 		}
 		if c.gap.Load() >= h && c.rank.Load() != h {
 			// Rank h was skipped by the producer; advance past it.
 			h++
 			q.head.Store(h)
+			if q.rec != nil {
+				q.rec.GapSkipped()
+			}
 			continue
 		}
 		var zero T
@@ -133,8 +168,12 @@ func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
 // drained. Consumer goroutine only.
 func (q *SPSC[T]) Dequeue() (v T, ok bool) {
 	spins := 0
+	var waitStart time.Time
 	for {
 		if v, ok = q.TryDequeue(); ok {
+			if q.rec != nil && spins > 0 {
+				q.rec.ObserveWait(time.Since(waitStart))
+			}
 			return v, true
 		}
 		if q.closed.Load() && q.head.Load() >= q.tail.Load() {
@@ -142,13 +181,37 @@ func (q *SPSC[T]) Dequeue() (v T, ok bool) {
 			return zero, false
 		}
 		spins++
-		backoff(spins)
+		if q.rec != nil {
+			if spins == 1 {
+				waitStart = time.Now()
+			}
+			q.rec.EmptySpin()
+			if backoff(spins, q.yieldTh) {
+				q.rec.ConsumerYield()
+			}
+		} else {
+			backoff(spins, q.yieldTh)
+		}
 	}
 }
 
 // Gaps returns the number of ranks the producer has skipped; see
 // SPMC.Gaps.
 func (q *SPSC[T]) Gaps() int64 { return q.gaps.Load() }
+
+// Recorder returns the queue's attached metrics recorder, or nil when
+// the queue was built without instrumentation.
+func (q *SPSC[T]) Recorder() *obs.Recorder { return q.rec }
+
+// Stats snapshots the queue's instrumentation counters. Without
+// instrumentation only the always-on gap counter is populated.
+func (q *SPSC[T]) Stats() obs.Stats {
+	s := q.rec.Snapshot()
+	if q.rec == nil {
+		s.GapsCreated = q.gaps.Load()
+	}
+	return s
+}
 
 // Close marks the queue closed; see SPMC.Close.
 func (q *SPSC[T]) Close() { q.closed.Store(true) }

@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"ffq/internal/affinity"
 	"ffq/internal/allqueues"
@@ -17,6 +18,7 @@ import (
 	"ffq/internal/core"
 	"ffq/internal/enclave"
 	"ffq/internal/harness"
+	"ffq/internal/obs"
 	"ffq/internal/perfmodel"
 	"ffq/internal/report"
 	"ffq/internal/spscqueues"
@@ -499,4 +501,68 @@ func PairsLatency(o Options, threads int) (*report.Table, error) {
 			res.DequeueNS.Mean(), res.DequeueNS.Quantile(0.99))
 	}
 	return t, nil
+}
+
+// StatsSweep runs the instrumented microbenchmark across the queue-size
+// sweep and returns JSON records that pair each configuration's
+// throughput with the spin, yield, gap and wait counters of its
+// submission queues. This is the exporter behind `ffq-micro -json`:
+// stored BENCH_*.json files carry the queue-internals trajectory of a
+// run, not just its headline Mops/s.
+func StatsSweep(o Options, variant workload.Variant, consumers int) ([]report.Record, error) {
+	o.fill()
+	if consumers < 1 {
+		consumers = 1
+	}
+	items := harness.ScaleInt(500_000, o.Scale, 2000)
+	var recs []report.Record
+	for _, size := range harness.PowersOfTwo(o.MinSizeExp, o.MaxSizeExp) {
+		var agg obs.Stats
+		sum, err := harness.RepeatErr(o.Runs, func() (float64, error) {
+			res, err := workload.RunMicro(workload.MicroConfig{
+				Variant:              variant,
+				Layout:               core.LayoutPadded,
+				Producers:            1,
+				ConsumersPerProducer: consumers,
+				ItemsPerProducer:     items,
+				QueueSize:            size,
+				Policy:               affinity.NoAffinity,
+				Topology:             o.Topology,
+				Instrument:           true,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if res.Stats != nil {
+				agg = agg.Add(*res.Stats)
+			}
+			return res.MopsPerSec(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, report.Record{
+			Name:      fmt.Sprintf("micro/%s/entries=%d", variant, size),
+			Timestamp: time.Now(),
+			Params: map[string]any{
+				"variant":            variant.String(),
+				"consumers":          consumers,
+				"queue_size":         size,
+				"runs":               o.Runs,
+				"items_per_producer": items,
+			},
+			Metrics: map[string]float64{
+				"mops_per_sec_mean":   sum.Mean,
+				"mops_per_sec_stddev": sum.Stddev,
+				"mops_per_sec_min":    sum.Min,
+				"mops_per_sec_max":    sum.Max,
+			},
+			Queues: []report.QueueStats{{
+				Name:     "submission",
+				Capacity: size,
+				Stats:    agg,
+			}},
+		})
+	}
+	return recs, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ffq/internal/affinity"
+	"ffq/internal/workload"
 )
 
 // micro returns per-test options small enough for CI.
@@ -164,5 +165,30 @@ func TestPairsLatencyShape(t *testing.T) {
 	}
 	if len(tbl.Columns) != 5 {
 		t.Fatalf("columns = %v", tbl.Columns)
+	}
+}
+
+func TestStatsSweep(t *testing.T) {
+	o := QuickOptions()
+	o.Runs = 1
+	o.MinSizeExp = 6
+	o.MaxSizeExp = 7
+	recs, err := StatsSweep(o, workload.VariantSPMC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if len(r.Queues) != 1 || r.Queues[0].Name != "submission" {
+			t.Fatalf("record %q has no submission queue stats: %+v", r.Name, r.Queues)
+		}
+		if r.Queues[0].Enqueues == 0 || r.Queues[0].Dequeues == 0 {
+			t.Fatalf("record %q has zero op counters: %+v", r.Name, r.Queues[0].Stats)
+		}
+		if r.Metrics["mops_per_sec_mean"] <= 0 {
+			t.Fatalf("record %q has no throughput metric", r.Name)
+		}
 	}
 }

@@ -1,0 +1,193 @@
+// Package expvarx exposes registered queue Recorders through the two
+// monitoring faces Go services conventionally offer, using only the
+// standard library:
+//
+//   - expvar: one "ffq" variable whose JSON value maps queue name to
+//     its obs.Stats snapshot (shows up under /debug/vars with the
+//     default http mux).
+//   - Prometheus text exposition format (version 0.0.4) via Handler,
+//     a plain http.Handler serving counters, depth gauges and the
+//     blocking-wait histogram for every registered queue.
+//
+// Queues are registered by name with Register; the name becomes the
+// {queue="..."} label. Registration is process-global, mirroring
+// expvar's own model.
+package expvarx
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"ffq/internal/obs"
+)
+
+// QueueInfo describes one registered queue: how to snapshot its stats
+// and, optionally, its instantaneous depth and fixed capacity (both
+// exported as gauges when present).
+type QueueInfo struct {
+	// Stats snapshots the queue's counters. Required.
+	Stats func() obs.Stats
+	// Len returns the instantaneous queue depth. Optional.
+	Len func() int
+	// Cap is the queue capacity; exported when > 0.
+	Cap int
+}
+
+var (
+	mu      sync.Mutex
+	queues  = map[string]QueueInfo{}
+	publish sync.Once
+)
+
+// Register adds a queue under name. It fails when the name is taken or
+// the info has no Stats function. The first registration also publishes
+// the aggregate "ffq" expvar variable.
+func Register(name string, info QueueInfo) error {
+	if info.Stats == nil {
+		return fmt.Errorf("expvarx: queue %q registered without a Stats function", name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := queues[name]; dup {
+		return fmt.Errorf("expvarx: queue %q already registered", name)
+	}
+	queues[name] = info
+	publish.Do(func() {
+		expvar.Publish("ffq", expvar.Func(func() any { return snapshotAll() }))
+	})
+	return nil
+}
+
+// Unregister removes a queue; unknown names are a no-op. The expvar
+// variable stays published (expvar has no unpublish) and simply stops
+// listing the queue.
+func Unregister(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(queues, name)
+}
+
+// queueSnapshot is the expvar JSON value for one queue.
+type queueSnapshot struct {
+	Stats obs.Stats `json:"stats"`
+	Len   int       `json:"len,omitempty"`
+	Cap   int       `json:"cap,omitempty"`
+}
+
+// snapshotAll materializes every registered queue's current state.
+func snapshotAll() map[string]queueSnapshot {
+	mu.Lock()
+	infos := make(map[string]QueueInfo, len(queues))
+	for n, i := range queues {
+		infos[n] = i
+	}
+	mu.Unlock()
+	out := make(map[string]queueSnapshot, len(infos))
+	for n, i := range infos {
+		s := queueSnapshot{Stats: i.Stats(), Cap: i.Cap}
+		if i.Len != nil {
+			s.Len = i.Len()
+		}
+		out[n] = s
+	}
+	return out
+}
+
+// Histogram buckets exported to Prometheus: 2^minHistExp ns (64ns) up
+// to 2^maxHistExp ns (~17s), then +Inf. A fixed range keeps the bucket
+// layout stable across scrapes, as Prometheus requires.
+const (
+	minHistExp = 6
+	maxHistExp = 34
+)
+
+// counterMetric pairs a Prometheus metric name with its extractor.
+type counterMetric struct {
+	name, help string
+	value      func(obs.Stats) int64
+}
+
+var counterMetrics = []counterMetric{
+	{"ffq_enqueues_total", "Completed enqueue operations.", func(s obs.Stats) int64 { return s.Enqueues }},
+	{"ffq_dequeues_total", "Completed dequeue operations.", func(s obs.Stats) int64 { return s.Dequeues }},
+	{"ffq_full_spins_total", "Producer spin iterations on a full queue.", func(s obs.Stats) int64 { return s.FullSpins }},
+	{"ffq_empty_spins_total", "Consumer spin iterations on an empty queue.", func(s obs.Stats) int64 { return s.EmptySpins }},
+	{"ffq_producer_yields_total", "Producer backoffs that yielded to the scheduler.", func(s obs.Stats) int64 { return s.ProducerYields }},
+	{"ffq_consumer_yields_total", "Consumer backoffs that yielded to the scheduler.", func(s obs.Stats) int64 { return s.ConsumerYields }},
+	{"ffq_gaps_created_total", "Ranks skipped by producers (gap announcements).", func(s obs.Stats) int64 { return s.GapsCreated }},
+	{"ffq_gaps_skipped_total", "Skipped ranks discarded by consumers.", func(s obs.Stats) int64 { return s.GapsSkipped }},
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Handler returns an http.Handler serving the Prometheus text
+// exposition of every registered queue.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, Exposition())
+	})
+}
+
+// writeTo renders all metrics. Kept unexported behind Exposition and
+// Handler.
+func writeTo(b *strings.Builder) {
+	snaps := snapshotAll()
+	names := make([]string, 0, len(snaps))
+	for n := range snaps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, m := range counterMetrics {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
+		for _, n := range names {
+			fmt.Fprintf(b, "%s{queue=%q} %d\n", m.name, escapeLabel(n), m.value(snaps[n].Stats))
+		}
+	}
+
+	fmt.Fprintf(b, "# HELP ffq_queue_depth Instantaneous queue length.\n# TYPE ffq_queue_depth gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(b, "ffq_queue_depth{queue=%q} %d\n", escapeLabel(n), snaps[n].Len)
+	}
+	fmt.Fprintf(b, "# HELP ffq_queue_capacity Configured queue capacity.\n# TYPE ffq_queue_capacity gauge\n")
+	for _, n := range names {
+		if snaps[n].Cap > 0 {
+			fmt.Fprintf(b, "ffq_queue_capacity{queue=%q} %d\n", escapeLabel(n), snaps[n].Cap)
+		}
+	}
+
+	fmt.Fprintf(b, "# HELP ffq_wait_ns Blocking-path wait time in nanoseconds.\n# TYPE ffq_wait_ns histogram\n")
+	for _, n := range names {
+		s := snaps[n].Stats
+		esc := escapeLabel(n)
+		var cum int64
+		for e := 0; e <= maxHistExp; e++ {
+			if len(s.WaitBuckets) > e {
+				cum += s.WaitBuckets[e]
+			}
+			if e < minHistExp {
+				continue
+			}
+			fmt.Fprintf(b, "ffq_wait_ns_bucket{queue=%q,le=\"%d\"} %d\n", esc, obs.BucketBound(e), cum)
+		}
+		fmt.Fprintf(b, "ffq_wait_ns_bucket{queue=%q,le=\"+Inf\"} %d\n", esc, s.WaitCount)
+		fmt.Fprintf(b, "ffq_wait_ns_sum{queue=%q} %d\n", esc, s.WaitSumNS)
+		fmt.Fprintf(b, "ffq_wait_ns_count{queue=%q} %d\n", esc, s.WaitCount)
+	}
+}
+
+// Exposition renders the full Prometheus text body as a string.
+func Exposition() string {
+	var b strings.Builder
+	writeTo(&b)
+	return b.String()
+}

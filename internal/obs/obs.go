@@ -1,0 +1,287 @@
+// Package obs is the per-queue instrumentation core of the module: a
+// set of monotonic counters and a log2-bucketed wait-latency histogram
+// that the FFQ hot loops update when — and only when — a Recorder is
+// attached to the queue.
+//
+// # Zero overhead when off
+//
+// Queues hold a *Recorder field that is nil by default. Every fast
+// path checks the field exactly once, so the disabled configuration
+// costs one always-not-taken, perfectly predicted branch per
+// operation; BenchmarkInstrumentation in the root package gates that
+// claim. The slow paths (spin loops, gap handling) re-check the field,
+// which is free relative to the spinning they instrument.
+//
+// # Counter semantics
+//
+// All counters are monotonic over the life of the Recorder:
+//
+//   - Enqueues / Dequeues: completed operations (a Dequeue that
+//     returns ok=false after Close does not count).
+//   - FullSpins: producer-side spin iterations executed because the
+//     queue was full (every pass through an Enqueue retry loop).
+//   - EmptySpins: consumer-side spin iterations executed because the
+//     consumer's rank had not been published yet.
+//   - ProducerYields / ConsumerYields: backoff iterations that gave
+//     the processor to the Go scheduler instead of busy-waiting.
+//   - GapsCreated: ranks a producer skipped because the target cell
+//     still held an undequeued item (the paper's Section III-A gaps).
+//   - GapsSkipped: skipped ranks consumers discarded by re-acquiring
+//     a fresh rank.
+//
+// Producer-side and consumer-side counters live on separate cache
+// lines so that instrumented producers and consumers do not false-share
+// the Recorder itself — the exact failure mode the paper's Section IV-A
+// layout study measures for queue cells.
+//
+// A single Recorder may be shared by several queues (for example one
+// Recorder per queue pool); counters then aggregate across the pool.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLine is the coherence granularity assumed for padding. Matches
+// core.CacheLineSize (not imported to keep obs dependency-free).
+const cacheLine = 64
+
+// HistBuckets is the number of log2 wait-time buckets. Bucket i counts
+// waits with ceil(log2(ns)) == i, so bucket 0 is <=1ns and bucket 63
+// covers everything beyond ~292 years; in practice buckets 8..30
+// (256ns..1s) carry the signal.
+const HistBuckets = 64
+
+// prodLine groups the producer-side counters on their own cache lines.
+type prodLine struct {
+	enqueues       atomic.Int64
+	fullSpins      atomic.Int64
+	producerYields atomic.Int64
+	gapsCreated    atomic.Int64
+	_              [cacheLine - 32%cacheLine]byte
+}
+
+// consLine groups the consumer-side counters on their own cache lines.
+type consLine struct {
+	dequeues       atomic.Int64
+	emptySpins     atomic.Int64
+	consumerYields atomic.Int64
+	gapsSkipped    atomic.Int64
+	_              [cacheLine - 32%cacheLine]byte
+}
+
+// waitLine holds the blocking-wait histogram: counts per log2(ns)
+// bucket plus the running sum and count that exposition formats need.
+// Waits are recorded by consumers (and producers on the full-queue
+// path), so the line sits after the consumer counters.
+type waitLine struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// Recorder accumulates instrumentation for one queue (or one shared
+// pool of queues). The zero value is ready to use; a nil *Recorder is
+// the "instrumentation off" state and every method is safe to skip
+// behind a nil check.
+type Recorder struct {
+	prod prodLine
+	cons consLine
+	wait waitLine
+}
+
+// NewRecorder returns a fresh Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enqueue records one completed enqueue.
+func (r *Recorder) Enqueue() { r.prod.enqueues.Add(1) }
+
+// Dequeue records one completed dequeue.
+func (r *Recorder) Dequeue() { r.cons.dequeues.Add(1) }
+
+// FullSpin records one producer spin iteration on a full queue.
+func (r *Recorder) FullSpin() { r.prod.fullSpins.Add(1) }
+
+// EmptySpin records one consumer spin iteration on an empty rank.
+func (r *Recorder) EmptySpin() { r.cons.emptySpins.Add(1) }
+
+// ProducerYield records a producer backoff that yielded the processor.
+func (r *Recorder) ProducerYield() { r.prod.producerYields.Add(1) }
+
+// ConsumerYield records a consumer backoff that yielded the processor.
+func (r *Recorder) ConsumerYield() { r.cons.consumerYields.Add(1) }
+
+// GapCreated records a rank skipped by a producer.
+func (r *Recorder) GapCreated() { r.prod.gapsCreated.Add(1) }
+
+// GapSkipped records a skipped rank discarded by a consumer.
+func (r *Recorder) GapSkipped() { r.cons.gapsSkipped.Add(1) }
+
+// ObserveWait records the duration of one blocking wait (time spent
+// spinning before an operation could complete).
+func (r *Recorder) ObserveWait(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	r.wait.count.Add(1)
+	r.wait.sumNS.Add(ns)
+	r.wait.buckets[bucketOf(ns)].Add(1)
+}
+
+// bucketOf maps a nanosecond wait to its log2 bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(ns - 1)) // ceil(log2(ns))
+}
+
+// BucketBound returns the inclusive upper bound, in nanoseconds, of
+// histogram bucket i (2^i ns).
+func BucketBound(i int) int64 {
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return 1 << uint(i)
+}
+
+// Stats is a point-in-time snapshot of a Recorder. See the package
+// comment for the semantics of each counter.
+type Stats struct {
+	Enqueues       int64 `json:"enqueues"`
+	Dequeues       int64 `json:"dequeues"`
+	FullSpins      int64 `json:"full_spins"`
+	EmptySpins     int64 `json:"empty_spins"`
+	ProducerYields int64 `json:"producer_yields"`
+	ConsumerYields int64 `json:"consumer_yields"`
+	GapsCreated    int64 `json:"gaps_created"`
+	GapsSkipped    int64 `json:"gaps_skipped"`
+	// WaitCount and WaitSumNS summarize the blocking-wait histogram.
+	WaitCount int64 `json:"wait_count"`
+	WaitSumNS int64 `json:"wait_sum_ns"`
+	// WaitBuckets[i] counts waits of at most 2^i nanoseconds (see
+	// BucketBound). Omitted from JSON when all-zero.
+	WaitBuckets []int64 `json:"wait_buckets,omitempty"`
+}
+
+// Snapshot returns the current counter values. Each counter is read
+// atomically; the set as a whole is not a consistent cut (counters may
+// advance between reads), which is the usual contract for monitoring
+// counters. Snapshot on a nil Recorder returns zero Stats.
+func (r *Recorder) Snapshot() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Enqueues:       r.prod.enqueues.Load(),
+		Dequeues:       r.cons.dequeues.Load(),
+		FullSpins:      r.prod.fullSpins.Load(),
+		EmptySpins:     r.cons.emptySpins.Load(),
+		ProducerYields: r.prod.producerYields.Load(),
+		ConsumerYields: r.cons.consumerYields.Load(),
+		GapsCreated:    r.prod.gapsCreated.Load(),
+		GapsSkipped:    r.cons.gapsSkipped.Load(),
+		WaitCount:      r.wait.count.Load(),
+		WaitSumNS:      r.wait.sumNS.Load(),
+	}
+	if s.WaitCount > 0 {
+		s.WaitBuckets = make([]int64, HistBuckets)
+		for i := range s.WaitBuckets {
+			s.WaitBuckets[i] = r.wait.buckets[i].Load()
+		}
+	}
+	return s
+}
+
+// Sub returns s - prev counter-wise, the rate window between two
+// snapshots. Bucket slices are subtracted element-wise when both are
+// present.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		Enqueues:       s.Enqueues - prev.Enqueues,
+		Dequeues:       s.Dequeues - prev.Dequeues,
+		FullSpins:      s.FullSpins - prev.FullSpins,
+		EmptySpins:     s.EmptySpins - prev.EmptySpins,
+		ProducerYields: s.ProducerYields - prev.ProducerYields,
+		ConsumerYields: s.ConsumerYields - prev.ConsumerYields,
+		GapsCreated:    s.GapsCreated - prev.GapsCreated,
+		GapsSkipped:    s.GapsSkipped - prev.GapsSkipped,
+		WaitCount:      s.WaitCount - prev.WaitCount,
+		WaitSumNS:      s.WaitSumNS - prev.WaitSumNS,
+	}
+	if len(s.WaitBuckets) == HistBuckets {
+		d.WaitBuckets = make([]int64, HistBuckets)
+		for i, v := range s.WaitBuckets {
+			d.WaitBuckets[i] = v
+			if len(prev.WaitBuckets) == HistBuckets {
+				d.WaitBuckets[i] -= prev.WaitBuckets[i]
+			}
+		}
+	}
+	return d
+}
+
+// Add returns s + o counter-wise, for aggregating per-queue snapshots
+// into pool totals.
+func (s Stats) Add(o Stats) Stats {
+	t := Stats{
+		Enqueues:       s.Enqueues + o.Enqueues,
+		Dequeues:       s.Dequeues + o.Dequeues,
+		FullSpins:      s.FullSpins + o.FullSpins,
+		EmptySpins:     s.EmptySpins + o.EmptySpins,
+		ProducerYields: s.ProducerYields + o.ProducerYields,
+		ConsumerYields: s.ConsumerYields + o.ConsumerYields,
+		GapsCreated:    s.GapsCreated + o.GapsCreated,
+		GapsSkipped:    s.GapsSkipped + o.GapsSkipped,
+		WaitCount:      s.WaitCount + o.WaitCount,
+		WaitSumNS:      s.WaitSumNS + o.WaitSumNS,
+	}
+	if len(s.WaitBuckets) == HistBuckets || len(o.WaitBuckets) == HistBuckets {
+		t.WaitBuckets = make([]int64, HistBuckets)
+		for i := range t.WaitBuckets {
+			if len(s.WaitBuckets) == HistBuckets {
+				t.WaitBuckets[i] += s.WaitBuckets[i]
+			}
+			if len(o.WaitBuckets) == HistBuckets {
+				t.WaitBuckets[i] += o.WaitBuckets[i]
+			}
+		}
+	}
+	return t
+}
+
+// SpinRatio returns spin iterations (both sides) per completed
+// operation — the "wasted work" figure of merit for a queue sized too
+// small (full spins) or drained too aggressively (empty spins).
+func (s Stats) SpinRatio() float64 {
+	ops := s.Enqueues + s.Dequeues
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.FullSpins+s.EmptySpins) / float64(ops)
+}
+
+// MeanWait returns the mean blocking wait, or 0 when nothing blocked.
+func (s Stats) MeanWait() time.Duration {
+	if s.WaitCount == 0 {
+		return 0
+	}
+	return time.Duration(s.WaitSumNS / s.WaitCount)
+}
+
+// String renders the snapshot as a compact one-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "enq=%d deq=%d spins=%d/%d yields=%d/%d gaps=%d/%d",
+		s.Enqueues, s.Dequeues, s.FullSpins, s.EmptySpins,
+		s.ProducerYields, s.ConsumerYields, s.GapsCreated, s.GapsSkipped)
+	if s.WaitCount > 0 {
+		fmt.Fprintf(&b, " waits=%d mean=%s", s.WaitCount, s.MeanWait())
+	}
+	return b.String()
+}

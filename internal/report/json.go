@@ -1,0 +1,56 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"ffq/internal/obs"
+)
+
+// QueueStats is one queue's instrumentation snapshot inside a Record:
+// the obs counters plus the identifying name and sizing gauges.
+type QueueStats struct {
+	// Name identifies the queue within the run ("submission", "q0"...).
+	Name string `json:"name"`
+	// Depth and Capacity are gauges sampled when the record was built.
+	Depth    int `json:"depth,omitempty"`
+	Capacity int `json:"capacity,omitempty"`
+	obs.Stats
+}
+
+// Record is one benchmark result in the module's JSON form (the
+// BENCH_*.json files). Alongside the headline metrics it carries the
+// per-queue instrumentation counters, so stored results document not
+// just how fast a configuration ran but how hard it spun and how many
+// gaps it burnt doing so.
+type Record struct {
+	// Name identifies the experiment ("fig3/entries=1024").
+	Name string `json:"name"`
+	// Timestamp is when the run finished.
+	Timestamp time.Time `json:"timestamp,omitempty"`
+	// Params are the experiment's configuration knobs.
+	Params map[string]any `json:"params,omitempty"`
+	// Metrics are the headline results (e.g. "mops_per_sec").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Queues are the per-queue instrumentation snapshots, present when
+	// the run was instrumented.
+	Queues []QueueStats `json:"queues,omitempty"`
+}
+
+// WriteJSON writes records as one indented JSON array, the layout of
+// the BENCH_*.json files.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// ReadJSON decodes a BENCH_*.json array.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var recs []Record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ffq/internal/obs"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Record{
+		{
+			Name:      "fig3/entries=1024",
+			Timestamp: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+			Params:    map[string]any{"variant": "spmc", "consumers": float64(4)},
+			Metrics:   map[string]float64{"mops_per_sec": 12.5},
+			Queues: []QueueStats{{
+				Name:     "submission",
+				Depth:    3,
+				Capacity: 1024,
+				Stats: obs.Stats{
+					Enqueues:    1000,
+					Dequeues:    997,
+					FullSpins:   12,
+					GapsCreated: 2,
+					GapsSkipped: 2,
+					WaitCount:   5,
+					WaitSumNS:   12345,
+				},
+			}},
+		},
+		{Name: "fig3/entries=4096", Metrics: map[string]float64{"mops_per_sec": 14.0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Spin/gap counters must appear by their stable JSON names.
+	for _, key := range []string{`"full_spins"`, `"gaps_created"`, `"gaps_skipped"`, `"wait_sum_ns"`, `"mops_per_sec"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing %s:\n%s", key, buf.String())
+		}
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d records", len(out))
+	}
+	got := out[0]
+	if got.Name != in[0].Name || !got.Timestamp.Equal(in[0].Timestamp) {
+		t.Fatalf("identity fields mangled: %+v", got)
+	}
+	if got.Metrics["mops_per_sec"] != 12.5 {
+		t.Fatalf("metrics mangled: %+v", got.Metrics)
+	}
+	q := got.Queues[0]
+	if q.Name != "submission" || q.Capacity != 1024 || q.Enqueues != 1000 ||
+		q.GapsCreated != 2 || q.WaitSumNS != 12345 {
+		t.Fatalf("queue stats mangled: %+v", q)
+	}
+}

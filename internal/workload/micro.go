@@ -1,13 +1,17 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"ffq/internal/affinity"
 	"ffq/internal/core"
+	"ffq/internal/obs"
 )
 
 // Variant selects which FFQ implementation serves as the submission
@@ -64,6 +68,11 @@ type MicroConfig struct {
 	Policy affinity.Policy
 	// Topology used for placement (Detect() when nil).
 	Topology *affinity.Topology
+	// Instrument attaches one shared obs.Recorder to every submission
+	// queue; the aggregate snapshot is returned in MicroResult.Stats.
+	// Off by default so throughput runs measure the uninstrumented
+	// fast path.
+	Instrument bool
 }
 
 // MicroResult is the outcome of one microbenchmark run.
@@ -72,6 +81,9 @@ type MicroResult struct {
 	Items int
 	// Elapsed is the wall time of the parallel phase.
 	Elapsed time.Duration
+	// Stats aggregates the submission queues' instrumentation
+	// counters; nil unless MicroConfig.Instrument was set.
+	Stats *obs.Stats
 }
 
 // MopsPerSec returns round-trips per second in millions.
@@ -107,20 +119,20 @@ func (s spscSub) enqueue(v uint64)        { s.q.Enqueue(v) }
 func (s spscSub) dequeue() (uint64, bool) { return s.q.Dequeue() }
 func (s spscSub) close()                  { s.q.Close() }
 
-func newSubmission(cfg MicroConfig) (submission, error) {
-	opt := core.WithLayout(cfg.Layout)
+func newSubmission(cfg MicroConfig, rec *obs.Recorder) (submission, error) {
+	opts := []core.Option{core.WithLayout(cfg.Layout), core.WithRecorder(rec)}
 	switch cfg.Variant {
 	case VariantSPMC:
-		q, err := core.NewSPMC[uint64](cfg.QueueSize, opt)
+		q, err := core.NewSPMC[uint64](cfg.QueueSize, opts...)
 		return spmcSub{q}, err
 	case VariantMPMC:
-		q, err := core.NewMPMC[uint64](cfg.QueueSize, opt)
+		q, err := core.NewMPMC[uint64](cfg.QueueSize, opts...)
 		return mpmcSub{q}, err
 	case VariantSPSC:
 		if cfg.ConsumersPerProducer != 1 {
 			return nil, fmt.Errorf("workload: SPSC variant requires exactly 1 consumer, got %d", cfg.ConsumersPerProducer)
 		}
-		q, err := core.NewSPSC[uint64](cfg.QueueSize, opt)
+		q, err := core.NewSPSC[uint64](cfg.QueueSize, opts...)
 		return spscSub{q}, err
 	default:
 		return nil, fmt.Errorf("workload: unknown variant %v", cfg.Variant)
@@ -146,13 +158,18 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 		top = affinity.Detect()
 	}
 
+	var rec *obs.Recorder
+	if cfg.Instrument {
+		rec = obs.NewRecorder()
+	}
+
 	type producerState struct {
 		sub   submission
 		resps []*core.SPSC[uint64]
 	}
 	states := make([]*producerState, cfg.Producers)
 	for p := range states {
-		sub, err := newSubmission(cfg)
+		sub, err := newSubmission(cfg, rec)
 		if err != nil {
 			return MicroResult{}, err
 		}
@@ -187,52 +204,64 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 		for c := 0; c < cfg.ConsumersPerProducer; c++ {
 			ready.Add(1)
 			done.Add(1)
-			go func(st *producerState, c int) {
+			go func(st *producerState, p, c int) {
 				defer done.Done()
-				undo, _ := affinity.Pin(asn.Consumer)
-				defer undo()
-				ready.Done()
-				<-start
-				rq := st.resps[c]
-				for {
-					v, ok := st.sub.dequeue()
-					if !ok {
-						rq.Close()
-						return
+				// Goroutine labels make the consumer pool attributable
+				// in CPU and goroutine profiles (pprof -tagfocus).
+				pprof.Do(context.Background(), pprof.Labels(
+					"ffq_role", "consumer",
+					"ffq_queue", strconv.Itoa(p),
+				), func(context.Context) {
+					undo, _ := affinity.Pin(asn.Consumer)
+					defer undo()
+					ready.Done()
+					<-start
+					rq := st.resps[c]
+					for {
+						v, ok := st.sub.dequeue()
+						if !ok {
+							rq.Close()
+							return
+						}
+						rq.Enqueue(v)
 					}
-					rq.Enqueue(v)
-				}
-			}(st, c)
+				})
+			}(st, p, c)
 		}
 		// Producer.
 		ready.Add(1)
 		done.Add(1)
 		go func(st *producerState, p int) {
 			defer done.Done()
-			undo, _ := affinity.Pin(asn.Producer)
-			defer undo()
-			ready.Done()
-			<-start
-			sent, received, outstanding := 0, 0, 0
-			for received < cfg.ItemsPerProducer {
-				for sent < cfg.ItemsPerProducer && outstanding < maxOutstanding {
-					st.sub.enqueue(uint64(sent + 1))
-					sent++
-					outstanding++
-				}
-				drained := false
-				for _, rq := range st.resps {
-					if _, ok := rq.TryDequeue(); ok {
-						received++
-						outstanding--
-						drained = true
+			pprof.Do(context.Background(), pprof.Labels(
+				"ffq_role", "producer",
+				"ffq_queue", strconv.Itoa(p),
+			), func(context.Context) {
+				undo, _ := affinity.Pin(asn.Producer)
+				defer undo()
+				ready.Done()
+				<-start
+				sent, received, outstanding := 0, 0, 0
+				for received < cfg.ItemsPerProducer {
+					for sent < cfg.ItemsPerProducer && outstanding < maxOutstanding {
+						st.sub.enqueue(uint64(sent + 1))
+						sent++
+						outstanding++
+					}
+					drained := false
+					for _, rq := range st.resps {
+						if _, ok := rq.TryDequeue(); ok {
+							received++
+							outstanding--
+							drained = true
+						}
+					}
+					if !drained {
+						runtime.Gosched()
 					}
 				}
-				if !drained {
-					runtime.Gosched()
-				}
-			}
-			st.sub.close()
+				st.sub.close()
+			})
 		}(st, p)
 	}
 
@@ -240,7 +269,12 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 	t0 := time.Now()
 	close(start)
 	done.Wait()
-	return MicroResult{Items: cfg.Producers * cfg.ItemsPerProducer, Elapsed: time.Since(t0)}, nil
+	res := MicroResult{Items: cfg.Producers * cfg.ItemsPerProducer, Elapsed: time.Since(t0)}
+	if rec != nil {
+		s := rec.Snapshot()
+		res.Stats = &s
+	}
+	return res, nil
 }
 
 // pin is a tiny affinity shim for workloads that carry raw CPU lists.

@@ -187,3 +187,52 @@ func TestRunPairsLatency(t *testing.T) {
 		t.Fatal("histograms allocated without MeasureLatency")
 	}
 }
+
+// TestRunMicroInstrumented checks the Instrument plumbing: the result
+// carries an aggregate submission-queue snapshot whose op counts match
+// the items moved.
+func TestRunMicroInstrumented(t *testing.T) {
+	for _, v := range []Variant{VariantSPSC, VariantSPMC, VariantMPMC} {
+		consumers := 2
+		if v == VariantSPSC {
+			consumers = 1
+		}
+		res, err := RunMicro(MicroConfig{
+			Variant:              v,
+			Producers:            2,
+			ConsumersPerProducer: consumers,
+			ItemsPerProducer:     500,
+			QueueSize:            1 << 6,
+			Instrument:           true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if res.Stats == nil {
+			t.Fatalf("%v: Instrument set but Stats nil", v)
+		}
+		if got := res.Stats.Enqueues; got != 1000 {
+			t.Errorf("%v: enqueues = %d, want 1000", v, got)
+		}
+		if got := res.Stats.Dequeues; got != 1000 {
+			t.Errorf("%v: dequeues = %d, want 1000", v, got)
+		}
+	}
+}
+
+// TestRunMicroUninstrumented checks the default keeps Stats nil.
+func TestRunMicroUninstrumented(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		Variant:              VariantSPMC,
+		Producers:            1,
+		ConsumersPerProducer: 1,
+		ItemsPerProducer:     100,
+		QueueSize:            1 << 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != nil {
+		t.Fatalf("uninstrumented run returned stats %+v", res.Stats)
+	}
+}
