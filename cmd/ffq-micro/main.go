@@ -10,11 +10,15 @@
 //	ffq-micro -fig 3 -runs 10 -scale 1.0
 //	ffq-micro -fig 6 -pairs 2 -csv
 //	ffq-micro -json BENCH_spmc.json -variant spmc -consumers 4
+//	ffq-micro -json BENCH_useg.json -variant unbounded -batch 64
 //
 // With -json the tool instead runs the instrumented queue-size sweep
 // and writes benchmark records (throughput plus per-queue spin, yield,
 // gap and wait counters) as a JSON array to the given file ("-" for
-// stdout).
+// stdout). The unbounded variants treat the size axis as segment size
+// and additionally report segment recycling counters; -batch moves
+// items in contiguous-run batches (the paper-relevant sizes are 1, 8
+// and 64).
 package main
 
 import (
@@ -37,8 +41,9 @@ func main() {
 	pairs := flag.Int("pairs", 1, "producer/consumer pairs (figure 6)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.String("json", "", "write the instrumented stats sweep as JSON to this file (\"-\" = stdout)")
-	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc or mpmc")
+	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc, mpmc, unbounded or unbounded-mpmc")
 	consumers := flag.Int("consumers", 1, "consumers per producer for -json")
+	batch := flag.Int("batch", 1, "items per batch for -json (unbounded variants use native batch ops)")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -48,7 +53,7 @@ func main() {
 	o.MaxSizeExp = *maxExp
 
 	if *jsonOut != "" {
-		if err := runStatsSweep(o, *jsonOut, *variant, *consumers); err != nil {
+		if err := runStatsSweep(o, *jsonOut, *variant, *consumers, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "ffq-micro:", err)
 			os.Exit(1)
 		}
@@ -84,7 +89,7 @@ func main() {
 
 // runStatsSweep executes the instrumented sweep and writes the JSON
 // records.
-func runStatsSweep(o experiments.Options, path, variant string, consumers int) error {
+func runStatsSweep(o experiments.Options, path, variant string, consumers, batch int) error {
 	var v workload.Variant
 	switch variant {
 	case "spsc":
@@ -93,10 +98,14 @@ func runStatsSweep(o experiments.Options, path, variant string, consumers int) e
 		v = workload.VariantSPMC
 	case "mpmc":
 		v = workload.VariantMPMC
+	case "unbounded":
+		v = workload.VariantUnbounded
+	case "unbounded-mpmc":
+		v = workload.VariantUnboundedMPMC
 	default:
-		return fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc)", variant)
+		return fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc, unbounded, unbounded-mpmc)", variant)
 	}
-	recs, err := experiments.StatsSweep(o, v, consumers)
+	recs, err := experiments.StatsSweep(o, v, consumers, batch)
 	if err != nil {
 		return err
 	}

@@ -22,16 +22,22 @@
 //     operation; still competitive with the fastest general-purpose
 //     queues, but if you can give each producer its own SPMC queue,
 //     do that instead — it is what the algorithm was designed for.
+//   - Unbounded / UnboundedMPMC: the same consumer semantics without
+//     the capacity limit — linked lists of FFQ ring segments with
+//     segment recycling and batch operations. Enqueue never waits for
+//     consumers; memory grows with the backlog instead. See
+//     unbounded.go and the README's "Unbounded queues" section.
 //
 // # Semantics shared by all variants
 //
-// Queues are bounded; capacities must be powers of two. Enqueue never
-// fails: when the queue is full it spins (the paper's deployments size
-// queues so that an empty slot always exists — see the "implicit flow
-// control" observation in Section I). Dequeue blocks while the queue
-// is empty (SPSC additionally offers TryDequeue) and returns ok=false
-// only after Close, once every item has been delivered. Values are
-// delivered exactly once, in FIFO order per producer.
+// The SPSC/SPMC/MPMC queues are bounded; capacities must be powers of
+// two. Enqueue never fails: when the queue is full it spins (the
+// paper's deployments size queues so that an empty slot always exists
+// — see the "implicit flow control" observation in Section I).
+// Dequeue blocks while the queue is empty (SPSC additionally offers
+// TryDequeue) and returns ok=false only after Close, once every item
+// has been delivered. Values are delivered exactly once, in FIFO
+// order per producer.
 //
 // # Memory layout
 //

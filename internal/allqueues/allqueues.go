@@ -14,6 +14,7 @@ import (
 	"ffq/internal/lcrq"
 	"ffq/internal/msqueue"
 	"ffq/internal/queue"
+	"ffq/internal/segq"
 	"ffq/internal/vyukov"
 	"ffq/internal/wfqueue"
 )
@@ -40,6 +41,16 @@ func (a ffqSPSCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
 func (a ffqSPSCAdapter) Dequeue() (uint64, bool) {
 	return a.q.TryDequeue()
 }
+
+type segSPMCAdapter struct{ q *segq.SPMC[uint64] }
+
+func (a segSPMCAdapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
+func (a segSPMCAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+
+type segMPMCAdapter struct{ q *segq.MPMC[uint64] }
+
+func (a segMPMCAdapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
+func (a segMPMCAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
 
 type wfAdapter struct{ q *wfqueue.Queue }
 
@@ -95,6 +106,31 @@ func Factories() []Named {
 					return queue.SelfRegistering{Q: ffqSPSCAdapter{q}}
 				},
 				Bounded: true,
+			},
+		},
+		{
+			MaxThreads: 1,
+			Factory: queue.Factory{
+				Name:  "ffq-useg",
+				Brief: "unbounded segmented FFQ^s (linked rings, recycling pool)",
+				New: func(capacity, _ int) queue.Shared {
+					// The capacity hint becomes the segment size, so the
+					// sweep's capacity axis doubles as a segment-size axis.
+					q, err := segq.NewSPMC[uint64](core.ResolveOptions(ffqLayout, core.WithSegmentSize(capacity)))
+					check(err)
+					return queue.SelfRegistering{Q: segSPMCAdapter{q}}
+				},
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "ffq-useg-mpmc",
+				Brief: "unbounded segmented FFQ, multi-producer (FAA rank claim)",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := segq.NewMPMC[uint64](core.ResolveOptions(ffqLayout, core.WithSegmentSize(capacity)))
+					check(err)
+					return queue.SelfRegistering{Q: segMPMCAdapter{q}}
+				},
 			},
 		},
 		{

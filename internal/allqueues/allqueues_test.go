@@ -7,8 +7,21 @@ import (
 	"ffq/internal/queuetest"
 )
 
+// blocking names the registry entries whose Dequeue blocks on empty
+// instead of reporting it (the FFQ family: a reserved rank cannot be
+// abandoned).
+func blocking(name string) bool {
+	switch name {
+	case "ffq-mpmc", "ffq-spmc", "ffq-useg", "ffq-useg-mpmc":
+		return true
+	}
+	return false
+}
+
 // Every registry entry must pass the conformance suite through the
-// exact adapter the benchmarks use.
+// exact adapter the benchmarks use. Unbounded entries additionally
+// must absorb a burst far beyond the capacity hint with no consumer
+// running.
 func TestRegistryConformance(t *testing.T) {
 	for _, f := range allqueues.Factories() {
 		f := f
@@ -16,7 +29,7 @@ func TestRegistryConformance(t *testing.T) {
 			opts := queuetest.DefaultOptions()
 			opts.Capacity = 1024
 			opts.ItemsPerProducer = 2000
-			opts.Blocking = f.Name == "ffq-mpmc" || f.Name == "ffq-spmc"
+			opts.Blocking = blocking(f.Name)
 			if f.MaxThreads == 1 {
 				opts.Producers = 1
 				if f.Name == "ffq-spsc" {
@@ -25,6 +38,11 @@ func TestRegistryConformance(t *testing.T) {
 			}
 			queuetest.Sequential(t, f.Factory, opts)
 			queuetest.Concurrent(t, f.Factory, opts)
+			if !f.Bounded {
+				growth := opts
+				growth.Capacity = 16 // segmented queues: 16-cell segments, 64 segment links
+				queuetest.UnboundedGrowth(t, f.Factory, growth)
+			}
 		})
 	}
 }
@@ -50,7 +68,7 @@ func TestFactoryMetadata(t *testing.T) {
 		}
 		seen[f.Name] = true
 	}
-	for _, want := range []string{"ffq-mpmc", "ffq-spmc", "ffq-spsc", "wfqueue", "lcrq", "ccqueue", "msqueue", "htm", "vyukov", "chan"} {
+	for _, want := range []string{"ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-useg", "ffq-useg-mpmc", "wfqueue", "lcrq", "ccqueue", "msqueue", "htm", "vyukov", "chan"} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)
 		}
@@ -64,7 +82,7 @@ func TestRegistryLinearizable(t *testing.T) {
 		f := f
 		t.Run(f.Name, func(t *testing.T) {
 			opts := queuetest.DefaultOptions()
-			opts.Blocking = f.Name == "ffq-mpmc" || f.Name == "ffq-spmc"
+			opts.Blocking = blocking(f.Name)
 			if f.MaxThreads == 1 {
 				opts.Producers = 1
 				if f.Name == "ffq-spsc" {

@@ -19,6 +19,17 @@ var defaultYieldThreshold = func() int {
 	return 1
 }()
 
+// DefaultYieldThreshold returns the yield threshold queues use when
+// WithYieldThreshold was not given (64 on multiprocessors, 1 on a
+// uniprocessor). Exported for sibling queue packages (internal/segq)
+// that share the spin/yield policy.
+func DefaultYieldThreshold() int { return defaultYieldThreshold }
+
+// Backoff is the exported face of backoff for sibling queue packages
+// (internal/segq) so that every FFQ variant shares one spin/yield
+// policy. See backoff.
+func Backoff(spins, threshold int) bool { return backoff(spins, threshold) }
+
 // backoff delays a spinning thread and reports whether it yielded the
 // processor (rather than busy-waiting), so instrumented callers can
 // count scheduler round-trips. spins counts consecutive failed polls

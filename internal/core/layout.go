@@ -64,31 +64,31 @@ func (l Layout) randomized() bool {
 	return l == LayoutRandomized || l == LayoutPaddedRandomized
 }
 
-// indexer maps a rank to the physical slot index of its cell. The
+// Indexer maps a rank to the physical slot index of its cell. The
 // logical index is rank mod N; the physical index applies the optional
 // bit rotation and padding stride on top. All operations are branch-
 // predictable shifts and masks so the hot paths stay cheap.
-type indexer struct {
+type Indexer struct {
 	mask   uint64 // N - 1
 	logN   uint   // log2(N)
 	rot    uint   // rotation amount (0 = no randomization)
 	stride uint64 // physical slots per logical cell (1 = compact)
 }
 
-// newIndexer validates capacity and builds the rank-to-slot mapping.
+// NewIndexer validates capacity and builds the rank-to-slot mapping.
 // cellSize is the in-memory size of one cell, used to compute the
 // padding stride so that no two logical cells share a cache line.
-func newIndexer(capacity int, layout Layout, cellSize uintptr) (indexer, error) {
+func NewIndexer(capacity int, layout Layout, cellSize uintptr) (Indexer, error) {
 	if capacity < 2 {
-		return indexer{}, fmt.Errorf("ffq: capacity %d too small (minimum 2)", capacity)
+		return Indexer{}, fmt.Errorf("ffq: capacity %d too small (minimum 2)", capacity)
 	}
 	if capacity&(capacity-1) != 0 {
-		return indexer{}, fmt.Errorf("ffq: capacity %d is not a power of two", capacity)
+		return Indexer{}, fmt.Errorf("ffq: capacity %d is not a power of two", capacity)
 	}
 	if capacity > 1<<30 {
-		return indexer{}, fmt.Errorf("ffq: capacity %d exceeds the 2^30 maximum", capacity)
+		return Indexer{}, fmt.Errorf("ffq: capacity %d exceeds the 2^30 maximum", capacity)
 	}
-	ix := indexer{
+	ix := Indexer{
 		mask:   uint64(capacity - 1),
 		logN:   uint(bits.TrailingZeros64(uint64(capacity))),
 		stride: 1,
@@ -109,17 +109,17 @@ func newIndexer(capacity int, layout Layout, cellSize uintptr) (indexer, error) 
 }
 
 // slots returns the number of physical cell slots to allocate.
-func (ix indexer) slots() int {
+func (ix Indexer) Slots() int {
 	return int((ix.mask + 1) * ix.stride)
 }
 
 // capacity returns the logical capacity N.
-func (ix indexer) capacity() int {
+func (ix Indexer) Capacity() int {
 	return int(ix.mask + 1)
 }
 
 // phys maps a rank to its physical slot index.
-func (ix indexer) phys(rank int64) uint64 {
+func (ix Indexer) Phys(rank int64) uint64 {
 	i := uint64(rank) & ix.mask
 	if ix.rot != 0 {
 		i = ((i << ix.rot) | (i >> (ix.logN - ix.rot))) & ix.mask

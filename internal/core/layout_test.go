@@ -40,13 +40,13 @@ func TestLayoutPredicates(t *testing.T) {
 
 func TestNewIndexerErrors(t *testing.T) {
 	for _, capacity := range []int{-1, 0, 1, 3, 5, 6, 7, 100, 1<<30 + 1, 1 << 31} {
-		if _, err := newIndexer(capacity, LayoutCompact, 24); err == nil {
-			t.Errorf("newIndexer(%d) succeeded, want error", capacity)
+		if _, err := NewIndexer(capacity, LayoutCompact, 24); err == nil {
+			t.Errorf("NewIndexer(%d) succeeded, want error", capacity)
 		}
 	}
 	for _, capacity := range []int{2, 4, 8, 64, 1024, 1 << 20, 1 << 30} {
-		if _, err := newIndexer(capacity, LayoutCompact, 24); err != nil {
-			t.Errorf("newIndexer(%d): %v", capacity, err)
+		if _, err := NewIndexer(capacity, LayoutCompact, 24); err != nil {
+			t.Errorf("NewIndexer(%d): %v", capacity, err)
 		}
 	}
 }
@@ -66,18 +66,18 @@ func TestIndexerStride(t *testing.T) {
 		{LayoutPaddedRandomized, 24, 4},
 	}
 	for _, c := range cases {
-		ix, err := newIndexer(64, c.layout, c.cellSize)
+		ix, err := NewIndexer(64, c.layout, c.cellSize)
 		if err != nil {
-			t.Fatalf("newIndexer: %v", err)
+			t.Fatalf("NewIndexer: %v", err)
 		}
 		if ix.stride != c.stride {
 			t.Errorf("%v cellSize=%d: stride=%d, want %d", c.layout, c.cellSize, ix.stride, c.stride)
 		}
-		if got := ix.slots(); got != 64*int(c.stride) {
+		if got := ix.Slots(); got != 64*int(c.stride) {
 			t.Errorf("%v cellSize=%d: slots=%d, want %d", c.layout, c.cellSize, got, 64*int(c.stride))
 		}
-		if ix.capacity() != 64 {
-			t.Errorf("capacity = %d, want 64", ix.capacity())
+		if ix.Capacity() != 64 {
+			t.Errorf("capacity = %d, want 64", ix.Capacity())
 		}
 	}
 }
@@ -87,14 +87,14 @@ func TestIndexerStride(t *testing.T) {
 func TestIndexerPaddingSeparation(t *testing.T) {
 	const cellSize = 24
 	for _, layout := range []Layout{LayoutPadded, LayoutPaddedRandomized} {
-		ix, err := newIndexer(256, layout, cellSize)
+		ix, err := NewIndexer(256, layout, cellSize)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, base := range []uint64{0, 8, 16, 40, 56} { // any 8-aligned base
 			lines := make(map[uint64]int64)
 			for r := int64(0); r < 256; r++ {
-				byteOff := base + ix.phys(r)*cellSize
+				byteOff := base + ix.Phys(r)*cellSize
 				first := byteOff / CacheLineSize
 				last := (byteOff + cellSize - 1) / CacheLineSize
 				for line := first; line <= last; line++ {
@@ -115,15 +115,15 @@ func TestIndexerPaddingSeparation(t *testing.T) {
 func TestIndexerBijection(t *testing.T) {
 	for _, layout := range Layouts {
 		for _, capacity := range []int{2, 4, 16, 32, 64, 256, 4096} {
-			ix, err := newIndexer(capacity, layout, 24)
+			ix, err := NewIndexer(capacity, layout, 24)
 			if err != nil {
 				t.Fatal(err)
 			}
 			seen := make(map[uint64]bool, capacity)
 			for r := int64(0); r < int64(capacity); r++ {
-				p := ix.phys(r)
-				if p >= uint64(ix.slots()) {
-					t.Fatalf("%v cap=%d: phys(%d)=%d out of range %d", layout, capacity, r, p, ix.slots())
+				p := ix.Phys(r)
+				if p >= uint64(ix.Slots()) {
+					t.Fatalf("%v cap=%d: phys(%d)=%d out of range %d", layout, capacity, r, p, ix.Slots())
 				}
 				if p%ix.stride != 0 {
 					t.Fatalf("%v cap=%d: phys(%d)=%d not stride-aligned", layout, capacity, r, p)
@@ -140,13 +140,13 @@ func TestIndexerBijection(t *testing.T) {
 // Property: phys is lap-periodic — ranks N apart map to the same slot.
 func TestIndexerLapPeriodicProperty(t *testing.T) {
 	for _, layout := range Layouts {
-		ix, err := newIndexer(1024, layout, 24)
+		ix, err := NewIndexer(1024, layout, 24)
 		if err != nil {
 			t.Fatal(err)
 		}
 		f := func(rank uint32, laps uint8) bool {
 			r := int64(rank)
-			return ix.phys(r) == ix.phys(r+int64(laps)*1024)
+			return ix.Phys(r) == ix.Phys(r+int64(laps)*1024)
 		}
 		if err := quick.Check(f, nil); err != nil {
 			t.Errorf("%v: %v", layout, err)
@@ -157,12 +157,12 @@ func TestIndexerLapPeriodicProperty(t *testing.T) {
 // The randomized layout must actually separate consecutive ranks: the
 // paper wants consecutive cells 16 positions apart.
 func TestIndexerRandomizationSeparates(t *testing.T) {
-	ix, err := newIndexer(1024, LayoutRandomized, 24)
+	ix, err := NewIndexer(1024, LayoutRandomized, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for r := int64(0); r < 64; r++ {
-		a, b := ix.phys(r), ix.phys(r+1)
+		a, b := ix.Phys(r), ix.Phys(r+1)
 		d := int64(b) - int64(a)
 		if d < 0 {
 			d = -d
@@ -177,7 +177,7 @@ func TestIndexerRandomizationSeparates(t *testing.T) {
 // must degrade to the identity mapping rather than corrupt indexes.
 func TestIndexerRandomizedTinyCapacity(t *testing.T) {
 	for _, capacity := range []int{2, 4, 8, 16} {
-		ix, err := newIndexer(capacity, LayoutRandomized, 24)
+		ix, err := NewIndexer(capacity, LayoutRandomized, 24)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +185,7 @@ func TestIndexerRandomizedTinyCapacity(t *testing.T) {
 			t.Errorf("cap=%d: rot=%d, want 0", capacity, ix.rot)
 		}
 	}
-	ix, err := newIndexer(32, LayoutRandomized, 24)
+	ix, err := NewIndexer(32, LayoutRandomized, 24)
 	if err != nil {
 		t.Fatal(err)
 	}

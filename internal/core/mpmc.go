@@ -57,7 +57,7 @@ type mcell[T any] struct {
 // operations over its lifetime; exceeding that panics. At one billion
 // operations per second on a 4096-entry queue that is ~500 hours.
 type MPMC[T any] struct {
-	ix      indexer
+	ix      Indexer
 	logN    uint
 	layout  Layout
 	yieldTh int
@@ -82,11 +82,11 @@ func NewMPMC[T any](capacity int, opts ...Option) (*MPMC[T], error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ix, err := newIndexer(capacity, cfg.layout, unsafe.Sizeof(mcell[T]{}))
+	ix, err := NewIndexer(capacity, cfg.layout, unsafe.Sizeof(mcell[T]{}))
 	if err != nil {
 		return nil, err
 	}
-	q := &MPMC[T]{ix: ix, logN: ix.logN, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]mcell[T], ix.slots())}
+	q := &MPMC[T]{ix: ix, logN: ix.logN, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]mcell[T], ix.Slots())}
 	init := mpmcPack(mpmcLapFree, mpmcNoGap)
 	for i := range q.cells {
 		q.cells[i].state.Store(init)
@@ -104,7 +104,7 @@ func (q *MPMC[T]) lapOf(rank int64) uint32 {
 }
 
 // Cap returns the logical capacity of the queue.
-func (q *MPMC[T]) Cap() int { return q.ix.capacity() }
+func (q *MPMC[T]) Cap() int { return q.ix.Capacity() }
 
 // Layout returns the memory layout the queue was built with.
 func (q *MPMC[T]) Layout() Layout { return q.layout }
@@ -146,7 +146,7 @@ func (q *MPMC[T]) Enqueue(v T) {
 		}
 		// Acquire a unique rank (Algorithm 2, line 4).
 		rank := q.tail.Add(1) - 1
-		c := &q.cells[q.ix.phys(rank)]
+		c := &q.cells[q.ix.Phys(rank)]
 		my := q.lapOf(rank)
 		spins := 0
 		for {
@@ -221,7 +221,7 @@ func (q *MPMC[T]) Enqueue(v T) {
 // use by any number of consumers.
 func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 	rank := q.head.Add(1) - 1
-	c := &q.cells[q.ix.phys(rank)]
+	c := &q.cells[q.ix.Phys(rank)]
 	my := q.lapOf(rank)
 	spins := 0
 	waited := false
@@ -253,7 +253,7 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 			// r32 != my here is already guaranteed: this rank was
 			// skipped. Acquire a new one (Algorithm 1, lines 29-31).
 			rank = q.head.Add(1) - 1
-			c = &q.cells[q.ix.phys(rank)]
+			c = &q.cells[q.ix.Phys(rank)]
 			my = q.lapOf(rank)
 			spins = 0
 			if q.rec != nil {

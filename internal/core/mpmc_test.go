@@ -121,7 +121,7 @@ func TestMPMCGapSkip(t *testing.T) {
 		}
 	}
 	q.Enqueue("E") // rank 4 hits occupied cell 0, gap lap 2 announced; E at rank 5
-	c0 := &q.cells[q.ix.phys(0)]
+	c0 := &q.cells[q.ix.Phys(0)]
 	r32, g32 := mpmcUnpack(c0.state.Load())
 	if r32 != 1 { // lap of rank 0, offset by one
 		t.Fatalf("cell 0 rank lap = %d, want 1", r32)
@@ -154,7 +154,7 @@ func TestMPMCNoEnqueueInThePast(t *testing.T) {
 	}
 	// Pre-announce a gap at lap 3 on cell 0 (as if a faster producer
 	// skipped rank 8 there) while the cell is free.
-	c0 := &q.cells[q.ix.phys(0)]
+	c0 := &q.cells[q.ix.Phys(0)]
 	c0.state.Store(mpmcPack(mpmcLapFree, 3))
 	// The producer acquiring rank 0 (lap 1) must refuse cell 0 and
 	// retry with rank 1: value 42 must land at rank 1 / cell 1.
@@ -162,7 +162,7 @@ func TestMPMCNoEnqueueInThePast(t *testing.T) {
 	if r32, _ := mpmcUnpack(c0.state.Load()); r32 != mpmcLapFree {
 		t.Fatalf("cell 0 was claimed in the past (rank lap %d)", r32)
 	}
-	c1 := &q.cells[q.ix.phys(1)]
+	c1 := &q.cells[q.ix.Phys(1)]
 	if r32, _ := mpmcUnpack(c1.state.Load()); r32 != 1 {
 		t.Fatalf("cell 1 rank lap = %d, want 1", r32)
 	}
@@ -179,7 +179,7 @@ func TestMPMCClaimBlocksConsumer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c0 := &q.cells[q.ix.phys(0)]
+	c0 := &q.cells[q.ix.Phys(0)]
 	c0.state.Store(mpmcPack(mpmcLapClaim, mpmcNoGap)) // simulated stalled producer
 	done := make(chan int, 1)
 	go func() {

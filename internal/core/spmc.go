@@ -41,7 +41,7 @@ type cell[T any] struct {
 // Exactly one goroutine may call Enqueue, TryEnqueue and Close; any
 // number of goroutines may call Dequeue concurrently.
 type SPMC[T any] struct {
-	ix      indexer
+	ix      Indexer
 	cells   []cell[T]
 	layout  Layout
 	yieldTh int
@@ -68,11 +68,11 @@ func NewSPMC[T any](capacity int, opts ...Option) (*SPMC[T], error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ix, err := newIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
+	ix, err := NewIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
 	if err != nil {
 		return nil, err
 	}
-	q := &SPMC[T]{ix: ix, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]cell[T], ix.slots())}
+	q := &SPMC[T]{ix: ix, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]cell[T], ix.Slots())}
 	for i := range q.cells {
 		q.cells[i].rank.Store(freeRank)
 		q.cells[i].gap.Store(noGap)
@@ -81,7 +81,7 @@ func NewSPMC[T any](capacity int, opts ...Option) (*SPMC[T], error) {
 }
 
 // Cap returns the logical capacity of the queue.
-func (q *SPMC[T]) Cap() int { return q.ix.capacity() }
+func (q *SPMC[T]) Cap() int { return q.ix.Capacity() }
 
 // Layout returns the memory layout the queue was built with.
 func (q *SPMC[T]) Layout() Layout { return q.layout }
@@ -106,7 +106,7 @@ func (q *SPMC[T]) Enqueue(v T) {
 	skips := 0
 	var waitStart time.Time
 	for {
-		c := &q.cells[q.ix.phys(t)]
+		c := &q.cells[q.ix.Phys(t)]
 		if c.rank.Load() >= 0 {
 			// The cell still holds an older item: a slow consumer has
 			// not finished dequeuing it. Skip this rank and announce
@@ -153,7 +153,7 @@ func (q *SPMC[T]) Enqueue(v T) {
 // burns rank numbers on a full queue.
 func (q *SPMC[T]) TryEnqueue(v T) bool {
 	t := q.tail.Load()
-	c := &q.cells[q.ix.phys(t)]
+	c := &q.cells[q.ix.Phys(t)]
 	if c.rank.Load() >= 0 {
 		return false
 	}
@@ -175,7 +175,7 @@ func (q *SPMC[T]) TryEnqueue(v T) bool {
 func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 	// Acquire a unique rank (Algorithm 1, line 21).
 	rank := q.head.Add(1) - 1
-	c := &q.cells[q.ix.phys(rank)]
+	c := &q.cells[q.ix.Phys(rank)]
 	spins := 0
 	waited := false
 	var waitStart time.Time
@@ -201,7 +201,7 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 		// item in between (the line 29 re-check in the paper).
 		if c.gap.Load() >= rank && c.rank.Load() != rank {
 			rank = q.head.Add(1) - 1
-			c = &q.cells[q.ix.phys(rank)]
+			c = &q.cells[q.ix.Phys(rank)]
 			spins = 0
 			if q.rec != nil {
 				q.rec.GapSkipped()

@@ -123,7 +123,7 @@ func TestSPMCGapSkip(t *testing.T) {
 	}
 	// Cell 0 still holds "A" (rank 0). The producer must skip rank 4.
 	q.Enqueue("E") // lands at rank 5, cell 1
-	c0 := &q.cells[q.ix.phys(0)]
+	c0 := &q.cells[q.ix.Phys(0)]
 	if g := c0.gap.Load(); g != 4 {
 		t.Fatalf("cell 0 gap = %d, want 4", g)
 	}
@@ -165,7 +165,7 @@ func TestSPMCRepeatedGap(t *testing.T) {
 	}
 	// Cell 0 stuck. Each pair of enqueues wraps past it once.
 	q.Enqueue(12) // skips rank 2 (cell 0, gap=2), lands rank 3 cell 1
-	c0 := &q.cells[q.ix.phys(0)]
+	c0 := &q.cells[q.ix.Phys(0)]
 	if g := c0.gap.Load(); g != 2 {
 		t.Fatalf("gap = %d, want 2", g)
 	}

@@ -18,7 +18,7 @@ import (
 // Exactly one goroutine may enqueue and exactly one (possibly
 // different) goroutine may dequeue.
 type SPSC[T any] struct {
-	ix      indexer
+	ix      Indexer
 	cells   []cell[T]
 	layout  Layout
 	yieldTh int
@@ -42,11 +42,11 @@ func NewSPSC[T any](capacity int, opts ...Option) (*SPSC[T], error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ix, err := newIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
+	ix, err := NewIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
 	if err != nil {
 		return nil, err
 	}
-	q := &SPSC[T]{ix: ix, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]cell[T], ix.slots())}
+	q := &SPSC[T]{ix: ix, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]cell[T], ix.Slots())}
 	for i := range q.cells {
 		q.cells[i].rank.Store(freeRank)
 		q.cells[i].gap.Store(noGap)
@@ -55,7 +55,7 @@ func NewSPSC[T any](capacity int, opts ...Option) (*SPSC[T], error) {
 }
 
 // Cap returns the logical capacity of the queue.
-func (q *SPSC[T]) Cap() int { return q.ix.capacity() }
+func (q *SPSC[T]) Cap() int { return q.ix.Capacity() }
 
 // Layout returns the memory layout the queue was built with.
 func (q *SPSC[T]) Layout() Layout { return q.layout }
@@ -77,7 +77,7 @@ func (q *SPSC[T]) Enqueue(v T) {
 	skips := 0
 	var waitStart time.Time
 	for {
-		c := &q.cells[q.ix.phys(t)]
+		c := &q.cells[q.ix.Phys(t)]
 		if c.rank.Load() >= 0 {
 			c.gap.Store(t)
 			t++
@@ -117,7 +117,7 @@ func (q *SPSC[T]) Enqueue(v T) {
 // did. Producer goroutine only.
 func (q *SPSC[T]) TryEnqueue(v T) bool {
 	t := q.tail.Load()
-	c := &q.cells[q.ix.phys(t)]
+	c := &q.cells[q.ix.Phys(t)]
 	if c.rank.Load() >= 0 {
 		return false
 	}
@@ -137,7 +137,7 @@ func (q *SPSC[T]) TryEnqueue(v T) bool {
 func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
 	h := q.head.Load()
 	for {
-		c := &q.cells[q.ix.phys(h)]
+		c := &q.cells[q.ix.Phys(h)]
 		if c.rank.Load() == h {
 			v = c.data
 			var zero T

@@ -508,11 +508,17 @@ func PairsLatency(o Options, threads int) (*report.Table, error) {
 // throughput with the spin, yield, gap and wait counters of its
 // submission queues. This is the exporter behind `ffq-micro -json`:
 // stored BENCH_*.json files carry the queue-internals trajectory of a
-// run, not just its headline Mops/s.
-func StatsSweep(o Options, variant workload.Variant, consumers int) ([]report.Record, error) {
+// run, not just its headline Mops/s. batch > 1 moves items in batches
+// of that size (native contiguous-run reservations on the unbounded
+// variants); the per-run batch-size histogram then lands in the
+// record's queue stats.
+func StatsSweep(o Options, variant workload.Variant, consumers, batch int) ([]report.Record, error) {
 	o.fill()
 	if consumers < 1 {
 		consumers = 1
+	}
+	if batch < 1 {
+		batch = 1
 	}
 	items := harness.ScaleInt(500_000, o.Scale, 2000)
 	var recs []report.Record
@@ -526,6 +532,7 @@ func StatsSweep(o Options, variant workload.Variant, consumers int) ([]report.Re
 				ConsumersPerProducer: consumers,
 				ItemsPerProducer:     items,
 				QueueSize:            size,
+				Batch:                batch,
 				Policy:               affinity.NoAffinity,
 				Topology:             o.Topology,
 				Instrument:           true,
@@ -541,13 +548,18 @@ func StatsSweep(o Options, variant workload.Variant, consumers int) ([]report.Re
 		if err != nil {
 			return nil, err
 		}
+		name := fmt.Sprintf("micro/%s/entries=%d", variant, size)
+		if batch > 1 {
+			name += fmt.Sprintf("/batch=%d", batch)
+		}
 		recs = append(recs, report.Record{
-			Name:      fmt.Sprintf("micro/%s/entries=%d", variant, size),
+			Name:      name,
 			Timestamp: time.Now(),
 			Params: map[string]any{
 				"variant":            variant.String(),
 				"consumers":          consumers,
 				"queue_size":         size,
+				"batch":              batch,
 				"runs":               o.Runs,
 				"items_per_producer": items,
 			},

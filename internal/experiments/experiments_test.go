@@ -173,7 +173,7 @@ func TestStatsSweep(t *testing.T) {
 	o.Runs = 1
 	o.MinSizeExp = 6
 	o.MaxSizeExp = 7
-	recs, err := StatsSweep(o, workload.VariantSPMC, 2)
+	recs, err := StatsSweep(o, workload.VariantSPMC, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,5 +190,33 @@ func TestStatsSweep(t *testing.T) {
 		if r.Metrics["mops_per_sec_mean"] <= 0 {
 			t.Fatalf("record %q has no throughput metric", r.Name)
 		}
+	}
+}
+
+// TestStatsSweepUnboundedBatch: the unbounded variant sweeps with a
+// batch size and the records carry segment counters and the batch
+// histogram.
+func TestStatsSweepUnboundedBatch(t *testing.T) {
+	o := QuickOptions()
+	o.Runs = 1
+	o.MinSizeExp = 6
+	o.MaxSizeExp = 6
+	recs, err := StatsSweep(o, workload.VariantUnbounded, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Params["batch"] != 8 {
+		t.Fatalf("batch param missing: %+v", r.Params)
+	}
+	if !strings.Contains(r.Name, "/batch=8") {
+		t.Fatalf("record name %q lacks batch suffix", r.Name)
+	}
+	qs := r.Queues[0]
+	if qs.SegsAllocated == 0 || qs.BatchCount == 0 || qs.BatchSumItems == 0 {
+		t.Fatalf("segment/batch counters missing: %+v", qs.Stats)
 	}
 }

@@ -120,6 +120,9 @@ var counterMetrics = []counterMetric{
 	{"ffq_consumer_yields_total", "Consumer backoffs that yielded to the scheduler.", func(s obs.Stats) int64 { return s.ConsumerYields }},
 	{"ffq_gaps_created_total", "Ranks skipped by producers (gap announcements).", func(s obs.Stats) int64 { return s.GapsCreated }},
 	{"ffq_gaps_skipped_total", "Skipped ranks discarded by consumers.", func(s obs.Stats) int64 { return s.GapsSkipped }},
+	{"ffq_segments_allocated_total", "Segments allocated by unbounded queues.", func(s obs.Stats) int64 { return s.SegsAllocated }},
+	{"ffq_segments_recycled_total", "Segments reused from the recycling pool.", func(s obs.Stats) int64 { return s.SegsRecycled }},
+	{"ffq_segments_retired_total", "Drained segments unlinked from unbounded queues.", func(s obs.Stats) int64 { return s.SegsRetired }},
 }
 
 // escapeLabel escapes a label value per the exposition format.
@@ -163,6 +166,30 @@ func writeTo(b *strings.Builder) {
 		if snaps[n].Cap > 0 {
 			fmt.Fprintf(b, "ffq_queue_capacity{queue=%q} %d\n", escapeLabel(n), snaps[n].Cap)
 		}
+	}
+
+	fmt.Fprintf(b, "# HELP ffq_segments_live Segments currently linked in unbounded queues.\n# TYPE ffq_segments_live gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(b, "ffq_segments_live{queue=%q} %d\n", escapeLabel(n), snaps[n].Stats.SegsLive)
+	}
+
+	fmt.Fprintf(b, "# HELP ffq_batch_items Items per batch operation.\n# TYPE ffq_batch_items histogram\n")
+	for _, n := range names {
+		s := snaps[n].Stats
+		esc := escapeLabel(n)
+		var cum int64
+		// The last bucket also absorbs oversized batches (it is a
+		// clamp), so it is folded into +Inf rather than given a finite
+		// upper bound.
+		for e := 0; e < obs.BatchHistBuckets-1; e++ {
+			if len(s.BatchBuckets) > e {
+				cum += s.BatchBuckets[e]
+			}
+			fmt.Fprintf(b, "ffq_batch_items_bucket{queue=%q,le=\"%d\"} %d\n", esc, int64(1)<<e, cum)
+		}
+		fmt.Fprintf(b, "ffq_batch_items_bucket{queue=%q,le=\"+Inf\"} %d\n", esc, s.BatchCount)
+		fmt.Fprintf(b, "ffq_batch_items_sum{queue=%q} %d\n", esc, s.BatchSumItems)
+		fmt.Fprintf(b, "ffq_batch_items_count{queue=%q} %d\n", esc, s.BatchCount)
 	}
 
 	fmt.Fprintf(b, "# HELP ffq_wait_ns Blocking-path wait time in nanoseconds.\n# TYPE ffq_wait_ns histogram\n")

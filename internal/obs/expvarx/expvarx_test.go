@@ -104,6 +104,70 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestSegmentAndBatchExposition: the unbounded-queue metrics — segment
+// counters, the live-segment gauge and the batch-size histogram — must
+// render in valid exposition format with cumulative buckets.
+func TestSegmentAndBatchExposition(t *testing.T) {
+	r := obs.NewRecorder()
+	r.ObserveBatch(1)
+	r.ObserveBatch(8)
+	r.ObserveBatch(8)
+	r.ObserveBatch(1 << 20) // clamped: must appear only under +Inf
+	stats := func() obs.Stats {
+		s := r.Snapshot()
+		s.SegsAllocated = 5
+		s.SegsRecycled = 140
+		s.SegsRetired = 143
+		s.SegsLive = 2
+		return s
+	}
+	if err := Register("segq", QueueInfo{Stats: stats, Len: func() int { return 0 }}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Unregister("segq") })
+
+	body := Exposition()
+	for _, want := range []string{
+		"# TYPE ffq_segments_allocated_total counter",
+		`ffq_segments_allocated_total{queue="segq"} 5`,
+		`ffq_segments_recycled_total{queue="segq"} 140`,
+		`ffq_segments_retired_total{queue="segq"} 143`,
+		"# TYPE ffq_segments_live gauge",
+		`ffq_segments_live{queue="segq"} 2`,
+		"# TYPE ffq_batch_items histogram",
+		`ffq_batch_items_bucket{queue="segq",le="1"} 1`,
+		`ffq_batch_items_bucket{queue="segq",le="8"} 3`,
+		`ffq_batch_items_bucket{queue="segq",le="16384"} 3`, // clamp stays out of finite buckets
+		`ffq_batch_items_bucket{queue="segq",le="+Inf"} 4`,
+		`ffq_batch_items_sum{queue="segq"} 1048593`,
+		`ffq_batch_items_count{queue="segq"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\nbody:\n%s", want, body)
+		}
+	}
+
+	// Batch buckets must be cumulative.
+	var prev int64 = -1
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, `ffq_batch_items_bucket{queue="segq"`) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("batch buckets not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if prev != 4 {
+		t.Fatalf("final batch bucket %d, want 4", prev)
+	}
+}
+
 func TestExpvarPublishing(t *testing.T) {
 	r := obs.NewRecorder()
 	r.Enqueue()

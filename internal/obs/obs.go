@@ -84,14 +84,30 @@ type waitLine struct {
 	buckets [HistBuckets]atomic.Int64
 }
 
+// BatchHistBuckets is the number of log2 batch-size buckets. Bucket i
+// counts batches of ceil(log2(n)) == i items, so bucket 0 is single
+// operations and bucket 15 covers batches up to 32768 items — far
+// beyond any sensible batch (a batch is bounded by the segment size).
+const BatchHistBuckets = 16
+
+// batchLine holds the batch-size histogram of the segmented queues'
+// EnqueueBatch/DequeueBatch operations, plus the running count and
+// item sum.
+type batchLine struct {
+	count    atomic.Int64
+	sumItems atomic.Int64
+	buckets  [BatchHistBuckets]atomic.Int64
+}
+
 // Recorder accumulates instrumentation for one queue (or one shared
 // pool of queues). The zero value is ready to use; a nil *Recorder is
 // the "instrumentation off" state and every method is safe to skip
 // behind a nil check.
 type Recorder struct {
-	prod prodLine
-	cons consLine
-	wait waitLine
+	prod  prodLine
+	cons  consLine
+	wait  waitLine
+	batch batchLine
 }
 
 // NewRecorder returns a fresh Recorder.
@@ -99,6 +115,10 @@ func NewRecorder() *Recorder { return &Recorder{} }
 
 // Enqueue records one completed enqueue.
 func (r *Recorder) Enqueue() { r.prod.enqueues.Add(1) }
+
+// EnqueueN records n completed enqueues in one addition (the batch
+// paths of the segmented queues).
+func (r *Recorder) EnqueueN(n int) { r.prod.enqueues.Add(int64(n)) }
 
 // Dequeue records one completed dequeue.
 func (r *Recorder) Dequeue() { r.cons.dequeues.Add(1) }
@@ -131,6 +151,22 @@ func (r *Recorder) ObserveWait(d time.Duration) {
 	r.wait.count.Add(1)
 	r.wait.sumNS.Add(ns)
 	r.wait.buckets[bucketOf(ns)].Add(1)
+}
+
+// ObserveBatch records one batch operation of n items (an
+// EnqueueBatch or DequeueBatch call on a segmented queue). n <= 0 is
+// ignored.
+func (r *Recorder) ObserveBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	r.batch.count.Add(1)
+	r.batch.sumItems.Add(int64(n))
+	b := bucketOf(int64(n))
+	if b >= BatchHistBuckets {
+		b = BatchHistBuckets - 1
+	}
+	r.batch.buckets[b].Add(1)
 }
 
 // bucketOf maps a nanosecond wait to its log2 bucket index.
@@ -167,6 +203,25 @@ type Stats struct {
 	// WaitBuckets[i] counts waits of at most 2^i nanoseconds (see
 	// BucketBound). Omitted from JSON when all-zero.
 	WaitBuckets []int64 `json:"wait_buckets,omitempty"`
+
+	// Segment counters (segmented/unbounded queues only; always zero
+	// for the bounded variants). SegsAllocated counts fresh segment
+	// allocations, SegsRecycled reuses from the recycling pool,
+	// SegsRetired drained segments returned to the pool (or dropped to
+	// the GC when the pool was full). SegsLive is the instantaneous
+	// number of linked segments — a gauge, not a monotonic counter, so
+	// Sub/Add treat it like one (Sub keeps the newer value).
+	SegsAllocated int64 `json:"segs_allocated,omitempty"`
+	SegsRecycled  int64 `json:"segs_recycled,omitempty"`
+	SegsRetired   int64 `json:"segs_retired,omitempty"`
+	SegsLive      int64 `json:"segs_live,omitempty"`
+
+	// BatchCount and BatchSumItems summarize the batch-size histogram
+	// of EnqueueBatch/DequeueBatch calls; BatchBuckets[i] counts
+	// batches of at most 2^i items. Omitted from JSON when unused.
+	BatchCount    int64   `json:"batch_count,omitempty"`
+	BatchSumItems int64   `json:"batch_sum_items,omitempty"`
+	BatchBuckets  []int64 `json:"batch_buckets,omitempty"`
 }
 
 // Snapshot returns the current counter values. Each counter is read
@@ -188,11 +243,19 @@ func (r *Recorder) Snapshot() Stats {
 		GapsSkipped:    r.cons.gapsSkipped.Load(),
 		WaitCount:      r.wait.count.Load(),
 		WaitSumNS:      r.wait.sumNS.Load(),
+		BatchCount:     r.batch.count.Load(),
+		BatchSumItems:  r.batch.sumItems.Load(),
 	}
 	if s.WaitCount > 0 {
 		s.WaitBuckets = make([]int64, HistBuckets)
 		for i := range s.WaitBuckets {
 			s.WaitBuckets[i] = r.wait.buckets[i].Load()
+		}
+	}
+	if s.BatchCount > 0 {
+		s.BatchBuckets = make([]int64, BatchHistBuckets)
+		for i := range s.BatchBuckets {
+			s.BatchBuckets[i] = r.batch.buckets[i].Load()
 		}
 	}
 	return s
@@ -213,17 +276,48 @@ func (s Stats) Sub(prev Stats) Stats {
 		GapsSkipped:    s.GapsSkipped - prev.GapsSkipped,
 		WaitCount:      s.WaitCount - prev.WaitCount,
 		WaitSumNS:      s.WaitSumNS - prev.WaitSumNS,
+		SegsAllocated:  s.SegsAllocated - prev.SegsAllocated,
+		SegsRecycled:   s.SegsRecycled - prev.SegsRecycled,
+		SegsRetired:    s.SegsRetired - prev.SegsRetired,
+		SegsLive:       s.SegsLive, // gauge: the newer value stands
+		BatchCount:     s.BatchCount - prev.BatchCount,
+		BatchSumItems:  s.BatchSumItems - prev.BatchSumItems,
 	}
-	if len(s.WaitBuckets) == HistBuckets {
-		d.WaitBuckets = make([]int64, HistBuckets)
-		for i, v := range s.WaitBuckets {
-			d.WaitBuckets[i] = v
-			if len(prev.WaitBuckets) == HistBuckets {
-				d.WaitBuckets[i] -= prev.WaitBuckets[i]
-			}
+	d.WaitBuckets = subBuckets(s.WaitBuckets, prev.WaitBuckets, HistBuckets)
+	d.BatchBuckets = subBuckets(s.BatchBuckets, prev.BatchBuckets, BatchHistBuckets)
+	return d
+}
+
+// subBuckets subtracts prev from cur element-wise when cur is present.
+func subBuckets(cur, prev []int64, n int) []int64 {
+	if len(cur) != n {
+		return nil
+	}
+	d := make([]int64, n)
+	for i, v := range cur {
+		d[i] = v
+		if len(prev) == n {
+			d[i] -= prev[i]
 		}
 	}
 	return d
+}
+
+// addBuckets sums two bucket slices, tolerating either being absent.
+func addBuckets(a, b []int64, n int) []int64 {
+	if len(a) != n && len(b) != n {
+		return nil
+	}
+	t := make([]int64, n)
+	for i := range t {
+		if len(a) == n {
+			t[i] += a[i]
+		}
+		if len(b) == n {
+			t[i] += b[i]
+		}
+	}
+	return t
 }
 
 // Add returns s + o counter-wise, for aggregating per-queue snapshots
@@ -240,18 +334,15 @@ func (s Stats) Add(o Stats) Stats {
 		GapsSkipped:    s.GapsSkipped + o.GapsSkipped,
 		WaitCount:      s.WaitCount + o.WaitCount,
 		WaitSumNS:      s.WaitSumNS + o.WaitSumNS,
+		SegsAllocated:  s.SegsAllocated + o.SegsAllocated,
+		SegsRecycled:   s.SegsRecycled + o.SegsRecycled,
+		SegsRetired:    s.SegsRetired + o.SegsRetired,
+		SegsLive:       s.SegsLive + o.SegsLive,
+		BatchCount:     s.BatchCount + o.BatchCount,
+		BatchSumItems:  s.BatchSumItems + o.BatchSumItems,
 	}
-	if len(s.WaitBuckets) == HistBuckets || len(o.WaitBuckets) == HistBuckets {
-		t.WaitBuckets = make([]int64, HistBuckets)
-		for i := range t.WaitBuckets {
-			if len(s.WaitBuckets) == HistBuckets {
-				t.WaitBuckets[i] += s.WaitBuckets[i]
-			}
-			if len(o.WaitBuckets) == HistBuckets {
-				t.WaitBuckets[i] += o.WaitBuckets[i]
-			}
-		}
-	}
+	t.WaitBuckets = addBuckets(s.WaitBuckets, o.WaitBuckets, HistBuckets)
+	t.BatchBuckets = addBuckets(s.BatchBuckets, o.BatchBuckets, BatchHistBuckets)
 	return t
 }
 
@@ -274,6 +365,15 @@ func (s Stats) MeanWait() time.Duration {
 	return time.Duration(s.WaitSumNS / s.WaitCount)
 }
 
+// MeanBatch returns the mean items per batch operation, or 0 when no
+// batch operation was recorded.
+func (s Stats) MeanBatch() float64 {
+	if s.BatchCount == 0 {
+		return 0
+	}
+	return float64(s.BatchSumItems) / float64(s.BatchCount)
+}
+
 // String renders the snapshot as a compact one-line summary.
 func (s Stats) String() string {
 	var b strings.Builder
@@ -282,6 +382,13 @@ func (s Stats) String() string {
 		s.ProducerYields, s.ConsumerYields, s.GapsCreated, s.GapsSkipped)
 	if s.WaitCount > 0 {
 		fmt.Fprintf(&b, " waits=%d mean=%s", s.WaitCount, s.MeanWait())
+	}
+	if s.SegsAllocated > 0 || s.SegsLive > 0 {
+		fmt.Fprintf(&b, " segs=%d live (%d alloc, %d recycled, %d retired)",
+			s.SegsLive, s.SegsAllocated, s.SegsRecycled, s.SegsRetired)
+	}
+	if s.BatchCount > 0 {
+		fmt.Fprintf(&b, " batches=%d mean=%.1f", s.BatchCount, s.MeanBatch())
 	}
 	return b.String()
 }

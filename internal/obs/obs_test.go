@@ -124,6 +124,49 @@ func TestSubAndAdd(t *testing.T) {
 	}
 }
 
+func TestObserveBatch(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveBatch(1)
+	r.ObserveBatch(8)
+	r.ObserveBatch(64)
+	r.ObserveBatch(0)  // ignored
+	r.ObserveBatch(-3) // ignored
+	s := r.Snapshot()
+	if s.BatchCount != 3 || s.BatchSumItems != 73 {
+		t.Fatalf("batch summary wrong: %+v", s)
+	}
+	if len(s.BatchBuckets) != BatchHistBuckets {
+		t.Fatalf("BatchBuckets length %d", len(s.BatchBuckets))
+	}
+	if s.BatchBuckets[0] != 1 || s.BatchBuckets[3] != 1 || s.BatchBuckets[6] != 1 {
+		t.Fatalf("batch buckets wrong: %v", s.BatchBuckets)
+	}
+	if got := s.MeanBatch(); got < 24.3 || got > 24.4 {
+		t.Fatalf("MeanBatch = %v", got)
+	}
+	// Oversized batches clamp into the last bucket instead of panicking.
+	r.ObserveBatch(1 << 20)
+	if b := r.Snapshot().BatchBuckets[BatchHistBuckets-1]; b != 1 {
+		t.Fatalf("oversized batch bucket = %d, want 1", b)
+	}
+}
+
+func TestSegAndBatchSubAdd(t *testing.T) {
+	a := Stats{SegsAllocated: 2, SegsRecycled: 1, SegsRetired: 1, SegsLive: 2, BatchCount: 1, BatchSumItems: 8}
+	b := Stats{SegsAllocated: 5, SegsRecycled: 4, SegsRetired: 6, SegsLive: 3, BatchCount: 3, BatchSumItems: 40}
+	d := b.Sub(a)
+	if d.SegsAllocated != 3 || d.SegsRecycled != 3 || d.SegsRetired != 5 || d.BatchCount != 2 || d.BatchSumItems != 32 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	if d.SegsLive != 3 {
+		t.Fatalf("SegsLive is a gauge; Sub should keep the newer value, got %d", d.SegsLive)
+	}
+	sum := a.Add(b)
+	if sum.SegsAllocated != 7 || sum.BatchSumItems != 48 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+}
+
 func TestSpinRatio(t *testing.T) {
 	var s Stats
 	if s.SpinRatio() != 0 {

@@ -131,6 +131,45 @@ func Concurrent(t *testing.T, f queue.Factory, opts Options) {
 	}
 }
 
+// UnboundedGrowth checks behaviour only an unbounded queue can have:
+// it absorbs a burst of many times the capacity hint with no consumer
+// running at all (a bounded queue would block or refuse), and then
+// delivers every item in FIFO order. With the capacity hint set to a
+// segmented queue's segment size, the burst forces dozens of segment
+// links and the drain forces the matching retirements, so running
+// this under -race also exercises the reclamation path
+// single-threaded end to end.
+func UnboundedGrowth(t *testing.T, f queue.Factory, opts Options) {
+	t.Helper()
+	if f.Bounded {
+		t.Fatalf("%s: UnboundedGrowth called for a bounded queue", f.Name)
+	}
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = 16
+	}
+	total := uint64(64 * capacity)
+	shared := f.New(capacity, 2)
+	q := shared.Register()
+	for v := uint64(1); v <= total; v++ {
+		q.Enqueue(v)
+	}
+	for v := uint64(1); v <= total; v++ {
+		got, ok := dequeueRetry(q)
+		if !ok {
+			t.Fatalf("%s: empty with %d items outstanding", f.Name, total-v+1)
+		}
+		if got != v {
+			t.Fatalf("%s: got %d, want %d", f.Name, got, v)
+		}
+	}
+	if !opts.Blocking {
+		if v, ok := q.Dequeue(); ok {
+			t.Fatalf("%s: drained queue returned %d", f.Name, v)
+		}
+	}
+}
+
 // EmptyBehaviour checks that a fresh non-blocking queue reports empty
 // and still works afterwards. Do not call it for Blocking queues.
 func EmptyBehaviour(t *testing.T, f queue.Factory) {

@@ -1,0 +1,110 @@
+package segq
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffq/internal/core"
+)
+
+// poison is a value the producers in these tests never enqueue. The
+// recycle hook stamps it into every cell of a segment at retirement,
+// so if a consumer ever reads a cell of a recycled segment — a
+// violation of the reclamation invariant — it surfaces as a poisoned
+// dequeue instead of a silent wrong value.
+const poison = int64(math.MinInt64)
+
+// poisonOnRecycle installs a retirement hook on q that stamps poison
+// into every cell's payload. The hook runs after all cells were
+// consumed (invariant condition a) and before the segment can be
+// reused, so the only way poison is ever dequeued is a reclamation
+// bug.
+func poisonOnRecycle(q *SPMC[int64]) *atomic.Int64 {
+	var retired atomic.Int64
+	q.recycleHook = func(s *segment[int64]) {
+		retired.Add(1)
+		for i := range s.cells {
+			s.cells[i].data = poison
+		}
+	}
+	return &retired
+}
+
+// runPoisoned drives one SPMC instance with the poison hook: one
+// producer enqueuing ranks as values, `consumers` concurrent
+// consumers. It reports the number of retirements observed by the
+// hook. Every dequeued value is checked against its claimed rank —
+// for SPMC the value at rank r is exactly r, so this catches not only
+// poison but any cross-segment misdelivery.
+func runPoisoned(t *testing.T, segSize, consumers int, items int64) int64 {
+	t.Helper()
+	q, err := NewSPMC[int64](core.ResolveOptions(core.WithSegmentSize(segSize)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retired := poisonOnRecycle(q)
+	var wg sync.WaitGroup
+	var tickets atomic.Int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tk := tickets.Add(1)
+				if tk > items {
+					return
+				}
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Error("claimed rank reported dead")
+					return
+				}
+				if v == poison {
+					t.Errorf("dequeued poison: a recycled segment was read")
+					return
+				}
+				if v < 0 || v >= items {
+					t.Errorf("dequeued out-of-range value %d", v)
+					return
+				}
+			}
+		}()
+	}
+	for i := int64(0); i < items; i++ {
+		q.Enqueue(i)
+	}
+	wg.Wait()
+	return retired.Load()
+}
+
+// TestPoisonNeverObserved is the deterministic heavy version: enough
+// items for hundreds of recycles at several consumer counts.
+func TestPoisonNeverObserved(t *testing.T) {
+	for _, consumers := range []int{1, 2, 4} {
+		retired := runPoisoned(t, 8, consumers, 8*150)
+		if retired < 100 {
+			t.Fatalf("consumers=%d: only %d retirements; test is not exercising recycling", consumers, retired)
+		}
+	}
+}
+
+// FuzzRecycleNeverObserved explores the parameter space: segment
+// size, consumer count and item count are fuzzed, and the invariant
+// "no dequeue ever observes a recycled cell" must hold everywhere.
+func FuzzRecycleNeverObserved(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint16(64))
+	f.Add(uint8(3), uint8(2), uint16(300))
+	f.Add(uint8(4), uint8(4), uint16(1000))
+	f.Add(uint8(1), uint8(3), uint16(777))
+	f.Fuzz(func(t *testing.T, segExp, consumers uint8, n uint16) {
+		segSize := 1 << (1 + segExp%5) // 2..32
+		c := 1 + int(consumers%4)      // 1..4
+		items := int64(n%4096) + int64(segSize)*3
+		retired := runPoisoned(t, segSize, c, items)
+		if retired == 0 {
+			t.Fatalf("segSize=%d items=%d: no retirement at all", segSize, items)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package segq
+
+import (
+	"sync/atomic"
+
+	"ffq/internal/core"
+)
+
+// MPMC is the unbounded multi-producer/multi-consumer queue. An
+// enqueue claims a rank with one fetch-and-add and publishes it with
+// the same cell handshake as SPMC — every rank has exactly one
+// producer and one consumer, so per-cell the protocol stays
+// SPSC-simple and the paper's double-width CAS is not needed at all.
+// The only multi-producer coordination is linking a new segment (a
+// CAS on the predecessor's next pointer, once per segment).
+//
+// Like the bounded FFQ^m, a producer that stalls between claiming a
+// rank and publishing it blocks the consumer of that rank; both
+// operations are lock-free otherwise.
+type MPMC[T any] struct {
+	uq[T]
+	_ [core.CacheLineSize]byte
+	// tailSeg is a hint at the newest segment so producers do not walk
+	// the whole list from headSeg. It may lag or (transiently) point
+	// at a retired segment; producerSeg validates and falls back.
+	tailSeg atomic.Pointer[segment[T]]
+}
+
+// NewMPMC returns an unbounded MPMC queue configured by the resolved
+// option set (zero-value fields fall back to defaults).
+func NewMPMC[T any](cfg core.Resolved) (*MPMC[T], error) {
+	q := &MPMC[T]{}
+	if err := q.initUQ(cfg); err != nil {
+		return nil, err
+	}
+	q.tailSeg.Store(q.headSeg.Load())
+	return q, nil
+}
+
+// producerSeg returns the segment covering rank r, creating (and
+// linking) missing segments along the way. The MPMC chain is
+// write-once (retired segments keep base and next — see the package
+// comment on reclamation), so the walk never needs to validate or
+// restart mid-chain: from any segment at or before rank r's, stepping
+// next (linking where nil) must reach rank r's segment. The walk
+// starts at the tailSeg hint and falls back to headSeg when the hint
+// is already past r; headSeg can never pass r's segment because the
+// caller's unpublished rank keeps it from draining.
+func (q *MPMC[T]) producerSeg(r int64) *segment[T] {
+	want := r >> q.logSeg
+	seg := q.tailSeg.Load()
+	base := seg.base.Load()
+	if base>>q.logSeg > want {
+		seg = q.headSeg.Load()
+		base = seg.base.Load()
+	}
+	for base>>q.logSeg < want {
+		next := seg.next.Load()
+		if next == nil {
+			next = q.link(seg, base+q.segSize)
+		}
+		seg, base = next, base+q.segSize
+	}
+	if q.tailSeg.Load() != seg {
+		q.tailSeg.Store(seg) // best-effort hint refresh
+	}
+	return seg
+}
+
+// link appends a segment with the given base after seg, or adopts the
+// one a racing producer appended first. The CAS can only succeed on
+// the true live tail: no segment's next is ever reset to nil, so
+// next == nil still means "never had a successor".
+func (q *MPMC[T]) link(seg *segment[T], base int64) *segment[T] {
+	s := q.takeSegment(base)
+	if seg.next.CompareAndSwap(nil, s) {
+		return s
+	}
+	// Lost the race. s was never visible to another goroutine, so it is
+	// safe to recycle even though MPMC retirement itself never pools.
+	// Counted as a retire to keep live = alloc + recycled - retired.
+	s.base.Store(pooledBase)
+	q.segsRetired.Add(1)
+	q.segsLive.Add(-1)
+	q.pool.put(s)
+	return seg.next.Load()
+}
+
+// Enqueue inserts v at the tail: one fetch-and-add to claim a rank,
+// then the FFQ cell handshake. Safe for any number of concurrent
+// producers.
+func (q *MPMC[T]) Enqueue(v T) {
+	r := q.tail.Add(1) - 1
+	seg := q.producerSeg(r)
+	c := &seg.cells[q.ix.Phys(r)]
+	c.data = v
+	c.rank.Store(r)
+	if q.rec != nil {
+		q.rec.Enqueue()
+	}
+}
+
+// EnqueueBatch inserts vs as one contiguous run of ranks claimed with
+// a single fetch-and-add — under producer contention the batch
+// appears as an unbroken FIFO run, and the rank-acquisition atomic is
+// amortized across the batch. Safe for concurrent producers.
+func (q *MPMC[T]) EnqueueBatch(vs []T) {
+	k := int64(len(vs))
+	if k == 0 {
+		return
+	}
+	start := q.tail.Add(k) - k
+	i := int64(0)
+	for i < k {
+		r := start + i
+		seg := q.producerSeg(r)
+		// Publish the run that lands in this segment.
+		end := (r | (q.segSize - 1)) + 1 // first rank past seg
+		if last := start + k; last < end {
+			end = last
+		}
+		for ; r < end; r, i = r+1, i+1 {
+			c := &seg.cells[q.ix.Phys(r)]
+			c.data = vs[i]
+			c.rank.Store(r)
+		}
+	}
+	if q.rec != nil {
+		q.rec.EnqueueN(int(k))
+		q.rec.ObserveBatch(int(k))
+	}
+}

@@ -1,0 +1,512 @@
+// Package segq implements unbounded FIFO queues as linked lists of
+// fixed-size FFQ ring segments, in the lineage of Jiffy (Adas &
+// Friedman, 2020) and Nikolaev's SCQ-based unbounded queues
+// (arXiv:1908.04511): the bounded ring supplies the fast path, the
+// segment list removes the capacity limit, and a recycling pool keeps
+// allocation off the steady-state path.
+//
+// # Design
+//
+// Ranks are global: every enqueue takes the next rank in an int64
+// sequence that never wraps, and rank r lives in cell r mod S of the
+// segment whose base rank is r - r mod S (S = the segment size, a
+// power of two). Because segments never wrap — the producer links a
+// fresh segment instead of reusing cells — the bounded FFQ's gap
+// machinery disappears entirely: a cell is written exactly once per
+// segment incarnation, so enqueue never skips ranks and dequeue never
+// chases gap announcements. What remains of FFQ is its cell
+// handshake: the producer stores data and then the cell's rank; a
+// consumer holding rank r spins until the cell's rank equals r. Rank
+// values are unique over the queue's lifetime, which makes the
+// handshake immune to segment reuse (a stale cell can never carry the
+// rank a consumer is waiting for).
+//
+// # Reclamation invariant
+//
+// A segment is retired only when (a) all S of its cells have been
+// consumed, and (b) it is the head of the segment list. Claim (a)
+// guarantees no consumer will read a cell of the retired incarnation
+// again; (b) serializes retirement in list order so the list between
+// headSeg and the tail is always intact. Advancement of headSeg is
+// performed under a try-token (acquire-release-recheck), so exactly
+// one goroutine retires any segment incarnation and the ABA hazards
+// of CAS-based head swinging cannot arise. A walker's target segment
+// can never be retired out from under it, because the walker's own
+// unconsumed rank keeps condition (a) false for that segment.
+//
+// What retirement does with the segment differs per variant, because
+// reuse is only safe when no stale goroutine can mutate a
+// reincarnated segment:
+//
+//   - SPMC recycles: base is poisoned, next severed, and the segment
+//     returns to the pool. The only goroutine that ever writes a next
+//     pointer is the single producer, acting on its own live tail —
+//     never on a segment found by walking — so a reincarnated segment
+//     cannot receive a stale link. Consumers are pure readers; one
+//     holding a stale pointer sees the poisoned (or reincarnated)
+//     base and restarts from headSeg.
+//   - MPMC leaves retired segments to the garbage collector, keeping
+//     base and next intact: the chain is write-once (next goes
+//     nil -> successor exactly once, ever), so a producer's
+//     CAS(nil, s) on next can only succeed on the true live tail, and
+//     stale walkers just traverse the dead prefix forward. The pool
+//     still serves MPMC, but is fed only by link-race losers —
+//     segments no other goroutine ever saw.
+//
+// # Variants
+//
+// SPMC keeps FFQ's wait-free single-producer enqueue: the producer
+// owns the tail segment outright and needs no atomic read-modify-
+// write — linking a fresh segment is one pointer store, and the pool
+// get is a bounded scan of swap-only slots. MPMC pays one
+// fetch-and-add per enqueue for rank acquisition plus a CAS only on
+// the segment-linking slow path (once per S items).
+//
+// Batch operations (EnqueueBatch/DequeueBatch) reserve a contiguous
+// run of ranks in one step — one fetch-and-add on the consumer side
+// regardless of batch size — and amortize the tail publication and
+// instrumentation across the run.
+package segq
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"ffq/internal/core"
+	"ffq/internal/obs"
+)
+
+// freeRank marks a cell that has not been published in the current
+// segment incarnation (mirrors core's freeRank). Cells are only
+// created in this state; consumption does not reset it — rank
+// uniqueness makes stale values harmless.
+const freeRank = -1
+
+// pooledBase poisons the base of a retired segment so that walkers
+// holding a stale pointer recognize it and restart from the head.
+const pooledBase = -1
+
+// cell is one slot of a segment: the published rank and the payload.
+// Unlike the bounded rings there is no gap field — segments never
+// wrap, so ranks are never skipped.
+type cell[T any] struct {
+	rank atomic.Int64
+	data T
+}
+
+// segment is one fixed-size FFQ ring in the linked list.
+type segment[T any] struct {
+	// base is the first rank this segment covers (segment-size
+	// aligned), or pooledBase after retirement. Written on (re)use
+	// before the segment is linked; read by walkers for validation.
+	base atomic.Int64
+	// next links to the successor segment; nil at the tail and after
+	// retirement.
+	next atomic.Pointer[segment[T]]
+	// consumed counts cells of this incarnation that consumers have
+	// taken; == segment size means drained (reclamation condition a).
+	consumed atomic.Int64
+	_        [core.CacheLineSize]byte
+	cells    []cell[T]
+}
+
+// poolSlots bounds the recycling pool. Retired segments beyond the
+// bound are dropped to the garbage collector, so a burst that grew
+// the queue does not pin its high-water memory forever.
+const poolSlots = 8
+
+// pool is a fixed array of swap-only slots holding retired segments.
+// put claims an empty slot with a CAS from nil; get empties slots
+// with unconditional Swap. Neither operation can suffer ABA — a slot
+// transfers ownership of its whole pointer atomically — so the pool
+// is lock-free (in fact wait-free: both are bounded scans).
+type pool[T any] struct {
+	slots [poolSlots]atomic.Pointer[segment[T]]
+}
+
+// put offers s to the pool; false means the pool was full and the
+// caller should drop the segment.
+func (p *pool[T]) put(s *segment[T]) bool {
+	for i := range p.slots {
+		if p.slots[i].CompareAndSwap(nil, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// get removes and returns a pooled segment, or nil.
+func (p *pool[T]) get() *segment[T] {
+	for i := range p.slots {
+		if s := p.slots[i].Swap(nil); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// uq holds the state and consumer-side machinery shared by the SPMC
+// and MPMC variants. The producer side differs (single owner vs
+// fetch-and-add) and lives in the variant types.
+type uq[T any] struct {
+	ix      core.Indexer
+	segSize int64
+	logSeg  uint
+	yieldTh int
+	// rec is nil unless instrumentation was requested; every recording
+	// site checks it first (same contract as the bounded core).
+	rec  *obs.Recorder
+	pool pool[T]
+	// recycleHook, when non-nil, observes every segment at retirement
+	// (before pooling). Test-only: the recycling fuzz test uses it to
+	// poison drained cells.
+	recycleHook func(s *segment[T])
+	// pooling enables reuse of retired segments. Only the SPMC variant
+	// sets it: there the sole next-writer is the single producer acting
+	// on its own live tail, so a reincarnated segment can never receive
+	// a stale link. MPMC producers CAS next on segments found by
+	// walking, and a stale walker must never find a reincarnated
+	// segment reusable — so MPMC leaves retired segments to the GC
+	// (keeping its chain write-once) and recycles only segments that
+	// were never visible to other goroutines.
+	pooling bool
+
+	_ [core.CacheLineSize]byte
+	// head is the consumer rank counter: fetch-and-incremented once
+	// per dequeue (or once per batch).
+	head atomic.Int64
+	_    [core.CacheLineSize]byte
+	// tail is the number of enqueued (SPMC: published; MPMC: claimed)
+	// ranks. SPMC's producer shadows it locally and only stores.
+	tail atomic.Int64
+	_    [core.CacheLineSize]byte
+	// headSeg points at the earliest live segment. Written only by the
+	// holder of the advancing token.
+	headSeg   atomic.Pointer[segment[T]]
+	advancing atomic.Bool
+	closed    atomic.Bool
+
+	// Always-on segment accounting (the recycling analogue of the
+	// bounded queues' always-on gap counter). live = alloc + recycled
+	// - retired.
+	segsAlloc    atomic.Int64
+	segsRecycled atomic.Int64
+	segsRetired  atomic.Int64
+	segsLive     atomic.Int64
+}
+
+// initUQ validates the configuration and links the first segment.
+func (u *uq[T]) initUQ(cfg core.Resolved) error {
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = core.DefaultSegmentSize
+	}
+	if cfg.YieldThreshold == 0 {
+		cfg.YieldThreshold = core.DefaultYieldThreshold()
+	}
+	ix, err := core.NewIndexer(cfg.SegmentSize, cfg.Layout, cellSize[T]())
+	if err != nil {
+		return err
+	}
+	u.ix = ix
+	u.segSize = int64(cfg.SegmentSize)
+	u.logSeg = uint(bits.TrailingZeros64(uint64(cfg.SegmentSize)))
+	u.yieldTh = cfg.YieldThreshold
+	u.rec = cfg.Recorder
+	first := u.newSegment(0)
+	u.headSeg.Store(first)
+	return nil
+}
+
+// cellSize reports the in-memory size of one cell for layout padding.
+func cellSize[T any]() uintptr {
+	var c cell[T]
+	return unsafe.Sizeof(c)
+}
+
+// newSegment allocates a fresh segment with the given base rank.
+func (u *uq[T]) newSegment(base int64) *segment[T] {
+	s := &segment[T]{cells: make([]cell[T], u.ix.Slots())}
+	for i := range s.cells {
+		s.cells[i].rank.Store(freeRank)
+	}
+	s.base.Store(base)
+	u.segsAlloc.Add(1)
+	u.segsLive.Add(1)
+	return s
+}
+
+// takeSegment returns a ready-to-link segment with the given base,
+// reusing a pooled one when available. Pool reuse skips the cell
+// reset: rank values are globally unique, so stale ranks from the
+// previous incarnation can never match a live consumer's rank.
+// Segments reach the pool with next already nil (SPMC retire severs
+// it; MPMC pools only never-linked CAS losers), so next is not
+// touched here.
+func (u *uq[T]) takeSegment(base int64) *segment[T] {
+	if s := u.pool.get(); s != nil {
+		s.consumed.Store(0)
+		s.base.Store(base)
+		u.segsRecycled.Add(1)
+		u.segsLive.Add(1)
+		return s
+	}
+	return u.newSegment(base)
+}
+
+// retire processes a drained segment that headSeg has just moved
+// past. Called only by the advancing-token holder, once per
+// incarnation.
+//
+// With pooling (SPMC): base is poisoned and next severed, then the
+// segment is offered to the pool for reuse. Stale readers that still
+// hold a pointer to it see the poisoned (or a later, reincarnated)
+// base and restart from headSeg.
+//
+// Without pooling (MPMC): base and next are left untouched and the
+// segment is dropped to the garbage collector. This keeps the MPMC
+// chain write-once — next transitions nil -> successor exactly once
+// per segment, ever — which is what makes the producers' link CAS
+// sound: CAS(nil, s) on next can only succeed on the true live tail,
+// because no retired segment's next is ever reset to nil. Stale
+// walkers simply traverse the dead prefix forward until they reach
+// live segments.
+func (u *uq[T]) retire(s *segment[T]) {
+	if u.recycleHook != nil {
+		u.recycleHook(s)
+	}
+	u.segsRetired.Add(1)
+	u.segsLive.Add(-1)
+	if !u.pooling {
+		return
+	}
+	s.base.Store(pooledBase)
+	s.next.Store(nil)
+	u.pool.put(s) // full pool: drop to the GC
+}
+
+// maybeAdvance moves headSeg past fully drained segments and retires
+// them. The advancing token guarantees a single writer; the
+// release-then-recheck loop guarantees a drain that lands while the
+// token is held is never lost (either the holder's inner loop sees
+// it, or the holder's recheck re-acquires, or the drainer's own CAS
+// succeeds after the release).
+func (u *uq[T]) maybeAdvance() {
+	for {
+		h := u.headSeg.Load()
+		if h.consumed.Load() != u.segSize || h.next.Load() == nil {
+			return
+		}
+		if !u.advancing.CompareAndSwap(false, true) {
+			return // the holder's recheck will pick this up
+		}
+		for {
+			h := u.headSeg.Load()
+			if h.consumed.Load() != u.segSize {
+				break
+			}
+			next := h.next.Load()
+			if next == nil {
+				break // the tail segment stays linked even when drained
+			}
+			u.headSeg.Store(next)
+			u.retire(h)
+		}
+		u.advancing.Store(false)
+	}
+}
+
+// segFor returns the live segment covering rank r, spinning while the
+// producer has not created it yet. It returns nil only when the queue
+// is closed and r lies at or beyond the final tail (a dead rank).
+//
+// The walk starts at headSeg and validates every step against the
+// expected base sequence; any sign of concurrent retirement (poisoned
+// base, reincarnated base, severed next) abandons the walk and
+// restarts. Termination: the caller's own unconsumed rank keeps the
+// target segment alive, and headSeg can never advance past it.
+func (u *uq[T]) segFor(r int64) *segment[T] {
+	want := r >> u.logSeg
+	spins := 0
+	waited := false
+	var waitStart time.Time
+	for {
+		seg := u.headSeg.Load()
+		base := seg.base.Load()
+		for base >= 0 && base>>u.logSeg < want {
+			next := seg.next.Load()
+			if next == nil {
+				break // tail reached: segment `want` does not exist yet
+			}
+			nbase := next.base.Load()
+			if nbase != base+u.segSize {
+				break // chain mutated under us; restart from headSeg
+			}
+			seg, base = next, nbase
+		}
+		if base >= 0 && base>>u.logSeg == want {
+			if waited && u.rec != nil {
+				u.rec.ObserveWait(time.Since(waitStart))
+			}
+			return seg
+		}
+		if u.dead(r) {
+			return nil
+		}
+		spins++
+		if u.rec != nil {
+			if !waited {
+				waited = true
+				waitStart = time.Now()
+			}
+			u.rec.EmptySpin()
+			if core.Backoff(spins, u.yieldTh) {
+				u.rec.ConsumerYield()
+			}
+		} else {
+			core.Backoff(spins, u.yieldTh)
+		}
+	}
+}
+
+// dead reports whether rank r can never be published: the queue is
+// closed and r lies at or beyond the final tail.
+func (u *uq[T]) dead(r int64) bool {
+	return u.closed.Load() && r >= u.tail.Load()
+}
+
+// consume delivers rank r: locate its segment, spin on the FFQ cell
+// handshake, take the value, and mark the cell consumed (possibly
+// triggering retirement). ok=false means r is a dead rank.
+func (u *uq[T]) consume(r int64) (v T, ok bool) {
+	seg := u.segFor(r)
+	if seg == nil {
+		var zero T
+		return zero, false
+	}
+	c := &seg.cells[u.ix.Phys(r)]
+	spins := 0
+	waited := false
+	var waitStart time.Time
+	for c.rank.Load() != r {
+		if u.dead(r) {
+			var zero T
+			return zero, false
+		}
+		spins++
+		if u.rec != nil {
+			if !waited {
+				waited = true
+				waitStart = time.Now()
+			}
+			u.rec.EmptySpin()
+			if core.Backoff(spins, u.yieldTh) {
+				u.rec.ConsumerYield()
+			}
+		} else {
+			core.Backoff(spins, u.yieldTh)
+		}
+	}
+	v = c.data
+	var zero T
+	c.data = zero
+	if seg.consumed.Add(1) == u.segSize {
+		u.maybeAdvance()
+	}
+	if u.rec != nil {
+		u.rec.Dequeue()
+		if waited {
+			u.rec.ObserveWait(time.Since(waitStart))
+		}
+	}
+	return v, true
+}
+
+// Dequeue removes and returns the item at the head of the queue,
+// blocking (spinning, then yielding) while the queue is empty. It
+// returns ok=false only after Close once every item has been
+// delivered. Safe for any number of concurrent consumers.
+func (u *uq[T]) Dequeue() (v T, ok bool) {
+	return u.consume(u.head.Add(1) - 1)
+}
+
+// DequeueBatch removes up to len(dst) items in one rank reservation:
+// a single fetch-and-add claims the whole contiguous run, amortizing
+// the only consumer-side atomic read-modify-write across the batch.
+// It blocks until the full run has been delivered, except after
+// Close, where it returns the n < len(dst) items that existed; n <
+// len(dst) therefore implies the queue is closed and drained. Safe
+// for any number of concurrent consumers, but note that a batch
+// claims its ranks immediately: a batch that blocks waiting for a
+// slow producer delays later-ranked consumers behind it.
+func (u *uq[T]) DequeueBatch(dst []T) (n int, ok bool) {
+	k := int64(len(dst))
+	if k == 0 {
+		return 0, true
+	}
+	start := u.head.Add(k) - k
+	for i := int64(0); i < k; i++ {
+		v, ok := u.consume(start + i)
+		if !ok {
+			return int(i), false
+		}
+		dst[i] = v
+	}
+	if u.rec != nil {
+		u.rec.ObserveBatch(int(k))
+	}
+	return int(k), true
+}
+
+// Len returns an instantaneous approximation of the number of queued
+// items (enqueued or claimed minus dequeue-claimed).
+func (u *uq[T]) Len() int {
+	n := u.tail.Load() - u.head.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// SegmentSize returns the per-segment ring capacity.
+func (u *uq[T]) SegmentSize() int { return int(u.segSize) }
+
+// Segments returns the instantaneous number of linked segments.
+func (u *uq[T]) Segments() int { return int(u.segsLive.Load()) }
+
+// Close marks the queue closed. Consumers drain the remaining items
+// and then receive ok=false. Close must only be called after every
+// producer's final Enqueue has returned.
+func (u *uq[T]) Close() { u.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (u *uq[T]) Closed() bool { return u.closed.Load() }
+
+// Recorder returns the attached metrics recorder, or nil.
+func (u *uq[T]) Recorder() *obs.Recorder { return u.rec }
+
+// Stats snapshots the queue's instrumentation counters plus the
+// always-on segment accounting (populated with or without a
+// recorder, like the bounded queues' gap counter).
+func (u *uq[T]) Stats() obs.Stats {
+	s := u.rec.Snapshot()
+	s.SegsAllocated = u.segsAlloc.Load()
+	s.SegsRecycled = u.segsRecycled.Load()
+	s.SegsRetired = u.segsRetired.Load()
+	s.SegsLive = u.segsLive.Load()
+	return s
+}
+
+// SegStats snapshots only the always-on segment accounting, with every
+// other counter zero. Harnesses that share one Recorder across several
+// queues aggregate with this to avoid double-counting the recorder's
+// op counters.
+func (u *uq[T]) SegStats() obs.Stats {
+	return obs.Stats{
+		SegsAllocated: u.segsAlloc.Load(),
+		SegsRecycled:  u.segsRecycled.Load(),
+		SegsRetired:   u.segsRetired.Load(),
+		SegsLive:      u.segsLive.Load(),
+	}
+}

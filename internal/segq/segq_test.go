@@ -1,0 +1,367 @@
+package segq
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ffq/internal/core"
+)
+
+// small returns a resolved configuration with a tiny segment size so
+// that tests cross segment boundaries constantly.
+func small(seg int, extra ...core.Option) core.Resolved {
+	opts := append([]core.Option{core.WithSegmentSize(seg)}, extra...)
+	return core.ResolveOptions(opts...)
+}
+
+func TestSequentialSPMC(t *testing.T) {
+	q, err := NewSPMC[int](small(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100 // 12.5 segments
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	if got := q.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue #%d = %d,%v", i, v, ok)
+		}
+	}
+	if got := q.Len(); got != 0 {
+		t.Fatalf("Len after drain = %d", got)
+	}
+}
+
+func TestSequentialMPMC(t *testing.T) {
+	q, err := NewMPMC[int](small(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue #%d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestInvalidSegmentSize(t *testing.T) {
+	if _, err := NewSPMC[int](small(12)); err == nil {
+		t.Fatal("segment size 12 accepted")
+	}
+	if _, err := NewMPMC[int](small(3)); err == nil {
+		t.Fatal("segment size 3 accepted")
+	}
+}
+
+func TestDefaultSegmentSize(t *testing.T) {
+	q, err := NewSPMC[int](core.Resolved{}) // all zero: defaults apply
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.SegmentSize(); got != core.DefaultSegmentSize {
+		t.Fatalf("SegmentSize = %d, want %d", got, core.DefaultSegmentSize)
+	}
+	q.Enqueue(7)
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("round trip = %d,%v", v, ok)
+	}
+}
+
+// TestRecyclingAccounting drives enough alternating fill/drain rounds
+// to retire well over 100 segments and checks the always-on
+// accounting, including that the pool actually gets reused.
+func TestRecyclingAccounting(t *testing.T) {
+	const seg, rounds = 8, 150
+	q, err := NewSPMC[int](small(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < seg; i++ {
+			q.Enqueue(r*seg + i)
+		}
+		for i := 0; i < seg; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != r*seg+i {
+				t.Fatalf("round %d: got %d,%v want %d", r, v, ok, r*seg+i)
+			}
+		}
+	}
+	s := q.Stats()
+	if s.SegsRetired < 100 {
+		t.Fatalf("SegsRetired = %d, want >= 100", s.SegsRetired)
+	}
+	if s.SegsRecycled == 0 {
+		t.Fatal("SegsRecycled = 0: the pool is never reused")
+	}
+	if s.SegsLive != s.SegsAllocated+s.SegsRecycled-s.SegsRetired {
+		t.Fatalf("live %d != alloc %d + recycled %d - retired %d",
+			s.SegsLive, s.SegsAllocated, s.SegsRecycled, s.SegsRetired)
+	}
+	// Steady-state alternation keeps at most a couple of segments linked.
+	if got := q.Segments(); got < 1 || got > 3 {
+		t.Fatalf("Segments = %d, want 1..3", got)
+	}
+	// The pool must have absorbed most turnovers: far fewer allocations
+	// than retirements.
+	if s.SegsAllocated > int64(rounds/2) {
+		t.Fatalf("SegsAllocated = %d: recycling is not reducing allocation", s.SegsAllocated)
+	}
+}
+
+// TestCloseEmpty: dequeues on a closed, empty queue return ok=false
+// instead of blocking, for both variants.
+func TestCloseEmpty(t *testing.T) {
+	s, err := NewSPMC[int](small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if v, ok := s.Dequeue(); ok {
+		t.Fatalf("closed empty SPMC returned %d", v)
+	}
+	m, err := NewMPMC[int](small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if v, ok := m.Dequeue(); ok {
+		t.Fatalf("closed empty MPMC returned %d", v)
+	}
+}
+
+func TestCloseDeliversRemainder(t *testing.T) {
+	q, err := NewSPMC[int](small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("drain #%d = %d,%v", i, v, ok)
+		}
+	}
+	if v, ok := q.Dequeue(); ok {
+		t.Fatalf("dead rank delivered %d", v)
+	}
+}
+
+func TestBatchRoundTripSPMC(t *testing.T) {
+	q, err := NewSPMC[int](small(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20-item batches cross segment boundaries (size 8) every time.
+	next := 0
+	for r := 0; r < 5; r++ {
+		vs := make([]int, 20)
+		for i := range vs {
+			vs[i] = next
+			next++
+		}
+		q.EnqueueBatch(vs)
+	}
+	got := 0
+	for got < next {
+		dst := make([]int, 5) // divides the 100 items: no partial tail batch
+		n, ok := q.DequeueBatch(dst)
+		if n > 0 {
+			for i := 0; i < n; i++ {
+				if dst[i] != got+i {
+					t.Fatalf("batch element %d = %d, want %d", i, dst[i], got+i)
+				}
+			}
+			got += n
+		}
+		if !ok {
+			break
+		}
+	}
+	if got != next {
+		t.Fatalf("drained %d of %d", got, next)
+	}
+}
+
+func TestBatchRoundTripMPMC(t *testing.T) {
+	q, err := NewMPMC[int](small(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]int, 30)
+	for i := range vs {
+		vs[i] = i
+	}
+	q.EnqueueBatch(vs)
+	dst := make([]int, 30)
+	n, ok := q.DequeueBatch(dst)
+	if !ok || n != 30 {
+		t.Fatalf("DequeueBatch = %d,%v", n, ok)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("dst[%d] = %d", i, v)
+		}
+	}
+	// Empty batch operations are no-ops.
+	q.EnqueueBatch(nil)
+	if n, ok := q.DequeueBatch(nil); n != 0 || !ok {
+		t.Fatalf("empty DequeueBatch = %d,%v", n, ok)
+	}
+}
+
+// TestBatchPartialOnClose: a batch larger than the remaining items
+// returns the remainder with ok=false once the queue is closed.
+func TestBatchPartialOnClose(t *testing.T) {
+	q, err := NewSPMC[int](small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.EnqueueBatch([]int{0, 1, 2})
+	q.Close()
+	dst := make([]int, 8)
+	n, ok := q.DequeueBatch(dst)
+	if ok || n != 3 {
+		t.Fatalf("DequeueBatch = %d,%v; want 3,false", n, ok)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+}
+
+// TestDequeueBlocks: a consumer that arrives early blocks until the
+// producer publishes, rather than reporting empty.
+func TestDequeueBlocks(t *testing.T) {
+	q, err := NewSPMC[int](small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		v, _ := q.Dequeue()
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("Dequeue returned %d from an empty queue", v)
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.Enqueue(42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Dequeue never observed the enqueue")
+	}
+}
+
+// TestInstrumentedStats: with a recorder attached, operation counts and
+// batch histograms flow into Stats alongside the always-on segment
+// accounting; without one, Stats still carries the segment counters.
+func TestInstrumentedStats(t *testing.T) {
+	q, err := NewSPMC[int](small(4, core.WithInstrumentation()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Recorder() == nil {
+		t.Fatal("Recorder() = nil with instrumentation on")
+	}
+	q.EnqueueBatch([]int{1, 2, 3, 4, 5, 6})
+	q.Enqueue(7)
+	dst := make([]int, 5)
+	q.DequeueBatch(dst)
+	q.Dequeue()
+	q.Dequeue()
+	s := q.Stats()
+	if s.Enqueues != 7 || s.Dequeues != 7 {
+		t.Fatalf("ops: %d enq, %d deq; want 7, 7", s.Enqueues, s.Dequeues)
+	}
+	if s.BatchCount != 2 || s.BatchSumItems != 11 { // enqueue 6 + dequeue 5
+		t.Fatalf("batches: %+v", s)
+	}
+	if s.SegsAllocated == 0 || s.SegsLive == 0 {
+		t.Fatalf("segment accounting missing: %+v", s)
+	}
+
+	bare, err := NewSPMC[int](small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Recorder() != nil {
+		t.Fatal("Recorder() non-nil without instrumentation")
+	}
+	bare.Enqueue(1)
+	s = bare.Stats()
+	if s.Enqueues != 0 {
+		t.Fatalf("uninstrumented queue counted ops: %+v", s)
+	}
+	if s.SegsAllocated == 0 {
+		t.Fatal("segment accounting must work without a recorder")
+	}
+}
+
+// TestConcurrentSmoke is a light version of the stress tests that runs
+// fast enough for -short rounds: 2 consumers, enough items for a few
+// dozen turnovers.
+func TestConcurrentSmoke(t *testing.T) {
+	const seg, items, consumers = 8, 8 * 40, 2
+	q, err := NewMPMC[int](small(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	seen := make([]bool, items)
+	var mu sync.Mutex
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d delivered twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		q.Enqueue(i)
+	}
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	wg.Wait()
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+}

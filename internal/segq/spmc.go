@@ -1,0 +1,97 @@
+package segq
+
+import (
+	"ffq/internal/core"
+)
+
+// SPMC is the unbounded single-producer/multi-consumer queue: FFQ^s
+// semantics without the capacity limit. Enqueue is wait-free
+// unconditionally — where the bounded queue degrades to
+// spinning-with-skips when consumers fall behind, this queue links a
+// fresh (or recycled) segment and keeps going, trading memory for the
+// paper's implicit-flow-control assumption.
+//
+// Exactly one goroutine may call Enqueue, EnqueueBatch and Close; any
+// number of goroutines may call Dequeue and DequeueBatch.
+type SPMC[T any] struct {
+	uq[T]
+	// Producer-local state: no other goroutine touches these, so the
+	// enqueue fast path reads no shared mutable word at all.
+	ptail   int64 // next rank to publish (shadow of uq.tail)
+	tailSeg *segment[T]
+}
+
+// NewSPMC returns an unbounded SPMC queue configured by the resolved
+// option set (zero-value fields fall back to defaults).
+func NewSPMC[T any](cfg core.Resolved) (*SPMC[T], error) {
+	q := &SPMC[T]{}
+	if err := q.initUQ(cfg); err != nil {
+		return nil, err
+	}
+	q.pooling = true // safe here: see the package comment on reclamation
+	q.tailSeg = q.headSeg.Load()
+	return q, nil
+}
+
+// grow links a segment for the next rank and makes it the producer's
+// tail. One pointer store publishes it — no atomic read-modify-write,
+// preserving the wait-free enqueue.
+func (q *SPMC[T]) grow() *segment[T] {
+	s := q.takeSegment(q.ptail)
+	q.tailSeg.next.Store(s)
+	q.tailSeg = s
+	return s
+}
+
+// Enqueue inserts v at the tail. Wait-free: when the tail segment is
+// full the producer links a new one instead of waiting for consumers.
+// Producer goroutine only.
+func (q *SPMC[T]) Enqueue(v T) {
+	seg := q.tailSeg
+	if q.ptail&(q.segSize-1) == 0 && q.ptail != seg.base.Load() {
+		seg = q.grow()
+	}
+	c := &seg.cells[q.ix.Phys(q.ptail)]
+	c.data = v
+	c.rank.Store(q.ptail)
+	q.ptail++
+	q.tail.Store(q.ptail)
+	if q.rec != nil {
+		q.rec.Enqueue()
+	}
+}
+
+// EnqueueBatch inserts vs in order. The per-segment runs are published
+// cell by cell (each rank store is a linearization point, so consumers
+// can start draining the head of the batch immediately), but the tail
+// publication and instrumentation are amortized across the whole
+// batch. Producer goroutine only.
+func (q *SPMC[T]) EnqueueBatch(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	total := len(vs)
+	for len(vs) > 0 {
+		seg := q.tailSeg
+		off := q.ptail & (q.segSize - 1)
+		if off == 0 && q.ptail != seg.base.Load() {
+			seg = q.grow()
+		}
+		n := int64(len(vs))
+		if room := q.segSize - off; room < n {
+			n = room
+		}
+		for i := int64(0); i < n; i++ {
+			c := &seg.cells[q.ix.Phys(q.ptail + i)]
+			c.data = vs[i]
+			c.rank.Store(q.ptail + i)
+		}
+		q.ptail += n
+		vs = vs[n:]
+	}
+	q.tail.Store(q.ptail)
+	if q.rec != nil {
+		q.rec.EnqueueN(total)
+		q.rec.ObserveBatch(total)
+	}
+}

@@ -1,0 +1,341 @@
+package segq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffq/internal/core"
+)
+
+// The stress tests run the producer flat out against slower consumers,
+// forcing the queue to grow and then recycle segments continuously.
+// With segment size 16 and 16*200 items per run, every run turns over
+// at least 200 segments — well past the 100-turnover floor the
+// subsystem promises to survive. Run under -race in CI (see
+// .github/workflows/ci.yml), these double as the memory-model audit of
+// the retire/reuse protocol.
+
+const (
+	stressSeg   = 16
+	stressTurns = 200
+	stressItems = stressSeg * stressTurns
+)
+
+// TestStressSPMCOutrun: one producer enqueues every item before
+// consumers are even released, guaranteeing the producer outruns
+// consumption by the whole queue length; then concurrent consumers
+// drain. Checks exactly-once delivery, global FIFO order per consumer,
+// and that >= 100 segments were actually retired.
+func TestStressSPMCOutrun(t *testing.T) {
+	q, err := NewSPMC[int64](small(stressSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 4
+	got := make([]atomic.Int32, stressItems)
+	var gate, wg sync.WaitGroup
+	gate.Add(1)
+	var tickets atomic.Int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gate.Wait()
+			last := int64(-1)
+			for tickets.Add(1) <= stressItems {
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Error("claimed rank reported dead")
+					return
+				}
+				// A consumer's claimed ranks ascend, and SPMC values
+				// equal their rank, so each consumer's view is ordered.
+				if v <= last {
+					t.Errorf("order violated: %d after %d", v, last)
+					return
+				}
+				last = v
+				got[v].Add(1)
+			}
+		}()
+	}
+	for i := int64(0); i < stressItems; i++ {
+		q.Enqueue(i)
+	}
+	gate.Done() // producer finished: consumers start against a full queue
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("item %d delivered %d times", i, n)
+		}
+	}
+	if s := q.Stats(); s.SegsRetired < 100 {
+		t.Fatalf("SegsRetired = %d, want >= 100 turnovers", s.SegsRetired)
+	}
+}
+
+// TestStressSPMCInterleaved runs producer and consumers concurrently
+// (the producer still outruns: enqueue is wait-free, dequeue spins),
+// so retirement interleaves with linking and pool reuse constantly.
+func TestStressSPMCInterleaved(t *testing.T) {
+	q, err := NewSPMC[int64](small(stressSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 3
+	got := make([]atomic.Int32, stressItems)
+	var wg sync.WaitGroup
+	var tickets atomic.Int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := int64(-1)
+			for tickets.Add(1) <= stressItems {
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Error("claimed rank reported dead")
+					return
+				}
+				if v <= last {
+					t.Errorf("order violated: %d after %d", v, last)
+					return
+				}
+				last = v
+				got[v].Add(1)
+			}
+		}()
+	}
+	for i := int64(0); i < stressItems; i++ {
+		q.Enqueue(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("item %d delivered %d times", i, n)
+		}
+	}
+	stats := q.Stats()
+	if stats.SegsRetired < 100 {
+		t.Fatalf("SegsRetired = %d, want >= 100", stats.SegsRetired)
+	}
+	if stats.SegsLive != stats.SegsAllocated+stats.SegsRecycled-stats.SegsRetired {
+		t.Fatalf("accounting broken: %+v", stats)
+	}
+}
+
+// TestStressMPMC: several producers and consumers; checks exactly-once
+// delivery and per-producer order (values encode producer and
+// sequence).
+func TestStressMPMC(t *testing.T) {
+	q, err := NewMPMC[int64](small(stressSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, consumers = 4, 4
+	const perProducer = stressItems / producers
+	got := make([]atomic.Int32, stressItems)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := int64(p * perProducer)
+			for i := int64(0); i < perProducer; i++ {
+				q.Enqueue(base + i)
+			}
+		}(p)
+	}
+	var tickets atomic.Int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastSeen := [producers]int64{}
+			for i := range lastSeen {
+				lastSeen[i] = -1
+			}
+			for tickets.Add(1) <= stressItems {
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Error("claimed rank reported dead")
+					return
+				}
+				p := v / perProducer
+				seq := v % perProducer
+				if p < 0 || p >= producers {
+					t.Errorf("bogus value %d", v)
+					return
+				}
+				if seq <= lastSeen[p] {
+					t.Errorf("producer %d order violated: %d after %d", p, seq, lastSeen[p])
+					return
+				}
+				lastSeen[p] = seq
+				got[v].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("item %d delivered %d times", i, n)
+		}
+	}
+	if s := q.Stats(); s.SegsRetired < 100 {
+		t.Fatalf("SegsRetired = %d, want >= 100", s.SegsRetired)
+	}
+}
+
+// TestStressSPMCBatches: batch enqueue against batch dequeue. Each
+// dequeued batch must be a contiguous ascending run (its ranks were
+// claimed with one fetch-and-add), and delivery stays exactly-once.
+func TestStressSPMCBatches(t *testing.T) {
+	const batch = 8
+	q, err := NewSPMC[int64](small(stressSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 3
+	got := make([]atomic.Int32, stressItems)
+	var wg sync.WaitGroup
+	var tickets atomic.Int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]int64, batch)
+			for tickets.Add(batch) <= stressItems {
+				n, ok := q.DequeueBatch(dst)
+				if !ok || n != batch {
+					t.Errorf("DequeueBatch = %d,%v", n, ok)
+					return
+				}
+				for i := 1; i < n; i++ {
+					if dst[i] != dst[i-1]+1 {
+						t.Errorf("batch not contiguous: %v", dst[:n])
+						return
+					}
+				}
+				for i := 0; i < n; i++ {
+					got[dst[i]].Add(1)
+				}
+			}
+		}()
+	}
+	vs := make([]int64, batch)
+	for i := int64(0); i < stressItems; i += batch {
+		for j := range vs {
+			vs[j] = i + int64(j)
+		}
+		q.EnqueueBatch(vs)
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("item %d delivered %d times", i, n)
+		}
+	}
+}
+
+// TestStressMPMCBatchEnqueue: concurrent batch producers against
+// single-item consumers. A producer's batches are claimed with one
+// fetch-and-add each, so its items must surface in order even under
+// producer contention.
+func TestStressMPMCBatchEnqueue(t *testing.T) {
+	const producers, consumers, batch = 3, 3, 7
+	const perProducer = ((stressItems / producers) / batch) * batch
+	const total = producers * perProducer
+	q, err := NewMPMC[int64](small(stressSeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]atomic.Int32, total)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := int64(p * perProducer)
+			vs := make([]int64, batch)
+			for i := int64(0); i < perProducer; i += batch {
+				for j := range vs {
+					vs[j] = base + i + int64(j)
+				}
+				q.EnqueueBatch(vs)
+			}
+		}(p)
+	}
+	var tickets atomic.Int64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastSeen := [producers]int64{}
+			for i := range lastSeen {
+				lastSeen[i] = -1
+			}
+			for tickets.Add(1) <= total {
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Error("claimed rank reported dead")
+					return
+				}
+				p := v / perProducer
+				seq := v % perProducer
+				if seq <= lastSeen[p] {
+					t.Errorf("producer %d order violated: %d after %d", p, seq, lastSeen[p])
+					return
+				}
+				lastSeen[p] = seq
+				got[v].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("item %d delivered %d times", i, n)
+		}
+	}
+}
+
+// TestStressTinySegments shrinks segments to 2 cells so segment
+// hand-off dominates every other cost, hammering link/retire/reuse.
+func TestStressTinySegments(t *testing.T) {
+	q, err := NewSPMC[int64](core.ResolveOptions(core.WithSegmentSize(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 2 * 500
+	got := make([]atomic.Int32, items)
+	var wg sync.WaitGroup
+	var tickets atomic.Int64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tickets.Add(1) <= items {
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Error("claimed rank reported dead")
+					return
+				}
+				got[v].Add(1)
+			}
+		}()
+	}
+	for i := int64(0); i < items; i++ {
+		q.Enqueue(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("item %d delivered %d times", i, n)
+		}
+	}
+	if s := q.Stats(); s.SegsRetired < 100 {
+		t.Fatalf("SegsRetired = %d", s.SegsRetired)
+	}
+}

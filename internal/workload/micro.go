@@ -12,6 +12,7 @@ import (
 	"ffq/internal/affinity"
 	"ffq/internal/core"
 	"ffq/internal/obs"
+	"ffq/internal/segq"
 )
 
 // Variant selects which FFQ implementation serves as the submission
@@ -26,6 +27,11 @@ const (
 	// VariantSPSC uses the SPSC queue; requires exactly one consumer
 	// per producer.
 	VariantSPSC
+	// VariantUnbounded uses the unbounded segmented SPMC queue
+	// (internal/segq); QueueSize becomes the segment size.
+	VariantUnbounded
+	// VariantUnboundedMPMC uses the unbounded segmented MPMC queue.
+	VariantUnboundedMPMC
 )
 
 // String names the variant.
@@ -37,6 +43,10 @@ func (v Variant) String() string {
 		return "mpmc"
 	case VariantSPSC:
 		return "spsc"
+	case VariantUnbounded:
+		return "unbounded"
+	case VariantUnboundedMPMC:
+		return "unbounded-mpmc"
 	default:
 		return fmt.Sprintf("Variant(%d)", uint8(v))
 	}
@@ -59,8 +69,18 @@ type MicroConfig struct {
 	// ItemsPerProducer is the number of round-trips each producer
 	// completes.
 	ItemsPerProducer int
-	// QueueSize is the submission queue capacity (power of two).
+	// QueueSize is the submission queue capacity (power of two). For
+	// the unbounded variants it is the segment size instead.
 	QueueSize int
+	// Batch > 1 moves items through the submission queue in batches of
+	// that size. The unbounded variants use their native
+	// EnqueueBatch/DequeueBatch; the bounded ones loop singles on the
+	// enqueue side and stay single-item on the dequeue side (a bounded
+	// consumer holding a partial batch would deadlock the round-trip).
+	// ItemsPerProducer is rounded up to a multiple of the batch so
+	// every blocking batch claim can be filled. 0 or 1 means
+	// single-item operations.
+	Batch int
 	// RespQueueSize is the response queue capacity (defaults to
 	// QueueSize when 0; always at least 2).
 	RespQueueSize int
@@ -94,11 +114,47 @@ func (r MicroResult) MopsPerSec() float64 {
 	return float64(r.Items) / r.Elapsed.Seconds() / 1e6
 }
 
-// submission abstracts the three FFQ variants behind one face.
+// submission abstracts the FFQ variants behind one face. The batch
+// methods let the unbounded variants use their native contiguous-run
+// reservations; bounded variants fall back to a loop of singles
+// (loopBatch).
 type submission interface {
 	enqueue(v uint64)
 	dequeue() (uint64, bool)
+	enqueueBatch(vs []uint64)
+	dequeueBatch(dst []uint64) (int, bool)
 	close()
+}
+
+// singleOps is the per-item subset the bounded queues provide.
+type singleOps interface {
+	enqueue(v uint64)
+	dequeue() (uint64, bool)
+	close()
+}
+
+// loopBatch lifts a single-op queue to the submission interface with
+// software-loop batch methods.
+type loopBatch struct{ singleOps }
+
+func (l loopBatch) enqueueBatch(vs []uint64) {
+	for _, v := range vs {
+		l.enqueue(v)
+	}
+}
+
+func (l loopBatch) dequeueBatch(dst []uint64) (int, bool) {
+	// One blocking single per call. The bounded queues have no
+	// contiguous-run claim, so filling a multi-item buffer here could
+	// strand already-dequeued items in this consumer's buffer while the
+	// producer waits for their responses before sending more (deadlock
+	// whenever >1 consumer splits the final items unevenly).
+	v, ok := l.dequeue()
+	if !ok {
+		return 0, false
+	}
+	dst[0] = v
+	return 1, true
 }
 
 type spmcSub struct{ q *core.SPMC[uint64] }
@@ -119,21 +175,52 @@ func (s spscSub) enqueue(v uint64)        { s.q.Enqueue(v) }
 func (s spscSub) dequeue() (uint64, bool) { return s.q.Dequeue() }
 func (s spscSub) close()                  { s.q.Close() }
 
+// segStatser is implemented by the unbounded submissions; RunMicro
+// folds these always-on segment counters into the instrumented
+// aggregate (they live on the queue, not the shared recorder).
+type segStatser interface {
+	segStats() obs.Stats
+}
+
+type usegSub struct{ q *segq.SPMC[uint64] }
+
+func (s usegSub) enqueue(v uint64)                      { s.q.Enqueue(v) }
+func (s usegSub) dequeue() (uint64, bool)               { return s.q.Dequeue() }
+func (s usegSub) enqueueBatch(vs []uint64)              { s.q.EnqueueBatch(vs) }
+func (s usegSub) dequeueBatch(dst []uint64) (int, bool) { return s.q.DequeueBatch(dst) }
+func (s usegSub) close()                                { s.q.Close() }
+func (s usegSub) segStats() obs.Stats                   { return s.q.SegStats() }
+
+type usegMPMCSub struct{ q *segq.MPMC[uint64] }
+
+func (s usegMPMCSub) enqueue(v uint64)                      { s.q.Enqueue(v) }
+func (s usegMPMCSub) dequeue() (uint64, bool)               { return s.q.Dequeue() }
+func (s usegMPMCSub) enqueueBatch(vs []uint64)              { s.q.EnqueueBatch(vs) }
+func (s usegMPMCSub) dequeueBatch(dst []uint64) (int, bool) { return s.q.DequeueBatch(dst) }
+func (s usegMPMCSub) close()                                { s.q.Close() }
+func (s usegMPMCSub) segStats() obs.Stats                   { return s.q.SegStats() }
+
 func newSubmission(cfg MicroConfig, rec *obs.Recorder) (submission, error) {
 	opts := []core.Option{core.WithLayout(cfg.Layout), core.WithRecorder(rec)}
 	switch cfg.Variant {
 	case VariantSPMC:
 		q, err := core.NewSPMC[uint64](cfg.QueueSize, opts...)
-		return spmcSub{q}, err
+		return loopBatch{spmcSub{q}}, err
 	case VariantMPMC:
 		q, err := core.NewMPMC[uint64](cfg.QueueSize, opts...)
-		return mpmcSub{q}, err
+		return loopBatch{mpmcSub{q}}, err
 	case VariantSPSC:
 		if cfg.ConsumersPerProducer != 1 {
 			return nil, fmt.Errorf("workload: SPSC variant requires exactly 1 consumer, got %d", cfg.ConsumersPerProducer)
 		}
 		q, err := core.NewSPSC[uint64](cfg.QueueSize, opts...)
-		return spscSub{q}, err
+		return loopBatch{spscSub{q}}, err
+	case VariantUnbounded:
+		q, err := segq.NewSPMC[uint64](core.ResolveOptions(append(opts, core.WithSegmentSize(cfg.QueueSize))...))
+		return usegSub{q}, err
+	case VariantUnboundedMPMC:
+		q, err := segq.NewMPMC[uint64](core.ResolveOptions(append(opts, core.WithSegmentSize(cfg.QueueSize))...))
+		return usegMPMCSub{q}, err
 	default:
 		return nil, fmt.Errorf("workload: unknown variant %v", cfg.Variant)
 	}
@@ -198,6 +285,21 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 		maxOutstanding = 1
 	}
 
+	// Batch mode. A blocking batch claim is only ever filled if the
+	// producer's outstanding allowance covers at least one whole batch
+	// and the item count divides into whole batches, so clamp and
+	// round accordingly.
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > maxOutstanding {
+		batch = maxOutstanding
+	}
+	if rem := cfg.ItemsPerProducer % batch; rem != 0 {
+		cfg.ItemsPerProducer += batch - rem
+	}
+
 	for p, st := range states {
 		asn := top.Assign(cfg.Policy, p)
 		// Consumers.
@@ -217,6 +319,19 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 					ready.Done()
 					<-start
 					rq := st.resps[c]
+					if batch > 1 {
+						buf := make([]uint64, batch)
+						for {
+							n, ok := st.sub.dequeueBatch(buf)
+							for i := 0; i < n; i++ {
+								rq.Enqueue(buf[i])
+							}
+							if !ok {
+								rq.Close()
+								return
+							}
+						}
+					}
 					for {
 						v, ok := st.sub.dequeue()
 						if !ok {
@@ -242,11 +357,26 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 				ready.Done()
 				<-start
 				sent, received, outstanding := 0, 0, 0
+				var batchBuf []uint64
+				if batch > 1 {
+					batchBuf = make([]uint64, batch)
+				}
 				for received < cfg.ItemsPerProducer {
-					for sent < cfg.ItemsPerProducer && outstanding < maxOutstanding {
-						st.sub.enqueue(uint64(sent + 1))
-						sent++
-						outstanding++
+					if batch > 1 {
+						for sent < cfg.ItemsPerProducer && outstanding+batch <= maxOutstanding {
+							for i := range batchBuf {
+								batchBuf[i] = uint64(sent + i + 1)
+							}
+							st.sub.enqueueBatch(batchBuf)
+							sent += batch
+							outstanding += batch
+						}
+					} else {
+						for sent < cfg.ItemsPerProducer && outstanding < maxOutstanding {
+							st.sub.enqueue(uint64(sent + 1))
+							sent++
+							outstanding++
+						}
 					}
 					drained := false
 					for _, rq := range st.resps {
@@ -272,6 +402,11 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 	res := MicroResult{Items: cfg.Producers * cfg.ItemsPerProducer, Elapsed: time.Since(t0)}
 	if rec != nil {
 		s := rec.Snapshot()
+		for _, st := range states {
+			if ss, ok := st.sub.(segStatser); ok {
+				s = s.Add(ss.segStats())
+			}
+		}
 		res.Stats = &s
 	}
 	return res, nil

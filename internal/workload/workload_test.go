@@ -60,6 +60,9 @@ func TestVariantString(t *testing.T) {
 	if VariantSPMC.String() != "spmc" || VariantMPMC.String() != "mpmc" || VariantSPSC.String() != "spsc" {
 		t.Error("variant names")
 	}
+	if VariantUnbounded.String() != "unbounded" || VariantUnboundedMPMC.String() != "unbounded-mpmc" {
+		t.Error("unbounded variant names")
+	}
 }
 
 func TestRunMicroValidation(t *testing.T) {
@@ -75,7 +78,7 @@ func TestRunMicroValidation(t *testing.T) {
 }
 
 func TestRunMicroAllVariants(t *testing.T) {
-	for _, v := range []Variant{VariantSPMC, VariantMPMC, VariantSPSC} {
+	for _, v := range []Variant{VariantSPMC, VariantMPMC, VariantSPSC, VariantUnbounded, VariantUnboundedMPMC} {
 		consumers := 2
 		if v == VariantSPSC {
 			consumers = 1
@@ -95,6 +98,48 @@ func TestRunMicroAllVariants(t *testing.T) {
 		if res.Items != 3000 || res.MopsPerSec() <= 0 {
 			t.Fatalf("%v: %+v", v, res)
 		}
+	}
+}
+
+// TestRunMicroBatch runs the unbounded variants with batched
+// submission at several batch sizes, including one that does not
+// divide the item count (rounded up internally) and one larger than
+// the outstanding allowance (clamped internally).
+func TestRunMicroBatch(t *testing.T) {
+	for _, v := range []Variant{VariantUnbounded, VariantUnboundedMPMC} {
+		for _, batch := range []int{1, 8, 64, 7, 1 << 20} {
+			res, err := RunMicro(MicroConfig{
+				Variant:              v,
+				Producers:            1,
+				ConsumersPerProducer: 2,
+				ItemsPerProducer:     3000,
+				QueueSize:            64, // segment size for these variants
+				Batch:                batch,
+				Policy:               affinity.NoAffinity,
+			})
+			if err != nil {
+				t.Fatalf("%v batch=%d: %v", v, batch, err)
+			}
+			if res.Items < 3000 || res.MopsPerSec() <= 0 {
+				t.Fatalf("%v batch=%d: %+v", v, batch, res)
+			}
+		}
+	}
+	// Bounded variants run batches through the software-loop fallback.
+	res, err := RunMicro(MicroConfig{
+		Variant:              VariantSPMC,
+		Producers:            1,
+		ConsumersPerProducer: 2,
+		ItemsPerProducer:     2000,
+		QueueSize:            256,
+		Batch:                16,
+		Policy:               affinity.NoAffinity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items < 2000 {
+		t.Fatalf("Items = %d", res.Items)
 	}
 }
 

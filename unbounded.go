@@ -1,0 +1,139 @@
+package ffq
+
+import (
+	"ffq/internal/core"
+	"ffq/internal/segq"
+)
+
+// DefaultSegmentSize is the per-segment ring capacity the unbounded
+// queues use unless WithSegmentSize overrides it.
+const DefaultSegmentSize = core.DefaultSegmentSize
+
+// WithSegmentSize sets the per-segment ring capacity of the unbounded
+// queues; n must be a power of two >= 2 (n <= 0 restores the
+// default). Bounded queues ignore it. Larger segments amortize the
+// segment hand-off across more operations; smaller segments bound the
+// memory a bursty producer strands ahead of slow consumers. See the
+// README's "Unbounded queues" section for sizing guidance.
+func WithSegmentSize(n int) Option { return core.WithSegmentSize(n) }
+
+// Unbounded is a FIFO queue with FFQ^s semantics and no capacity
+// limit: one producer goroutine, any number of consumers. Instead of
+// a single ring, it links fixed-size FFQ ring segments into a list;
+// the producer never waits for consumers — where the bounded SPMC
+// spins on a full ring, Unbounded links a fresh (or recycled) segment
+// and keeps going, so Enqueue is unconditionally wait-free. Drained
+// segments are recycled through an internal pool, keeping
+// steady-state operation allocation-free.
+//
+// Use the bounded SPMC when the application wants backpressure;
+// use Unbounded when producers must never block (event logs,
+// telemetry fan-out) and memory may grow with the backlog instead.
+type Unbounded[T any] struct{ q *segq.SPMC[T] }
+
+// NewUnbounded returns an unbounded SPMC queue. Accepts the same
+// options as the bounded variants plus WithSegmentSize.
+func NewUnbounded[T any](opts ...Option) (*Unbounded[T], error) {
+	q, err := segq.NewSPMC[T](core.ResolveOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
+	return &Unbounded[T]{q: q}, nil
+}
+
+// Enqueue inserts v at the tail. Wait-free, never blocks. Producer
+// goroutine only.
+func (u *Unbounded[T]) Enqueue(v T) { u.q.Enqueue(v) }
+
+// EnqueueBatch inserts vs in order. Consumers can start draining the
+// head of the batch immediately; the tail publication and
+// instrumentation are amortized across the batch. Producer goroutine
+// only.
+func (u *Unbounded[T]) EnqueueBatch(vs []T) { u.q.EnqueueBatch(vs) }
+
+// Dequeue removes the next item, blocking while the queue is empty;
+// ok=false after Close once drained. Safe for any number of
+// concurrent consumers.
+func (u *Unbounded[T]) Dequeue() (v T, ok bool) { return u.q.Dequeue() }
+
+// DequeueBatch fills dst from one contiguous claim of len(dst) ranks
+// — a single fetch-and-add regardless of batch size. It blocks until
+// the whole batch is delivered; n < len(dst) happens only after
+// Close, once the backlog runs out, and implies ok=false. A blocked
+// batch delays later-ranked consumers behind it, so size batches to
+// the expected flow. Safe for concurrent consumers.
+func (u *Unbounded[T]) DequeueBatch(dst []T) (n int, ok bool) { return u.q.DequeueBatch(dst) }
+
+// Close marks the queue closed (producer side, after the final
+// Enqueue).
+func (u *Unbounded[T]) Close() { u.q.Close() }
+
+// Len approximates the number of queued items.
+func (u *Unbounded[T]) Len() int { return u.q.Len() }
+
+// SegmentSize returns the per-segment ring capacity.
+func (u *Unbounded[T]) SegmentSize() int { return u.q.SegmentSize() }
+
+// Segments returns the instantaneous number of live segments; Segments
+// x SegmentSize approximates the queue's current memory footprint in
+// cells.
+func (u *Unbounded[T]) Segments() int { return u.q.Segments() }
+
+// Stats snapshots the queue's instrumentation counters. The segment
+// accounting (SegsAllocated, SegsRecycled, SegsRetired, SegsLive) is
+// always populated; operation counters need WithInstrumentation.
+func (u *Unbounded[T]) Stats() Stats { return u.q.Stats() }
+
+// UnboundedMPMC is the multi-producer unbounded queue. An enqueue
+// claims a rank with one fetch-and-add and then uses the same cell
+// handshake as Unbounded — notably cheaper than the bounded MPMC's
+// emulated double-width CAS, because ranks never wrap and so never
+// need gap or round bookkeeping. Retired segments are handed to the
+// garbage collector rather than recycled (the recycling pool serves
+// only never-shared segments), the price of keeping multi-producer
+// segment linking safe; see internal/segq for the full argument.
+type UnboundedMPMC[T any] struct{ q *segq.MPMC[T] }
+
+// NewUnboundedMPMC returns an unbounded MPMC queue. Accepts the same
+// options as the bounded variants plus WithSegmentSize.
+func NewUnboundedMPMC[T any](opts ...Option) (*UnboundedMPMC[T], error) {
+	q, err := segq.NewMPMC[T](core.ResolveOptions(opts...))
+	if err != nil {
+		return nil, err
+	}
+	return &UnboundedMPMC[T]{q: q}, nil
+}
+
+// Enqueue inserts v at the tail. Lock-free, never blocks on
+// consumers. Safe for concurrent producers.
+func (u *UnboundedMPMC[T]) Enqueue(v T) { u.q.Enqueue(v) }
+
+// EnqueueBatch inserts vs as one contiguous rank run claimed with a
+// single fetch-and-add: even under producer contention the batch
+// surfaces as an unbroken FIFO run. Safe for concurrent producers.
+func (u *UnboundedMPMC[T]) EnqueueBatch(vs []T) { u.q.EnqueueBatch(vs) }
+
+// Dequeue removes the next item, blocking while the queue is empty;
+// ok=false after Close once drained. Safe for concurrent consumers.
+func (u *UnboundedMPMC[T]) Dequeue() (v T, ok bool) { return u.q.Dequeue() }
+
+// DequeueBatch fills dst from one contiguous claim of len(dst) ranks.
+// See Unbounded.DequeueBatch for the blocking contract.
+func (u *UnboundedMPMC[T]) DequeueBatch(dst []T) (n int, ok bool) { return u.q.DequeueBatch(dst) }
+
+// Close marks the queue closed. Call only after every producer's
+// final Enqueue has returned.
+func (u *UnboundedMPMC[T]) Close() { u.q.Close() }
+
+// Len approximates the number of queued items.
+func (u *UnboundedMPMC[T]) Len() int { return u.q.Len() }
+
+// SegmentSize returns the per-segment ring capacity.
+func (u *UnboundedMPMC[T]) SegmentSize() int { return u.q.SegmentSize() }
+
+// Segments returns the instantaneous number of live segments.
+func (u *UnboundedMPMC[T]) Segments() int { return u.q.Segments() }
+
+// Stats snapshots the queue's instrumentation counters; segment
+// accounting is always populated.
+func (u *UnboundedMPMC[T]) Stats() Stats { return u.q.Stats() }

@@ -1,0 +1,184 @@
+package ffq_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffq"
+)
+
+func TestPublicUnbounded(t *testing.T) {
+	q, err := ffq.NewUnbounded[int](ffq.WithSegmentSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SegmentSize() != 8 {
+		t.Fatalf("SegmentSize = %d", q.SegmentSize())
+	}
+	const consumers = 4
+	const items = 10000 // 1250 segments of 8: grows and recycles heavily
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				sum.Add(int64(v))
+			}
+		}()
+	}
+	for i := 1; i <= items; i++ {
+		q.Enqueue(i)
+	}
+	q.Close()
+	wg.Wait()
+	if want := int64(items) * (items + 1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+	s := q.Stats()
+	if s.SegsRetired < 100 {
+		t.Fatalf("SegsRetired = %d: recycling not exercised", s.SegsRetired)
+	}
+	if s.SegsLive != s.SegsAllocated+s.SegsRecycled-s.SegsRetired {
+		t.Fatalf("segment accounting inconsistent: %+v", s)
+	}
+}
+
+func TestPublicUnboundedMPMC(t *testing.T) {
+	q, err := ffq.NewUnboundedMPMC[uint64](ffq.WithSegmentSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const perWorker = 5000
+	var sum atomic.Uint64
+	var prod, cons sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		prod.Add(1)
+		go func() {
+			defer prod.Done()
+			for i := 0; i < perWorker; i++ {
+				q.Enqueue(uint64(i + 1))
+			}
+		}()
+	}
+	total := int64(workers * perWorker)
+	var tickets atomic.Int64
+	for c := 0; c < workers; c++ {
+		cons.Add(1)
+		go func() {
+			defer cons.Done()
+			for tickets.Add(1) <= total {
+				v, ok := q.Dequeue()
+				if !ok {
+					t.Error("claimed rank reported dead")
+					return
+				}
+				sum.Add(v)
+			}
+		}()
+	}
+	prod.Wait()
+	cons.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after balanced ops", q.Len())
+	}
+	if want := uint64(workers) * perWorker * (perWorker + 1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+	q.Close()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained closed queue returned ok")
+	}
+}
+
+// TestPublicUnboundedBatch round-trips batches through both unbounded
+// facades and checks the batch histogram lands in Stats.
+func TestPublicUnboundedBatch(t *testing.T) {
+	q, err := ffq.NewUnbounded[int](ffq.WithSegmentSize(8), ffq.WithInstrumentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]int, 64)
+	for i := range vs {
+		vs[i] = i
+	}
+	q.EnqueueBatch(vs)
+	dst := make([]int, 64)
+	if n, ok := q.DequeueBatch(dst); !ok || n != 64 {
+		t.Fatalf("DequeueBatch = %d,%v", n, ok)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("dst[%d] = %d", i, v)
+		}
+	}
+	s := q.Stats()
+	if s.Enqueues != 64 || s.Dequeues != 64 {
+		t.Fatalf("ops: %+v", s)
+	}
+	if s.BatchCount != 2 || s.BatchSumItems != 128 {
+		t.Fatalf("batch stats: %+v", s)
+	}
+
+	m, err := ffq.NewUnboundedMPMC[int](ffq.WithSegmentSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnqueueBatch(vs)
+	if n, ok := m.DequeueBatch(dst); !ok || n != 64 {
+		t.Fatalf("MPMC DequeueBatch = %d,%v", n, ok)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("MPMC dst[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestPublicUnboundedGrowth: the producer runs 64 segments ahead with
+// no consumer at all — the defining capability the bounded variants
+// lack — and Segments tracks the growth.
+func TestPublicUnboundedGrowth(t *testing.T) {
+	q, err := ffq.NewUnbounded[int](ffq.WithSegmentSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 4 * 64
+	for i := 0; i < items; i++ {
+		q.Enqueue(i)
+	}
+	if got := q.Segments(); got < 60 {
+		t.Fatalf("Segments = %d after a %d-segment burst", got, items/4)
+	}
+	for i := 0; i < items; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("drain #%d = %d,%v", i, v, ok)
+		}
+	}
+	if got := q.Segments(); got > 2 {
+		t.Fatalf("Segments = %d after drain; retirement not keeping up", got)
+	}
+}
+
+func TestPublicUnboundedValidation(t *testing.T) {
+	if _, err := ffq.NewUnbounded[int](ffq.WithSegmentSize(12)); err == nil {
+		t.Error("Unbounded: non-power-of-two segment size accepted")
+	}
+	if _, err := ffq.NewUnboundedMPMC[int](ffq.WithSegmentSize(5)); err == nil {
+		t.Error("UnboundedMPMC: non-power-of-two segment size accepted")
+	}
+	q, err := ffq.NewUnbounded[int]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SegmentSize() != ffq.DefaultSegmentSize {
+		t.Fatalf("default SegmentSize = %d, want %d", q.SegmentSize(), ffq.DefaultSegmentSize)
+	}
+}
