@@ -1,0 +1,126 @@
+// Command ffq-lint runs the module's concurrency-invariant lint suite
+// (internal/analysis): five AST- and type-driven checkers, built only
+// on the standard library's go/parser, go/ast, go/types and
+// go/importer, that enforce the conventions the FFQ algorithms depend
+// on — atomic access discipline, cache-line padding, hot-path purity,
+// spin-loop backoff, and (rank,gap) word packing.
+//
+// Usage:
+//
+//	ffq-lint [flags] [packages]
+//
+// Packages are directory patterns relative to the working directory
+// ("./...", "./internal/core"); the default is "./...". Exit status is
+// 0 when clean, 1 when findings were reported, 2 on load errors, and
+// 3 when -selfcheck detects a corpus mismatch.
+//
+// Flags:
+//
+//	-list       print the check IDs and their one-line docs, then exit
+//	-selfcheck  verify the analyzer against its own testdata corpus:
+//	            every injected violation must be reported and nothing
+//	            else (this is the self-test CI runs)
+//	-werror     treat malformed //ffq: markers as findings even when
+//	            the tree is otherwise clean (default true)
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ffq/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	list := false
+	selfcheck := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-list", "--list":
+			list = true
+		case "-selfcheck", "--selfcheck":
+			selfcheck = true
+		case "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: ffq-lint [-list] [-selfcheck] [packages]")
+			return 0
+		default:
+			if len(a) > 1 && a[0] == '-' {
+				fmt.Fprintf(os.Stderr, "ffq-lint: unknown flag %s\n", a)
+				return 2
+			}
+			patterns = append(patterns, a)
+		}
+	}
+
+	if list {
+		for _, c := range analysis.Checks() {
+			fmt.Printf("%-18s %s\n", c.ID(), c.Doc())
+		}
+		fmt.Printf("%-18s %s\n", "marker", "//ffq: marker comments must be well-formed and correctly placed")
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-lint:", err)
+		return 2
+	}
+	l, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-lint:", err)
+		return 2
+	}
+
+	if selfcheck {
+		corpus := filepath.Join(l.ModuleRoot, "internal", "analysis", "testdata", "src")
+		n, err := analysis.VerifyCorpus(corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-lint:", err)
+			return 3
+		}
+		fmt.Printf("ffq-lint: selfcheck ok (%d injected violations all caught)\n", n)
+		return 0
+	}
+
+	dirs, err := l.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-lint:", err)
+		return 2
+	}
+	pkgs, err := l.LoadDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ffq-lint:", err)
+		return 2
+	}
+	hard := 0
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "ffq-lint: %s: %v\n", p.Path, te)
+			hard++
+		}
+	}
+	if hard > 0 {
+		fmt.Fprintf(os.Stderr, "ffq-lint: %d type error(s); refusing to certify\n", hard)
+		return 2
+	}
+
+	findings := analysis.Run(l, pkgs)
+	for _, f := range findings {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(cwd, rel); err == nil && !filepath.IsAbs(r) {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ffq-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,163 @@
+// Package analysis is ffq's concurrency-invariant lint suite: a set of
+// AST- and type-driven checkers, written purely against the standard
+// library's go/parser, go/ast, go/types and go/importer packages, that
+// machine-check the conventions the FFQ algorithms depend on but the
+// compiler cannot see.
+//
+// # Checks
+//
+//   - atomic-discipline: a struct field accessed through sync/atomic
+//     must never be read or written plainly elsewhere, and sync/atomic
+//     values (atomic.Int64, atomic.Pointer[T], ...) must never be
+//     copied by value.
+//   - padding: a struct marked //ffq:padded must have a types.Sizes
+//     size that is a multiple of the cache-line constant
+//     (core.CacheLineSize), and no two atomic fields of the struct may
+//     share a cache-line-sized block.
+//   - hotpath-purity: a function marked //ffq:hotpath must not
+//     allocate, call fmt/time/sync/os/log/reflect, range over a map,
+//     box values into interfaces, spawn goroutines, or defer. Blocks
+//     guarded by an instrumentation nil-check (if rec != nil, where
+//     rec is a *Recorder) are exempt: they are off the uninstrumented
+//     fast path by construction.
+//   - spin-backoff: a for loop that retries an atomic Load or
+//     CompareAndSwap must reach a backoff point — a call into
+//     internal/core/backoff.go, runtime.Gosched, time.Sleep, or a
+//     helper that directly performs one of those.
+//   - lap-packing: the packed 64-bit (rank, gap) word is only built and
+//     split through functions marked //ffq:packhelper; ad-hoc 32-bit
+//     shifts on 64-bit words are flagged anywhere else.
+//
+// # Markers
+//
+// Markers are magic comments with no space after //, mirroring
+// //go:build:
+//
+//	//ffq:hotpath            on a function declaration
+//	//ffq:padded             on a struct type declaration
+//	//ffq:packhelper         on a function declaration
+//	//ffq:ignore CHECK reason  suppresses CHECK findings on the
+//	                           comment's own line and the next line
+//
+// A malformed marker (unknown verb, ignore without a check ID or
+// reason) is itself reported under the check ID "marker".
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+}
+
+// Check is one invariant checker.
+type Check interface {
+	// ID is the stable check identifier used in reports and
+	// //ffq:ignore comments.
+	ID() string
+	// Doc is a one-line description.
+	Doc() string
+	// Run reports the violations found in pkg. Implementations must
+	// tolerate packages with type errors (missing types.Info entries)
+	// and must never panic on malformed input.
+	Run(ctx *Context, pkg *Package) []Finding
+}
+
+// Context carries module-wide facts shared by all checkers.
+type Context struct {
+	// CacheLine is the padding granularity, read from the module's
+	// internal/core CacheLineSize constant when that package is among
+	// the loaded set, 64 otherwise.
+	CacheLine int64
+	// loader gives cross-package access (function declaration lookup
+	// for the spin-backoff one-level expansion). Nil in single-source
+	// mode (CheckSource).
+	loader *Loader
+}
+
+// Checks returns the full suite in reporting order.
+func Checks() []Check {
+	return []Check{
+		&atomicCheck{},
+		&paddingCheck{},
+		&hotpathCheck{},
+		&spinCheck{},
+		&lapCheck{},
+	}
+}
+
+// CheckIDs returns the stable identifiers of every check in the suite,
+// plus the pseudo-check "marker" used for malformed markers.
+func CheckIDs() []string {
+	ids := []string{markerCheckID}
+	for _, c := range Checks() {
+		ids = append(ids, c.ID())
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// validCheckID reports whether id names a check (for //ffq:ignore
+// validation). "all" is accepted and suppresses every check.
+func validCheckID(id string) bool {
+	if id == "all" || id == markerCheckID {
+		return true
+	}
+	for _, c := range Checks() {
+		if c.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the whole suite over the loaded packages, applies
+// //ffq:ignore suppressions, folds in malformed-marker findings, and
+// returns the surviving findings sorted by position.
+func Run(l *Loader, pkgs []*Package) []Finding {
+	ctx := &Context{CacheLine: 64, loader: l}
+	if l != nil {
+		if cl, ok := l.cacheLineConst(); ok {
+			ctx.CacheLine = cl
+		}
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		var raw []Finding
+		raw = append(raw, p.Markers.Bad...)
+		for _, c := range Checks() {
+			raw = append(raw, c.Run(ctx, p)...)
+		}
+		for _, f := range raw {
+			if p.Markers.suppressed(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

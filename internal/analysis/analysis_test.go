@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCheckIDs pins the public check vocabulary: IDs are part of the
+// //ffq:ignore and //want: grammars, so renaming one is a breaking
+// change for every annotation in the tree.
+func TestCheckIDs(t *testing.T) {
+	want := []string{
+		"atomic-discipline",
+		"hotpath-purity",
+		"lap-packing",
+		"marker",
+		"padding",
+		"spin-backoff",
+	}
+	if got := CheckIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CheckIDs() = %v, want %v", got, want)
+	}
+}
+
+// TestCorpus is the golden-file suite: it runs every checker over the
+// injected-violation corpus and requires an exact bidirectional match
+// between findings and //want: comments — every wanted finding fires,
+// and nothing unwanted does (the negative cases in each package).
+func TestCorpus(t *testing.T) {
+	n, err := VerifyCorpus(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("corpus produced zero findings; the checkers are not running")
+	}
+	t.Logf("corpus: %d findings, all matched by //want: comments", n)
+}
+
+// TestShippedTreeClean loads and type-checks the whole module and
+// asserts the suite reports nothing: the conventions the checkers
+// enforce actually hold in the shipped tree.
+func TestShippedTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Expand(l.ModuleRoot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, te)
+		}
+	}
+	for _, f := range Run(l, pkgs) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestWantOffset covers the //want+1: form directly: the markers
+// corpus package depends on it, so a regression here would silently
+// hollow out that case.
+func TestWantOffset(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", "markers")
+	pkgs, err := l.LoadDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := parseWants(pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("markers corpus has no wants")
+	}
+	findings := Run(l, pkgs)
+	if len(findings) != len(wants) {
+		t.Fatalf("markers corpus: %d findings, %d wants", len(findings), len(wants))
+	}
+	for _, w := range wants {
+		if w.check != markerCheckID {
+			t.Errorf("markers corpus want %s is not a marker expectation", w)
+		}
+	}
+}

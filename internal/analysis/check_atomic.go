@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicCheck enforces atomic discipline:
+//
+//  1. sync/atomic values (atomic.Int64, atomic.Pointer[T], ...) must
+//     never be copied: no by-value parameters, results, receivers,
+//     assignments, call arguments, or composite-literal elements that
+//     copy an existing atomic value.
+//  2. a struct field whose address is passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1) style) must never be read or written
+//     plainly anywhere else in the package.
+type atomicCheck struct{}
+
+func (atomicCheck) ID() string { return "atomic-discipline" }
+func (atomicCheck) Doc() string {
+	return "fields accessed via sync/atomic must never be accessed plainly, and atomic values must not be copied"
+}
+
+func (c atomicCheck) Run(ctx *Context, p *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(n.Pos()),
+			Check:   c.ID(),
+			Message: sprintf(format, args...),
+		})
+	}
+
+	// atomicFields collects fields the package accesses through
+	// sync/atomic package functions; allowedSel marks the selector
+	// expressions that constitute those sanctioned accesses.
+	atomicFields := make(map[types.Object]bool)
+	allowedSel := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if pkgPathOf(callee) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObjOf(p.Info, sel); obj != nil {
+					atomicFields[obj] = true
+					allowedSel[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if allowedSel[n] {
+					return true
+				}
+				obj := fieldObjOf(p.Info, n)
+				if obj != nil && atomicFields[obj] {
+					report(n, "plain access to field %s, which is accessed with sync/atomic elsewhere (use the atomic API everywhere)", obj.Name())
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					c.checkCopy(p, rhs, "assignment copies", report)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					c.checkCopy(p, v, "initialization copies", report)
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					c.checkCopy(p, elt, "composite literal copies", report)
+				}
+			case *ast.CallExpr:
+				if isConversion(p.Info, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					c.checkCopy(p, arg, "call passes", report)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					c.checkCopy(p, r, "return copies", report)
+				}
+			case *ast.FuncDecl:
+				c.checkSignature(p, n, report)
+			case *ast.RangeStmt:
+				// range over an array (not slice) of atomics copies
+				// every element into the value variable.
+				if n.Value != nil && isAtomicValueType(typeOf(p.Info, n.Value)) {
+					report(n.Value, "range copies atomic values element-wise (iterate by index or over pointers)")
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkCopy flags e when it denotes an existing sync/atomic value used
+// in a copying context.
+func (atomicCheck) checkCopy(p *Package, e ast.Expr, what string, report func(ast.Node, string, ...any)) {
+	if !denotesExistingValue(e) {
+		return
+	}
+	if t := typeOf(p.Info, e); isAtomicValueType(t) {
+		report(e, "%s atomic value of type %s (operate through a pointer instead)", what, typeString(t))
+	}
+}
+
+// checkSignature flags by-value atomic parameters, results, and
+// receivers.
+func (atomicCheck) checkSignature(p *Package, fd *ast.FuncDecl, report func(ast.Node, string, ...any)) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if t := typeOf(p.Info, field.Type); isAtomicValueType(t) {
+				report(field.Type, "%s of %s takes atomic type %s by value (use a pointer)", what, fd.Name.Name, typeString(t))
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+		check(fd.Type.Results, "result")
+	}
+}
+
+// fieldObjOf resolves sel to a struct field object, or nil.
+func fieldObjOf(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// typeString renders t compactly (trimming the package path of named
+// types to the package name).
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		if p == nil {
+			return ""
+		}
+		return p.Name()
+	})
+}

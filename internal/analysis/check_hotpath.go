@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpathCheck enforces purity of functions marked //ffq:hotpath (the
+// Enqueue/Dequeue/batch paths): no allocation, no calls into
+// fmt/time/sync/os/log/reflect, no map iteration, no interface boxing,
+// no goroutine spawns, no defers.
+//
+// Blocks guarded by an instrumentation nil-check — an if statement
+// whose condition (or any && conjunct of it) is `x != nil` where x is
+// a *Recorder — are exempt from every rule: the repo-wide contract is
+// that such blocks are off the uninstrumented fast path and cost one
+// predicted branch when disabled.
+type hotpathCheck struct{}
+
+func (hotpathCheck) ID() string { return "hotpath-purity" }
+func (hotpathCheck) Doc() string {
+	return "//ffq:hotpath functions must not allocate, box, call fmt/time/sync, or range over maps"
+}
+
+// hotpathDeniedPkgs are packages a hot path must never call into
+// outside an instrumentation guard. sync/atomic and runtime are
+// explicitly fine.
+var hotpathDeniedPkgs = map[string]bool{
+	"fmt": true, "time": true, "sync": true, "os": true,
+	"log": true, "reflect": true,
+}
+
+func (c hotpathCheck) Run(ctx *Context, p *Package) []Finding {
+	var out []Finding
+	for fd := range p.Markers.Hotpath {
+		if fd.Body == nil {
+			continue
+		}
+		name := funcDeclName(fd)
+		report := func(n ast.Node, format string, args ...any) {
+			out = append(out, Finding{
+				Pos:     p.Fset.Position(n.Pos()),
+				Check:   c.ID(),
+				Message: sprintf(format, args...) + " in hotpath function " + name,
+			})
+		}
+		c.walkStmts(p, fd.Body, report)
+	}
+	return out
+}
+
+// walkStmts walks a statement tree, pruning instrumentation-guarded
+// if-bodies and function literals.
+func (c hotpathCheck) walkStmts(p *Package, body ast.Node, report func(ast.Node, string, ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "function literal (closure allocation)")
+			return false
+		case *ast.IfStmt:
+			if isRecorderGuard(p.Info, n.Cond) {
+				// The guarded block is off-path; keep checking Init,
+				// the condition itself, and the else branch.
+				if n.Init != nil {
+					c.walkStmts(p, n.Init, report)
+				}
+				if n.Else != nil {
+					c.walkStmts(p, n.Else, report)
+				}
+				return false
+			}
+		case *ast.GoStmt:
+			report(n, "goroutine spawn")
+		case *ast.DeferStmt:
+			report(n, "defer")
+		case *ast.RangeStmt:
+			if t := typeOf(p.Info, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(n, "range over map (random iteration, hidden hashing)")
+				}
+			}
+		case *ast.CompositeLit:
+			report(n, "composite literal (allocates or copies)")
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !isConstExpr(p.Info, n) {
+				if t := typeOf(p.Info, n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "string concatenation (allocates)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(p, n, report)
+		}
+		return true
+	})
+}
+
+// checkCall applies the call rules: no denied packages, no allocating
+// builtins, no boxing conversions or arguments.
+func (c hotpathCheck) checkCall(p *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	if isConversion(p.Info, call) {
+		if len(call.Args) == 1 {
+			c.checkBox(p, typeOf(p.Info, call.Fun), call.Args[0], "conversion boxes", report)
+			checkAllocConversion(p, call, report)
+		}
+		return
+	}
+	callee := calleeOf(p.Info, call)
+	if b, ok := callee.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make", "new":
+			report(call, b.Name()+" (allocates)")
+		case "append":
+			report(call, "append (may allocate)")
+		case "panic":
+			// Allowed: terminal path. Constant arguments are boxed at
+			// compile time; non-constant arguments box at runtime but
+			// only when already failing.
+		}
+		return
+	}
+	if pkg := pkgPathOf(callee); hotpathDeniedPkgs[pkg] {
+		report(call, "call into package "+pkg)
+	}
+	// Boxing through interface-typed parameters.
+	sig, _ := typeOf(p.Info, call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if params.Len() > 0 {
+				if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		c.checkBox(p, pt, arg, "argument boxes", report)
+	}
+}
+
+// checkBox flags a non-constant, non-interface value flowing into an
+// interface-typed slot.
+func (hotpathCheck) checkBox(p *Package, dst types.Type, src ast.Expr, what string, report func(ast.Node, string, ...any)) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	st := typeOf(p.Info, src)
+	if st == nil {
+		return
+	}
+	if _, ok := st.Underlying().(*types.Interface); ok {
+		return
+	}
+	if isConstExpr(p.Info, src) {
+		return // constants box into static data at compile time
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	report(src, what+" "+typeString(st)+" into interface "+typeString(dst))
+}
+
+// checkAllocConversion flags conversions that copy memory:
+// string<->[]byte/[]rune.
+func checkAllocConversion(p *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	dst := typeOf(p.Info, call.Fun)
+	src := typeOf(p.Info, call.Args[0])
+	if dst == nil || src == nil || isConstExpr(p.Info, call) {
+		return
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isSlice := func(t types.Type) bool {
+		_, ok := t.Underlying().(*types.Slice)
+		return ok
+	}
+	if (isStr(dst) && isSlice(src)) || (isSlice(dst) && isStr(src)) {
+		report(call, "string/slice conversion (copies and allocates)")
+	}
+}
+
+// isRecorderGuard reports whether cond is an instrumentation
+// nil-check: `x != nil` (or a && chain containing one) where x's type
+// is a pointer to a named type called Recorder.
+func isRecorderGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LAND:
+		return isRecorderGuard(info, be.X) || isRecorderGuard(info, be.Y)
+	case token.NEQ:
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			x, y := pair[0], pair[1]
+			if id, ok := ast.Unparen(y).(*ast.Ident); !ok || id.Name != "nil" {
+				continue
+			} else if info.Uses[id] != types.Universe.Lookup("nil") && info.Uses[id] != nil {
+				continue
+			}
+			if isRecorderPtr(typeOf(info, x)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isRecorderPtr reports whether t is *SomePkg.Recorder.
+func isRecorderPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "Recorder"
+}

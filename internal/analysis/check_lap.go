@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// lapCheck guards the packed 64-bit (rank, gap) word of the MPMC
+// emulated double-CAS (core/mpmc.go): the word layout is
+// [rank lap : 32][gap lap : 32], and every build/split of it must go
+// through the designated //ffq:packhelper functions (mpmcPack,
+// mpmcUnpack). Ad-hoc 32-bit shifts on 64-bit integers anywhere else
+// silently duplicate the layout and rot when it changes, so they are
+// flagged module-wide.
+type lapCheck struct{}
+
+func (lapCheck) ID() string { return "lap-packing" }
+func (lapCheck) Doc() string {
+	return "the packed (rank,gap) word is built/split only by //ffq:packhelper functions"
+}
+
+func (c lapCheck) Run(ctx *Context, p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if p.Markers.PackHelper[fd] || fd.Body == nil {
+				continue
+			}
+			walkSkipFuncLit(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				if be.Op != token.SHL && be.Op != token.SHR {
+					return true
+				}
+				if !isConst32(p.Info, be.Y) || isConstExpr(p.Info, be) {
+					return true
+				}
+				if !is64BitInt(p.Info, be.X) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:     p.Fset.Position(be.Pos()),
+					Check:   c.ID(),
+					Message: "ad-hoc 32-bit shift builds or splits a packed word; use the //ffq:packhelper pack/unpack helpers (core.mpmcPack/mpmcUnpack) instead",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isConst32 reports whether e is the compile-time constant 32.
+func isConst32(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == 32
+}
+
+// is64BitInt reports whether e's type is a 64-bit integer (the width
+// of the packed word).
+func is64BitInt(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint64, types.Int64:
+		return true
+	}
+	return false
+}

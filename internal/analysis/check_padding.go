@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// paddingCheck verifies structs marked //ffq:padded against the
+// cache-line layout rules the paper's Section IV-A study motivates:
+//
+//  1. the struct's types.Sizes size must be a multiple of the
+//     cache-line constant (core.CacheLineSize), so that arrays and
+//     neighbouring allocations cannot fold two instances into one
+//     line, and
+//  2. no two sync/atomic fields of the struct may fall into the same
+//     cache-line-sized block (offsets taken from types.Sizes,
+//     assuming a line-aligned base), so that independently updated
+//     hot words never false-share.
+//
+// Fields of struct type that themselves contain atomics are not
+// expanded: nesting is the sanctioned idiom for grouping deliberately
+// co-located cold counters (see obs.prodLine).
+type paddingCheck struct{}
+
+func (paddingCheck) ID() string { return "padding" }
+func (paddingCheck) Doc() string {
+	return "//ffq:padded structs must be cache-line multiples with atomic fields on distinct lines"
+}
+
+func (c paddingCheck) Run(ctx *Context, p *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(n.Pos()),
+			Check:   c.ID(),
+			Message: sprintf(format, args...),
+		})
+	}
+	line := ctx.CacheLine
+	if line <= 0 {
+		line = 64
+	}
+
+	for ts := range p.Markers.Padded {
+		obj := p.Info.Defs[ts.Name]
+		if obj == nil || obj.Type() == nil {
+			continue // type errors: nothing reliable to measure
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			report(ts, "//ffq:padded marker on %s, which is not a struct type", ts.Name.Name)
+			continue
+		}
+		size := p.Sizes.Sizeof(st)
+		if size%line != 0 {
+			report(ts, "padded struct %s is %d bytes, not a multiple of the %d-byte cache line (add %d trailing pad bytes)",
+				ts.Name.Name, size, line, line-size%line)
+		}
+
+		n := st.NumFields()
+		if n == 0 {
+			continue
+		}
+		fields := make([]*types.Var, n)
+		for i := 0; i < n; i++ {
+			fields[i] = st.Field(i)
+		}
+		offsets := p.Sizes.Offsetsof(fields)
+		if len(offsets) != n {
+			continue
+		}
+		// blockOf records the first atomic field seen in each
+		// line-sized block.
+		blockOf := make(map[int64]*types.Var)
+		for i, fv := range fields {
+			if !isAtomicValueType(fv.Type()) {
+				continue
+			}
+			block := offsets[i] / line
+			if prev, ok := blockOf[block]; ok {
+				report(fieldNode(ts, fv.Name()), "atomic fields %s and %s of padded struct %s share one %d-byte cache line (separate them with a pad)",
+					prev.Name(), fv.Name(), ts.Name.Name, line)
+				continue
+			}
+			blockOf[block] = fv
+		}
+	}
+	return out
+}
+
+// fieldNode locates the AST node of the named field inside the struct
+// type spec, falling back to the spec itself.
+func fieldNode(ts *ast.TypeSpec, name string) ast.Node {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return ts
+	}
+	for _, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return id
+			}
+		}
+	}
+	return ts
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// wantEntry is one expectation parsed from a corpus //want: comment.
+type wantEntry struct {
+	file   string
+	line   int
+	check  string
+	substr string
+}
+
+func (w wantEntry) String() string {
+	s := fmt.Sprintf("%s:%d: want [%s]", w.file, w.line, w.check)
+	if w.substr != "" {
+		s += fmt.Sprintf(" containing %q", w.substr)
+	}
+	return s
+}
+
+// parseWants extracts the //want: expectations of a loaded package.
+// Grammar, as a trailing comment on the offending line:
+//
+//	//want:check-id
+//	//want:check-id "message substring"
+//
+// The +1 form, on its own line, expects the finding on the following
+// line instead — needed for findings positioned at a marker comment
+// itself, where no second comment can share the line:
+//
+//	//want+1:check-id "message substring"
+func parseWants(p *Package) ([]wantEntry, error) {
+	var wants []wantEntry
+	for _, f := range p.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, "//want")
+				if !ok {
+					continue
+				}
+				offset := 0
+				if r, ok := strings.CutPrefix(rest, "+1"); ok {
+					offset, rest = 1, r
+				}
+				rest, ok = strings.CutPrefix(rest, ":")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				check, arg, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if check == "" || !validCheckID(check) {
+					return nil, fmt.Errorf("%s: malformed //want: comment (unknown check %q)", pos, check)
+				}
+				w := wantEntry{file: pos.Filename, line: pos.Line + offset, check: check}
+				arg = strings.TrimSpace(arg)
+				if arg != "" {
+					sub, err := strconv.Unquote(arg)
+					if err != nil {
+						return nil, fmt.Errorf("%s: //want: substring must be a quoted string: %v", pos, err)
+					}
+					w.substr = sub
+				}
+				wants = append(wants, w)
+			}
+		}
+	}
+	return wants, nil
+}
+
+// VerifyCorpus loads every package directory under root (the corpus
+// layout is root/<case>/*.go), runs the full suite, and checks the
+// findings against the //want: comments: every want must be hit and
+// every finding must be wanted. It returns the total number of
+// findings produced and an error describing any mismatch.
+func VerifyCorpus(root string) (int, error) {
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return 0, err
+	}
+	var dirs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		return 0, fmt.Errorf("no corpus packages under %s", root)
+	}
+
+	l, err := NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var problems []string
+	for _, dir := range dirs {
+		pkgs, err := l.LoadDirs([]string{dir})
+		if err != nil {
+			return total, fmt.Errorf("loading corpus %s: %v", dir, err)
+		}
+		for _, p := range pkgs {
+			for _, te := range p.TypeErrors {
+				problems = append(problems, fmt.Sprintf("%s: corpus does not type-check: %v", dir, te))
+			}
+		}
+		findings := Run(l, pkgs)
+		total += len(findings)
+		wants, err := parseWants(pkgs[0])
+		if err != nil {
+			return total, err
+		}
+		matched := make([]bool, len(findings))
+		for _, w := range wants {
+			hit := false
+			for i, f := range findings {
+				if matched[i] || f.Pos.Filename != w.file || f.Pos.Line != w.line || f.Check != w.check {
+					continue
+				}
+				if w.substr != "" && !strings.Contains(f.Message, w.substr) {
+					continue
+				}
+				matched[i], hit = true, true
+				break
+			}
+			if !hit {
+				problems = append(problems, fmt.Sprintf("missing finding: %s", w))
+			}
+		}
+		for i, f := range findings {
+			if !matched[i] {
+				problems = append(problems, fmt.Sprintf("unexpected finding: %s", f))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		return total, fmt.Errorf("corpus self-check failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return total, nil
+}

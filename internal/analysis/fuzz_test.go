@@ -1,0 +1,44 @@
+package analysis
+
+import "testing"
+
+// FuzzLintParse drives arbitrary source through the single-file
+// analysis entry point. The invariant: the marker parser and every
+// checker tolerate any input — malformed markers, type errors, partial
+// type info — without panicking. Seeds cover every marker verb in
+// well-formed, truncated, and misplaced positions.
+func FuzzLintParse(f *testing.F) {
+	seeds := []string{
+		"package p\n",
+		"package p\n//ffq:ignore\n",
+		"package p\n//ffq:ignore spin-backoff because the loop is bounded\nfunc f() {}\n",
+		"//ffq:padded\npackage p\n",
+		"package p\n\n//ffq:hotpath\nfunc f() { go f() }\n",
+		"package p\n\n//ffq:hotpath\nfunc f() { defer f() }\n",
+		"package p\n\n//ffq:padded\ntype T struct{ a, b int64 }\n",
+		"package p\n\n//ffq:padded\ntype T int\n",
+		"package p\n\n//ffq:packhelper\nfunc pk(x uint32) uint64 { return uint64(x) << 32 }\n",
+		"package p\n\nfunc g(w uint64) uint64 { return w >> 32 }\n",
+		"package p\n\n//ffq:frobnicate\nvar x int\n",
+		"package p\n//ffq:hotpath trailing junk\nvar x int\n",
+		"package p\nimport \"sync/atomic\"\nvar v atomic.Int64\nfunc h() { for { if v.Load() == 0 { break } } }\n",
+		"package p\nimport \"sync/atomic\"\ntype s struct{ n int64 }\nfunc h(x *s) { atomic.AddInt64(&x.n, 1); x.n = 2 }\n",
+		"package p\n//want:padding \"x\"\n//want+1:marker\n",
+		"package p\n//ffq:ignore all \x00\xff\n",
+		"package p\n//ffq:",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		findings, err := CheckSource("fuzz.go", src)
+		if err != nil {
+			return // unparseable input is expected; panicking is the bug
+		}
+		for _, fd := range findings {
+			if fd.Check == "" {
+				t.Fatalf("finding with empty check ID: %+v", fd)
+			}
+		}
+	})
+}

@@ -1,0 +1,506 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/constant"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package together with everything
+// the checkers need.
+type Package struct {
+	Path    string // import path ("ffq/internal/core")
+	Dir     string // absolute directory
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Sizes   types.Sizes
+	Markers *Markers
+	// TypeErrors collects type-checker diagnostics. The checkers still
+	// run (guarding every Info lookup), but drivers usually refuse to
+	// certify a tree that does not type-check.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages of one module using only the
+// standard library: module-internal imports resolve through the loader
+// itself, everything else through the source importer (which compiles
+// stdlib packages from GOROOT source, so no export data is needed).
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+	Sizes      types.Sizes
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+	// decls indexes every function declaration of every loaded module
+	// package by its types object, for cross-package body lookups.
+	decls map[types.Object]*ast.FuncDecl
+}
+
+// NewLoader locates the enclosing module of dir and returns a loader
+// for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, path, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: path,
+		Sizes:      sizes,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		decls:      make(map[types.Object]*ast.FuncDecl),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					mp := strings.TrimSpace(rest)
+					mp = strings.Trim(mp, `"`)
+					if mp != "" {
+						return d, mp, nil
+					}
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module path", filepath.Join(d, "go.mod"))
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Expand resolves package patterns ("./...", "./internal/core", a bare
+// directory) relative to base into package directories: directories
+// containing at least one buildable non-test .go file. testdata,
+// vendor, hidden and underscore-prefixed directories are skipped by
+// ... expansion, matching the go tool.
+func (l *Loader) Expand(base string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] && l.hasGoFiles(d) {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, pat = true, rest
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(base, dir)
+		}
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("pattern %q: not a directory", pat)
+		}
+		if !rec {
+			add(dir)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir holds at least one buildable non-test
+// Go file.
+func (l *Loader) hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if e.IsDir() || !includeFileName(e.Name()) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// importPathOf maps a directory under the module root to its import
+// path.
+func (l *Loader) importPathOf(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDirs loads the given package directories (and, transitively,
+// their module-internal imports).
+func (l *Loader) LoadDirs(dirs []string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, dir := range dirs {
+		dir, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		path, err := l.importPathOf(dir)
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Import implements types.Importer over module-internal paths, with
+// the source importer covering the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.loadPath(path, filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("package %s did not type-check", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadPath parses and type-checks one package directory (memoized).
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !includeFileName(e.Name()) {
+			continue
+		}
+		fn := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		if !includeFileTags(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	p := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Sizes: l.Sizes,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    l.Sizes,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check returns an error when any diagnostic fired; the collected
+	// TypeErrors carry the details, and partial Info is still usable.
+	p.Types, _ = conf.Check(path, l.Fset, files, p.Info)
+	p.Markers = parseMarkers(l.Fset, files)
+	for ident, obj := range p.Info.Defs {
+		if _, ok := obj.(*types.Func); ok {
+			if fd := findFuncDecl(files, ident); fd != nil {
+				l.decls[obj] = fd
+			}
+		}
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// findFuncDecl locates the FuncDecl whose name is ident.
+func findFuncDecl(files []*ast.File, ident *ast.Ident) *ast.FuncDecl {
+	for _, f := range files {
+		if f.Pos() <= ident.Pos() && ident.Pos() <= f.End() {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name == ident {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// declOf returns the FuncDecl of a module function object, or nil.
+func (l *Loader) declOf(obj types.Object) *ast.FuncDecl {
+	if l == nil {
+		return nil
+	}
+	return l.decls[obj]
+}
+
+// cacheLineConst reads the CacheLineSize constant from the module's
+// internal/core package when it is among the loaded set.
+func (l *Loader) cacheLineConst() (int64, bool) {
+	p, ok := l.pkgs[l.ModulePath+"/internal/core"]
+	if !ok || p.Types == nil {
+		return 0, false
+	}
+	obj := p.Types.Scope().Lookup("CacheLineSize")
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+	return v, ok
+}
+
+// goosList and goarchList are the filename-suffix vocabularies the go
+// tool recognizes (subset sufficient for this module).
+var goosList = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var goarchList = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// includeFileName applies the _test and _GOOS/_GOARCH filename rules
+// against the current runtime platform.
+func includeFileName(name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	// Trailing _GOARCH, _GOOS, or _GOOS_GOARCH constrain the file. The
+	// first token is the base name and never a constraint.
+	if len(parts) >= 2 {
+		last := parts[len(parts)-1]
+		if goarchList[last] {
+			if last != runtime.GOARCH {
+				return false
+			}
+			if len(parts) >= 3 && goosList[parts[len(parts)-2]] {
+				return parts[len(parts)-2] == runtime.GOOS
+			}
+			return true
+		}
+		if goosList[last] {
+			return last == runtime.GOOS
+		}
+	}
+	return true
+}
+
+// includeFileTags evaluates the file's build constraints (both
+// //go:build and legacy // +build) against the runtime platform.
+func includeFileTags(src []byte) bool {
+	var exprs []constraint.Expr
+	var goBuild constraint.Expr
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if constraint.IsGoBuild(trimmed) {
+			if x, err := constraint.Parse(trimmed); err == nil {
+				goBuild = x
+			}
+		} else if constraint.IsPlusBuild(trimmed) {
+			if x, err := constraint.Parse(trimmed); err == nil {
+				exprs = append(exprs, x)
+			}
+		}
+	}
+	ok := func(tag string) bool {
+		switch {
+		case tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc":
+			return true
+		case tag == "unix":
+			return unixOS[runtime.GOOS]
+		case strings.HasPrefix(tag, "go1."):
+			return true // assume a current toolchain
+		}
+		return false
+	}
+	if goBuild != nil {
+		return goBuild.Eval(ok)
+	}
+	for _, x := range exprs {
+		if !x.Eval(ok) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckSource parses and analyzes a single standalone source file with
+// imports left unresolved (types.Info is partial). It is the
+// entry point of the FuzzLintParse target and must never panic on any
+// parseable input.
+func CheckSource(filename string, src []byte) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	files := []*ast.File{f}
+	p := &Package{
+		Path:  "fuzz",
+		Fset:  fset,
+		Files: files,
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	if p.Sizes == nil {
+		p.Sizes = types.SizesFor("gc", "amd64")
+	}
+	conf := types.Config{
+		Importer: failImporter{},
+		Sizes:    p.Sizes,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Types, _ = conf.Check("fuzz", fset, files, p.Info)
+	p.Markers = parseMarkers(fset, files)
+
+	ctx := &Context{CacheLine: 64}
+	var out []Finding
+	out = append(out, p.Markers.Bad...)
+	for _, c := range Checks() {
+		out = append(out, c.Run(ctx, p)...)
+	}
+	var kept []Finding
+	for _, f := range out {
+		if !p.Markers.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}
+
+// failImporter rejects every import; CheckSource uses it so that fuzz
+// inputs cannot reach the filesystem or the go command.
+type failImporter struct{}
+
+func (failImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return nil, fmt.Errorf("import %q not available in single-source mode", path)
+}

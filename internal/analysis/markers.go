@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// markerCheckID is the pseudo-check under which malformed //ffq:
+// markers are reported.
+const markerCheckID = "marker"
+
+const markerPrefix = "//ffq:"
+
+// ignoreDirective is one parsed //ffq:ignore comment.
+type ignoreDirective struct {
+	check  string
+	reason string
+}
+
+// Markers holds the parsed //ffq: markers of one package.
+type Markers struct {
+	// Hotpath and PackHelper are the function declarations carrying the
+	// corresponding marker; Padded the struct type declarations.
+	Hotpath    map[*ast.FuncDecl]bool
+	PackHelper map[*ast.FuncDecl]bool
+	Padded     map[*ast.TypeSpec]bool
+	// ignores maps filename -> line -> directives. A directive
+	// suppresses findings on its own line and the following line.
+	ignores map[string]map[int][]ignoreDirective
+	// Bad collects malformed or misplaced markers as findings.
+	Bad []Finding
+}
+
+// suppressed reports whether an //ffq:ignore directive covers f.
+func (m *Markers) suppressed(f Finding) bool {
+	if m == nil {
+		return false
+	}
+	lines := m.ignores[f.Pos.Filename]
+	for _, ln := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range lines[ln] {
+			if d.check == "all" || d.check == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseMarkers extracts every //ffq: marker from the files, attaching
+// declaration markers to their declarations and recording malformed
+// ones as findings.
+func parseMarkers(fset *token.FileSet, files []*ast.File) *Markers {
+	m := &Markers{
+		Hotpath:    make(map[*ast.FuncDecl]bool),
+		PackHelper: make(map[*ast.FuncDecl]bool),
+		Padded:     make(map[*ast.TypeSpec]bool),
+		ignores:    make(map[string]map[int][]ignoreDirective),
+	}
+	consumed := make(map[*ast.Comment]bool)
+
+	markerIn := func(g *ast.CommentGroup, verb string) *ast.Comment {
+		if g == nil {
+			return nil
+		}
+		for _, c := range g.List {
+			rest, ok := strings.CutPrefix(c.Text, markerPrefix)
+			if !ok {
+				continue
+			}
+			v, _, _ := strings.Cut(rest, " ")
+			if v == verb {
+				return c
+			}
+		}
+		return nil
+	}
+
+	for _, f := range files {
+		// Pass 1: declaration markers in doc comments.
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if c := markerIn(d.Doc, "hotpath"); c != nil {
+					m.Hotpath[d] = true
+					consumed[c] = true
+				}
+				if c := markerIn(d.Doc, "packhelper"); c != nil {
+					m.PackHelper[d] = true
+					consumed[c] = true
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					groups := []*ast.CommentGroup{ts.Doc, ts.Comment}
+					if len(d.Specs) == 1 {
+						groups = append(groups, d.Doc)
+					}
+					for _, g := range groups {
+						if c := markerIn(g, "padded"); c != nil {
+							m.Padded[ts] = true
+							consumed[c] = true
+						}
+					}
+				}
+			}
+		}
+		// Pass 2: ignore directives and leftover (malformed/misplaced)
+		// markers.
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, markerPrefix)
+				if !ok || consumed[c] {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				verb, args, _ := strings.Cut(rest, " ")
+				switch verb {
+				case "ignore":
+					fields := strings.Fields(args)
+					if len(fields) < 2 {
+						m.bad(pos, "//ffq:ignore needs a check ID and a reason: //ffq:ignore CHECK reason...")
+						continue
+					}
+					if !validCheckID(fields[0]) {
+						m.bad(pos, "//ffq:ignore names unknown check %q (known: "+strings.Join(CheckIDs(), ", ")+", all)", fields[0])
+						continue
+					}
+					byLine := m.ignores[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]ignoreDirective)
+						m.ignores[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+						check:  fields[0],
+						reason: strings.Join(fields[1:], " "),
+					})
+				case "hotpath", "packhelper":
+					m.bad(pos, "//ffq:%s must be in the doc comment of a function declaration", verb)
+				case "padded":
+					m.bad(pos, "//ffq:padded must be in the doc comment of a struct type declaration")
+				default:
+					m.bad(pos, "unknown marker //ffq:%s", verb)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (m *Markers) bad(pos token.Position, format string, args ...any) {
+	m.Bad = append(m.Bad, Finding{
+		Pos:     pos,
+		Check:   markerCheckID,
+		Message: sprintf(format, args...),
+	})
+}

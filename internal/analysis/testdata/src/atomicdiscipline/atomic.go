@@ -1,0 +1,43 @@
+// Package atomicdiscipline is a corpus case for the atomic-discipline
+// check: a field whose address is handed to sync/atomic must never be
+// accessed plainly, and sync/atomic values must never be copied.
+package atomicdiscipline
+
+import "sync/atomic"
+
+// counter mixes an atomically updated field with a plain one.
+type counter struct {
+	hits int64 // only ever touched via atomic.AddInt64/LoadInt64
+	cold int64 // never touched atomically
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits //want:atomic-discipline "plain access to field hits"
+}
+
+func (c *counter) coldBump() int64 {
+	c.cold++ // a plain field may be accessed plainly
+	return c.cold
+}
+
+// box wraps an atomic value type.
+type box struct {
+	n atomic.Int64
+}
+
+func (b *box) load() int64 {
+	return b.n.Load() // through the pointer receiver: sanctioned
+}
+
+func copyOut(b *box) {
+	v := b.n //want:atomic-discipline "assignment copies atomic value of type atomic.Int64"
+	_ = v    //want:atomic-discipline "assignment copies"
+}
+
+func byValue(n atomic.Int64) int64 { //want:atomic-discipline "parameter of byValue takes atomic type atomic.Int64 by value"
+	return n.Load()
+}

@@ -1,0 +1,57 @@
+// Package hotpath is a corpus case for the hotpath-purity check:
+// functions marked //ffq:hotpath must not allocate, call denied
+// packages, or iterate maps — except inside Recorder nil-check guards,
+// which are off the fast path by construction.
+package hotpath
+
+import "fmt"
+
+// Recorder mimics obs.Recorder for the instrumentation-guard
+// exemption.
+type Recorder struct{ n int }
+
+func (r *Recorder) Note() { r.n++ }
+
+type ring struct {
+	rec *Recorder
+	buf []uint64
+	sum map[int]int
+}
+
+//ffq:hotpath
+func (q *ring) push(v uint64) {
+	q.buf = append(q.buf, v) //want:hotpath-purity "append (may allocate)"
+	if q.rec != nil {
+		fmt.Println("instrumented push") // guarded: exempt
+		q.rec.Note()
+	}
+}
+
+//ffq:hotpath
+func (q *ring) total() int {
+	t := 0
+	for _, v := range q.sum { //want:hotpath-purity "range over map"
+		t += v
+	}
+	return t
+}
+
+//ffq:hotpath
+func alloc(n int) []uint64 {
+	return make([]uint64, n) //want:hotpath-purity "make (allocates)"
+}
+
+//ffq:hotpath
+func describe() {
+	fmt.Println() //want:hotpath-purity "call into package fmt"
+}
+
+// mask is a clean hot function: pure arithmetic never trips the check.
+//
+//ffq:hotpath
+func mask(x, m uint64) uint64 { return x &^ m }
+
+// slow is unmarked, so nothing in it is audited.
+func slow(vs []uint64) string {
+	return fmt.Sprint(len(vs))
+}

@@ -1,0 +1,35 @@
+// Package lappacking is a corpus case for the lap-packing check: the
+// packed 64-bit (rank, gap) word is built and split only inside
+// //ffq:packhelper functions; ad-hoc 32-bit shifts on 64-bit integers
+// are flagged anywhere else.
+package lappacking
+
+// pack builds the packed word; the marker licenses its shift.
+//
+//ffq:packhelper
+func pack(rank32, gap32 uint32) uint64 {
+	return uint64(rank32)<<32 | uint64(gap32)
+}
+
+// unpack splits the packed word; the marker licenses its shift.
+//
+//ffq:packhelper
+func unpack(s uint64) (rank32, gap32 uint32) {
+	return uint32(s >> 32), uint32(s)
+}
+
+// leak duplicates the word layout outside a helper.
+func leak(w uint64) uint32 {
+	return uint32(w >> 32) //want:lap-packing "ad-hoc 32-bit shift"
+}
+
+// okShift uses a different shift width: not the packed-word layout.
+func okShift(w uint64) uint64 {
+	return w >> 8
+}
+
+// okConst is a compile-time constant, not a runtime packed-word build.
+func okConst() uint64 {
+	const top = uint64(1) << 32
+	return top
+}

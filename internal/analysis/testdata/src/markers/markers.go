@@ -1,0 +1,33 @@
+// Package markers is a corpus case for the marker grammar itself:
+// malformed or misplaced //ffq: comments are findings under the
+// pseudo-check "marker". The //want+1: form is used throughout because
+// these findings sit on the marker comment's own line.
+package markers
+
+// The declaration markers below float free of any function or struct
+// declaration, where they have no meaning.
+
+//want+1:marker "//ffq:hotpath must be in the doc comment of a function declaration"
+//ffq:hotpath
+
+var floating int
+
+//want+1:marker "//ffq:padded must be in the doc comment of a struct type declaration"
+//ffq:padded
+
+var alsoFloating int
+
+//want+1:marker "//ffq:ignore needs a check ID and a reason"
+//ffq:ignore
+
+//want+1:marker "names unknown check"
+//ffq:ignore bogus-check the check ID does not exist
+
+//want+1:marker "unknown marker //ffq:frobnicate"
+//ffq:frobnicate
+
+// wellFormed carries a correct (if unused) suppression: no finding.
+func wellFormed() int {
+	//ffq:ignore spin-backoff corpus fixture: nothing here actually spins
+	return int(floating) + int(alsoFloating)
+}

@@ -1,0 +1,40 @@
+// Package padding is a corpus case for the padding check: //ffq:padded
+// structs must be whole cache-line multiples and must not place two
+// atomic fields in the same 64-byte block.
+package padding
+
+import "sync/atomic"
+
+// aligned is the clean shape: two full lines, one hot word per line.
+//
+//ffq:padded
+type aligned struct {
+	head atomic.Int64
+	_    [56]byte
+	tail atomic.Int64
+	_    [56]byte
+}
+
+// short is 56 bytes: not a whole number of cache lines.
+//
+//ffq:padded
+type short struct { //want:padding "padded struct short is 56 bytes, not a multiple of the 64-byte cache line (add 8 trailing pad bytes)"
+	head atomic.Int64
+	_    [48]byte
+}
+
+// shared is line-sized but packs both hot words into block 0.
+//
+//ffq:padded
+type shared struct {
+	head atomic.Int64
+	tail atomic.Int64 //want:padding "atomic fields head and tail of padded struct shared share one 64-byte cache line"
+	_    [48]byte
+}
+
+// unmarked is as misshapen as short, but carries no marker: the check
+// only audits structs that opted in.
+type unmarked struct {
+	head atomic.Int64
+	_    [48]byte
+}

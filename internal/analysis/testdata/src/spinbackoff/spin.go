@@ -1,0 +1,66 @@
+// Package spinbackoff is a corpus case for the spin-backoff check:
+// for loops retrying an atomic Load or CompareAndSwap must reach a
+// backoff point, directly or through a one-level helper.
+package spinbackoff
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+type lock struct {
+	state atomic.Uint64
+}
+
+func (l *lock) acquireBad() {
+	for { //want:spin-backoff "without a backoff point"
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+func (l *lock) acquireDirect() {
+	for spins := 0; ; spins++ {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		if spins%64 == 0 {
+			runtime.Gosched() // direct backoff point
+		}
+	}
+}
+
+func (l *lock) acquireHelper() {
+	for spins := 0; ; spins++ {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		yield(spins) // helper whose body directly backs off
+	}
+}
+
+// yield is a per-package backoff helper, found by the checker's
+// one-level expansion.
+func yield(spins int) {
+	if spins%64 == 0 {
+		runtime.Gosched()
+	}
+}
+
+func (l *lock) acquireJustified() {
+	//ffq:ignore spin-backoff corpus fixture: progress is guaranteed by the test harness
+	for {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+// drain never retries an atomic read: Store/Add are progress, not
+// polling, so the loop is not audited.
+func (l *lock) drain(n int) {
+	for i := 0; i < n; i++ {
+		l.state.Store(uint64(i))
+	}
+}

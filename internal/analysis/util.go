@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func sprintf(format string, args ...any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// atomicTypeNames are the value types of sync/atomic whose copies and
+// mixed accesses the suite polices.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicValueType reports whether t is (an instantiation of) one of
+// the sync/atomic value types.
+func isAtomicValueType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic" && atomicTypeNames[obj.Name()]
+}
+
+// pkgPathOf returns the import path of the package declaring obj, or
+// "".
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// calleeOf resolves the object a call expression invokes (function,
+// method, or builtin), or nil when unresolved.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+		if se, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			if sel, ok := info.Selections[se]; ok {
+				return sel.Obj()
+			}
+			return info.Uses[se.Sel]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+	}
+	return nil
+}
+
+// isConversion reports whether the call expression is a type
+// conversion rather than a function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// typeOf returns the static type of e, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// denotesExistingValue reports whether e names an existing addressable
+// value (so that using it in a value context copies it), as opposed to
+// a fresh composite literal, conversion, or call result.
+func denotesExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.UnaryExpr:
+		return false
+	default:
+		_ = e
+		return false
+	}
+}
+
+// walkSkipFuncLit walks the AST rooted at n, calling fn on every node
+// but not descending into function literals (their bodies run on
+// different goroutines or colder paths than the enclosing code).
+// fn returning false prunes the subtree.
+func walkSkipFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// funcDeclName renders a readable name for a function declaration
+// (with receiver type for methods).
+func funcDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	return fmt.Sprintf("(%s).%s", exprString(recv), fd.Name.Name)
+}
+
+// exprString renders simple type expressions (idents, stars, generic
+// indexes) without importing go/printer.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.IndexListExpr:
+		s := exprString(e.X) + "["
+		for i, ix := range e.Indices {
+			if i > 0 {
+				s += ", "
+			}
+			s += exprString(ix)
+		}
+		return s + "]"
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "?"
+	}
+}

@@ -72,6 +72,7 @@ func (s *ccSynch) apply(myNode *ccNode, arg uint64, exec func(arg uint64) (uint6
 	// This thread is the combiner: serve every announced request (a
 	// node with a non-nil link has its arg posted), up to the limit.
 	tmp := cur
+	//ffq:ignore spin-backoff combiner serving loop: bounded by combineLimit and every iteration completes one request
 	for served := 0; ; served++ {
 		nxt := tmp.next.Load()
 		if nxt == nil || served >= combineLimit {

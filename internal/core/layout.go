@@ -119,6 +119,8 @@ func (ix Indexer) Capacity() int {
 }
 
 // phys maps a rank to its physical slot index.
+//
+//ffq:hotpath
 func (ix Indexer) Phys(rank int64) uint64 {
 	i := uint64(rank) & ix.mask
 	if ix.rot != 0 {

@@ -29,10 +29,16 @@ const (
 	mpmcNoGap    = 0          // gap field: no rank skipped here yet
 )
 
+// mpmcPack builds the packed state word from its two lap halves.
+//
+//ffq:packhelper
 func mpmcPack(rank32, gap32 uint32) uint64 {
 	return uint64(rank32)<<32 | uint64(gap32)
 }
 
+// mpmcUnpack splits the packed state word into its two lap halves.
+//
+//ffq:packhelper
 func mpmcUnpack(s uint64) (rank32, gap32 uint32) {
 	return uint32(s >> 32), uint32(s)
 }
@@ -56,6 +62,8 @@ type mcell[T any] struct {
 // The queue supports at most 2^32-3 laps, i.e. (2^32-3) x capacity
 // operations over its lifetime; exceeding that panics. At one billion
 // operations per second on a 4096-entry queue that is ~500 hours.
+//
+//ffq:padded
 type MPMC[T any] struct {
 	ix      Indexer
 	logN    uint
@@ -72,8 +80,12 @@ type MPMC[T any] struct {
 	tail   atomic.Int64
 	_      [CacheLineSize]byte
 	closed atomic.Bool
+	_      [CacheLineSize - 4]byte
 	// gaps counts successful gap announcements; see SPMC.Gaps.
 	gaps atomic.Int64
+	// 24 extra bytes round the struct to a whole number of lines (the
+	// header fields above the first pad are not line-sized).
+	_ [CacheLineSize - 8 + 24]byte
 }
 
 // NewMPMC returns an MPMC queue with the given power-of-two capacity.
@@ -122,6 +134,8 @@ func (q *MPMC[T]) Len() int {
 // Enqueue inserts v at the tail of the queue. Safe for concurrent use
 // by any number of producers. Lock-free while the queue has free
 // slots; spins when full.
+//
+//ffq:hotpath
 func (q *MPMC[T]) Enqueue(v T) {
 	skips := 0
 	waited := false
@@ -219,6 +233,8 @@ func (q *MPMC[T]) Enqueue(v T) {
 // blocking while it is empty. It returns ok=false only after Close has
 // been called and all items have been handed out. Safe for concurrent
 // use by any number of consumers.
+//
+//ffq:hotpath
 func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 	rank := q.head.Add(1) - 1
 	c := &q.cells[q.ix.Phys(rank)]
@@ -236,6 +252,7 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 			v = c.data
 			var zero T
 			c.data = zero
+			//ffq:ignore spin-backoff a failed release CAS means a producer just wrote the gap half; interference is bounded by one concurrent gap announcement
 			for !c.state.CompareAndSwap(s, mpmcPack(mpmcLapFree, g32)) {
 				s = c.state.Load()
 				_, g32 = mpmcUnpack(s)

@@ -40,6 +40,8 @@ type cell[T any] struct {
 //
 // Exactly one goroutine may call Enqueue, TryEnqueue and Close; any
 // number of goroutines may call Dequeue concurrently.
+//
+//ffq:padded
 type SPMC[T any] struct {
 	ix      Indexer
 	cells   []cell[T]
@@ -55,10 +57,14 @@ type SPMC[T any] struct {
 	tail   atomic.Int64 // written by the producer only
 	_      [CacheLineSize]byte
 	closed atomic.Bool
+	_      [CacheLineSize - 4]byte
 	// gaps counts ranks the producer skipped (Section III-A). Updated
 	// on the skip path only, which is never taken while the queue has
 	// slack, so the counter is free in normal operation.
 	gaps atomic.Int64
+	// 32 extra bytes round the struct to a whole number of lines (the
+	// header fields above the first pad are not line-sized).
+	_ [CacheLineSize - 8 + 32]byte
 }
 
 // NewSPMC returns an SPMC queue with the given capacity, which must be
@@ -101,6 +107,8 @@ func (q *SPMC[T]) Len() int {
 // skipping ranks, until a consumer frees one.
 //
 // Must be called by the single producer goroutine only.
+//
+//ffq:hotpath
 func (q *SPMC[T]) Enqueue(v T) {
 	t := q.tail.Load()
 	skips := 0
@@ -151,6 +159,8 @@ func (q *SPMC[T]) Enqueue(v T) {
 // did. A false return means the tail cell is still occupied by an
 // undequeued item; unlike Enqueue it does not skip ranks, so it never
 // burns rank numbers on a full queue.
+//
+//ffq:hotpath
 func (q *SPMC[T]) TryEnqueue(v T) bool {
 	t := q.tail.Load()
 	c := &q.cells[q.ix.Phys(t)]
@@ -172,6 +182,8 @@ func (q *SPMC[T]) TryEnqueue(v T) bool {
 // remaining item has been handed to some consumer.
 //
 // Safe for concurrent use by any number of consumers.
+//
+//ffq:hotpath
 func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 	// Acquire a unique rank (Algorithm 1, line 21).
 	rank := q.head.Add(1) - 1

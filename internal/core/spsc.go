@@ -17,6 +17,8 @@ import (
 //
 // Exactly one goroutine may enqueue and exactly one (possibly
 // different) goroutine may dequeue.
+//
+//ffq:padded
 type SPSC[T any] struct {
 	ix      Indexer
 	cells   []cell[T]
@@ -32,8 +34,12 @@ type SPSC[T any] struct {
 	tail   atomic.Int64 // written by the producer only
 	_      [CacheLineSize]byte
 	closed atomic.Bool
+	_      [CacheLineSize - 4]byte
 	// gaps counts skipped ranks; see SPMC.Gaps.
 	gaps atomic.Int64
+	// 32 extra bytes round the struct to a whole number of lines (the
+	// header fields above the first pad are not line-sized).
+	_ [CacheLineSize - 8 + 32]byte
 }
 
 // NewSPSC returns an SPSC queue with the given power-of-two capacity.
@@ -72,6 +78,8 @@ func (q *SPSC[T]) Len() int {
 
 // Enqueue inserts v at the tail, wait-free while a slot is free.
 // Producer goroutine only.
+//
+//ffq:hotpath
 func (q *SPSC[T]) Enqueue(v T) {
 	t := q.tail.Load()
 	skips := 0
@@ -115,6 +123,8 @@ func (q *SPSC[T]) Enqueue(v T) {
 
 // TryEnqueue inserts v if the tail cell is free and reports whether it
 // did. Producer goroutine only.
+//
+//ffq:hotpath
 func (q *SPSC[T]) TryEnqueue(v T) bool {
 	t := q.tail.Load()
 	c := &q.cells[q.ix.Phys(t)]
@@ -134,8 +144,11 @@ func (q *SPSC[T]) TryEnqueue(v T) bool {
 // variant this is a true non-blocking poll: the head counter is private
 // to the consumer, so an empty queue costs nothing and reserves no
 // rank. Consumer goroutine only.
+//
+//ffq:hotpath
 func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
 	h := q.head.Load()
+	//ffq:ignore spin-backoff every iteration either consumes, advances the private head past a gap, or returns empty
 	for {
 		c := &q.cells[q.ix.Phys(h)]
 		if c.rank.Load() == h {
@@ -166,6 +179,8 @@ func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
 // Dequeue removes and returns the head item, blocking while the queue
 // is empty. It returns ok=false only once the queue is closed and
 // drained. Consumer goroutine only.
+//
+//ffq:hotpath
 func (q *SPSC[T]) Dequeue() (v T, ok bool) {
 	spins := 0
 	var waitStart time.Time

@@ -22,6 +22,7 @@ package lcrq
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -79,9 +80,20 @@ func newCRQ(capacity int, logR uint) *crq {
 
 func (r *crq) lapOf(u uint64) uint64 { return u >> r.logR }
 
+// retryYield yields the processor every 128 failed retries of the
+// ring-list CAS loops: each failure means a competing operation
+// succeeded, but under oversubscription the loser hands its timeslice
+// back instead of spinning it away.
+func retryYield(spins int) {
+	if spins > 0 && spins%128 == 0 {
+		runtime.Gosched()
+	}
+}
+
 // enqueue attempts to insert v; false means the ring is (now) closed.
 func (r *crq) enqueue(v uint64) bool {
 	tries := 0
+	//ffq:ignore spin-backoff bounded by starvationLimit: a starved enqueuer closes the ring and returns instead of spinning
 	for {
 		t := r.tail.Add(1) - 1
 		if t&closedBit != 0 {
@@ -110,10 +122,12 @@ func (r *crq) enqueue(v uint64) bool {
 // dequeue removes the head item. ok=false means the ring was observed
 // empty (the caller then checks whether it is closed and drained).
 func (r *crq) dequeue() (uint64, bool) {
+	//ffq:ignore spin-backoff every iteration consumes a fresh head index and exits via the empty check once head reaches tail
 	for {
 		h := r.head.Add(1) - 1
 		c := &r.cells[h&r.mask]
 		myLap := r.lapOf(h)
+		//ffq:ignore spin-backoff per-cell transition retry: a failed CAS means another thread completed a transition on this cell
 		for {
 			w := c.Load()
 			safe, lap, val := unpackCell(w)
@@ -152,6 +166,7 @@ func (r *crq) dequeue() (uint64, bool) {
 
 // fixState resynchronizes head and tail after head overtakes tail.
 func (r *crq) fixState() {
+	//ffq:ignore spin-backoff reconcile loop: a failed CAS means another thread reconciled or moved tail, both of which terminate it
 	for {
 		t := r.tail.Load()
 		h := r.head.Load()
@@ -200,7 +215,8 @@ func (q *Queue) Enqueue(v uint64) {
 	if v > MaxValue {
 		panic("lcrq: value exceeds the 36-bit payload bound of the packed-cell port")
 	}
-	for {
+	for spins := 0; ; spins++ {
+		retryYield(spins)
 		r := q.tail.Load()
 		if nxt := r.next.Load(); nxt != nil {
 			q.tail.CompareAndSwap(r, nxt) // help swing tail
@@ -223,7 +239,8 @@ func (q *Queue) Enqueue(v uint64) {
 // Dequeue removes the head item; ok=false if the queue was observed
 // empty. Lock-free.
 func (q *Queue) Dequeue() (uint64, bool) {
-	for {
+	for spins := 0; ; spins++ {
+		retryYield(spins)
 		r := q.head.Load()
 		if v, ok := r.dequeue(); ok {
 			return v, true

@@ -10,7 +10,10 @@
 // plain atomic.Pointer CAS is ABA-safe.
 package msqueue
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 type node struct {
 	value uint64
@@ -27,6 +30,18 @@ type Queue struct {
 	_    [64]byte
 }
 
+// retryYield yields the processor every 128 failed retries. A failed
+// iteration of the head/tail CAS loops means some other operation
+// succeeded, so the queue as a whole progresses — but under
+// oversubscription the spinning goroutine may be burning the timeslice
+// of the very thread it waits on, so it periodically gives the
+// processor back (the same policy as ccqueue's ccBackoff).
+func retryYield(spins int) {
+	if spins > 0 && spins%128 == 0 {
+		runtime.Gosched()
+	}
+}
+
 // New returns an empty queue.
 func New() *Queue {
 	q := &Queue{}
@@ -39,7 +54,8 @@ func New() *Queue {
 // Enqueue inserts v at the tail. Lock-free.
 func (q *Queue) Enqueue(v uint64) {
 	n := &node{value: v}
-	for {
+	for spins := 0; ; spins++ {
+		retryYield(spins)
 		tail := q.tail.Load()
 		next := tail.next.Load()
 		if tail != q.tail.Load() {
@@ -61,7 +77,8 @@ func (q *Queue) Enqueue(v uint64) {
 // Dequeue removes the item at the head. ok=false if the queue was
 // observed empty. Lock-free.
 func (q *Queue) Dequeue() (uint64, bool) {
-	for {
+	for spins := 0; ; spins++ {
+		retryYield(spins)
 		head := q.head.Load()
 		tail := q.tail.Load()
 		next := head.next.Load()

@@ -82,6 +82,7 @@ type waitLine struct {
 	count   atomic.Int64
 	sumNS   atomic.Int64
 	buckets [HistBuckets]atomic.Int64
+	_       [cacheLine - (16+8*HistBuckets)%cacheLine]byte
 }
 
 // BatchHistBuckets is the number of log2 batch-size buckets. Bucket i
@@ -97,12 +98,20 @@ type batchLine struct {
 	count    atomic.Int64
 	sumItems atomic.Int64
 	buckets  [BatchHistBuckets]atomic.Int64
+	_        [cacheLine - (16+8*BatchHistBuckets)%cacheLine]byte
 }
 
 // Recorder accumulates instrumentation for one queue (or one shared
 // pool of queues). The zero value is ready to use; a nil *Recorder is
 // the "instrumentation off" state and every method is safe to skip
 // behind a nil check.
+//
+// The producer-side and consumer-side counter groups each occupy their
+// own cache lines (see the package comment); the nested line structs
+// are what records that grouping, so only Recorder itself carries the
+// padding marker.
+//
+//ffq:padded
 type Recorder struct {
 	prod  prodLine
 	cons  consLine
@@ -114,35 +123,55 @@ type Recorder struct {
 func NewRecorder() *Recorder { return &Recorder{} }
 
 // Enqueue records one completed enqueue.
+//
+//ffq:hotpath
 func (r *Recorder) Enqueue() { r.prod.enqueues.Add(1) }
 
 // EnqueueN records n completed enqueues in one addition (the batch
 // paths of the segmented queues).
+//
+//ffq:hotpath
 func (r *Recorder) EnqueueN(n int) { r.prod.enqueues.Add(int64(n)) }
 
 // Dequeue records one completed dequeue.
+//
+//ffq:hotpath
 func (r *Recorder) Dequeue() { r.cons.dequeues.Add(1) }
 
 // FullSpin records one producer spin iteration on a full queue.
+//
+//ffq:hotpath
 func (r *Recorder) FullSpin() { r.prod.fullSpins.Add(1) }
 
 // EmptySpin records one consumer spin iteration on an empty rank.
+//
+//ffq:hotpath
 func (r *Recorder) EmptySpin() { r.cons.emptySpins.Add(1) }
 
 // ProducerYield records a producer backoff that yielded the processor.
+//
+//ffq:hotpath
 func (r *Recorder) ProducerYield() { r.prod.producerYields.Add(1) }
 
 // ConsumerYield records a consumer backoff that yielded the processor.
+//
+//ffq:hotpath
 func (r *Recorder) ConsumerYield() { r.cons.consumerYields.Add(1) }
 
 // GapCreated records a rank skipped by a producer.
+//
+//ffq:hotpath
 func (r *Recorder) GapCreated() { r.prod.gapsCreated.Add(1) }
 
 // GapSkipped records a skipped rank discarded by a consumer.
+//
+//ffq:hotpath
 func (r *Recorder) GapSkipped() { r.cons.gapsSkipped.Add(1) }
 
 // ObserveWait records the duration of one blocking wait (time spent
 // spinning before an operation could complete).
+//
+//ffq:hotpath
 func (r *Recorder) ObserveWait(d time.Duration) {
 	ns := int64(d)
 	if ns < 0 {
@@ -156,6 +185,8 @@ func (r *Recorder) ObserveWait(d time.Duration) {
 // ObserveBatch records one batch operation of n items (an
 // EnqueueBatch or DequeueBatch call on a segmented queue). n <= 0 is
 // ignored.
+//
+//ffq:hotpath
 func (r *Recorder) ObserveBatch(n int) {
 	if n <= 0 {
 		return
@@ -170,6 +201,8 @@ func (r *Recorder) ObserveBatch(n int) {
 }
 
 // bucketOf maps a nanosecond wait to its log2 bucket index.
+//
+//ffq:hotpath
 func bucketOf(ns int64) int {
 	if ns <= 1 {
 		return 0

@@ -17,6 +17,8 @@ import (
 // Like the bounded FFQ^m, a producer that stalls between claiming a
 // rank and publishing it blocks the consumer of that rank; both
 // operations are lock-free otherwise.
+//
+//ffq:padded
 type MPMC[T any] struct {
 	uq[T]
 	_ [core.CacheLineSize]byte
@@ -24,6 +26,7 @@ type MPMC[T any] struct {
 	// the whole list from headSeg. It may lag or (transiently) point
 	// at a retired segment; producerSeg validates and falls back.
 	tailSeg atomic.Pointer[segment[T]]
+	_       [core.CacheLineSize - 8]byte
 }
 
 // NewMPMC returns an unbounded MPMC queue configured by the resolved
@@ -46,6 +49,8 @@ func NewMPMC[T any](cfg core.Resolved) (*MPMC[T], error) {
 // starts at the tailSeg hint and falls back to headSeg when the hint
 // is already past r; headSeg can never pass r's segment because the
 // caller's unpublished rank keeps it from draining.
+//
+//ffq:hotpath
 func (q *MPMC[T]) producerSeg(r int64) *segment[T] {
 	want := r >> q.logSeg
 	seg := q.tailSeg.Load()
@@ -54,6 +59,7 @@ func (q *MPMC[T]) producerSeg(r int64) *segment[T] {
 		seg = q.headSeg.Load()
 		base = seg.base.Load()
 	}
+	//ffq:ignore spin-backoff bounded walk: every iteration steps (or links) one segment toward the target
 	for base>>q.logSeg < want {
 		next := seg.next.Load()
 		if next == nil {
@@ -80,8 +86,8 @@ func (q *MPMC[T]) link(seg *segment[T], base int64) *segment[T] {
 	// safe to recycle even though MPMC retirement itself never pools.
 	// Counted as a retire to keep live = alloc + recycled - retired.
 	s.base.Store(pooledBase)
-	q.segsRetired.Add(1)
-	q.segsLive.Add(-1)
+	q.seg.segsRetired.Add(1)
+	q.seg.segsLive.Add(-1)
 	q.pool.put(s)
 	return seg.next.Load()
 }
@@ -89,6 +95,8 @@ func (q *MPMC[T]) link(seg *segment[T], base int64) *segment[T] {
 // Enqueue inserts v at the tail: one fetch-and-add to claim a rank,
 // then the FFQ cell handshake. Safe for any number of concurrent
 // producers.
+//
+//ffq:hotpath
 func (q *MPMC[T]) Enqueue(v T) {
 	r := q.tail.Add(1) - 1
 	seg := q.producerSeg(r)
@@ -104,6 +112,8 @@ func (q *MPMC[T]) Enqueue(v T) {
 // a single fetch-and-add — under producer contention the batch
 // appears as an unbroken FIFO run, and the rank-acquisition atomic is
 // amortized across the batch. Safe for concurrent producers.
+//
+//ffq:hotpath
 func (q *MPMC[T]) EnqueueBatch(vs []T) {
 	k := int64(len(vs))
 	if k == 0 {

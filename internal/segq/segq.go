@@ -97,19 +97,26 @@ type cell[T any] struct {
 }
 
 // segment is one fixed-size FFQ ring in the linked list.
+//
+//ffq:padded
 type segment[T any] struct {
 	// base is the first rank this segment covers (segment-size
 	// aligned), or pooledBase after retirement. Written on (re)use
 	// before the segment is linked; read by walkers for validation.
 	base atomic.Int64
 	// next links to the successor segment; nil at the tail and after
-	// retirement.
+	// retirement. base and next are write-once per incarnation and
+	// read-mostly, so sharing a line with base is deliberate.
+	//ffq:ignore padding base and next are write-once per incarnation and read-mostly
 	next atomic.Pointer[segment[T]]
+	_    [core.CacheLineSize - 16]byte
 	// consumed counts cells of this incarnation that consumers have
 	// taken; == segment size means drained (reclamation condition a).
+	// Every dequeue increments it, so it gets a line of its own.
 	consumed atomic.Int64
-	_        [core.CacheLineSize]byte
+	_        [core.CacheLineSize - 8]byte
 	cells    []cell[T]
+	_        [core.CacheLineSize - 24]byte
 }
 
 // poolSlots bounds the recycling pool. Retired segments beyond the
@@ -147,9 +154,25 @@ func (p *pool[T]) get() *segment[T] {
 	return nil
 }
 
+// segCounters groups the advancing token with the always-on segment
+// accounting (live = alloc + recycled - retired). All of these fields
+// are touched only on the once-per-segment allocation and retirement
+// paths, so they deliberately share cache lines; nesting them in one
+// struct records that grouping for the padding checker, which treats
+// a nested struct as a single cold field.
+type segCounters struct {
+	advancing    atomic.Bool
+	segsAlloc    atomic.Int64
+	segsRecycled atomic.Int64
+	segsRetired  atomic.Int64
+	segsLive     atomic.Int64
+}
+
 // uq holds the state and consumer-side machinery shared by the SPMC
 // and MPMC variants. The producer side differs (single owner vs
 // fetch-and-add) and lives in the variant types.
+//
+//ffq:padded
 type uq[T any] struct {
 	ix      core.Indexer
 	segSize int64
@@ -182,19 +205,17 @@ type uq[T any] struct {
 	// ranks. SPMC's producer shadows it locally and only stores.
 	tail atomic.Int64
 	_    [core.CacheLineSize]byte
-	// headSeg points at the earliest live segment. Written only by the
-	// holder of the advancing token.
-	headSeg   atomic.Pointer[segment[T]]
-	advancing atomic.Bool
-	closed    atomic.Bool
-
-	// Always-on segment accounting (the recycling analogue of the
-	// bounded queues' always-on gap counter). live = alloc + recycled
-	// - retired.
-	segsAlloc    atomic.Int64
-	segsRecycled atomic.Int64
-	segsRetired  atomic.Int64
-	segsLive     atomic.Int64
+	// headSeg points at the earliest live segment, read on every
+	// consumer walk. Written only by the holder of the advancing token.
+	headSeg atomic.Pointer[segment[T]]
+	_       [core.CacheLineSize - 8]byte
+	// closed is read on every empty-queue poll.
+	closed atomic.Bool
+	_      [core.CacheLineSize - 4]byte
+	// seg is the cold once-per-segment state (advancing token plus the
+	// recycling analogue of the bounded queues' always-on gap counter).
+	seg segCounters
+	_   [core.CacheLineSize - 8]byte
 }
 
 // initUQ validates the configuration and links the first segment.
@@ -232,8 +253,8 @@ func (u *uq[T]) newSegment(base int64) *segment[T] {
 		s.cells[i].rank.Store(freeRank)
 	}
 	s.base.Store(base)
-	u.segsAlloc.Add(1)
-	u.segsLive.Add(1)
+	u.seg.segsAlloc.Add(1)
+	u.seg.segsLive.Add(1)
 	return s
 }
 
@@ -248,8 +269,8 @@ func (u *uq[T]) takeSegment(base int64) *segment[T] {
 	if s := u.pool.get(); s != nil {
 		s.consumed.Store(0)
 		s.base.Store(base)
-		u.segsRecycled.Add(1)
-		u.segsLive.Add(1)
+		u.seg.segsRecycled.Add(1)
+		u.seg.segsLive.Add(1)
 		return s
 	}
 	return u.newSegment(base)
@@ -276,8 +297,8 @@ func (u *uq[T]) retire(s *segment[T]) {
 	if u.recycleHook != nil {
 		u.recycleHook(s)
 	}
-	u.segsRetired.Add(1)
-	u.segsLive.Add(-1)
+	u.seg.segsRetired.Add(1)
+	u.seg.segsLive.Add(-1)
 	if !u.pooling {
 		return
 	}
@@ -293,14 +314,16 @@ func (u *uq[T]) retire(s *segment[T]) {
 // it, or the holder's recheck re-acquires, or the drainer's own CAS
 // succeeds after the release).
 func (u *uq[T]) maybeAdvance() {
+	//ffq:ignore spin-backoff token try-loop: every iteration either advances headSeg, hands off to the token holder, or returns
 	for {
 		h := u.headSeg.Load()
 		if h.consumed.Load() != u.segSize || h.next.Load() == nil {
 			return
 		}
-		if !u.advancing.CompareAndSwap(false, true) {
+		if !u.seg.advancing.CompareAndSwap(false, true) {
 			return // the holder's recheck will pick this up
 		}
+		//ffq:ignore spin-backoff bounded by the number of drained segments; each iteration retires one
 		for {
 			h := u.headSeg.Load()
 			if h.consumed.Load() != u.segSize {
@@ -313,7 +336,7 @@ func (u *uq[T]) maybeAdvance() {
 			u.headSeg.Store(next)
 			u.retire(h)
 		}
-		u.advancing.Store(false)
+		u.seg.advancing.Store(false)
 	}
 }
 
@@ -324,8 +347,10 @@ func (u *uq[T]) maybeAdvance() {
 // The walk starts at headSeg and validates every step against the
 // expected base sequence; any sign of concurrent retirement (poisoned
 // base, reincarnated base, severed next) abandons the walk and
-// restarts. Termination: the caller's own unconsumed rank keeps the
+// / restarts. Termination: the caller's own unconsumed rank keeps the
 // target segment alive, and headSeg can never advance past it.
+//
+//ffq:hotpath
 func (u *uq[T]) segFor(r int64) *segment[T] {
 	want := r >> u.logSeg
 	spins := 0
@@ -334,6 +359,7 @@ func (u *uq[T]) segFor(r int64) *segment[T] {
 	for {
 		seg := u.headSeg.Load()
 		base := seg.base.Load()
+		//ffq:ignore spin-backoff bounded walk: each iteration advances one segment toward the target or breaks out to the backoff loop
 		for base >= 0 && base>>u.logSeg < want {
 			next := seg.next.Load()
 			if next == nil {
@@ -372,6 +398,8 @@ func (u *uq[T]) segFor(r int64) *segment[T] {
 
 // dead reports whether rank r can never be published: the queue is
 // closed and r lies at or beyond the final tail.
+//
+//ffq:hotpath
 func (u *uq[T]) dead(r int64) bool {
 	return u.closed.Load() && r >= u.tail.Load()
 }
@@ -379,6 +407,8 @@ func (u *uq[T]) dead(r int64) bool {
 // consume delivers rank r: locate its segment, spin on the FFQ cell
 // handshake, take the value, and mark the cell consumed (possibly
 // triggering retirement). ok=false means r is a dead rank.
+//
+//ffq:hotpath
 func (u *uq[T]) consume(r int64) (v T, ok bool) {
 	seg := u.segFor(r)
 	if seg == nil {
@@ -427,6 +457,8 @@ func (u *uq[T]) consume(r int64) (v T, ok bool) {
 // blocking (spinning, then yielding) while the queue is empty. It
 // returns ok=false only after Close once every item has been
 // delivered. Safe for any number of concurrent consumers.
+//
+//ffq:hotpath
 func (u *uq[T]) Dequeue() (v T, ok bool) {
 	return u.consume(u.head.Add(1) - 1)
 }
@@ -440,6 +472,8 @@ func (u *uq[T]) Dequeue() (v T, ok bool) {
 // for any number of concurrent consumers, but note that a batch
 // claims its ranks immediately: a batch that blocks waiting for a
 // slow producer delays later-ranked consumers behind it.
+//
+//ffq:hotpath
 func (u *uq[T]) DequeueBatch(dst []T) (n int, ok bool) {
 	k := int64(len(dst))
 	if k == 0 {
@@ -473,7 +507,7 @@ func (u *uq[T]) Len() int {
 func (u *uq[T]) SegmentSize() int { return int(u.segSize) }
 
 // Segments returns the instantaneous number of linked segments.
-func (u *uq[T]) Segments() int { return int(u.segsLive.Load()) }
+func (u *uq[T]) Segments() int { return int(u.seg.segsLive.Load()) }
 
 // Close marks the queue closed. Consumers drain the remaining items
 // and then receive ok=false. Close must only be called after every
@@ -491,10 +525,10 @@ func (u *uq[T]) Recorder() *obs.Recorder { return u.rec }
 // recorder, like the bounded queues' gap counter).
 func (u *uq[T]) Stats() obs.Stats {
 	s := u.rec.Snapshot()
-	s.SegsAllocated = u.segsAlloc.Load()
-	s.SegsRecycled = u.segsRecycled.Load()
-	s.SegsRetired = u.segsRetired.Load()
-	s.SegsLive = u.segsLive.Load()
+	s.SegsAllocated = u.seg.segsAlloc.Load()
+	s.SegsRecycled = u.seg.segsRecycled.Load()
+	s.SegsRetired = u.seg.segsRetired.Load()
+	s.SegsLive = u.seg.segsLive.Load()
 	return s
 }
 
@@ -504,9 +538,9 @@ func (u *uq[T]) Stats() obs.Stats {
 // op counters.
 func (u *uq[T]) SegStats() obs.Stats {
 	return obs.Stats{
-		SegsAllocated: u.segsAlloc.Load(),
-		SegsRecycled:  u.segsRecycled.Load(),
-		SegsRetired:   u.segsRetired.Load(),
-		SegsLive:      u.segsLive.Load(),
+		SegsAllocated: u.seg.segsAlloc.Load(),
+		SegsRecycled:  u.seg.segsRecycled.Load(),
+		SegsRetired:   u.seg.segsRetired.Load(),
+		SegsLive:      u.seg.segsLive.Load(),
 	}
 }

@@ -13,12 +13,15 @@ import (
 //
 // Exactly one goroutine may call Enqueue, EnqueueBatch and Close; any
 // number of goroutines may call Dequeue and DequeueBatch.
+//
+//ffq:padded
 type SPMC[T any] struct {
 	uq[T]
 	// Producer-local state: no other goroutine touches these, so the
 	// enqueue fast path reads no shared mutable word at all.
 	ptail   int64 // next rank to publish (shadow of uq.tail)
 	tailSeg *segment[T]
+	_       [core.CacheLineSize - 16]byte
 }
 
 // NewSPMC returns an unbounded SPMC queue configured by the resolved
@@ -46,6 +49,8 @@ func (q *SPMC[T]) grow() *segment[T] {
 // Enqueue inserts v at the tail. Wait-free: when the tail segment is
 // full the producer links a new one instead of waiting for consumers.
 // Producer goroutine only.
+//
+//ffq:hotpath
 func (q *SPMC[T]) Enqueue(v T) {
 	seg := q.tailSeg
 	if q.ptail&(q.segSize-1) == 0 && q.ptail != seg.base.Load() {
@@ -66,11 +71,14 @@ func (q *SPMC[T]) Enqueue(v T) {
 // can start draining the head of the batch immediately), but the tail
 // publication and instrumentation are amortized across the whole
 // batch. Producer goroutine only.
+//
+//ffq:hotpath
 func (q *SPMC[T]) EnqueueBatch(vs []T) {
 	if len(vs) == 0 {
 		return
 	}
 	total := len(vs)
+	//ffq:ignore spin-backoff every iteration publishes at least one cell and shrinks vs
 	for len(vs) > 0 {
 		seg := q.tailSeg
 		off := q.ptail & (q.segSize - 1)
@@ -82,7 +90,7 @@ func (q *SPMC[T]) EnqueueBatch(vs []T) {
 			n = room
 		}
 		for i := int64(0); i < n; i++ {
-			c := &seg.cells[q.ix.Phys(q.ptail + i)]
+			c := &seg.cells[q.ix.Phys(q.ptail+i)]
 			c.data = vs[i]
 			c.rank.Store(q.ptail + i)
 		}

@@ -82,6 +82,7 @@ func (q *BQueue) Dequeue() (uint64, bool) {
 		// Probe with backtracking: shrink the span until its last slot
 		// is filled (then the whole prefix is), or give up at 0.
 		b := q.batch
+		//ffq:ignore spin-backoff backtracking probe: b halves every iteration, so the loop runs at most log2(batch) times
 		for {
 			if q.buf[(q.tail+b-1)&q.mask].Load() != 0 {
 				q.batchTail = q.tail + b

@@ -173,6 +173,7 @@ func (q *Queue) Register() *Handle {
 // segment containing global index i and returns the cell.
 func (h *Handle) findCell(cur *atomic.Pointer[segment], i int64) *cell {
 	s := cur.Load()
+	//ffq:ignore spin-backoff bounded walk: sid advances one segment per iteration toward a fixed target
 	for sid := s.id; sid < i>>segShift; sid++ {
 		next := s.next.Load()
 		if next == nil {
@@ -234,6 +235,7 @@ func (h *Handle) enqSlow(v uint64, id int64) {
 	var tail atomic.Pointer[segment]
 	tail.Store(h.ep.Load())
 	var i int64
+	//ffq:ignore spin-backoff wait-free: every iteration claims a fresh cell index and a helper can complete the request for us
 	for {
 		i = h.q.ei.Add(1) - 1
 		c := h.findCell(&tail, i)
@@ -256,6 +258,7 @@ func (h *Handle) enqSlow(v uint64, id int64) {
 		// make sure the global counter has passed it so dequeuers
 		// will visit the cell.
 		ei := h.q.ei.Load()
+		//ffq:ignore spin-backoff monotone counter catch-up: a failed CAS means another thread advanced the counter toward the exit condition
 		for ei <= id && !h.q.ei.CompareAndSwap(ei, id+1) {
 			ei = h.q.ei.Load()
 		}
@@ -270,6 +273,7 @@ func (h *Handle) enqSlow(v uint64, id int64) {
 func (h *Handle) helpEnq(c *cell, i int64) uint64 {
 	// Spin briefly waiting for a fast-path enqueuer.
 	v := c.val.Load()
+	//ffq:ignore spin-backoff explicitly bounded to 512 iterations before falling through to helping
 	for spins := 0; v == botVal && spins < 512; spins++ {
 		v = c.val.Load()
 	}
@@ -325,6 +329,7 @@ func (h *Handle) helpEnq(c *cell, i int64) uint64 {
 		if (ei > 0 && e.id.CompareAndSwap(ei, -i)) ||
 			(ei == -i && c.val.Load() == topVal) {
 			eiNow := h.q.ei.Load()
+			//ffq:ignore spin-backoff monotone counter catch-up: a failed CAS means another thread advanced the counter toward the exit condition
 			for eiNow <= i && !h.q.ei.CompareAndSwap(eiNow, i+1) {
 				eiNow = h.q.ei.Load()
 			}
@@ -410,13 +415,16 @@ func (h *Handle) helpDeq(ph *Handle) {
 	i := id + 1
 	old := id
 	var newIdx int64
+	//ffq:ignore spin-backoff wait-free helping: terminates once a candidate cell is found or another helper resolves the request
 	for {
 		var hseg atomic.Pointer[segment]
 		hseg.Store(dp.Load())
+		//ffq:ignore spin-backoff wait-free helping: each iteration visits a fresh cell index and another helper's progress terminates it
 		for ; idx == old && newIdx == 0; i++ {
 			c := h.findCell(&hseg, i)
 
 			di := h.q.di.Load()
+			//ffq:ignore spin-backoff monotone counter catch-up: a failed CAS means another thread advanced the counter toward the exit condition
 			for di <= i && !h.q.di.CompareAndSwap(di, i+1) {
 				di = h.q.di.Load()
 			}
@@ -476,6 +484,7 @@ func (h *Handle) maybeCleanup() {
 	if e := h.ep.Load().id; e < minID {
 		minID = e
 	}
+	//ffq:ignore spin-backoff bounded scan over the finite registered-handle list
 	for l := q.handles.Load(); l != nil; l = l.next {
 		if d := l.h.dp.Load().id; d < minID {
 			minID = d
@@ -488,6 +497,7 @@ func (h *Handle) maybeCleanup() {
 		return
 	}
 	s := head
+	//ffq:ignore spin-backoff bounded walk: s advances one segment per iteration up to a fixed minID
 	for s.id < minID && s.next.Load() != nil {
 		s = s.next.Load()
 	}

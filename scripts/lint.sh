@@ -1,0 +1,26 @@
+#!/bin/sh
+# Composite lint gate: formatting, go vet, and the module's own
+# concurrency-invariant suite (cmd/ffq-lint). CI runs the same three
+# steps; run this before pushing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== ffq-lint selfcheck"
+go run ./cmd/ffq-lint -selfcheck
+
+echo "== ffq-lint"
+go run ./cmd/ffq-lint ./...
+
+echo "lint: all clean"
