@@ -1,0 +1,173 @@
+// Command ffq-cli talks to a running ffqd broker from the shell.
+//
+// Usage:
+//
+//	ffq-cli [-addr host:7077] pub <topic> [msg...]   # publish args, or stdin lines
+//	ffq-cli [-addr host:7077] sub <topic>            # print messages until EOF/interrupt
+//	ffq-cli [-addr host:7077] ping [-n count]
+//
+// pub publishes each argument as one message; with no message
+// arguments it reads stdin and publishes one message per line (so
+// `seq 1000 | ffq-cli pub load` is a quick smoke source). Messages
+// are auto-batched into PRODUCE frames and the command drains all
+// ACKs before exiting, so a clean exit means the broker accepted
+// every message.
+//
+// sub joins the topic's competitive-consumer pool: each message goes
+// to exactly one subscriber, so two ffq-cli sub processes on one
+// topic split the stream. It prints one message per line until the
+// broker ends the stream (drain finished) or an interrupt arrives.
+//
+// ping measures broker round-trip time over the wire protocol.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ffq/internal/broker/client"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7077", "broker address")
+	window := flag.Int("window", 1024, "consumer credit window (sub) / publisher pipeline window (pub)")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fatal(fmt.Errorf("usage: ffq-cli [flags] pub|sub|ping ..."))
+	}
+	cmd := args[0]
+	if cmd != "pub" && cmd != "sub" && cmd != "ping" {
+		fatal(fmt.Errorf("unknown command %q (have pub, sub, ping)", cmd))
+	}
+
+	c, err := client.Dial(*addr, client.Options{Window: *window})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "pub":
+		err = runPub(c, args[1:])
+	case "sub":
+		err = runSub(c, args[1:])
+	case "ping":
+		err = runPing(c, args[1:])
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// runPub publishes the argument messages, or stdin lines when none
+// are given, then drains the ACK window.
+func runPub(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("pub: need a topic")
+	}
+	topic := args[0]
+	n := 0
+	if len(args) > 1 {
+		for _, m := range args[1:] {
+			if err := c.Publish(topic, []byte(m)); err != nil {
+				return err
+			}
+			n++
+		}
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			if err := c.Publish(topic, sc.Bytes()); err != nil {
+				return err
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	if err := c.Drain(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ffq-cli: published %d message(s) to %q\n", n, topic)
+	return nil
+}
+
+// runSub prints messages until end-of-stream or a signal.
+func runSub(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("sub: need a topic")
+	}
+	topic := args[0]
+	sub, err := c.Subscribe(topic, 0) // 0 = client default window
+	if err != nil {
+		return err
+	}
+
+	// Close the connection on interrupt; Recv then returns !ok.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		c.Close()
+	}()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	n := 0
+	for {
+		msg, ok := sub.Recv()
+		if !ok {
+			break
+		}
+		w.Write(msg)
+		w.WriteByte('\n')
+		if n++; n%64 == 0 {
+			w.Flush()
+		}
+	}
+	w.Flush()
+	if sub.Ended() {
+		fmt.Fprintf(os.Stderr, "ffq-cli: %q ended after %d message(s) (broker drained)\n", topic, n)
+		return nil
+	}
+	if err := c.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ffq-cli: disconnected after %d message(s)\n", n)
+	}
+	return nil
+}
+
+// runPing measures round-trips.
+func runPing(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("ping", flag.ContinueOnError)
+	count := fs.Int("n", 4, "pings to send")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var total time.Duration
+	for i := 0; i < *count; i++ {
+		rtt, err := c.Ping()
+		if err != nil {
+			return err
+		}
+		total += rtt
+		fmt.Printf("pong %d: %s\n", i+1, rtt)
+	}
+	if *count > 0 {
+		fmt.Printf("avg: %s\n", total/time.Duration(*count))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffq-cli:", err)
+	os.Exit(1)
+}

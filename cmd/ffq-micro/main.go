@@ -11,6 +11,7 @@
 //	ffq-micro -fig 6 -pairs 2 -csv
 //	ffq-micro -json BENCH_spmc.json -variant spmc -consumers 4
 //	ffq-micro -json BENCH_useg.json -variant unbounded -batch 64
+//	ffq-micro -json - -broker -transport pipe -consumers 4
 //
 // With -json the tool instead runs the instrumented queue-size sweep
 // and writes benchmark records (throughput plus per-queue spin, yield,
@@ -19,6 +20,11 @@
 // and additionally report segment recycling counters; -batch moves
 // items in contiguous-run batches (the paper-relevant sizes are 1, 8
 // and 64).
+//
+// With -broker (requires -json) the sweep instead measures the ffqd
+// broker's end-to-end loopback throughput across client auto-batch
+// sizes 1, 8 and 64 — the wire-path answer to the queue batching
+// sweep. -transport selects in-process net.Pipe or real loopback TCP.
 package main
 
 import (
@@ -44,6 +50,9 @@ func main() {
 	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc, mpmc, unbounded or unbounded-mpmc")
 	consumers := flag.Int("consumers", 1, "consumers per producer for -json")
 	batch := flag.Int("batch", 1, "items per batch for -json (unbounded variants use native batch ops)")
+	brokerSweep := flag.Bool("broker", false, "with -json: sweep ffqd broker loopback throughput across client batch sizes instead of a queue sweep")
+	transport := flag.String("transport", "pipe", "broker transport for -broker: pipe (in-process) or tcp (loopback sockets)")
+	producers := flag.Int("producers", 1, "producer connections for -broker")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -53,7 +62,13 @@ func main() {
 	o.MaxSizeExp = *maxExp
 
 	if *jsonOut != "" {
-		if err := runStatsSweep(o, *jsonOut, *variant, *consumers, *batch); err != nil {
+		var err error
+		if *brokerSweep {
+			err = runBrokerSweep(o, *jsonOut, *transport, *producers, *consumers)
+		} else {
+			err = runStatsSweep(o, *jsonOut, *variant, *consumers, *batch)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "ffq-micro:", err)
 			os.Exit(1)
 		}
@@ -109,6 +124,21 @@ func runStatsSweep(o experiments.Options, path, variant string, consumers, batch
 	if err != nil {
 		return err
 	}
+	return writeRecords(path, recs)
+}
+
+// runBrokerSweep executes the ffqd loopback broker sweep and writes
+// the JSON records.
+func runBrokerSweep(o experiments.Options, path, transport string, producers, consumers int) error {
+	recs, err := experiments.BrokerSweep(o, transport, producers, consumers, nil)
+	if err != nil {
+		return err
+	}
+	return writeRecords(path, recs)
+}
+
+// writeRecords writes a JSON record array to path ("-" = stdout).
+func writeRecords(path string, recs []report.Record) error {
 	var w io.Writer = os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

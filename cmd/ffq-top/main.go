@@ -25,6 +25,15 @@
 // (or when stdout is not a terminal) it appends one summary line per
 // tick instead, suitable for piping. The run stops after -duration
 // (0 = until interrupted).
+//
+// With -scrape ffq-top drives no workload at all: it polls a running
+// ffqd broker's /metrics endpoint instead and renders the broker's
+// connection and message counters plus a per-topic table — depth,
+// subscribers, outstanding credit, enqueue/dequeue rates and the mean
+// EnqueueBatch size over the last interval:
+//
+//	ffq-top -scrape localhost:9077           # same as http://localhost:9077/metrics
+//	ffq-top -scrape http://host:9077/metrics -interval 2s -plain
 package main
 
 import (
@@ -134,7 +143,15 @@ func main() {
 	prodDelay := flag.Duration("producer-delay", 0, "artificial work per enqueue")
 	consDelay := flag.Duration("consumer-delay", 0, "artificial work per dequeue (slows consumers, forces gaps)")
 	plain := flag.Bool("plain", false, "append one line per tick instead of refreshing in place")
+	scrape := flag.String("scrape", "", "watch a running ffqd broker instead: poll this /metrics URL (host:port implies http and /metrics)")
 	flag.Parse()
+
+	if *scrape != "" {
+		if err := runScrape(*scrape, *interval, *duration, *plain); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *producers < 1 || *consumers < 1 {
 		fatal(fmt.Errorf("need at least one producer and one consumer"))

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"ffq/internal/obs/expvarx"
+)
+
+// Broker scrape mode: instead of driving a local queue, ffq-top polls
+// an ffqd /metrics endpoint, parses the Prometheus exposition with
+// expvarx.Parse and renders the broker's counters plus a per-topic
+// table (depth, subscribers, outstanding credit, delivery rates and
+// mean batch size). Rates are deltas between consecutive scrapes.
+
+// scrapeOnce fetches and parses one exposition.
+func scrapeOnce(client *http.Client, url string) (*expvarx.SampleSet, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	samples, err := expvarx.Parse(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return expvarx.NewSampleSet(samples), nil
+}
+
+// val looks a bare (unlabeled) sample up, defaulting to 0.
+func val(ss *expvarx.SampleSet, name string) float64 {
+	v, _ := ss.Value(name, nil)
+	return v
+}
+
+// topicVal looks a {topic=...} sample up, defaulting to 0.
+func topicVal(ss *expvarx.SampleSet, name, topic string) float64 {
+	v, _ := ss.Value(name, map[string]string{"topic": topic})
+	return v
+}
+
+// topicQueueVal finds the queue-level family sample whose registered
+// queue name ends in "/topic/<topic>" (the broker registers topic
+// queues as "<prefix>/topic/<name>", and the prefix is the broker's
+// business, not ours).
+func topicQueueVal(ss *expvarx.SampleSet, name, topic string) float64 {
+	for _, q := range ss.LabelValues(name, "queue") {
+		if strings.HasSuffix(q, "/topic/"+topic) {
+			v, _ := ss.Value(name, map[string]string{"queue": q})
+			return v
+		}
+	}
+	return 0
+}
+
+// runScrape is the -scrape main loop. It renders one frame per
+// interval until the duration elapses or a signal arrives.
+func runScrape(url string, interval, duration time.Duration, plain bool) error {
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(url[strings.Index(url, "://")+3:], "/") {
+		url += "/metrics"
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	start := time.Now()
+	prev, err := scrapeOnce(client, url)
+	if err != nil {
+		return err
+	}
+	prevAt := start
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-deadline:
+			return nil
+		case now := <-ticker.C:
+			cur, err := scrapeOnce(client, url)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ffq-top: scrape:", err)
+				continue
+			}
+			renderScrape(os.Stdout, plain, url, now.Sub(start), cur, prev, now.Sub(prevAt))
+			prev, prevAt = cur, now
+		}
+	}
+}
+
+// renderScrape draws one broker frame (or appends one line with
+// -plain).
+func renderScrape(w *os.File, plain bool, url string, elapsed time.Duration,
+	cur, prev *expvarx.SampleSet, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	rate := func(name string) float64 {
+		return (val(cur, name) - val(prev, name)) / secs
+	}
+
+	if plain {
+		fmt.Fprintf(w, "t=%-8s conns=%-4.0f topics=%-4.0f in/s=%-10.0f out/s=%-10.0f acks/s=%-8.0f dropped=%.0f\n",
+			elapsed.Round(time.Second),
+			val(cur, "ffqd_connections"), val(cur, "ffqd_topics"),
+			rate("ffqd_messages_in_total"), rate("ffqd_messages_out_total"),
+			rate("ffqd_acks_total"), val(cur, "ffqd_messages_dropped_total"))
+		return
+	}
+
+	var b strings.Builder
+	b.WriteString("\x1b[2J\x1b[H")
+	fmt.Fprintf(&b, "ffq-top — broker %s — up %s\n\n", url, elapsed.Round(time.Second))
+	fmt.Fprintf(&b, "  connections %8.0f   (total %.0f)\n",
+		val(cur, "ffqd_connections"), val(cur, "ffqd_connections_total"))
+	fmt.Fprintf(&b, "  msgs in/s   %8.0f   (total %.0f, %.0f PRODUCE frames)\n",
+		rate("ffqd_messages_in_total"), val(cur, "ffqd_messages_in_total"), val(cur, "ffqd_produce_frames_total"))
+	fmt.Fprintf(&b, "  msgs out/s  %8.0f   (total %.0f, %.0f DELIVER frames)\n",
+		rate("ffqd_messages_out_total"), val(cur, "ffqd_messages_out_total"), val(cur, "ffqd_deliver_frames_total"))
+	fmt.Fprintf(&b, "  acks/s      %8.0f   (total %.0f)\n",
+		rate("ffqd_acks_total"), val(cur, "ffqd_acks_total"))
+	if d := val(cur, "ffqd_messages_dropped_total"); d > 0 {
+		fmt.Fprintf(&b, "  dropped     %8.0f   (PRODUCE after shutdown cutoff)\n", d)
+	}
+	if e := val(cur, "ffqd_protocol_errors_total"); e > 0 {
+		fmt.Fprintf(&b, "  proto errs  %8.0f\n", e)
+	}
+
+	topics := cur.LabelValues("ffqd_topic_depth", "topic")
+	sort.Strings(topics)
+	if len(topics) > 0 {
+		fmt.Fprintf(&b, "\n  %-20s %10s %6s %8s %10s %10s %10s\n",
+			"TOPIC", "DEPTH", "SUBS", "CREDIT", "IN/S", "OUT/S", "BATCH")
+		for _, tp := range topics {
+			inRate := (topicQueueVal(cur, "ffq_enqueues_total", tp) - topicQueueVal(prev, "ffq_enqueues_total", tp)) / secs
+			outRate := (topicQueueVal(cur, "ffq_dequeues_total", tp) - topicQueueVal(prev, "ffq_dequeues_total", tp)) / secs
+			// Mean items per EnqueueBatch over the last interval; the
+			// lifetime mean hides recent behavior.
+			dSum := topicQueueVal(cur, "ffq_batch_items_sum", tp) - topicQueueVal(prev, "ffq_batch_items_sum", tp)
+			dCount := topicQueueVal(cur, "ffq_batch_items_count", tp) - topicQueueVal(prev, "ffq_batch_items_count", tp)
+			batch := "-"
+			if dCount > 0 {
+				batch = fmt.Sprintf("%.1f", dSum/dCount)
+			}
+			fmt.Fprintf(&b, "  %-20s %10.0f %6.0f %8.0f %10.0f %10.0f %10s\n",
+				tp,
+				topicVal(cur, "ffqd_topic_depth", tp),
+				topicVal(cur, "ffqd_topic_subscribers", tp),
+				topicVal(cur, "ffqd_topic_credit", tp),
+				inRate, outRate, batch)
+		}
+	}
+	fmt.Fprintf(&b, "\n(ctrl-c to stop)\n")
+	w.WriteString(b.String())
+}

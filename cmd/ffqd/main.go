@@ -1,0 +1,103 @@
+// Command ffqd is the FFQ message broker daemon: it serves the ffqd
+// wire protocol on a TCP listener, fanning PRODUCE batches out to
+// credit-gated subscribers through per-topic unbounded FFQ queues
+// (see internal/broker for the data plane and internal/wire for the
+// frame format).
+//
+// Usage:
+//
+//	ffqd                                     # listen on :7077
+//	ffqd -listen :7077 -metrics :9077        # plus Prometheus /metrics
+//	                                         # and expvar /debug/vars
+//	ffqd -segment-size 4096 -deliver-batch 128
+//	ffqd -drain-timeout 10s                  # bound for graceful shutdown
+//
+// SIGINT or SIGTERM starts a graceful drain: accepted messages are
+// flushed to their topics and delivered to subscribers (still
+// credit-gated, so consumers keep replenishing windows during the
+// drain) before the process exits. -drain-timeout bounds the wait;
+// on expiry the remaining subscriptions are cut off.
+//
+// Watch a running broker with ffq-top -scrape <metrics-addr>.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ffq/internal/broker"
+	"ffq/internal/obs/expvarx"
+)
+
+func main() {
+	listen := flag.String("listen", ":7077", "address to serve the ffqd wire protocol on")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (empty = off)")
+	segSize := flag.Int("segment-size", 0, "topic queue segment size, a power of two (0 = ffq default)")
+	ingress := flag.Int("ingress-buffer", 0, "per-connection staging capacity in PRODUCE batches, a power of two (0 = default)")
+	deliverBatch := flag.Int("deliver-batch", 0, "max messages per DELIVER frame (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	noInstrument := flag.Bool("no-instrument", false, "disable queue instrumentation and the metrics collectors")
+	flag.Parse()
+
+	b, err := broker.New(broker.Options{
+		IngressBuffer: *ingress,
+		DeliverBatch:  *deliverBatch,
+		SegmentSize:   *segSize,
+		Instrument:    !*noInstrument,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ffqd: listening on %s\n", ln.Addr())
+
+	if *metrics != "" {
+		http.Handle("/metrics", expvarx.Handler())
+		go func() {
+			// DefaultServeMux already carries expvar's /debug/vars.
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ffqd: metrics:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ffqd: metrics on http://%s/metrics\n", *metrics)
+	}
+
+	// Serve until a signal; then drain.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- b.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "ffqd: %v, draining (up to %s)\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := b.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffqd: drain timed out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "ffqd: drained")
+	case err := <-serveErr:
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffqd:", err)
+	os.Exit(1)
+}

@@ -34,9 +34,10 @@
 // two. Enqueue never fails: when the queue is full it spins (the
 // paper's deployments size queues so that an empty slot always exists
 // — see the "implicit flow control" observation in Section I).
-// Dequeue blocks while the queue is empty (SPSC additionally offers
-// TryDequeue) and returns ok=false only after Close, once every item
-// has been delivered. Values are delivered exactly once, in FIFO
+// Dequeue blocks while the queue is empty, TryDequeue polls without
+// blocking, and both return ok=false only after Close, once every
+// item has been delivered (for TryDequeue, ok=false also just means
+// "nothing ready yet"). Values are delivered exactly once, in FIFO
 // order per producer.
 //
 // # Memory layout
@@ -168,10 +169,16 @@ func (s *SPMC[T]) TryEnqueue(v T) bool { return s.q.TryEnqueue(v) }
 
 // Dequeue removes the next item, blocking while the queue is empty;
 // ok=false after Close once drained. Safe for any number of
-// concurrent consumers. Note there is no TryDequeue: a consumer
-// reserves a rank with fetch-and-add and cannot abandon it (see the
-// paper's Algorithm 1).
+// concurrent consumers.
 func (s *SPMC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
+
+// TryDequeue removes the head item if one is ready, never blocking.
+// Where Dequeue reserves a rank with fetch-and-add and must wait for
+// it, TryDequeue claims the head with a compare-and-swap only once
+// the item is visibly ready, so a false return (empty, still filling,
+// or closed and drained) leaves nothing reserved. Safe for concurrent
+// consumers, mixed freely with Dequeue.
+func (s *SPMC[T]) TryDequeue() (v T, ok bool) { return s.q.TryDequeue() }
 
 // Close marks the queue closed (producer side, after the final
 // Enqueue).
@@ -217,6 +224,11 @@ func (s *MPMC[T]) Enqueue(v T) { s.q.Enqueue(v) }
 // Dequeue removes the next item, blocking while the queue is empty;
 // ok=false after Close once drained. Safe for concurrent consumers.
 func (s *MPMC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
+
+// TryDequeue removes the head item if one is ready, never blocking;
+// see SPMC.TryDequeue. ok=false also covers a producer mid-publish on
+// the head rank. Safe for concurrent consumers.
+func (s *MPMC[T]) TryDequeue() (v T, ok bool) { return s.q.TryDequeue() }
 
 // Close marks the queue closed. Call only after every producer's
 // final Enqueue has returned.

@@ -71,6 +71,65 @@ func TestPublicSPMC(t *testing.T) {
 	}
 }
 
+// TestPublicTryDequeue drains mixed Dequeue/TryDequeue consumers on
+// every multi-consumer facade: empty polls must burn nothing and every
+// item must arrive exactly once.
+func TestPublicTryDequeue(t *testing.T) {
+	spmc, err := ffq.NewSPMC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpmc, err := ffq.NewMPMC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tryQueue interface {
+		Enqueue(int)
+		TryDequeue() (int, bool)
+		Dequeue() (int, bool)
+		Close()
+	}
+	for name, q := range map[string]tryQueue{"spmc": spmc, "mpmc": mpmc} {
+		if v, ok := q.TryDequeue(); ok {
+			t.Fatalf("%s: empty TryDequeue returned %d", name, v)
+		}
+		const items = 20000
+		const consumers = 4
+		var sum atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			wg.Add(1)
+			go func(poll bool) {
+				defer wg.Done()
+				for {
+					if poll {
+						if v, ok := q.TryDequeue(); ok {
+							sum.Add(int64(v))
+							continue
+						}
+						// Nothing ready: fall through to Dequeue, which
+						// distinguishes "still filling" (it blocks) from
+						// closed-and-drained (it returns false).
+					}
+					v, ok := q.Dequeue()
+					if !ok {
+						return
+					}
+					sum.Add(int64(v))
+				}
+			}(c%2 == 0)
+		}
+		for i := 1; i <= items; i++ {
+			q.Enqueue(i)
+		}
+		q.Close()
+		wg.Wait()
+		if want := int64(items) * (items + 1) / 2; sum.Load() != want {
+			t.Fatalf("%s: sum = %d, want %d", name, sum.Load(), want)
+		}
+	}
+}
+
 func TestPublicMPMC(t *testing.T) {
 	q, err := ffq.NewMPMC[uint64](128, ffq.WithLayout(ffq.LayoutPaddedRandomized))
 	if err != nil {

@@ -27,6 +27,7 @@ func (a ffqMPMCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
 func (a ffqMPMCAdapter) Dequeue() (uint64, bool) {
 	return a.q.Dequeue()
 }
+func (a ffqMPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
 
 type ffqSPMCAdapter struct{ q *core.SPMC[uint64] }
 
@@ -34,6 +35,7 @@ func (a ffqSPMCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
 func (a ffqSPMCAdapter) Dequeue() (uint64, bool) {
 	return a.q.Dequeue()
 }
+func (a ffqSPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
 
 type ffqSPSCAdapter struct{ q *core.SPSC[uint64] }
 
@@ -41,16 +43,19 @@ func (a ffqSPSCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
 func (a ffqSPSCAdapter) Dequeue() (uint64, bool) {
 	return a.q.TryDequeue()
 }
+func (a ffqSPSCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
 
 type segSPMCAdapter struct{ q *segq.SPMC[uint64] }
 
-func (a segSPMCAdapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
-func (a segSPMCAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+func (a segSPMCAdapter) Enqueue(v uint64)           { a.q.Enqueue(v) }
+func (a segSPMCAdapter) Dequeue() (uint64, bool)    { return a.q.Dequeue() }
+func (a segSPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
 
 type segMPMCAdapter struct{ q *segq.MPMC[uint64] }
 
-func (a segMPMCAdapter) Enqueue(v uint64)        { a.q.Enqueue(v) }
-func (a segMPMCAdapter) Dequeue() (uint64, bool) { return a.q.Dequeue() }
+func (a segMPMCAdapter) Enqueue(v uint64)           { a.q.Enqueue(v) }
+func (a segMPMCAdapter) Dequeue() (uint64, bool)    { return a.q.Dequeue() }
+func (a segMPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
 
 type wfAdapter struct{ q *wfqueue.Queue }
 

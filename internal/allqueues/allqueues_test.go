@@ -18,6 +18,16 @@ func blocking(name string) bool {
 	return false
 }
 
+// tryDequeuer names the registry entries whose adapters expose the
+// non-blocking TryDequeue poll (the FFQ family).
+func tryDequeuer(name string) bool {
+	switch name {
+	case "ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-useg", "ffq-useg-mpmc":
+		return true
+	}
+	return false
+}
+
 // Every registry entry must pass the conformance suite through the
 // exact adapter the benchmarks use. Unbounded entries additionally
 // must absorb a burst far beyond the capacity hint with no consumer
@@ -38,6 +48,9 @@ func TestRegistryConformance(t *testing.T) {
 			}
 			queuetest.Sequential(t, f.Factory, opts)
 			queuetest.Concurrent(t, f.Factory, opts)
+			if tryDequeuer(f.Name) {
+				queuetest.TryDequeue(t, f.Factory, opts)
+			}
 			if !f.Bounded {
 				growth := opts
 				growth.Capacity = 16 // segmented queues: 16-cell segments, 64 segment links

@@ -1,0 +1,324 @@
+// Package broker is ffqd's data plane: FFQ fan-out put on the network.
+//
+// # Architecture
+//
+// Every accepted connection gets a reader goroutine, a bounded SPSC
+// ingress queue and a pump goroutine:
+//
+//	conn → reader ──SPSC──▶ pump ──EnqueueBatch──▶ topic (UnboundedMPMC)
+//	                                                  │ TryDequeue
+//	                                  subscription ◀──┘ (one per CONSUME)
+//	                                       │ DELIVER frames, credit-gated
+//	                                       ▼
+//	                                     conn writer
+//
+// The reader decodes PRODUCE frames and stages each batch — one arena
+// copy per frame — into its connection's SPSC queue (the paper's
+// one-queue-per-producer shape). The SPSC queue is bounded, so a
+// producer that outruns the broker stalls its own reader and the
+// backpressure propagates into TCP, never into other connections. The
+// pump drains staged batches and feeds each topic's unbounded MPMC
+// queue with EnqueueBatch (one rank reservation per batch), then
+// acknowledges cumulatively per topic.
+//
+// Fan-out is competitive-consumer: each subscription claims messages
+// from the topic queue with TryDequeue, so a message is delivered to
+// exactly one subscriber and per-producer FIFO order is preserved per
+// subscriber. TryDequeue is what keeps slow consumers from stalling
+// the topic: a subscription with no credit simply does not claim —
+// unlike Dequeue, whose fetch-and-add would park it on a rank and
+// starve the other subscribers behind it.
+//
+// # Credit-window backpressure
+//
+// A CONSUME frame opens a subscription with an initial credit: the
+// number of messages the broker may deliver before hearing CREDIT
+// again. Deliveries debit the window before they claim; a window at
+// zero pauses only that subscription. Credit therefore bounds the
+// bytes in flight per subscriber and lets one stalled consumer idle
+// while the rest of the pool keeps draining the topic.
+//
+// # Shutdown
+//
+// Shutdown drains rather than drops: stop accepting, cut PRODUCE off
+// (readers stay up, still serving CREDIT so the drain can progress),
+// let pumps flush staged batches into their topics, close the topic
+// queues (safe: all producers have exited), then let every
+// subscription drain its topic — still credit-gated — and finish with
+// an ACK+FlagEnd end-of-stream marker. A context bounds the wait;
+// expiry force-stops the remaining subscriptions.
+package broker
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ffq"
+	"ffq/internal/obs/expvarx"
+)
+
+// Defaults for Options zero values.
+const (
+	// DefaultIngressBuffer is the per-connection staging queue capacity
+	// (staged PRODUCE batches, not messages).
+	DefaultIngressBuffer = 256
+	// DefaultDeliverBatch caps messages per DELIVER frame.
+	DefaultDeliverBatch = 64
+)
+
+// Options configures a Broker.
+type Options struct {
+	// IngressBuffer is the per-connection SPSC staging capacity in
+	// PRODUCE batches; must be a power of two. 0 means
+	// DefaultIngressBuffer.
+	IngressBuffer int
+	// DeliverBatch caps the messages packed into one DELIVER frame.
+	// 0 means DefaultDeliverBatch.
+	DeliverBatch int
+	// SegmentSize overrides the topic queues' segment size (power of
+	// two); 0 keeps the ffq default.
+	SegmentSize int
+	// Instrument enables queue instrumentation on every topic and
+	// registers the topics plus the broker's own counters with the
+	// expvarx Prometheus endpoint.
+	Instrument bool
+	// MetricsPrefix namespaces the expvarx registrations (useful when
+	// tests run several instrumented brokers in one process). Empty
+	// means "ffqd".
+	MetricsPrefix string
+}
+
+// Broker accepts ffqd wire connections and routes PRODUCE batches into
+// per-topic unbounded FFQ queues, fanning them out to credit-gated
+// subscribers.
+type Broker struct {
+	opts Options
+
+	mu     sync.Mutex
+	topics map[string]*topic
+	conns  map[*conn]struct{}
+	ln     net.Listener
+
+	// draining closes when Shutdown begins; readers treat their read
+	// deadline firing as "drain and exit" once it is closed.
+	draining chan struct{}
+	closing  atomic.Bool
+
+	// readWG tracks reader goroutines, pumpWG the ingress pumps,
+	// deliverWG the subscription delivery goroutines. Shutdown waits
+	// for them in that order.
+	readWG    sync.WaitGroup
+	pumpWG    sync.WaitGroup
+	deliverWG sync.WaitGroup
+
+	m      Metrics
+	connID atomic.Uint64
+}
+
+// topic is one named fan-out queue plus its subscriber accounting.
+type topic struct {
+	name string
+	// nameBytes is the wire form, encoded once.
+	nameBytes []byte
+	q         *ffq.UnboundedMPMC[[]byte]
+
+	mu   sync.Mutex
+	subs map[*sub]struct{}
+}
+
+// New returns a broker; Serve starts it.
+func New(opts Options) (*Broker, error) {
+	if opts.IngressBuffer == 0 {
+		opts.IngressBuffer = DefaultIngressBuffer
+	}
+	if opts.DeliverBatch == 0 {
+		opts.DeliverBatch = DefaultDeliverBatch
+	}
+	if opts.MetricsPrefix == "" {
+		opts.MetricsPrefix = "ffqd"
+	}
+	b := &Broker{
+		opts:     opts,
+		topics:   map[string]*topic{},
+		conns:    map[*conn]struct{}{},
+		draining: make(chan struct{}),
+	}
+	if opts.Instrument {
+		if err := expvarx.RegisterCollector(opts.MetricsPrefix, b.collect); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Serve accepts connections on ln until Shutdown (or a listener
+// error). It returns nil after a Shutdown-initiated stop.
+func (b *Broker) Serve(ln net.Listener) error {
+	b.mu.Lock()
+	b.ln = ln
+	b.mu.Unlock()
+	//ffq:ignore spin-backoff not a spin loop: every iteration blocks in Accept; the atomic load only classifies the exit path
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if b.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		b.ServeConn(nc)
+	}
+}
+
+// ServeConn adopts one established connection (real TCP or a
+// net.Pipe end); Serve calls it for every accept. It returns
+// immediately — the connection's goroutines run in the background.
+func (b *Broker) ServeConn(nc net.Conn) {
+	c := newConn(b, nc)
+	b.mu.Lock()
+	if b.closing.Load() {
+		b.mu.Unlock()
+		nc.Close()
+		return
+	}
+	b.conns[c] = struct{}{}
+	b.mu.Unlock()
+	b.m.ConnsOpen.Add(1)
+	b.m.ConnsTotal.Add(1)
+	b.readWG.Add(1)
+	b.pumpWG.Add(1)
+	go c.readLoop()
+	go c.pumpLoop()
+}
+
+// getTopic returns (creating on first use) the named topic.
+func (b *Broker) getTopic(name string) (*topic, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.topics[name]; ok {
+		return t, nil
+	}
+	if b.closing.Load() {
+		return nil, errors.New("broker: shutting down")
+	}
+	opts := []ffq.Option{}
+	if b.opts.SegmentSize > 0 {
+		opts = append(opts, ffq.WithSegmentSize(b.opts.SegmentSize))
+	}
+	if b.opts.Instrument {
+		opts = append(opts, ffq.WithInstrumentation())
+	}
+	q, err := ffq.NewUnboundedMPMC[[]byte](opts...)
+	if err != nil {
+		return nil, err
+	}
+	t := &topic{
+		name:      name,
+		nameBytes: []byte(name),
+		q:         q,
+		subs:      map[*sub]struct{}{},
+	}
+	b.topics[name] = t
+	if b.opts.Instrument {
+		name := b.opts.MetricsPrefix + "/topic/" + t.name
+		expvarx.Register(name, expvarx.QueueInfo{Stats: q.Stats, Len: q.Len})
+	}
+	return t, nil
+}
+
+// Topics returns the current topic names (for inspection; the set only
+// grows until shutdown).
+func (b *Broker) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.topics))
+	for n := range b.topics {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Metrics returns a pointer to the broker's live counters.
+func (b *Broker) Metrics() *Metrics { return &b.m }
+
+// Shutdown drains the broker: no new connections, readers unblocked,
+// staged batches flushed into their topics, topics closed, every
+// subscription drained to its end-of-stream marker. ctx bounds the
+// subscriber drain (slow or credit-starved consumers); on expiry the
+// remaining subscriptions are force-stopped and ctx.Err() is returned.
+func (b *Broker) Shutdown(ctx context.Context) error {
+	if !b.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(b.draining)
+
+	b.mu.Lock()
+	ln := b.ln
+	conns := make([]*conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	// Wake every reader; with closing set they switch to drain mode —
+	// PRODUCE cut off (ingress closed), CREDIT and PING still served so
+	// consumers can keep replenishing their windows during the drain.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	// Pumps flush the staged batches and exit; after this no producer
+	// touches any topic queue.
+	b.pumpWG.Wait()
+
+	b.mu.Lock()
+	topics := make([]*topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.Unlock()
+	for _, t := range topics {
+		t.q.Close()
+	}
+
+	// Subscriptions drain their topics (credit-gated) and finish with
+	// ACK+FlagEnd; bound the wait with ctx.
+	done := make(chan struct{})
+	go func() {
+		b.deliverWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, t := range topics {
+			t.mu.Lock()
+			for s := range t.subs {
+				s.stop.Store(true)
+			}
+			t.mu.Unlock()
+		}
+		<-done
+	}
+
+	// Closing the sockets ends the drain-mode readers.
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	b.readWG.Wait()
+	if b.opts.Instrument {
+		expvarx.UnregisterCollector(b.opts.MetricsPrefix)
+		for _, t := range topics {
+			expvarx.Unregister(b.opts.MetricsPrefix + "/topic/" + t.name)
+		}
+	}
+	return err
+}

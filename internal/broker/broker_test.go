@@ -1,0 +1,387 @@
+package broker_test
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ffq/internal/broker"
+	"ffq/internal/broker/client"
+	"ffq/internal/obs/expvarx"
+	"ffq/internal/wire"
+)
+
+// startBroker runs a broker on a loopback TCP listener and returns it
+// with its address and a shutdown helper.
+func startBroker(t *testing.T, opts broker.Options) (*broker.Broker, string) {
+	t.Helper()
+	b, err := broker.New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go b.Serve(ln)
+	return b, ln.Addr().String()
+}
+
+// msg encodes (producer, seq) as a fixed 9-byte payload.
+func msg(producer byte, seq uint64) []byte {
+	m := make([]byte, 9)
+	m[0] = producer
+	binary.BigEndian.PutUint64(m[1:], seq)
+	return m
+}
+
+// TestFanOutTCP is the end-to-end acceptance test: 4 producer
+// connections × 4 consumer connections over real TCP, every message
+// delivered exactly once, per-producer FIFO preserved at each
+// consumer, and a graceful Shutdown that drains the backlog and ends
+// every subscription with the end-of-stream marker.
+func TestFanOutTCP(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5000
+	)
+	b, addr := startBroker(t, broker.Options{})
+
+	// Consumers first, so deliveries start while producing is underway.
+	type recvd struct {
+		producer byte
+		seq      uint64
+	}
+	got := make([][]recvd, consumers)
+	var consumerWG sync.WaitGroup
+	for ci := 0; ci < consumers; ci++ {
+		c, err := client.Dial(addr, client.Options{})
+		if err != nil {
+			t.Fatalf("consumer dial: %v", err)
+		}
+		defer c.Close()
+		sub, err := c.Subscribe("orders", 256)
+		if err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+		consumerWG.Add(1)
+		go func(ci int) {
+			defer consumerWG.Done()
+			for {
+				m, ok := sub.Recv()
+				if !ok {
+					// A graceful drain ends with the FlagEnd marker; the
+					// broker closing the socket afterwards is expected.
+					if !sub.Ended() {
+						t.Errorf("consumer %d: stream ended without end-of-stream marker: %v", ci, c.Err())
+					}
+					return
+				}
+				if len(m) != 9 {
+					t.Errorf("consumer %d: bad payload length %d", ci, len(m))
+					return
+				}
+				got[ci] = append(got[ci], recvd{m[0], binary.BigEndian.Uint64(m[1:])})
+			}
+		}(ci)
+	}
+
+	var producerWG sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		producerWG.Add(1)
+		go func(pi int) {
+			defer producerWG.Done()
+			c, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				t.Errorf("producer dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for seq := uint64(0); seq < perProd; seq++ {
+				if err := c.Publish("orders", msg(byte(pi), seq)); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+			// Drain guarantees the broker has accepted (ACKed) every
+			// message before we allow Shutdown.
+			if err := c.Drain(); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		}(pi)
+	}
+	producerWG.Wait()
+
+	// Shutdown drains: backlog flows to the consumers, then every
+	// subscription sees end-of-stream, closing the Recv channels.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	consumerWG.Wait()
+
+	// Exactly once, nothing lost.
+	seen := make(map[recvd]int)
+	total := 0
+	for ci := range got {
+		total += len(got[ci])
+		for _, r := range got[ci] {
+			seen[r]++
+		}
+	}
+	if want := producers * perProd; total != want {
+		t.Fatalf("delivered %d messages, want %d", total, want)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("message (producer %d, seq %d) delivered %d times", r.producer, r.seq, n)
+		}
+	}
+	// Per-producer FIFO at each consumer.
+	for ci := range got {
+		last := map[byte]uint64{}
+		for _, r := range got[ci] {
+			if prev, ok := last[r.producer]; ok && r.seq <= prev {
+				t.Fatalf("consumer %d: producer %d seq %d after %d", ci, r.producer, r.seq, prev)
+			}
+			last[r.producer] = r.seq
+		}
+	}
+}
+
+// TestCreditGatesDelivery drives the wire protocol directly: a
+// subscription with credit 2 must receive exactly 2 of 10 queued
+// messages, and the rest only after a CREDIT grant.
+func TestCreditGatesDelivery(t *testing.T) {
+	b, addr := startBroker(t, broker.Options{})
+	defer b.Shutdown(context.Background())
+
+	// Producer: queue 10 messages and wait for the cumulative ACK.
+	prod, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer prod.Close()
+	for i := 0; i < 10; i++ {
+		if err := prod.Publish("gated", msg(0, uint64(i))); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	if err := prod.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Raw consumer with an initial credit of 2.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	var buf wire.Buffer
+	buf.PutConsume([]byte("gated"), 2)
+	if _, err := nc.Write(buf.Bytes()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	r := wire.NewReader(nc)
+	recv := func(deadline time.Duration) int {
+		n := 0
+		for {
+			nc.SetReadDeadline(time.Now().Add(deadline))
+			f, err := r.Next()
+			if err != nil {
+				return n // deadline: no more deliveries in flight
+			}
+			if f.Type != wire.TProduce || f.Flags&wire.FlagDeliver == 0 {
+				t.Fatalf("unexpected frame type %d flags %d", f.Type, f.Flags)
+			}
+			p, err := wire.ParseProduce(f)
+			if err != nil {
+				t.Fatalf("ParseProduce: %v", err)
+			}
+			n += p.N
+		}
+	}
+	if n := recv(time.Second); n != 2 {
+		t.Fatalf("got %d messages with credit 2, want 2", n)
+	}
+	buf.Reset()
+	buf.PutCredit([]byte("gated"), 8)
+	if _, err := nc.Write(buf.Bytes()); err != nil {
+		t.Fatalf("write credit: %v", err)
+	}
+	if n := recv(time.Second); n != 8 {
+		t.Fatalf("got %d messages after CREDIT 8, want 8", n)
+	}
+}
+
+// TestPipeLoopback exercises ServeConn with net.Pipe ends — the
+// transport the loopback benchmark uses — including PING round-trips.
+func TestPipeLoopback(t *testing.T) {
+	b, err := broker.New(broker.Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv, cli := net.Pipe()
+	b.ServeConn(srv)
+	c := client.New(cli, client.Options{MaxBatch: 8})
+
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	sub, err := c.Subscribe("pipe", 64)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Publish("pipe", msg(1, uint64(i))); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := sub.Recv()
+		if !ok {
+			t.Fatalf("stream ended at message %d: %v", i, c.Err())
+		}
+		if got := binary.BigEndian.Uint64(m[1:]); got != uint64(i) {
+			t.Fatalf("message %d out of order: got seq %d", i, got)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, ok := sub.Recv(); ok {
+		t.Fatal("Recv delivered after end-of-stream")
+	}
+	c.Close()
+}
+
+// TestProtocolErrorTearsDownConn checks the fail-closed path: a bogus
+// frame type gets an ERR frame back and the connection is dropped
+// without taking the broker down.
+func TestProtocolErrorTearsDownConn(t *testing.T) {
+	b, addr := startBroker(t, broker.Options{})
+	defer b.Shutdown(context.Background())
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	// Frame type 99 is not a thing.
+	if _, err := nc.Write([]byte{0, 0, 0, 2, 99, 0}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r := wire.NewReader(nc)
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := r.Next()
+	if err != nil {
+		t.Fatalf("expected ERR frame, got %v", err)
+	}
+	if f.Type != wire.TErr {
+		t.Fatalf("expected TErr, got type %d", f.Type)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("connection still open after protocol error")
+	}
+	if n := b.Metrics().ProtoErrors.Load(); n != 1 {
+		t.Fatalf("ProtoErrors = %d, want 1", n)
+	}
+
+	// The broker still serves new connections.
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial after error: %v", err)
+	}
+	defer c.Close()
+	if err := c.Publish("still-alive", msg(0, 0)); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestMetricsExposition checks that an instrumented broker shows up in
+// the Prometheus endpoint: its own ffqd_* families plus a per-topic
+// queue registration.
+func TestMetricsExposition(t *testing.T) {
+	b, addr := startBroker(t, broker.Options{
+		Instrument:    true,
+		MetricsPrefix: "ffqd_test",
+	})
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe("metrics", 32)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Publish("metrics", msg(0, uint64(i))); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := sub.Recv(); !ok {
+			t.Fatalf("stream ended early: %v", c.Err())
+		}
+	}
+
+	// MsgsOut is counted just after the DELIVER write, so it can trail
+	// the client's Recv by an instant; poll briefly.
+	wants := []string{
+		"ffqd_connections 1",
+		"ffqd_messages_in_total 10",
+		"ffqd_messages_out_total 10",
+		`ffqd_topic_subscribers{topic="metrics"} 1`,
+		`ffq_enqueues_total{queue="ffqd_test/topic/metrics"}`,
+	}
+	var expo string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		expo = expvarx.Exposition()
+		missing := false
+		for _, want := range wants {
+			if !strings.Contains(expo, want) {
+				missing = true
+			}
+		}
+		if !missing || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range wants {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Shutdown unregisters: the families disappear from the exposition.
+	if expo := expvarx.Exposition(); strings.Contains(expo, "ffqd_test/topic/metrics") {
+		t.Error("topic queue still registered after Shutdown")
+	}
+}

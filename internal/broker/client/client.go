@@ -1,0 +1,525 @@
+// Package client is the Go client for the ffqd wire protocol:
+// auto-batching pipelined producers, credit-window subscriptions, and
+// PING round-trips, over any net.Conn.
+//
+// # Producer side
+//
+// Publish appends to a per-topic buffer; a full buffer (MaxBatch) or
+// the flush timer (FlushInterval) turns it into one PRODUCE frame.
+// Batching is what the broker's ingress path is built around — one
+// frame is one arena copy, one SPSC staging slot and one
+// EnqueueBatch rank reservation, regardless of message count. The
+// pipeline keeps at most Window unacknowledged messages in flight per
+// topic; Publish blocks (backpressure) beyond that.
+//
+// # Consumer side
+//
+// Subscribe opens a credit window; the broker delivers at most that
+// many messages beyond what Recv has consumed, so the Subscription's
+// buffered channel can never block the client's read loop. Recv
+// replenishes credit in half-window chunks. The channel closes after
+// the broker's end-of-stream marker (sent when the topic is drained
+// on shutdown) or on connection failure — check Err to tell the two
+// apart.
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ffq/internal/wire"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxBatch      = 64
+	DefaultFlushInterval = time.Millisecond
+	DefaultWindow        = 1024
+)
+
+// Options configures a Client.
+type Options struct {
+	// MaxBatch is the flush threshold in messages per topic; a Publish
+	// that fills the buffer flushes synchronously. 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// FlushInterval bounds how long a message may sit in the batch
+	// buffer before a timer flushes it. 0 means DefaultFlushInterval.
+	FlushInterval time.Duration
+	// Window is the per-topic pipelining bound: the maximum number of
+	// published-but-unacknowledged messages before Publish blocks.
+	// 0 means DefaultWindow.
+	Window int
+}
+
+// Client is one ffqd connection. All methods are safe for concurrent
+// use; each Subscription's Recv is single-consumer.
+type Client struct {
+	nc   net.Conn
+	opts Options
+
+	// wmu serializes frame writes; wbuf is the shared encode buffer.
+	wmu  sync.Mutex
+	wbuf wire.Buffer
+
+	mu     sync.Mutex
+	pubs   map[string]*pub
+	subs   map[string]*Subscription
+	pings  map[uint64]chan struct{}
+	pingID uint64
+	err    error
+
+	// done closes when the connection dies (peer close, protocol or
+	// socket error).
+	done chan struct{}
+}
+
+// Dial connects to an ffqd broker over TCP.
+func Dial(addr string, opts Options) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(nc, opts), nil
+}
+
+// New adopts an established connection (TCP or a net.Pipe end) and
+// starts the read loop.
+func New(nc net.Conn, opts Options) *Client {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	c := &Client{
+		nc:    nc,
+		opts:  opts,
+		pubs:  map[string]*pub{},
+		subs:  map[string]*Subscription{},
+		pings: map[uint64]chan struct{}{},
+		done:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Err returns the terminal connection error, or nil while the
+// connection is healthy. A clean Close reports net.ErrClosed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// fail records the terminal error once and unblocks everything:
+// publishers waiting on window space, subscriptions waiting on Recv,
+// pings waiting on pongs.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pubs := make([]*pub, 0, len(c.pubs))
+	for _, p := range c.pubs {
+		pubs = append(pubs, p)
+	}
+	subs := make([]*Subscription, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+
+	close(c.done)
+	c.nc.Close()
+	for _, p := range pubs {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	for _, s := range subs {
+		s.closeCh()
+	}
+}
+
+// readLoop dispatches broker frames: DELIVERs to subscriptions, ACKs
+// to publisher windows (or, with FlagEnd, subscription end-of-stream),
+// PONGs to waiting Pings.
+func (c *Client) readLoop() {
+	r := wire.NewReader(c.nc)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch f.Type {
+		case wire.TProduce:
+			if f.Flags&wire.FlagDeliver == 0 {
+				c.fail(errors.New("client: PRODUCE without DELIVER flag from broker"))
+				return
+			}
+			p, err := wire.ParseProduce(f)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			s := c.subs[string(p.Topic)]
+			c.mu.Unlock()
+			msgs := wire.CopyMessages(&p)
+			if s == nil {
+				continue // subscription raced away; drop
+			}
+			for _, m := range msgs {
+				s.ch <- m
+			}
+		case wire.TAck:
+			topic, seq, err := wire.ParseAck(f)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if f.Flags&wire.FlagEnd != 0 {
+				c.mu.Lock()
+				s := c.subs[string(topic)]
+				c.mu.Unlock()
+				if s != nil {
+					s.ended.Store(true)
+					s.closeCh()
+				}
+				continue
+			}
+			c.mu.Lock()
+			p := c.pubs[string(topic)]
+			c.mu.Unlock()
+			if p != nil {
+				p.mu.Lock()
+				if seq > p.acked {
+					p.acked = seq
+					p.cond.Broadcast()
+				}
+				p.mu.Unlock()
+			}
+		case wire.TPing:
+			token, err := wire.ParsePing(f)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			ch := c.pings[token]
+			delete(c.pings, token)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- struct{}{}
+			}
+		case wire.TErr:
+			msg, err := wire.ParseErr(f)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.fail(errors.New("client: broker error: " + msg))
+			return
+		default:
+			c.fail(errors.New("client: unexpected frame type from broker"))
+			return
+		}
+	}
+}
+
+// ---- producer side ----
+
+// pub is the per-topic publish state: batch buffer + pipeline window.
+type pub struct {
+	c     *Client
+	topic []byte
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending [][]byte
+	// sent/acked track the pipeline window in messages; acked is the
+	// broker's cumulative ACK.
+	sent, acked uint64
+	timerArmed  bool
+}
+
+// pub returns (creating) the publish state for topic.
+func (c *Client) pub(topic string) *pub {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pubs[topic]
+	if !ok {
+		p = &pub{c: c, topic: []byte(topic)}
+		p.cond = sync.NewCond(&p.mu)
+		c.pubs[topic] = p
+	}
+	return p
+}
+
+// Publish queues msg for topic (the bytes are copied). It flushes
+// synchronously when the batch buffer reaches MaxBatch and blocks when
+// the pipeline window is full; otherwise it returns immediately and
+// the flush timer picks the batch up.
+func (c *Client) Publish(topic string, msg []byte) error {
+	p := c.pub(topic)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := c.Err(); err != nil {
+		return err
+	}
+	p.pending = append(p.pending, append([]byte(nil), msg...))
+	if len(p.pending) >= c.opts.MaxBatch {
+		return p.flushLocked()
+	}
+	if !p.timerArmed {
+		p.timerArmed = true
+		time.AfterFunc(c.opts.FlushInterval, p.timerFlush)
+	}
+	return nil
+}
+
+// timerFlush is the FlushInterval callback.
+func (p *pub) timerFlush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.timerArmed = false
+	if len(p.pending) > 0 && p.c.Err() == nil {
+		p.flushLocked() // best effort; errors surface on the next Publish
+	}
+}
+
+// flushLocked sends the pending batch as PRODUCE frames, waiting for
+// window space as needed. Callers hold p.mu.
+//
+// The socket write happens with p.mu RELEASED (wmu alone orders the
+// frames): the read loop takes p.mu to process ACKs, and on a
+// synchronous transport (net.Pipe) a write can only complete once the
+// peer's reads progress — holding p.mu across the write would deadlock
+// the window against its own acknowledgements.
+func (p *pub) flushLocked() error {
+	c := p.c
+	for len(p.pending) > 0 {
+		for c.Err() == nil && p.sent-p.acked >= uint64(c.opts.Window) {
+			p.cond.Wait()
+		}
+		if err := c.Err(); err != nil {
+			return err
+		}
+		room := c.opts.Window - int(p.sent-p.acked)
+		n := min(len(p.pending), c.opts.MaxBatch, room)
+		// Copy the slice headers: the pending buffer is compacted (and
+		// refilled by concurrent Publishes) once p.mu is released.
+		batch := make([][]byte, n)
+		copy(batch, p.pending[:n])
+		p.sent += uint64(n)
+		p.pending = append(p.pending[:0], p.pending[n:]...)
+		// Taking wmu before releasing p.mu keeps frame order equal to
+		// window order when Publish and the flush timer race.
+		c.wmu.Lock()
+		p.mu.Unlock()
+		c.wbuf.Reset()
+		c.wbuf.PutProduce(0, p.topic, batch)
+		_, err := c.nc.Write(c.wbuf.Bytes())
+		c.wmu.Unlock()
+		p.mu.Lock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush sends every topic's pending batch now.
+func (c *Client) Flush() error {
+	var first error
+	for _, p := range c.allPubs() {
+		p.mu.Lock()
+		if err := p.flushLocked(); err != nil && first == nil {
+			first = err
+		}
+		p.mu.Unlock()
+	}
+	return first
+}
+
+// Drain flushes and then blocks until the broker has acknowledged
+// every published message (the pipeline is empty).
+func (c *Client) Drain() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for _, p := range c.allPubs() {
+		p.mu.Lock()
+		for c.Err() == nil && p.acked < p.sent {
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+	}
+	return c.Err()
+}
+
+func (c *Client) allPubs() []*pub {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*pub, 0, len(c.pubs))
+	for _, p := range c.pubs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ---- consumer side ----
+
+// Subscription is one credit-window subscription. Recv is
+// single-consumer; everything else on the Client stays concurrent.
+type Subscription struct {
+	c      *Client
+	topic  []byte
+	ch     chan []byte
+	window int
+	// taken counts messages consumed since the last CREDIT; Recv
+	// replenishes at half a window.
+	taken  int
+	closed atomic.Bool
+	ended  atomic.Bool
+}
+
+// Ended reports whether the broker sent the end-of-stream marker (a
+// graceful drain). After Recv returns ok=false, Ended distinguishes a
+// clean end from a connection failure.
+func (s *Subscription) Ended() bool { return s.ended.Load() }
+
+// Subscribe opens a subscription on topic with the given credit window
+// (0 means the client default). The window bounds broker-side
+// in-flight deliveries and is also the Recv buffer size.
+func (c *Client) Subscribe(topic string, window int) (*Subscription, error) {
+	if window <= 0 {
+		window = c.opts.Window
+	}
+	s := &Subscription{
+		c:      c,
+		topic:  []byte(topic),
+		ch:     make(chan []byte, window),
+		window: window,
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if _, dup := c.subs[topic]; dup {
+		c.mu.Unlock()
+		return nil, errors.New("client: already subscribed to " + topic)
+	}
+	c.subs[topic] = s
+	c.mu.Unlock()
+	if err := c.writeConsume(s.topic, uint32(window)); err != nil {
+		c.mu.Lock()
+		delete(c.subs, topic)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Recv returns the next delivered message; ok=false means
+// end-of-stream (broker drain) or connection failure — check
+// Client.Err to distinguish. It replenishes the broker's credit
+// window as messages are consumed.
+func (s *Subscription) Recv() (msg []byte, ok bool) {
+	m, ok := <-s.ch
+	if !ok {
+		return nil, false
+	}
+	s.taken++
+	if s.taken >= max(1, s.window/2) {
+		s.c.writeCredit(s.topic, uint32(s.taken))
+		s.taken = 0
+	}
+	return m, true
+}
+
+// closeCh closes the delivery channel exactly once (end marker and
+// connection failure can race).
+func (s *Subscription) closeCh() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.ch)
+	}
+}
+
+// ---- ping ----
+
+// Ping round-trips a PING frame and returns the wire+broker latency.
+func (c *Client) Ping() (time.Duration, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.pingID++
+	token := c.pingID
+	ch := make(chan struct{}, 1)
+	c.pings[token] = ch
+	c.mu.Unlock()
+
+	start := time.Now()
+	if err := c.writePing(token); err != nil {
+		return 0, err
+	}
+	select {
+	case <-ch:
+		return time.Since(start), nil
+	case <-c.done:
+		return 0, c.Err()
+	}
+}
+
+// Close flushes pending batches and closes the connection. Open
+// subscriptions observe end-of-stream.
+func (c *Client) Close() error {
+	c.Flush()
+	err := c.nc.Close()
+	<-c.done // read loop exits and closes subscription channels
+	return err
+}
+
+// ---- serialized writer ----
+
+func (c *Client) writeConsume(topic []byte, credit uint32) error {
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutConsume(topic, credit)
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) writeCredit(topic []byte, n uint32) error {
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutCredit(topic, n)
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) writePing(token uint64) error {
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutPing(token, false)
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	c.wmu.Unlock()
+	return err
+}

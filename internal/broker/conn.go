@@ -1,0 +1,446 @@
+package broker
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ffq"
+	"ffq/internal/wire"
+)
+
+// staged is one PRODUCE batch copied out of the reader's frame buffer
+// and parked in the connection's ingress queue until the pump flushes
+// it into the topic.
+type staged struct {
+	t    *topic
+	msgs [][]byte
+}
+
+// conn is one accepted connection: reader + ingress SPSC + pump on the
+// produce side, any number of subscriptions on the consume side, all
+// sharing one serialized writer.
+type conn struct {
+	b  *Broker
+	nc net.Conn
+	id uint64
+
+	// ingress stages PRODUCE batches from the reader (single producer)
+	// for the pump (single consumer). Its bound is the backpressure:
+	// a full queue stalls the reader, which stalls the socket.
+	ingress *ffq.SPSC[staged]
+	// wake signals the pump that the reader staged a batch (capacity 1;
+	// a dropped send means a wakeup is already pending). The reader
+	// closes it after closing ingress.
+	wake chan struct{}
+
+	// wmu serializes the writer between the pump (ACKs), subscriptions
+	// (DELIVERs) and the reader (PONGs, ERRs); wbuf is the shared
+	// encode buffer, reused so steady-state writes do not allocate.
+	wmu  sync.Mutex
+	wbuf wire.Buffer
+
+	// dead flips when either side of the connection fails; every writer
+	// checks it and every delivery loop exits on it.
+	dead atomic.Bool
+
+	// subs is the reader goroutine's subscription index (topic name →
+	// sub). Only the reader touches it.
+	subs map[string]*sub
+
+	// lastTopic caches the previous PRODUCE frame's topic so the common
+	// single-topic producer skips the broker map lookup.
+	lastTopic *topic
+}
+
+func newConn(b *Broker, nc net.Conn) *conn {
+	ingress, err := ffq.NewSPSC[staged](b.opts.IngressBuffer)
+	if err != nil {
+		// IngressBuffer defaults to a power of two; a bad custom value
+		// is a configuration bug, caught on the first connection.
+		panic("broker: invalid IngressBuffer: " + err.Error())
+	}
+	return &conn{
+		b:       b,
+		nc:      nc,
+		id:      b.connID.Add(1),
+		ingress: ingress,
+		wake:    make(chan struct{}, 1),
+		subs:    map[string]*sub{},
+	}
+}
+
+// readLoop decodes frames until the peer goes away or a protocol
+// error occurs. Shutdown's read-deadline wake does not end the loop:
+// it switches it to drain mode, where PRODUCE is cut off (the pump
+// must quiesce so topics can close) but CREDIT and PING keep flowing —
+// the drain needs consumers replenishing their windows.
+func (c *conn) readLoop() {
+	defer c.b.readWG.Done()
+	r := wire.NewReader(c.nc)
+	drainMode := false
+	//ffq:ignore spin-backoff not a spin loop: every iteration blocks in the socket read; the atomic load only classifies the error path
+	for {
+		f, err := r.Next()
+		if err != nil {
+			if !drainMode && c.b.closing.Load() && isTimeout(err) {
+				// Shutdown's produce cutoff: stop staging so the pump
+				// can exit, then keep reading without a deadline. The
+				// socket close at the end of Shutdown ends the loop.
+				drainMode = true
+				c.ingress.Close()
+				close(c.wake)
+				c.nc.SetReadDeadline(time.Time{})
+				continue
+			}
+			break
+		}
+		if err := c.handleFrame(f, drainMode); err != nil {
+			c.b.m.ProtoErrors.Add(1)
+			c.writeErr(err.Error())
+			break
+		}
+	}
+	if !drainMode {
+		// Hand the pump its end-of-input: close the staging queue, then
+		// the wake channel so a parked pump drains and exits.
+		c.ingress.Close()
+		close(c.wake)
+		c.teardown()
+	}
+	// In drain mode Shutdown owns the connection's lifecycle; the
+	// delivery side keeps running until the topics drain.
+}
+
+// handleFrame dispatches one decoded frame. A returned error is a
+// protocol violation and terminal for the connection.
+func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
+	switch f.Type {
+	case wire.TProduce:
+		p, err := wire.ParseProduce(f)
+		if err != nil {
+			return err
+		}
+		if drainMode {
+			// Past the produce cutoff: the frame is discarded and never
+			// acknowledged — unacknowledged publishes were never
+			// accepted, which is exactly what ACKs mean.
+			c.b.m.MsgsDropped.Add(int64(p.N))
+			return nil
+		}
+		t := c.lastTopic
+		if t == nil || !bytes.Equal(p.Topic, t.nameBytes) {
+			t, err = c.b.getTopic(string(p.Topic))
+			if err != nil {
+				return err
+			}
+			c.lastTopic = t
+		}
+		n := p.N
+		msgs := wire.CopyMessages(&p)
+		c.ingress.Enqueue(staged{t: t, msgs: msgs})
+		select {
+		case c.wake <- struct{}{}:
+		default: // a wakeup is already pending
+		}
+		c.b.m.MsgsIn.Add(int64(n))
+		c.b.m.ProduceFrames.Add(1)
+		return nil
+
+	case wire.TConsume:
+		topicName, credit, err := wire.ParseConsume(f)
+		if err != nil {
+			return err
+		}
+		name := string(topicName)
+		if _, dup := c.subs[name]; dup {
+			return errors.New("broker: duplicate subscription to " + name)
+		}
+		t, err := c.b.getTopic(name)
+		if err != nil {
+			return err
+		}
+		s := &sub{c: c, t: t}
+		s.credit.Store(int64(credit))
+		c.subs[name] = s
+		t.mu.Lock()
+		t.subs[s] = struct{}{}
+		t.mu.Unlock()
+		c.b.deliverWG.Add(1)
+		go s.run()
+		return nil
+
+	case wire.TCredit:
+		topicName, n, err := wire.ParseCredit(f)
+		if err != nil {
+			return err
+		}
+		s, ok := c.subs[string(topicName)]
+		if !ok {
+			return errors.New("broker: CREDIT for unknown subscription")
+		}
+		s.credit.Add(int64(n))
+		return nil
+
+	case wire.TPing:
+		token, err := wire.ParsePing(f)
+		if err != nil {
+			return err
+		}
+		c.writePing(token)
+		return nil
+
+	default:
+		return errors.New("broker: unexpected frame type from client")
+	}
+}
+
+// pumpLoop drains staged batches into their topics and acknowledges
+// cumulatively. It exits when the reader closes the ingress queue,
+// after flushing everything that was staged — which is what makes
+// Shutdown lossless for accepted PRODUCE frames.
+func (c *conn) pumpLoop() {
+	defer c.b.pumpWG.Done()
+	seqs := map[*topic]uint64{}
+	touched := make([]*topic, 0, 4)
+	for {
+		st, ok := c.ingress.TryDequeue()
+		if !ok {
+			if _, open := <-c.wake; open {
+				continue
+			}
+			// Reader is gone; drain the leftovers and stop. The wake
+			// channel only closes after ingress.Close, so everything the
+			// reader staged is visible to TryDequeue by now.
+			for {
+				st, ok := c.ingress.TryDequeue()
+				if !ok {
+					return
+				}
+				c.pumpOne(st, seqs, &touched)
+				c.flushAcks(seqs, &touched)
+			}
+		}
+		// Opportunistically drain a run of staged batches, then send one
+		// cumulative ACK per touched topic instead of one per frame.
+		c.pumpOne(st, seqs, &touched)
+		for {
+			st, ok := c.ingress.TryDequeue()
+			if !ok {
+				break
+			}
+			c.pumpOne(st, seqs, &touched)
+		}
+		c.flushAcks(seqs, &touched)
+	}
+}
+
+// pumpOne feeds one staged batch to its topic queue.
+func (c *conn) pumpOne(st staged, seqs map[*topic]uint64, touched *[]*topic) {
+	st.t.q.EnqueueBatch(st.msgs)
+	seqs[st.t] += uint64(len(st.msgs))
+	for _, t := range *touched {
+		if t == st.t {
+			return
+		}
+	}
+	*touched = append(*touched, st.t)
+}
+
+// flushAcks writes one cumulative ACK per topic touched since the last
+// flush.
+func (c *conn) flushAcks(seqs map[*topic]uint64, touched *[]*topic) {
+	for _, t := range *touched {
+		c.writeAck(0, t.nameBytes, seqs[t])
+		c.b.m.Acks.Add(1)
+	}
+	*touched = (*touched)[:0]
+}
+
+// teardown tears a failed/closed connection down: deliveries stop,
+// the broker forgets the connection, the socket closes. The pump keeps
+// running until the staged backlog is flushed — those messages were
+// accepted and belong to their topics.
+func (c *conn) teardown() {
+	c.dead.Store(true)
+	c.b.mu.Lock()
+	_, tracked := c.b.conns[c]
+	delete(c.b.conns, c)
+	c.b.mu.Unlock()
+	if tracked {
+		c.b.m.ConnsOpen.Add(-1)
+	}
+	c.nc.Close()
+}
+
+// ---- serialized writer ----
+
+// writeDeliver sends one DELIVER frame; false means the connection
+// died (the claimed messages are lost — delivery is at-most-once once
+// claimed, exactly like an in-process consumer crashing mid-handoff).
+func (c *conn) writeDeliver(topic []byte, msgs [][]byte) bool {
+	if c.dead.Load() {
+		return false
+	}
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutProduce(wire.FlagDeliver, topic, msgs)
+	err := c.flushLocked()
+	c.wmu.Unlock()
+	return c.writeOutcome(err)
+}
+
+// writeAck sends a cumulative ACK (or, with wire.FlagEnd, the
+// subscription end-of-stream marker).
+func (c *conn) writeAck(flags byte, topic []byte, seq uint64) bool {
+	if c.dead.Load() {
+		return false
+	}
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutAck(flags, topic, seq)
+	err := c.flushLocked()
+	c.wmu.Unlock()
+	return c.writeOutcome(err)
+}
+
+// writePing answers a PING with its PONG.
+func (c *conn) writePing(token uint64) bool {
+	if c.dead.Load() {
+		return false
+	}
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutPing(token, true)
+	err := c.flushLocked()
+	c.wmu.Unlock()
+	return c.writeOutcome(err)
+}
+
+// writeErr reports a protocol error to the peer (best effort; the
+// connection is torn down right after).
+func (c *conn) writeErr(msg string) {
+	if c.dead.Load() {
+		return
+	}
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutErr(msg)
+	c.flushLocked()
+	c.wmu.Unlock()
+}
+
+// flushLocked writes the encode buffer to the socket. Callers hold wmu.
+func (c *conn) flushLocked() error {
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	return err
+}
+
+// writeOutcome marks the connection dead on a write error.
+func (c *conn) writeOutcome(err error) bool {
+	if err != nil {
+		c.dead.Store(true)
+		return false
+	}
+	return true
+}
+
+// ---- subscriptions ----
+
+// sub is one (connection, topic) subscription: a delivery goroutine
+// that claims messages from the topic with TryDequeue, gated by the
+// client-granted credit window.
+type sub struct {
+	c      *conn
+	t      *topic
+	credit atomic.Int64
+	// stop force-stops the delivery goroutine (Shutdown deadline).
+	stop atomic.Bool
+}
+
+// run is the delivery loop. TryDequeue is essential here: a
+// subscription without credit (or facing an empty topic) must not
+// claim a rank, or it would hold messages hostage from the other
+// subscribers — the broker-scale version of the paper's abandoned-rank
+// problem.
+func (s *sub) run() {
+	defer s.c.b.deliverWG.Done()
+	defer s.unlink()
+	batch := make([][]byte, 0, s.c.b.opts.DeliverBatch)
+	spins := 0
+	for {
+		if s.stop.Load() || s.c.dead.Load() {
+			return
+		}
+		// End-of-stream is checked before the credit gate: sending the
+		// marker costs no credit, and a credit-starved subscription must
+		// still terminate when the topic drains (Shutdown would
+		// otherwise wait forever on a consumer that went quiet).
+		if s.t.q.Closed() && s.t.q.Len() == 0 {
+			// Drained: every message this topic will ever carry has
+			// been claimed by someone.
+			s.c.writeAck(wire.FlagEnd, s.t.nameBytes, 0)
+			return
+		}
+		cr := s.credit.Load()
+		if cr <= 0 {
+			spins++
+			idleWait(spins)
+			continue
+		}
+		limit := min(int(cr), cap(batch))
+		batch = batch[:0]
+		for len(batch) < limit {
+			m, ok := s.t.q.TryDequeue()
+			if !ok {
+				break
+			}
+			batch = append(batch, m)
+		}
+		if len(batch) == 0 {
+			spins++
+			idleWait(spins)
+			continue
+		}
+		spins = 0
+		s.credit.Add(int64(-len(batch)))
+		if !s.c.writeDeliver(s.t.nameBytes, batch) {
+			return
+		}
+		s.c.b.m.MsgsOut.Add(int64(len(batch)))
+		s.c.b.m.DeliverFrames.Add(1)
+	}
+}
+
+// unlink removes the subscription from its topic's accounting.
+func (s *sub) unlink() {
+	s.t.mu.Lock()
+	delete(s.t.subs, s)
+	s.t.mu.Unlock()
+}
+
+// idleWait is the delivery/credit idle backoff: yield briefly, then
+// sleep with escalation up to 1ms. Subscriptions are not latency
+// critical the way queue cells are — a parked subscription wakes at
+// worst 1ms after traffic resumes, and an idle broker burns no CPU.
+func idleWait(spins int) {
+	switch {
+	case spins < 16:
+		runtime.Gosched()
+	case spins < 64:
+		time.Sleep(50 * time.Microsecond)
+	default:
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// isTimeout reports whether err is a deadline error (Shutdown's reader
+// wake-up).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

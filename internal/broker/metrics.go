@@ -1,0 +1,88 @@
+package broker
+
+import (
+	"sync/atomic"
+
+	"ffq/internal/obs/expvarx"
+)
+
+// Metrics is the broker's own counter set — the data plane above the
+// queues, which have their own obs.Recorder instrumentation. All
+// fields are live atomics; read them with Load.
+type Metrics struct {
+	// ConnsOpen is the current connection count; ConnsTotal counts
+	// every connection ever accepted.
+	ConnsOpen  atomic.Int64
+	ConnsTotal atomic.Int64
+	// MsgsIn counts messages accepted from PRODUCE frames, MsgsOut
+	// messages sent in DELIVER frames.
+	MsgsIn  atomic.Int64
+	MsgsOut atomic.Int64
+	// ProduceFrames and DeliverFrames count wire frames, so
+	// MsgsIn/ProduceFrames is the realized ingress batch size and
+	// MsgsOut/DeliverFrames the realized egress batch size.
+	ProduceFrames atomic.Int64
+	DeliverFrames atomic.Int64
+	// Acks counts cumulative ACK frames written.
+	Acks atomic.Int64
+	// ProtoErrors counts connections dropped for protocol violations.
+	ProtoErrors atomic.Int64
+	// MsgsDropped counts messages from PRODUCE frames that arrived
+	// after Shutdown's produce cutoff (discarded, never acknowledged).
+	MsgsDropped atomic.Int64
+}
+
+// collect is the broker's expvarx.Collector: global counters plus
+// per-topic gauges (subscriber count, outstanding credit, queue depth).
+// The topic queues' own counters are exported separately through their
+// expvarx.Register entries.
+func (b *Broker) collect(emit func(expvarx.Sample)) {
+	c := func(name, help string, v int64) {
+		emit(expvarx.Sample{Name: name, Help: help, Type: "counter", Value: float64(v)})
+	}
+	emit(expvarx.Sample{
+		Name: "ffqd_connections", Help: "Currently open broker connections.",
+		Type: "gauge", Value: float64(b.m.ConnsOpen.Load()),
+	})
+	c("ffqd_connections_total", "Connections accepted since start.", b.m.ConnsTotal.Load())
+	c("ffqd_messages_in_total", "Messages accepted from PRODUCE frames.", b.m.MsgsIn.Load())
+	c("ffqd_messages_out_total", "Messages sent in DELIVER frames.", b.m.MsgsOut.Load())
+	c("ffqd_produce_frames_total", "PRODUCE frames accepted.", b.m.ProduceFrames.Load())
+	c("ffqd_deliver_frames_total", "DELIVER frames sent.", b.m.DeliverFrames.Load())
+	c("ffqd_acks_total", "Cumulative ACK frames written.", b.m.Acks.Load())
+	c("ffqd_protocol_errors_total", "Connections dropped for protocol violations.", b.m.ProtoErrors.Load())
+	c("ffqd_messages_dropped_total", "Messages discarded after the shutdown produce cutoff.", b.m.MsgsDropped.Load())
+
+	b.mu.Lock()
+	topics := make([]*topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.Unlock()
+	emit(expvarx.Sample{
+		Name: "ffqd_topics", Help: "Topics created since start.",
+		Type: "gauge", Value: float64(len(topics)),
+	})
+	for _, t := range topics {
+		var credit int64
+		t.mu.Lock()
+		subs := len(t.subs)
+		for s := range t.subs {
+			credit += s.credit.Load()
+		}
+		t.mu.Unlock()
+		labels := map[string]string{"topic": t.name}
+		emit(expvarx.Sample{
+			Name: "ffqd_topic_subscribers", Help: "Active subscriptions per topic.",
+			Type: "gauge", Labels: labels, Value: float64(subs),
+		})
+		emit(expvarx.Sample{
+			Name: "ffqd_topic_credit", Help: "Outstanding delivery credit per topic (sum over subscriptions).",
+			Type: "gauge", Labels: labels, Value: float64(credit),
+		})
+		emit(expvarx.Sample{
+			Name: "ffqd_topic_depth", Help: "Messages queued per topic.",
+			Type: "gauge", Labels: labels, Value: float64(t.q.Len()),
+		})
+	}
+}

@@ -298,6 +298,63 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 	}
 }
 
+// TryDequeue removes the head item if one is ready, without blocking
+// and without burning a rank: the head counter is advanced with a
+// compare-and-swap only once the head cell is known to hold its item
+// or to have been gap-skipped, so a false return leaves no claim
+// behind. ok=false means no item was ready (empty, a producer is
+// mid-publish on the head rank, or closed and drained). Safe for any
+// number of concurrent consumers, mixed freely with Dequeue.
+//
+//ffq:hotpath
+func (q *MPMC[T]) TryDequeue() (v T, ok bool) {
+	//ffq:ignore spin-backoff every iteration either returns or retries after another consumer advanced head, which is global progress
+	for {
+		h := q.head.Load()
+		c := &q.cells[q.ix.Phys(h)]
+		my := q.lapOf(h)
+		s := c.state.Load()
+		r32, g32 := mpmcUnpack(s)
+		if r32 == my {
+			if !q.head.CompareAndSwap(h, h+1) {
+				continue // another consumer claimed rank h first
+			}
+			// Winning the CAS makes rank h exclusively ours (head is
+			// monotonic, so nobody consumed h before us), and the cell
+			// held our lap at the load above; producers never rewrite a
+			// published cell. Consume and release exactly as Dequeue
+			// does, preserving the gap half.
+			v = c.data
+			var zero T
+			c.data = zero
+			//ffq:ignore spin-backoff a failed release CAS means a producer just wrote the gap half; interference is bounded by one concurrent gap announcement
+			for !c.state.CompareAndSwap(s, mpmcPack(mpmcLapFree, g32)) {
+				s = c.state.Load()
+				_, g32 = mpmcUnpack(s)
+			}
+			if q.rec != nil {
+				q.rec.Dequeue()
+			}
+			return v, true
+		}
+		if g32 >= my {
+			// Rank h was skipped by a producer (the packed load is an
+			// atomic snapshot, so r32 != my is already guaranteed).
+			// Discard it and inspect the next rank.
+			if q.head.CompareAndSwap(h, h+1) {
+				if q.rec != nil {
+					q.rec.GapSkipped()
+				}
+			}
+			continue
+		}
+		// Not published yet (free, or a producer holds the claim mark
+		// mid-publish): nothing ready at the head.
+		var zero T
+		return zero, false
+	}
+}
+
 // Gaps returns the number of successful gap announcements made by
 // producers; see SPMC.Gaps.
 func (q *MPMC[T]) Gaps() int64 { return q.gaps.Load() }

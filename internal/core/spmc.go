@@ -243,6 +243,57 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 	}
 }
 
+// TryDequeue removes the head item if one is ready, without blocking
+// and without burning a rank. Where Dequeue reserves a rank with an
+// unconditional fetch-and-add (and therefore cannot abandon it on an
+// empty queue), TryDequeue advances the head counter with a
+// compare-and-swap only once the head cell is known to hold its item
+// or to have been skipped, so a false return leaves no claim behind.
+// ok=false means no item was ready: the queue may be empty, still
+// filling, or closed and drained. Safe for any number of concurrent
+// consumers, mixed freely with Dequeue.
+//
+//ffq:hotpath
+func (q *SPMC[T]) TryDequeue() (v T, ok bool) {
+	//ffq:ignore spin-backoff every iteration either returns or advances head past a rank another consumer settled or the producer skipped
+	for {
+		h := q.head.Load()
+		c := &q.cells[q.ix.Phys(h)]
+		if c.rank.Load() == h {
+			if !q.head.CompareAndSwap(h, h+1) {
+				continue // another consumer claimed rank h first
+			}
+			// Winning the CAS makes rank h exclusively ours, and the
+			// cell held rank h at the load above: consuming h first
+			// would require owning it (head past h), which the
+			// successful CAS rules out, and the producer never rewrites
+			// an occupied cell. Consume exactly as Dequeue does.
+			v = c.data
+			var zero T
+			c.data = zero
+			c.rank.Store(freeRank)
+			if q.rec != nil {
+				q.rec.Dequeue()
+			}
+			return v, true
+		}
+		// The head rank may have been skipped by the producer; discard
+		// it (the CAS-guarded analogue of Dequeue's re-acquisition) and
+		// inspect the next rank. The rank re-check mirrors Algorithm 1
+		// line 29: the producer might have published h in between.
+		if c.gap.Load() >= h && c.rank.Load() != h {
+			if q.head.CompareAndSwap(h, h+1) {
+				if q.rec != nil {
+					q.rec.GapSkipped()
+				}
+			}
+			continue
+		}
+		var zero T
+		return zero, false
+	}
+}
+
 // Gaps returns the number of ranks the producer has skipped because a
 // slow consumer still held the target cell. A non-zero value means the
 // queue ran full at some point (consider a larger capacity).

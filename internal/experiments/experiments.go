@@ -578,3 +578,62 @@ func StatsSweep(o Options, variant workload.Variant, consumers, batch int) ([]re
 	}
 	return recs, nil
 }
+
+// BrokerSweep measures the ffqd broker's end-to-end loopback
+// throughput across client auto-batch sizes: each point publishes the
+// same message volume through one topic with the client's MaxBatch set
+// to the given batch size, so the sweep isolates what frame batching
+// buys on the wire path (one frame = one arena copy, one ingress slot
+// and one contiguous EnqueueBatch rank reservation, whatever the batch
+// size). This is the exporter behind `ffq-micro -broker -json`.
+func BrokerSweep(o Options, transport string, producers, consumers int, batches []int) ([]report.Record, error) {
+	o.fill()
+	if producers < 1 {
+		producers = 1
+	}
+	if consumers < 1 {
+		consumers = 1
+	}
+	if len(batches) == 0 {
+		batches = []int{1, 8, 64}
+	}
+	msgs := harness.ScaleInt(200_000, o.Scale, 2000)
+	var recs []report.Record
+	for _, batch := range batches {
+		sum, err := harness.RepeatErr(o.Runs, func() (float64, error) {
+			res, err := workload.RunBroker(workload.BrokerConfig{
+				Transport:           transport,
+				Producers:           producers,
+				Consumers:           consumers,
+				MessagesPerProducer: msgs / producers,
+				MaxBatch:            batch,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.MsgsPerSec(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, report.Record{
+			Name:      fmt.Sprintf("broker/%s/batch=%d", transport, batch),
+			Timestamp: time.Now(),
+			Params: map[string]any{
+				"transport":             transport,
+				"producers":             producers,
+				"consumers":             consumers,
+				"batch":                 batch,
+				"runs":                  o.Runs,
+				"messages_per_producer": msgs / producers,
+			},
+			Metrics: map[string]float64{
+				"msgs_per_sec_mean":   sum.Mean,
+				"msgs_per_sec_stddev": sum.Stddev,
+				"msgs_per_sec_min":    sum.Min,
+				"msgs_per_sec_max":    sum.Max,
+			},
+		})
+	}
+	return recs, nil
+}

@@ -1,0 +1,131 @@
+package expvarx
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one metric sample contributed by a Collector. Samples with
+// the same Name form one metric family; the family's Help and Type are
+// taken from the first sample emitted for it.
+type Sample struct {
+	// Name is the metric family name (e.g. "ffqd_messages_in_total").
+	Name string
+	// Help is the family's # HELP text.
+	Help string
+	// Type is the family's # TYPE: "counter" or "gauge".
+	Type string
+	// Labels attach label pairs to this sample; may be nil.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Collector contributes metric samples to the Prometheus exposition on
+// every scrape. Subsystems that are not queues (the ffqd broker's
+// connection and topic accounting, for instance) register one next to
+// their queues' Register calls.
+type Collector func(emit func(Sample))
+
+var collectors = map[string]Collector{}
+
+// RegisterCollector adds a collector under id; the id only namespaces
+// registration (it does not appear in the exposition). Registration is
+// process-global like Register.
+func RegisterCollector(id string, c Collector) error {
+	if c == nil {
+		return fmt.Errorf("expvarx: collector %q is nil", id)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := collectors[id]; dup {
+		return fmt.Errorf("expvarx: collector %q already registered", id)
+	}
+	collectors[id] = c
+	return nil
+}
+
+// UnregisterCollector removes a collector; unknown ids are a no-op.
+func UnregisterCollector(id string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(collectors, id)
+}
+
+// writeCollected gathers every collector's samples, groups them into
+// families and renders them after the queue families.
+func writeCollected(b *strings.Builder) {
+	mu.Lock()
+	cs := make([]Collector, 0, len(collectors))
+	for _, c := range collectors {
+		cs = append(cs, c)
+	}
+	mu.Unlock()
+	if len(cs) == 0 {
+		return
+	}
+
+	var samples []Sample
+	for _, c := range cs {
+		c(func(s Sample) { samples = append(samples, s) })
+	}
+
+	families := map[string][]Sample{}
+	names := make([]string, 0, len(samples))
+	for _, s := range samples {
+		if _, seen := families[s.Name]; !seen {
+			names = append(names, s.Name)
+		}
+		families[s.Name] = append(families[s.Name], s)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		fam := families[name]
+		typ := fam[0].Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		if fam[0].Help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", name, fam[0].Help)
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+		lines := make([]string, 0, len(fam))
+		for _, s := range fam {
+			lines = append(lines, name+renderLabels(s.Labels)+" "+strconv.FormatFloat(s.Value, 'g', -1, 64))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// renderLabels formats a label set in sorted key order, or returns ""
+// for an empty set.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

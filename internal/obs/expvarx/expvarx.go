@@ -210,6 +210,8 @@ func writeTo(b *strings.Builder) {
 		fmt.Fprintf(b, "ffq_wait_ns_sum{queue=%q} %d\n", esc, s.WaitSumNS)
 		fmt.Fprintf(b, "ffq_wait_ns_count{queue=%q} %d\n", esc, s.WaitCount)
 	}
+
+	writeCollected(b)
 }
 
 // Exposition renders the full Prometheus text body as a string.

@@ -1,0 +1,219 @@
+package expvarx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a Prometheus text-format (version 0.0.4) exposition and
+// returns its samples in document order. It is the read-side twin of
+// the Handler/Exposition writers, used by ffq-top's broker scrape view
+// and by tests that round-trip the exposition. # HELP and # TYPE
+// comments annotate the samples that follow them; unknown comment
+// lines are skipped. Histogram series come back as ordinary samples
+// (the _bucket/_sum/_count names are preserved).
+func Parse(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	help := map[string]string{}
+	typ := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// "# HELP name text" / "# TYPE name kind"; anything else is a
+			// plain comment.
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				help[fields[2]] = fields[3]
+			} else if len(fields) >= 4 && fields[1] == "TYPE" {
+				typ[fields[2]] = strings.TrimSpace(fields[3])
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("expvarx: line %d: %w", lineNo, err)
+		}
+		base := s.Name
+		if h, ok := help[base]; ok {
+			s.Help = h
+		}
+		if t, ok := typ[base]; ok {
+			s.Type = t
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("expvarx: scan: %w", err)
+	}
+	return out, nil
+}
+
+// parseSample decodes one `name{label="v",...} value` line.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Metric name runs up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	s.Name = rest[:end]
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp (exposition allows one) is ignored.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels decodes a `{k="v",...}` block, returning the remainder
+// of the line after the closing brace. Escapes (\\, \", \n) in label
+// values are unescaped.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " \t,")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value is not quoted", key)
+		}
+		val, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %w", key, err)
+		}
+		labels[key] = val
+		rest = tail
+	}
+}
+
+// parseQuoted consumes a leading double-quoted string with \\ \" \n
+// escapes and returns the decoded value plus the remainder.
+func parseQuoted(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch c := in[i]; c {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(in[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+// parseValue accepts the exposition's value grammar: Go float syntax
+// plus the +Inf/-Inf/NaN spellings.
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf":
+		return pInf, nil
+	case "-Inf":
+		return nInf, nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+var (
+	pInf = func() float64 { f, _ := strconv.ParseFloat("+Inf", 64); return f }()
+	nInf = func() float64 { f, _ := strconv.ParseFloat("-Inf", 64); return f }()
+)
+
+// SampleSet indexes parsed samples for lookup by name and label.
+type SampleSet struct {
+	samples []Sample
+}
+
+// NewSampleSet wraps parsed samples for querying.
+func NewSampleSet(samples []Sample) *SampleSet { return &SampleSet{samples: samples} }
+
+// Value returns the first sample matching name and every given label
+// pair (extra labels on the sample are allowed), or ok=false.
+func (ss *SampleSet) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range ss.samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, want := range labels {
+			if s.Labels[k] != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// LabelValues returns the distinct values of the given label across
+// every sample of the named family, in first-seen order.
+func (ss *SampleSet) LabelValues(name, label string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range ss.samples {
+		if s.Name != name {
+			continue
+		}
+		v, ok := s.Labels[label]
+		if !ok || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}

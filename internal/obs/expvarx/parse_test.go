@@ -1,0 +1,119 @@
+package expvarx
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ffq/internal/obs"
+)
+
+// TestParseBasics decodes a small hand-written exposition.
+func TestParseBasics(t *testing.T) {
+	const text = `# HELP ffqd_topic_depth Messages buffered in the topic queue.
+# TYPE ffqd_topic_depth gauge
+ffqd_topic_depth{topic="orders"} 42
+ffqd_topic_depth{topic="audit \"log\"\n"} 0
+
+# plain comment
+ffqd_up 1
+ffq_wait_ns_bucket{queue="q",le="+Inf"} 7 1712345678
+`
+	samples, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4: %+v", len(samples), samples)
+	}
+	s := samples[0]
+	if s.Name != "ffqd_topic_depth" || s.Value != 42 || s.Labels["topic"] != "orders" {
+		t.Fatalf("sample 0 = %+v", s)
+	}
+	if s.Type != "gauge" || !strings.Contains(s.Help, "buffered") {
+		t.Fatalf("sample 0 missing HELP/TYPE: %+v", s)
+	}
+	if got := samples[1].Labels["topic"]; got != "audit \"log\"\n" {
+		t.Fatalf("escaped label = %q", got)
+	}
+	if samples[2].Name != "ffqd_up" || samples[2].Labels != nil {
+		t.Fatalf("bare sample = %+v", samples[2])
+	}
+	if samples[3].Labels["le"] != "+Inf" || samples[3].Value != 7 {
+		t.Fatalf("timestamped sample = %+v", samples[3])
+	}
+}
+
+// TestParseValues covers the special value spellings.
+func TestParseValues(t *testing.T) {
+	samples, err := Parse(strings.NewReader("a 1.5\nb +Inf\nc -Inf\nd NaN\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if samples[0].Value != 1.5 {
+		t.Fatalf("a = %v", samples[0].Value)
+	}
+	if !math.IsInf(samples[1].Value, 1) || !math.IsInf(samples[2].Value, -1) {
+		t.Fatalf("inf values = %v, %v", samples[1].Value, samples[2].Value)
+	}
+	if !math.IsNaN(samples[3].Value) {
+		t.Fatalf("NaN = %v", samples[3].Value)
+	}
+}
+
+// TestParseErrors rejects malformed lines instead of guessing.
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nameonly\n",
+		"m{unterminated=\"v\n",
+		"m{x=\"v\"} notanumber\n",
+		"m{noquote=v} 1\n",
+		"m{k=\"bad\\q\"} 1\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestParseRoundTrip feeds a real Exposition through Parse and checks
+// the values survive.
+func TestParseRoundTrip(t *testing.T) {
+	rec := obs.NewRecorder()
+	for i := 0; i < 5; i++ {
+		rec.Enqueue()
+	}
+	if err := Register("parse-roundtrip", QueueInfo{
+		Stats: rec.Snapshot,
+		Len:   func() int { return 3 },
+		Cap:   64,
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	defer Unregister("parse-roundtrip")
+	if err := RegisterCollector("parse-roundtrip", func(emit func(Sample)) {
+		emit(Sample{Name: "rt_custom_total", Type: "counter", Labels: map[string]string{"topic": "t\"x\""}, Value: 9})
+	}); err != nil {
+		t.Fatalf("RegisterCollector: %v", err)
+	}
+	defer UnregisterCollector("parse-roundtrip")
+
+	samples, err := Parse(strings.NewReader(Exposition()))
+	if err != nil {
+		t.Fatalf("Parse(Exposition()): %v", err)
+	}
+	ss := NewSampleSet(samples)
+	lbl := map[string]string{"queue": "parse-roundtrip"}
+	if v, ok := ss.Value("ffq_enqueues_total", lbl); !ok || v != 5 {
+		t.Fatalf("ffq_enqueues_total = %v, %v", v, ok)
+	}
+	if v, ok := ss.Value("ffq_queue_depth", lbl); !ok || v != 3 {
+		t.Fatalf("ffq_queue_depth = %v, %v", v, ok)
+	}
+	if v, ok := ss.Value("rt_custom_total", map[string]string{"topic": "t\"x\""}); !ok || v != 9 {
+		t.Fatalf("rt_custom_total = %v, %v", v, ok)
+	}
+	if vals := ss.LabelValues("ffq_enqueues_total", "queue"); len(vals) == 0 {
+		t.Fatalf("LabelValues empty")
+	}
+}

@@ -185,6 +185,120 @@ func EmptyBehaviour(t *testing.T, f queue.Factory) {
 	}
 }
 
+// TryDequeuer is the optional non-blocking poll a queue adapter may
+// expose next to Dequeue. The contract: ok=false means nothing was
+// ready and nothing was reserved — the queue must behave as if the
+// call never happened.
+type TryDequeuer interface {
+	TryDequeue() (uint64, bool)
+}
+
+// TryDequeue checks the non-blocking poll contract: empty polls return
+// false without reserving anything (the queue still delivers in order
+// afterwards), and a concurrent workload drained entirely through
+// TryDequeue still sees exactly-once delivery and per-producer FIFO
+// order. The factory's queues must implement TryDequeuer.
+func TryDequeue(t *testing.T, f queue.Factory, opts Options) {
+	t.Helper()
+
+	// Phase 1: empty polls burn nothing, even interleaved with traffic.
+	shared := f.New(16, 1)
+	q := shared.Register()
+	td, ok := q.(TryDequeuer)
+	if !ok {
+		t.Fatalf("%s: adapter does not implement TryDequeue", f.Name)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			if v, ok := td.TryDequeue(); ok {
+				t.Fatalf("%s: empty TryDequeue returned %d", f.Name, v)
+			}
+		}
+		lo, hi := uint64(round*2+1), uint64(round*2+2)
+		q.Enqueue(lo)
+		q.Enqueue(hi)
+		for _, want := range []uint64{lo, hi} {
+			v, ok := tryDequeueRetry(td)
+			if !ok {
+				t.Fatalf("%s: TryDequeue empty with %d queued", f.Name, want)
+			}
+			if v != want {
+				t.Fatalf("%s: TryDequeue got %d, want %d", f.Name, v, want)
+			}
+		}
+	}
+
+	// Phase 2: concurrent drain through TryDequeue only. Consumers poll
+	// until the shared consumption count covers every produced item, so
+	// false returns (empty observations) are part of normal operation.
+	total := int64(opts.Producers * opts.ItemsPerProducer)
+	shared = f.New(opts.Capacity, opts.Producers+opts.Consumers)
+	got := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < opts.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			q := shared.Register()
+			base := uint64(p * opts.ItemsPerProducer)
+			for i := 0; i < opts.ItemsPerProducer; i++ {
+				q.Enqueue(base + uint64(i) + 1)
+			}
+		}(p)
+	}
+	for c := 0; c < opts.Consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			td := shared.Register().(TryDequeuer)
+			lastSeen := make([]int64, opts.Producers)
+			for i := range lastSeen {
+				lastSeen[i] = -1
+			}
+			for consumed.Load() < total {
+				v, ok := td.TryDequeue()
+				if !ok {
+					runtime.Gosched() // empty observation; let producers run
+					continue
+				}
+				consumed.Add(1)
+				v--
+				p := int(v) / opts.ItemsPerProducer
+				seq := int64(v) % int64(opts.ItemsPerProducer)
+				if p < 0 || p >= opts.Producers {
+					t.Errorf("%s: bogus value %d", f.Name, v+1)
+					return
+				}
+				if seq <= lastSeen[p] {
+					t.Errorf("%s: producer %d order violated: %d after %d", f.Name, p, seq, lastSeen[p])
+					return
+				}
+				lastSeen[p] = seq
+				got[v].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("%s: item %d delivered %d times through TryDequeue", f.Name, i+1, n)
+		}
+	}
+}
+
+// tryDequeueRetry retries empty TryDequeue observations a bounded
+// number of times (single-threaded callers settle immediately; the
+// bound only guards against a broken implementation wedging the test).
+func tryDequeueRetry(td TryDequeuer) (uint64, bool) {
+	for i := 0; i < 1000; i++ {
+		if v, ok := td.TryDequeue(); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // dequeueRetry retries empty observations a bounded number of times
 // (single-threaded callers should never need many; helping-based
 // queues settle within a few).

@@ -463,6 +463,85 @@ func (u *uq[T]) Dequeue() (v T, ok bool) {
 	return u.consume(u.head.Add(1) - 1)
 }
 
+// trySegFor is the non-blocking sibling of segFor: it returns the
+// live segment covering rank r, or nil the moment the walk cannot
+// complete (segment not created yet, or the chain mutated under us).
+// Unlike segFor the caller holds no claim on r, so a nil return is
+// simply "not ready" and carries no liveness obligation.
+//
+//ffq:hotpath
+func (u *uq[T]) trySegFor(r int64) *segment[T] {
+	want := r >> u.logSeg
+	seg := u.headSeg.Load()
+	base := seg.base.Load()
+	//ffq:ignore spin-backoff bounded walk: each iteration advances one segment toward the target or returns
+	for base >= 0 && base>>u.logSeg < want {
+		next := seg.next.Load()
+		if next == nil {
+			return nil // tail reached: segment `want` does not exist yet
+		}
+		nbase := next.base.Load()
+		if nbase != base+u.segSize {
+			return nil // chain mutated under us; report not-ready
+		}
+		seg, base = next, nbase
+	}
+	if base >= 0 && base>>u.logSeg == want {
+		return seg
+	}
+	return nil
+}
+
+// TryDequeue removes the head item if one is ready, without blocking
+// and without claiming a rank: the head counter is advanced with a
+// compare-and-swap only once the head cell is known to be published,
+// so a false return leaves no claim behind (unlike Dequeue, whose
+// fetch-and-add commits it to waiting). ok=false means no item was
+// ready: the queue may be empty, mid-publish, or closed and drained.
+// Safe for any number of concurrent consumers, mixed freely with
+// Dequeue/DequeueBatch.
+//
+//ffq:hotpath
+func (u *uq[T]) TryDequeue() (v T, ok bool) {
+	//ffq:ignore spin-backoff every iteration either returns or retries after another consumer advanced head, which is global progress
+	for {
+		h := u.head.Load()
+		if h >= u.tail.Load() {
+			var zero T
+			return zero, false
+		}
+		seg := u.trySegFor(h)
+		if seg == nil {
+			var zero T
+			return zero, false
+		}
+		c := &seg.cells[u.ix.Phys(h)]
+		if c.rank.Load() != h {
+			var zero T
+			return zero, false
+		}
+		if !u.head.CompareAndSwap(h, h+1) {
+			continue // another consumer claimed rank h first
+		}
+		// Winning the CAS makes rank h exclusively ours: head is
+		// monotonic, so consuming h first would require head > h, which
+		// the successful CAS rules out. The rank match above is still
+		// valid — ranks are globally unique and a segment cannot be
+		// retired (condition a) while h is unconsumed — so the cell is
+		// ours to take, exactly as consume does after its handshake.
+		v = c.data
+		var zero T
+		c.data = zero
+		if seg.consumed.Add(1) == u.segSize {
+			u.maybeAdvance()
+		}
+		if u.rec != nil {
+			u.rec.Dequeue()
+		}
+		return v, true
+	}
+}
+
 // DequeueBatch removes up to len(dst) items in one rank reservation:
 // a single fetch-and-add claims the whole contiguous run, amortizing
 // the only consumer-side atomic read-modify-write across the batch.

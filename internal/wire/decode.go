@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Reader decodes frames from an io.Reader, reusing one internal
+// buffer: at steady state a connection's read loop allocates nothing.
+// The Body of a returned Frame aliases that buffer and is valid only
+// until the next call to Next; callers that stage messages past the
+// next read copy them out (see CopyMessages).
+//
+// A Reader is not safe for concurrent use.
+type Reader struct {
+	r   io.Reader
+	hdr [headerSize]byte
+	buf []byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads exactly one frame. It never reads past the declared frame
+// length, so decode errors do not desynchronize the stream (they are
+// terminal for the connection anyway). io.EOF is returned only at a
+// clean frame boundary; EOF mid-frame is io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Frame, error) {
+	var f Frame
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return f, err // io.EOF here is a clean end of stream
+	}
+	n := binary.BigEndian.Uint32(r.hdr[:4])
+	if n < 2 {
+		return f, ErrFrameTooSmall
+	}
+	if n > MaxFrame {
+		return f, ErrFrameTooLarge
+	}
+	body := int(n) - 2
+	if cap(r.buf) < body {
+		r.buf = make([]byte, body)
+	}
+	buf := r.buf[:body]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return f, err
+	}
+	f.Type = r.hdr[4]
+	f.Flags = r.hdr[5]
+	f.Body = buf
+	return f, nil
+}
+
+// getTopic splits the leading `uint16 len | bytes` topic field off b.
+func getTopic(b []byte) (topic, rest []byte, err error) {
+	if len(b) < 2 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n > MaxTopic {
+		return nil, nil, ErrTopicTooLong
+	}
+	if len(b) < 2+n {
+		return nil, nil, ErrTruncated
+	}
+	return b[2 : 2+n], b[2+n:], nil
+}
+
+// ParsePing returns the token of a PING frame.
+func ParsePing(f Frame) (token uint64, err error) {
+	if f.Type != TPing {
+		return 0, ErrWrongType
+	}
+	if len(f.Body) < pingBody {
+		return 0, ErrTruncated
+	}
+	if len(f.Body) > pingBody {
+		return 0, ErrTrailingBytes
+	}
+	return binary.BigEndian.Uint64(f.Body), nil
+}
+
+// ProduceBody is a validated PRODUCE batch. ParseProduce walks the
+// whole body up front, so Next never fails and never over-reads: after
+// a nil error every message boundary is known to be in bounds and the
+// body to have no trailing bytes.
+type ProduceBody struct {
+	// Topic aliases the frame body.
+	Topic []byte
+	// N is the number of messages Next will still yield.
+	N    int
+	rest []byte
+}
+
+// ParseProduce validates a PRODUCE (or DELIVER) frame and returns its
+// batch iterator. All returned slices alias the frame body.
+func ParseProduce(f Frame) (ProduceBody, error) {
+	var p ProduceBody
+	if f.Type != TProduce {
+		return p, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return p, err
+	}
+	if len(rest) < 4 {
+		return p, ErrTruncated
+	}
+	count := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if count > MaxBatch {
+		return p, ErrBatchTooLarge
+	}
+	// Each message costs at least its 4-byte length header, so a count
+	// the remaining body cannot fit fails before the walk trusts it.
+	if int64(count)*4 > int64(len(rest)) {
+		return p, ErrTruncated
+	}
+	w := rest
+	for i := uint32(0); i < count; i++ {
+		if len(w) < 4 {
+			return p, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(w))
+		if n > len(w)-4 {
+			return p, ErrTruncated
+		}
+		w = w[4+n:]
+	}
+	if len(w) != 0 {
+		return p, ErrTrailingBytes
+	}
+	p.Topic = topic
+	p.N = int(count)
+	p.rest = rest
+	return p, nil
+}
+
+// Next yields the next message payload (aliasing the frame body) and
+// reports whether one existed. It cannot fail: ParseProduce validated
+// every boundary.
+func (p *ProduceBody) Next() ([]byte, bool) {
+	if p.N == 0 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint32(p.rest))
+	m := p.rest[4 : 4+n]
+	p.rest = p.rest[4+n:]
+	p.N--
+	return m, true
+}
+
+// CopyMessages drains p's remaining messages into freshly owned
+// storage: one arena allocation holds every payload and one slice
+// header array points into it, so staging a whole batch past the
+// reader's buffer lifetime costs two allocations regardless of batch
+// size.
+func CopyMessages(p *ProduceBody) [][]byte {
+	total := 0
+	w := p.rest
+	for i := 0; i < p.N; i++ {
+		n := int(binary.BigEndian.Uint32(w))
+		total += n
+		w = w[4+n:]
+	}
+	out := make([][]byte, 0, p.N)
+	arena := make([]byte, total)
+	off := 0
+	for {
+		m, ok := p.Next()
+		if !ok {
+			return out
+		}
+		end := off + copy(arena[off:], m)
+		out = append(out, arena[off:end:end])
+		off = end
+	}
+}
+
+// ParseConsume returns the topic and initial credit of a CONSUME frame.
+func ParseConsume(f Frame) (topic []byte, credit uint32, err error) {
+	if f.Type != TConsume {
+		return nil, 0, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	if len(rest) > 4 {
+		return nil, 0, ErrTrailingBytes
+	}
+	return topic, binary.BigEndian.Uint32(rest), nil
+}
+
+// ParseAck returns the topic and cumulative sequence of an ACK frame.
+func ParseAck(f Frame) (topic []byte, seq uint64, err error) {
+	if f.Type != TAck {
+		return nil, 0, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) < 8 {
+		return nil, 0, ErrTruncated
+	}
+	if len(rest) > 8 {
+		return nil, 0, ErrTrailingBytes
+	}
+	return topic, binary.BigEndian.Uint64(rest), nil
+}
+
+// ParseCredit returns the topic and grant of a CREDIT frame.
+func ParseCredit(f Frame) (topic []byte, n uint32, err error) {
+	if f.Type != TCredit {
+		return nil, 0, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	if len(rest) > 4 {
+		return nil, 0, ErrTrailingBytes
+	}
+	return topic, binary.BigEndian.Uint32(rest), nil
+}
+
+// ParseErr returns the reason carried by an ERR frame.
+func ParseErr(f Frame) (string, error) {
+	if f.Type != TErr {
+		return "", ErrWrongType
+	}
+	return string(f.Body), nil
+}

@@ -1,0 +1,170 @@
+package wire
+
+import "encoding/binary"
+
+// Buffer accumulates encoded frames for one writer flush. Frames are
+// appended back to back so a pipelining client (or the broker's
+// delivery path) pays one conn.Write per flush, not per frame. The
+// encoders are allocation-free once the buffer has grown to its peak
+// flush size; growth itself lives in ensure, off the marked paths.
+//
+// A Buffer is not safe for concurrent use.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the frames accumulated since the last Reset.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Len returns the accumulated byte count.
+func (b *Buffer) Len() int { return len(b.b) }
+
+// Reset drops the accumulated frames, keeping capacity for reuse.
+func (b *Buffer) Reset() { b.b = b.b[:0] }
+
+// ensure extends the buffer by n bytes and returns the region to
+// write them into. Amortized doubling keeps the encoders above it
+// allocation-free at steady state.
+func (b *Buffer) ensure(n int) []byte {
+	l := len(b.b)
+	if cap(b.b)-l < n {
+		c := 2 * cap(b.b)
+		if c < l+n {
+			c = l + n
+		}
+		if c < 256 {
+			c = 256
+		}
+		nb := make([]byte, l, c)
+		copy(nb, b.b)
+		b.b = nb
+	}
+	b.b = b.b[:l+n]
+	return b.b[l : l+n]
+}
+
+// putHeader writes the fixed frame prefix; body is the length field
+// value minus the type and flags bytes.
+//
+//ffq:hotpath
+func putHeader(dst []byte, typ, flags byte, body int) {
+	binary.BigEndian.PutUint32(dst, uint32(body+2))
+	dst[4] = typ
+	dst[5] = flags
+}
+
+// putTopic writes the `uint16 len | bytes` topic field and returns its
+// encoded size.
+//
+//ffq:hotpath
+func putTopic(dst, topic []byte) int {
+	binary.BigEndian.PutUint16(dst, uint16(len(topic)))
+	return 2 + copy(dst[2:], topic)
+}
+
+// checkTopic panics on a topic the wire cannot carry; topics are
+// caller-controlled configuration, so an oversized one is a bug, not
+// input.
+//
+//ffq:hotpath
+func checkTopic(topic []byte) {
+	if len(topic) > MaxTopic {
+		panic("wire: topic exceeds MaxTopic")
+	}
+}
+
+// PutPing appends a PING frame carrying token; pong marks it a reply.
+//
+//ffq:hotpath
+func (b *Buffer) PutPing(token uint64, pong bool) {
+	var flags byte
+	if pong {
+		flags = FlagPong
+	}
+	dst := b.ensure(headerSize + pingBody)
+	putHeader(dst, TPing, flags, pingBody)
+	binary.BigEndian.PutUint64(dst[headerSize:], token)
+}
+
+// PutProduce appends one batch-carrying PRODUCE frame. The broker's
+// delivery path reuses it with FlagDeliver. Panics if the batch or the
+// topic exceeds the wire limits (caller bugs, not input).
+//
+//ffq:hotpath
+func (b *Buffer) PutProduce(flags byte, topic []byte, msgs [][]byte) {
+	checkTopic(topic)
+	if len(msgs) > MaxBatch {
+		panic("wire: batch exceeds MaxBatch")
+	}
+	body := 2 + len(topic) + 4
+	for _, m := range msgs {
+		body += 4 + len(m)
+	}
+	if body+2 > MaxFrame {
+		panic("wire: frame exceeds MaxFrame")
+	}
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TProduce, flags, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint32(dst[o:], uint32(len(msgs)))
+	o += 4
+	for _, m := range msgs {
+		binary.BigEndian.PutUint32(dst[o:], uint32(len(m)))
+		o += 4
+		o += copy(dst[o:], m)
+	}
+}
+
+// PutConsume appends a CONSUME (subscribe) frame with the initial
+// credit window.
+//
+//ffq:hotpath
+func (b *Buffer) PutConsume(topic []byte, credit uint32) {
+	checkTopic(topic)
+	body := 2 + len(topic) + 4
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TConsume, 0, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint32(dst[o:], credit)
+}
+
+// PutAck appends an ACK frame: the first seq messages produced on this
+// connection for topic are accepted. FlagEnd turns it into the
+// subscription end-of-stream marker.
+//
+//ffq:hotpath
+func (b *Buffer) PutAck(flags byte, topic []byte, seq uint64) {
+	checkTopic(topic)
+	body := 2 + len(topic) + 8
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TAck, flags, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint64(dst[o:], seq)
+}
+
+// PutCredit appends a CREDIT frame granting n more deliveries.
+//
+//ffq:hotpath
+func (b *Buffer) PutCredit(topic []byte, n uint32) {
+	checkTopic(topic)
+	body := 2 + len(topic) + 4
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TCredit, 0, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint32(dst[o:], n)
+}
+
+// PutErr appends an ERR frame. Cold path by definition (the sender
+// closes the connection after it), so it is not hotpath-marked.
+func (b *Buffer) PutErr(msg string) {
+	if len(msg) > MaxFrame-headerSize {
+		msg = msg[:MaxFrame-headerSize]
+	}
+	dst := b.ensure(headerSize + len(msg))
+	putHeader(dst, TErr, 0, len(msg))
+	copy(dst[headerSize:], msg)
+}

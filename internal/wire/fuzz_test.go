@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary byte streams at the frame reader
+// and every parser: truncated, oversized and garbage frames must
+// surface as errors, never as panics, unbounded reads or out-of-range
+// slices. Valid PRODUCE batches additionally round-trip through the
+// encoder byte-for-byte.
+func FuzzFrameDecode(f *testing.F) {
+	var b Buffer
+	b.PutPing(7, true)
+	b.PutProduce(0, []byte("orders"), [][]byte{[]byte("a"), []byte("bb"), nil})
+	b.PutConsume([]byte("orders"), 16)
+	b.PutAck(FlagEnd, []byte("orders"), 12)
+	b.PutCredit([]byte("x"), 1)
+	b.PutErr("nope")
+	f.Add(b.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, TPing, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, headerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for frames := 0; frames < 1024; frames++ {
+			fr, err := r.Next()
+			if err != nil {
+				return // fail-closed: any malformed input ends the stream
+			}
+			if len(fr.Body) > MaxFrame-2 {
+				t.Fatalf("reader passed an oversized body: %d", len(fr.Body))
+			}
+			switch fr.Type {
+			case TPing:
+				if _, err := ParsePing(fr); err != nil {
+					return
+				}
+			case TProduce:
+				p, err := ParseProduce(fr)
+				if err != nil {
+					return
+				}
+				if p.N > MaxBatch {
+					t.Fatalf("parser passed an oversized batch: %d", p.N)
+				}
+				if len(p.Topic) > MaxTopic {
+					t.Fatalf("parser passed an oversized topic: %d", len(p.Topic))
+				}
+				// Iterate a copy so the re-encode below sees the full batch.
+				it := p
+				n := 0
+				for {
+					m, ok := it.Next()
+					if !ok {
+						break
+					}
+					_ = m
+					n++
+				}
+				if n != p.N {
+					t.Fatalf("iterator yielded %d of %d messages", n, p.N)
+				}
+				// A validated batch must re-encode to the identical frame.
+				cp := p
+				msgs := CopyMessages(&cp)
+				var enc Buffer
+				enc.PutProduce(fr.Flags, p.Topic, msgs)
+				raw := enc.Bytes()
+				if !bytes.Equal(raw[headerSize:], fr.Body) {
+					t.Fatalf("re-encode mismatch:\n got %x\nwant %x", raw[headerSize:], fr.Body)
+				}
+			case TConsume:
+				if topic, _, err := ParseConsume(fr); err == nil && len(topic) > MaxTopic {
+					t.Fatalf("oversized topic passed: %d", len(topic))
+				}
+			case TAck:
+				_, _, _ = ParseAck(fr)
+			case TCredit:
+				_, _, _ = ParseCredit(fr)
+			case TErr:
+				if msg, err := ParseErr(fr); err == nil && len(msg) > MaxFrame {
+					t.Fatalf("oversized error passed: %d", len(msg))
+				}
+			default:
+				// Unknown types surface to the caller, which rejects
+				// them at the protocol layer; the framing itself is fine.
+			}
+		}
+	})
+}

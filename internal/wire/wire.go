@@ -1,0 +1,100 @@
+// Package wire defines ffqd's framing: length-prefixed binary frames
+// carrying batched produce/deliver payloads, subscriptions, cumulative
+// acknowledgements, credit grants and pings.
+//
+// # Frame layout
+//
+// Every frame is
+//
+//	uint32  length   (big-endian; covers type + flags + body)
+//	uint8   type     (TPing .. TErr)
+//	uint8   flags
+//	[]byte  body     (length - 2 bytes)
+//
+// Bodies that name a topic start with `uint16 len | topic bytes`.
+// PRODUCE bodies are batch-aware: one frame carries `uint32 count`
+// followed by count `uint32 len | payload` messages, so the framing
+// cost amortizes across a batch exactly like the queue's EnqueueBatch.
+//
+// # Direction and semantics
+//
+//	PING    both ways    8-byte token; the peer echoes it with FlagPong.
+//	PRODUCE client→broker topic + message batch. The broker acknowledges
+//	        cumulatively per connection (ACK).
+//	        broker→client the same frame with FlagDeliver set delivers a
+//	        batch to a subscribed consumer.
+//	CONSUME client→broker topic + initial credit: subscribe. The broker
+//	        may deliver at most `credit` messages until CREDIT grants more.
+//	ACK     broker→client topic + uint64 seq: the first seq messages
+//	        produced on this connection for the topic have been accepted
+//	        into the topic queue. With FlagEnd it is the subscription's
+//	        end-of-stream marker (broker shutdown after drain).
+//	CREDIT  client→broker topic + uint32 n: grant n more deliveries.
+//	ERR     broker→client human-readable reason; the sender closes the
+//	        connection after writing it.
+//
+// # Fail-closed decoding
+//
+// The decoder trusts nothing: frames above MaxFrame, topics above
+// MaxTopic, batches above MaxBatch, counts that cannot fit the
+// remaining body, truncated fields and trailing garbage are all hard
+// errors. A Reader never over-reads past the declared frame length,
+// so a poisoned frame cannot desynchronize the stream; callers treat
+// any error as fatal for the connection.
+package wire
+
+import "errors"
+
+// Frame types.
+const (
+	TPing    = 1
+	TProduce = 2
+	TConsume = 3
+	TAck     = 4
+	TCredit  = 5
+	TErr     = 6
+)
+
+// Frame flags.
+const (
+	// FlagPong marks a PING reply.
+	FlagPong = 1 << 0
+	// FlagDeliver marks a broker→consumer PRODUCE (a delivery).
+	FlagDeliver = 1 << 1
+	// FlagEnd marks an ACK as a subscription's end-of-stream.
+	FlagEnd = 1 << 2
+)
+
+// Wire limits; exceeding any of them is a decode error.
+const (
+	// headerSize is the fixed prefix: length + type + flags.
+	headerSize = 6
+	// MaxFrame bounds the length field (type + flags + body).
+	MaxFrame = 16 << 20
+	// MaxTopic bounds the topic name length.
+	MaxTopic = 1024
+	// MaxBatch bounds the message count of one PRODUCE frame.
+	MaxBatch = 64 << 10
+	// pingBody is the fixed PING body size (the token).
+	pingBody = 8
+)
+
+// Decode errors. Reader and the Parse functions return these (possibly
+// wrapped); all of them are terminal for the connection.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrFrameTooSmall = errors.New("wire: frame shorter than type+flags")
+	ErrTruncated     = errors.New("wire: body truncated")
+	ErrTrailingBytes = errors.New("wire: trailing bytes after body")
+	ErrTopicTooLong  = errors.New("wire: topic exceeds MaxTopic")
+	ErrBatchTooLarge = errors.New("wire: batch exceeds MaxBatch")
+	ErrWrongType     = errors.New("wire: frame type does not match parser")
+)
+
+// Frame is one decoded frame. Body aliases the Reader's internal
+// buffer and is valid only until the next Read.
+type Frame struct {
+	Type  byte
+	Flags byte
+	Body  []byte
+}

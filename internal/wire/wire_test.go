@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip encodes one frame of every type into a single flush
+// and decodes them back in order.
+func TestRoundTrip(t *testing.T) {
+	topic := []byte("orders")
+	msgs := [][]byte{[]byte("a"), []byte(""), []byte("hello world"), bytes.Repeat([]byte("x"), 300)}
+
+	var b Buffer
+	b.PutPing(0xdeadbeefcafe, false)
+	b.PutProduce(0, topic, msgs)
+	b.PutProduce(FlagDeliver, topic, msgs[:1])
+	b.PutConsume(topic, 128)
+	b.PutAck(0, topic, 42)
+	b.PutAck(FlagEnd, topic, 99)
+	b.PutCredit(topic, 64)
+	b.PutErr("boom")
+
+	r := NewReader(bytes.NewReader(b.Bytes()))
+
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok, err := ParsePing(f); err != nil || tok != 0xdeadbeefcafe || f.Flags&FlagPong != 0 {
+		t.Fatalf("ping: %x %v flags=%x", tok, err, f.Flags)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseProduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Topic) != "orders" || p.N != len(msgs) {
+		t.Fatalf("produce: topic=%q n=%d", p.Topic, p.N)
+	}
+	for i := range msgs {
+		m, ok := p.Next()
+		if !ok || !bytes.Equal(m, msgs[i]) {
+			t.Fatalf("msg %d: %q ok=%v", i, m, ok)
+		}
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("iterator yielded past the batch")
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Flags&FlagDeliver == 0 {
+		t.Fatal("deliver flag lost")
+	}
+	if p, err = ParseProduce(f); err != nil || p.N != 1 {
+		t.Fatalf("deliver: %v n=%d", err, p.N)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topic, credit, err := ParseConsume(f); err != nil || string(topic) != "orders" || credit != 128 {
+		t.Fatalf("consume: %q %d %v", topic, credit, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topic, seq, err := ParseAck(f); err != nil || string(topic) != "orders" || seq != 42 || f.Flags&FlagEnd != 0 {
+		t.Fatalf("ack: %q %d %v flags=%x", topic, seq, err, f.Flags)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, err := ParseAck(f); err != nil || seq != 99 || f.Flags&FlagEnd == 0 {
+		t.Fatalf("end ack: %d %v flags=%x", seq, err, f.Flags)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topic, n, err := ParseCredit(f); err != nil || string(topic) != "orders" || n != 64 {
+		t.Fatalf("credit: %q %d %v", topic, n, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := ParseErr(f); err != nil || msg != "boom" {
+		t.Fatalf("err frame: %q %v", msg, err)
+	}
+
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+// TestReaderFailClosed feeds the reader streams it must reject without
+// panicking or over-reading.
+func TestReaderFailClosed(t *testing.T) {
+	frame := func(body []byte, typ, flags byte) []byte {
+		out := make([]byte, headerSize+len(body))
+		binary.BigEndian.PutUint32(out, uint32(len(body)+2))
+		out[4], out[5] = typ, flags
+		copy(out[headerSize:], body)
+		return out
+	}
+
+	t.Run("length-too-small", func(t *testing.T) {
+		raw := frame(nil, TPing, 0)
+		binary.BigEndian.PutUint32(raw, 1)
+		if _, err := NewReader(bytes.NewReader(raw)).Next(); !errors.Is(err, ErrFrameTooSmall) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("length-too-large", func(t *testing.T) {
+		raw := frame(nil, TPing, 0)
+		binary.BigEndian.PutUint32(raw, MaxFrame+1)
+		if _, err := NewReader(bytes.NewReader(raw)).Next(); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated-header", func(t *testing.T) {
+		if _, err := NewReader(bytes.NewReader([]byte{0, 0})).Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated-body", func(t *testing.T) {
+		raw := frame([]byte{1, 2, 3, 4, 5, 6, 7, 8}, TPing, 0)
+		if _, err := NewReader(bytes.NewReader(raw[:len(raw)-3])).Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("ping-trailing", func(t *testing.T) {
+		f := Frame{Type: TPing, Body: make([]byte, 9)}
+		if _, err := ParsePing(f); !errors.Is(err, ErrTrailingBytes) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("topic-over-limit", func(t *testing.T) {
+		body := make([]byte, 2+MaxTopic+1)
+		binary.BigEndian.PutUint16(body, MaxTopic+1)
+		if _, _, err := ParseConsume(Frame{Type: TConsume, Body: body}); !errors.Is(err, ErrTopicTooLong) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("produce-count-lies", func(t *testing.T) {
+		// Claims 1000 messages but carries bytes for none.
+		body := make([]byte, 2+1+4)
+		binary.BigEndian.PutUint16(body, 1)
+		body[2] = 't'
+		binary.BigEndian.PutUint32(body[3:], 1000)
+		if _, err := ParseProduce(Frame{Type: TProduce, Body: body}); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("produce-batch-over-limit", func(t *testing.T) {
+		body := make([]byte, 2+4+4*(MaxBatch+1))
+		binary.BigEndian.PutUint32(body[2:], MaxBatch+1)
+		if _, err := ParseProduce(Frame{Type: TProduce, Body: body}); !errors.Is(err, ErrBatchTooLarge) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("produce-msg-overruns", func(t *testing.T) {
+		var b Buffer
+		b.PutProduce(0, []byte("t"), [][]byte{[]byte("abc")})
+		raw := b.Bytes()
+		// Inflate the message length field past the body end.
+		binary.BigEndian.PutUint32(raw[headerSize+2+1+4:], 1<<20)
+		f, err := NewReader(bytes.NewReader(raw)).Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseProduce(f); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("produce-trailing", func(t *testing.T) {
+		var b Buffer
+		b.PutProduce(0, []byte("t"), [][]byte{[]byte("abc")})
+		raw := frame(append(b.Bytes()[headerSize:], 0xff), TProduce, 0)
+		f, err := NewReader(bytes.NewReader(raw)).Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseProduce(f); !errors.Is(err, ErrTrailingBytes) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("wrong-type", func(t *testing.T) {
+		f := Frame{Type: TCredit, Body: make([]byte, 8)}
+		if _, err := ParsePing(f); !errors.Is(err, ErrWrongType) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// TestCopyMessages checks that copied batches survive the reader's
+// buffer being clobbered by the next frame.
+func TestCopyMessages(t *testing.T) {
+	var b Buffer
+	b.PutProduce(0, []byte("t"), [][]byte{[]byte("first"), []byte("second")})
+	b.PutProduce(0, []byte("t"), [][]byte{bytes.Repeat([]byte("z"), 64)})
+
+	r := NewReader(bytes.NewReader(b.Bytes()))
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseProduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CopyMessages(&p)
+	if _, err := r.Next(); err != nil { // clobbers the shared buffer
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("copies corrupted: %q", got)
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("CopyMessages left the iterator unconsumed")
+	}
+}
+
+// TestEncodersAllocationFree is the runtime counterpart of the
+// //ffq:hotpath markers: a warmed Buffer must encode without
+// allocating.
+func TestEncodersAllocationFree(t *testing.T) {
+	topic := []byte("orders")
+	msgs := [][]byte{bytes.Repeat([]byte("m"), 100), bytes.Repeat([]byte("n"), 100)}
+	var b Buffer
+	b.PutProduce(0, topic, msgs) // warm the buffer
+	b.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset()
+		b.PutPing(1, true)
+		b.PutProduce(0, topic, msgs)
+		b.PutConsume(topic, 8)
+		b.PutAck(0, topic, 3)
+		b.PutCredit(topic, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed encoders allocated %.1f times per run", allocs)
+	}
+}
+
+// TestEncoderPanics verifies the caller-bug guards.
+func TestEncoderPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatalf("%s did not panic", name)
+			} else if !strings.HasPrefix(r.(string), "wire:") {
+				t.Fatalf("%s panicked with %v", name, r)
+			}
+		}()
+		fn()
+	}
+	var b Buffer
+	long := make([]byte, MaxTopic+1)
+	mustPanic("oversized topic", func() { b.PutCredit(long, 1) })
+	mustPanic("oversized batch", func() { b.PutProduce(0, []byte("t"), make([][]byte, MaxBatch+1)) })
+	mustPanic("oversized frame", func() {
+		b.PutProduce(0, []byte("t"), [][]byte{make([]byte, MaxFrame)})
+	})
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ffq/internal/broker"
+	"ffq/internal/broker/client"
+)
+
+// BrokerConfig parameterizes the broker round-trip workload: N
+// producer connections publish into one topic, M consumer connections
+// drain it competitively, and the measured quantity is end-to-end
+// messages per second through the full wire path (encode → socket →
+// ingress SPSC → topic queue → delivery → decode).
+type BrokerConfig struct {
+	// Transport is "pipe" (in-process net.Pipe, no kernel sockets) or
+	// "tcp" (real loopback TCP).
+	Transport string
+	// Producers and Consumers are connection counts (>= 1 each).
+	Producers int
+	Consumers int
+	// MessagesPerProducer is how many messages each producer publishes.
+	MessagesPerProducer int
+	// PayloadSize is the message body size in bytes (>= 1).
+	PayloadSize int
+	// MaxBatch is the client-side auto-batch limit; 1 sends one
+	// PRODUCE frame per message (the unbatched baseline).
+	MaxBatch int
+	// Window is the pipelining/credit window (0 = client default).
+	Window int
+}
+
+// BrokerResult is the outcome of one broker workload run.
+type BrokerResult struct {
+	// Messages is the number of messages delivered end to end.
+	Messages int
+	// Elapsed is the wall time from first publish to last delivery.
+	Elapsed time.Duration
+}
+
+// MsgsPerSec returns end-to-end delivered messages per second.
+func (r BrokerResult) MsgsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Messages) / r.Elapsed.Seconds()
+}
+
+// RunBroker executes the broker workload once: start a broker, connect
+// the producer and consumer clients over the chosen transport, move
+// every message through the topic, then drain the broker down.
+func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
+	if cfg.Producers < 1 || cfg.Consumers < 1 || cfg.MessagesPerProducer < 1 {
+		return BrokerResult{}, fmt.Errorf("workload: non-positive broker config %+v", cfg)
+	}
+	if cfg.PayloadSize < 1 {
+		cfg.PayloadSize = 16
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+
+	b, err := broker.New(broker.Options{})
+	if err != nil {
+		return BrokerResult{}, err
+	}
+	copts := client.Options{MaxBatch: cfg.MaxBatch, Window: cfg.Window}
+
+	// connect returns a client over the configured transport.
+	var connect func() (*client.Client, error)
+	switch cfg.Transport {
+	case "", "pipe":
+		connect = func() (*client.Client, error) {
+			srv, cli := net.Pipe()
+			b.ServeConn(srv)
+			return client.New(cli, copts), nil
+		}
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return BrokerResult{}, err
+		}
+		go b.Serve(ln)
+		addr := ln.Addr().String()
+		connect = func() (*client.Client, error) { return client.Dial(addr, copts) }
+	default:
+		return BrokerResult{}, fmt.Errorf("workload: unknown broker transport %q (have pipe, tcp)", cfg.Transport)
+	}
+
+	total := cfg.Producers * cfg.MessagesPerProducer
+	var received atomic.Int64
+	allDelivered := make(chan struct{})
+
+	consumers := make([]*client.Client, cfg.Consumers)
+	var consumerWG sync.WaitGroup
+	for i := range consumers {
+		c, err := connect()
+		if err != nil {
+			return BrokerResult{}, err
+		}
+		consumers[i] = c
+		sub, err := c.Subscribe("bench", cfg.Window)
+		if err != nil {
+			return BrokerResult{}, err
+		}
+		consumerWG.Add(1)
+		go func() {
+			defer consumerWG.Done()
+			for {
+				if _, ok := sub.Recv(); !ok {
+					return
+				}
+				if received.Add(1) == int64(total) {
+					close(allDelivered)
+				}
+			}
+		}()
+	}
+
+	producers := make([]*client.Client, cfg.Producers)
+	for i := range producers {
+		c, err := connect()
+		if err != nil {
+			return BrokerResult{}, err
+		}
+		producers[i] = c
+	}
+
+	payload := make([]byte, cfg.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	t0 := time.Now()
+	var producerWG sync.WaitGroup
+	errs := make(chan error, cfg.Producers)
+	for _, c := range producers {
+		producerWG.Add(1)
+		go func(c *client.Client) {
+			defer producerWG.Done()
+			for m := 0; m < cfg.MessagesPerProducer; m++ {
+				if err := c.Publish("bench", payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := c.Drain(); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	producerWG.Wait()
+	select {
+	case err := <-errs:
+		return BrokerResult{}, err
+	default:
+	}
+	<-allDelivered
+	elapsed := time.Since(t0)
+
+	// Tear down: drain the broker (empty by now), which ends every
+	// subscription; then close the client connections.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		return BrokerResult{}, fmt.Errorf("workload: broker shutdown: %w", err)
+	}
+	consumerWG.Wait()
+	for _, c := range append(producers, consumers...) {
+		c.Close()
+	}
+	return BrokerResult{Messages: total, Elapsed: elapsed}, nil
+}

@@ -56,6 +56,11 @@ func (u *Unbounded[T]) EnqueueBatch(vs []T) { u.q.EnqueueBatch(vs) }
 // concurrent consumers.
 func (u *Unbounded[T]) Dequeue() (v T, ok bool) { return u.q.Dequeue() }
 
+// TryDequeue removes the head item if one is ready, never blocking
+// and claiming no rank on failure; see SPMC.TryDequeue. Safe for
+// concurrent consumers, mixed freely with Dequeue/DequeueBatch.
+func (u *Unbounded[T]) TryDequeue() (v T, ok bool) { return u.q.TryDequeue() }
+
 // DequeueBatch fills dst from one contiguous claim of len(dst) ranks
 // — a single fetch-and-add regardless of batch size. It blocks until
 // the whole batch is delivered; n < len(dst) happens only after
@@ -67,6 +72,10 @@ func (u *Unbounded[T]) DequeueBatch(dst []T) (n int, ok bool) { return u.q.Deque
 // Close marks the queue closed (producer side, after the final
 // Enqueue).
 func (u *Unbounded[T]) Close() { u.q.Close() }
+
+// Closed reports whether Close has been called. Closed()==true with
+// Len()==0 means drained: no item will ever be delivered again.
+func (u *Unbounded[T]) Closed() bool { return u.q.Closed() }
 
 // Len approximates the number of queued items.
 func (u *Unbounded[T]) Len() int { return u.q.Len() }
@@ -117,6 +126,11 @@ func (u *UnboundedMPMC[T]) EnqueueBatch(vs []T) { u.q.EnqueueBatch(vs) }
 // ok=false after Close once drained. Safe for concurrent consumers.
 func (u *UnboundedMPMC[T]) Dequeue() (v T, ok bool) { return u.q.Dequeue() }
 
+// TryDequeue removes the head item if one is ready, never blocking
+// and claiming no rank on failure; see SPMC.TryDequeue. Safe for
+// concurrent consumers, mixed freely with Dequeue/DequeueBatch.
+func (u *UnboundedMPMC[T]) TryDequeue() (v T, ok bool) { return u.q.TryDequeue() }
+
 // DequeueBatch fills dst from one contiguous claim of len(dst) ranks.
 // See Unbounded.DequeueBatch for the blocking contract.
 func (u *UnboundedMPMC[T]) DequeueBatch(dst []T) (n int, ok bool) { return u.q.DequeueBatch(dst) }
@@ -124,6 +138,10 @@ func (u *UnboundedMPMC[T]) DequeueBatch(dst []T) (n int, ok bool) { return u.q.D
 // Close marks the queue closed. Call only after every producer's
 // final Enqueue has returned.
 func (u *UnboundedMPMC[T]) Close() { u.q.Close() }
+
+// Closed reports whether Close has been called. Closed()==true with
+// Len()==0 means drained: no item will ever be delivered again.
+func (u *UnboundedMPMC[T]) Closed() bool { return u.q.Closed() }
 
 // Len approximates the number of queued items.
 func (u *UnboundedMPMC[T]) Len() int { return u.q.Len() }

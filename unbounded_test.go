@@ -50,6 +50,48 @@ func TestPublicUnbounded(t *testing.T) {
 	}
 }
 
+// TestPublicUnboundedTryDequeue checks the non-blocking poll on both
+// unbounded facades: empty polls reserve nothing (small segments force
+// the poll across segment boundaries), and a full drain through
+// TryDequeue alone delivers everything in order.
+func TestPublicUnboundedTryDequeue(t *testing.T) {
+	spmc, err := ffq.NewUnbounded[int](ffq.WithSegmentSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpmc, err := ffq.NewUnboundedMPMC[int](ffq.WithSegmentSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tryQueue interface {
+		Enqueue(int)
+		TryDequeue() (int, bool)
+		Close()
+	}
+	for name, q := range map[string]tryQueue{"useg": spmc, "useg-mpmc": mpmc} {
+		if v, ok := q.TryDequeue(); ok {
+			t.Fatalf("%s: empty TryDequeue returned %d", name, v)
+		}
+		const items = 100 // 13 segments of 8: polls cross segment links
+		for i := 1; i <= items; i++ {
+			q.Enqueue(i)
+		}
+		for want := 1; want <= items; want++ {
+			v, ok := q.TryDequeue()
+			if !ok {
+				t.Fatalf("%s: TryDequeue empty with %d outstanding", name, items-want+1)
+			}
+			if v != want {
+				t.Fatalf("%s: got %d, want %d", name, v, want)
+			}
+		}
+		q.Close()
+		if v, ok := q.TryDequeue(); ok {
+			t.Fatalf("%s: drained TryDequeue returned %d", name, v)
+		}
+	}
+}
+
 func TestPublicUnboundedMPMC(t *testing.T) {
 	q, err := ffq.NewUnboundedMPMC[uint64](ffq.WithSegmentSize(16))
 	if err != nil {
