@@ -313,6 +313,79 @@ func BenchmarkUnboundedOps(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreBatchOps prices the single-FAA batch claims on the
+// bounded core variants against their single-op paths, plus the
+// sharded queue's handle path. The bounded-spmc series is the
+// acceptance gate for the batch API: one head.Add(k) claims k
+// contiguous ranks, so per-element cost at batch=64 should be at
+// least 2x better than batch=1 (the same gate style as the segq batch
+// series in BenchmarkUnboundedOps).
+func BenchmarkCoreBatchOps(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		batch := batch
+		b.Run(fmt.Sprintf("bounded-spmc/batch=%d", batch), func(b *testing.B) {
+			q, _ := core.NewSPMC[uint64](1<<16, core.WithLayout(core.LayoutPadded))
+			src := make([]uint64, batch)
+			dst := make([]uint64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				q.EnqueueBatch(src)
+				q.DequeueBatch(dst)
+			}
+		})
+		b.Run(fmt.Sprintf("bounded-mpmc/batch=%d", batch), func(b *testing.B) {
+			q, _ := core.NewMPMC[uint64](1<<16, core.WithLayout(core.LayoutPadded))
+			src := make([]uint64, batch)
+			dst := make([]uint64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				q.EnqueueBatch(src)
+				q.DequeueBatch(dst)
+			}
+		})
+		b.Run(fmt.Sprintf("sharded/batch=%d", batch), func(b *testing.B) {
+			q, _ := core.NewSharded[uint64](2, 1<<16, core.WithLayout(core.LayoutPadded))
+			h, ok := q.Acquire()
+			if !ok {
+				b.Fatal("lane acquisition failed")
+			}
+			defer h.Release()
+			src := make([]uint64, batch)
+			dst := make([]uint64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				h.EnqueueBatch(src)
+				q.DequeueBatch(dst)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedVsMPMC is the benchmark face of the fan-in
+// comparison (and the TestShardedBeatsMPMC gate): 4 producers push
+// into one shared queue drained by 4 consumers, once through a single
+// FFQ^m and once through the sharded per-producer-lane queue. On >= 4
+// real cores the sharded side should report at least 1.5x the Mops/s.
+func BenchmarkShardedVsMPMC(b *testing.B) {
+	for _, v := range []workload.Variant{workload.VariantMPMC, workload.VariantSharded} {
+		v := v
+		b.Run(fmt.Sprintf("%s/4p4c", v), func(b *testing.B) {
+			res, err := workload.RunFanIn(workload.FanInConfig{
+				Variant:          v,
+				Producers:        4,
+				Consumers:        4,
+				ItemsPerProducer: b.N/4 + 1,
+				QueueSize:        1 << 12,
+				Layout:           core.LayoutPadded,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MopsPerSec(), "Mops/s")
+		})
+	}
+}
+
 // BenchmarkSPSCLineage measures the related-work SPSC queues of
 // Section II against the FFQ SPSC variant (streaming transfer).
 func BenchmarkSPSCLineage(b *testing.B) {

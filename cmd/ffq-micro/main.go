@@ -11,6 +11,8 @@
 //	ffq-micro -fig 6 -pairs 2 -csv
 //	ffq-micro -json BENCH_spmc.json -variant spmc -consumers 4
 //	ffq-micro -json BENCH_useg.json -variant unbounded -batch 64
+//	ffq-micro -json BENCH_sharded.json -variant sharded -producers 4 -consumers 1
+//	ffq-micro -json - -sharded-compare -producers 4 -consumers 4
 //	ffq-micro -json - -broker -transport pipe -consumers 4
 //
 // With -json the tool instead runs the instrumented queue-size sweep
@@ -19,7 +21,13 @@
 // stdout). The unbounded variants treat the size axis as segment size
 // and additionally report segment recycling counters; -batch moves
 // items in contiguous-run batches (the paper-relevant sizes are 1, 8
-// and 64).
+// and 64). -producers adds the multi-producer axis; with -variant
+// sharded all producers share one sharded queue (a wait-free lane
+// each) and each record carries the lane count and per-lane depth.
+//
+// With -sharded-compare (requires -json) the run instead measures the
+// sharded-vs-FFQ^m fan-in comparison at -producers x -consumers and
+// records both throughputs plus the speedup ratio.
 //
 // With -broker (requires -json) the sweep instead measures the ffqd
 // broker's end-to-end loopback throughput across client auto-batch
@@ -47,12 +55,13 @@ func main() {
 	pairs := flag.Int("pairs", 1, "producer/consumer pairs (figure 6)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.String("json", "", "write the instrumented stats sweep as JSON to this file (\"-\" = stdout)")
-	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc, mpmc, unbounded or unbounded-mpmc")
+	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc, mpmc, sharded, unbounded or unbounded-mpmc")
 	consumers := flag.Int("consumers", 1, "consumers per producer for -json")
-	batch := flag.Int("batch", 1, "items per batch for -json (unbounded variants use native batch ops)")
+	batch := flag.Int("batch", 1, "items per batch for -json (sharded and unbounded variants use native batch ops)")
 	brokerSweep := flag.Bool("broker", false, "with -json: sweep ffqd broker loopback throughput across client batch sizes instead of a queue sweep")
 	transport := flag.String("transport", "pipe", "broker transport for -broker: pipe (in-process) or tcp (loopback sockets)")
-	producers := flag.Int("producers", 1, "producer connections for -broker")
+	producers := flag.Int("producers", 1, "producers: broker connections for -broker, queue producers for -json sweeps (sharded = lanes in one queue)")
+	shardedCompare := flag.Bool("sharded-compare", false, "with -json: run the sharded-vs-mpmc fan-in comparison at -producers x -consumers instead of a queue sweep")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -63,10 +72,13 @@ func main() {
 
 	if *jsonOut != "" {
 		var err error
-		if *brokerSweep {
+		switch {
+		case *brokerSweep:
 			err = runBrokerSweep(o, *jsonOut, *transport, *producers, *consumers)
-		} else {
-			err = runStatsSweep(o, *jsonOut, *variant, *consumers, *batch)
+		case *shardedCompare:
+			err = runShardedCompare(o, *jsonOut, *producers, *consumers)
+		default:
+			err = runStatsSweep(o, *jsonOut, *variant, *producers, *consumers, *batch)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ffq-micro:", err)
@@ -104,7 +116,7 @@ func main() {
 
 // runStatsSweep executes the instrumented sweep and writes the JSON
 // records.
-func runStatsSweep(o experiments.Options, path, variant string, consumers, batch int) error {
+func runStatsSweep(o experiments.Options, path, variant string, producers, consumers, batch int) error {
 	var v workload.Variant
 	switch variant {
 	case "spsc":
@@ -113,14 +125,26 @@ func runStatsSweep(o experiments.Options, path, variant string, consumers, batch
 		v = workload.VariantSPMC
 	case "mpmc":
 		v = workload.VariantMPMC
+	case "sharded":
+		v = workload.VariantSharded
 	case "unbounded":
 		v = workload.VariantUnbounded
 	case "unbounded-mpmc":
 		v = workload.VariantUnboundedMPMC
 	default:
-		return fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc, unbounded, unbounded-mpmc)", variant)
+		return fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc, sharded, unbounded, unbounded-mpmc)", variant)
 	}
-	recs, err := experiments.StatsSweep(o, v, consumers, batch)
+	recs, err := experiments.StatsSweep(o, v, producers, consumers, batch)
+	if err != nil {
+		return err
+	}
+	return writeRecords(path, recs)
+}
+
+// runShardedCompare executes the sharded-vs-MPMC fan-in comparison and
+// writes the JSON records (including the speedup ratio).
+func runShardedCompare(o experiments.Options, path string, producers, consumers int) error {
+	recs, err := experiments.ShardedVsMPMC(o, producers, consumers)
 	if err != nil {
 		return err
 	}

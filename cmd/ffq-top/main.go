@@ -16,6 +16,11 @@
 //	        -producer-delay 200ns            # segmented queue: -cap is the
 //	                                         # segment size; watch the live
 //	                                         # segment/recycling counters
+//	ffq-top -variant sharded -producers 4 \
+//	        -consumers 2 -cap 256            # per-producer FFQ^s lanes:
+//	                                         # -cap is the per-lane depth;
+//	                                         # the view and /metrics gain
+//	                                         # per-lane depths
 //
 // The unbounded variants have no backpressure: if consumers fall
 // behind, the segment chain (and memory) grows without bound — use
@@ -57,13 +62,20 @@ import (
 	"ffq/internal/segq"
 )
 
-// queue adapts the three core variants behind one face.
+// queue adapts the core variants behind one face.
 type queue interface {
 	enqueue(v uint64)
 	dequeue() (uint64, bool)
 	close()
 	len() int
 	stats() obs.Stats
+}
+
+// laneQueue is the extra face of the sharded variant: producers take
+// an exclusive wait-free lane and the live view gains per-lane depths.
+type laneQueue interface {
+	producer() (enq func(uint64), release func())
+	laneLens() []int
 }
 
 type spscQ struct{ q *core.SPSC[uint64] }
@@ -90,6 +102,26 @@ func (s mpmcQ) close()                  { s.q.Close() }
 func (s mpmcQ) len() int                { return s.q.Len() }
 func (s mpmcQ) stats() obs.Stats        { return s.q.Stats() }
 
+type shardedQ struct{ q *core.Sharded[uint64] }
+
+// enqueue is the shared-lane fallback path; producer goroutines use
+// producer() for an exclusive lane instead.
+func (s shardedQ) enqueue(v uint64)        { s.q.Enqueue(v) }
+func (s shardedQ) dequeue() (uint64, bool) { return s.q.Dequeue() }
+func (s shardedQ) close()                  { s.q.Close() }
+func (s shardedQ) len() int                { return s.q.Len() }
+func (s shardedQ) stats() obs.Stats        { return s.q.Stats() }
+func (s shardedQ) laneLens() []int         { return s.q.LaneLens(nil) }
+
+func (s shardedQ) producer() (func(uint64), func()) {
+	if h, ok := s.q.Acquire(); ok {
+		return h.Enqueue, h.Release
+	}
+	// All lanes taken (more producers than lanes-1): fall back to the
+	// shared lane.
+	return s.q.Enqueue, func() {}
+}
+
 type usegQ struct{ q *segq.SPMC[uint64] }
 
 func (s usegQ) enqueue(v uint64)        { s.q.Enqueue(v) }
@@ -108,8 +140,9 @@ func (s usegMPMCQ) stats() obs.Stats        { return s.q.Stats() }
 
 // newQueue builds the selected variant. For the unbounded variants the
 // capacity becomes the segment size and the live view gains a segment
-// recycling line.
-func newQueue(variant string, capacity int, opts ...core.Option) (queue, error) {
+// recycling line; for sharded it is the per-lane depth and the queue
+// gets one exclusive lane per producer (plus the shared fallback).
+func newQueue(variant string, capacity, producers int, opts ...core.Option) (queue, error) {
 	switch variant {
 	case "spsc":
 		q, err := core.NewSPSC[uint64](capacity, opts...)
@@ -120,6 +153,9 @@ func newQueue(variant string, capacity int, opts ...core.Option) (queue, error) 
 	case "mpmc":
 		q, err := core.NewMPMC[uint64](capacity, opts...)
 		return mpmcQ{q}, err
+	case "sharded":
+		q, err := core.NewSharded[uint64](producers+1, capacity, opts...)
+		return shardedQ{q}, err
 	case "unbounded":
 		q, err := segq.NewSPMC[uint64](core.ResolveOptions(append(opts, core.WithSegmentSize(capacity))...))
 		return usegQ{q}, err
@@ -127,12 +163,12 @@ func newQueue(variant string, capacity int, opts ...core.Option) (queue, error) 
 		q, err := segq.NewMPMC[uint64](core.ResolveOptions(append(opts, core.WithSegmentSize(capacity))...))
 		return usegMPMCQ{q}, err
 	default:
-		return nil, fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc, unbounded, unbounded-mpmc)", variant)
+		return nil, fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc, sharded, unbounded, unbounded-mpmc)", variant)
 	}
 }
 
 func main() {
-	variant := flag.String("variant", "spmc", "queue variant: spsc, spmc, mpmc, unbounded or unbounded-mpmc")
+	variant := flag.String("variant", "spmc", "queue variant: spsc, spmc, mpmc, sharded, unbounded or unbounded-mpmc")
 	producers := flag.Int("producers", 1, "producer goroutines (>1 requires a multi-producer variant)")
 	consumers := flag.Int("consumers", 4, "consumer goroutines (spsc requires exactly 1)")
 	capacity := flag.Int("cap", 1<<10, "queue capacity (power of two)")
@@ -156,25 +192,29 @@ func main() {
 	if *producers < 1 || *consumers < 1 {
 		fatal(fmt.Errorf("need at least one producer and one consumer"))
 	}
-	if *producers > 1 && *variant != "mpmc" && *variant != "unbounded-mpmc" {
-		fatal(fmt.Errorf("%d producers require -variant mpmc or unbounded-mpmc", *producers))
+	if *producers > 1 && *variant != "mpmc" && *variant != "unbounded-mpmc" && *variant != "sharded" {
+		fatal(fmt.Errorf("%d producers require -variant mpmc, sharded or unbounded-mpmc", *producers))
 	}
 	if *variant == "spsc" && *consumers != 1 {
 		fatal(fmt.Errorf("spsc supports exactly 1 consumer, got %d", *consumers))
 	}
 
-	q, err := newQueue(*variant, *capacity,
+	q, err := newQueue(*variant, *capacity, *producers,
 		core.WithInstrumentation(),
 		core.WithLayout(core.LayoutPadded),
 		core.WithYieldThreshold(*yieldTh))
 	if err != nil {
 		fatal(err)
 	}
-	if err := expvarx.Register("ffq-top", expvarx.QueueInfo{
+	info := expvarx.QueueInfo{
 		Stats: q.stats,
 		Len:   q.len,
 		Cap:   *capacity,
-	}); err != nil {
+	}
+	if lq, ok := q.(laneQueue); ok {
+		info.LaneLens = lq.laneLens
+	}
+	if err := expvarx.Register("ffq-top", info); err != nil {
 		fatal(err)
 	}
 
@@ -201,9 +241,15 @@ func main() {
 			pprof.Do(context.Background(), pprof.Labels(
 				"ffq_role", "producer", "ffq_worker", strconv.Itoa(p),
 			), func(context.Context) {
+				enq := q.enqueue
+				if lq, ok := q.(laneQueue); ok {
+					var release func()
+					enq, release = lq.producer()
+					defer release()
+				}
 				var n uint64
 				for !stop.Load() {
-					q.enqueue(n)
+					enq(n)
 					n++
 					busyWait(*prodDelay)
 				}
@@ -249,7 +295,11 @@ loop:
 			break loop
 		case now := <-ticker.C:
 			cur := q.stats()
-			render(os.Stdout, *plain, *variant, *capacity, q.len(), now.Sub(start),
+			var lanes []int
+			if lq, ok := q.(laneQueue); ok {
+				lanes = lq.laneLens()
+			}
+			render(os.Stdout, *plain, *variant, *capacity, q.len(), lanes, now.Sub(start),
 				cur, cur.Sub(prev), now.Sub(prevAt))
 			prev, prevAt = cur, now
 		}
@@ -270,24 +320,40 @@ loop:
 }
 
 // render draws one refresh frame (or appends one line with plain).
-func render(w *os.File, plain bool, variant string, capacity, depth int,
+// lanes is nil except for the sharded variant, where it holds the
+// per-lane depths (lane 0 = shared fallback) and capacity is per-lane.
+func render(w *os.File, plain bool, variant string, capacity, depth int, lanes []int,
 	elapsed time.Duration, cur, d obs.Stats, dt time.Duration) {
 	secs := dt.Seconds()
 	if secs <= 0 {
 		secs = 1
 	}
 	if plain {
-		fmt.Fprintf(w, "t=%-8s depth=%-6d enq/s=%-12.0f deq/s=%-12.0f spin/op=%-8.2f gaps=%d/%d\n",
+		fmt.Fprintf(w, "t=%-8s depth=%-6d enq/s=%-12.0f deq/s=%-12.0f spin/op=%-8.2f gaps=%d/%d",
 			elapsed.Round(time.Second), depth,
 			float64(d.Enqueues)/secs, float64(d.Dequeues)/secs,
 			d.SpinRatio(), cur.GapsCreated, cur.GapsSkipped)
+		if lanes != nil {
+			fmt.Fprintf(w, " lanes=%v", lanes)
+		}
+		fmt.Fprintln(w)
 		return
 	}
 	var b strings.Builder
 	// Clear screen, home cursor.
 	b.WriteString("\x1b[2J\x1b[H")
-	fmt.Fprintf(&b, "ffq-top — %s cap=%d — up %s\n\n", variant, capacity, elapsed.Round(time.Second))
-	fmt.Fprintf(&b, "  depth      %10d / %d (%.0f%%)\n", depth, capacity, 100*float64(depth)/float64(capacity))
+	totalCap := capacity
+	if lanes != nil {
+		totalCap = capacity * len(lanes)
+		fmt.Fprintf(&b, "ffq-top — %s lanes=%d lane-cap=%d — up %s\n\n",
+			variant, len(lanes), capacity, elapsed.Round(time.Second))
+	} else {
+		fmt.Fprintf(&b, "ffq-top — %s cap=%d — up %s\n\n", variant, capacity, elapsed.Round(time.Second))
+	}
+	fmt.Fprintf(&b, "  depth      %10d / %d (%.0f%%)\n", depth, totalCap, 100*float64(depth)/float64(totalCap))
+	if lanes != nil {
+		fmt.Fprintf(&b, "  lane depth %10v (lane 0 = shared fallback)\n", lanes)
+	}
 	fmt.Fprintf(&b, "  enqueue/s  %10.0f   (total %d)\n", float64(d.Enqueues)/secs, cur.Enqueues)
 	fmt.Fprintf(&b, "  dequeue/s  %10.0f   (total %d)\n", float64(d.Dequeues)/secs, cur.Dequeues)
 	fmt.Fprintf(&b, "  full spins %10.0f/s (total %d, %.3f per enqueue)\n",

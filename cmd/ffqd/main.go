@@ -1,15 +1,15 @@
 // Command ffqd is the FFQ message broker daemon: it serves the ffqd
 // wire protocol on a TCP listener, fanning PRODUCE batches out to
-// credit-gated subscribers through per-topic unbounded FFQ queues
-// (see internal/broker for the data plane and internal/wire for the
-// frame format).
+// credit-gated subscribers through per-topic sharded FFQ queues —
+// one wait-free producer lane per connection (see internal/broker for
+// the data plane and internal/wire for the frame format).
 //
 // Usage:
 //
 //	ffqd                                     # listen on :7077
 //	ffqd -listen :7077 -metrics :9077        # plus Prometheus /metrics
 //	                                         # and expvar /debug/vars
-//	ffqd -segment-size 4096 -deliver-batch 128
+//	ffqd -topic-lanes 16 -lane-depth 4096 -deliver-batch 128
 //	ffqd -drain-timeout 10s                  # bound for graceful shutdown
 //
 // SIGINT or SIGTERM starts a graceful drain: accepted messages are
@@ -39,7 +39,8 @@ import (
 func main() {
 	listen := flag.String("listen", ":7077", "address to serve the ffqd wire protocol on")
 	metrics := flag.String("metrics", "", "serve Prometheus /metrics and expvar /debug/vars on this address (empty = off)")
-	segSize := flag.Int("segment-size", 0, "topic queue segment size, a power of two (0 = ffq default)")
+	topicLanes := flag.Int("topic-lanes", 0, "per-producer lanes per topic queue (0 = default)")
+	laneDepth := flag.Int("lane-depth", 0, "per-lane topic capacity in messages, a power of two (0 = default)")
 	ingress := flag.Int("ingress-buffer", 0, "per-connection staging capacity in PRODUCE batches, a power of two (0 = default)")
 	deliverBatch := flag.Int("deliver-batch", 0, "max messages per DELIVER frame (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
@@ -47,10 +48,11 @@ func main() {
 	flag.Parse()
 
 	b, err := broker.New(broker.Options{
-		IngressBuffer: *ingress,
-		DeliverBatch:  *deliverBatch,
-		SegmentSize:   *segSize,
-		Instrument:    !*noInstrument,
+		IngressBuffer:  *ingress,
+		DeliverBatch:   *deliverBatch,
+		TopicLanes:     *topicLanes,
+		TopicLaneDepth: *laneDepth,
+		Instrument:     !*noInstrument,
 	})
 	if err != nil {
 		fatal(err)

@@ -180,6 +180,24 @@ func (s *SPMC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
 // consumers, mixed freely with Dequeue.
 func (s *SPMC[T]) TryDequeue() (v T, ok bool) { return s.q.TryDequeue() }
 
+// EnqueueBatch inserts every element of vs in order, publishing the
+// tail index once per batch instead of once per item. Producer
+// goroutine only.
+func (s *SPMC[T]) EnqueueBatch(vs []T) { s.q.EnqueueBatch(vs) }
+
+// DequeueBatch removes up to len(dst) items with a single rank
+// reservation, blocking like Dequeue. n < len(dst) with ok=true means
+// the claimed run crossed producer-skipped ranks; ok=false means
+// closed and drained, with the n preceding items still delivered.
+// Safe for concurrent consumers.
+func (s *SPMC[T]) DequeueBatch(dst []T) (n int, ok bool) { return s.q.DequeueBatch(dst) }
+
+// TryDequeueBatch removes up to len(dst) ready items without blocking,
+// claiming a whole resolved run with one compare-and-swap; 0 means
+// nothing was ready. Safe for concurrent consumers, mixed freely with
+// the other dequeue forms.
+func (s *SPMC[T]) TryDequeueBatch(dst []T) int { return s.q.TryDequeueBatch(dst) }
+
 // Close marks the queue closed (producer side, after the final
 // Enqueue).
 func (s *SPMC[T]) Close() { s.q.Close() }
@@ -229,6 +247,16 @@ func (s *MPMC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
 // see SPMC.TryDequeue. ok=false also covers a producer mid-publish on
 // the head rank. Safe for concurrent consumers.
 func (s *MPMC[T]) TryDequeue() (v T, ok bool) { return s.q.TryDequeue() }
+
+// EnqueueBatch inserts every element of vs with a single tail
+// fetch-and-add for the whole run, preserving per-producer FIFO order
+// even when ranks are lost to gaps. Safe for concurrent producers.
+func (s *MPMC[T]) EnqueueBatch(vs []T) { s.q.EnqueueBatch(vs) }
+
+// DequeueBatch removes up to len(dst) items with a single rank
+// reservation; see SPMC.DequeueBatch for the partial-batch and closed
+// semantics. Safe for concurrent consumers.
+func (s *MPMC[T]) DequeueBatch(dst []T) (n int, ok bool) { return s.q.DequeueBatch(dst) }
 
 // Close marks the queue closed. Call only after every producer's
 // final Enqueue has returned.

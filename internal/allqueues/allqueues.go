@@ -27,7 +27,10 @@ func (a ffqMPMCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
 func (a ffqMPMCAdapter) Dequeue() (uint64, bool) {
 	return a.q.Dequeue()
 }
-func (a ffqMPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
+func (a ffqMPMCAdapter) TryDequeue() (uint64, bool)            { return a.q.TryDequeue() }
+func (a ffqMPMCAdapter) EnqueueBatch(vs []uint64)              { a.q.EnqueueBatch(vs) }
+func (a ffqMPMCAdapter) DequeueBatch(dst []uint64) (int, bool) { return a.q.DequeueBatch(dst) }
+func (a ffqMPMCAdapter) Close()                                { a.q.Close() }
 
 type ffqSPMCAdapter struct{ q *core.SPMC[uint64] }
 
@@ -35,7 +38,10 @@ func (a ffqSPMCAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
 func (a ffqSPMCAdapter) Dequeue() (uint64, bool) {
 	return a.q.Dequeue()
 }
-func (a ffqSPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
+func (a ffqSPMCAdapter) TryDequeue() (uint64, bool)            { return a.q.TryDequeue() }
+func (a ffqSPMCAdapter) EnqueueBatch(vs []uint64)              { a.q.EnqueueBatch(vs) }
+func (a ffqSPMCAdapter) DequeueBatch(dst []uint64) (int, bool) { return a.q.DequeueBatch(dst) }
+func (a ffqSPMCAdapter) Close()                                { a.q.Close() }
 
 type ffqSPSCAdapter struct{ q *core.SPSC[uint64] }
 
@@ -47,15 +53,21 @@ func (a ffqSPSCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
 
 type segSPMCAdapter struct{ q *segq.SPMC[uint64] }
 
-func (a segSPMCAdapter) Enqueue(v uint64)           { a.q.Enqueue(v) }
-func (a segSPMCAdapter) Dequeue() (uint64, bool)    { return a.q.Dequeue() }
-func (a segSPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
+func (a segSPMCAdapter) Enqueue(v uint64)                      { a.q.Enqueue(v) }
+func (a segSPMCAdapter) Dequeue() (uint64, bool)               { return a.q.Dequeue() }
+func (a segSPMCAdapter) TryDequeue() (uint64, bool)            { return a.q.TryDequeue() }
+func (a segSPMCAdapter) EnqueueBatch(vs []uint64)              { a.q.EnqueueBatch(vs) }
+func (a segSPMCAdapter) DequeueBatch(dst []uint64) (int, bool) { return a.q.DequeueBatch(dst) }
+func (a segSPMCAdapter) Close()                                { a.q.Close() }
 
 type segMPMCAdapter struct{ q *segq.MPMC[uint64] }
 
-func (a segMPMCAdapter) Enqueue(v uint64)           { a.q.Enqueue(v) }
-func (a segMPMCAdapter) Dequeue() (uint64, bool)    { return a.q.Dequeue() }
-func (a segMPMCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
+func (a segMPMCAdapter) Enqueue(v uint64)                      { a.q.Enqueue(v) }
+func (a segMPMCAdapter) Dequeue() (uint64, bool)               { return a.q.Dequeue() }
+func (a segMPMCAdapter) TryDequeue() (uint64, bool)            { return a.q.TryDequeue() }
+func (a segMPMCAdapter) EnqueueBatch(vs []uint64)              { a.q.EnqueueBatch(vs) }
+func (a segMPMCAdapter) DequeueBatch(dst []uint64) (int, bool) { return a.q.DequeueBatch(dst) }
+func (a segMPMCAdapter) Close()                                { a.q.Close() }
 
 type wfAdapter struct{ q *wfqueue.Queue }
 
@@ -64,6 +76,60 @@ func (a wfAdapter) Register() queue.Queue { return a.q.Register() }
 type ccAdapter struct{ q *ccqueue.Queue }
 
 func (a ccAdapter) Register() queue.Queue { return a.q.Register() }
+
+// shardedShared hands every registering worker its own producer lane
+// (the sharded queue's intended deployment: one wait-free FFQ^s
+// enqueue path per producer). Workers beyond the lane count fall back
+// to the transient-claim shared path.
+type shardedShared struct{ q *core.Sharded[uint64] }
+
+func (s *shardedShared) Register() queue.Queue {
+	if p, ok := s.q.Acquire(); ok {
+		return shardedLaneView{q: s.q, p: p}
+	}
+	return shardedSharedView{q: s.q}
+}
+
+type shardedLaneView struct {
+	q *core.Sharded[uint64]
+	p *core.Producer[uint64]
+}
+
+func (v shardedLaneView) Enqueue(x uint64)                      { v.p.Enqueue(x) }
+func (v shardedLaneView) Dequeue() (uint64, bool)               { return v.q.TryDequeue() }
+func (v shardedLaneView) TryDequeue() (uint64, bool)            { return v.q.TryDequeue() }
+func (v shardedLaneView) EnqueueBatch(vs []uint64)              { v.p.EnqueueBatch(vs) }
+func (v shardedLaneView) DequeueBatch(dst []uint64) (int, bool) { return v.q.DequeueBatch(dst) }
+func (v shardedLaneView) Close()                                { v.q.Close() }
+
+type shardedSharedView struct{ q *core.Sharded[uint64] }
+
+func (v shardedSharedView) Enqueue(x uint64)           { v.q.Enqueue(x) }
+func (v shardedSharedView) Dequeue() (uint64, bool)    { return v.q.TryDequeue() }
+func (v shardedSharedView) TryDequeue() (uint64, bool) { return v.q.TryDequeue() }
+
+// EnqueueBatch on the fallback view claims a lane per item; workers
+// that need the amortized path should hold a lane (register while
+// lanes are free).
+func (v shardedSharedView) EnqueueBatch(vs []uint64) {
+	for _, x := range vs {
+		v.q.Enqueue(x)
+	}
+}
+func (v shardedSharedView) DequeueBatch(dst []uint64) (int, bool) { return v.q.DequeueBatch(dst) }
+func (v shardedSharedView) Close()                                { v.q.Close() }
+
+// laneCapFor splits a total capacity hint over n lanes, rounding each
+// lane up to the next power of two (minimum 2) so the sharded queue
+// holds at least the requested total.
+func laneCapFor(capacity, n int) int {
+	per := (capacity + n - 1) / n
+	c := 2
+	for c < per {
+		c <<= 1
+	}
+	return c
+}
 
 // mustLayout builds FFQ queues with the paper's best all-round layout
 // (dedicated cache lines).
@@ -83,6 +149,24 @@ func Factories() []Named {
 					q, err := core.NewMPMC[uint64](capacity, ffqLayout)
 					check(err)
 					return queue.SelfRegistering{Q: ffqMPMCAdapter{q}}
+				},
+				Bounded: true,
+			},
+		},
+		{
+			Factory: queue.Factory{
+				Name:  "ffq-sharded",
+				Brief: "sharded FFQ^s lanes, one per producer (no producer CAS)",
+				New: func(capacity, nthreads int) queue.Shared {
+					if nthreads < 1 {
+						nthreads = 1
+					}
+					// nthreads+1 lanes: Acquire grants at most lanes-1
+					// exclusive handles (one lane stays open to the shared
+					// fallback), so every worker gets its own lane.
+					q, err := core.NewSharded[uint64](nthreads+1, laneCapFor(capacity, nthreads), ffqLayout)
+					check(err)
+					return &shardedShared{q: q}
 				},
 				Bounded: true,
 			},

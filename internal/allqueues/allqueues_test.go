@@ -18,11 +18,22 @@ func blocking(name string) bool {
 	return false
 }
 
+// batcher names the registry entries whose adapters expose the batch
+// interface (contiguous-run claims on the FFQ cores and segmented
+// queues; per-lane runs on the sharded queue).
+func batcher(name string) bool {
+	switch name {
+	case "ffq-mpmc", "ffq-spmc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc":
+		return true
+	}
+	return false
+}
+
 // tryDequeuer names the registry entries whose adapters expose the
 // non-blocking TryDequeue poll (the FFQ family).
 func tryDequeuer(name string) bool {
 	switch name {
-	case "ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-useg", "ffq-useg-mpmc":
+	case "ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc":
 		return true
 	}
 	return false
@@ -50,6 +61,11 @@ func TestRegistryConformance(t *testing.T) {
 			queuetest.Concurrent(t, f.Factory, opts)
 			if tryDequeuer(f.Name) {
 				queuetest.TryDequeue(t, f.Factory, opts)
+			}
+			if batcher(f.Name) {
+				queuetest.BatchFIFO(t, f.Factory, opts)
+				queuetest.BatchPartial(t, f.Factory, opts)
+				queuetest.BatchExactlyOnce(t, f.Factory, opts)
 			}
 			if !f.Bounded {
 				growth := opts
@@ -81,7 +97,7 @@ func TestFactoryMetadata(t *testing.T) {
 		}
 		seen[f.Name] = true
 	}
-	for _, want := range []string{"ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-useg", "ffq-useg-mpmc", "wfqueue", "lcrq", "ccqueue", "msqueue", "htm", "vyukov", "chan"} {
+	for _, want := range []string{"ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc", "wfqueue", "lcrq", "ccqueue", "msqueue", "htm", "vyukov", "chan"} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)
 		}
@@ -94,6 +110,16 @@ func TestRegistryLinearizable(t *testing.T) {
 	for _, f := range allqueues.Factories() {
 		f := f
 		t.Run(f.Name, func(t *testing.T) {
+			if f.Name == "ffq-sharded" {
+				// By construction the sharded queue orders items per
+				// producer lane only: an item enqueued strictly after
+				// another producer's item may still be dequeued first,
+				// so its histories do not linearize to one sequential
+				// FIFO. Its ordering contract (exactly-once delivery,
+				// per-producer FIFO) is covered by the conformance and
+				// batch suites instead.
+				t.Skip("sharded queue guarantees per-producer FIFO, not single-FIFO linearizability")
+			}
 			opts := queuetest.DefaultOptions()
 			opts.Blocking = blocking(f.Name)
 			if f.MaxThreads == 1 {

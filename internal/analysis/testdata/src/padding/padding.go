@@ -38,3 +38,34 @@ type unmarked struct {
 	head atomic.Int64
 	_    [48]byte
 }
+
+// laneBad mirrors the sharded queue's per-producer lane shape — a
+// generic element stored by value in an array — minus the trailing
+// pad. The checker must measure generic structs too: an array of
+// unpadded lanes folds one element's owner word into its neighbour's
+// first line, which is exactly the false sharing rule 1 exists for.
+//
+//ffq:padded
+type laneBad[T any] struct { //want:padding "not a multiple"
+	next  *T
+	owner atomic.Int32
+}
+
+// laneGood is the sanctioned lane-array layout: a nested queue struct
+// (its internal atomics deliberately not expanded) plus the owner
+// word, padded so array neighbours start on fresh lines.
+//
+//ffq:padded
+type laneGood[T any] struct {
+	q     innerQ[T]
+	owner atomic.Int32
+	_     [60]byte
+}
+
+// innerQ stands in for the embedded per-lane queue: 64 bytes on any
+// 64-bit target (24-byte slice header, 8-byte atomic, 32 pad).
+type innerQ[T any] struct {
+	buf  []T
+	head atomic.Int64
+	_    [32]byte
+}

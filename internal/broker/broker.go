@@ -5,8 +5,8 @@
 // Every accepted connection gets a reader goroutine, a bounded SPSC
 // ingress queue and a pump goroutine:
 //
-//	conn → reader ──SPSC──▶ pump ──EnqueueBatch──▶ topic (UnboundedMPMC)
-//	                                                  │ TryDequeue
+//	conn → reader ──SPSC──▶ pump ──EnqueueBatch──▶ topic (ShardedMPMC)
+//	                               (own lane)         │ TryDequeueBatch
 //	                                  subscription ◀──┘ (one per CONSUME)
 //	                                       │ DELIVER frames, credit-gated
 //	                                       ▼
@@ -16,18 +16,29 @@
 // copy per frame — into its connection's SPSC queue (the paper's
 // one-queue-per-producer shape). The SPSC queue is bounded, so a
 // producer that outruns the broker stalls its own reader and the
-// backpressure propagates into TCP, never into other connections. The
-// pump drains staged batches and feeds each topic's unbounded MPMC
-// queue with EnqueueBatch (one rank reservation per batch), then
-// acknowledges cumulatively per topic.
+// backpressure propagates into TCP, never into other connections.
 //
-// Fan-out is competitive-consumer: each subscription claims messages
-// from the topic queue with TryDequeue, so a message is delivered to
-// exactly one subscriber and per-producer FIFO order is preserved per
-// subscriber. TryDequeue is what keeps slow consumers from stalling
-// the topic: a subscription with no credit simply does not claim —
-// unlike Dequeue, whose fetch-and-add would park it on a rank and
-// starve the other subscribers behind it.
+// Topics are sharded MPMC queues of per-producer FFQ^s lanes: each
+// connection's pump acquires its own lane per topic on first produce
+// and EnqueueBatches into it with the wait-free single-producer path —
+// no CAS against the other connections, one tail publication per
+// staged batch. (At most lanes-1 handles are granted per topic;
+// connections beyond that share the fallback lane, which still
+// preserves their per-producer FIFO order.) The lanes are bounded; a pump facing a
+// full lane spins until subscribers drain it, which stalls that
+// connection's ingress queue and, through it, the producer's TCP
+// stream — the same backpressure chain as before, now extending all
+// the way to the topic. Cumulative ACKs per touched topic follow each
+// pump flush.
+//
+// Fan-out is competitive-consumer: each subscription claims a batch of
+// messages up to its credit window with one TryDequeueBatch scan (a
+// single CAS per non-empty lane instead of one claim per message), so
+// a message is delivered to exactly one subscriber and per-producer
+// FIFO order is preserved per subscriber. The non-blocking claim is
+// what keeps slow consumers from stalling the topic: a subscription
+// with no credit simply does not claim — a blocking dequeue would park
+// it on a rank and starve the other subscribers behind it.
 //
 // # Credit-window backpressure
 //
@@ -68,6 +79,13 @@ const (
 	DefaultIngressBuffer = 256
 	// DefaultDeliverBatch caps messages per DELIVER frame.
 	DefaultDeliverBatch = 64
+	// DefaultTopicLanes is the number of per-producer lanes in each
+	// topic queue. Up to lanes-1 connections get an exclusive lane;
+	// the rest share the remainder through transient claims.
+	DefaultTopicLanes = 8
+	// DefaultTopicLaneDepth is each lane's message capacity; a full
+	// lane backpressures its producing connection.
+	DefaultTopicLaneDepth = 1024
 )
 
 // Options configures a Broker.
@@ -79,9 +97,14 @@ type Options struct {
 	// DeliverBatch caps the messages packed into one DELIVER frame.
 	// 0 means DefaultDeliverBatch.
 	DeliverBatch int
-	// SegmentSize overrides the topic queues' segment size (power of
-	// two); 0 keeps the ffq default.
-	SegmentSize int
+	// TopicLanes is the number of per-producer lanes in each topic
+	// queue. Size it to the expected number of concurrently producing
+	// connections per topic; 0 means DefaultTopicLanes.
+	TopicLanes int
+	// TopicLaneDepth is each lane's capacity in messages (a power of
+	// two). A full lane stalls its producing connection's pump — the
+	// broker's topic-level backpressure. 0 means DefaultTopicLaneDepth.
+	TopicLaneDepth int
 	// Instrument enables queue instrumentation on every topic and
 	// registers the topics plus the broker's own counters with the
 	// expvarx Prometheus endpoint.
@@ -124,7 +147,7 @@ type topic struct {
 	name string
 	// nameBytes is the wire form, encoded once.
 	nameBytes []byte
-	q         *ffq.UnboundedMPMC[[]byte]
+	q         *ffq.ShardedMPMC[[]byte]
 
 	mu   sync.Mutex
 	subs map[*sub]struct{}
@@ -137,6 +160,12 @@ func New(opts Options) (*Broker, error) {
 	}
 	if opts.DeliverBatch == 0 {
 		opts.DeliverBatch = DefaultDeliverBatch
+	}
+	if opts.TopicLanes == 0 {
+		opts.TopicLanes = DefaultTopicLanes
+	}
+	if opts.TopicLaneDepth == 0 {
+		opts.TopicLaneDepth = DefaultTopicLaneDepth
 	}
 	if opts.MetricsPrefix == "" {
 		opts.MetricsPrefix = "ffqd"
@@ -206,13 +235,10 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 		return nil, errors.New("broker: shutting down")
 	}
 	opts := []ffq.Option{}
-	if b.opts.SegmentSize > 0 {
-		opts = append(opts, ffq.WithSegmentSize(b.opts.SegmentSize))
-	}
 	if b.opts.Instrument {
 		opts = append(opts, ffq.WithInstrumentation())
 	}
-	q, err := ffq.NewUnboundedMPMC[[]byte](opts...)
+	q, err := ffq.NewShardedMPMC[[]byte](b.opts.TopicLanes, b.opts.TopicLaneDepth, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +251,12 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 	b.topics[name] = t
 	if b.opts.Instrument {
 		name := b.opts.MetricsPrefix + "/topic/" + t.name
-		expvarx.Register(name, expvarx.QueueInfo{Stats: q.Stats, Len: q.Len})
+		expvarx.Register(name, expvarx.QueueInfo{
+			Stats:    q.Stats,
+			Len:      q.Len,
+			Cap:      q.Cap(),
+			LaneLens: func() []int { return q.LaneLens(nil) },
+		})
 	}
 	return t, nil
 }

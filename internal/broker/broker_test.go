@@ -155,6 +155,108 @@ func TestFanOutTCP(t *testing.T) {
 	}
 }
 
+// TestLaneExhaustionFallback runs more producing connections than the
+// topic has lanes, so some pumps lose the AcquireProducer race and take
+// the transiently-claimed shared-lane path. Delivery must still be
+// exactly-once with per-producer FIFO at every consumer.
+func TestLaneExhaustionFallback(t *testing.T) {
+	const (
+		producers = 6
+		consumers = 2
+		perProd   = 2000
+	)
+	b, addr := startBroker(t, broker.Options{TopicLanes: 2, TopicLaneDepth: 64})
+
+	type recvd struct {
+		producer byte
+		seq      uint64
+	}
+	got := make([][]recvd, consumers)
+	var consumerWG sync.WaitGroup
+	for ci := 0; ci < consumers; ci++ {
+		c, err := client.Dial(addr, client.Options{})
+		if err != nil {
+			t.Fatalf("consumer dial: %v", err)
+		}
+		defer c.Close()
+		sub, err := c.Subscribe("narrow", 256)
+		if err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+		consumerWG.Add(1)
+		go func(ci int) {
+			defer consumerWG.Done()
+			for {
+				m, ok := sub.Recv()
+				if !ok {
+					if !sub.Ended() {
+						t.Errorf("consumer %d: no end-of-stream marker: %v", ci, c.Err())
+					}
+					return
+				}
+				got[ci] = append(got[ci], recvd{m[0], binary.BigEndian.Uint64(m[1:])})
+			}
+		}(ci)
+	}
+
+	var producerWG sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		producerWG.Add(1)
+		go func(pi int) {
+			defer producerWG.Done()
+			c, err := client.Dial(addr, client.Options{})
+			if err != nil {
+				t.Errorf("producer dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for seq := uint64(0); seq < perProd; seq++ {
+				if err := c.Publish("narrow", msg(byte(pi), seq)); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+			if err := c.Drain(); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		}(pi)
+	}
+	producerWG.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	consumerWG.Wait()
+
+	seen := make(map[recvd]int)
+	total := 0
+	for ci := range got {
+		total += len(got[ci])
+		for _, r := range got[ci] {
+			seen[r]++
+		}
+	}
+	if want := producers * perProd; total != want {
+		t.Fatalf("delivered %d messages, want %d", total, want)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("message (producer %d, seq %d) delivered %d times", r.producer, r.seq, n)
+		}
+	}
+	for ci := range got {
+		last := map[byte]uint64{}
+		for _, r := range got[ci] {
+			if prev, ok := last[r.producer]; ok && r.seq <= prev {
+				t.Fatalf("consumer %d: producer %d seq %d after %d", ci, r.producer, r.seq, prev)
+			}
+			last[r.producer] = r.seq
+		}
+	}
+}
+
 // TestCreditGatesDelivery drives the wire protocol directly: a
 // subscription with credit 2 must receive exactly 2 of 10 queued
 // messages, and the rest only after a CREDIT grant.
@@ -353,6 +455,7 @@ func TestMetricsExposition(t *testing.T) {
 		"ffqd_messages_out_total 10",
 		`ffqd_topic_subscribers{topic="metrics"} 1`,
 		`ffq_enqueues_total{queue="ffqd_test/topic/metrics"}`,
+		`ffq_lane_depth{queue="ffqd_test/topic/metrics",lane="0"}`,
 	}
 	var expo string
 	deadline := time.Now().Add(5 * time.Second)

@@ -203,10 +203,24 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 // cumulatively. It exits when the reader closes the ingress queue,
 // after flushing everything that was staged — which is what makes
 // Shutdown lossless for accepted PRODUCE frames.
+//
+// The pump is a single goroutine, so it can hold an exclusive lane per
+// topic: the first staged batch for a topic acquires a producer handle
+// and every later batch runs the wait-free single-producer enqueue on
+// that lane, CAS-free against the other connections. The handles are
+// released when the pump exits so the lanes return to the pool.
 func (c *conn) pumpLoop() {
 	defer c.b.pumpWG.Done()
 	seqs := map[*topic]uint64{}
 	touched := make([]*topic, 0, 4)
+	lanes := map[*topic]*ffq.ProducerHandle[[]byte]{}
+	defer func() {
+		for _, h := range lanes {
+			if h != nil {
+				h.Release()
+			}
+		}
+	}()
 	for {
 		st, ok := c.ingress.TryDequeue()
 		if !ok {
@@ -221,27 +235,41 @@ func (c *conn) pumpLoop() {
 				if !ok {
 					return
 				}
-				c.pumpOne(st, seqs, &touched)
+				c.pumpOne(st, seqs, &touched, lanes)
 				c.flushAcks(seqs, &touched)
 			}
 		}
 		// Opportunistically drain a run of staged batches, then send one
 		// cumulative ACK per touched topic instead of one per frame.
-		c.pumpOne(st, seqs, &touched)
+		c.pumpOne(st, seqs, &touched, lanes)
 		for {
 			st, ok := c.ingress.TryDequeue()
 			if !ok {
 				break
 			}
-			c.pumpOne(st, seqs, &touched)
+			c.pumpOne(st, seqs, &touched, lanes)
 		}
 		c.flushAcks(seqs, &touched)
 	}
 }
 
-// pumpOne feeds one staged batch to its topic queue.
-func (c *conn) pumpOne(st staged, seqs map[*topic]uint64, touched *[]*topic) {
-	st.t.q.EnqueueBatch(st.msgs)
+// pumpOne feeds one staged batch to the connection's lane of the
+// topic's sharded queue. A nil map entry records a failed acquisition
+// (more producing connections than lanes) so the shared-fallback-lane
+// Enqueue is used without retrying the acquire on every batch.
+func (c *conn) pumpOne(st staged, seqs map[*topic]uint64, touched *[]*topic, lanes map[*topic]*ffq.ProducerHandle[[]byte]) {
+	h, seen := lanes[st.t]
+	if !seen {
+		h, _ = st.t.q.AcquireProducer()
+		lanes[st.t] = h
+	}
+	if h != nil {
+		h.EnqueueBatch(st.msgs)
+	} else {
+		for _, m := range st.msgs {
+			st.t.q.Enqueue(m)
+		}
+	}
 	seqs[st.t] += uint64(len(st.msgs))
 	for _, t := range *touched {
 		if t == st.t {
@@ -362,11 +390,12 @@ type sub struct {
 	stop atomic.Bool
 }
 
-// run is the delivery loop. TryDequeue is essential here: a
-// subscription without credit (or facing an empty topic) must not
-// claim a rank, or it would hold messages hostage from the other
-// subscribers — the broker-scale version of the paper's abandoned-rank
-// problem.
+// run is the delivery loop. The non-blocking TryDequeueBatch claim is
+// essential here: a subscription without credit (or facing an empty
+// topic) must not claim a rank, or it would hold messages hostage from
+// the other subscribers — the broker-scale version of the paper's
+// abandoned-rank problem. Batching the claim turns one CAS per message
+// into one CAS per contiguous resolved run per lane.
 func (s *sub) run() {
 	defer s.c.b.deliverWG.Done()
 	defer s.unlink()
@@ -392,15 +421,10 @@ func (s *sub) run() {
 			idleWait(spins)
 			continue
 		}
-		limit := min(int(cr), cap(batch))
-		batch = batch[:0]
-		for len(batch) < limit {
-			m, ok := s.t.q.TryDequeue()
-			if !ok {
-				break
-			}
-			batch = append(batch, m)
-		}
+		// One batched claim up to the credit window: each non-empty lane
+		// contributes a contiguous per-producer run with a single CAS.
+		batch = batch[:min(int(cr), cap(batch))]
+		batch = batch[:s.t.q.TryDequeueBatch(batch)]
 		if len(batch) == 0 {
 			spins++
 			idleWait(spins)

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSPMCEnqueueBatchFIFO checks single-threaded batch round-trips,
+// including ring wrap-around across several laps.
+func TestSPMCEnqueueBatchFIFO(t *testing.T) {
+	for _, layout := range []Layout{LayoutCompact, LayoutPadded} {
+		q, err := NewSPMC[uint64](64, WithLayout(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := uint64(0)
+		want := uint64(0)
+		buf := make([]uint64, 48)
+		out := make([]uint64, 48)
+		for round := 0; round < 20; round++ {
+			vs := buf[:16+round%33]
+			for i := range vs {
+				vs[i] = next
+				next++
+			}
+			q.EnqueueBatch(vs)
+			got := 0
+			for got < len(vs) {
+				n, ok := q.DequeueBatch(out[:len(vs)-got])
+				if !ok {
+					t.Fatalf("layout %v: DequeueBatch reported closed", layout)
+				}
+				for i := 0; i < n; i++ {
+					if out[i] != want {
+						t.Fatalf("layout %v: got %d want %d", layout, out[i], want)
+					}
+					want++
+				}
+				got += n
+			}
+		}
+		if v, ok := q.TryDequeue(); ok {
+			t.Fatalf("layout %v: queue not drained, got %d", layout, v)
+		}
+	}
+}
+
+// TestSPMCTryDequeueBatch checks the non-blocking claim: it must take
+// only resolved ranks and return 0 on empty without parking a rank.
+func TestSPMCTryDequeueBatch(t *testing.T) {
+	q, err := NewSPMC[uint64](32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, 8)
+	if n := q.TryDequeueBatch(out); n != 0 {
+		t.Fatalf("empty queue: got %d items", n)
+	}
+	for i := uint64(0); i < 5; i++ {
+		q.Enqueue(i)
+	}
+	// A TryDequeueBatch after an empty probe must still see rank 0:
+	// the probe may not have consumed a rank.
+	n := q.TryDequeueBatch(out)
+	if n != 5 {
+		t.Fatalf("got %d items, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if out[i] != uint64(i) {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i)
+		}
+	}
+	// Larger dst than available: partial fill.
+	q.Enqueue(99)
+	if n := q.TryDequeueBatch(out); n != 1 || out[0] != 99 {
+		t.Fatalf("got n=%d out[0]=%d, want 1/99", n, out[0])
+	}
+}
+
+// TestSPMCDequeueBatchGapPartial forces producer gap-skips and checks
+// that a batch claim spanning gaps returns partial with ok=true and
+// loses no items. White-box: it simulates a stalled consumer (the only
+// source of gaps) by claiming a rank without consuming its cell.
+func TestSPMCDequeueBatchGapPartial(t *testing.T) {
+	q, err := NewSPMC[uint64](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		q.Enqueue(i)
+	}
+	// Stalled consumer: claim rank 0, leave cell 0 occupied.
+	if r := q.head.Add(1) - 1; r != 0 {
+		t.Fatalf("claimed rank %d, want 0", r)
+	}
+	out := make([]uint64, 8)
+	if n, ok := q.DequeueBatch(out[:7]); !ok || n != 7 || out[0] != 1 {
+		t.Fatalf("drain ranks 1..7: n=%d ok=%v out[0]=%d", n, ok, out[0])
+	}
+	// The producer wraps: rank 8 maps to the still-occupied cell 0 and
+	// is announced as a gap; 8..11 land on cells 1..4.
+	q.EnqueueBatch([]uint64{8, 9, 10, 11})
+	n, ok := q.DequeueBatch(out[:4])
+	if !ok || n != 3 {
+		t.Fatalf("claim across gap: n=%d ok=%v, want 3,true", n, ok)
+	}
+	for i, want := range []uint64{8, 9, 10} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	// The stalled consumer finishes rank 0.
+	c := &q.cells[q.ix.Phys(0)]
+	if c.rank.Load() != 0 {
+		t.Fatalf("cell 0 rank = %d, want 0", c.rank.Load())
+	}
+	if c.data != 0 {
+		t.Fatalf("cell 0 data = %d, want 0", c.data)
+	}
+	c.rank.Store(freeRank)
+	// Rank 12 (value 11) is still pending.
+	if n, ok := q.DequeueBatch(out[:1]); !ok || n != 1 || out[0] != 11 {
+		t.Fatalf("tail item: n=%d ok=%v out[0]=%d", n, ok, out[0])
+	}
+}
+
+// TestBatchClosedDrain checks the (n, false) contract: a batch claim
+// crossing the final tail returns the live prefix and ok=false.
+func TestBatchClosedDrain(t *testing.T) {
+	q, err := NewSPMC[uint64](16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.EnqueueBatch([]uint64{1, 2, 3})
+	q.Close()
+	out := make([]uint64, 8)
+	n, ok := q.DequeueBatch(out)
+	if ok || n != 3 {
+		t.Fatalf("got n=%d ok=%v, want 3,false", n, ok)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if n, ok := q.DequeueBatch(out); ok || n != 0 {
+		t.Fatalf("drained queue: got n=%d ok=%v", n, ok)
+	}
+
+	m, err := NewMPMC[uint64](16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnqueueBatch([]uint64{7, 8})
+	m.Close()
+	n, ok = m.DequeueBatch(out)
+	if ok || n != 2 || out[0] != 7 || out[1] != 8 {
+		t.Fatalf("mpmc: got n=%d ok=%v out=%v", n, ok, out[:2])
+	}
+}
+
+// TestMPMCEnqueueBatchFIFO checks single-threaded MPMC batch
+// round-trips across laps.
+func TestMPMCEnqueueBatchFIFO(t *testing.T) {
+	q, err := NewMPMC[uint64](32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := uint64(0)
+	want := uint64(0)
+	out := make([]uint64, 32)
+	for round := 0; round < 30; round++ {
+		vs := make([]uint64, 1+round%17)
+		for i := range vs {
+			vs[i] = next
+			next++
+		}
+		q.EnqueueBatch(vs)
+		got := 0
+		for got < len(vs) {
+			n, ok := q.DequeueBatch(out[:len(vs)-got])
+			if !ok {
+				t.Fatal("DequeueBatch reported closed")
+			}
+			for i := 0; i < n; i++ {
+				if out[i] != want {
+					t.Fatalf("got %d want %d", out[i], want)
+				}
+				want++
+			}
+			got += n
+		}
+	}
+}
+
+// TestBatchConcurrentExactlyOnce runs batch producers against batch
+// consumers on the MPMC core and checks every item arrives exactly
+// once with per-producer FIFO order.
+func TestBatchConcurrentExactlyOnce(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 20000
+		batch     = 16
+	)
+	q, err := NewMPMC[uint64](256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			vs := make([]uint64, batch)
+			for s := 0; s < perProd; s += batch {
+				k := batch
+				if perProd-s < k {
+					k = perProd - s
+				}
+				for i := 0; i < k; i++ {
+					vs[i] = uint64(p)<<32 | uint64(s+i)
+				}
+				q.EnqueueBatch(vs[:k])
+			}
+		}(p)
+	}
+	results := make([][]uint64, consumers)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			buf := make([]uint64, batch)
+			for {
+				n, ok := q.DequeueBatch(buf)
+				results[c] = append(results[c], buf[:n]...)
+				if !ok {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+
+	seen := make(map[uint64]int, producers*perProd)
+	lastSeq := make([][]int, consumers)
+	for c, rs := range results {
+		lastSeq[c] = make([]int, producers)
+		for i := range lastSeq[c] {
+			lastSeq[c][i] = -1
+		}
+		for _, v := range rs {
+			seen[v]++
+			p := int(v >> 32)
+			s := int(v & 0xFFFFFFFF)
+			// Within one consumer, each producer's items must ascend:
+			// batch claims are contiguous runs, and EnqueueBatch keeps
+			// per-producer order even when re-claiming leftovers.
+			if s <= lastSeq[c][p] {
+				t.Fatalf("consumer %d: producer %d seq %d after %d", c, p, s, lastSeq[c][p])
+			}
+			lastSeq[c][p] = s
+		}
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("got %d distinct items, want %d", len(seen), producers*perProd)
+	}
+	for v, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("item %#x seen %d times", v, cnt)
+		}
+	}
+}
+
+// TestSPMCBatchConcurrent mixes TryDequeueBatch consumers against the
+// single batch producer and checks exactly-once delivery.
+func TestSPMCBatchConcurrent(t *testing.T) {
+	const (
+		consumers = 4
+		total     = 100000
+		batch     = 32
+	)
+	q, err := NewSPMC[uint64](256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		vs := make([]uint64, batch)
+		for s := 0; s < total; s += batch {
+			k := batch
+			if total-s < k {
+				k = total - s
+			}
+			for i := 0; i < k; i++ {
+				vs[i] = uint64(s + i)
+			}
+			q.EnqueueBatch(vs[:k])
+		}
+		q.Close()
+	}()
+	results := make([][]uint64, consumers)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			buf := make([]uint64, batch)
+			idle := 0
+			for {
+				n := q.TryDequeueBatch(buf)
+				results[c] = append(results[c], buf[:n]...)
+				if n == 0 {
+					if q.Closed() && q.Len() == 0 {
+						return
+					}
+					idle++
+					if idle%64 == 0 {
+						// Nothing resolved yet; yield to the producer.
+						n, ok := q.DequeueBatch(buf[:1])
+						results[c] = append(results[c], buf[:n]...)
+						if !ok {
+							return
+						}
+					}
+					continue
+				}
+				idle = 0
+			}
+		}(c)
+	}
+	cwg.Wait()
+	seen := make(map[uint64]int, total)
+	for _, rs := range results {
+		for _, v := range rs {
+			seen[v]++
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("got %d distinct items, want %d", len(seen), total)
+	}
+	for v, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("item %d seen %d times", v, cnt)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ffq/internal/obs"
+	"ffq/internal/spin"
+)
+
+// lane is one producer shard of the Sharded queue: an SPMC queue
+// embedded by value (the lane array is a single allocation; a scan
+// walks contiguous memory instead of chasing pointers) plus the
+// ownership word producers claim it with. The trailing pad keeps the
+// owner word off the next lane's first line.
+//
+//ffq:padded
+type lane[T any] struct {
+	q     SPMC[T]
+	owner atomic.Int32 // 0 free, 1 held by a producer
+	_     [CacheLineSize - 4]byte
+}
+
+// Sharded composes P per-producer FFQ^s lanes into an MPMC queue, the
+// paper's Section III-C design point: instead of serializing all
+// producers through one FFQ^m tail (a CAS state machine per cell), each
+// producer owns a lane and keeps the wait-free single-producer enqueue
+// path — no compare-and-swap, no shared tail, one plain store pair per
+// item. Consumers scan the lanes from a rotating start index and claim
+// resolved runs with TryDequeueBatch's single CAS per batch.
+//
+// Ordering: items from one producer (one lane) are FIFO; items from
+// different producers are unordered relative to each other, exactly the
+// guarantee a multi-producer queue's linearization order gives a
+// consumer that cannot observe which producer enqueued first.
+//
+// Producers that want the fast path call Acquire for an exclusive lane
+// handle; Enqueue on the queue itself funnels through the shared
+// fallback lane (lane 0, never granted exclusively) with a transient
+// owner claim per item — slower, but any number of producers can use
+// it, and each still gets per-producer FIFO because all of its items
+// travel the same lane.
+//
+//ffq:padded
+type Sharded[T any] struct {
+	lanes   []lane[T]
+	laneCap int
+	yieldTh int
+	rec     *obs.Recorder
+	// 48 bytes of read-only header above; pad to one full line.
+	_ [CacheLineSize - 48]byte
+	// rotor spreads consumers across lanes: each scan starts at the
+	// next index, so lane 0 is not everyone's first stop. One
+	// uncontended add per scan, amortized over the whole batch a scan
+	// claims.
+	rotor atomic.Uint64
+	_     [CacheLineSize - 8]byte
+	// held counts outstanding exclusive handles. Acquire caps it at
+	// lanes-1 (lane 0 is never granted): with every lane exclusively
+	// (hence indefinitely) held, the fallback Enqueue could never make
+	// progress. Keeping lane 0 out of exclusive reach makes the
+	// fallback deadlock-free no matter how long handles live, and
+	// gives fallback producers a stable lane, which is what preserves
+	// their per-producer FIFO order.
+	held atomic.Int32
+	_    [CacheLineSize - 4]byte
+}
+
+// NewSharded returns a queue of `lanes` shards holding laneCap items
+// each (laneCap must be a power of two >= 2). Total capacity is
+// lanes*laneCap. The options apply to every lane; an instrumentation
+// recorder is shared by all lanes, so Stats aggregates the queue.
+func NewSharded[T any](lanes, laneCap int, opts ...Option) (*Sharded[T], error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("core: sharded queue needs at least one lane, got %d", lanes)
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Sharded[T]{lanes: make([]lane[T], lanes), laneCap: laneCap, yieldTh: cfg.yieldTh, rec: cfg.rec}
+	for i := range s.lanes {
+		if err := initSPMC(&s.lanes[i].q, laneCap, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Lanes returns the number of producer lanes.
+func (s *Sharded[T]) Lanes() int { return len(s.lanes) }
+
+// LaneCap returns the capacity of one lane.
+func (s *Sharded[T]) LaneCap() int { return s.laneCap }
+
+// Cap returns the total capacity across all lanes.
+func (s *Sharded[T]) Cap() int { return s.laneCap * len(s.lanes) }
+
+// Len sums the instantaneous lengths of all lanes.
+func (s *Sharded[T]) Len() int {
+	n := 0
+	for i := range s.lanes {
+		n += s.lanes[i].q.Len()
+	}
+	return n
+}
+
+// LaneLen returns the instantaneous length of lane i.
+func (s *Sharded[T]) LaneLen(i int) int { return s.lanes[i].q.Len() }
+
+// LaneLens appends the per-lane depths to dst and returns it (a
+// cold-path convenience for inspectors and reports).
+func (s *Sharded[T]) LaneLens(dst []int) []int {
+	for i := range s.lanes {
+		dst = append(dst, s.lanes[i].q.Len())
+	}
+	return dst
+}
+
+// Gaps sums the skipped ranks across all lanes.
+func (s *Sharded[T]) Gaps() int64 {
+	var n int64
+	for i := range s.lanes {
+		n += s.lanes[i].q.Gaps()
+	}
+	return n
+}
+
+// Recorder returns the shared metrics recorder, or nil when the queue
+// was built without instrumentation.
+func (s *Sharded[T]) Recorder() *obs.Recorder { return s.rec }
+
+// Stats snapshots the queue's aggregate instrumentation counters.
+func (s *Sharded[T]) Stats() obs.Stats {
+	st := s.rec.Snapshot()
+	if s.rec == nil {
+		st.GapsCreated = s.Gaps()
+	}
+	return st
+}
+
+// Producer is an exclusive handle on one lane: while held, Enqueue and
+// EnqueueBatch run the wait-free single-producer path with no atomic
+// read-modify-write at all. A handle must be used by one goroutine at
+// a time; Release returns the lane to the pool (using a released
+// handle panics).
+type Producer[T any] struct {
+	s  *Sharded[T]
+	ln *lane[T]
+	id int
+}
+
+// Acquire claims a free lane and returns its producer handle, or
+// ok=false when no lane can be exclusively claimed. Lane 0 is never
+// granted — it is the shared fallback Enqueue's lane, which would
+// starve behind an indefinitely-held handle — so at most lanes-1
+// handles are outstanding at once and a single-lane queue never grants
+// any. Handles may be re-acquired after Release; the owner word's
+// release/acquire pair orders the old holder's enqueues before the new
+// holder's.
+func (s *Sharded[T]) Acquire() (p *Producer[T], ok bool) {
+	if int(s.held.Add(1)) >= len(s.lanes) {
+		s.held.Add(-1)
+		return nil, false
+	}
+	//ffq:ignore spin-backoff single bounded pass over the lane array; a failed CAS moves on to the next lane and the loop exits either way
+	for i := 1; i < len(s.lanes); i++ {
+		ln := &s.lanes[i]
+		if ln.owner.CompareAndSwap(0, 1) {
+			return &Producer[T]{s: s, ln: ln, id: i}, true
+		}
+	}
+	// Every grantable owner word was (at least transiently) taken
+	// during the scan; give the reservation back rather than spin.
+	s.held.Add(-1)
+	return nil, false
+}
+
+// Lane returns the index of the lane this handle owns.
+func (p *Producer[T]) Lane() int { return p.id }
+
+// Release returns the lane to the pool. The handle is dead afterwards.
+func (p *Producer[T]) Release() {
+	ln := p.ln
+	s := p.s
+	p.ln = nil
+	ln.owner.Store(0)
+	s.held.Add(-1)
+}
+
+// Enqueue inserts v on the owned lane (wait-free while the lane has a
+// free slot).
+//
+//ffq:hotpath
+func (p *Producer[T]) Enqueue(v T) { p.ln.q.Enqueue(v) }
+
+// TryEnqueue inserts v if the owned lane's tail cell is free.
+//
+//ffq:hotpath
+func (p *Producer[T]) TryEnqueue(v T) bool { return p.ln.q.TryEnqueue(v) }
+
+// EnqueueBatch inserts every element of vs on the owned lane with one
+// tail publication.
+//
+//ffq:hotpath
+func (p *Producer[T]) EnqueueBatch(vs []T) { p.ln.q.EnqueueBatch(vs) }
+
+// Enqueue inserts v through the shared fallback lane (lane 0, which
+// Acquire never grants): the producer path when no exclusive handle is
+// held. Each item costs one owner-word CAS (against other fallback
+// producers only — never against consumers) around a TryEnqueue.
+// Always using the same lane is what preserves per-producer FIFO for
+// fallback producers — an item sent to whichever lane happened to be
+// free could be dequeued before an earlier item still sitting in
+// another lane. The claim wraps a TryEnqueue, not an Enqueue: a
+// transient producer must not sit on the owner word rank-burning a
+// full lane (that would both starve the other fallback producers and
+// grow a gap run consumers then have to chase through); a full lane
+// just means yield and let the consumers catch up.
+//
+//ffq:hotpath
+func (s *Sharded[T]) Enqueue(v T) {
+	ln := &s.lanes[0]
+	for spins := 0; ; spins++ {
+		if ln.owner.CompareAndSwap(0, 1) {
+			ok := ln.q.TryEnqueue(v)
+			ln.owner.Store(0)
+			if ok {
+				return
+			}
+		}
+		spin.RetryYieldEvery(spins, s.yieldTh)
+	}
+}
+
+// Dequeue removes an item from any lane, blocking (spinning, then
+// yielding) while all lanes are empty. It returns ok=false only after
+// Close, once every published item has been handed to some consumer.
+// Safe for any number of concurrent consumers.
+//
+//ffq:hotpath
+func (s *Sharded[T]) Dequeue() (v T, ok bool) {
+	for spins := 0; ; spins++ {
+		// Read closed before scanning: if it was set before an all-empty
+		// scan, no lane can receive items during the scan, so all-empty
+		// means drained (or raced items went to other consumers).
+		closed := s.Closed()
+		start := int(s.rotor.Add(1))
+		for i := 0; i < len(s.lanes); i++ {
+			ln := &s.lanes[(start+i)%len(s.lanes)]
+			if v, ok := ln.q.TryDequeue(); ok {
+				return v, true
+			}
+		}
+		if closed {
+			var zero T
+			return zero, false
+		}
+		spin.RetryYieldEvery(spins, s.yieldTh)
+	}
+}
+
+// TryDequeue removes an item from the first non-empty lane of one scan
+// round, without blocking and without parking a rank anywhere (each
+// lane probe is the claim-on-proof TryDequeue). ok=false means every
+// lane was observed empty.
+//
+//ffq:hotpath
+func (s *Sharded[T]) TryDequeue() (v T, ok bool) {
+	start := int(s.rotor.Add(1))
+	for i := 0; i < len(s.lanes); i++ {
+		ln := &s.lanes[(start+i)%len(s.lanes)]
+		if v, ok := ln.q.TryDequeue(); ok {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// DequeueBatch fills dst from the lanes, blocking until at least one
+// item arrives or the queue is closed and drained (then 0, false —
+// sharding has no claimed-run to cut short, so the closed return
+// carries no items). One scan may take items from several lanes; each
+// lane's contribution is one contiguous FIFO run.
+//
+//ffq:hotpath
+func (s *Sharded[T]) DequeueBatch(dst []T) (n int, ok bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	for spins := 0; ; spins++ {
+		closed := s.Closed()
+		if n := s.scanBatch(dst); n > 0 {
+			return n, true
+		}
+		if closed {
+			return 0, false
+		}
+		spin.RetryYieldEvery(spins, s.yieldTh)
+	}
+}
+
+// TryDequeueBatch fills dst from one scan round over the lanes without
+// blocking, returning the number of items taken (0 when every lane was
+// observed empty).
+//
+//ffq:hotpath
+func (s *Sharded[T]) TryDequeueBatch(dst []T) int { return s.scanBatch(dst) }
+
+// scanBatch walks all lanes once from the rotating start index,
+// claiming a resolved run from each (one CAS per non-empty lane) until
+// dst is full.
+//
+//ffq:hotpath
+func (s *Sharded[T]) scanBatch(dst []T) int {
+	start := int(s.rotor.Add(1))
+	n := 0
+	for i := 0; i < len(s.lanes) && n < len(dst); i++ {
+		ln := &s.lanes[(start+i)%len(s.lanes)]
+		n += ln.q.TryDequeueBatch(dst[n:])
+	}
+	return n
+}
+
+// Close marks every lane closed. Consumers blocked in Dequeue or
+// DequeueBatch return ok=false once the queue drains. As with the
+// single-lane queue, Close must happen after the final Enqueue on
+// every lane (release all handles, or otherwise order the producers'
+// last operations before the close).
+func (s *Sharded[T]) Close() {
+	for i := range s.lanes {
+		s.lanes[i].q.Close()
+	}
+}
+
+// Closed reports whether every lane is closed.
+func (s *Sharded[T]) Closed() bool {
+	for i := range s.lanes {
+		if !s.lanes[i].q.Closed() {
+			return false
+		}
+	}
+	return true
+}

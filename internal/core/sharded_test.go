@@ -1,0 +1,332 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedBasic(t *testing.T) {
+	s, err := NewSharded[uint64](4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lanes() != 4 || s.LaneCap() != 16 || s.Cap() != 64 {
+		t.Fatalf("geometry: lanes=%d laneCap=%d cap=%d", s.Lanes(), s.LaneCap(), s.Cap())
+	}
+	p, ok := s.Acquire()
+	if !ok {
+		t.Fatal("Acquire failed on fresh queue")
+	}
+	for i := uint64(0); i < 10; i++ {
+		p.Enqueue(i)
+	}
+	if s.Len() != 10 || s.LaneLen(p.Lane()) != 10 {
+		t.Fatalf("Len=%d LaneLen=%d, want 10", s.Len(), s.LaneLen(p.Lane()))
+	}
+	for i := uint64(0); i < 10; i++ {
+		v, ok := s.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := s.TryDequeue(); ok {
+		t.Fatal("TryDequeue on empty queue succeeded")
+	}
+	p.Release()
+	s.Close()
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("Dequeue after close+drain succeeded")
+	}
+}
+
+func TestShardedAcquireExhaustion(t *testing.T) {
+	// 3 lanes grant at most 2 exclusive handles: lane 0 always stays
+	// with the shared fallback Enqueue.
+	s, err := NewSharded[int](3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok1 := s.Acquire()
+	p2, ok2 := s.Acquire()
+	if !ok1 || !ok2 {
+		t.Fatal("could not acquire two handles from three lanes")
+	}
+	if p1.Lane() == p2.Lane() || p1.Lane() == 0 || p2.Lane() == 0 {
+		t.Fatalf("bad handle lanes %d, %d (lane 0 is the fallback lane)", p1.Lane(), p2.Lane())
+	}
+	if _, ok := s.Acquire(); ok {
+		t.Fatal("acquired a third handle from three lanes (none left for the fallback path)")
+	}
+	p1.Release()
+	p3, ok := s.Acquire()
+	if !ok {
+		t.Fatal("re-acquire after release failed")
+	}
+	if p3.Lane() != 1 {
+		t.Fatalf("re-acquired lane %d, want 1", p3.Lane())
+	}
+	p2.Release()
+	p3.Release()
+
+	// A single-lane queue never grants handles: every producer must use
+	// the shared fallback.
+	s1, err := NewSharded[int](1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s1.Acquire(); ok {
+		t.Fatal("single-lane queue granted an exclusive handle")
+	}
+}
+
+// TestShardedFallbackEnqueue exercises the shared-lane fallback
+// producer path with more producers than lanes: exactly-once delivery
+// and per-producer FIFO must both hold (the fallback funnels every
+// producer through lane 0, so each producer's items stay ordered).
+func TestShardedFallbackEnqueue(t *testing.T) {
+	const (
+		producers = 6
+		perProd   = 5000
+	)
+	s, err := NewSharded[uint64](2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				s.Enqueue(uint64(p)<<32 | uint64(i))
+			}
+		}(p)
+	}
+	seen := make(map[uint64]bool, producers*perProd)
+	last := make([]int64, producers)
+	for p := range last {
+		last[p] = -1
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(seen) < producers*perProd {
+			if v, ok := s.Dequeue(); ok {
+				if seen[v] {
+					panic("duplicate item")
+				}
+				seen[v] = true
+				p, sq := int(v>>32), int64(v&0xFFFFFFFF)
+				if sq <= last[p] {
+					panic("per-producer FIFO violated on the fallback path")
+				}
+				last[p] = sq
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if s.Len() != 0 {
+		t.Fatalf("queue not drained: Len=%d", s.Len())
+	}
+}
+
+// TestShardedConcurrent runs P handle producers against C batch
+// consumers, checking exactly-once delivery and per-producer FIFO
+// within each consumer's stream of batch runs.
+func TestShardedConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 50000
+		batch     = 32
+	)
+	// producers+1 lanes: Acquire grants at most lanes-1 handles, so
+	// every producer gets its own lane.
+	s, err := NewSharded[uint64](producers+1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remaining sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		remaining.Add(1)
+		go func(p int) {
+			defer remaining.Done()
+			h, ok := s.Acquire()
+			if !ok {
+				panic("acquire failed with lanes == producers")
+			}
+			defer h.Release()
+			vs := make([]uint64, batch)
+			for sq := 0; sq < perProd; sq += batch {
+				k := batch
+				if perProd-sq < k {
+					k = perProd - sq
+				}
+				for i := 0; i < k; i++ {
+					vs[i] = uint64(p)<<32 | uint64(sq+i)
+				}
+				h.EnqueueBatch(vs[:k])
+			}
+		}(p)
+	}
+	go func() {
+		remaining.Wait()
+		s.Close()
+	}()
+	results := make([][]uint64, consumers)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			buf := make([]uint64, batch)
+			for {
+				n, ok := s.DequeueBatch(buf)
+				results[c] = append(results[c], buf[:n]...)
+				if !ok {
+					return
+				}
+			}
+		}(c)
+	}
+	cwg.Wait()
+	seen := make(map[uint64]int, producers*perProd)
+	for c := range results {
+		last := make([]int, producers)
+		for i := range last {
+			last[i] = -1
+		}
+		for _, v := range results[c] {
+			seen[v]++
+			p := int(v >> 32)
+			sq := int(v & 0xFFFFFFFF)
+			// Each lane run is contiguous FIFO; a consumer never sees a
+			// producer's items out of order.
+			if sq <= last[p] {
+				t.Fatalf("consumer %d: producer %d seq %d after %d", c, p, sq, last[p])
+			}
+			last[p] = sq
+		}
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("got %d distinct items, want %d", len(seen), producers*perProd)
+	}
+	for v, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("item %#x seen %d times", v, cnt)
+		}
+	}
+}
+
+// TestShardedStress is the -race stress for the sharded queue: 4
+// exclusive-lane producers plus one fallback producer against 4
+// consumers mixing single and batch dequeues, >= 1M items total.
+// Checks exactly-once delivery and per-producer ordering across the
+// merged consumer streams.
+func TestShardedStress(t *testing.T) {
+	perProd := 250_000
+	if testing.Short() {
+		perProd = 10_000
+	}
+	const (
+		producers = 4 // exclusive lanes; producer 4 uses the fallback path
+		consumers = 4
+		batch     = 16
+	)
+	s, err := NewSharded[uint64](producers+1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remaining sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		remaining.Add(1)
+		go func(p int) {
+			defer remaining.Done()
+			h, ok := s.Acquire()
+			if !ok {
+				panic("acquire failed with lanes == producers+1")
+			}
+			defer h.Release()
+			vs := make([]uint64, batch)
+			for sq := 0; sq < perProd; {
+				if sq%3 == 0 { // mix single and batch enqueues
+					h.Enqueue(uint64(p)<<32 | uint64(sq))
+					sq++
+					continue
+				}
+				k := batch
+				if perProd-sq < k {
+					k = perProd - sq
+				}
+				for i := 0; i < k; i++ {
+					vs[i] = uint64(p)<<32 | uint64(sq+i)
+				}
+				h.EnqueueBatch(vs[:k])
+				sq += k
+			}
+		}(p)
+	}
+	// One extra producer on the shared fallback lane (no handle).
+	remaining.Add(1)
+	go func() {
+		defer remaining.Done()
+		for sq := 0; sq < perProd; sq++ {
+			s.Enqueue(uint64(producers)<<32 | uint64(sq))
+		}
+	}()
+	go func() {
+		remaining.Wait()
+		s.Close()
+	}()
+	results := make([][]uint64, consumers)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			buf := make([]uint64, batch)
+			for n := 0; ; n++ {
+				if n%2 == 0 { // mix single and batch dequeues
+					v, ok := s.Dequeue()
+					if !ok {
+						return
+					}
+					results[c] = append(results[c], v)
+					continue
+				}
+				k, ok := s.DequeueBatch(buf)
+				results[c] = append(results[c], buf[:k]...)
+				if !ok {
+					return
+				}
+			}
+		}(c)
+	}
+	cwg.Wait()
+	total := (producers + 1) * perProd
+	seen := make(map[uint64]int, total)
+	for c := range results {
+		last := make([]int, producers+1)
+		for i := range last {
+			last[i] = -1
+		}
+		for _, v := range results[c] {
+			seen[v]++
+			p := int(v >> 32)
+			sq := int(v & 0xFFFFFFFF)
+			if sq <= last[p] {
+				t.Fatalf("consumer %d: producer %d seq %d after %d", c, p, sq, last[p])
+			}
+			last[p] = sq
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("got %d distinct items, want %d", len(seen), total)
+	}
+	for v, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("item %#x seen %d times", v, cnt)
+		}
+	}
+}

@@ -74,16 +74,32 @@ func NewSPMC[T any](capacity int, opts ...Option) (*SPMC[T], error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ix, err := NewIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
-	if err != nil {
+	q := &SPMC[T]{}
+	if err := initSPMC(q, capacity, cfg); err != nil {
 		return nil, err
 	}
-	q := &SPMC[T]{ix: ix, layout: cfg.layout, yieldTh: cfg.yieldTh, rec: cfg.rec, cells: make([]cell[T], ix.Slots())}
+	return q, nil
+}
+
+// initSPMC initializes q in place. The sharded queue embeds SPMC lanes
+// by value inside a lane array (one allocation, no pointer chasing on
+// the scan path); in-place init is required because a constructed SPMC
+// must never be copied (its atomics pin it to one address).
+func initSPMC[T any](q *SPMC[T], capacity int, cfg config) error {
+	ix, err := NewIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
+	if err != nil {
+		return err
+	}
+	q.ix = ix
+	q.layout = cfg.layout
+	q.yieldTh = cfg.yieldTh
+	q.rec = cfg.rec
+	q.cells = make([]cell[T], ix.Slots())
 	for i := range q.cells {
 		q.cells[i].rank.Store(freeRank)
 		q.cells[i].gap.Store(noGap)
 	}
-	return q, nil
+	return nil
 }
 
 // Cap returns the logical capacity of the queue.

@@ -511,24 +511,34 @@ func PairsLatency(o Options, threads int) (*report.Table, error) {
 // run, not just its headline Mops/s. batch > 1 moves items in batches
 // of that size (native contiguous-run reservations on the unbounded
 // variants); the per-run batch-size histogram then lands in the
-// record's queue stats.
-func StatsSweep(o Options, variant workload.Variant, consumers, batch int) ([]report.Record, error) {
+// record's queue stats. producers > 1 is the multi-producer axis: each
+// producer gets its own submission queue — except VariantSharded,
+// where all of them share one sharded queue (a lane each) and the
+// record additionally carries the lane count and per-lane depth.
+func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch int) ([]report.Record, error) {
 	o.fill()
+	if producers < 1 {
+		producers = 1
+	}
 	if consumers < 1 {
 		consumers = 1
 	}
 	if batch < 1 {
 		batch = 1
 	}
-	items := harness.ScaleInt(500_000, o.Scale, 2000)
+	items := harness.ScaleInt(500_000, o.Scale, 2000) / producers
+	if items < 1000 {
+		items = 1000
+	}
 	var recs []report.Record
 	for _, size := range harness.PowersOfTwo(o.MinSizeExp, o.MaxSizeExp) {
 		var agg obs.Stats
+		lanes, laneCap := 0, 0
 		sum, err := harness.RepeatErr(o.Runs, func() (float64, error) {
 			res, err := workload.RunMicro(workload.MicroConfig{
 				Variant:              variant,
 				Layout:               core.LayoutPadded,
-				Producers:            1,
+				Producers:            producers,
 				ConsumersPerProducer: consumers,
 				ItemsPerProducer:     items,
 				QueueSize:            size,
@@ -543,26 +553,36 @@ func StatsSweep(o Options, variant workload.Variant, consumers, batch int) ([]re
 			if res.Stats != nil {
 				agg = agg.Add(*res.Stats)
 			}
+			lanes, laneCap = res.Lanes, res.LaneCap
 			return res.MopsPerSec(), nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		name := fmt.Sprintf("micro/%s/entries=%d", variant, size)
+		if producers > 1 {
+			name += fmt.Sprintf("/p=%d", producers)
+		}
 		if batch > 1 {
 			name += fmt.Sprintf("/batch=%d", batch)
+		}
+		params := map[string]any{
+			"variant":            variant.String(),
+			"producers":          producers,
+			"consumers":          consumers,
+			"queue_size":         size,
+			"batch":              batch,
+			"runs":               o.Runs,
+			"items_per_producer": items,
+		}
+		if lanes > 0 {
+			params["lanes"] = lanes
+			params["lane_depth"] = laneCap
 		}
 		recs = append(recs, report.Record{
 			Name:      name,
 			Timestamp: time.Now(),
-			Params: map[string]any{
-				"variant":            variant.String(),
-				"consumers":          consumers,
-				"queue_size":         size,
-				"batch":              batch,
-				"runs":               o.Runs,
-				"items_per_producer": items,
-			},
+			Params:    params,
 			Metrics: map[string]float64{
 				"mops_per_sec_mean":   sum.Mean,
 				"mops_per_sec_stddev": sum.Stddev,
@@ -571,6 +591,96 @@ func StatsSweep(o Options, variant workload.Variant, consumers, batch int) ([]re
 			},
 			Queues: []report.QueueStats{{
 				Name:     "submission",
+				Capacity: size,
+				Stats:    agg,
+			}},
+		})
+	}
+	return recs, nil
+}
+
+// ShardedVsMPMC measures the fan-in comparison the sharded queue
+// exists for: P producers pushing into ONE shared queue drained by C
+// consumers, once with a single FFQ^m (every producer contending on
+// one tail word and CASing cell states) and once with the sharded
+// per-producer-lane queue (wait-free FFQ^s enqueues, consumers
+// FAA-claiming per lane). Both runs move the same item volume through
+// the same thread counts under the padded layout; the sharded record
+// carries the speedup ratio. This is the exporter behind
+// `ffq-micro -sharded-compare -json` and the data behind the
+// BenchmarkShardedVsMPMC CI gate.
+func ShardedVsMPMC(o Options, producers, consumers int) ([]report.Record, error) {
+	o.fill()
+	if producers < 1 {
+		producers = 1
+	}
+	if consumers < 1 {
+		consumers = 1
+	}
+	items := harness.ScaleInt(500_000, o.Scale, 2000) / producers
+	if items < 1000 {
+		items = 1000
+	}
+	const size = 1 << 12 // MPMC capacity; per-lane capacity for sharded
+	variants := []workload.Variant{workload.VariantMPMC, workload.VariantSharded}
+	recs := make([]report.Record, 0, len(variants))
+	means := make(map[workload.Variant]float64, len(variants))
+	for _, v := range variants {
+		v := v
+		var agg obs.Stats
+		var gaps int64
+		sum, err := harness.RepeatErr(o.Runs, func() (float64, error) {
+			res, err := workload.RunFanIn(workload.FanInConfig{
+				Variant:          v,
+				Producers:        producers,
+				Consumers:        consumers,
+				ItemsPerProducer: items,
+				QueueSize:        size,
+				Layout:           core.LayoutPadded,
+				Instrument:       true,
+			})
+			if err != nil {
+				return 0, err
+			}
+			if res.Stats != nil {
+				agg = agg.Add(*res.Stats)
+			}
+			gaps += res.Gaps
+			return res.MopsPerSec(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		means[v] = sum.Mean
+		params := map[string]any{
+			"variant":            v.String(),
+			"producers":          producers,
+			"consumers":          consumers,
+			"queue_size":         size,
+			"runs":               o.Runs,
+			"items_per_producer": items,
+		}
+		if v == workload.VariantSharded {
+			params["lanes"] = producers + 1
+			params["lane_depth"] = size
+		}
+		metrics := map[string]float64{
+			"mops_per_sec_mean":   sum.Mean,
+			"mops_per_sec_stddev": sum.Stddev,
+			"mops_per_sec_min":    sum.Min,
+			"mops_per_sec_max":    sum.Max,
+			"gaps_total":          float64(gaps),
+		}
+		if v == workload.VariantSharded && means[workload.VariantMPMC] > 0 {
+			metrics["speedup_vs_mpmc"] = sum.Mean / means[workload.VariantMPMC]
+		}
+		recs = append(recs, report.Record{
+			Name:      fmt.Sprintf("fanin/%s/p=%d/c=%d", v, producers, consumers),
+			Timestamp: time.Now(),
+			Params:    params,
+			Metrics:   metrics,
+			Queues: []report.QueueStats{{
+				Name:     "shared",
 				Capacity: size,
 				Stats:    agg,
 			}},

@@ -173,7 +173,7 @@ func TestStatsSweep(t *testing.T) {
 	o.Runs = 1
 	o.MinSizeExp = 6
 	o.MaxSizeExp = 7
-	recs, err := StatsSweep(o, workload.VariantSPMC, 2, 1)
+	recs, err := StatsSweep(o, workload.VariantSPMC, 1, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestStatsSweepUnboundedBatch(t *testing.T) {
 	o.Runs = 1
 	o.MinSizeExp = 6
 	o.MaxSizeExp = 6
-	recs, err := StatsSweep(o, workload.VariantUnbounded, 2, 8)
+	recs, err := StatsSweep(o, workload.VariantUnbounded, 1, 2, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,5 +218,66 @@ func TestStatsSweepUnboundedBatch(t *testing.T) {
 	qs := r.Queues[0]
 	if qs.SegsAllocated == 0 || qs.BatchCount == 0 || qs.BatchSumItems == 0 {
 		t.Fatalf("segment/batch counters missing: %+v", qs.Stats)
+	}
+}
+
+// TestStatsSweepSharded: the sharded variant sweeps the producer-count
+// axis on one shared queue and the records carry the lane layout.
+func TestStatsSweepSharded(t *testing.T) {
+	o := QuickOptions()
+	o.Runs = 1
+	o.MinSizeExp = 6
+	o.MaxSizeExp = 6
+	recs, err := StatsSweep(o, workload.VariantSharded, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if !strings.Contains(r.Name, "/p=3") {
+		t.Fatalf("record name %q lacks producer suffix", r.Name)
+	}
+	if r.Params["producers"] != 3 || r.Params["lanes"] != 4 || r.Params["lane_depth"] != 64 {
+		t.Fatalf("lane params missing: %+v", r.Params)
+	}
+	if r.Metrics["mops_per_sec_mean"] <= 0 {
+		t.Fatalf("record %q has no throughput metric", r.Name)
+	}
+	if r.Queues[0].Dequeues == 0 {
+		t.Fatalf("record %q has zero dequeues: %+v", r.Name, r.Queues[0].Stats)
+	}
+}
+
+// TestShardedVsMPMC: the fan-in comparison emits one record per
+// variant and the sharded record carries the speedup ratio.
+func TestShardedVsMPMC(t *testing.T) {
+	o := QuickOptions()
+	o.Runs = 1
+	recs, err := ShardedVsMPMC(o, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if !strings.Contains(recs[0].Name, "fanin/mpmc") || !strings.Contains(recs[1].Name, "fanin/sharded") {
+		t.Fatalf("unexpected record names %q, %q", recs[0].Name, recs[1].Name)
+	}
+	for _, r := range recs {
+		if r.Metrics["mops_per_sec_mean"] <= 0 {
+			t.Fatalf("record %q has no throughput metric", r.Name)
+		}
+		if r.Queues[0].Dequeues == 0 {
+			t.Fatalf("record %q has zero dequeues: %+v", r.Name, r.Queues[0].Stats)
+		}
+	}
+	sharded := recs[1]
+	if sharded.Metrics["speedup_vs_mpmc"] <= 0 {
+		t.Fatalf("sharded record lacks speedup metric: %+v", sharded.Metrics)
+	}
+	if sharded.Params["lanes"] != 3 || sharded.Params["lane_depth"] != 1<<12 {
+		t.Fatalf("sharded record lacks lane params: %+v", sharded.Params)
 	}
 }

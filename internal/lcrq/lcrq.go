@@ -22,8 +22,9 @@ package lcrq
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
+
+	"ffq/internal/spin"
 )
 
 const (
@@ -79,16 +80,6 @@ func newCRQ(capacity int, logR uint) *crq {
 }
 
 func (r *crq) lapOf(u uint64) uint64 { return u >> r.logR }
-
-// retryYield yields the processor every 128 failed retries of the
-// ring-list CAS loops: each failure means a competing operation
-// succeeded, but under oversubscription the loser hands its timeslice
-// back instead of spinning it away.
-func retryYield(spins int) {
-	if spins > 0 && spins%128 == 0 {
-		runtime.Gosched()
-	}
-}
 
 // enqueue attempts to insert v; false means the ring is (now) closed.
 func (r *crq) enqueue(v uint64) bool {
@@ -216,7 +207,7 @@ func (q *Queue) Enqueue(v uint64) {
 		panic("lcrq: value exceeds the 36-bit payload bound of the packed-cell port")
 	}
 	for spins := 0; ; spins++ {
-		retryYield(spins)
+		spin.RetryYield(spins)
 		r := q.tail.Load()
 		if nxt := r.next.Load(); nxt != nil {
 			q.tail.CompareAndSwap(r, nxt) // help swing tail
@@ -240,7 +231,7 @@ func (q *Queue) Enqueue(v uint64) {
 // empty. Lock-free.
 func (q *Queue) Dequeue() (uint64, bool) {
 	for spins := 0; ; spins++ {
-		retryYield(spins)
+		spin.RetryYield(spins)
 		r := q.head.Load()
 		if v, ok := r.dequeue(); ok {
 			return v, true

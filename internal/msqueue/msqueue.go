@@ -11,8 +11,9 @@
 package msqueue
 
 import (
-	"runtime"
 	"sync/atomic"
+
+	"ffq/internal/spin"
 )
 
 type node struct {
@@ -30,18 +31,6 @@ type Queue struct {
 	_    [64]byte
 }
 
-// retryYield yields the processor every 128 failed retries. A failed
-// iteration of the head/tail CAS loops means some other operation
-// succeeded, so the queue as a whole progresses — but under
-// oversubscription the spinning goroutine may be burning the timeslice
-// of the very thread it waits on, so it periodically gives the
-// processor back (the same policy as ccqueue's ccBackoff).
-func retryYield(spins int) {
-	if spins > 0 && spins%128 == 0 {
-		runtime.Gosched()
-	}
-}
-
 // New returns an empty queue.
 func New() *Queue {
 	q := &Queue{}
@@ -55,7 +44,7 @@ func New() *Queue {
 func (q *Queue) Enqueue(v uint64) {
 	n := &node{value: v}
 	for spins := 0; ; spins++ {
-		retryYield(spins)
+		spin.RetryYield(spins)
 		tail := q.tail.Load()
 		next := tail.next.Load()
 		if tail != q.tail.Load() {
@@ -78,7 +67,7 @@ func (q *Queue) Enqueue(v uint64) {
 // observed empty. Lock-free.
 func (q *Queue) Dequeue() (uint64, bool) {
 	for spins := 0; ; spins++ {
-		retryYield(spins)
+		spin.RetryYield(spins)
 		head := q.head.Load()
 		tail := q.tail.Load()
 		next := head.next.Load()

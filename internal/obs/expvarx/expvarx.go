@@ -35,6 +35,9 @@ type QueueInfo struct {
 	Len func() int
 	// Cap is the queue capacity; exported when > 0.
 	Cap int
+	// LaneLens returns per-lane depths for sharded queues (exported as
+	// the ffq_lane_depth gauge with a lane label). Optional.
+	LaneLens func() []int
 }
 
 var (
@@ -76,6 +79,7 @@ type queueSnapshot struct {
 	Stats obs.Stats `json:"stats"`
 	Len   int       `json:"len,omitempty"`
 	Cap   int       `json:"cap,omitempty"`
+	Lanes []int     `json:"lanes,omitempty"`
 }
 
 // snapshotAll materializes every registered queue's current state.
@@ -91,6 +95,9 @@ func snapshotAll() map[string]queueSnapshot {
 		s := queueSnapshot{Stats: i.Stats(), Cap: i.Cap}
 		if i.Len != nil {
 			s.Len = i.Len()
+		}
+		if i.LaneLens != nil {
+			s.Lanes = i.LaneLens()
 		}
 		out[n] = s
 	}
@@ -165,6 +172,13 @@ func writeTo(b *strings.Builder) {
 	for _, n := range names {
 		if snaps[n].Cap > 0 {
 			fmt.Fprintf(b, "ffq_queue_capacity{queue=%q} %d\n", escapeLabel(n), snaps[n].Cap)
+		}
+	}
+
+	fmt.Fprintf(b, "# HELP ffq_lane_depth Instantaneous per-lane depth of sharded queues.\n# TYPE ffq_lane_depth gauge\n")
+	for _, n := range names {
+		for lane, depth := range snaps[n].Lanes {
+			fmt.Fprintf(b, "ffq_lane_depth{queue=%q,lane=\"%d\"} %d\n", escapeLabel(n), lane, depth)
 		}
 	}
 

@@ -138,6 +138,12 @@ func (r *Recorder) EnqueueN(n int) { r.prod.enqueues.Add(int64(n)) }
 //ffq:hotpath
 func (r *Recorder) Dequeue() { r.cons.dequeues.Add(1) }
 
+// DequeueN records n completed dequeues in one addition (the batch
+// paths of the segmented and bounded queues).
+//
+//ffq:hotpath
+func (r *Recorder) DequeueN(n int) { r.cons.dequeues.Add(int64(n)) }
+
 // FullSpin records one producer spin iteration on a full queue.
 //
 //ffq:hotpath

@@ -1,0 +1,200 @@
+// Batch conformance: the contiguous-run batch operations shared by the
+// segmented queues and the bounded cores (and, with per-lane runs, the
+// sharded queue). The portable contract these tests pin down:
+//
+//   - EnqueueBatch(vs) is equivalent to enqueueing vs in order.
+//   - DequeueBatch(dst) delivers n >= 1 items in claim order and
+//     reports ok=true, or reports ok=false once the queue is closed
+//     and drained (possibly delivering a final partial batch first —
+//     rank-claiming queues cut a claimed run short at the final tail).
+//   - A batch is FIFO within its claimed run: items of one producer
+//     never appear out of order inside or across a consumer's batches.
+//   - Partial returns (n < len(dst)) lose nothing: the shortfall is
+//     either still queued or was never enqueued.
+package queuetest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffq/internal/queue"
+)
+
+// BatchQueue is the optional batch interface a registered queue view
+// may expose next to Enqueue/Dequeue. Close terminates consumers: it
+// must be called once, after every producer's final enqueue.
+type BatchQueue interface {
+	EnqueueBatch(vs []uint64)
+	DequeueBatch(dst []uint64) (n int, ok bool)
+	Close()
+}
+
+// asBatch registers a view and asserts the batch interface.
+func asBatch(t *testing.T, f queue.Factory, shared queue.Shared) BatchQueue {
+	t.Helper()
+	q, ok := shared.Register().(BatchQueue)
+	if !ok {
+		t.Fatalf("%s: registered view does not implement BatchQueue", f.Name)
+	}
+	return q
+}
+
+// BatchFIFO checks single-threaded batch round-trips: varying batch
+// sizes, several capacity wrap-arounds, strict FIFO order within and
+// across claimed runs.
+func BatchFIFO(t *testing.T, f queue.Factory, opts Options) {
+	t.Helper()
+	const capacity = 32
+	shared := f.New(capacity, 1)
+	q := asBatch(t, f, shared)
+	next, expect := uint64(1), uint64(1)
+	buf := make([]uint64, capacity)
+	out := make([]uint64, capacity)
+	for round := 0; round < 12; round++ {
+		vs := buf[:1+round%(capacity-1)]
+		for i := range vs {
+			vs[i] = next
+			next++
+		}
+		q.EnqueueBatch(vs)
+		// Never request more than is outstanding: with no closer racing
+		// in, a rank-claiming DequeueBatch would block on the surplus.
+		for got := 0; got < len(vs); {
+			n, ok := q.DequeueBatch(out[:len(vs)-got])
+			if !ok {
+				t.Fatalf("%s: DequeueBatch reported closed", f.Name)
+			}
+			if n == 0 {
+				t.Fatalf("%s: DequeueBatch returned 0 items on a non-empty open queue", f.Name)
+			}
+			for _, v := range out[:n] {
+				if v != expect {
+					t.Fatalf("%s: got %d, want %d", f.Name, v, expect)
+				}
+				expect++
+			}
+			got += n
+		}
+	}
+}
+
+// BatchPartial checks the near-empty contract: a batch request larger
+// than the remaining items delivers exactly those items and then the
+// closed signal, never blocking, fabricating or losing anything.
+// Covers both cut-short styles: a claimed run truncated at the final
+// tail (n > 0 with ok=false) and a drained scan (ok=false after the
+// items came back with ok=true).
+func BatchPartial(t *testing.T, f queue.Factory, opts Options) {
+	t.Helper()
+	const capacity = 32
+	for _, items := range []int{0, 1, 5} {
+		shared := f.New(capacity, 1)
+		q := asBatch(t, f, shared)
+		vs := make([]uint64, items)
+		for i := range vs {
+			vs[i] = uint64(i) + 1
+		}
+		q.EnqueueBatch(vs)
+		q.Close()
+		var drained []uint64
+		out := make([]uint64, capacity) // always larger than items
+		for {
+			n, ok := q.DequeueBatch(out)
+			drained = append(drained, out[:n]...)
+			if !ok {
+				break
+			}
+			if n == 0 {
+				t.Fatalf("%s: ok=true with an empty batch on a closed drained queue", f.Name)
+			}
+		}
+		if len(drained) != items {
+			t.Fatalf("%s: drained %d items, want %d", f.Name, len(drained), items)
+		}
+		for i, v := range drained {
+			if v != uint64(i)+1 {
+				t.Fatalf("%s: drained[%d] = %d, want %d", f.Name, i, v, i+1)
+			}
+		}
+	}
+}
+
+// BatchExactlyOnce runs opts.Producers batch producers against
+// opts.Consumers batch consumers and checks exactly-once delivery and
+// per-producer FIFO order within each consumer's stream (successive
+// batch claims are ascending runs, so a consumer must never see one
+// producer's items regress, within or across batches).
+func BatchExactlyOnce(t *testing.T, f queue.Factory, opts Options) {
+	t.Helper()
+	const batch = 16
+	total := opts.Producers * opts.ItemsPerProducer
+	shared := f.New(opts.Capacity, opts.Producers+opts.Consumers)
+	got := make([]atomic.Int32, total)
+
+	var pwg sync.WaitGroup
+	var closer BatchQueue
+	var closerOnce sync.Once
+	for p := 0; p < opts.Producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			q := asBatch(t, f, shared)
+			closerOnce.Do(func() { closer = q })
+			vs := make([]uint64, batch)
+			base := p * opts.ItemsPerProducer
+			for s := 0; s < opts.ItemsPerProducer; s += batch {
+				k := batch
+				if opts.ItemsPerProducer-s < k {
+					k = opts.ItemsPerProducer - s
+				}
+				for i := 0; i < k; i++ {
+					vs[i] = uint64(base+s+i) + 1
+				}
+				q.EnqueueBatch(vs[:k])
+			}
+		}(p)
+	}
+	var cwg sync.WaitGroup
+	for c := 0; c < opts.Consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			q := asBatch(t, f, shared)
+			lastSeen := make([]int, opts.Producers)
+			for i := range lastSeen {
+				lastSeen[i] = -1
+			}
+			buf := make([]uint64, batch)
+			for {
+				n, ok := q.DequeueBatch(buf)
+				for _, v := range buf[:n] {
+					v--
+					p := int(v) / opts.ItemsPerProducer
+					seq := int(v) % opts.ItemsPerProducer
+					if p < 0 || p >= opts.Producers {
+						t.Errorf("%s: bogus value %d", f.Name, v+1)
+						return
+					}
+					if seq <= lastSeen[p] {
+						t.Errorf("%s: producer %d order violated: %d after %d", f.Name, p, seq, lastSeen[p])
+						return
+					}
+					lastSeen[p] = seq
+					got[v].Add(1)
+				}
+				if !ok {
+					return
+				}
+			}
+		}()
+	}
+	pwg.Wait()
+	closer.Close()
+	cwg.Wait()
+	for i := range got {
+		if n := got[i].Load(); n != 1 {
+			t.Fatalf("%s: item %d delivered %d times", f.Name, i+1, n)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package spin
+
+import "runtime"
+
+// DefaultRetryEvery is the retry-loop yield period: a spinner hands its
+// timeslice back to the scheduler once every this many failed retries.
+// 128 keeps the common uncontended case yield-free while bounding the
+// damage under oversubscription (the policy the CAS-loop queues and the
+// ccqueue combiner converged on independently before it was hoisted
+// here).
+const DefaultRetryEvery = 128
+
+// RetryYield yields the processor every DefaultRetryEvery failed
+// retries of a lock-free loop. A failed iteration means some other
+// operation succeeded, so the data structure as a whole progresses —
+// but under oversubscription the spinning goroutine may be burning the
+// timeslice of the very thread it waits on, so it periodically gives
+// the processor back.
+//
+// Call it at the top of the loop with the current retry count; the
+// first iteration (spins == 0) never yields.
+func RetryYield(spins int) {
+	if spins > 0 && spins%DefaultRetryEvery == 0 {
+		runtime.Gosched()
+	}
+}
+
+// RetryYieldEvery is RetryYield with a configurable yield period for
+// loops whose iterations are not single CAS attempts (a full lane scan,
+// say, already costs tens of loads, so its period should be smaller).
+// every <= 0 selects DefaultRetryEvery.
+func RetryYieldEvery(spins, every int) {
+	if every <= 0 {
+		every = DefaultRetryEvery
+	}
+	if spins > 0 && spins%every == 0 {
+		runtime.Gosched()
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"ffq/internal/spin"
 )
 
 type cell struct {
@@ -48,21 +50,11 @@ func New(capacity int) (*Queue, error) {
 // Cap returns the queue capacity.
 func (q *Queue) Cap() int { return len(q.cells) }
 
-// retryYield yields the processor every 128 failed retries of the
-// counter CAS loops: each failure means another operation succeeded,
-// but under oversubscription the loser should hand its timeslice back
-// instead of spinning it away.
-func retryYield(spins int) {
-	if spins > 0 && spins%128 == 0 {
-		runtime.Gosched()
-	}
-}
-
 // TryEnqueue inserts v, reporting false if the queue is full.
 func (q *Queue) TryEnqueue(v uint64) bool {
 	pos := q.enq.Load()
 	for spins := 0; ; spins++ {
-		retryYield(spins)
+		spin.RetryYield(spins)
 		c := &q.cells[pos&q.mask]
 		seq := c.seq.Load()
 		switch diff := int64(seq) - int64(pos); {
@@ -86,7 +78,7 @@ func (q *Queue) TryEnqueue(v uint64) bool {
 func (q *Queue) TryDequeue() (uint64, bool) {
 	pos := q.deq.Load()
 	for spins := 0; ; spins++ {
-		retryYield(spins)
+		spin.RetryYield(spins)
 		c := &q.cells[pos&q.mask]
 		seq := c.seq.Load()
 		switch diff := int64(seq) - int64(pos+1); {

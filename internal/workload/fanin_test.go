@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+
+	"ffq/internal/core"
+)
+
+// TestRunFanIn checks exactly-once delivery through the shared queue
+// for both fan-in variants.
+func TestRunFanIn(t *testing.T) {
+	for _, v := range []Variant{VariantMPMC, VariantSharded} {
+		res, err := RunFanIn(FanInConfig{
+			Variant:          v,
+			Producers:        3,
+			Consumers:        2,
+			ItemsPerProducer: 5000,
+			QueueSize:        1 << 8,
+			Layout:           core.LayoutPadded,
+			Instrument:       true,
+		})
+		if err != nil {
+			t.Fatalf("RunFanIn(%v): %v", v, err)
+		}
+		if res.Items != 3*5000 {
+			t.Fatalf("%v: Items = %d, want %d", v, res.Items, 3*5000)
+		}
+		if res.Stats == nil {
+			t.Fatalf("%v: no stats despite Instrument", v)
+		}
+		if got := res.Stats.Dequeues; got != int64(res.Items) {
+			t.Fatalf("%v: %d dequeues recorded, want %d", v, got, res.Items)
+		}
+	}
+}
+
+// TestRunFanIn_RejectsVariant checks that the per-producer-queue
+// variants are refused (they have no shared-queue shape).
+func TestRunFanIn_RejectsVariant(t *testing.T) {
+	_, err := RunFanIn(FanInConfig{
+		Variant:          VariantSPMC,
+		Producers:        1,
+		Consumers:        1,
+		ItemsPerProducer: 10,
+	})
+	if err == nil {
+		t.Fatal("RunFanIn(spmc) succeeded, want error")
+	}
+}
+
+// TestShardedBeatsMPMC is the acceptance gate of the sharding issue:
+// on the contended fan-in shape (4 producers, 4 consumers, one shared
+// queue), the sharded per-producer-lane queue must beat a single
+// FFQ^m by at least 1.5x. The win comes from removing the shared tail
+// FAA and the CAS-per-cell state machine from the producer path; it
+// only materializes when the producers actually run in parallel, so
+// the gate requires >= 4 CPUs (the "CI hardware" of the issue) and is
+// meaningless on smaller hosts.
+func TestShardedBeatsMPMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput gate; skipped in -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("throughput gate needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	run := func(v Variant) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			res, err := RunFanIn(FanInConfig{
+				Variant:          v,
+				Producers:        4,
+				Consumers:        4,
+				ItemsPerProducer: 250_000,
+				QueueSize:        1 << 12,
+				Layout:           core.LayoutPadded,
+			})
+			if err != nil {
+				t.Fatalf("RunFanIn(%v): %v", v, err)
+			}
+			if m := res.MopsPerSec(); m > best {
+				best = m
+			}
+		}
+		return best
+	}
+	mpmc := run(VariantMPMC)
+	sharded := run(VariantSharded)
+	t.Logf("mpmc %.2f Mops/s, sharded %.2f Mops/s (%.2fx)", mpmc, sharded, sharded/mpmc)
+	if sharded < 1.5*mpmc {
+		t.Fatalf("sharded speedup %.2fx, want >= 1.5x (sharded %.2f vs mpmc %.2f Mops/s)",
+			sharded/mpmc, sharded, mpmc)
+	}
+}

@@ -32,6 +32,14 @@ const (
 	VariantUnbounded
 	// VariantUnboundedMPMC uses the unbounded segmented MPMC queue.
 	VariantUnboundedMPMC
+	// VariantSharded uses one shared core.Sharded queue for ALL
+	// producers (per-producer FFQ^s lanes, one exclusive lane handle
+	// each) with a single consumer pool of
+	// Producers*ConsumersPerProducer workers — unlike the other
+	// variants, which give each producer its own queue. QueueSize is
+	// the per-lane capacity; RespQueueSize is ignored (the response
+	// plane is sized from the outstanding window).
+	VariantSharded
 )
 
 // String names the variant.
@@ -47,6 +55,8 @@ func (v Variant) String() string {
 		return "unbounded"
 	case VariantUnboundedMPMC:
 		return "unbounded-mpmc"
+	case VariantSharded:
+		return "sharded"
 	default:
 		return fmt.Sprintf("Variant(%d)", uint8(v))
 	}
@@ -104,6 +114,10 @@ type MicroResult struct {
 	// Stats aggregates the submission queues' instrumentation
 	// counters; nil unless MicroConfig.Instrument was set.
 	Stats *obs.Stats
+	// Lanes and LaneCap describe the shared queue's shard layout;
+	// zero except for VariantSharded.
+	Lanes   int
+	LaneCap int
 }
 
 // MopsPerSec returns round-trips per second in millions.
@@ -248,6 +262,10 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 	var rec *obs.Recorder
 	if cfg.Instrument {
 		rec = obs.NewRecorder()
+	}
+
+	if cfg.Variant == VariantSharded {
+		return runMicroSharded(cfg, top, rec)
 	}
 
 	type producerState struct {

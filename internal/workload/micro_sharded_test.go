@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"testing"
+
+	"ffq/internal/affinity"
+	"ffq/internal/core"
+)
+
+// TestRunMicroSharded drives the shared-queue sharded variant: P
+// producers on exclusive lanes, a pooled consumer side, responses
+// routed back by the producer tag.
+func TestRunMicroSharded(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		res, err := RunMicro(MicroConfig{
+			Variant:              VariantSharded,
+			Layout:               core.LayoutPadded,
+			Producers:            3,
+			ConsumersPerProducer: 2,
+			ItemsPerProducer:     4000,
+			QueueSize:            1 << 8,
+			Batch:                batch,
+			Policy:               affinity.NoAffinity,
+			Instrument:           true,
+		})
+		if err != nil {
+			t.Fatalf("RunMicro(batch=%d): %v", batch, err)
+		}
+		if res.Items != 3*4000 {
+			t.Fatalf("batch=%d: Items = %d, want %d", batch, res.Items, 3*4000)
+		}
+		if res.Lanes != 4 || res.LaneCap != 1<<8 {
+			t.Fatalf("batch=%d: lanes=%d laneCap=%d, want 4 and %d", batch, res.Lanes, res.LaneCap, 1<<8)
+		}
+		if res.Stats == nil {
+			t.Fatalf("batch=%d: no stats despite Instrument", batch)
+		}
+		// Every item crosses the shared queue exactly once.
+		if got := res.Stats.Dequeues; got != int64(res.Items) {
+			t.Fatalf("batch=%d: %d dequeues recorded, want %d", batch, got, res.Items)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package ffq
+
+import "ffq/internal/core"
+
+// ShardedMPMC composes per-producer FFQ^s lanes into a multi-producer
+// queue. Where MPMC serializes all producers through one shared tail
+// (a fetch-and-add plus an emulated double-width CAS per item), each
+// lane of a sharded queue keeps the paper's headline single-producer
+// enqueue path: a producer holding a lane handle publishes with two
+// plain stores and no atomic read-modify-write at all. Consumers scan
+// the lanes from a rotating start index and claim whole resolved runs
+// with one compare-and-swap per non-empty lane.
+//
+// This is "use one SPMC queue per producer" (the package comment's
+// advice) packaged as a single queue: per-producer FIFO order holds,
+// items from different producers are mutually unordered, and total
+// capacity is lanes x laneCap.
+//
+// Producers should call AcquireProducer for an exclusive lane handle;
+// Enqueue on the queue itself funnels through the shared fallback lane
+// (one owner CAS per item, against other fallback producers only) and
+// is the path when producers outnumber lanes. Fallback producers keep
+// per-producer FIFO too: all of their items travel the same lane.
+type ShardedMPMC[T any] struct{ q *core.Sharded[T] }
+
+// NewShardedMPMC returns a queue of `lanes` producer shards holding
+// laneCap items each; laneCap must be a power of two >= 2. Size lanes
+// to the number of concurrent producers plus one: lane 0 is reserved
+// for the shared fallback Enqueue (it would otherwise starve behind an
+// indefinitely-held handle), so at most lanes-1 exclusive handles are
+// granted.
+func NewShardedMPMC[T any](lanes, laneCap int, opts ...Option) (*ShardedMPMC[T], error) {
+	q, err := core.NewSharded[T](lanes, laneCap, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedMPMC[T]{q: q}, nil
+}
+
+// ProducerHandle is an exclusive claim on one lane: while held, its
+// enqueue methods run the wait-free single-producer path. A handle may
+// be used by one goroutine at a time and must be Released when the
+// producer retires (using it afterwards panics).
+type ProducerHandle[T any] struct{ p *core.Producer[T] }
+
+// AcquireProducer claims a free lane, or ok=false when granting
+// another exclusive handle would leave no lane for the shared fallback
+// path (at most lanes-1 handles are outstanding at once). Callers that
+// get ok=false fall back to Enqueue on the queue, or size the queue
+// with more lanes.
+func (s *ShardedMPMC[T]) AcquireProducer() (h *ProducerHandle[T], ok bool) {
+	p, ok := s.q.Acquire()
+	if !ok {
+		return nil, false
+	}
+	return &ProducerHandle[T]{p: p}, true
+}
+
+// Lane returns the index of the owned lane (stable for the handle's
+// lifetime; useful for per-connection metrics).
+func (h *ProducerHandle[T]) Lane() int { return h.p.Lane() }
+
+// Enqueue inserts v on the owned lane. Wait-free while the lane has a
+// free slot; spins (skipping ranks) when the lane is full.
+func (h *ProducerHandle[T]) Enqueue(v T) { h.p.Enqueue(v) }
+
+// TryEnqueue inserts v if the owned lane's tail slot is free.
+func (h *ProducerHandle[T]) TryEnqueue(v T) bool { return h.p.TryEnqueue(v) }
+
+// EnqueueBatch inserts every element of vs in order with one tail
+// publication for the whole run.
+func (h *ProducerHandle[T]) EnqueueBatch(vs []T) { h.p.EnqueueBatch(vs) }
+
+// Release returns the lane to the pool; the handle is dead afterwards.
+func (h *ProducerHandle[T]) Release() { h.p.Release() }
+
+// Enqueue inserts v through the shared fallback lane: the producer
+// path when no handle is held. Safe for any number of concurrent
+// producers; per-producer FIFO order still holds.
+func (s *ShardedMPMC[T]) Enqueue(v T) { s.q.Enqueue(v) }
+
+// Dequeue removes an item from any lane, blocking while all lanes are
+// empty; ok=false after Close once drained. Safe for any number of
+// concurrent consumers.
+func (s *ShardedMPMC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
+
+// TryDequeue removes an item from the first non-empty lane of one scan
+// round, never blocking and never parking a rank claim.
+func (s *ShardedMPMC[T]) TryDequeue() (v T, ok bool) { return s.q.TryDequeue() }
+
+// DequeueBatch fills dst from the lanes, blocking until at least one
+// item arrives or the queue is closed and drained (then 0, false).
+// Each lane's contribution is one contiguous per-producer FIFO run.
+func (s *ShardedMPMC[T]) DequeueBatch(dst []T) (n int, ok bool) { return s.q.DequeueBatch(dst) }
+
+// TryDequeueBatch fills dst from one non-blocking scan round over the
+// lanes, returning the number of items taken.
+func (s *ShardedMPMC[T]) TryDequeueBatch(dst []T) int { return s.q.TryDequeueBatch(dst) }
+
+// Close marks every lane closed. Call only after every producer's
+// final enqueue has returned (release handles first).
+func (s *ShardedMPMC[T]) Close() { s.q.Close() }
+
+// Closed reports whether Close has been called.
+func (s *ShardedMPMC[T]) Closed() bool { return s.q.Closed() }
+
+// Len approximates the number of queued items across all lanes.
+func (s *ShardedMPMC[T]) Len() int { return s.q.Len() }
+
+// Cap returns the total capacity (lanes x laneCap).
+func (s *ShardedMPMC[T]) Cap() int { return s.q.Cap() }
+
+// Lanes returns the number of producer lanes.
+func (s *ShardedMPMC[T]) Lanes() int { return s.q.Lanes() }
+
+// LaneLen approximates the number of queued items in lane i.
+func (s *ShardedMPMC[T]) LaneLen(i int) int { return s.q.LaneLen(i) }
+
+// LaneLens appends every lane's depth to dst and returns it.
+func (s *ShardedMPMC[T]) LaneLens(dst []int) []int { return s.q.LaneLens(dst) }
+
+// Gaps sums the skipped ranks across all lanes. Always available; a
+// non-zero value means some lane ran full (consider a larger laneCap).
+func (s *ShardedMPMC[T]) Gaps() int64 { return s.q.Gaps() }
+
+// Stats snapshots the queue's aggregate instrumentation counters (all
+// lanes share one recorder). Without WithInstrumentation only the
+// always-on GapsCreated counter is populated.
+func (s *ShardedMPMC[T]) Stats() Stats { return s.q.Stats() }
