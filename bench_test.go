@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"ffq/internal/affinity"
 	"ffq/internal/allqueues"
@@ -515,6 +516,53 @@ func BenchmarkInstrumentation(b *testing.B) {
 		})
 		b.Run("mpmc/"+m.name, func(b *testing.B) {
 			q, _ := core.NewMPMC[uint64](1<<16, m.opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i))
+				q.Dequeue()
+			}
+		})
+	}
+}
+
+// BenchmarkLatencyOverhead prices the tail-latency instrumentation
+// tiers on the single-threaded enqueue+dequeue pair of
+// BenchmarkCoreOps. The "off" tier repeats the uninstrumented baseline
+// and must stay within noise of BenchmarkCoreOps (~32/37/52 ns for
+// spsc/spmc/mpmc): with no recorder attached every instrumentation
+// site is one nil check. "counters" adds the PR-1 op counters;
+// "latency" additionally attaches the per-op latency histograms and
+// the stall watchdog (two clock reads per op — the documented price of
+// latency mode, paid only when it is switched on).
+func BenchmarkLatencyOverhead(b *testing.B) {
+	tiers := []struct {
+		name string
+		opts []core.Option
+	}{
+		{"off", nil},
+		{"counters", []core.Option{core.WithInstrumentation()}},
+		{"latency", []core.Option{core.WithOpLatency(), core.WithStallWatchdog(time.Millisecond)}},
+	}
+	for _, tier := range tiers {
+		opts := append([]core.Option{core.WithLayout(core.LayoutPadded)}, tier.opts...)
+		b.Run("spsc/"+tier.name, func(b *testing.B) {
+			q, _ := core.NewSPSC[uint64](1<<16, opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i))
+				q.TryDequeue()
+			}
+		})
+		b.Run("spmc/"+tier.name, func(b *testing.B) {
+			q, _ := core.NewSPMC[uint64](1<<16, opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(uint64(i))
+				q.Dequeue()
+			}
+		})
+		b.Run("mpmc/"+tier.name, func(b *testing.B) {
+			q, _ := core.NewMPMC[uint64](1<<16, opts...)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Enqueue(uint64(i))

@@ -14,6 +14,8 @@
 //	ffq-micro -json BENCH_sharded.json -variant sharded -producers 4 -consumers 1
 //	ffq-micro -json - -sharded-compare -producers 4 -consumers 4
 //	ffq-micro -json - -broker -transport pipe -consumers 4
+//	ffq-micro -latency -variant spmc -consumers 1
+//	ffq-micro -latency -json BENCH_lat.json -stall-every 100000
 //
 // With -json the tool instead runs the instrumented queue-size sweep
 // and writes benchmark records (throughput plus per-queue spin, yield,
@@ -33,6 +35,16 @@
 // broker's end-to-end loopback throughput across client auto-batch
 // sizes 1, 8 and 64 — the wire-path answer to the queue batching
 // sweep. -transport selects in-process net.Pipe or real loopback TCP.
+//
+// With -latency the run switches into latency mode: items are stamped
+// at submission, and the report carries the sojourn
+// (submission-to-dequeue) and per-op enqueue/dequeue latency
+// percentiles instead of just Mops/s. Combined with -json the whole
+// queue-size sweep gains sojourn_*/enq_*/deq_* percentile metrics;
+// without -json a single configuration prints as a percentile table
+// plus the stall-watchdog tail. -stall-every N injects an artificial
+// consumer stall of -stall-dur every N items — the disturbance the
+// tail gates exist to catch.
 package main
 
 import (
@@ -40,8 +52,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"ffq/internal/experiments"
+	"ffq/internal/obs"
 	"ffq/internal/report"
 	"ffq/internal/workload"
 )
@@ -62,6 +76,9 @@ func main() {
 	transport := flag.String("transport", "pipe", "broker transport for -broker: pipe (in-process) or tcp (loopback sockets)")
 	producers := flag.Int("producers", 1, "producers: broker connections for -broker, queue producers for -json sweeps (sharded = lanes in one queue)")
 	shardedCompare := flag.Bool("sharded-compare", false, "with -json: run the sharded-vs-mpmc fan-in comparison at -producers x -consumers instead of a queue sweep")
+	latency := flag.Bool("latency", false, "latency mode: record sojourn and per-op latency percentiles (table, or sojourn_*/enq_*/deq_* metrics with -json)")
+	stallEvery := flag.Int("stall-every", 0, "with -latency: inject an artificial consumer stall every N items (0 = none)")
+	stallDur := flag.Duration("stall-dur", workload.DefaultStallDuration, "with -latency: injected stall length")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -78,9 +95,17 @@ func main() {
 		case *shardedCompare:
 			err = runShardedCompare(o, *jsonOut, *producers, *consumers)
 		default:
-			err = runStatsSweep(o, *jsonOut, *variant, *producers, *consumers, *batch)
+			err = runStatsSweep(o, *jsonOut, *variant, *producers, *consumers, *batch, *latency)
 		}
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-micro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *latency {
+		if err := runLatency(o, *variant, *producers, *consumers, *batch, *stallEvery, *stallDur, *csv); err != nil {
 			fmt.Fprintln(os.Stderr, "ffq-micro:", err)
 			os.Exit(1)
 		}
@@ -116,29 +141,103 @@ func main() {
 
 // runStatsSweep executes the instrumented sweep and writes the JSON
 // records.
-func runStatsSweep(o experiments.Options, path, variant string, producers, consumers, batch int) error {
-	var v workload.Variant
-	switch variant {
-	case "spsc":
-		v = workload.VariantSPSC
-	case "spmc":
-		v = workload.VariantSPMC
-	case "mpmc":
-		v = workload.VariantMPMC
-	case "sharded":
-		v = workload.VariantSharded
-	case "unbounded":
-		v = workload.VariantUnbounded
-	case "unbounded-mpmc":
-		v = workload.VariantUnboundedMPMC
-	default:
-		return fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc, sharded, unbounded, unbounded-mpmc)", variant)
+func runStatsSweep(o experiments.Options, path, variant string, producers, consumers, batch int, latency bool) error {
+	v, err := parseVariant(variant)
+	if err != nil {
+		return err
 	}
-	recs, err := experiments.StatsSweep(o, v, producers, consumers, batch)
+	recs, err := experiments.StatsSweep(o, v, producers, consumers, batch, latency)
 	if err != nil {
 		return err
 	}
 	return writeRecords(path, recs)
+}
+
+// parseVariant maps the -variant flag onto the workload enum.
+func parseVariant(variant string) (workload.Variant, error) {
+	switch variant {
+	case "spsc":
+		return workload.VariantSPSC, nil
+	case "spmc":
+		return workload.VariantSPMC, nil
+	case "mpmc":
+		return workload.VariantMPMC, nil
+	case "sharded":
+		return workload.VariantSharded, nil
+	case "unbounded":
+		return workload.VariantUnbounded, nil
+	case "unbounded-mpmc":
+		return workload.VariantUnboundedMPMC, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (have spsc, spmc, mpmc, sharded, unbounded, unbounded-mpmc)", variant)
+	}
+}
+
+// runLatency executes one latency-mode run and prints the percentile
+// table: the sojourn distribution (submission to dequeue) plus the
+// per-op enqueue/dequeue latency, and the stall-watchdog tail when any
+// waits crossed the threshold.
+func runLatency(o experiments.Options, variant string, producers, consumers, batch, stallEvery int, stallDur time.Duration, csv bool) error {
+	v, err := parseVariant(variant)
+	if err != nil {
+		return err
+	}
+	items := int(500_000 * o.Scale)
+	if items < 2000 {
+		items = 2000
+	}
+	res, err := workload.RunMicro(workload.MicroConfig{
+		Variant:              v,
+		Producers:            producers,
+		ConsumersPerProducer: consumers,
+		ItemsPerProducer:     items,
+		QueueSize:            1 << 10,
+		Batch:                batch,
+		MeasureLatency:       true,
+		StallThreshold:       obs.DefaultStallThreshold,
+		StallEvery:           stallEvery,
+		StallDuration:        stallDur,
+	})
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title: fmt.Sprintf("ffq-micro latency: %s, %dp x %dc, %d items/producer", v, producers, consumers, items),
+		Note: fmt.Sprintf("%.2f Mops/s; quantiles are conservative bucket upper edges (<=%.2f%% relative error)",
+			res.MopsPerSec(), 100/float64(int64(1)<<obs.LatSubBits)),
+		Columns: []string{"path", "count", "mean", "p50", "p95", "p99", "p999", "max"},
+	}
+	addLat := func(name string, s *obs.LatencySnapshot) {
+		if s == nil || s.Count == 0 {
+			return
+		}
+		tbl.AddRow(name, s.Count, s.Mean().String(),
+			time.Duration(s.P50NS).String(), time.Duration(s.P95NS).String(),
+			time.Duration(s.P99NS).String(), time.Duration(s.P999NS).String(),
+			s.Max().String())
+	}
+	addLat("sojourn", res.Sojourn)
+	if res.Stats != nil {
+		addLat("enqueue-op", res.Stats.EnqLatency)
+		addLat("dequeue-op", res.Stats.DeqLatency)
+	}
+	if csv {
+		err = tbl.CSV(os.Stdout)
+	} else {
+		err = tbl.Fprint(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	if s := res.Stats; s != nil && s.StallEvents > 0 {
+		fmt.Printf("\nstalls: %d events past %v (completed: %d, mean %v)\n",
+			s.StallEvents, time.Duration(s.StallThresholdNS), s.StallCount, s.MeanStall())
+		for _, ev := range s.RecentStalls {
+			fmt.Printf("  %s  %-8s rank=%-8d %v\n",
+				time.Unix(0, ev.UnixNano).Format("15:04:05.000"), ev.Role, ev.Rank, time.Duration(ev.DurationNS))
+		}
+	}
+	return nil
 }
 
 // runShardedCompare executes the sharded-vs-MPMC fan-in comparison and

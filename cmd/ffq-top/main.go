@@ -21,6 +21,12 @@
 //	                                         # -cap is the per-lane depth;
 //	                                         # the view and /metrics gain
 //	                                         # per-lane depths
+//	ffq-top -latency                         # per-op latency percentiles
+//	                                         # (p50/p99/p999/max) per frame
+//	ffq-top -latency -stall-threshold 1ms \
+//	        -consumer-delay 2ms              # arm the stall watchdog; waits
+//	                                         # past the threshold appear as
+//	                                         # timestamped stall events
 //
 // The unbounded variants have no backpressure: if consumers fall
 // behind, the segment chain (and memory) grows without bound — use
@@ -179,6 +185,8 @@ func main() {
 	prodDelay := flag.Duration("producer-delay", 0, "artificial work per enqueue")
 	consDelay := flag.Duration("consumer-delay", 0, "artificial work per dequeue (slows consumers, forces gaps)")
 	plain := flag.Bool("plain", false, "append one line per tick instead of refreshing in place")
+	latency := flag.Bool("latency", false, "record per-op latency histograms and show p50/p99/p999/max per refresh")
+	stallTh := flag.Duration("stall-threshold", 0, "arm the stall watchdog: waits past this become timestamped stall events (0 = off)")
 	scrape := flag.String("scrape", "", "watch a running ffqd broker instead: poll this /metrics URL (host:port implies http and /metrics)")
 	flag.Parse()
 
@@ -199,10 +207,18 @@ func main() {
 		fatal(fmt.Errorf("spsc supports exactly 1 consumer, got %d", *consumers))
 	}
 
-	q, err := newQueue(*variant, *capacity, *producers,
+	opts := []core.Option{
 		core.WithInstrumentation(),
 		core.WithLayout(core.LayoutPadded),
-		core.WithYieldThreshold(*yieldTh))
+		core.WithYieldThreshold(*yieldTh),
+	}
+	if *latency {
+		opts = append(opts, core.WithOpLatency())
+	}
+	if *stallTh > 0 {
+		opts = append(opts, core.WithStallWatchdog(*stallTh))
+	}
+	q, err := newQueue(*variant, *capacity, *producers, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -317,6 +333,14 @@ loop:
 	if final.WaitCount > 0 {
 		fmt.Printf("wait histogram: %s\n", sparkline(final.WaitBuckets))
 	}
+	if len(final.RecentStalls) > 0 {
+		fmt.Printf("recent stalls (newest first, ring of %d):\n", len(final.RecentStalls))
+		for _, ev := range final.RecentStalls {
+			fmt.Printf("  %s %s rank=%d stalled %s\n",
+				time.Unix(0, ev.UnixNano).Format("15:04:05.000"),
+				ev.Role, ev.Rank, time.Duration(ev.DurationNS).Round(time.Microsecond))
+		}
+	}
 }
 
 // render draws one refresh frame (or appends one line with plain).
@@ -335,6 +359,15 @@ func render(w *os.File, plain bool, variant string, capacity, depth int, lanes [
 			d.SpinRatio(), cur.GapsCreated, cur.GapsSkipped)
 		if lanes != nil {
 			fmt.Fprintf(w, " lanes=%v", lanes)
+		}
+		if cur.EnqLatency != nil && cur.EnqLatency.Count > 0 {
+			fmt.Fprintf(w, " enq-p999=%s", time.Duration(cur.EnqLatency.P999NS))
+		}
+		if cur.DeqLatency != nil && cur.DeqLatency.Count > 0 {
+			fmt.Fprintf(w, " deq-p999=%s", time.Duration(cur.DeqLatency.P999NS))
+		}
+		if cur.StallThresholdNS > 0 {
+			fmt.Fprintf(w, " stalls=%d", cur.StallEvents)
 		}
 		fmt.Fprintln(w)
 		return
@@ -372,8 +405,34 @@ func render(w *os.File, plain bool, variant string, capacity, depth int, lanes [
 		fmt.Fprintf(&b, "  waits      %10d   mean %s\n", cur.WaitCount, cur.MeanWait())
 		fmt.Fprintf(&b, "  wait hist  %s  (64ns .. 17s, log2 buckets)\n", sparkline(cur.WaitBuckets))
 	}
+	if cur.EnqLatency != nil && cur.EnqLatency.Count > 0 {
+		fmt.Fprintf(&b, "  enq lat    %s\n", latRow(cur.EnqLatency))
+	}
+	if cur.DeqLatency != nil && cur.DeqLatency.Count > 0 {
+		fmt.Fprintf(&b, "  deq lat    %s\n", latRow(cur.DeqLatency))
+	}
+	if cur.StallThresholdNS > 0 {
+		fmt.Fprintf(&b, "  stalls     %10d   past %s (completed %d, mean %s)\n",
+			cur.StallEvents, time.Duration(cur.StallThresholdNS), cur.StallCount, cur.MeanStall())
+		for i, ev := range cur.RecentStalls {
+			if i == 3 {
+				break
+			}
+			fmt.Fprintf(&b, "    %s %s rank=%d stalled %s\n",
+				time.Unix(0, ev.UnixNano).Format("15:04:05.000"),
+				ev.Role, ev.Rank, time.Duration(ev.DurationNS).Round(time.Microsecond))
+		}
+	}
 	fmt.Fprintf(&b, "\n(ctrl-c to stop)\n")
 	w.WriteString(b.String())
+}
+
+// latRow formats a per-op latency snapshot as one aligned percentile
+// line. The percentiles are cumulative, like the totals above them.
+func latRow(s *obs.LatencySnapshot) string {
+	return fmt.Sprintf("p50=%-10s p99=%-10s p999=%-10s max=%-10s (n=%d)",
+		time.Duration(s.P50NS), time.Duration(s.P99NS),
+		time.Duration(s.P999NS), time.Duration(s.MaxNS), s.Count)
 }
 
 // per returns n/d guarding the empty denominator.

@@ -19,6 +19,10 @@ import (
 // expvarx.Parse and renders the broker's counters plus a per-topic
 // table (depth, subscribers, outstanding credit, delivery rates and
 // mean batch size). Rates are deltas between consecutive scrapes.
+// When the broker runs instrumented with latency armed, a second
+// per-topic table shows end-to-end residence-time percentiles
+// (ffqd_e2e_latency_ns), the topic queue's dequeue p999
+// (ffq_op_latency_ns) and its stall-event count.
 
 // scrapeOnce fetches and parses one exposition.
 func scrapeOnce(client *http.Client, url string) (*expvarx.SampleSet, error) {
@@ -62,6 +66,28 @@ func topicQueueVal(ss *expvarx.SampleSet, name, topic string) float64 {
 		}
 	}
 	return 0
+}
+
+// histCol renders a histogram quantile as a duration column, "-" when
+// the family (or the series) is absent from the exposition.
+func histCol(ss *expvarx.SampleSet, name string, labels map[string]string, q float64) string {
+	v, ok := ss.HistQuantile(name, labels, q)
+	if !ok {
+		return "-"
+	}
+	return time.Duration(int64(v)).Round(time.Microsecond).String()
+}
+
+// topicQueueLabels resolves the topic's queue-level label set for a
+// histogram family, matching the "/topic/<name>" registration suffix
+// the same way topicQueueVal does.
+func topicQueueLabels(ss *expvarx.SampleSet, name, topic, op string) map[string]string {
+	for _, q := range ss.LabelValues(name+"_bucket", "queue") {
+		if strings.HasSuffix(q, "/topic/"+topic) {
+			return map[string]string{"queue": q, "op": op}
+		}
+	}
+	return nil
 }
 
 // runScrape is the -scrape main loop. It renders one frame per
@@ -121,11 +147,22 @@ func renderScrape(w *os.File, plain bool, url string, elapsed time.Duration,
 	}
 
 	if plain {
-		fmt.Fprintf(w, "t=%-8s conns=%-4.0f topics=%-4.0f in/s=%-10.0f out/s=%-10.0f acks/s=%-8.0f dropped=%.0f\n",
+		fmt.Fprintf(w, "t=%-8s conns=%-4.0f topics=%-4.0f in/s=%-10.0f out/s=%-10.0f acks/s=%-8.0f dropped=%.0f",
 			elapsed.Round(time.Second),
 			val(cur, "ffqd_connections"), val(cur, "ffqd_topics"),
 			rate("ffqd_messages_in_total"), rate("ffqd_messages_out_total"),
 			rate("ffqd_acks_total"), val(cur, "ffqd_messages_dropped_total"))
+		// Worst-topic residence-time tail, when the broker exports it.
+		var worst float64
+		for _, tp := range cur.LabelValues("ffqd_e2e_latency_ns_bucket", "topic") {
+			if v, ok := cur.HistQuantile("ffqd_e2e_latency_ns", map[string]string{"topic": tp}, 0.999); ok && v > worst {
+				worst = v
+			}
+		}
+		if worst > 0 {
+			fmt.Fprintf(w, " e2e-p999=%s", time.Duration(int64(worst)).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
 		return
 	}
 
@@ -169,6 +206,33 @@ func renderScrape(w *os.File, plain bool, url string, elapsed time.Duration,
 				topicVal(cur, "ffqd_topic_subscribers", tp),
 				topicVal(cur, "ffqd_topic_credit", tp),
 				inRate, outRate, batch)
+		}
+	}
+
+	// Latency families appear only when the broker runs instrumented
+	// with latency armed; render the per-topic percentile table when the
+	// end-to-end histogram (PRODUCE ingress to DELIVER encode) or the
+	// per-op dequeue histogram of the topic queue is present.
+	latTopics := cur.LabelValues("ffqd_e2e_latency_ns_bucket", "topic")
+	sort.Strings(latTopics)
+	if len(latTopics) > 0 {
+		fmt.Fprintf(&b, "\n  %-20s %10s %10s %10s %10s %10s\n",
+			"TOPIC", "E2E-P50", "E2E-P99", "E2E-P999", "DEQ-P999", "STALLS")
+		for _, tp := range latTopics {
+			e2e := map[string]string{"topic": tp}
+			deq := "-"
+			if ql := topicQueueLabels(cur, "ffq_op_latency_ns", tp, "dequeue"); ql != nil {
+				deq = histCol(cur, "ffq_op_latency_ns", ql, 0.999)
+			}
+			stalls := "-"
+			if len(cur.LabelValues("ffq_stall_events_total", "queue")) > 0 {
+				stalls = fmt.Sprintf("%.0f", topicQueueVal(cur, "ffq_stall_events_total", tp))
+			}
+			fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s %10s\n", tp,
+				histCol(cur, "ffqd_e2e_latency_ns", e2e, 0.5),
+				histCol(cur, "ffqd_e2e_latency_ns", e2e, 0.99),
+				histCol(cur, "ffqd_e2e_latency_ns", e2e, 0.999),
+				deq, stalls)
 		}
 	}
 	fmt.Fprintf(&b, "\n(ctrl-c to stop)\n")

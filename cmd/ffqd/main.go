@@ -11,6 +11,9 @@
 //	                                         # and expvar /debug/vars
 //	ffqd -topic-lanes 16 -lane-depth 4096 -deliver-batch 128
 //	ffqd -drain-timeout 10s                  # bound for graceful shutdown
+//	ffqd -metrics :9077 -op-latency \
+//	     -stall-threshold 5ms                # per-op latency histograms and
+//	                                         # stall events on topic queues
 //
 // SIGINT or SIGTERM starts a graceful drain: accepted messages are
 // flushed to their topics and delivered to subscribers (still
@@ -45,6 +48,8 @@ func main() {
 	deliverBatch := flag.Int("deliver-batch", 0, "max messages per DELIVER frame (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 	noInstrument := flag.Bool("no-instrument", false, "disable queue instrumentation and the metrics collectors")
+	opLatency := flag.Bool("op-latency", false, "record per-op enqueue/dequeue latency histograms on topic queues (ffq_op_latency_ns)")
+	stallTh := flag.Duration("stall-threshold", 0, "arm the stall watchdog on topic queues: waits past this become stall events (0 = off)")
 	flag.Parse()
 
 	b, err := broker.New(broker.Options{
@@ -53,6 +58,8 @@ func main() {
 		TopicLanes:     *topicLanes,
 		TopicLaneDepth: *laneDepth,
 		Instrument:     !*noInstrument,
+		OpLatency:      *opLatency,
+		StallThreshold: *stallTh,
 	})
 	if err != nil {
 		fatal(err)

@@ -50,6 +50,8 @@
 package ffq
 
 import (
+	"time"
+
 	"ffq/internal/core"
 	"ffq/internal/obs"
 )
@@ -98,6 +100,25 @@ func WithInstrumentation() Option { return core.WithInstrumentation() }
 // of busy-waiting (default: 64 on multiprocessors, 1 on a
 // uniprocessor). n <= 0 restores the default.
 func WithYieldThreshold(n int) Option { return core.WithYieldThreshold(n) }
+
+// WithOpLatency enables per-operation latency recording: every
+// completed blocking Enqueue/Dequeue records its full latency into
+// HDR-style histograms, and the queue's Stats carries p50/p95/p99/p999
+// snapshots (EnqLatency/DeqLatency). Costs two clock reads per
+// operation — enable it for latency investigations, not throughput
+// baselines. Implies instrumentation: a Recorder is attached even
+// without WithInstrumentation.
+func WithOpLatency() Option { return core.WithOpLatency() }
+
+// WithStallWatchdog arms the stall watchdog: any blocking wait that
+// crosses threshold emits a timestamped stall event (role, rank,
+// duration) into a fixed-size lock-free event ring and a
+// stall-duration histogram, readable through Stats (StallEvents,
+// RecentStalls). The in-loop check reads the clock once per 64 spin
+// iterations of an already-blocked operation, so an armed watchdog is
+// free on the fast path. threshold <= 0 selects the 1ms default.
+// Implies instrumentation, like WithOpLatency.
+func WithStallWatchdog(threshold time.Duration) Option { return core.WithStallWatchdog(threshold) }
 
 // SPSC is a bounded FIFO queue for exactly one producer goroutine and
 // exactly one consumer goroutine.

@@ -13,9 +13,12 @@ import (
 //
 // Blocks guarded by an instrumentation nil-check — an if statement
 // whose condition (or any && conjunct of it) is `x != nil` where x is
-// a *Recorder — are exempt from every rule: the repo-wide contract is
-// that such blocks are off the uninstrumented fast path and cost one
-// predicted branch when disabled.
+// a *Recorder, or one of its *Latency / *Stall extensions — are exempt
+// from every rule: the repo-wide contract is that such blocks are off
+// the uninstrumented fast path and cost one predicted branch when
+// disabled. The Latency/Stall exemption exists for the timestamp and
+// record calls of the tail-latency instrumentation, which sit behind
+// exactly such guards.
 type hotpathCheck struct{}
 
 func (hotpathCheck) ID() string { return "hotpath-purity" }
@@ -195,7 +198,8 @@ func checkAllocConversion(p *Package, call *ast.CallExpr, report func(ast.Node, 
 
 // isRecorderGuard reports whether cond is an instrumentation
 // nil-check: `x != nil` (or a && chain containing one) where x's type
-// is a pointer to a named type called Recorder.
+// is a pointer to one of the sanctioned instrumentation types
+// (Recorder, or its Latency / Stall extensions).
 func isRecorderGuard(info *types.Info, cond ast.Expr) bool {
 	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
 	if !ok {
@@ -220,12 +224,23 @@ func isRecorderGuard(info *types.Info, cond ast.Expr) bool {
 	return false
 }
 
-// isRecorderPtr reports whether t is *SomePkg.Recorder.
+// instrumentationGuardTypes are the named types whose pointer
+// nil-checks sanction a guarded block: the Recorder itself plus its
+// per-op latency and stall-watchdog extensions, which hold the
+// timestamp/record calls a latency-instrumented hot path makes.
+var instrumentationGuardTypes = map[string]bool{
+	"Recorder": true,
+	"Latency":  true,
+	"Stall":    true,
+}
+
+// isRecorderPtr reports whether t is a pointer to one of the
+// sanctioned instrumentation types (*Recorder, *Latency, *Stall).
 func isRecorderPtr(t types.Type) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
 		return false
 	}
 	named, ok := ptr.Elem().(*types.Named)
-	return ok && named.Obj() != nil && named.Obj().Name() == "Recorder"
+	return ok && named.Obj() != nil && instrumentationGuardTypes[named.Obj().Name()]
 }

@@ -51,6 +51,42 @@ func describe() {
 //ffq:hotpath
 func mask(x, m uint64) uint64 { return x &^ m }
 
+// Latency and Stall mimic the obs latency/watchdog extensions; their
+// pointer nil-checks sanction guarded blocks exactly like *Recorder.
+type Latency struct{ n int }
+
+func (l *Latency) Record(ns int64) { l.n++ }
+
+type Stall struct{ n int }
+
+func (s *Stall) Check() bool { s.n++; return false }
+
+type timed struct {
+	lat   *Latency
+	stall *Stall
+}
+
+// stamp keeps its clock reads inside the sanctioned *Latency / *Stall
+// guards: clean.
+//
+//ffq:hotpath
+func (t *timed) stamp(now func() int64) {
+	if t.lat != nil {
+		t.lat.Record(now()) // guarded by *Latency: exempt
+	}
+	st := t.stall
+	if st != nil {
+		fmt.Println(st.Check()) // guarded by *Stall: exempt
+	}
+}
+
+// bare reads the clock with no instrumentation guard: flagged.
+//
+//ffq:hotpath
+func (t *timed) bare() {
+	fmt.Println("unguarded") //want:hotpath-purity "call into package fmt"
+}
+
 // slow is unmarked, so nothing in it is audited.
 func slow(vs []uint64) string {
 	return fmt.Sprint(len(vs))

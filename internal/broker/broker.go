@@ -69,6 +69,7 @@ import (
 	"time"
 
 	"ffq"
+	"ffq/internal/obs"
 	"ffq/internal/obs/expvarx"
 )
 
@@ -109,6 +110,17 @@ type Options struct {
 	// registers the topics plus the broker's own counters with the
 	// expvarx Prometheus endpoint.
 	Instrument bool
+	// OpLatency additionally records per-operation enqueue/dequeue
+	// latency histograms on every topic queue (two clock reads per op;
+	// exported as ffq_op_latency_ns). Implies instrumentation of the
+	// topic queues but not the broker-level collectors — pair it with
+	// Instrument to see the histograms on /metrics.
+	OpLatency bool
+	// StallThreshold arms the stall watchdog on every topic queue:
+	// blocking waits past the threshold become timestamped stall
+	// events (exported as ffq_stall_events_total / ffq_stall_seconds).
+	// 0 leaves the watchdog off.
+	StallThreshold time.Duration
 	// MetricsPrefix namespaces the expvarx registrations (useful when
 	// tests run several instrumented brokers in one process). Empty
 	// means "ffqd".
@@ -142,12 +154,27 @@ type Broker struct {
 	connID atomic.Uint64
 }
 
+// msg is one queued message: the payload plus the ingress timestamp
+// stamped when its PRODUCE frame was decoded. The stamp is zero when
+// the broker runs uninstrumented — end-to-end tracing costs one clock
+// read per PRODUCE frame and one per DELIVER frame, never one per
+// message.
+type msg struct {
+	payload   []byte
+	ingressNS int64
+}
+
 // topic is one named fan-out queue plus its subscriber accounting.
 type topic struct {
 	name string
 	// nameBytes is the wire form, encoded once.
 	nameBytes []byte
-	q         *ffq.ShardedMPMC[[]byte]
+	q         *ffq.ShardedMPMC[msg]
+
+	// lat is the ingress-to-delivery latency histogram (nil unless
+	// Options.Instrument): the full broker residence time of each
+	// message, PRODUCE decode to DELIVER encode.
+	lat *obs.LatencyHist
 
 	mu   sync.Mutex
 	subs map[*sub]struct{}
@@ -238,7 +265,13 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 	if b.opts.Instrument {
 		opts = append(opts, ffq.WithInstrumentation())
 	}
-	q, err := ffq.NewShardedMPMC[[]byte](b.opts.TopicLanes, b.opts.TopicLaneDepth, opts...)
+	if b.opts.OpLatency {
+		opts = append(opts, ffq.WithOpLatency())
+	}
+	if b.opts.StallThreshold > 0 {
+		opts = append(opts, ffq.WithStallWatchdog(b.opts.StallThreshold))
+	}
+	q, err := ffq.NewShardedMPMC[msg](b.opts.TopicLanes, b.opts.TopicLaneDepth, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +280,9 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 		nameBytes: []byte(name),
 		q:         q,
 		subs:      map[*sub]struct{}{},
+	}
+	if b.opts.Instrument {
+		t.lat = &obs.LatencyHist{}
 	}
 	b.topics[name] = t
 	if b.opts.Instrument {

@@ -488,3 +488,117 @@ func TestMetricsExposition(t *testing.T) {
 		t.Error("topic queue still registered after Shutdown")
 	}
 }
+
+// TestLatencyMetricsExposition checks the tail-latency families end to
+// end: an instrumented broker with OpLatency and the stall watchdog
+// armed exports the per-topic residence-time histogram
+// (ffqd_e2e_latency_ns), the topic queue's per-op histograms
+// (ffq_op_latency_ns) and the stall counter — and the exposition
+// round-trips through the parse-side quantile helper ffq-top -scrape
+// uses.
+func TestLatencyMetricsExposition(t *testing.T) {
+	b, addr := startBroker(t, broker.Options{
+		Instrument:     true,
+		OpLatency:      true,
+		StallThreshold: time.Microsecond,
+		MetricsPrefix:  "ffqd_lat",
+	})
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe("lat", 32)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Publish("lat", msg(0, uint64(i))); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := sub.Recv(); !ok {
+			t.Fatalf("stream ended early: %v", c.Err())
+		}
+	}
+
+	// The delivery-side stamp lands just before the DELIVER write, so it
+	// can trail the client's Recv by an instant; poll briefly.
+	wants := []string{
+		`ffqd_e2e_latency_ns_count{topic="lat"} 10`,
+		`ffq_op_latency_ns_bucket{queue="ffqd_lat/topic/lat",op="enqueue"`,
+		`ffq_op_latency_ns_bucket{queue="ffqd_lat/topic/lat",op="dequeue"`,
+		`ffq_stall_events_total{queue="ffqd_lat/topic/lat"}`,
+	}
+	var expo string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		expo = expvarx.Exposition()
+		missing := false
+		for _, want := range wants {
+			if !strings.Contains(expo, want) {
+				missing = true
+			}
+		}
+		if !missing || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range wants {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Round-trip through the parser: the scrape side must recover a
+	// usable residence-time percentile from the folded histogram.
+	samples, err := expvarx.Parse(strings.NewReader(expo))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ss := expvarx.NewSampleSet(samples)
+	if p99, ok := ss.HistQuantile("ffqd_e2e_latency_ns", map[string]string{"topic": "lat"}, 0.99); !ok || p99 <= 0 {
+		t.Errorf("e2e p99 = %v ok=%v, want a positive quantile", p99, ok)
+	}
+	if _, ok := ss.HistQuantile("ffq_op_latency_ns",
+		map[string]string{"queue": "ffqd_lat/topic/lat", "op": "dequeue"}, 0.999); !ok {
+		t.Error("per-op dequeue histogram not recoverable from the exposition")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if expo := expvarx.Exposition(); strings.Contains(expo, "ffqd_lat") {
+		t.Error("latency families still registered after Shutdown")
+	}
+
+	// An uninstrumented broker registers none of it.
+	b2, addr2 := startBroker(t, broker.Options{MetricsPrefix: "ffqd_off"})
+	c2, err := client.Dial(addr2, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c2.Publish("lat", msg(0, 0)); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if err := c2.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	c2.Close()
+	if expo := expvarx.Exposition(); strings.Contains(expo, "ffqd_off") {
+		t.Error("uninstrumented broker leaked metrics registrations")
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := b2.Shutdown(ctx2); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

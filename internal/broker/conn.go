@@ -18,7 +18,7 @@ import (
 // it into the topic.
 type staged struct {
 	t    *topic
-	msgs [][]byte
+	msgs []msg
 }
 
 // conn is one accepted connection: reader + ingress SPSC + pump on the
@@ -141,7 +141,15 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 			c.lastTopic = t
 		}
 		n := p.N
-		msgs := wire.CopyMessages(&p)
+		payloads := wire.CopyMessages(&p)
+		msgs := make([]msg, len(payloads))
+		var stamp int64
+		if t.lat != nil {
+			stamp = time.Now().UnixNano()
+		}
+		for i, pl := range payloads {
+			msgs[i] = msg{payload: pl, ingressNS: stamp}
+		}
 		c.ingress.Enqueue(staged{t: t, msgs: msgs})
 		select {
 		case c.wake <- struct{}{}:
@@ -213,7 +221,7 @@ func (c *conn) pumpLoop() {
 	defer c.b.pumpWG.Done()
 	seqs := map[*topic]uint64{}
 	touched := make([]*topic, 0, 4)
-	lanes := map[*topic]*ffq.ProducerHandle[[]byte]{}
+	lanes := map[*topic]*ffq.ProducerHandle[msg]{}
 	defer func() {
 		for _, h := range lanes {
 			if h != nil {
@@ -257,7 +265,7 @@ func (c *conn) pumpLoop() {
 // topic's sharded queue. A nil map entry records a failed acquisition
 // (more producing connections than lanes) so the shared-fallback-lane
 // Enqueue is used without retrying the acquire on every batch.
-func (c *conn) pumpOne(st staged, seqs map[*topic]uint64, touched *[]*topic, lanes map[*topic]*ffq.ProducerHandle[[]byte]) {
+func (c *conn) pumpOne(st staged, seqs map[*topic]uint64, touched *[]*topic, lanes map[*topic]*ffq.ProducerHandle[msg]) {
 	h, seen := lanes[st.t]
 	if !seen {
 		h, _ = st.t.q.AcquireProducer()
@@ -399,7 +407,8 @@ type sub struct {
 func (s *sub) run() {
 	defer s.c.b.deliverWG.Done()
 	defer s.unlink()
-	batch := make([][]byte, 0, s.c.b.opts.DeliverBatch)
+	batch := make([]msg, 0, s.c.b.opts.DeliverBatch)
+	payloads := make([][]byte, 0, s.c.b.opts.DeliverBatch)
 	spins := 0
 	for {
 		if s.stop.Load() || s.c.dead.Load() {
@@ -432,7 +441,18 @@ func (s *sub) run() {
 		}
 		spins = 0
 		s.credit.Add(int64(-len(batch)))
-		if !s.c.writeDeliver(s.t.nameBytes, batch) {
+		payloads = payloads[:0]
+		for _, m := range batch {
+			payloads = append(payloads, m.payload)
+		}
+		if lat := s.t.lat; lat != nil {
+			// One clock read per DELIVER frame covers the whole batch.
+			now := time.Now().UnixNano()
+			for _, m := range batch {
+				lat.Record(now - m.ingressNS)
+			}
+		}
+		if !s.c.writeDeliver(s.t.nameBytes, payloads) {
 			return
 		}
 		s.c.b.m.MsgsOut.Add(int64(len(batch)))

@@ -84,5 +84,10 @@ func (b *Broker) collect(emit func(expvarx.Sample)) {
 			Name: "ffqd_topic_depth", Help: "Messages queued per topic.",
 			Type: "gauge", Labels: labels, Value: float64(t.q.Len()),
 		})
+		if t.lat != nil {
+			expvarx.EmitLatencySamples(emit, "ffqd_e2e_latency_ns",
+				"Broker residence time per message, PRODUCE decode to DELIVER encode, in nanoseconds.",
+				labels, t.lat.Snapshot())
+		}
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"ffq/internal/obs"
+)
 
 // Batch operations on the bounded queues. The consumer side mirrors
 // the segmented queues' contiguous-run semantics: one head.Add(k)
@@ -19,7 +23,9 @@ import "time"
 // deferring the tail store hides nothing from them; only the
 // tail-bounded TryDequeueBatch sees items a batch late, which merely
 // understates availability). Must be called by the single producer
-// goroutine only.
+// goroutine only. With WithOpLatency the whole batch is one sample in
+// the enqueue histogram — batching amortizes the clock reads exactly
+// like it amortizes the tail publication.
 //
 //ffq:hotpath
 func (q *SPMC[T]) EnqueueBatch(vs []T) {
@@ -28,7 +34,11 @@ func (q *SPMC[T]) EnqueueBatch(vs []T) {
 	}
 	t := q.tail.Load()
 	skips := 0
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for i := 0; i < len(vs); {
 		c := &q.cells[q.ix.Phys(t)]
 		if c.rank.Load() >= 0 {
@@ -46,6 +56,7 @@ func (q *SPMC[T]) EnqueueBatch(vs []T) {
 				}
 				q.rec.GapCreated()
 				q.rec.FullSpin()
+				stalled = q.rec.StallCheck(obs.RoleProducer, t, waitStart, skips, stalled)
 				if backoff(skips<<4, q.yieldTh) {
 					q.rec.ProducerYield()
 				}
@@ -64,8 +75,9 @@ func (q *SPMC[T]) EnqueueBatch(vs []T) {
 		q.rec.EnqueueN(len(vs))
 		q.rec.ObserveBatch(len(vs))
 		if skips > 0 {
-			q.rec.ObserveWait(time.Since(waitStart))
+			q.rec.EndWait(obs.RoleProducer, t, time.Since(waitStart), stalled)
 		}
+		q.rec.EnqueueDone(opStart)
 	}
 }
 
@@ -88,7 +100,11 @@ func (q *SPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 	}
 	start := q.head.Add(k) - k
 	waited := false
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for r := start; r < start+k; r++ {
 		c := &q.cells[q.ix.Phys(r)]
 		spins := 0
@@ -113,7 +129,7 @@ func (q *SPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 			if q.closed.Load() && r >= q.tail.Load() {
 				// Dead rank: the final tail is behind it, so every
 				// remaining rank of the run is dead too.
-				q.finishBatch(n, waited, waitStart)
+				q.finishBatch(n, waited, waitStart, stalled, opStart)
 				return n, false
 			}
 			spins++
@@ -123,6 +139,7 @@ func (q *SPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 					waitStart = time.Now()
 				}
 				q.rec.EmptySpin()
+				stalled = q.rec.StallCheck(obs.RoleConsumer, r, waitStart, spins, stalled)
 				if backoff(spins, q.yieldTh) {
 					q.rec.ConsumerYield()
 				}
@@ -131,19 +148,23 @@ func (q *SPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 			}
 		}
 	}
-	q.finishBatch(n, waited, waitStart)
+	q.finishBatch(n, waited, waitStart, stalled, opStart)
 	return n, true
 }
 
-// finishBatch records the consumer-side batch counters.
+// finishBatch records the consumer-side batch counters; a batch that
+// delivered items is one sample in the dequeue-latency histogram.
 //
 //ffq:hotpath
-func (q *SPMC[T]) finishBatch(n int, waited bool, waitStart time.Time) {
+func (q *SPMC[T]) finishBatch(n int, waited bool, waitStart time.Time, stalled bool, opStart time.Time) {
 	if q.rec != nil {
 		q.rec.DequeueN(n)
 		q.rec.ObserveBatch(n)
 		if waited {
-			q.rec.ObserveWait(time.Since(waitStart))
+			q.rec.EndWait(obs.RoleConsumer, -1, time.Since(waitStart), stalled)
+		}
+		if n > 0 {
+			q.rec.DequeueDone(opStart)
 		}
 	}
 }
@@ -171,6 +192,10 @@ func (q *SPMC[T]) TryDequeueBatch(dst []T) int {
 	k := int64(len(dst))
 	if k == 0 {
 		return 0
+	}
+	var opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
 	}
 	//ffq:ignore spin-backoff every iteration advances head past claimed ranks (ours or another consumer's), which is global progress
 	for {
@@ -210,6 +235,7 @@ func (q *SPMC[T]) TryDequeueBatch(dst []T) int {
 			if q.rec != nil {
 				q.rec.DequeueN(n)
 				q.rec.ObserveBatch(n)
+				q.rec.DequeueDone(opStart)
 			}
 			return n
 		}
@@ -235,7 +261,11 @@ func (q *MPMC[T]) EnqueueBatch(vs []T) {
 	next := 0 // vs[:next] is published; vs[next:] still needs a rank
 	rounds := 0
 	waited := false
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for next < len(vs) {
 		if rounds > 0 {
 			// The previous run lost ranks to gaps: the queue is full or
@@ -246,6 +276,7 @@ func (q *MPMC[T]) EnqueueBatch(vs []T) {
 					waitStart = time.Now()
 				}
 				q.rec.FullSpin()
+				stalled = q.rec.StallCheck(obs.RoleProducer, -1, waitStart, rounds, stalled)
 				if backoff(rounds<<4, q.yieldTh) {
 					q.rec.ProducerYield()
 				}
@@ -286,6 +317,7 @@ func (q *MPMC[T]) EnqueueBatch(vs []T) {
 							waitStart = time.Now()
 						}
 						q.rec.FullSpin()
+						stalled = q.rec.StallCheck(obs.RoleProducer, r, waitStart, spins, stalled)
 						if backoff(spins, q.yieldTh) {
 							q.rec.ProducerYield()
 						}
@@ -310,8 +342,9 @@ func (q *MPMC[T]) EnqueueBatch(vs []T) {
 		q.rec.EnqueueN(len(vs))
 		q.rec.ObserveBatch(len(vs))
 		if waited {
-			q.rec.ObserveWait(time.Since(waitStart))
+			q.rec.EndWait(obs.RoleProducer, -1, time.Since(waitStart), stalled)
 		}
+		q.rec.EnqueueDone(opStart)
 	}
 }
 
@@ -329,7 +362,11 @@ func (q *MPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 	}
 	start := q.head.Add(k) - k
 	waited := false
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for r := start; r < start+k; r++ {
 		c := &q.cells[q.ix.Phys(r)]
 		my := q.lapOf(r)
@@ -360,7 +397,7 @@ func (q *MPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 				break
 			}
 			if q.closed.Load() && r >= q.tail.Load() {
-				q.finishBatch(n, waited, waitStart)
+				q.finishBatch(n, waited, waitStart, stalled, opStart)
 				return n, false
 			}
 			spins++
@@ -370,6 +407,7 @@ func (q *MPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 					waitStart = time.Now()
 				}
 				q.rec.EmptySpin()
+				stalled = q.rec.StallCheck(obs.RoleConsumer, r, waitStart, spins, stalled)
 				if backoff(spins, q.yieldTh) {
 					q.rec.ConsumerYield()
 				}
@@ -378,19 +416,23 @@ func (q *MPMC[T]) DequeueBatch(dst []T) (n int, ok bool) {
 			}
 		}
 	}
-	q.finishBatch(n, waited, waitStart)
+	q.finishBatch(n, waited, waitStart, stalled, opStart)
 	return n, true
 }
 
-// finishBatch records the consumer-side batch counters.
+// finishBatch records the consumer-side batch counters; a batch that
+// delivered items is one sample in the dequeue-latency histogram.
 //
 //ffq:hotpath
-func (q *MPMC[T]) finishBatch(n int, waited bool, waitStart time.Time) {
+func (q *MPMC[T]) finishBatch(n int, waited bool, waitStart time.Time, stalled bool, opStart time.Time) {
 	if q.rec != nil {
 		q.rec.DequeueN(n)
 		q.rec.ObserveBatch(n)
 		if waited {
-			q.rec.ObserveWait(time.Since(waitStart))
+			q.rec.EndWait(obs.RoleConsumer, -1, time.Since(waitStart), stalled)
+		}
+		if n > 0 {
+			q.rec.DequeueDone(opStart)
 		}
 	}
 }

@@ -94,6 +94,7 @@ func NewMPMC[T any](capacity int, opts ...Option) (*MPMC[T], error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.rec = cfg.recorder()
 	ix, err := NewIndexer(capacity, cfg.layout, unsafe.Sizeof(mcell[T]{}))
 	if err != nil {
 		return nil, err
@@ -139,7 +140,11 @@ func (q *MPMC[T]) Len() int {
 func (q *MPMC[T]) Enqueue(v T) {
 	skips := 0
 	waited := false
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for {
 		if skips > 0 {
 			// The previous rank died (the cell was occupied or a gap
@@ -151,6 +156,7 @@ func (q *MPMC[T]) Enqueue(v T) {
 			// so it does not affect the fast path the paper measures.
 			if q.rec != nil {
 				q.rec.FullSpin()
+				stalled = q.rec.StallCheck(obs.RoleProducer, -1, waitStart, skips, stalled)
 				if backoff(skips<<4, q.yieldTh) {
 					q.rec.ProducerYield()
 				}
@@ -191,8 +197,9 @@ func (q *MPMC[T]) Enqueue(v T) {
 					if q.rec != nil {
 						q.rec.Enqueue()
 						if waited {
-							q.rec.ObserveWait(time.Since(waitStart))
+							q.rec.EndWait(obs.RoleProducer, rank, time.Since(waitStart), stalled)
 						}
+						q.rec.EnqueueDone(opStart)
 					}
 					return
 				}
@@ -206,6 +213,7 @@ func (q *MPMC[T]) Enqueue(v T) {
 						waitStart = time.Now()
 					}
 					q.rec.FullSpin()
+					stalled = q.rec.StallCheck(obs.RoleProducer, rank, waitStart, spins, stalled)
 					if backoff(spins, q.yieldTh) {
 						q.rec.ProducerYield()
 					}
@@ -241,7 +249,11 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 	my := q.lapOf(rank)
 	spins := 0
 	waited := false
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for {
 		s := c.state.Load()
 		r32, g32 := mpmcUnpack(s)
@@ -260,8 +272,9 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 			if q.rec != nil {
 				q.rec.Dequeue()
 				if waited {
-					q.rec.ObserveWait(time.Since(waitStart))
+					q.rec.EndWait(obs.RoleConsumer, rank, time.Since(waitStart), stalled)
 				}
+				q.rec.DequeueDone(opStart)
 			}
 			return v, true
 		}
@@ -289,6 +302,7 @@ func (q *MPMC[T]) Dequeue() (v T, ok bool) {
 				waitStart = time.Now()
 			}
 			q.rec.EmptySpin()
+			stalled = q.rec.StallCheck(obs.RoleConsumer, rank, waitStart, spins, stalled)
 			if backoff(spins, q.yieldTh) {
 				q.rec.ConsumerYield()
 			}

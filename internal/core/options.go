@@ -1,6 +1,10 @@
 package core
 
-import "ffq/internal/obs"
+import (
+	"time"
+
+	"ffq/internal/obs"
+)
 
 // Option configures a queue at construction time.
 type Option func(*config)
@@ -10,6 +14,28 @@ type config struct {
 	rec     *obs.Recorder
 	yieldTh int
 	segSize int
+	opLat   bool
+	stallTh time.Duration
+}
+
+// recorder materializes the configured Recorder: latency recording or
+// a stall watchdog force one into existence even when neither
+// WithInstrumentation nor WithRecorder was given, and the requested
+// extensions are attached before the Recorder is shared with a queue.
+func (c *config) recorder() *obs.Recorder {
+	r := c.rec
+	if r == nil && (c.opLat || c.stallTh != 0) {
+		r = obs.NewRecorder()
+	}
+	if r != nil {
+		if c.opLat {
+			r.EnableOpLatency()
+		}
+		if c.stallTh != 0 {
+			r.EnableStallWatchdog(c.stallTh, 0)
+		}
+	}
+	return r
 }
 
 func defaultConfig() config {
@@ -55,7 +81,7 @@ func ResolveOptions(opts ...Option) Resolved {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return Resolved{Layout: cfg.layout, Recorder: cfg.rec, YieldThreshold: cfg.yieldTh, SegmentSize: cfg.segSize}
+	return Resolved{Layout: cfg.layout, Recorder: cfg.recorder(), YieldThreshold: cfg.yieldTh, SegmentSize: cfg.segSize}
 }
 
 // WithLayout selects the memory layout of the cell array. The default
@@ -80,6 +106,34 @@ func WithInstrumentation() Option {
 // queues). A nil r disables instrumentation.
 func WithRecorder(r *obs.Recorder) Option {
 	return func(c *config) { c.rec = r }
+}
+
+// WithOpLatency enables per-operation latency recording: every
+// completed blocking Enqueue/Dequeue records its full latency (two
+// clock reads per op) into HDR-style histograms readable via the
+// queue's Stats (EnqLatency/DeqLatency percentile snapshots). Implies
+// an attached Recorder: one is created if no WithInstrumentation /
+// WithRecorder option supplies it. Enable for latency runs, not
+// throughput baselines.
+func WithOpLatency() Option {
+	return func(c *config) { c.opLat = true }
+}
+
+// WithStallWatchdog arms the stall watchdog: blocking waits that cross
+// threshold emit timestamped stall events (role, rank, duration) into
+// a lock-free event ring and a stall-duration histogram, readable via
+// the queue's Stats (StallEvents, RecentStalls, StallBuckets). The
+// in-loop elapsed check reads the clock once per 64 spin iterations,
+// so an armed-but-quiet watchdog costs nothing measurable. threshold
+// <= 0 selects obs.DefaultStallThreshold. Implies an attached Recorder
+// (as WithOpLatency).
+func WithStallWatchdog(threshold time.Duration) Option {
+	return func(c *config) {
+		if threshold <= 0 {
+			threshold = obs.DefaultStallThreshold
+		}
+		c.stallTh = threshold
+	}
 }
 
 // WithYieldThreshold overrides the number of consecutive failed polls

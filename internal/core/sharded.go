@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"ffq/internal/obs"
 	"ffq/internal/spin"
@@ -78,6 +79,7 @@ func NewSharded[T any](lanes, laneCap int, opts ...Option) (*Sharded[T], error) 
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.rec = cfg.recorder()
 	s := &Sharded[T]{lanes: make([]lane[T], lanes), laneCap: laneCap, yieldTh: cfg.yieldTh, rec: cfg.rec}
 	for i := range s.lanes {
 		if err := initSPMC(&s.lanes[i].q, laneCap, cfg); err != nil {
@@ -221,13 +223,33 @@ func (p *Producer[T]) EnqueueBatch(vs []T) { p.ln.q.EnqueueBatch(vs) }
 //ffq:hotpath
 func (s *Sharded[T]) Enqueue(v T) {
 	ln := &s.lanes[0]
+	waited := false
+	stalled := false
+	var waitStart, opStart time.Time
+	if s.rec != nil {
+		opStart = s.rec.OpStart()
+	}
 	for spins := 0; ; spins++ {
 		if ln.owner.CompareAndSwap(0, 1) {
 			ok := ln.q.TryEnqueue(v)
 			ln.owner.Store(0)
 			if ok {
+				if s.rec != nil {
+					if waited {
+						s.rec.EndWait(obs.RoleProducer, -1, time.Since(waitStart), stalled)
+					}
+					s.rec.EnqueueDone(opStart)
+				}
 				return
 			}
+		}
+		if s.rec != nil {
+			if !waited {
+				waited = true
+				waitStart = time.Now()
+			}
+			s.rec.FullSpin()
+			stalled = s.rec.StallCheck(obs.RoleProducer, -1, waitStart, spins+1, stalled)
 		}
 		spin.RetryYieldEvery(spins, s.yieldTh)
 	}
@@ -240,6 +262,12 @@ func (s *Sharded[T]) Enqueue(v T) {
 //
 //ffq:hotpath
 func (s *Sharded[T]) Dequeue() (v T, ok bool) {
+	waited := false
+	stalled := false
+	var waitStart, opStart time.Time
+	if s.rec != nil {
+		opStart = s.rec.OpStart()
+	}
 	for spins := 0; ; spins++ {
 		// Read closed before scanning: if it was set before an all-empty
 		// scan, no lane can receive items during the scan, so all-empty
@@ -249,12 +277,26 @@ func (s *Sharded[T]) Dequeue() (v T, ok bool) {
 		for i := 0; i < len(s.lanes); i++ {
 			ln := &s.lanes[(start+i)%len(s.lanes)]
 			if v, ok := ln.q.TryDequeue(); ok {
+				if s.rec != nil {
+					if waited {
+						s.rec.EndWait(obs.RoleConsumer, -1, time.Since(waitStart), stalled)
+					}
+					s.rec.DequeueDone(opStart)
+				}
 				return v, true
 			}
 		}
 		if closed {
 			var zero T
 			return zero, false
+		}
+		if s.rec != nil {
+			if !waited {
+				waited = true
+				waitStart = time.Now()
+			}
+			s.rec.EmptySpin()
+			stalled = s.rec.StallCheck(obs.RoleConsumer, -1, waitStart, spins+1, stalled)
 		}
 		spin.RetryYieldEvery(spins, s.yieldTh)
 	}
@@ -289,13 +331,27 @@ func (s *Sharded[T]) DequeueBatch(dst []T) (n int, ok bool) {
 	if len(dst) == 0 {
 		return 0, true
 	}
+	waited := false
+	stalled := false
+	var waitStart time.Time
 	for spins := 0; ; spins++ {
 		closed := s.Closed()
 		if n := s.scanBatch(dst); n > 0 {
+			if s.rec != nil && waited {
+				s.rec.EndWait(obs.RoleConsumer, -1, time.Since(waitStart), stalled)
+			}
 			return n, true
 		}
 		if closed {
 			return 0, false
+		}
+		if s.rec != nil {
+			if !waited {
+				waited = true
+				waitStart = time.Now()
+			}
+			s.rec.EmptySpin()
+			stalled = s.rec.StallCheck(obs.RoleConsumer, -1, waitStart, spins+1, stalled)
 		}
 		spin.RetryYieldEvery(spins, s.yieldTh)
 	}

@@ -74,6 +74,7 @@ func NewSPMC[T any](capacity int, opts ...Option) (*SPMC[T], error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.rec = cfg.recorder()
 	q := &SPMC[T]{}
 	if err := initSPMC(q, capacity, cfg); err != nil {
 		return nil, err
@@ -128,7 +129,11 @@ func (q *SPMC[T]) Len() int {
 func (q *SPMC[T]) Enqueue(v T) {
 	t := q.tail.Load()
 	skips := 0
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for {
 		c := &q.cells[q.ix.Phys(t)]
 		if c.rank.Load() >= 0 {
@@ -148,6 +153,7 @@ func (q *SPMC[T]) Enqueue(v T) {
 				}
 				q.rec.GapCreated()
 				q.rec.FullSpin()
+				stalled = q.rec.StallCheck(obs.RoleProducer, t, waitStart, skips, stalled)
 				if backoff(skips<<4, q.yieldTh) {
 					q.rec.ProducerYield()
 				}
@@ -164,8 +170,9 @@ func (q *SPMC[T]) Enqueue(v T) {
 		if q.rec != nil {
 			q.rec.Enqueue()
 			if skips > 0 {
-				q.rec.ObserveWait(time.Since(waitStart))
+				q.rec.EndWait(obs.RoleProducer, t, time.Since(waitStart), stalled)
 			}
+			q.rec.EnqueueDone(opStart)
 		}
 		return
 	}
@@ -206,7 +213,11 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 	c := &q.cells[q.ix.Phys(rank)]
 	spins := 0
 	waited := false
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for {
 		if c.rank.Load() == rank {
 			// The cell holds our item; consume it and recycle the
@@ -219,8 +230,9 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 			if q.rec != nil {
 				q.rec.Dequeue()
 				if waited {
-					q.rec.ObserveWait(time.Since(waitStart))
+					q.rec.EndWait(obs.RoleConsumer, rank, time.Since(waitStart), stalled)
 				}
+				q.rec.DequeueDone(opStart)
 			}
 			return v, true
 		}
@@ -250,6 +262,7 @@ func (q *SPMC[T]) Dequeue() (v T, ok bool) {
 				waitStart = time.Now()
 			}
 			q.rec.EmptySpin()
+			stalled = q.rec.StallCheck(obs.RoleConsumer, rank, waitStart, spins, stalled)
 			if backoff(spins, q.yieldTh) {
 				q.rec.ConsumerYield()
 			}

@@ -48,6 +48,7 @@ func NewSPSC[T any](capacity int, opts ...Option) (*SPSC[T], error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.rec = cfg.recorder()
 	ix, err := NewIndexer(capacity, cfg.layout, unsafe.Sizeof(cell[T]{}))
 	if err != nil {
 		return nil, err
@@ -83,7 +84,11 @@ func (q *SPSC[T]) Len() int {
 func (q *SPSC[T]) Enqueue(v T) {
 	t := q.tail.Load()
 	skips := 0
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for {
 		c := &q.cells[q.ix.Phys(t)]
 		if c.rank.Load() >= 0 {
@@ -100,6 +105,7 @@ func (q *SPSC[T]) Enqueue(v T) {
 				}
 				q.rec.GapCreated()
 				q.rec.FullSpin()
+				stalled = q.rec.StallCheck(obs.RoleProducer, t, waitStart, skips, stalled)
 				if backoff(skips<<4, q.yieldTh) {
 					q.rec.ProducerYield()
 				}
@@ -114,8 +120,9 @@ func (q *SPSC[T]) Enqueue(v T) {
 		if q.rec != nil {
 			q.rec.Enqueue()
 			if skips > 0 {
-				q.rec.ObserveWait(time.Since(waitStart))
+				q.rec.EndWait(obs.RoleProducer, t, time.Since(waitStart), stalled)
 			}
+			q.rec.EnqueueDone(opStart)
 		}
 		return
 	}
@@ -183,11 +190,18 @@ func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
 //ffq:hotpath
 func (q *SPSC[T]) Dequeue() (v T, ok bool) {
 	spins := 0
-	var waitStart time.Time
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	for {
 		if v, ok = q.TryDequeue(); ok {
-			if q.rec != nil && spins > 0 {
-				q.rec.ObserveWait(time.Since(waitStart))
+			if q.rec != nil {
+				if spins > 0 {
+					q.rec.EndWait(obs.RoleConsumer, q.head.Load()-1, time.Since(waitStart), stalled)
+				}
+				q.rec.DequeueDone(opStart)
 			}
 			return v, true
 		}
@@ -201,6 +215,7 @@ func (q *SPSC[T]) Dequeue() (v T, ok bool) {
 				waitStart = time.Now()
 			}
 			q.rec.EmptySpin()
+			stalled = q.rec.StallCheck(obs.RoleConsumer, q.head.Load(), waitStart, spins, stalled)
 			if backoff(spins, q.yieldTh) {
 				q.rec.ConsumerYield()
 			}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ffq/internal/obs"
+)
+
+// TestStallWatchdogDetectsStalledProducer parks a consumer on an empty
+// queue behind a slow producer: the wait crosses the watchdog
+// threshold, so the stats must carry the stall counters, the duration
+// histogram entry, and the event in the recent tail.
+func TestStallWatchdogDetectsStalledProducer(t *testing.T) {
+	q, err := NewSPMC[int](8, WithStallWatchdog(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		v, _ := q.Dequeue()
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // the consumer spins past the threshold
+	q.Enqueue(42)
+	if v := <-done; v != 42 {
+		t.Fatalf("dequeued %d", v)
+	}
+	s := q.Stats()
+	if s.StallThresholdNS != int64(time.Millisecond) {
+		t.Fatalf("threshold = %d", s.StallThresholdNS)
+	}
+	if s.StallEvents < 1 {
+		t.Fatalf("no stall events: %+v", s)
+	}
+	if s.StallCount < 1 || s.StallSumNS < int64(time.Millisecond) {
+		t.Fatalf("completed-stall histogram empty: count=%d sum=%d", s.StallCount, s.StallSumNS)
+	}
+	if len(s.RecentStalls) == 0 {
+		t.Fatal("recent stall tail empty")
+	}
+	ev := s.RecentStalls[0]
+	if ev.Role != obs.RoleConsumer || ev.Rank != 0 || ev.DurationNS < int64(time.Millisecond) {
+		t.Fatalf("stall event: %+v", ev)
+	}
+	// A wait that never crosses the threshold leaves no new events.
+	before := s.StallEvents
+	q.Enqueue(1)
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if s2 := q.Stats(); s2.StallEvents != before {
+		t.Fatalf("fast op emitted a stall: %d -> %d", before, s2.StallEvents)
+	}
+}
+
+// TestStallWatchdogConcurrent races stalled consumers, a late producer,
+// and stats snapshots under the race detector: the watchdog's ring and
+// counters must tolerate concurrent EndWait/StallCheck/Snapshot.
+func TestStallWatchdogConcurrent(t *testing.T) {
+	q, err := NewMPMC[int](64, WithStallWatchdog(100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 4
+	const items = 2000
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := q.Dequeue(); !ok {
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = q.Stats()
+			}
+		}
+	}()
+	// Produce in bursts with gaps longer than the threshold, so
+	// consumers repeatedly stall and recover while stats are read.
+	for i := 0; i < items; i++ {
+		if i%500 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		q.Enqueue(i)
+	}
+	q.Close()
+	close(stop)
+	wg.Wait()
+	s := q.Stats()
+	if s.StallEvents < 1 {
+		t.Fatalf("bursty producer never stalled a consumer: %+v", s)
+	}
+	if s.Dequeues != items {
+		t.Fatalf("dequeues = %d, want %d", s.Dequeues, items)
+	}
+}
+
+// TestOpLatencyOption checks WithOpLatency end to end on each bounded
+// variant: every completed op lands in the right histogram.
+func TestOpLatencyOption(t *testing.T) {
+	check := func(name string, stats obs.Stats, ops int64) {
+		t.Helper()
+		if stats.EnqLatency == nil || stats.EnqLatency.Count != ops {
+			t.Fatalf("%s: enq latency %v, want count %d", name, stats.EnqLatency, ops)
+		}
+		if stats.DeqLatency == nil || stats.DeqLatency.Count != ops {
+			t.Fatalf("%s: deq latency %v, want count %d", name, stats.DeqLatency, ops)
+		}
+		if stats.EnqLatency.P999NS < stats.EnqLatency.P50NS {
+			t.Fatalf("%s: inverted percentiles %v", name, stats.EnqLatency)
+		}
+	}
+	const ops = 100
+	spsc, _ := NewSPSC[int](128, WithOpLatency())
+	spmc, _ := NewSPMC[int](128, WithOpLatency())
+	mpmc, _ := NewMPMC[int](128, WithOpLatency())
+	for i := 0; i < ops; i++ {
+		spsc.Enqueue(i)
+		spsc.Dequeue()
+		spmc.Enqueue(i)
+		spmc.Dequeue()
+		mpmc.Enqueue(i)
+		mpmc.Dequeue()
+	}
+	check("spsc", spsc.Stats(), ops)
+	check("spmc", spmc.Stats(), ops)
+	check("mpmc", mpmc.Stats(), ops)
+
+	// Sharded: the facade-level option reaches every lane through the
+	// shared recorder.
+	sh, err := NewSharded[int](2, 64, WithOpLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := sh.Acquire()
+	if !ok {
+		t.Fatal("no lane")
+	}
+	for i := 0; i < ops; i++ {
+		h.Enqueue(i)
+		if _, ok := sh.Dequeue(); !ok {
+			t.Fatal("sharded dequeue failed")
+		}
+	}
+	h.Release()
+	check("sharded", sh.Stats(), ops)
+
+	// Batch ops are one sample per batch, not per item: the clock reads
+	// amortize with the batch exactly like the tail publication.
+	bq, _ := NewSPMC[int](128, WithOpLatency())
+	bq.EnqueueBatch([]int{1, 2, 3, 4})
+	dst := make([]int, 4)
+	if n := bq.TryDequeueBatch(dst); n != 4 {
+		t.Fatalf("batch dequeue took %d items", n)
+	}
+	bs := bq.Stats()
+	if bs.EnqLatency.Count != 1 || bs.DeqLatency.Count != 1 {
+		t.Fatalf("batch ops recorded enq=%d deq=%d samples, want 1 each",
+			bs.EnqLatency.Count, bs.DeqLatency.Count)
+	}
+}

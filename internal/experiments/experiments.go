@@ -515,7 +515,12 @@ func PairsLatency(o Options, threads int) (*report.Table, error) {
 // producer gets its own submission queue — except VariantSharded,
 // where all of them share one sharded queue (a lane each) and the
 // record additionally carries the lane count and per-lane depth.
-func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch int) ([]report.Record, error) {
+// latency switches the runs into latency mode: items are stamped at
+// submission, and every record gains sojourn_* percentile metrics (the
+// ingress-to-dequeue distribution) plus enq_/deq_ per-op percentiles
+// from the recorder histograms — the fields the CI latency smoke gate
+// and EXPERIMENTS.md's methodology section read.
+func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch int, latency bool) ([]report.Record, error) {
 	o.fill()
 	if producers < 1 {
 		producers = 1
@@ -533,6 +538,7 @@ func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch
 	var recs []report.Record
 	for _, size := range harness.PowersOfTwo(o.MinSizeExp, o.MaxSizeExp) {
 		var agg obs.Stats
+		var sojourn *obs.LatencySnapshot
 		lanes, laneCap := 0, 0
 		sum, err := harness.RepeatErr(o.Runs, func() (float64, error) {
 			res, err := workload.RunMicro(workload.MicroConfig{
@@ -546,6 +552,7 @@ func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch
 				Policy:               affinity.NoAffinity,
 				Topology:             o.Topology,
 				Instrument:           true,
+				MeasureLatency:       latency,
 			})
 			if err != nil {
 				return 0, err
@@ -553,6 +560,7 @@ func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch
 			if res.Stats != nil {
 				agg = agg.Add(*res.Stats)
 			}
+			sojourn = sojourn.Add(res.Sojourn)
 			lanes, laneCap = res.Lanes, res.LaneCap
 			return res.MopsPerSec(), nil
 		})
@@ -579,16 +587,23 @@ func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch
 			params["lanes"] = lanes
 			params["lane_depth"] = laneCap
 		}
+		metrics := map[string]float64{
+			"mops_per_sec_mean":   sum.Mean,
+			"mops_per_sec_stddev": sum.Stddev,
+			"mops_per_sec_min":    sum.Min,
+			"mops_per_sec_max":    sum.Max,
+		}
+		if latency {
+			params["measure_latency"] = true
+			addLatencyMetrics(metrics, "sojourn_", sojourn)
+			addLatencyMetrics(metrics, "enq_", agg.EnqLatency)
+			addLatencyMetrics(metrics, "deq_", agg.DeqLatency)
+		}
 		recs = append(recs, report.Record{
 			Name:      name,
 			Timestamp: time.Now(),
 			Params:    params,
-			Metrics: map[string]float64{
-				"mops_per_sec_mean":   sum.Mean,
-				"mops_per_sec_stddev": sum.Stddev,
-				"mops_per_sec_min":    sum.Min,
-				"mops_per_sec_max":    sum.Max,
-			},
+			Metrics:   metrics,
 			Queues: []report.QueueStats{{
 				Name:     "submission",
 				Capacity: size,
@@ -597,6 +612,22 @@ func StatsSweep(o Options, variant workload.Variant, producers, consumers, batch
 		})
 	}
 	return recs, nil
+}
+
+// addLatencyMetrics flattens a latency snapshot into prefixed metric
+// fields (count, mean and the percentile cut). A nil or empty snapshot
+// contributes nothing, so records stay free of zero-valued noise.
+func addLatencyMetrics(m map[string]float64, prefix string, s *obs.LatencySnapshot) {
+	if s == nil || s.Count == 0 {
+		return
+	}
+	m[prefix+"count"] = float64(s.Count)
+	m[prefix+"mean_ns"] = float64(s.SumNS) / float64(s.Count)
+	m[prefix+"p50_ns"] = float64(s.P50NS)
+	m[prefix+"p95_ns"] = float64(s.P95NS)
+	m[prefix+"p99_ns"] = float64(s.P99NS)
+	m[prefix+"p999_ns"] = float64(s.P999NS)
+	m[prefix+"max_ns"] = float64(s.MaxNS)
 }
 
 // ShardedVsMPMC measures the fan-in comparison the sharded queue

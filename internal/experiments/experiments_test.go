@@ -173,7 +173,7 @@ func TestStatsSweep(t *testing.T) {
 	o.Runs = 1
 	o.MinSizeExp = 6
 	o.MaxSizeExp = 7
-	recs, err := StatsSweep(o, workload.VariantSPMC, 1, 2, 1)
+	recs, err := StatsSweep(o, workload.VariantSPMC, 1, 2, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,6 +193,46 @@ func TestStatsSweep(t *testing.T) {
 	}
 }
 
+// TestStatsSweepLatency: latency mode adds the sojourn and per-op
+// percentile metrics to every record, and a plain sweep carries none
+// of them.
+func TestStatsSweepLatency(t *testing.T) {
+	o := QuickOptions()
+	o.Runs = 1
+	o.MinSizeExp = 6
+	o.MaxSizeExp = 6
+	recs, err := StatsSweep(o, workload.VariantSPMC, 1, 1, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	for _, key := range []string{
+		"sojourn_p50_ns", "sojourn_p999_ns", "sojourn_max_ns", "sojourn_count",
+		"enq_p99_ns", "deq_p99_ns", "enq_mean_ns", "deq_mean_ns",
+	} {
+		if r.Metrics[key] <= 0 {
+			t.Errorf("latency metric %q missing or zero: %v", key, r.Metrics)
+		}
+	}
+	if r.Metrics["sojourn_p50_ns"] > r.Metrics["sojourn_p999_ns"] {
+		t.Errorf("inverted sojourn percentiles: %v", r.Metrics)
+	}
+	if r.Params["measure_latency"] != true {
+		t.Errorf("measure_latency param missing: %v", r.Params)
+	}
+
+	plain, err := StatsSweep(o, workload.VariantSPMC, 1, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain[0].Metrics["sojourn_p50_ns"]; ok {
+		t.Error("plain sweep leaked latency metrics")
+	}
+}
+
 // TestStatsSweepUnboundedBatch: the unbounded variant sweeps with a
 // batch size and the records carry segment counters and the batch
 // histogram.
@@ -201,7 +241,7 @@ func TestStatsSweepUnboundedBatch(t *testing.T) {
 	o.Runs = 1
 	o.MinSizeExp = 6
 	o.MaxSizeExp = 6
-	recs, err := StatsSweep(o, workload.VariantUnbounded, 1, 2, 8)
+	recs, err := StatsSweep(o, workload.VariantUnbounded, 1, 2, 8, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +268,7 @@ func TestStatsSweepSharded(t *testing.T) {
 	o.Runs = 1
 	o.MinSizeExp = 6
 	o.MaxSizeExp = 6
-	recs, err := StatsSweep(o, workload.VariantSharded, 3, 1, 1)
+	recs, err := StatsSweep(o, workload.VariantSharded, 3, 1, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

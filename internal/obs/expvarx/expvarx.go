@@ -225,7 +225,125 @@ func writeTo(b *strings.Builder) {
 		fmt.Fprintf(b, "ffq_wait_ns_count{queue=%q} %d\n", esc, s.WaitCount)
 	}
 
+	// Per-op latency and stall families appear only for queues that
+	// have the corresponding extension enabled (the snapshots are nil /
+	// zero otherwise), keeping the default exposition unchanged.
+	if anyOpLatency(snaps) {
+		fmt.Fprintf(b, "# HELP ffq_op_latency_ns Full per-operation latency in nanoseconds.\n# TYPE ffq_op_latency_ns histogram\n")
+		for _, n := range names {
+			s := snaps[n].Stats
+			writeOpLatency(b, escapeLabel(n), "enqueue", s.EnqLatency)
+			writeOpLatency(b, escapeLabel(n), "dequeue", s.DeqLatency)
+		}
+	}
+	if anyStalls(snaps) {
+		fmt.Fprintf(b, "# HELP ffq_stall_events_total Detected stall episodes (waits beyond the watchdog threshold).\n# TYPE ffq_stall_events_total counter\n")
+		for _, n := range names {
+			if snaps[n].Stats.StallThresholdNS > 0 {
+				fmt.Fprintf(b, "ffq_stall_events_total{queue=%q} %d\n", escapeLabel(n), snaps[n].Stats.StallEvents)
+			}
+		}
+		fmt.Fprintf(b, "# HELP ffq_stall_seconds Completed stall durations in seconds.\n# TYPE ffq_stall_seconds histogram\n")
+		for _, n := range names {
+			s := snaps[n].Stats
+			if s.StallThresholdNS == 0 {
+				continue
+			}
+			esc := escapeLabel(n)
+			var cum int64
+			for e := 0; e <= maxHistExp; e++ {
+				if len(s.StallBuckets) > e {
+					cum += s.StallBuckets[e]
+				}
+				if e < minHistExp {
+					continue
+				}
+				fmt.Fprintf(b, "ffq_stall_seconds_bucket{queue=%q,le=\"%g\"} %d\n", esc, float64(obs.BucketBound(e))/1e9, cum)
+			}
+			fmt.Fprintf(b, "ffq_stall_seconds_bucket{queue=%q,le=\"+Inf\"} %d\n", esc, s.StallCount)
+			fmt.Fprintf(b, "ffq_stall_seconds_sum{queue=%q} %g\n", esc, float64(s.StallSumNS)/1e9)
+			fmt.Fprintf(b, "ffq_stall_seconds_count{queue=%q} %d\n", esc, s.StallCount)
+		}
+	}
+
 	writeCollected(b)
+}
+
+// anyOpLatency reports whether any registered queue carries per-op
+// latency snapshots.
+func anyOpLatency(snaps map[string]queueSnapshot) bool {
+	for _, s := range snaps {
+		if s.Stats.EnqLatency != nil || s.Stats.DeqLatency != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// anyStalls reports whether any registered queue has the stall
+// watchdog armed (a non-zero threshold marks the extension present
+// even before the first stall).
+func anyStalls(snaps map[string]queueSnapshot) bool {
+	for _, s := range snaps {
+		if s.Stats.StallThresholdNS > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeOpLatency emits one queue/op series of the ffq_op_latency_ns
+// histogram, folding the HDR buckets down to the log2 exposition grid.
+func writeOpLatency(b *strings.Builder, esc, op string, lat *obs.LatencySnapshot) {
+	if lat == nil {
+		return
+	}
+	log2 := lat.Log2Buckets()
+	var cum int64
+	for e := 0; e <= maxHistExp; e++ {
+		if len(log2) > e {
+			cum += log2[e]
+		}
+		if e < minHistExp {
+			continue
+		}
+		fmt.Fprintf(b, "ffq_op_latency_ns_bucket{queue=%q,op=%q,le=\"%d\"} %d\n", esc, op, obs.BucketBound(e), cum)
+	}
+	fmt.Fprintf(b, "ffq_op_latency_ns_bucket{queue=%q,op=%q,le=\"+Inf\"} %d\n", esc, op, lat.Count)
+	fmt.Fprintf(b, "ffq_op_latency_ns_sum{queue=%q,op=%q} %d\n", esc, op, lat.SumNS)
+	fmt.Fprintf(b, "ffq_op_latency_ns_count{queue=%q,op=%q} %d\n", esc, op, lat.Count)
+}
+
+// EmitLatencySamples folds an obs.LatencySnapshot onto the
+// exposition's log2 bucket grid and emits it through a Collector's
+// callback as a cumulative histogram family (_bucket/_sum/_count), so
+// collectors can publish latency histograms alongside their scalar
+// samples. Nil or empty snapshots emit nothing.
+func EmitLatencySamples(emit func(Sample), name, help string, labels map[string]string, lat *obs.LatencySnapshot) {
+	if lat == nil || lat.Count == 0 {
+		return
+	}
+	bucket := func(le string, cum int64) {
+		l := map[string]string{"le": le}
+		for k, v := range labels {
+			l[k] = v
+		}
+		emit(Sample{Name: name + "_bucket", Help: help, Type: "histogram", Labels: l, Value: float64(cum)})
+	}
+	log2 := lat.Log2Buckets()
+	var cum int64
+	for e := 0; e <= maxHistExp; e++ {
+		if len(log2) > e {
+			cum += log2[e]
+		}
+		if e < minHistExp {
+			continue
+		}
+		bucket(fmt.Sprintf("%d", obs.BucketBound(e)), cum)
+	}
+	bucket("+Inf", lat.Count)
+	emit(Sample{Name: name + "_sum", Help: help, Type: "histogram", Labels: labels, Value: float64(lat.SumNS)})
+	emit(Sample{Name: name + "_count", Help: help, Type: "histogram", Labels: labels, Value: float64(lat.Count)})
 }
 
 // Exposition renders the full Prometheus text body as a string.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -197,6 +198,70 @@ func (ss *SampleSet) Value(name string, labels map[string]string) (float64, bool
 		}
 	}
 	return 0, false
+}
+
+// HistQuantile estimates the q-quantile (0 <= q <= 1) of a parsed
+// cumulative histogram family: it collects the `name+"_bucket"`
+// samples matching the given labels, orders them by their `le` bound,
+// and returns the upper bound of the bucket holding the target rank —
+// the same conservative upper-edge convention obs.LatencySnapshot
+// uses. ok=false when no matching buckets exist or the histogram is
+// empty. A +Inf target returns the largest finite bound (the data
+// gives no tighter answer).
+func (ss *SampleSet) HistQuantile(name string, labels map[string]string, q float64) (float64, bool) {
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bkt
+	for _, s := range ss.samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		match := true
+		for k, want := range labels {
+			if s.Labels[k] != want {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bkt{le: le, cum: s.Value})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total <= 0 {
+		return 0, false
+	}
+	target := q * total
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var lastFinite float64
+	for _, b := range buckets {
+		if b.le < pInf {
+			lastFinite = b.le
+		}
+		if b.cum >= target {
+			if b.le == pInf {
+				return lastFinite, true
+			}
+			return b.le, true
+		}
+	}
+	return lastFinite, true
 }
 
 // LabelValues returns the distinct values of the given label across

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestLatBucketBoundsRoundTrip checks the HDR bucket geometry: every
+// bucket's bounds map back to that bucket, buckets tile the int64 range
+// without holes, and the relative width never exceeds 2^-LatSubBits.
+func TestLatBucketBoundsRoundTrip(t *testing.T) {
+	for i := 0; i < NumLatBuckets; i++ {
+		low, high := LatBucketLow(i), LatBucketHigh(i)
+		if low > high {
+			t.Fatalf("bucket %d: low %d > high %d", i, low, high)
+		}
+		if got := latIndex(low); got != i {
+			t.Fatalf("latIndex(low=%d) = %d, want %d", low, got, i)
+		}
+		if got := latIndex(high); got != i {
+			t.Fatalf("latIndex(high=%d) = %d, want %d", high, got, i)
+		}
+		if i > 0 && high != math.MaxInt64 {
+			if next := LatBucketLow(i + 1); next != high+1 {
+				t.Fatalf("bucket %d high %d, bucket %d low %d: hole or overlap", i, high, i+1, next)
+			}
+		}
+		// Relative width bound: the quantile error guarantee.
+		if width := high - low; low >= latSubCount && width > low>>LatSubBits {
+			t.Fatalf("bucket %d: width %d exceeds %d>>%d", i, width, low, LatSubBits)
+		}
+	}
+	if got := LatBucketHigh(NumLatBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("last bucket high = %d, want MaxInt64", got)
+	}
+	if latIndex(math.MaxInt64) != NumLatBuckets-1 {
+		t.Fatalf("latIndex(MaxInt64) = %d", latIndex(math.MaxInt64))
+	}
+}
+
+// TestLatencyHistBasics records a known set and checks the derived
+// fields, the conservative quantile contract, and negative clamping.
+func TestLatencyHistBasics(t *testing.T) {
+	var h LatencyHist
+	vals := []int64{0, 1, 15, 16, 17, 100, 1000, 10_000, 1_000_000, -5}
+	var sum int64
+	for _, v := range vals {
+		h.Record(v)
+		if v < 0 {
+			v = 0
+		}
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	if s.SumNS != sum {
+		t.Fatalf("sum = %d, want %d", s.SumNS, sum)
+	}
+	if s.MaxNS != 1_000_000 {
+		t.Fatalf("max = %d", s.MaxNS)
+	}
+	if s.Quantile(0) == 0 && s.Count > 0 && s.Buckets[0] == 0 {
+		t.Fatal("Quantile(0) should clamp to rank 1")
+	}
+	if got := s.Quantile(1); got != s.MaxNS {
+		t.Fatalf("Quantile(1) = %d, want max %d", got, s.MaxNS)
+	}
+	if s.P50NS < 16 || s.P50NS > 110 {
+		t.Fatalf("p50 = %d, want near the middle of %v", s.P50NS, vals)
+	}
+	if s.String() == "" || s.Mean() <= 0 || s.Max() <= 0 {
+		t.Fatal("degenerate formatting accessors")
+	}
+}
+
+// TestLatencySnapshotAddSub checks delta and merge algebra.
+func TestLatencySnapshotAddSub(t *testing.T) {
+	var a, b LatencyHist
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i * 10)
+	}
+	for i := int64(1); i <= 50; i++ {
+		b.Record(i * 1000)
+	}
+	merged := a.Snapshot().Add(b.Snapshot())
+	if merged.Count != 150 {
+		t.Fatalf("merged count = %d", merged.Count)
+	}
+	if merged.MaxNS != 50_000 {
+		t.Fatalf("merged max = %d", merged.MaxNS)
+	}
+	// Merging must equal recording everything into one histogram.
+	var both LatencyHist
+	for i := int64(1); i <= 100; i++ {
+		both.Record(i * 10)
+	}
+	for i := int64(1); i <= 50; i++ {
+		both.Record(i * 1000)
+	}
+	want := both.Snapshot()
+	if merged.P50NS != want.P50NS || merged.P999NS != want.P999NS || merged.SumNS != want.SumNS {
+		t.Fatalf("merge mismatch: %v vs %v", merged, want)
+	}
+
+	// Delta window: snapshot, record more, subtract.
+	prev := a.Snapshot()
+	for i := int64(1); i <= 10; i++ {
+		a.Record(1 << 20)
+	}
+	delta := a.Snapshot().Sub(prev)
+	if delta.Count != 10 {
+		t.Fatalf("delta count = %d", delta.Count)
+	}
+	if delta.P50NS < 1<<20 || delta.P50NS > (1<<20)+(1<<16) {
+		t.Fatalf("delta p50 = %d, want ~2^20", delta.P50NS)
+	}
+	// nil handling
+	if got := (*LatencySnapshot)(nil).Add(prev); got == nil || got.Count != prev.Count {
+		t.Fatal("nil.Add(x) should clone x")
+	}
+	if (*LatencySnapshot)(nil).Quantile(0.5) != 0 {
+		t.Fatal("nil quantile should be 0")
+	}
+}
+
+// TestLatencyConcurrentRecordSnapshot hammers Record from several
+// goroutines while snapshots run concurrently: the race detector guards
+// the lock-free claim, and the final snapshot must account for every
+// observation.
+func TestLatencyConcurrentRecordSnapshot(t *testing.T) {
+	var h LatencyHist
+	const workers = 4
+	const per = 20_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				if s.Count > 0 && s.P999NS > s.MaxNS {
+					t.Error("p999 above max in live snapshot")
+					return
+				}
+			}
+		}
+	}()
+	var rw sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rw.Add(1)
+		go func(w int) {
+			defer rw.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(w*per + i))
+			}
+		}(w)
+	}
+	rw.Wait()
+	close(stop)
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("final count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+// FuzzLatencyOracle cross-checks Quantile against a sorted-slice oracle
+// on arbitrary inputs: the histogram answer must be at least the true
+// order statistic and within the documented 2^-LatSubBits relative
+// error above it. It also verifies that merging two halves reproduces
+// the whole.
+func FuzzLatencyOracle(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(binary.LittleEndian.AppendUint64(nil, 1<<40))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		var vals []int64
+		var whole, left, right LatencyHist
+		for i := 0; i+8 <= len(data) && len(vals) < 512; i += 8 {
+			v := int64(binary.LittleEndian.Uint64(data[i : i+8]))
+			if v < 0 {
+				v = 0 // Record clamps; mirror it in the oracle.
+			}
+			whole.Record(v)
+			if len(vals)%2 == 0 {
+				left.Record(v)
+			} else {
+				right.Record(v)
+			}
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := whole.Snapshot()
+		for _, q := range []float64{0.5, 0.95, 0.99, 0.999, 1} {
+			target := int64(q * float64(len(vals)))
+			if target < 1 {
+				target = 1
+			}
+			truth := vals[target-1]
+			got := s.Quantile(q)
+			if got < truth {
+				t.Fatalf("q=%v: estimate %d below true order statistic %d", q, got, truth)
+			}
+			// Compare as a difference: truth*(1+2^-LatSubBits) can
+			// overflow int64 near the top of the range.
+			if got-truth > truth>>LatSubBits+1 {
+				t.Fatalf("q=%v: estimate %d exceeds %d by more than %.2f%%", q, got, truth, 100/float64(int64(1)<<LatSubBits))
+			}
+		}
+		merged := left.Snapshot().Add(right.Snapshot())
+		if merged.Count != s.Count || merged.SumNS != s.SumNS || merged.MaxNS != s.MaxNS {
+			t.Fatalf("merge totals diverge: %v vs %v", merged, s)
+		}
+		for i := range s.Buckets {
+			if merged.Buckets[i] != s.Buckets[i] {
+				t.Fatalf("merge bucket %d: %d vs %d", i, merged.Buckets[i], s.Buckets[i])
+			}
+		}
+	})
+}

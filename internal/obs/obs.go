@@ -117,10 +117,57 @@ type Recorder struct {
 	cons  consLine
 	wait  waitLine
 	batch batchLine
+	// lat and stall are the optional per-op latency and stall-watchdog
+	// extensions; nil (the default) keeps their hot-path cost at one
+	// predicted branch. Both must be attached via EnableOpLatency /
+	// EnableStallWatchdog before the Recorder is shared with queues —
+	// the fields are read without synchronization afterwards.
+	lat   *Latency
+	stall *Stall
+	_     [cacheLine - 16]byte
 }
 
 // NewRecorder returns a fresh Recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// EnableOpLatency attaches the per-op latency histograms: every
+// completed Enqueue/Dequeue on an instrumented queue then records its
+// full operation latency (two clock reads per op — enable it for
+// latency runs, not throughput baselines). Must be called before the
+// Recorder is shared. Returns r for chaining.
+func (r *Recorder) EnableOpLatency() *Recorder {
+	if r.lat == nil {
+		r.lat = &Latency{}
+	}
+	return r
+}
+
+// EnableStallWatchdog attaches the stall watchdog with the given
+// threshold and event-ring size (<= 0 selects DefaultStallThreshold /
+// DefaultStallRing). Must be called before the Recorder is shared.
+// Returns r for chaining.
+func (r *Recorder) EnableStallWatchdog(threshold time.Duration, ring int) *Recorder {
+	if r.stall == nil {
+		r.stall = newStall(threshold, ring)
+	}
+	return r
+}
+
+// OpLatency returns the attached latency extension, or nil.
+func (r *Recorder) OpLatency() *Latency {
+	if r == nil {
+		return nil
+	}
+	return r.lat
+}
+
+// StallWatchdog returns the attached watchdog, or nil.
+func (r *Recorder) StallWatchdog() *Stall {
+	if r == nil {
+		return nil
+	}
+	return r.stall
+}
 
 // Enqueue records one completed enqueue.
 //
@@ -186,6 +233,80 @@ func (r *Recorder) ObserveWait(d time.Duration) {
 	r.wait.count.Add(1)
 	r.wait.sumNS.Add(ns)
 	r.wait.buckets[bucketOf(ns)].Add(1)
+}
+
+// EndWait records the completion of one blocking wait: the duration
+// lands in the wait histogram, and — when the stall watchdog is
+// attached — waits at or beyond the threshold land in the
+// stall-duration histogram, emitting the stall event if the in-loop
+// StallCheck calls never reported it (reported=false).
+//
+//ffq:hotpath
+func (r *Recorder) EndWait(role Role, rank int64, d time.Duration, reported bool) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	r.wait.count.Add(1)
+	r.wait.sumNS.Add(ns)
+	r.wait.buckets[bucketOf(ns)].Add(1)
+	st := r.stall
+	if st != nil {
+		st.complete(role, rank, ns, reported)
+	}
+}
+
+// StallCheck is called from inside blocking spin loops (within the
+// instrumentation guard) with the loop's spin counter and the state of
+// any earlier report. One iteration in stallCheckMask+1 reads the
+// clock; a wait that has crossed the watchdog threshold emits its
+// stall event exactly once per episode. The return value is the new
+// reported state — callers thread it back in on the next iteration.
+//
+//ffq:hotpath
+func (r *Recorder) StallCheck(role Role, rank int64, waitStart time.Time, spins int, reported bool) bool {
+	if reported || spins&stallCheckMask != 0 {
+		return reported
+	}
+	st := r.stall
+	if st != nil {
+		return st.check(role, rank, waitStart)
+	}
+	return false
+}
+
+// OpStart returns the operation start timestamp when per-op latency
+// recording is enabled, and the zero time (one predicted branch, no
+// clock read) otherwise. Call at the top of an instrumented operation
+// and hand the result to EnqueueDone/DequeueDone.
+//
+//ffq:hotpath
+func (r *Recorder) OpStart() time.Time {
+	if r.lat != nil {
+		return time.Now()
+	}
+	var zero time.Time
+	return zero
+}
+
+// EnqueueDone records the full latency of one completed enqueue when
+// per-op latency recording is enabled (start from OpStart).
+//
+//ffq:hotpath
+func (r *Recorder) EnqueueDone(start time.Time) {
+	if r.lat != nil && !start.IsZero() {
+		r.lat.enq.Record(int64(time.Since(start)))
+	}
+}
+
+// DequeueDone records the full latency of one completed dequeue when
+// per-op latency recording is enabled (start from OpStart).
+//
+//ffq:hotpath
+func (r *Recorder) DequeueDone(start time.Time) {
+	if r.lat != nil && !start.IsZero() {
+		r.lat.deq.Record(int64(time.Since(start)))
+	}
 }
 
 // ObserveBatch records one batch operation of n items (an
@@ -261,6 +382,25 @@ type Stats struct {
 	BatchCount    int64   `json:"batch_count,omitempty"`
 	BatchSumItems int64   `json:"batch_sum_items,omitempty"`
 	BatchBuckets  []int64 `json:"batch_buckets,omitempty"`
+
+	// EnqLatency and DeqLatency are the per-op latency distributions;
+	// nil unless the Recorder had EnableOpLatency.
+	EnqLatency *LatencySnapshot `json:"enq_latency,omitempty"`
+	DeqLatency *LatencySnapshot `json:"deq_latency,omitempty"`
+
+	// Stall watchdog aggregates; populated only when the Recorder had
+	// EnableStallWatchdog. StallEvents counts detected stall episodes
+	// (including in-progress ones), StallCount/StallSumNS/StallBuckets
+	// summarize the log2 duration histogram of *completed* stalls, and
+	// RecentStalls is the newest-first tail of the event ring.
+	// StallThresholdNS is the configured threshold (a setting, not a
+	// counter: Sub/Add keep the newer / first non-zero value).
+	StallEvents      int64        `json:"stall_events,omitempty"`
+	StallCount       int64        `json:"stall_count,omitempty"`
+	StallSumNS       int64        `json:"stall_sum_ns,omitempty"`
+	StallBuckets     []int64      `json:"stall_buckets,omitempty"`
+	StallThresholdNS int64        `json:"stall_threshold_ns,omitempty"`
+	RecentStalls     []StallEvent `json:"recent_stalls,omitempty"`
 }
 
 // Snapshot returns the current counter values. Each counter is read
@@ -297,6 +437,23 @@ func (r *Recorder) Snapshot() Stats {
 			s.BatchBuckets[i] = r.batch.buckets[i].Load()
 		}
 	}
+	if lat := r.lat; lat != nil {
+		s.EnqLatency = lat.EnqSnapshot()
+		s.DeqLatency = lat.DeqSnapshot()
+	}
+	if st := r.stall; st != nil {
+		s.StallEvents = st.events.Load()
+		s.StallCount = st.count.Load()
+		s.StallSumNS = st.sumNS.Load()
+		s.StallThresholdNS = st.thresholdNS
+		if s.StallCount > 0 {
+			s.StallBuckets = make([]int64, HistBuckets)
+			for i := range s.StallBuckets {
+				s.StallBuckets[i] = st.buckets[i].Load()
+			}
+		}
+		s.RecentStalls = st.recent(0)
+	}
 	return s
 }
 
@@ -321,10 +478,30 @@ func (s Stats) Sub(prev Stats) Stats {
 		SegsLive:       s.SegsLive, // gauge: the newer value stands
 		BatchCount:     s.BatchCount - prev.BatchCount,
 		BatchSumItems:  s.BatchSumItems - prev.BatchSumItems,
+
+		StallEvents:      s.StallEvents - prev.StallEvents,
+		StallCount:       s.StallCount - prev.StallCount,
+		StallSumNS:       s.StallSumNS - prev.StallSumNS,
+		StallThresholdNS: s.StallThresholdNS, // setting: the newer value stands
+		RecentStalls:     s.RecentStalls,     // newest tail: the newer view stands
 	}
 	d.WaitBuckets = subBuckets(s.WaitBuckets, prev.WaitBuckets, HistBuckets)
 	d.BatchBuckets = subBuckets(s.BatchBuckets, prev.BatchBuckets, BatchHistBuckets)
+	d.StallBuckets = subBuckets(s.StallBuckets, prev.StallBuckets, HistBuckets)
+	d.EnqLatency = cloneLatency(s.EnqLatency).Sub(prev.EnqLatency)
+	d.DeqLatency = cloneLatency(s.DeqLatency).Sub(prev.DeqLatency)
 	return d
+}
+
+// cloneLatency deep-copies a snapshot so Sub/Add on Stats values never
+// mutate the operands' shared bucket slices. Nil stays nil.
+func cloneLatency(s *LatencySnapshot) *LatencySnapshot {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Buckets = append([]int64(nil), s.Buckets...)
+	return &c
 }
 
 // subBuckets subtracts prev from cur element-wise when cur is present.
@@ -379,9 +556,27 @@ func (s Stats) Add(o Stats) Stats {
 		SegsLive:       s.SegsLive + o.SegsLive,
 		BatchCount:     s.BatchCount + o.BatchCount,
 		BatchSumItems:  s.BatchSumItems + o.BatchSumItems,
+
+		StallEvents: s.StallEvents + o.StallEvents,
+		StallCount:  s.StallCount + o.StallCount,
+		StallSumNS:  s.StallSumNS + o.StallSumNS,
+	}
+	t.StallThresholdNS = s.StallThresholdNS
+	if t.StallThresholdNS == 0 {
+		t.StallThresholdNS = o.StallThresholdNS
+	}
+	t.RecentStalls = append(append([]StallEvent(nil), s.RecentStalls...), o.RecentStalls...)
+	if len(t.RecentStalls) > DefaultStallRing {
+		t.RecentStalls = t.RecentStalls[:DefaultStallRing]
+	}
+	if len(t.RecentStalls) == 0 {
+		t.RecentStalls = nil
 	}
 	t.WaitBuckets = addBuckets(s.WaitBuckets, o.WaitBuckets, HistBuckets)
 	t.BatchBuckets = addBuckets(s.BatchBuckets, o.BatchBuckets, BatchHistBuckets)
+	t.StallBuckets = addBuckets(s.StallBuckets, o.StallBuckets, HistBuckets)
+	t.EnqLatency = cloneLatency(s.EnqLatency).Add(o.EnqLatency)
+	t.DeqLatency = cloneLatency(s.DeqLatency).Add(o.DeqLatency)
 	return t
 }
 
@@ -429,5 +624,23 @@ func (s Stats) String() string {
 	if s.BatchCount > 0 {
 		fmt.Fprintf(&b, " batches=%d mean=%.1f", s.BatchCount, s.MeanBatch())
 	}
+	if s.DeqLatency != nil && s.DeqLatency.Count > 0 {
+		fmt.Fprintf(&b, " deq_lat[%s]", s.DeqLatency)
+	}
+	if s.EnqLatency != nil && s.EnqLatency.Count > 0 {
+		fmt.Fprintf(&b, " enq_lat[%s]", s.EnqLatency)
+	}
+	if s.StallEvents > 0 {
+		fmt.Fprintf(&b, " stalls=%d mean=%s", s.StallEvents, s.MeanStall())
+	}
 	return b.String()
+}
+
+// MeanStall returns the mean completed-stall duration, or 0 when no
+// stall completed.
+func (s Stats) MeanStall() time.Duration {
+	if s.StallCount == 0 {
+		return 0
+	}
+	return time.Duration(s.StallSumNS / s.StallCount)
 }

@@ -2,6 +2,7 @@ package segq
 
 import (
 	"sync/atomic"
+	"time"
 
 	"ffq/internal/core"
 )
@@ -98,6 +99,10 @@ func (q *MPMC[T]) link(seg *segment[T], base int64) *segment[T] {
 //
 //ffq:hotpath
 func (q *MPMC[T]) Enqueue(v T) {
+	var opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	r := q.tail.Add(1) - 1
 	seg := q.producerSeg(r)
 	c := &seg.cells[q.ix.Phys(r)]
@@ -105,6 +110,7 @@ func (q *MPMC[T]) Enqueue(v T) {
 	c.rank.Store(r)
 	if q.rec != nil {
 		q.rec.Enqueue()
+		q.rec.EnqueueDone(opStart)
 	}
 }
 

@@ -355,6 +355,7 @@ func (u *uq[T]) segFor(r int64) *segment[T] {
 	want := r >> u.logSeg
 	spins := 0
 	waited := false
+	stalled := false
 	var waitStart time.Time
 	for {
 		seg := u.headSeg.Load()
@@ -373,7 +374,7 @@ func (u *uq[T]) segFor(r int64) *segment[T] {
 		}
 		if base >= 0 && base>>u.logSeg == want {
 			if waited && u.rec != nil {
-				u.rec.ObserveWait(time.Since(waitStart))
+				u.rec.EndWait(obs.RoleConsumer, r, time.Since(waitStart), stalled)
 			}
 			return seg
 		}
@@ -387,6 +388,7 @@ func (u *uq[T]) segFor(r int64) *segment[T] {
 				waitStart = time.Now()
 			}
 			u.rec.EmptySpin()
+			stalled = u.rec.StallCheck(obs.RoleConsumer, r, waitStart, spins, stalled)
 			if core.Backoff(spins, u.yieldTh) {
 				u.rec.ConsumerYield()
 			}
@@ -418,6 +420,7 @@ func (u *uq[T]) consume(r int64) (v T, ok bool) {
 	c := &seg.cells[u.ix.Phys(r)]
 	spins := 0
 	waited := false
+	stalled := false
 	var waitStart time.Time
 	for c.rank.Load() != r {
 		if u.dead(r) {
@@ -431,6 +434,7 @@ func (u *uq[T]) consume(r int64) (v T, ok bool) {
 				waitStart = time.Now()
 			}
 			u.rec.EmptySpin()
+			stalled = u.rec.StallCheck(obs.RoleConsumer, r, waitStart, spins, stalled)
 			if core.Backoff(spins, u.yieldTh) {
 				u.rec.ConsumerYield()
 			}
@@ -447,7 +451,7 @@ func (u *uq[T]) consume(r int64) (v T, ok bool) {
 	if u.rec != nil {
 		u.rec.Dequeue()
 		if waited {
-			u.rec.ObserveWait(time.Since(waitStart))
+			u.rec.EndWait(obs.RoleConsumer, r, time.Since(waitStart), stalled)
 		}
 	}
 	return v, true
@@ -460,7 +464,15 @@ func (u *uq[T]) consume(r int64) (v T, ok bool) {
 //
 //ffq:hotpath
 func (u *uq[T]) Dequeue() (v T, ok bool) {
-	return u.consume(u.head.Add(1) - 1)
+	var opStart time.Time
+	if u.rec != nil {
+		opStart = u.rec.OpStart()
+	}
+	v, ok = u.consume(u.head.Add(1) - 1)
+	if ok && u.rec != nil {
+		u.rec.DequeueDone(opStart)
+	}
+	return v, ok
 }
 
 // trySegFor is the non-blocking sibling of segFor: it returns the

@@ -1,6 +1,8 @@
 package segq
 
 import (
+	"time"
+
 	"ffq/internal/core"
 )
 
@@ -52,6 +54,10 @@ func (q *SPMC[T]) grow() *segment[T] {
 //
 //ffq:hotpath
 func (q *SPMC[T]) Enqueue(v T) {
+	var opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
 	seg := q.tailSeg
 	if q.ptail&(q.segSize-1) == 0 && q.ptail != seg.base.Load() {
 		seg = q.grow()
@@ -63,6 +69,7 @@ func (q *SPMC[T]) Enqueue(v T) {
 	q.tail.Store(q.ptail)
 	if q.rec != nil {
 		q.rec.Enqueue()
+		q.rec.EnqueueDone(opStart)
 	}
 }
 

@@ -103,7 +103,31 @@ type MicroConfig struct {
 	// Off by default so throughput runs measure the uninstrumented
 	// fast path.
 	Instrument bool
+	// MeasureLatency switches the run into latency mode: it implies
+	// Instrument, enables per-op latency histograms on the recorder
+	// (Stats.EnqLatency/DeqLatency), and — for every variant except
+	// VariantSharded, whose items carry the producer index in their
+	// high bits — stamps each item with its submission time so the
+	// queue sojourn (enqueue start to dequeue completion) is recorded
+	// into MicroResult.Sojourn.
+	MeasureLatency bool
+	// StallThreshold arms the recorder's stall watchdog (implies
+	// Instrument); waits longer than this surface in
+	// Stats.StallEvents/RecentStalls.
+	StallThreshold time.Duration
+	// StallEvery injects an artificial stall on the first consumer of
+	// each submission queue: after every StallEvery items it sleeps for
+	// StallDuration. 0 disables injection. Used to validate the stall
+	// watchdog and tail-latency gates against a known disturbance.
+	StallEvery int
+	// StallDuration is the injected sleep (DefaultStallDuration when 0
+	// and StallEvery > 0).
+	StallDuration time.Duration
 }
+
+// DefaultStallDuration is the injected consumer stall length when
+// MicroConfig.StallEvery is set without an explicit duration.
+const DefaultStallDuration = 500 * time.Microsecond
 
 // MicroResult is the outcome of one microbenchmark run.
 type MicroResult struct {
@@ -112,8 +136,14 @@ type MicroResult struct {
 	// Elapsed is the wall time of the parallel phase.
 	Elapsed time.Duration
 	// Stats aggregates the submission queues' instrumentation
-	// counters; nil unless MicroConfig.Instrument was set.
+	// counters; nil unless MicroConfig.Instrument (or a latency-mode
+	// field that implies it) was set.
 	Stats *obs.Stats
+	// Sojourn is the end-to-end submission-queue sojourn distribution
+	// (item stamped at enqueue start, recorded at dequeue completion);
+	// nil unless MicroConfig.MeasureLatency was set on a non-sharded
+	// variant.
+	Sojourn *obs.LatencySnapshot
 	// Lanes and LaneCap describe the shared queue's shard layout;
 	// zero except for VariantSharded.
 	Lanes   int
@@ -259,13 +289,30 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 		top = affinity.Detect()
 	}
 
+	if cfg.StallEvery > 0 && cfg.StallDuration <= 0 {
+		cfg.StallDuration = DefaultStallDuration
+	}
 	var rec *obs.Recorder
-	if cfg.Instrument {
+	if cfg.Instrument || cfg.MeasureLatency || cfg.StallThreshold > 0 {
 		rec = obs.NewRecorder()
+		if cfg.MeasureLatency {
+			rec.EnableOpLatency()
+		}
+		if cfg.StallThreshold > 0 {
+			rec.EnableStallWatchdog(cfg.StallThreshold, 0)
+		}
 	}
 
 	if cfg.Variant == VariantSharded {
 		return runMicroSharded(cfg, top, rec)
+	}
+
+	// Latency mode replaces the item payload with the submission
+	// timestamp; every consumer records into one shared lock-free
+	// histogram.
+	var sojourn *obs.LatencyHist
+	if cfg.MeasureLatency {
+		sojourn = &obs.LatencyHist{}
 	}
 
 	type producerState struct {
@@ -337,16 +384,36 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 					ready.Done()
 					<-start
 					rq := st.resps[c]
+					// Stall injection targets the first consumer only, so
+					// the disturbance is a single slow participant rather
+					// than a uniformly slower pool.
+					stallN := 0
+					if c == 0 {
+						stallN = cfg.StallEvery
+					}
+					processed := 0
 					if batch > 1 {
 						buf := make([]uint64, batch)
 						for {
 							n, ok := st.sub.dequeueBatch(buf)
+							if sojourn != nil && n > 0 {
+								now := time.Now().UnixNano()
+								for i := 0; i < n; i++ {
+									sojourn.Record(now - int64(buf[i]))
+								}
+							}
 							for i := 0; i < n; i++ {
 								rq.Enqueue(buf[i])
 							}
 							if !ok {
 								rq.Close()
 								return
+							}
+							if stallN > 0 {
+								if processed += n; processed >= stallN {
+									processed = 0
+									time.Sleep(cfg.StallDuration)
+								}
 							}
 						}
 					}
@@ -356,7 +423,16 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 							rq.Close()
 							return
 						}
+						if sojourn != nil {
+							sojourn.Record(time.Now().UnixNano() - int64(v))
+						}
 						rq.Enqueue(v)
+						if stallN > 0 {
+							if processed++; processed >= stallN {
+								processed = 0
+								time.Sleep(cfg.StallDuration)
+							}
+						}
 					}
 				})
 			}(st, p, c)
@@ -382,8 +458,15 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 				for received < cfg.ItemsPerProducer {
 					if batch > 1 {
 						for sent < cfg.ItemsPerProducer && outstanding+batch <= maxOutstanding {
-							for i := range batchBuf {
-								batchBuf[i] = uint64(sent + i + 1)
+							if sojourn != nil {
+								now := uint64(time.Now().UnixNano())
+								for i := range batchBuf {
+									batchBuf[i] = now
+								}
+							} else {
+								for i := range batchBuf {
+									batchBuf[i] = uint64(sent + i + 1)
+								}
 							}
 							st.sub.enqueueBatch(batchBuf)
 							sent += batch
@@ -391,7 +474,11 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 						}
 					} else {
 						for sent < cfg.ItemsPerProducer && outstanding < maxOutstanding {
-							st.sub.enqueue(uint64(sent + 1))
+							if sojourn != nil {
+								st.sub.enqueue(uint64(time.Now().UnixNano()))
+							} else {
+								st.sub.enqueue(uint64(sent + 1))
+							}
 							sent++
 							outstanding++
 						}
@@ -426,6 +513,9 @@ func RunMicro(cfg MicroConfig) (MicroResult, error) {
 			}
 		}
 		res.Stats = &s
+	}
+	if sojourn != nil {
+		res.Sojourn = sojourn.Snapshot()
 	}
 	return res, nil
 }

@@ -107,6 +107,15 @@ func runMicroSharded(cfg MicroConfig, top *affinity.Topology, rec *obs.Recorder)
 				route := func(v uint64) {
 					resps[ci][v>>shardedSeqBits].Enqueue(v)
 				}
+				// Stall injection targets consumer 0 of the shared pool
+				// (the sharded items carry no timestamps — their high
+				// bits encode the producer — so latency mode here means
+				// per-op recorder histograms plus this disturbance).
+				stallN := 0
+				if ci == 0 {
+					stallN = cfg.StallEvery
+				}
+				processed := 0
 				if batch > 1 {
 					buf := make([]uint64, batch)
 					for {
@@ -117,6 +126,12 @@ func runMicroSharded(cfg MicroConfig, top *affinity.Topology, rec *obs.Recorder)
 						if !ok {
 							return
 						}
+						if stallN > 0 {
+							if processed += n; processed >= stallN {
+								processed = 0
+								time.Sleep(cfg.StallDuration)
+							}
+						}
 					}
 				}
 				for {
@@ -125,6 +140,12 @@ func runMicroSharded(cfg MicroConfig, top *affinity.Topology, rec *obs.Recorder)
 						return
 					}
 					route(v)
+					if stallN > 0 {
+						if processed++; processed >= stallN {
+							processed = 0
+							time.Sleep(cfg.StallDuration)
+						}
+					}
 				}
 			})
 		}(ci)
