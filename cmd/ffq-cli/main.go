@@ -4,6 +4,8 @@
 //
 //	ffq-cli [-addr host:7077] pub <topic> [msg...]   # publish args, or stdin lines
 //	ffq-cli [-addr host:7077] sub <topic>            # print messages until EOF/interrupt
+//	ffq-cli [-addr host:7077] consume <topic> -from 0 -group workers
+//	ffq-cli [-addr host:7077] offsets <topic> [-group workers]
 //	ffq-cli [-addr host:7077] ping [-n count]
 //
 // pub publishes each argument as one message; with no message
@@ -18,6 +20,16 @@
 // topic split the stream. It prints one message per line until the
 // broker ends the stream (drain finished) or an interrupt arrives.
 //
+// consume replays a durable topic's write-ahead log (a broker started
+// with -data-dir): every retained message from -from onward, tagged
+// with its offset, then keeps tailing the live head. -from cursor
+// resumes from -group's committed cursor; with a group, the cursor is
+// committed back every -commit-every messages, so a later
+// `consume -from cursor` continues where this one stopped.
+//
+// offsets prints a durable topic's retained range and, with -group,
+// the group's committed cursor.
+//
 // ping measures broker round-trip time over the wire protocol.
 package main
 
@@ -27,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -43,8 +56,10 @@ func main() {
 		fatal(fmt.Errorf("usage: ffq-cli [flags] pub|sub|ping ..."))
 	}
 	cmd := args[0]
-	if cmd != "pub" && cmd != "sub" && cmd != "ping" {
-		fatal(fmt.Errorf("unknown command %q (have pub, sub, ping)", cmd))
+	switch cmd {
+	case "pub", "sub", "consume", "offsets", "ping":
+	default:
+		fatal(fmt.Errorf("unknown command %q (have pub, sub, consume, offsets, ping)", cmd))
 	}
 
 	c, err := client.Dial(*addr, client.Options{Window: *window})
@@ -58,6 +73,10 @@ func main() {
 		err = runPub(c, args[1:])
 	case "sub":
 		err = runSub(c, args[1:])
+	case "consume":
+		err = runConsume(c, args[1:])
+	case "offsets":
+		err = runOffsets(c, args[1:])
 	case "ping":
 		err = runPing(c, args[1:])
 	}
@@ -141,6 +160,103 @@ func runSub(c *client.Client, args []string) error {
 	}
 	if err := c.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "ffq-cli: disconnected after %d message(s)\n", n)
+	}
+	return nil
+}
+
+// runConsume replays a durable topic from an offset and tails the
+// head, printing "offset<TAB>payload" lines.
+func runConsume(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("consume: need a topic")
+	}
+	topic := args[0]
+	fs := flag.NewFlagSet("consume", flag.ContinueOnError)
+	fromArg := fs.String("from", "0", "replay start offset, or \"cursor\" to resume from -group's committed cursor")
+	group := fs.String("group", "", "consumer group for cursor commits")
+	commitEvery := fs.Int("commit-every", 256, "with -group, commit the cursor every N messages (0 = never)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	from := client.FromCursor
+	if *fromArg != "cursor" {
+		n, err := strconv.ParseUint(*fromArg, 10, 64)
+		if err != nil {
+			return fmt.Errorf("consume: -from %q: want an offset or \"cursor\"", *fromArg)
+		}
+		from = n
+	} else if *group == "" {
+		return fmt.Errorf("consume: -from cursor needs -group")
+	}
+
+	sub, err := c.SubscribeFrom(topic, 0, from, *group)
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		c.Close()
+	}()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	n := 0
+	last := uint64(0)
+	for {
+		m, ok := sub.RecvMsg()
+		if !ok {
+			break
+		}
+		last = m.Offset
+		fmt.Fprintf(w, "%d\t%s\n", m.Offset, m.Payload)
+		n++
+		if n%64 == 0 {
+			w.Flush()
+		}
+		if *group != "" && *commitEvery > 0 && n%*commitEvery == 0 {
+			if err := sub.Commit(m.Offset + 1); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	if *group != "" && *commitEvery > 0 && n > 0 && c.Err() == nil {
+		// Best-effort final commit; the connection may already be gone
+		// after an interrupt, in which case the periodic commits stand.
+		sub.Commit(last + 1)
+	}
+	if sub.Ended() {
+		fmt.Fprintf(os.Stderr, "ffq-cli: %q ended after %d message(s) (broker drained)\n", topic, n)
+		return nil
+	}
+	if err := c.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ffq-cli: disconnected after %d message(s)\n", n)
+	}
+	return nil
+}
+
+// runOffsets prints a durable topic's retained offset range and the
+// optional group cursor.
+func runOffsets(c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("offsets: need a topic")
+	}
+	topic := args[0]
+	fs := flag.NewFlagSet("offsets", flag.ContinueOnError)
+	group := fs.String("group", "", "also report this group's committed cursor")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	oldest, next, cursor, err := c.Offsets(topic, *group)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topic    %s\noldest   %d\nnext     %d\nretained %d\n", topic, oldest, next, next-oldest)
+	if *group != "" {
+		fmt.Printf("cursor   %d (group %q, %d behind head)\n", cursor, *group, next-cursor)
 	}
 	return nil
 }

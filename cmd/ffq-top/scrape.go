@@ -22,7 +22,10 @@ import (
 // When the broker runs instrumented with latency armed, a second
 // per-topic table shows end-to-end residence-time percentiles
 // (ffqd_e2e_latency_ns), the topic queue's dequeue p999
-// (ffq_op_latency_ns) and its stall-event count.
+// (ffq_op_latency_ns) and its stall-event count. Against a durable
+// broker (-data-dir) a third table shows each topic's WAL: on-disk
+// size, retained offset range, segment count, append rate, and the
+// broker-wide fsync p99 (ffqd_wal_fsync_ns).
 
 // scrapeOnce fetches and parses one exposition.
 func scrapeOnce(client *http.Client, url string) (*expvarx.SampleSet, error) {
@@ -206,6 +209,29 @@ func renderScrape(w *os.File, plain bool, url string, elapsed time.Duration,
 				topicVal(cur, "ffqd_topic_subscribers", tp),
 				topicVal(cur, "ffqd_topic_credit", tp),
 				inRate, outRate, batch)
+		}
+	}
+
+	// Durable topics: the WAL gauge families appear only when the broker
+	// runs with -data-dir. Rendered per topic: on-disk size, retained
+	// offset range, segment count and append rate; the fsync latency
+	// histogram is broker-wide, shown in the header line.
+	walTopics := cur.LabelValues("ffqd_wal_bytes", "topic")
+	sort.Strings(walTopics)
+	if len(walTopics) > 0 {
+		fsyncP99 := histCol(cur, "ffqd_wal_fsync_ns", nil, 0.99)
+		fmt.Fprintf(&b, "\n  durable topics (fsync p99 %s)\n", fsyncP99)
+		fmt.Fprintf(&b, "  %-20s %10s %12s %12s %6s %10s\n",
+			"TOPIC", "WAL-MB", "OLDEST", "NEXT", "SEGS", "APPEND/S")
+		for _, tp := range walTopics {
+			appendRate := (topicVal(cur, "ffqd_wal_next_offset", tp) - topicVal(prev, "ffqd_wal_next_offset", tp)) / secs
+			fmt.Fprintf(&b, "  %-20s %10.2f %12.0f %12.0f %6.0f %10.0f\n",
+				tp,
+				topicVal(cur, "ffqd_wal_bytes", tp)/(1<<20),
+				topicVal(cur, "ffqd_wal_oldest_offset", tp),
+				topicVal(cur, "ffqd_wal_next_offset", tp),
+				topicVal(cur, "ffqd_wal_segments", tp),
+				appendRate)
 		}
 	}
 

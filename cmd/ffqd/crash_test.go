@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ffq/internal/broker/client"
+)
+
+// buildFFQD compiles this command into dir and returns the binary path.
+func buildFFQD(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "ffqd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ffqd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startFFQD launches the binary with the given extra flags on an
+// ephemeral port and parses the bound address off its stderr banner.
+func startFFQD(t *testing.T, bin string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start ffqd: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	listenRe := regexp.MustCompile(`listening on (\S+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("ffqd never printed its listen banner")
+		return nil, ""
+	}
+}
+
+// TestCrashRestartReplay is the end-to-end durability proof from the
+// issue: run the real ffqd binary with -fsync always, publish and ack
+// a prefix, commit a consumer-group cursor, then SIGKILL the process
+// mid-publish (no drain, no clean shutdown). A fresh ffqd on the same
+// data dir must recover the log — truncating whatever torn tail the
+// kill left — and a replay from the group's cursor must deliver every
+// acknowledged message exactly once: contiguous offsets, each payload
+// a pure function of its offset, no duplicates and no gaps.
+func TestCrashRestartReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a real ffqd process; skipped in -short")
+	}
+	scratch := t.TempDir()
+	dataDir := filepath.Join(scratch, "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bin := buildFFQD(t, scratch)
+	durableFlags := []string{"-data-dir", dataDir, "-fsync", "always"}
+
+	proc, addr := startFFQD(t, bin, durableFlags...)
+
+	payload := func(off uint64) string { return fmt.Sprintf("crash-%06d", off) }
+	const acked = 1000
+	const committed = 300
+
+	prod, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < acked; i++ {
+		if err := prod.Publish("orders", []byte(payload(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain returns only after the broker ACKed every frame; with
+	// -fsync always each ACK implies the batch hit the disk first.
+	if err := prod.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consume a prefix under a group and commit its cursor.
+	cons, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cons.SubscribeFrom("orders", 64, 0, "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < committed; i++ {
+		m, ok := sub.RecvMsg()
+		if !ok {
+			t.Fatalf("replay ended at %d: %v", i, cons.Err())
+		}
+		if m.Offset != i {
+			t.Fatalf("offset %d, want %d", m.Offset, i)
+		}
+	}
+	if err := sub.Commit(committed); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, cursor, err := cons.Offsets("orders", "g1"); err != nil || cursor != committed {
+		t.Fatalf("cursor = %d, %v; want %d", cursor, err, committed)
+	}
+	cons.Close()
+
+	// Keep publishing with no drain and SIGKILL mid-stream: some of
+	// these frames will be in flight, half-written, or torn on disk.
+	go func() {
+		for i := uint64(acked); i < acked+100000; i++ {
+			if prod.Publish("orders", []byte(payload(i))) != nil {
+				return // the process died under us, as intended
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+	prod.Close()
+
+	// Restart on the same data dir; recovery must truncate any torn
+	// tail and preserve everything that was ever acknowledged.
+	proc2, addr2 := startFFQD(t, bin, durableFlags...)
+	c2, err := client.Dial(addr2, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest, next, cursor, err := c2.Offsets("orders", "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldest != 0 {
+		t.Fatalf("oldest = %d after restart, want 0", oldest)
+	}
+	if next < acked {
+		t.Fatalf("recovered head %d below the acknowledged prefix %d: ACKed messages were lost", next, acked)
+	}
+	if cursor != committed {
+		t.Fatalf("recovered cursor = %d, want %d", cursor, committed)
+	}
+
+	// Exactly-once from the cursor: offsets must be contiguous from
+	// the commit point (no gaps, no duplicates) and every payload must
+	// match its offset.
+	sub2, err := c2.SubscribeFrom("orders", 64, client.FromCursor, "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(committed); want < next; want++ {
+		m, ok := sub2.RecvMsg()
+		if !ok {
+			t.Fatalf("recovered replay ended at %d (head %d): %v", want, next, c2.Err())
+		}
+		if m.Offset != want {
+			t.Fatalf("recovered replay offset %d, want %d", m.Offset, want)
+		}
+		if got := string(m.Payload); got != payload(want) {
+			t.Fatalf("offset %d: payload %q, want %q", want, got, payload(want))
+		}
+	}
+	c2.Close()
+
+	// A clean SIGTERM drain must still work on the recovered state.
+	if err := proc2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain after recovery: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("recovered broker never finished draining")
+	}
+}
+
+// TestRetentionFlagsSmoke runs the binary with retention bounds and
+// checks the offsets report shows a trimmed tail — the CLI-flag
+// analogue of the in-process retention test.
+func TestRetentionFlagsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real ffqd process; skipped in -short")
+	}
+	scratch := t.TempDir()
+	dataDir := filepath.Join(scratch, "data")
+	bin := buildFFQD(t, scratch)
+	proc, addr := startFFQD(t, bin,
+		"-data-dir", dataDir, "-segment-bytes", "2048", "-retention-bytes", "8192")
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Drain live fan-out so the bounded topic queue never pushes back.
+	sink, err := c.Subscribe("orders", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, ok := sink.Recv(); !ok {
+				return
+			}
+		}
+	}()
+	prod, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	const total = 4000
+	for i := 0; i < total; i++ {
+		if err := prod.Publish("orders", []byte(strings.Repeat("x", 32))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := prod.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	oldest, next, _, err := prod.Offsets("orders", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != total {
+		t.Fatalf("next = %d, want %d", next, total)
+	}
+	if oldest == 0 {
+		t.Fatal("-retention-bytes never trimmed the log")
+	}
+	proc.Process.Signal(syscall.SIGTERM)
+	proc.Wait()
+}

@@ -14,6 +14,21 @@
 //	ffqd -metrics :9077 -op-latency \
 //	     -stall-threshold 5ms                # per-op latency histograms and
 //	                                         # stall events on topic queues
+//	ffqd -data-dir /var/lib/ffqd \
+//	     -fsync interval -fsync-interval 50ms \
+//	     -segment-bytes 67108864 \
+//	     -retention-bytes 1073741824 -retention-age 72h
+//	                                         # durable topics: WAL-backed
+//	                                         # persistence with replay
+//
+// With -data-dir set every topic is durable: PRODUCE batches are
+// appended to a per-topic write-ahead log before they are
+// acknowledged, consumers can replay from any retained offset
+// (ffq-cli consume -from / -group), and a restart recovers the logs —
+// including truncating a torn tail after a crash. -fsync picks the
+// durability/throughput trade: "off" (OS page cache), "interval"
+// (background fsync every -fsync-interval), "segment" (fsync at each
+// segment roll), "always" (fsync before every ACK).
 //
 // SIGINT or SIGTERM starts a graceful drain: accepted messages are
 // flushed to their topics and delivered to subscribers (still
@@ -37,6 +52,7 @@ import (
 
 	"ffq/internal/broker"
 	"ffq/internal/obs/expvarx"
+	"ffq/internal/wal"
 )
 
 func main() {
@@ -50,8 +66,18 @@ func main() {
 	noInstrument := flag.Bool("no-instrument", false, "disable queue instrumentation and the metrics collectors")
 	opLatency := flag.Bool("op-latency", false, "record per-op enqueue/dequeue latency histograms on topic queues (ffq_op_latency_ns)")
 	stallTh := flag.Duration("stall-threshold", 0, "arm the stall watchdog on topic queues: waits past this become stall events (0 = off)")
+	dataDir := flag.String("data-dir", "", "durable topics: write-ahead log directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: off, interval, segment or always")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "background fsync period under -fsync interval (0 = default)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment roll threshold in bytes (0 = default 64MiB)")
+	retentionBytes := flag.Int64("retention-bytes", 0, "per-topic WAL size bound; oldest segments dropped past it (0 = unbounded)")
+	retentionAge := flag.Duration("retention-age", 0, "per-topic WAL age bound; older sealed segments dropped (0 = unbounded)")
 	flag.Parse()
 
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
 	b, err := broker.New(broker.Options{
 		IngressBuffer:  *ingress,
 		DeliverBatch:   *deliverBatch,
@@ -60,9 +86,18 @@ func main() {
 		Instrument:     !*noInstrument,
 		OpLatency:      *opLatency,
 		StallThreshold: *stallTh,
+		DataDir:        *dataDir,
+		Fsync:          policy,
+		FsyncInterval:  *fsyncInterval,
+		SegmentBytes:   *segmentBytes,
+		RetentionBytes: *retentionBytes,
+		RetentionAge:   *retentionAge,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "ffqd: durable topics in %s (fsync=%s)\n", *dataDir, policy)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

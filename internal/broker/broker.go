@@ -49,11 +49,34 @@
 // bytes in flight per subscriber and lets one stalled consumer idle
 // while the rest of the pool keeps draining the topic.
 //
+// # Durable topics
+//
+// With Options.DataDir set every topic is durable: the pump appends
+// each staged batch to the topic's write-ahead log (internal/wal)
+// before enqueueing it for live fan-out, so the cumulative ACK a
+// producer receives means "on the log", under whatever fsync policy
+// the broker runs. The log assigns each message a monotonic per-topic
+// offset at that append.
+//
+// The live fan-out path is unchanged — competitive consumers claim
+// from the in-memory sharded queue exactly as before. What durability
+// adds is the replay subscription (CONSUME+FlagOffset): a log
+// follower that reads the WAL from a requested offset (or its
+// consumer group's persisted cursor), streams DELIVER+FlagOffset
+// batches carrying explicit offsets, and on reaching the head keeps
+// following the log by parking on its append notification — replay
+// and live tail are one code path over one source of truth. Followers
+// observe every message (they never claim from the live queue, so
+// they steal nothing from competitive subscribers), and commit their
+// position with ACK+FlagOffset, which persists the group cursor.
+//
 // # Shutdown
 //
 // Shutdown drains rather than drops: stop accepting, cut PRODUCE off
 // (readers stay up, still serving CREDIT so the drain can progress),
-// let pumps flush staged batches into their topics, close the topic
+// let pumps flush staged batches into their topics, seal the
+// write-ahead logs (flushing them to stable storage and persisting
+// consumer cursors — nothing acknowledged is lost), close the topic
 // queues (safe: all producers have exited), then let every
 // subscription drain its topic — still credit-gated — and finish with
 // an ACK+FlagEnd end-of-stream marker. A context bounds the wait;
@@ -64,6 +87,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +95,7 @@ import (
 	"ffq"
 	"ffq/internal/obs"
 	"ffq/internal/obs/expvarx"
+	"ffq/internal/wal"
 )
 
 // Defaults for Options zero values.
@@ -125,6 +150,25 @@ type Options struct {
 	// tests run several instrumented brokers in one process). Empty
 	// means "ffqd".
 	MetricsPrefix string
+
+	// DataDir turns on durable topics: every topic gets a write-ahead
+	// log under DataDir/<topic> and producers are only ACKed after
+	// their batch is appended to it. Empty means in-memory only.
+	DataDir string
+	// Fsync is the WAL durability policy (see wal.SyncPolicy); only
+	// meaningful with DataDir set.
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the background fsync period under
+	// wal.SyncInterval. 0 means wal.DefaultSyncInterval.
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment roll threshold. 0 means
+	// wal.DefaultSegmentBytes.
+	SegmentBytes int64
+	// RetentionBytes/RetentionAge bound each topic's log (oldest
+	// sealed segments are dropped past either limit); 0 means
+	// unbounded.
+	RetentionBytes int64
+	RetentionAge   time.Duration
 }
 
 // Broker accepts ffqd wire connections and routes PRODUCE batches into
@@ -152,7 +196,17 @@ type Broker struct {
 
 	m      Metrics
 	connID atomic.Uint64
+
+	// fsyncLat aggregates WAL fsync latency across topics (nil unless
+	// durable and instrumented).
+	fsyncLat *obs.LatencyHist
+	// retainWG tracks the age-retention sweeper (durable brokers with
+	// RetentionAge only).
+	retainWG sync.WaitGroup
 }
+
+// durable reports whether topics persist to a write-ahead log.
+func (b *Broker) durable() bool { return b.opts.DataDir != "" }
 
 // msg is one queued message: the payload plus the ingress timestamp
 // stamped when its PRODUCE frame was decoded. The stamp is zero when
@@ -175,6 +229,11 @@ type topic struct {
 	// Options.Instrument): the full broker residence time of each
 	// message, PRODUCE decode to DELIVER encode.
 	lat *obs.LatencyHist
+
+	// log and cursors are the topic's write-ahead log and consumer-
+	// group cursor store (nil unless the broker is durable).
+	log     *wal.Log
+	cursors *wal.Cursors
 
 	mu   sync.Mutex
 	subs map[*sub]struct{}
@@ -208,7 +267,51 @@ func New(opts Options) (*Broker, error) {
 			return nil, err
 		}
 	}
+	if b.durable() {
+		if opts.Instrument {
+			b.fsyncLat = &obs.LatencyHist{}
+		}
+		if opts.RetentionAge > 0 {
+			// Size retention runs at each segment roll; age retention
+			// needs a clock, so a sweeper visits every log periodically.
+			b.retainWG.Add(1)
+			go b.retentionLoop()
+		}
+	}
 	return b, nil
+}
+
+// retentionLoop enforces age-based retention on every durable topic's
+// log until Shutdown.
+func (b *Broker) retentionLoop() {
+	defer b.retainWG.Done()
+	period := b.opts.RetentionAge / 4
+	if period > 10*time.Second {
+		period = 10 * time.Second
+	}
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.draining:
+			return
+		case <-t.C:
+			b.mu.Lock()
+			logs := make([]*wal.Log, 0, len(b.topics))
+			for _, tp := range b.topics {
+				if tp.log != nil {
+					logs = append(logs, tp.log)
+				}
+			}
+			b.mu.Unlock()
+			for _, l := range logs {
+				l.EnforceRetention()
+			}
+		}
+	}
 }
 
 // Serve accepts connections on ln until Shutdown (or a listener
@@ -281,6 +384,25 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 		q:         q,
 		subs:      map[*sub]struct{}{},
 	}
+	if b.durable() {
+		dir := filepath.Join(b.opts.DataDir, wal.DirName(name))
+		t.log, err = wal.Open(dir, wal.Options{
+			SegmentBytes:   b.opts.SegmentBytes,
+			Sync:           b.opts.Fsync,
+			SyncInterval:   b.opts.FsyncInterval,
+			RetentionBytes: b.opts.RetentionBytes,
+			RetentionAge:   b.opts.RetentionAge,
+			FsyncHist:      b.fsyncLat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.cursors, err = wal.OpenCursors(dir, b.opts.Fsync != wal.SyncOff)
+		if err != nil {
+			t.log.Close()
+			return nil, err
+		}
+	}
 	if b.opts.Instrument {
 		t.lat = &obs.LatencyHist{}
 	}
@@ -341,7 +463,7 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 		c.nc.SetReadDeadline(time.Now())
 	}
 	// Pumps flush the staged batches and exit; after this no producer
-	// touches any topic queue.
+	// touches any topic queue or appends to any log.
 	b.pumpWG.Wait()
 
 	b.mu.Lock()
@@ -350,6 +472,18 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 		topics = append(topics, t)
 	}
 	b.mu.Unlock()
+	// Seal the write-ahead logs before closing the topics: everything
+	// the pumps acknowledged reaches stable storage and the consumer
+	// cursors are persisted, whatever the fsync policy — and sealing
+	// wakes parked replay followers so the drain below can reach them.
+	for _, t := range topics {
+		if t.log != nil {
+			t.log.Seal()
+		}
+		if t.cursors != nil {
+			t.cursors.Flush()
+		}
+	}
 	for _, t := range topics {
 		t.q.Close()
 	}
@@ -381,6 +515,12 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 		c.nc.Close()
 	}
 	b.readWG.Wait()
+	b.retainWG.Wait()
+	for _, t := range topics {
+		if t.log != nil {
+			t.log.Close()
+		}
+	}
 	if b.opts.Instrument {
 		expvarx.UnregisterCollector(b.opts.MetricsPrefix)
 		for _, t := range topics {

@@ -21,6 +21,18 @@
 // the broker's end-of-stream marker (sent when the topic is drained
 // on shutdown) or on connection failure — check Err to tell the two
 // apart.
+//
+// # Durable topics
+//
+// Against a durable broker (-data-dir), SubscribeFrom opens a replay
+// subscription: a log follower that receives every message of the
+// topic from a chosen offset (or FromCursor, the consumer group's
+// persisted position) with its offset attached — RecvMsg instead of
+// Recv. Commit persists the group's cursor (the first offset NOT yet
+// processed); after a crash, SubscribeFrom(FromCursor) resumes there,
+// so a consumer that commits after side-effecting gets at-least-once
+// delivery, deduplicable by offset. Offsets queries a topic's
+// retained range and a group's cursor.
 package client
 
 import (
@@ -70,7 +82,10 @@ type Client struct {
 	subs   map[string]*Subscription
 	pings  map[uint64]chan struct{}
 	pingID uint64
-	err    error
+	// offsets holds pending Offsets queries per topic, answered in
+	// FIFO order (the broker replies in request order per connection).
+	offsets map[string][]chan offsetsReply
+	err     error
 
 	// done closes when the connection dies (peer close, protocol or
 	// socket error).
@@ -99,12 +114,13 @@ func New(nc net.Conn, opts Options) *Client {
 		opts.Window = DefaultWindow
 	}
 	c := &Client{
-		nc:    nc,
-		opts:  opts,
-		pubs:  map[string]*pub{},
-		subs:  map[string]*Subscription{},
-		pings: map[uint64]chan struct{}{},
-		done:  make(chan struct{}),
+		nc:      nc,
+		opts:    opts,
+		pubs:    map[string]*pub{},
+		subs:    map[string]*Subscription{},
+		pings:   map[uint64]chan struct{}{},
+		offsets: map[string][]chan offsetsReply{},
+		done:    make(chan struct{}),
 	}
 	go c.readLoop()
 	return c
@@ -167,6 +183,24 @@ func (c *Client) readLoop() {
 				c.fail(errors.New("client: PRODUCE without DELIVER flag from broker"))
 				return
 			}
+			if f.Flags&wire.FlagOffset != 0 {
+				topic, base, b, err := wire.ParseDeliverOffsets(f)
+				if err != nil {
+					c.fail(err)
+					return
+				}
+				c.mu.Lock()
+				s := c.subs[string(topic)]
+				c.mu.Unlock()
+				msgs := wire.CopyMessages(&b)
+				if s == nil || s.mch == nil {
+					continue // subscription raced away; drop
+				}
+				for i, m := range msgs {
+					s.mch <- Msg{Offset: base + uint64(i), Payload: m}
+				}
+				continue
+			}
 			p, err := wire.ParseProduce(f)
 			if err != nil {
 				c.fail(err)
@@ -175,7 +209,7 @@ func (c *Client) readLoop() {
 			c.mu.Lock()
 			s := c.subs[string(p.Topic)]
 			c.mu.Unlock()
-			msgs := wire.CopyMessages(&p)
+			msgs := wire.CopyMessages(&p.Batch)
 			if s == nil {
 				continue // subscription raced away; drop
 			}
@@ -209,6 +243,23 @@ func (c *Client) readLoop() {
 				}
 				p.mu.Unlock()
 			}
+		case wire.TOffsets:
+			topic, oldest, next, cursor, err := wire.ParseOffsetsResp(f)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			var ch chan offsetsReply
+			if q := c.offsets[string(topic)]; len(q) > 0 {
+				ch = q[0]
+				c.offsets[string(topic)] = q[1:]
+			}
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- offsetsReply{oldest: oldest, next: next, cursor: cursor}
+			}
+
 		case wire.TPing:
 			token, err := wire.ParsePing(f)
 			if err != nil {
@@ -380,18 +431,39 @@ func (c *Client) allPubs() []*pub {
 
 // ---- consumer side ----
 
-// Subscription is one credit-window subscription. Recv is
-// single-consumer; everything else on the Client stays concurrent.
+// Subscription is one credit-window subscription. Recv (or RecvMsg on
+// a replay subscription) is single-consumer; everything else on the
+// Client stays concurrent.
 type Subscription struct {
 	c      *Client
 	topic  []byte
 	ch     chan []byte
 	window int
+	// mch replaces ch on a replay subscription: deliveries carry
+	// offsets there.
+	mch chan Msg
 	// taken counts messages consumed since the last CREDIT; Recv
 	// replenishes at half a window.
 	taken  int
 	closed atomic.Bool
 	ended  atomic.Bool
+}
+
+// Msg is one replay-delivered message: the payload plus its durable
+// per-topic offset.
+type Msg struct {
+	Offset  uint64
+	Payload []byte
+}
+
+// FromCursor, passed to SubscribeFrom, resumes from the consumer
+// group's persisted cursor (or the log's oldest retained offset when
+// the group has no cursor yet).
+const FromCursor = wire.OffsetCursor
+
+// offsetsReply carries one OFFSETS response to its waiting query.
+type offsetsReply struct {
+	oldest, next, cursor uint64
 }
 
 // Ended reports whether the broker sent the end-of-stream marker (a
@@ -433,28 +505,123 @@ func (c *Client) Subscribe(topic string, window int) (*Subscription, error) {
 	return s, nil
 }
 
+// SubscribeFrom opens a replay subscription on a durable topic: the
+// broker streams the topic's log from the given offset (FromCursor =
+// the group's persisted position) and keeps following it at the head.
+// Every message arrives with its offset via RecvMsg. group may be
+// empty — then there is no cursor to resume from or Commit to.
+func (c *Client) SubscribeFrom(topic string, window int, from uint64, group string) (*Subscription, error) {
+	if window <= 0 {
+		window = c.opts.Window
+	}
+	s := &Subscription{
+		c:      c,
+		topic:  []byte(topic),
+		mch:    make(chan Msg, window),
+		window: window,
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if _, dup := c.subs[topic]; dup {
+		c.mu.Unlock()
+		return nil, errors.New("client: already subscribed to " + topic)
+	}
+	c.subs[topic] = s
+	c.mu.Unlock()
+	if err := c.writeConsumeFrom(s.topic, uint32(window), from, []byte(group)); err != nil {
+		c.mu.Lock()
+		delete(c.subs, topic)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
 // Recv returns the next delivered message; ok=false means
 // end-of-stream (broker drain) or connection failure — check
 // Client.Err to distinguish. It replenishes the broker's credit
 // window as messages are consumed.
 func (s *Subscription) Recv() (msg []byte, ok bool) {
+	if s.mch != nil {
+		m, ok := s.RecvMsg()
+		return m.Payload, ok
+	}
 	m, ok := <-s.ch
 	if !ok {
 		return nil, false
 	}
+	s.replenish()
+	return m, true
+}
+
+// RecvMsg returns the next replay-delivered message with its offset;
+// only valid on a SubscribeFrom subscription. ok=false as in Recv.
+func (s *Subscription) RecvMsg() (m Msg, ok bool) {
+	m, ok = <-s.mch
+	if !ok {
+		return Msg{}, false
+	}
+	s.replenish()
+	return m, true
+}
+
+// replenish grants the broker more credit once half the window has
+// been consumed.
+func (s *Subscription) replenish() {
 	s.taken++
 	if s.taken >= max(1, s.window/2) {
 		s.c.writeCredit(s.topic, uint32(s.taken))
 		s.taken = 0
 	}
-	return m, true
+}
+
+// Commit persists the subscription's consumer-group cursor: off is the
+// first offset NOT yet processed (commit Msg.Offset+1 after handling a
+// message). Requires a SubscribeFrom subscription with a group.
+func (s *Subscription) Commit(off uint64) error {
+	if s.mch == nil {
+		return errors.New("client: Commit on a non-replay subscription")
+	}
+	return s.c.writeCommit(s.topic, off)
 }
 
 // closeCh closes the delivery channel exactly once (end marker and
 // connection failure can race).
 func (s *Subscription) closeCh() {
 	if s.closed.CompareAndSwap(false, true) {
-		close(s.ch)
+		if s.mch != nil {
+			close(s.mch)
+		} else {
+			close(s.ch)
+		}
+	}
+}
+
+// Offsets queries a durable topic's offset range and, when group is
+// non-empty, that group's committed cursor (wire.OffsetCursor — i.e.
+// ^uint64(0) — when the group has none).
+func (c *Client) Offsets(topic, group string) (oldest, next, cursor uint64, err error) {
+	ch := make(chan offsetsReply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, 0, 0, err
+	}
+	c.offsets[topic] = append(c.offsets[topic], ch)
+	c.mu.Unlock()
+	if err := c.writeOffsetsReq([]byte(topic), []byte(group)); err != nil {
+		return 0, 0, 0, err
+	}
+	select {
+	case r := <-ch:
+		return r.oldest, r.next, r.cursor, nil
+	case <-c.done:
+		return 0, 0, 0, c.Err()
 	}
 }
 
@@ -501,6 +668,33 @@ func (c *Client) writeConsume(topic []byte, credit uint32) error {
 	c.wmu.Lock()
 	c.wbuf.Reset()
 	c.wbuf.PutConsume(topic, credit)
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) writeConsumeFrom(topic []byte, credit uint32, from uint64, group []byte) error {
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutConsumeFrom(topic, credit, from, group)
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) writeCommit(topic []byte, off uint64) error {
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutAck(wire.FlagOffset, topic, off)
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) writeOffsetsReq(topic, group []byte) error {
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutOffsetsReq(topic, group)
 	_, err := c.nc.Write(c.wbuf.Bytes())
 	c.wmu.Unlock()
 	return err

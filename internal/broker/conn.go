@@ -55,6 +55,10 @@ type conn struct {
 	// lastTopic caches the previous PRODUCE frame's topic so the common
 	// single-topic producer skips the broker map lookup.
 	lastTopic *topic
+
+	// walScratch is the pump's reusable payload-slice view of a staged
+	// batch, handed to the topic's WAL appender (durable brokers only).
+	walScratch [][]byte
 }
 
 func newConn(b *Broker, nc net.Conn) *conn {
@@ -111,9 +115,13 @@ func (c *conn) readLoop() {
 		c.ingress.Close()
 		close(c.wake)
 		c.teardown()
+		return
 	}
-	// In drain mode Shutdown owns the connection's lifecycle; the
-	// delivery side keeps running until the topics drain.
+	// In drain mode Shutdown owns the connection's lifecycle — but a
+	// read error here means the peer is really gone, and its delivery
+	// loops must not keep the drain waiting on credit that can never
+	// arrive.
+	c.dead.Store(true)
 }
 
 // handleFrame dispatches one decoded frame. A returned error is a
@@ -141,7 +149,7 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 			c.lastTopic = t
 		}
 		n := p.N
-		payloads := wire.CopyMessages(&p)
+		payloads := wire.CopyMessages(&p.Batch)
 		msgs := make([]msg, len(payloads))
 		var stamp int64
 		if t.lat != nil {
@@ -160,6 +168,9 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 		return nil
 
 	case wire.TConsume:
+		if f.Flags&wire.FlagOffset != 0 {
+			return c.handleConsumeFrom(f)
+		}
 		topicName, credit, err := wire.ParseConsume(f)
 		if err != nil {
 			return err
@@ -180,6 +191,49 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 		t.mu.Unlock()
 		c.b.deliverWG.Add(1)
 		go s.run()
+		return nil
+
+	case wire.TAck:
+		// The only client→broker ACK is the durable cursor commit.
+		if f.Flags&wire.FlagOffset == 0 {
+			return errors.New("broker: unexpected ACK from client")
+		}
+		topicName, off, err := wire.ParseAck(f)
+		if err != nil {
+			return err
+		}
+		s, ok := c.subs[string(topicName)]
+		if !ok || !s.replay {
+			return errors.New("broker: cursor commit without a replay subscription")
+		}
+		if s.group == "" {
+			return errors.New("broker: cursor commit without a consumer group")
+		}
+		if err := s.t.cursors.Commit(s.group, off); err != nil {
+			return err
+		}
+		return nil
+
+	case wire.TOffsets:
+		topicName, group, err := wire.ParseOffsetsReq(f)
+		if err != nil {
+			return err
+		}
+		t, err := c.b.getTopic(string(topicName))
+		if err != nil {
+			return err
+		}
+		if t.log == nil {
+			return errors.New("broker: OFFSETS on a non-durable broker (no data dir)")
+		}
+		st := t.log.Stats()
+		cursor := uint64(wire.OffsetCursor)
+		if len(group) > 0 {
+			if off, ok := t.cursors.Get(string(group)); ok {
+				cursor = off
+			}
+		}
+		c.writeOffsetsResp(t.nameBytes, st.Oldest, st.Next, cursor)
 		return nil
 
 	case wire.TCredit:
@@ -205,6 +259,36 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 	default:
 		return errors.New("broker: unexpected frame type from client")
 	}
+}
+
+// handleConsumeFrom opens a replay subscription: a log follower that
+// streams the topic's WAL from the requested offset (or the consumer
+// group's persisted cursor) and keeps following the log at the head.
+func (c *conn) handleConsumeFrom(f wire.Frame) error {
+	topicName, credit, from, group, err := wire.ParseConsumeFrom(f)
+	if err != nil {
+		return err
+	}
+	name := string(topicName)
+	if _, dup := c.subs[name]; dup {
+		return errors.New("broker: duplicate subscription to " + name)
+	}
+	t, err := c.b.getTopic(name)
+	if err != nil {
+		return err
+	}
+	if t.log == nil {
+		return errors.New("broker: replay subscription on a non-durable broker (no data dir)")
+	}
+	s := &sub{c: c, t: t, replay: true, group: string(group), from: from}
+	s.credit.Store(int64(credit))
+	c.subs[name] = s
+	t.mu.Lock()
+	t.subs[s] = struct{}{}
+	t.mu.Unlock()
+	c.b.deliverWG.Add(1)
+	go s.runReplay()
+	return nil
 }
 
 // pumpLoop drains staged batches into their topics and acknowledges
@@ -265,7 +349,22 @@ func (c *conn) pumpLoop() {
 // topic's sharded queue. A nil map entry records a failed acquisition
 // (more producing connections than lanes) so the shared-fallback-lane
 // Enqueue is used without retrying the acquire on every batch.
+//
+// On a durable broker the batch goes to the topic's write-ahead log
+// first — the ACK that follows the flush means "appended", so a batch
+// the log rejects (disk failure) kills the connection unacknowledged
+// instead of being enqueued as a ghost the log never saw.
 func (c *conn) pumpOne(st staged, seqs map[*topic]uint64, touched *[]*topic, lanes map[*topic]*ffq.ProducerHandle[msg]) {
+	if st.t.log != nil {
+		c.walScratch = c.walScratch[:0]
+		for _, m := range st.msgs {
+			c.walScratch = append(c.walScratch, m.payload)
+		}
+		if _, err := st.t.log.Append(c.walScratch); err != nil {
+			c.dead.Store(true)
+			return
+		}
+	}
 	h, seen := lanes[st.t]
 	if !seen {
 		h, _ = st.t.q.AcquireProducer()
@@ -330,6 +429,33 @@ func (c *conn) writeDeliver(topic []byte, msgs [][]byte) bool {
 	return c.writeOutcome(err)
 }
 
+// writeDeliverOffsets sends one replay DELIVER frame carrying the
+// batch's base offset.
+func (c *conn) writeDeliverOffsets(topic []byte, base uint64, msgs [][]byte) bool {
+	if c.dead.Load() {
+		return false
+	}
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutDeliverOffsets(topic, base, msgs)
+	err := c.flushLocked()
+	c.wmu.Unlock()
+	return c.writeOutcome(err)
+}
+
+// writeOffsetsResp answers an OFFSETS query.
+func (c *conn) writeOffsetsResp(topic []byte, oldest, next, cursor uint64) bool {
+	if c.dead.Load() {
+		return false
+	}
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutOffsetsResp(topic, oldest, next, cursor)
+	err := c.flushLocked()
+	c.wmu.Unlock()
+	return c.writeOutcome(err)
+}
+
 // writeAck sends a cumulative ACK (or, with wire.FlagEnd, the
 // subscription end-of-stream marker).
 func (c *conn) writeAck(flags byte, topic []byte, seq uint64) bool {
@@ -389,13 +515,22 @@ func (c *conn) writeOutcome(err error) bool {
 
 // sub is one (connection, topic) subscription: a delivery goroutine
 // that claims messages from the topic with TryDequeue, gated by the
-// client-granted credit window.
+// client-granted credit window. A replay sub instead follows the
+// topic's write-ahead log (runReplay), observing every message rather
+// than competing for them.
 type sub struct {
 	c      *conn
 	t      *topic
 	credit atomic.Int64
 	// stop force-stops the delivery goroutine (Shutdown deadline).
 	stop atomic.Bool
+
+	// replay marks a log-follower subscription; from is its requested
+	// start offset (wire.OffsetCursor = the group's cursor) and group
+	// the consumer group its ACK+FlagOffset commits apply to.
+	replay bool
+	group  string
+	from   uint64
 }
 
 // run is the delivery loop. The non-blocking TryDequeueBatch claim is
@@ -456,6 +591,86 @@ func (s *sub) run() {
 			return
 		}
 		s.c.b.m.MsgsOut.Add(int64(len(batch)))
+		s.c.b.m.DeliverFrames.Add(1)
+	}
+}
+
+// runReplay is the log-follower delivery loop. It reads the topic's
+// WAL from the subscription's start offset, streams DELIVER+FlagOffset
+// batches under the same credit window as live subscriptions, and at
+// the head parks on the log's append notification — tailing the log
+// is just replay that caught up. It ends with ACK+FlagEnd when the log
+// is sealed (shutdown) and fully delivered.
+func (s *sub) runReplay() {
+	defer s.c.b.deliverWG.Done()
+	defer s.unlink()
+	from := s.from
+	if from == wire.OffsetCursor {
+		// Resume from the group's committed cursor; a group with no
+		// cursor (or no group at all) starts at the log's oldest offset.
+		from = 0
+		if s.group != "" {
+			if off, ok := s.t.cursors.Get(s.group); ok {
+				from = off
+			}
+		}
+	}
+	r := s.t.log.NewReader(from)
+	defer r.Close()
+	spins := 0
+	for {
+		if s.stop.Load() || s.c.dead.Load() {
+			return
+		}
+		// Like the live loop, end-of-stream is checked before the credit
+		// gate: a credit-starved follower that has already delivered the
+		// whole sealed log must still terminate, or Shutdown's drain
+		// would wait on it forever.
+		if s.t.log.Sealed() && r.Offset() >= s.t.log.NextOffset() {
+			s.c.writeAck(wire.FlagEnd, s.t.nameBytes, 0)
+			return
+		}
+		cr := s.credit.Load()
+		if cr <= 0 {
+			spins++
+			idleWait(spins)
+			continue
+		}
+		max := int(cr)
+		if max > s.c.b.opts.DeliverBatch {
+			max = s.c.b.opts.DeliverBatch
+		}
+		base, msgs, err := r.Next(max)
+		if err != nil {
+			// Corrupt retained log body: surface it instead of skipping
+			// silently; the client sees ERR and the stream ends.
+			s.c.writeErr("broker: replay failed: " + err.Error())
+			s.c.dead.Store(true)
+			return
+		}
+		if len(msgs) == 0 {
+			if s.t.log.Sealed() {
+				// Shutdown sealed the log and we delivered everything in
+				// it: clean end of stream.
+				s.c.writeAck(wire.FlagEnd, s.t.nameBytes, 0)
+				return
+			}
+			// Caught up with the head: park until the next append (or
+			// seal). The timeout bounds how long a dead connection's
+			// follower lingers when the topic goes quiet.
+			select {
+			case <-s.t.log.WaitAppend(base):
+			case <-time.After(250 * time.Millisecond):
+			}
+			spins = 0
+			continue
+		}
+		spins = 0
+		s.credit.Add(int64(-len(msgs)))
+		if !s.c.writeDeliverOffsets(s.t.nameBytes, base, msgs) {
+			return
+		}
+		s.c.b.m.MsgsOut.Add(int64(len(msgs)))
 		s.c.b.m.DeliverFrames.Add(1)
 	}
 }

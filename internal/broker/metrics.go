@@ -89,5 +89,29 @@ func (b *Broker) collect(emit func(expvarx.Sample)) {
 				"Broker residence time per message, PRODUCE decode to DELIVER encode, in nanoseconds.",
 				labels, t.lat.Snapshot())
 		}
+		if t.log != nil {
+			st := t.log.Stats()
+			emit(expvarx.Sample{
+				Name: "ffqd_wal_bytes", Help: "On-disk size of the topic's write-ahead log.",
+				Type: "gauge", Labels: labels, Value: float64(st.Bytes),
+			})
+			emit(expvarx.Sample{
+				Name: "ffqd_wal_oldest_offset", Help: "Oldest offset still retained in the topic's log.",
+				Type: "gauge", Labels: labels, Value: float64(st.Oldest),
+			})
+			emit(expvarx.Sample{
+				Name: "ffqd_wal_next_offset", Help: "Next offset the topic's log will assign.",
+				Type: "gauge", Labels: labels, Value: float64(st.Next),
+			})
+			emit(expvarx.Sample{
+				Name: "ffqd_wal_segments", Help: "Segment files retained in the topic's log.",
+				Type: "gauge", Labels: labels, Value: float64(st.Segments),
+			})
+		}
+	}
+	if b.fsyncLat != nil {
+		expvarx.EmitLatencySamples(emit, "ffqd_wal_fsync_ns",
+			"WAL fsync latency in nanoseconds, aggregated over all topics.",
+			nil, b.fsyncLat.Snapshot())
 	}
 }

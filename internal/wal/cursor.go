@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Cursors is a topic's consumer-group cursor store: one tiny text file
+// ("cursors" in the topic's log directory) mapping each group name to
+// its committed cursor — the first offset the group has NOT processed.
+// Commits are monotonic (a stale commit is ignored) and persist via
+// write-to-temp + rename, so the file on disk is always a complete,
+// parseable snapshot; a crash between commits loses at most the last
+// few commits, which replay then re-delivers (at-least-once, deduped
+// downstream by offset).
+type Cursors struct {
+	mu   sync.Mutex
+	path string
+	m    map[string]uint64
+	// syncOnCommit fsyncs the renamed file; wired to the log's policy
+	// (off ⇒ false).
+	syncOnCommit bool
+	buf          []byte
+}
+
+// cursorsFile is the store's filename inside a topic's log directory.
+const cursorsFile = "cursors"
+
+// OpenCursors loads (or creates) the cursor store in dir. Unparseable
+// lines are dropped rather than failing the open: a torn cursor write
+// cannot happen (rename is atomic), but a damaged file only costs
+// replay, never availability.
+func OpenCursors(dir string, syncOnCommit bool) (*Cursors, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cursors{
+		path:         filepath.Join(dir, cursorsFile),
+		m:            make(map[string]uint64),
+		syncOnCommit: syncOnCommit,
+	}
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		// Line format: `<offset> <quoted group>`.
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		off, err := strconv.ParseUint(line[:sp], 10, 64)
+		if err != nil {
+			continue
+		}
+		group, err := strconv.Unquote(line[sp+1:])
+		if err != nil {
+			continue
+		}
+		c.m[group] = off
+	}
+	return c, sc.Err()
+}
+
+// Get returns a group's committed cursor and whether one exists.
+func (c *Cursors) Get(group string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	off, ok := c.m[group]
+	return off, ok
+}
+
+// Groups returns the known group names, sorted.
+func (c *Cursors) Groups() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for g := range c.m {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commit advances a group's cursor to off (first unprocessed offset)
+// and persists the store. A commit at or below the current cursor is a
+// no-op: cursors only move forward.
+func (c *Cursors) Commit(group string, off uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.m[group]; ok && off <= cur {
+		return nil
+	}
+	c.m[group] = off
+	return c.flushLocked()
+}
+
+// flushLocked rewrites the cursor file atomically. Callers hold c.mu.
+func (c *Cursors) flushLocked() error {
+	c.buf = c.buf[:0]
+	for g, off := range c.m {
+		c.buf = strconv.AppendUint(c.buf, off, 10)
+		c.buf = append(c.buf, ' ')
+		c.buf = strconv.AppendQuote(c.buf, g)
+		c.buf = append(c.buf, '\n')
+	}
+	tmp := c.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(c.buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if c.syncOnCommit {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("wal: persist cursors: %w", err)
+	}
+	return nil
+}
+
+// Flush persists the current cursor map (used at shutdown; Commit
+// already persists on every call).
+func (c *Cursors) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}

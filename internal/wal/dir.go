@@ -1,0 +1,52 @@
+package wal
+
+// DirName maps a topic name to a filesystem-safe directory name, so a
+// data dir holds one subdirectory per durable topic regardless of what
+// bytes the topic contains. Letters, digits, '.', '_' and '-' pass
+// through; everything else becomes %XX. The mapping is injective, so
+// two distinct topics never share a directory, and names that would
+// collide with path syntax ("." / "..") get their dots escaped.
+func DirName(topic string) string {
+	if topic == "." || topic == ".." {
+		// All-dots names are path syntax; escape them entirely.
+		out := make([]byte, 0, 3*len(topic))
+		for i := 0; i < len(topic); i++ {
+			out = appendEscaped(out, topic[i])
+		}
+		return string(out)
+	}
+	safe := true
+	for i := 0; i < len(topic); i++ {
+		if !safeByte(topic[i]) {
+			safe = false
+			break
+		}
+	}
+	if safe && topic != "" {
+		return topic
+	}
+	out := make([]byte, 0, 3*len(topic))
+	for i := 0; i < len(topic); i++ {
+		c := topic[i]
+		if safeByte(c) {
+			out = append(out, c)
+		} else {
+			out = appendEscaped(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return "%empty"
+	}
+	return string(out)
+}
+
+func safeByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-'
+}
+
+const hexDigits = "0123456789ABCDEF"
+
+func appendEscaped(out []byte, c byte) []byte {
+	return append(out, '%', hexDigits[c>>4], hexDigits[c&0xf])
+}

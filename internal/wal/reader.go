@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"ffq/internal/wire"
+)
+
+// Reader replays a log's messages in offset order. It holds its own
+// file handle per segment, so reads are positional (pread) and never
+// contend with the appender beyond the index lookup; a handle on a
+// retention-deleted segment keeps working until the Reader moves past
+// it. A Reader is single-consumer; many Readers can share one Log.
+type Reader struct {
+	l   *Log
+	off uint64
+	f   *os.File
+	// fBase identifies the segment f is open on; fOpen distinguishes
+	// "no file yet" from segment 0.
+	fBase uint64
+	fOpen bool
+	buf   []byte
+	msgs  [][]byte
+}
+
+// NewReader returns a reader positioned at offset from, clamped into
+// the retained range [OldestOffset, NextOffset].
+func (l *Log) NewReader(from uint64) *Reader {
+	l.mu.Lock()
+	if from < l.oldest {
+		from = l.oldest
+	}
+	if from > l.next {
+		from = l.next
+	}
+	l.mu.Unlock()
+	return &Reader{l: l, off: from}
+}
+
+// Offset returns the offset the next Next call will yield first.
+func (r *Reader) Offset() uint64 { return r.off }
+
+// recRef locates the record holding offset off: which segment file,
+// the record's byte range, and its base offset. Called under l.mu.
+func (l *Log) recRef(off uint64) (segBase uint64, pos, size int64, err error) {
+	var index []recIdx
+	var segEnd int64
+	if off >= l.activeBase {
+		segBase, index, segEnd = l.activeBase, l.activeIdx, l.activeSize
+	} else {
+		// Binary search the sealed segments for the one covering off.
+		lo, hi := 0, len(l.segs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if l.segs[mid].end <= off {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(l.segs) || l.segs[lo].base > off {
+			return 0, 0, 0, fmt.Errorf("%w: no segment covers offset %d", ErrCorrupt, off)
+		}
+		s := &l.segs[lo]
+		segBase, index, segEnd = s.base, s.index, s.size
+	}
+	// Largest index entry with entry.off <= off.
+	lo, hi := 0, len(index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if index[mid].off <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: offset %d below segment index", ErrCorrupt, off)
+	}
+	e := index[lo-1]
+	end := segEnd
+	if lo < len(index) {
+		end = index[lo].pos
+	}
+	return segBase, e.pos, end - e.pos, nil
+}
+
+// Next yields up to max messages starting at the reader's offset.
+// base is the offset of msgs[0] (msgs[i] has offset base+i); when the
+// reader is caught up with the log it returns (Offset(), nil, nil) —
+// park on WaitAppend(base) and retry. If retention overtook the
+// reader, base jumps forward past the dropped range. The returned
+// payloads alias the reader's buffer and are valid until the next
+// call.
+func (r *Reader) Next(max int) (base uint64, msgs [][]byte, err error) {
+	if max <= 0 {
+		return r.off, nil, nil
+	}
+	for {
+		l := r.l
+		l.mu.Lock()
+		if r.off >= l.next {
+			off := l.next
+			l.mu.Unlock()
+			r.off = off
+			return off, nil, nil
+		}
+		if r.off < l.oldest {
+			r.off = l.oldest // retention dropped our position
+		}
+		segBase, pos, size, err := l.recRef(r.off)
+		l.mu.Unlock()
+		if err != nil {
+			return 0, nil, err
+		}
+
+		if !r.fOpen || r.fBase != segBase {
+			f, err := os.Open(l.segPath(segBase))
+			if err != nil {
+				if os.IsNotExist(err) {
+					// Retention deleted the segment between the lookup
+					// and the open; re-clamp and retry.
+					continue
+				}
+				return 0, nil, err
+			}
+			if r.f != nil {
+				r.f.Close()
+			}
+			r.f, r.fBase, r.fOpen = f, segBase, true
+		}
+
+		if cap(r.buf) < int(size) {
+			r.buf = make([]byte, size)
+		}
+		rec := r.buf[:size]
+		if _, err := r.f.ReadAt(rec, pos); err != nil {
+			return 0, nil, fmt.Errorf("%w: short read at %d+%d: %v", ErrCorrupt, segBase, pos, err)
+		}
+		return r.yield(rec, max)
+	}
+}
+
+// yield validates one raw record and extracts the messages from the
+// reader's offset onward, up to max.
+func (r *Reader) yield(rec []byte, max int) (uint64, [][]byte, error) {
+	if len(rec) < recHeader {
+		return 0, nil, fmt.Errorf("%w: record shorter than header", ErrCorrupt)
+	}
+	recSize := int64(binary.BigEndian.Uint32(rec[0:]))
+	if recSize != int64(len(rec))-4 {
+		return 0, nil, fmt.Errorf("%w: size field %d != record %d", ErrCorrupt, recSize, len(rec)-4)
+	}
+	crc := crc32.ChecksumIEEE(rec[8:])
+	if crc != binary.BigEndian.Uint32(rec[4:]) {
+		return 0, nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	recBase := binary.BigEndian.Uint64(rec[8:])
+	b, err := wire.ParseBatch(rec[recHeader:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: bad batch body: %v", ErrCorrupt, err)
+	}
+	if r.off < recBase || r.off >= recBase+uint64(b.N) {
+		return 0, nil, fmt.Errorf("%w: record [%d,%d) does not cover offset %d",
+			ErrCorrupt, recBase, recBase+uint64(b.N), r.off)
+	}
+	for skip := r.off - recBase; skip > 0; skip-- {
+		b.Next()
+	}
+	r.msgs = r.msgs[:0]
+	for len(r.msgs) < max {
+		m, ok := b.Next()
+		if !ok {
+			break
+		}
+		r.msgs = append(r.msgs, m)
+	}
+	base := r.off
+	r.off += uint64(len(r.msgs))
+	return base, r.msgs, nil
+}
+
+// Close releases the reader's file handle.
+func (r *Reader) Close() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+		r.fOpen = false
+	}
+}

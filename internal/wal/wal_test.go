@@ -1,0 +1,469 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testOpen opens a log in a fresh temp dir with small segments so
+// tests exercise rolling without writing megabytes.
+func testOpen(t *testing.T, opts Options) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, dir
+}
+
+// payload builds a recognizable per-offset payload so reads can verify
+// both content and position.
+func payload(off uint64) []byte {
+	return []byte(fmt.Sprintf("msg-%06d", off))
+}
+
+// appendN appends n messages in batches of batch, verifying the
+// returned base offsets are the assigned sequence.
+func appendN(t *testing.T, l *Log, start uint64, n, batch int) {
+	t.Helper()
+	for i := 0; i < n; i += batch {
+		k := batch
+		if i+k > n {
+			k = n - i
+		}
+		msgs := make([][]byte, k)
+		for j := 0; j < k; j++ {
+			msgs[j] = payload(start + uint64(i+j))
+		}
+		base, err := l.Append(msgs)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if want := start + uint64(i); base != want {
+			t.Fatalf("Append base = %d, want %d", base, want)
+		}
+	}
+}
+
+// readAll drains a reader from its position to the log head, checking
+// every payload against its offset.
+func readAll(t *testing.T, l *Log, r *Reader, max int) (first, count uint64) {
+	t.Helper()
+	first = r.Offset()
+	next := first
+	started := false
+	for {
+		base, msgs, err := r.Next(max)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if len(msgs) == 0 {
+			return first, next - first
+		}
+		if !started {
+			first, next = base, base
+			started = true
+		}
+		if base != next {
+			t.Fatalf("offset gap: got base %d, want %d", base, next)
+		}
+		for i, m := range msgs {
+			if want := payload(base + uint64(i)); string(m) != string(want) {
+				t.Fatalf("offset %d: payload %q, want %q", base+uint64(i), m, want)
+			}
+		}
+		next = base + uint64(len(msgs))
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l, _ := testOpen(t, Options{SegmentBytes: 1 << 10})
+	defer l.Close()
+
+	const n = 500
+	appendN(t, l, 0, n, 7)
+	if got := l.NextOffset(); got != n {
+		t.Fatalf("NextOffset = %d, want %d", got, n)
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected multiple segments at 1KiB roll, got %d", st.Segments)
+	}
+
+	// Full replay from 0.
+	r := l.NewReader(0)
+	defer r.Close()
+	if first, count := readAll(t, l, r, 16); first != 0 || count != n {
+		t.Fatalf("replay from 0: got [%d, %d), want [0, %d)", first, first+count, n)
+	}
+
+	// Replay from the middle, with a max smaller and larger than the
+	// append batch so record-straddling reads are exercised both ways.
+	for _, max := range []int{3, 64} {
+		r := l.NewReader(123)
+		if first, count := readAll(t, l, r, max); first != 123 || count != n-123 {
+			t.Fatalf("replay from 123 (max=%d): got [%d, %d)", max, first, first+count)
+		}
+		r.Close()
+	}
+
+	// A reader past the head clamps to the head and reports caught-up.
+	r2 := l.NewReader(1 << 40)
+	defer r2.Close()
+	if base, msgs, err := r2.Next(8); err != nil || len(msgs) != 0 || base != n {
+		t.Fatalf("past-head read: base=%d msgs=%d err=%v, want caught-up at %d", base, len(msgs), err, n)
+	}
+}
+
+func TestReopenContinues(t *testing.T) {
+	l, dir := testOpen(t, Options{SegmentBytes: 1 << 10})
+	appendN(t, l, 0, 100, 5)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.NextOffset(); got != 100 {
+		t.Fatalf("NextOffset after reopen = %d, want 100", got)
+	}
+	appendN(t, l2, 100, 50, 5)
+	r := l2.NewReader(0)
+	defer r.Close()
+	if first, count := readAll(t, l2, r, 16); first != 0 || count != 150 {
+		t.Fatalf("after reopen+append: got [%d, %d), want [0, 150)", first, first+count)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mangle func(t *testing.T, path string)
+	}{
+		{"truncate-mid-record", func(t *testing.T, path string) {
+			info, _ := os.Stat(path)
+			if err := os.Truncate(path, info.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flip-tail-byte", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-3] ^= 0xff
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l, dir := testOpen(t, Options{SegmentBytes: 1 << 20})
+			appendN(t, l, 0, 90, 10)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			tc.mangle(t, filepath.Join(dir, fmt.Sprintf("%020d.seg", 0)))
+
+			l2, err := Open(dir, Options{SegmentBytes: 1 << 20})
+			if err != nil {
+				t.Fatalf("reopen after mangle: %v", err)
+			}
+			defer l2.Close()
+			// The last batch (offsets 80..89) was damaged: recovery must
+			// keep exactly the 8 intact batches before it.
+			if got := l2.NextOffset(); got != 80 {
+				t.Fatalf("NextOffset after recovery = %d, want 80", got)
+			}
+			r := l2.NewReader(0)
+			defer r.Close()
+			if first, count := readAll(t, l2, r, 16); first != 0 || count != 80 {
+				t.Fatalf("recovered replay: got [%d, %d), want [0, 80)", first, first+count)
+			}
+			// The log must accept appends again, continuing the sequence.
+			appendN(t, l2, 80, 10, 10)
+			if got := l2.NextOffset(); got != 90 {
+				t.Fatalf("NextOffset after repair+append = %d, want 90", got)
+			}
+		})
+	}
+}
+
+func TestTornTailDropsLaterSegments(t *testing.T) {
+	l, dir := testOpen(t, Options{SegmentBytes: 1 << 10})
+	appendN(t, l, 0, 300, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(ents) < 3 {
+		t.Fatalf("want >=3 segments, got %d (err %v)", len(ents), err)
+	}
+	// Corrupt the middle of the SECOND segment: recovery must keep
+	// segment 1 whole, the valid prefix of segment 2, and delete the
+	// rest.
+	b, err := os.ReadFile(ents[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(ents[1], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	next := l2.NextOffset()
+	if next == 0 || next >= 300 {
+		t.Fatalf("recovered NextOffset = %d, want a strict prefix > 0", next)
+	}
+	r := l2.NewReader(0)
+	defer r.Close()
+	if first, count := readAll(t, l2, r, 16); first != 0 || count != next {
+		t.Fatalf("recovered replay: got [%d, %d), want [0, %d)", first, first+count, next)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(left) > 2 {
+		t.Fatalf("later segments not deleted: %v", left)
+	}
+}
+
+func TestRetentionBySize(t *testing.T) {
+	l, dir := testOpen(t, Options{SegmentBytes: 1 << 10, RetentionBytes: 3 << 10})
+	defer l.Close()
+	appendN(t, l, 0, 2000, 10)
+
+	st := l.Stats()
+	if st.Oldest == 0 {
+		t.Fatal("retention never advanced the oldest offset")
+	}
+	// Total size may exceed the bound by up to one active segment, but
+	// sealed segments beyond it must be gone.
+	if st.Bytes > (3<<10)+(1<<10)+512 {
+		t.Fatalf("retained %d bytes, bound is %d", st.Bytes, 3<<10)
+	}
+	ents, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(ents) != st.Segments {
+		t.Fatalf("on disk %d segment files, Stats says %d", len(ents), st.Segments)
+	}
+
+	// A reader from 0 clamps to the oldest retained offset and reads a
+	// contiguous suffix.
+	r := l.NewReader(0)
+	defer r.Close()
+	first, count := readAll(t, l, r, 32)
+	if first != st.Oldest {
+		t.Fatalf("replay started at %d, oldest is %d", first, st.Oldest)
+	}
+	if first+count != 2000 {
+		t.Fatalf("replay ended at %d, want 2000", first+count)
+	}
+}
+
+func TestRetentionByAge(t *testing.T) {
+	l, _ := testOpen(t, Options{SegmentBytes: 1 << 10, RetentionAge: time.Millisecond})
+	defer l.Close()
+	appendN(t, l, 0, 500, 10)
+	time.Sleep(5 * time.Millisecond)
+	l.EnforceRetention()
+	st := l.Stats()
+	if st.Oldest == 0 {
+		t.Fatal("age retention never advanced the oldest offset")
+	}
+	if st.Segments != 1 {
+		t.Fatalf("age retention left %d segments, want just the active one", st.Segments)
+	}
+	// The active segment must survive even though it is old.
+	r := l.NewReader(0)
+	defer r.Close()
+	if first, count := readAll(t, l, r, 32); first+count != 500 {
+		t.Fatalf("suffix replay ended at %d, want 500", first+count)
+	}
+}
+
+func TestSealStopsAppends(t *testing.T) {
+	l, _ := testOpen(t, Options{})
+	defer l.Close()
+	appendN(t, l, 0, 10, 10)
+	if err := l.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := l.Append([][]byte{[]byte("x")}); err != ErrSealed {
+		t.Fatalf("Append after Seal: err = %v, want ErrSealed", err)
+	}
+	// Readers keep working after Seal.
+	r := l.NewReader(0)
+	defer r.Close()
+	if first, count := readAll(t, l, r, 4); first != 0 || count != 10 {
+		t.Fatalf("post-Seal replay: got [%d, %d)", first, first+count)
+	}
+	// WaitAppend resolves immediately once sealed.
+	select {
+	case <-l.WaitAppend(999):
+	default:
+		t.Fatal("WaitAppend not resolved on a sealed log")
+	}
+}
+
+func TestWaitAppendWakesFollower(t *testing.T) {
+	l, _ := testOpen(t, Options{})
+	defer l.Close()
+	appendN(t, l, 0, 3, 3)
+
+	// Caught-up: the wait channel must block until the next append.
+	ch := l.WaitAppend(2) // offset 2 exists, so already resolved
+	select {
+	case <-ch:
+	default:
+		t.Fatal("WaitAppend(2) should be resolved: offset 2 was appended")
+	}
+	ch = l.WaitAppend(3)
+	select {
+	case <-ch:
+		t.Fatal("WaitAppend(3) resolved before offset 3 exists")
+	default:
+	}
+
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+	appendN(t, l, 3, 1, 1)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("append did not wake the follower")
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncOff, SyncInterval, SyncSegment, SyncAlways} {
+		t.Run(pol.String(), func(t *testing.T) {
+			l, _ := testOpen(t, Options{
+				SegmentBytes: 1 << 10,
+				Sync:         pol,
+				SyncInterval: time.Millisecond,
+			})
+			appendN(t, l, 0, 200, 8)
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close under %v: %v", pol, err)
+			}
+		})
+	}
+	if _, err := ParseSyncPolicy("nope"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+	for _, s := range []string{"off", "interval", "segment", "always"} {
+		p, err := ParseSyncPolicy(s)
+		if err != nil || p.String() != s {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+}
+
+func TestCursors(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCursors(dir, true)
+	if err != nil {
+		t.Fatalf("OpenCursors: %v", err)
+	}
+	if _, ok := c.Get("g1"); ok {
+		t.Fatal("empty store returned a cursor")
+	}
+	if err := c.Commit("g1", 42); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := c.Commit("g with spaces\n", 7); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Stale commits are ignored.
+	if err := c.Commit("g1", 10); err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := c.Get("g1"); off != 42 {
+		t.Fatalf("cursor regressed to %d", off)
+	}
+
+	// Reopen: cursors survive, including the awkward group name.
+	c2, err := OpenCursors(dir, true)
+	if err != nil {
+		t.Fatalf("reopen cursors: %v", err)
+	}
+	if off, ok := c2.Get("g1"); !ok || off != 42 {
+		t.Fatalf("g1 after reopen = %d, %v", off, ok)
+	}
+	if off, ok := c2.Get("g with spaces\n"); !ok || off != 7 {
+		t.Fatalf("quoted group after reopen = %d, %v", off, ok)
+	}
+	if gs := c2.Groups(); len(gs) != 2 {
+		t.Fatalf("Groups = %v", gs)
+	}
+
+	// A damaged line drops that cursor but not the store.
+	path := filepath.Join(dir, cursorsFile)
+	if err := os.WriteFile(path, []byte("garbage line\n99 \"ok\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := OpenCursors(dir, false)
+	if err != nil {
+		t.Fatalf("open with damaged line: %v", err)
+	}
+	if off, ok := c3.Get("ok"); !ok || off != 99 {
+		t.Fatalf("surviving cursor = %d, %v", off, ok)
+	}
+	if _, ok := c3.Get("garbage"); ok {
+		t.Fatal("damaged line produced a cursor")
+	}
+}
+
+func TestDirName(t *testing.T) {
+	cases := map[string]string{
+		"orders":      "orders",
+		"a.b_c-D9":    "a.b_c-D9",
+		"":            "%empty",
+		".":           "%2E",
+		"..":          "%2E%2E",
+		"a/b":         "a%2Fb",
+		"sp ace":      "sp%20ace",
+		"pct%41":      "pct%2541",
+		"\x00\xff":    "%00%FF",
+		"...":         "...",
+		"normal.name": "normal.name",
+	}
+	seen := map[string]string{}
+	for in, want := range cases {
+		got := DirName(in)
+		if got != want {
+			t.Errorf("DirName(%q) = %q, want %q", in, got, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("collision: %q and %q both map to %q", prev, in, got)
+		}
+		seen[got] = in
+	}
+}
+
+func TestEmptyAppendIsNoop(t *testing.T) {
+	l, _ := testOpen(t, Options{})
+	defer l.Close()
+	appendN(t, l, 0, 5, 5)
+	base, err := l.Append(nil)
+	if err != nil || base != 5 {
+		t.Fatalf("empty append: base=%d err=%v", base, err)
+	}
+	if got := l.NextOffset(); got != 5 {
+		t.Fatalf("empty append advanced the log to %d", got)
+	}
+}

@@ -83,34 +83,27 @@ func ParsePing(f Frame) (token uint64, err error) {
 	return binary.BigEndian.Uint64(f.Body), nil
 }
 
-// ProduceBody is a validated PRODUCE batch. ParseProduce walks the
-// whole body up front, so Next never fails and never over-reads: after
-// a nil error every message boundary is known to be in bounds and the
-// body to have no trailing bytes.
-type ProduceBody struct {
-	// Topic aliases the frame body.
-	Topic []byte
+// Batch is a validated message batch iterator over the wire's batch
+// body encoding (`uint32 count` + count `uint32 len | payload`).
+// ParseBatch walks the whole body up front, so Next never fails and
+// never over-reads: after a nil error every message boundary is known
+// to be in bounds and the body to have no trailing bytes. The WAL's
+// record bodies use the same encoding and parse through the same path.
+type Batch struct {
 	// N is the number of messages Next will still yield.
 	N    int
 	rest []byte
 }
 
-// ParseProduce validates a PRODUCE (or DELIVER) frame and returns its
-// batch iterator. All returned slices alias the frame body.
-func ParseProduce(f Frame) (ProduceBody, error) {
-	var p ProduceBody
-	if f.Type != TProduce {
-		return p, ErrWrongType
-	}
-	topic, rest, err := getTopic(f.Body)
-	if err != nil {
-		return p, err
-	}
-	if len(rest) < 4 {
+// ParseBatch validates a batch body and returns its iterator. All
+// yielded slices alias b.
+func ParseBatch(b []byte) (Batch, error) {
+	var p Batch
+	if len(b) < 4 {
 		return p, ErrTruncated
 	}
-	count := binary.BigEndian.Uint32(rest)
-	rest = rest[4:]
+	count := binary.BigEndian.Uint32(b)
+	rest := b[4:]
 	if count > MaxBatch {
 		return p, ErrBatchTooLarge
 	}
@@ -133,16 +126,15 @@ func ParseProduce(f Frame) (ProduceBody, error) {
 	if len(w) != 0 {
 		return p, ErrTrailingBytes
 	}
-	p.Topic = topic
 	p.N = int(count)
 	p.rest = rest
 	return p, nil
 }
 
-// Next yields the next message payload (aliasing the frame body) and
-// reports whether one existed. It cannot fail: ParseProduce validated
+// Next yields the next message payload (aliasing the parsed body) and
+// reports whether one existed. It cannot fail: ParseBatch validated
 // every boundary.
-func (p *ProduceBody) Next() ([]byte, bool) {
+func (p *Batch) Next() ([]byte, bool) {
 	if p.N == 0 {
 		return nil, false
 	}
@@ -153,12 +145,63 @@ func (p *ProduceBody) Next() ([]byte, bool) {
 	return m, true
 }
 
+// ProduceBody is a validated PRODUCE batch: the topic plus the batch
+// iterator.
+type ProduceBody struct {
+	// Topic aliases the frame body.
+	Topic []byte
+	Batch
+}
+
+// ParseProduce validates a PRODUCE (or DELIVER) frame and returns its
+// batch iterator. All returned slices alias the frame body.
+func ParseProduce(f Frame) (ProduceBody, error) {
+	var p ProduceBody
+	if f.Type != TProduce {
+		return p, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return p, err
+	}
+	b, err := ParseBatch(rest)
+	if err != nil {
+		return p, err
+	}
+	p.Topic = topic
+	p.Batch = b
+	return p, nil
+}
+
+// ParseDeliverOffsets validates a replay DELIVER frame
+// (PRODUCE+FlagDeliver+FlagOffset) and returns the topic, the offset
+// of the batch's first message, and the batch iterator (message i has
+// offset base+i).
+func ParseDeliverOffsets(f Frame) (topic []byte, base uint64, b Batch, err error) {
+	if f.Type != TProduce || f.Flags&FlagOffset == 0 {
+		return nil, 0, b, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, 0, b, err
+	}
+	if len(rest) < 8 {
+		return nil, 0, b, ErrTruncated
+	}
+	base = binary.BigEndian.Uint64(rest)
+	b, err = ParseBatch(rest[8:])
+	if err != nil {
+		return nil, 0, b, err
+	}
+	return topic, base, b, nil
+}
+
 // CopyMessages drains p's remaining messages into freshly owned
 // storage: one arena allocation holds every payload and one slice
 // header array points into it, so staging a whole batch past the
 // reader's buffer lifetime costs two allocations regardless of batch
 // size.
-func CopyMessages(p *ProduceBody) [][]byte {
+func CopyMessages(p *Batch) [][]byte {
 	total := 0
 	w := p.rest
 	for i := 0; i < p.N; i++ {
@@ -178,6 +221,87 @@ func CopyMessages(p *ProduceBody) [][]byte {
 		out = append(out, arena[off:end:end])
 		off = end
 	}
+}
+
+// getGroup splits the trailing `uint16 len | bytes` group field off b;
+// unlike getTopic it must consume b entirely.
+func getGroup(b []byte) (group []byte, err error) {
+	if len(b) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n > MaxGroup {
+		return nil, ErrGroupTooLong
+	}
+	if len(b) < 2+n {
+		return nil, ErrTruncated
+	}
+	if len(b) > 2+n {
+		return nil, ErrTrailingBytes
+	}
+	return b[2 : 2+n], nil
+}
+
+// ParseConsumeFrom returns the fields of a durable CONSUME frame
+// (FlagOffset set): topic, initial credit, from-offset (OffsetCursor =
+// resume from the group cursor) and consumer group (possibly empty).
+func ParseConsumeFrom(f Frame) (topic []byte, credit uint32, from uint64, group []byte, err error) {
+	if f.Type != TConsume || f.Flags&FlagOffset == 0 {
+		return nil, 0, 0, nil, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	if len(rest) < 12 {
+		return nil, 0, 0, nil, ErrTruncated
+	}
+	credit = binary.BigEndian.Uint32(rest)
+	from = binary.BigEndian.Uint64(rest[4:])
+	group, err = getGroup(rest[12:])
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	return topic, credit, from, group, nil
+}
+
+// ParseOffsetsReq returns the topic and consumer group of an OFFSETS
+// query.
+func ParseOffsetsReq(f Frame) (topic, group []byte, err error) {
+	if f.Type != TOffsets || f.Flags&FlagReply != 0 {
+		return nil, nil, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	group, err = getGroup(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return topic, group, nil
+}
+
+// ParseOffsetsResp returns the fields of an OFFSETS reply: oldest
+// retained offset, next offset to be assigned, and the queried group's
+// cursor (OffsetCursor when absent).
+func ParseOffsetsResp(f Frame) (topic []byte, oldest, next, cursor uint64, err error) {
+	if f.Type != TOffsets || f.Flags&FlagReply == 0 {
+		return nil, 0, 0, 0, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if len(rest) < 24 {
+		return nil, 0, 0, 0, ErrTruncated
+	}
+	if len(rest) > 24 {
+		return nil, 0, 0, 0, ErrTrailingBytes
+	}
+	return topic, binary.BigEndian.Uint64(rest),
+		binary.BigEndian.Uint64(rest[8:]),
+		binary.BigEndian.Uint64(rest[16:]), nil
 }
 
 // ParseConsume returns the topic and initial credit of a CONSUME frame.

@@ -86,6 +86,42 @@ func (b *Buffer) PutPing(token uint64, pong bool) {
 	binary.BigEndian.PutUint64(dst[headerSize:], token)
 }
 
+// BatchSize returns the encoded size of a message batch — the uint32
+// count plus each message's uint32 length prefix and payload. It is
+// the sizing half of EncodeBatch.
+//
+//ffq:hotpath
+func BatchSize(msgs [][]byte) int {
+	n := 4
+	for _, m := range msgs {
+		n += 4 + len(m)
+	}
+	return n
+}
+
+// EncodeBatch writes the batch body encoding (`uint32 count` followed
+// by count `uint32 len | payload` messages) into dst, which must have
+// room for BatchSize(msgs) bytes, and returns the bytes written. This
+// is the exact payload layout of a PRODUCE frame after the topic
+// field; the WAL reuses it as its record body so log records and wire
+// frames share one codec. Panics on a batch above MaxBatch (a caller
+// bug, not input).
+//
+//ffq:hotpath
+func EncodeBatch(dst []byte, msgs [][]byte) int {
+	if len(msgs) > MaxBatch {
+		panic("wire: batch exceeds MaxBatch")
+	}
+	binary.BigEndian.PutUint32(dst, uint32(len(msgs)))
+	o := 4
+	for _, m := range msgs {
+		binary.BigEndian.PutUint32(dst[o:], uint32(len(m)))
+		o += 4
+		o += copy(dst[o:], m)
+	}
+	return o
+}
+
 // PutProduce appends one batch-carrying PRODUCE frame. The broker's
 // delivery path reuses it with FlagDeliver. Panics if the batch or the
 // topic exceeds the wire limits (caller bugs, not input).
@@ -93,13 +129,7 @@ func (b *Buffer) PutPing(token uint64, pong bool) {
 //ffq:hotpath
 func (b *Buffer) PutProduce(flags byte, topic []byte, msgs [][]byte) {
 	checkTopic(topic)
-	if len(msgs) > MaxBatch {
-		panic("wire: batch exceeds MaxBatch")
-	}
-	body := 2 + len(topic) + 4
-	for _, m := range msgs {
-		body += 4 + len(m)
-	}
+	body := 2 + len(topic) + BatchSize(msgs)
 	if body+2 > MaxFrame {
 		panic("wire: frame exceeds MaxFrame")
 	}
@@ -107,13 +137,28 @@ func (b *Buffer) PutProduce(flags byte, topic []byte, msgs [][]byte) {
 	putHeader(dst, TProduce, flags, body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
-	binary.BigEndian.PutUint32(dst[o:], uint32(len(msgs)))
-	o += 4
-	for _, m := range msgs {
-		binary.BigEndian.PutUint32(dst[o:], uint32(len(m)))
-		o += 4
-		o += copy(dst[o:], m)
+	EncodeBatch(dst[o:], msgs)
+}
+
+// PutDeliverOffsets appends one replay DELIVER frame: a PRODUCE with
+// FlagDeliver|FlagOffset whose batch is a contiguous run of log
+// messages starting at offset base (message i has offset base+i).
+// Panics on wire-limit violations, like PutProduce.
+//
+//ffq:hotpath
+func (b *Buffer) PutDeliverOffsets(topic []byte, base uint64, msgs [][]byte) {
+	checkTopic(topic)
+	body := 2 + len(topic) + 8 + BatchSize(msgs)
+	if body+2 > MaxFrame {
+		panic("wire: frame exceeds MaxFrame")
 	}
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TProduce, FlagDeliver|FlagOffset, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint64(dst[o:], base)
+	o += 8
+	EncodeBatch(dst[o:], msgs)
 }
 
 // PutConsume appends a CONSUME (subscribe) frame with the initial
@@ -130,9 +175,64 @@ func (b *Buffer) PutConsume(topic []byte, credit uint32) {
 	binary.BigEndian.PutUint32(dst[o:], credit)
 }
 
+// PutConsumeFrom appends the durable CONSUME form: subscribe as a log
+// follower replaying from offset `from` (OffsetCursor = resume from
+// the group's persisted cursor), committing cursors under the given
+// consumer group (may be empty: no cursor persistence).
+func (b *Buffer) PutConsumeFrom(topic []byte, credit uint32, from uint64, group []byte) {
+	checkTopic(topic)
+	if len(group) > MaxGroup {
+		panic("wire: group exceeds MaxGroup")
+	}
+	body := 2 + len(topic) + 4 + 8 + 2 + len(group)
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TConsume, FlagOffset, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint32(dst[o:], credit)
+	o += 4
+	binary.BigEndian.PutUint64(dst[o:], from)
+	o += 8
+	binary.BigEndian.PutUint16(dst[o:], uint16(len(group)))
+	copy(dst[o+2:], group)
+}
+
+// PutOffsetsReq appends an OFFSETS query for a topic's durable offset
+// range; group (may be empty) selects whose cursor the reply carries.
+func (b *Buffer) PutOffsetsReq(topic, group []byte) {
+	checkTopic(topic)
+	if len(group) > MaxGroup {
+		panic("wire: group exceeds MaxGroup")
+	}
+	body := 2 + len(topic) + 2 + len(group)
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TOffsets, 0, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint16(dst[o:], uint16(len(group)))
+	copy(dst[o+2:], group)
+}
+
+// PutOffsetsResp appends the broker's OFFSETS reply: oldest retained
+// offset, next offset to be assigned, and the queried group's cursor
+// (OffsetCursor when the group has none or none was named).
+func (b *Buffer) PutOffsetsResp(topic []byte, oldest, next, cursor uint64) {
+	checkTopic(topic)
+	body := 2 + len(topic) + 24
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TOffsets, FlagReply, body)
+	o := headerSize
+	o += putTopic(dst[o:], topic)
+	binary.BigEndian.PutUint64(dst[o:], oldest)
+	binary.BigEndian.PutUint64(dst[o+8:], next)
+	binary.BigEndian.PutUint64(dst[o+16:], cursor)
+}
+
 // PutAck appends an ACK frame: the first seq messages produced on this
 // connection for topic are accepted. FlagEnd turns it into the
-// subscription end-of-stream marker.
+// subscription end-of-stream marker. With FlagOffset it is instead the
+// client→broker consumer-group cursor commit (seq = first unprocessed
+// offset).
 //
 //ffq:hotpath
 func (b *Buffer) PutAck(flags byte, topic []byte, seq uint64) {

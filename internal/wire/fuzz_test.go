@@ -18,6 +18,10 @@ func FuzzFrameDecode(f *testing.F) {
 	b.PutAck(FlagEnd, []byte("orders"), 12)
 	b.PutCredit([]byte("x"), 1)
 	b.PutErr("nope")
+	b.PutConsumeFrom([]byte("orders"), 16, 1234, []byte("grp"))
+	b.PutDeliverOffsets([]byte("orders"), 99, [][]byte{[]byte("m")})
+	b.PutOffsetsReq([]byte("orders"), []byte("grp"))
+	b.PutOffsetsResp([]byte("orders"), 1, 2, OffsetCursor)
 	f.Add(b.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 2, TPing, 0})
@@ -40,6 +44,21 @@ func FuzzFrameDecode(f *testing.F) {
 					return
 				}
 			case TProduce:
+				if fr.Flags&FlagOffset != 0 {
+					topic, _, b, err := ParseDeliverOffsets(fr)
+					if err != nil {
+						return
+					}
+					if b.N > MaxBatch || len(topic) > MaxTopic {
+						t.Fatalf("deliver-offsets passed oversized fields: n=%d topic=%d", b.N, len(topic))
+					}
+					for {
+						if _, ok := b.Next(); !ok {
+							break
+						}
+					}
+					return
+				}
 				p, err := ParseProduce(fr)
 				if err != nil {
 					return
@@ -66,7 +85,7 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 				// A validated batch must re-encode to the identical frame.
 				cp := p
-				msgs := CopyMessages(&cp)
+				msgs := CopyMessages(&cp.Batch)
 				var enc Buffer
 				enc.PutProduce(fr.Flags, p.Topic, msgs)
 				raw := enc.Bytes()
@@ -74,13 +93,25 @@ func FuzzFrameDecode(f *testing.F) {
 					t.Fatalf("re-encode mismatch:\n got %x\nwant %x", raw[headerSize:], fr.Body)
 				}
 			case TConsume:
-				if topic, _, err := ParseConsume(fr); err == nil && len(topic) > MaxTopic {
+				if fr.Flags&FlagOffset != 0 {
+					if topic, _, _, group, err := ParseConsumeFrom(fr); err == nil &&
+						(len(topic) > MaxTopic || len(group) > MaxGroup) {
+						t.Fatalf("oversized consume-from fields: topic=%d group=%d", len(topic), len(group))
+					}
+				} else if topic, _, err := ParseConsume(fr); err == nil && len(topic) > MaxTopic {
 					t.Fatalf("oversized topic passed: %d", len(topic))
 				}
 			case TAck:
 				_, _, _ = ParseAck(fr)
 			case TCredit:
 				_, _, _ = ParseCredit(fr)
+			case TOffsets:
+				if fr.Flags&FlagReply != 0 {
+					_, _, _, _, _ = ParseOffsetsResp(fr)
+				} else if topic, group, err := ParseOffsetsReq(fr); err == nil &&
+					(len(topic) > MaxTopic || len(group) > MaxGroup) {
+					t.Fatalf("oversized offsets-req fields: topic=%d group=%d", len(topic), len(group))
+				}
 			case TErr:
 				if msg, err := ParseErr(fr); err == nil && len(msg) > MaxFrame {
 					t.Fatalf("oversized error passed: %d", len(msg))

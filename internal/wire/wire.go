@@ -32,6 +32,28 @@
 //	CREDIT  client→broker topic + uint32 n: grant n more deliveries.
 //	ERR     broker→client human-readable reason; the sender closes the
 //	        connection after writing it.
+//	OFFSETS client→broker topic + consumer group: ask for the topic's
+//	        durable offset range. The broker replies with the same type
+//	        and FlagReply set, carrying oldest/next/cursor.
+//
+// # Durable-topic extensions (FlagOffset)
+//
+// Durable topics assign every message a monotonic per-topic offset and
+// persist batches to a write-ahead log (internal/wal). Three frames
+// grow offset-aware forms, all gated by FlagOffset so the classic
+// in-memory protocol is untouched:
+//
+//	CONSUME+FlagOffset  topic + credit + uint64 from + group: subscribe
+//	        as a log follower replaying from offset `from` (OffsetCursor
+//	        means "resume from the group's persisted cursor"). Followers
+//	        observe every message; plain CONSUME subscriptions remain
+//	        competitive consumers.
+//	PRODUCE+FlagDeliver+FlagOffset  topic + uint64 base + batch: a
+//	        replay delivery. Message i of the batch has offset base+i —
+//	        replay batches are contiguous because they come from the log.
+//	ACK+FlagOffset  client→broker topic + uint64 offset: commit the
+//	        subscription's consumer-group cursor — every offset below it
+//	        has been processed downstream. Cumulative and durable.
 //
 // # Fail-closed decoding
 //
@@ -53,6 +75,7 @@ const (
 	TAck     = 4
 	TCredit  = 5
 	TErr     = 6
+	TOffsets = 7
 )
 
 // Frame flags.
@@ -63,7 +86,19 @@ const (
 	FlagDeliver = 1 << 1
 	// FlagEnd marks an ACK as a subscription's end-of-stream.
 	FlagEnd = 1 << 2
+	// FlagOffset marks a frame's durable-topic offset form: CONSUME
+	// with a from-offset + group, DELIVER with a base offset, ACK as a
+	// client→broker consumer-group cursor commit.
+	FlagOffset = 1 << 3
+	// FlagReply marks the broker's response to an OFFSETS query.
+	FlagReply = 1 << 4
 )
+
+// OffsetCursor is the CONSUME from-offset sentinel meaning "resume
+// from the consumer group's persisted cursor" (falling back to the
+// oldest retained offset when the group has none). It doubles as the
+// "no cursor" value in an OFFSETS reply.
+const OffsetCursor = ^uint64(0)
 
 // Wire limits; exceeding any of them is a decode error.
 const (
@@ -73,6 +108,8 @@ const (
 	MaxFrame = 16 << 20
 	// MaxTopic bounds the topic name length.
 	MaxTopic = 1024
+	// MaxGroup bounds the consumer-group name length.
+	MaxGroup = 1024
 	// MaxBatch bounds the message count of one PRODUCE frame.
 	MaxBatch = 64 << 10
 	// pingBody is the fixed PING body size (the token).
@@ -87,6 +124,7 @@ var (
 	ErrTruncated     = errors.New("wire: body truncated")
 	ErrTrailingBytes = errors.New("wire: trailing bytes after body")
 	ErrTopicTooLong  = errors.New("wire: topic exceeds MaxTopic")
+	ErrGroupTooLong  = errors.New("wire: group exceeds MaxGroup")
 	ErrBatchTooLarge = errors.New("wire: batch exceeds MaxBatch")
 	ErrWrongType     = errors.New("wire: frame type does not match parser")
 )

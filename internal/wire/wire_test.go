@@ -228,7 +228,7 @@ func TestCopyMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := CopyMessages(&p)
+	got := CopyMessages(&p.Batch)
 	if _, err := r.Next(); err != nil { // clobbers the shared buffer
 		t.Fatal(err)
 	}
@@ -282,4 +282,137 @@ func TestEncoderPanics(t *testing.T) {
 	mustPanic("oversized frame", func() {
 		b.PutProduce(0, []byte("t"), [][]byte{make([]byte, MaxFrame)})
 	})
+}
+
+// TestOffsetFramesRoundTrip covers the durable-topic frame forms:
+// CONSUME-from, replay DELIVER with a base offset, the OFFSETS query
+// and its reply, and the cursor-commit ACK.
+func TestOffsetFramesRoundTrip(t *testing.T) {
+	topic := []byte("orders")
+	group := []byte("billing")
+	msgs := [][]byte{[]byte("a"), []byte(""), bytes.Repeat([]byte("y"), 200)}
+
+	var b Buffer
+	b.PutConsumeFrom(topic, 64, 1234, group)
+	b.PutConsumeFrom(topic, 8, OffsetCursor, nil)
+	b.PutDeliverOffsets(topic, 900, msgs)
+	b.PutOffsetsReq(topic, group)
+	b.PutOffsetsResp(topic, 10, 5000, 4242)
+	b.PutAck(FlagOffset, topic, 777)
+
+	r := NewReader(bytes.NewReader(b.Bytes()))
+
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, credit, from, g, err := ParseConsumeFrom(f)
+	if err != nil || string(tp) != "orders" || credit != 64 || from != 1234 || string(g) != "billing" {
+		t.Fatalf("consume-from: %q %d %d %q %v", tp, credit, from, g, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, credit, from, g, err := ParseConsumeFrom(f); err != nil || credit != 8 || from != OffsetCursor || len(g) != 0 {
+		t.Fatalf("consume-from cursor: %d %d %q %v", credit, from, g, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Flags&FlagDeliver == 0 || f.Flags&FlagOffset == 0 {
+		t.Fatalf("deliver flags = %x", f.Flags)
+	}
+	tp, base, batch, err := ParseDeliverOffsets(f)
+	if err != nil || string(tp) != "orders" || base != 900 || batch.N != len(msgs) {
+		t.Fatalf("deliver-offsets: %q %d n=%d %v", tp, base, batch.N, err)
+	}
+	for i := range msgs {
+		m, ok := batch.Next()
+		if !ok || !bytes.Equal(m, msgs[i]) {
+			t.Fatalf("msg %d: %q ok=%v", i, m, ok)
+		}
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, g, err := ParseOffsetsReq(f); err != nil || string(tp) != "orders" || string(g) != "billing" {
+		t.Fatalf("offsets req: %q %q %v", tp, g, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, oldest, next, cursor, err := ParseOffsetsResp(f); err != nil ||
+		string(tp) != "orders" || oldest != 10 || next != 5000 || cursor != 4242 {
+		t.Fatalf("offsets resp: %q %d %d %d %v", tp, oldest, next, cursor, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, seq, err := ParseAck(f); err != nil || string(tp) != "orders" || seq != 777 || f.Flags&FlagOffset == 0 {
+		t.Fatalf("cursor ack: %q %d %v flags=%x", tp, seq, err, f.Flags)
+	}
+}
+
+// TestBatchCodecRoundTrip exercises the standalone batch body codec
+// the WAL shares with PRODUCE frames.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	msgs := [][]byte{[]byte("one"), nil, bytes.Repeat([]byte("q"), 100)}
+	buf := make([]byte, BatchSize(msgs))
+	if n := EncodeBatch(buf, msgs); n != len(buf) {
+		t.Fatalf("EncodeBatch wrote %d of %d", n, len(buf))
+	}
+	b, err := ParseBatch(buf)
+	if err != nil || b.N != len(msgs) {
+		t.Fatalf("ParseBatch: n=%d %v", b.N, err)
+	}
+	for i := range msgs {
+		m, ok := b.Next()
+		if !ok || !bytes.Equal(m, msgs[i]) {
+			t.Fatalf("msg %d: %q ok=%v", i, m, ok)
+		}
+	}
+	// Trailing garbage after a valid batch must fail closed.
+	if _, err := ParseBatch(append(append([]byte(nil), buf...), 0)); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+	// A truncated last payload must fail closed.
+	if _, err := ParseBatch(buf[:len(buf)-1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+// TestParseConsumeFromErrors checks fail-closed paths of the durable
+// CONSUME form.
+func TestParseConsumeFromErrors(t *testing.T) {
+	var b Buffer
+	b.PutConsumeFrom([]byte("t"), 1, 2, []byte("g"))
+	r := NewReader(bytes.NewReader(b.Bytes()))
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong flag: a classic CONSUME parser must reject the durable form
+	// and vice versa.
+	classic := Frame{Type: TConsume, Flags: 0, Body: f.Body}
+	if _, _, _, _, err := ParseConsumeFrom(classic); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("flagless parse: %v", err)
+	}
+	if _, _, err := ParseConsume(f); err == nil {
+		t.Fatal("classic parser accepted durable body")
+	}
+	// Truncated group field.
+	trunc := Frame{Type: TConsume, Flags: FlagOffset, Body: f.Body[:len(f.Body)-1]}
+	if _, _, _, _, err := ParseConsumeFrom(trunc); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated group: %v", err)
+	}
 }

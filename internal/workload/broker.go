@@ -10,6 +10,7 @@ import (
 
 	"ffq/internal/broker"
 	"ffq/internal/broker/client"
+	"ffq/internal/wal"
 )
 
 // BrokerConfig parameterizes the broker round-trip workload: N
@@ -33,6 +34,12 @@ type BrokerConfig struct {
 	MaxBatch int
 	// Window is the pipelining/credit window (0 = client default).
 	Window int
+	// DataDir, when non-empty, makes every topic durable: the broker
+	// appends each PRODUCE batch to a per-topic write-ahead log before
+	// acknowledging it. Fsync picks the log's durability policy
+	// (default wal.SyncOff: the log rides the OS page cache).
+	DataDir string
+	Fsync   wal.SyncPolicy
 }
 
 // BrokerResult is the outcome of one broker workload run.
@@ -65,7 +72,7 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		cfg.MaxBatch = 1
 	}
 
-	b, err := broker.New(broker.Options{})
+	b, err := broker.New(broker.Options{DataDir: cfg.DataDir, Fsync: cfg.Fsync})
 	if err != nil {
 		return BrokerResult{}, err
 	}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"ffq/internal/wal"
+)
+
+// durableRun drives the standard broker workload with a WAL attached
+// (or not, when dir is empty) and returns the best of three runs, the
+// same way the batching gate measures.
+func durableRun(t testing.TB, dir string, pol wal.SyncPolicy, msgs int) float64 {
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		res, err := RunBroker(BrokerConfig{
+			Transport:           "pipe",
+			Producers:           1,
+			Consumers:           2,
+			MessagesPerProducer: msgs,
+			MaxBatch:            64,
+			DataDir:             dir,
+			Fsync:               pol,
+		})
+		if err != nil {
+			t.Fatalf("RunBroker(durable=%v): %v", dir != "", err)
+		}
+		if mps := res.MsgsPerSec(); mps > best {
+			best = mps
+		}
+	}
+	return best
+}
+
+// TestDurablePublishGate is the durable-overhead gate from the issue:
+// with fsync off and client batching at 64, the WAL append is one
+// buffered write per PRODUCE frame, amortized over the batch — so
+// durable throughput must stay within 1.3x of the in-memory path per
+// element (durable >= 1/1.3 ~ 0.77x memory). A regression here means
+// the append path grew per-message work (allocation, extra syscalls,
+// lock traffic) rather than per-batch work.
+func TestDurablePublishGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput gate; skipped in -short")
+	}
+	const msgs = 30000
+	memory := durableRun(t, "", wal.SyncOff, msgs)
+	durable := durableRun(t, t.TempDir(), wal.SyncOff, msgs)
+	ratio := durable / memory
+	t.Logf("memory %.0f msgs/s, durable(fsync=off) %.0f msgs/s (%.2fx)", memory, durable, ratio)
+	if ratio < 1/1.3 {
+		t.Fatalf("durable publish %.2fx of in-memory, want >= %.2fx (durable %.0f vs memory %.0f msgs/s)",
+			ratio, 1/1.3, durable, memory)
+	}
+}
+
+// BenchmarkDurablePublish reports end-to-end broker throughput per
+// fsync policy next to the in-memory baseline. Run with -benchtime on
+// the wall-clock-heavy policies; each iteration moves msgs messages
+// through the full wire path.
+func BenchmarkDurablePublish(b *testing.B) {
+	const msgs = 20000
+	bench := func(b *testing.B, dir string, pol wal.SyncPolicy) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := RunBroker(BrokerConfig{
+				Transport:           "pipe",
+				Producers:           1,
+				Consumers:           2,
+				MessagesPerProducer: msgs,
+				MaxBatch:            64,
+				DataDir:             dir,
+				Fsync:               pol,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MsgsPerSec(), "msgs/s")
+		}
+	}
+	b.Run("memory", func(b *testing.B) { bench(b, "", wal.SyncOff) })
+	b.Run("durable-fsync-off", func(b *testing.B) { bench(b, b.TempDir(), wal.SyncOff) })
+	b.Run("durable-fsync-interval", func(b *testing.B) { bench(b, b.TempDir(), wal.SyncInterval) })
+	b.Run("durable-fsync-always", func(b *testing.B) { bench(b, b.TempDir(), wal.SyncAlways) })
+}
