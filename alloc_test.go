@@ -1,0 +1,154 @@
+package ffq_test
+
+import (
+	"testing"
+
+	"ffq"
+)
+
+// TestHotPathAllocFree is the dynamic half of the hotpath-alloc static
+// check: every exported bounded-queue single-op hot path must run
+// without heap allocation. Each probe pairs an enqueue with a dequeue
+// so the queue stays at steady state across testing.AllocsPerRun's
+// repetitions; batch probes reuse preallocated buffers, mirroring how
+// a zero-alloc caller is expected to hold them.
+func TestHotPathAllocFree(t *testing.T) {
+	const cap = 64
+
+	spsc, err := ffq.NewSPSC[int](cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spmc, err := ffq.NewSPMC[int](cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpmc, err := ffq.NewMPMC[int](cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := ffq.NewShardedMPMC[int](4, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, ok := sharded.AcquireProducer()
+	if !ok {
+		t.Fatal("AcquireProducer refused a handle on a fresh queue")
+	}
+	defer handle.Release()
+
+	batch := make([]int, 8)
+	for i := range batch {
+		batch[i] = i
+	}
+	dst := make([]int, 8)
+
+	probes := []struct {
+		name string
+		op   func()
+	}{
+		{"SPSC.Enqueue+Dequeue", func() {
+			spsc.Enqueue(1)
+			if _, ok := spsc.Dequeue(); !ok {
+				t.Fatal("SPSC.Dequeue lost a value")
+			}
+		}},
+		{"SPSC.TryEnqueue+TryDequeue", func() {
+			if !spsc.TryEnqueue(1) {
+				t.Fatal("SPSC.TryEnqueue refused on an empty queue")
+			}
+			if _, ok := spsc.TryDequeue(); !ok {
+				t.Fatal("SPSC.TryDequeue lost a value")
+			}
+		}},
+		{"SPMC.Enqueue+Dequeue", func() {
+			spmc.Enqueue(1)
+			if _, ok := spmc.Dequeue(); !ok {
+				t.Fatal("SPMC.Dequeue lost a value")
+			}
+		}},
+		{"SPMC.TryEnqueue+TryDequeue", func() {
+			if !spmc.TryEnqueue(1) {
+				t.Fatal("SPMC.TryEnqueue refused on an empty queue")
+			}
+			if _, ok := spmc.TryDequeue(); !ok {
+				t.Fatal("SPMC.TryDequeue lost a value")
+			}
+		}},
+		{"SPMC.EnqueueBatch+DequeueBatch", func() {
+			spmc.EnqueueBatch(batch)
+			if n, ok := spmc.DequeueBatch(dst); !ok || n != len(batch) {
+				t.Fatalf("SPMC.DequeueBatch = %d, %v", n, ok)
+			}
+		}},
+		{"SPMC.EnqueueBatch+TryDequeueBatch", func() {
+			spmc.EnqueueBatch(batch)
+			if n := spmc.TryDequeueBatch(dst); n != len(batch) {
+				t.Fatalf("SPMC.TryDequeueBatch = %d", n)
+			}
+		}},
+		{"MPMC.Enqueue+Dequeue", func() {
+			mpmc.Enqueue(1)
+			if _, ok := mpmc.Dequeue(); !ok {
+				t.Fatal("MPMC.Dequeue lost a value")
+			}
+		}},
+		{"MPMC.Enqueue+TryDequeue", func() {
+			mpmc.Enqueue(1)
+			if _, ok := mpmc.TryDequeue(); !ok {
+				t.Fatal("MPMC.TryDequeue lost a value")
+			}
+		}},
+		{"MPMC.EnqueueBatch+DequeueBatch", func() {
+			mpmc.EnqueueBatch(batch)
+			if n, ok := mpmc.DequeueBatch(dst); !ok || n != len(batch) {
+				t.Fatalf("MPMC.DequeueBatch = %d, %v", n, ok)
+			}
+		}},
+		{"ShardedMPMC.Enqueue+TryDequeue", func() {
+			sharded.Enqueue(1)
+			if _, ok := sharded.TryDequeue(); !ok {
+				t.Fatal("ShardedMPMC.TryDequeue lost a value")
+			}
+		}},
+		{"ShardedMPMC.Enqueue+Dequeue", func() {
+			sharded.Enqueue(1)
+			if _, ok := sharded.Dequeue(); !ok {
+				t.Fatal("ShardedMPMC.Dequeue lost a value")
+			}
+		}},
+		{"ProducerHandle.Enqueue+Dequeue", func() {
+			handle.Enqueue(1)
+			if _, ok := sharded.Dequeue(); !ok {
+				t.Fatal("ShardedMPMC.Dequeue lost a handle-enqueued value")
+			}
+		}},
+		{"ProducerHandle.TryEnqueue+TryDequeue", func() {
+			if !handle.TryEnqueue(1) {
+				t.Fatal("ProducerHandle.TryEnqueue refused on an empty lane")
+			}
+			if _, ok := sharded.TryDequeue(); !ok {
+				t.Fatal("ShardedMPMC.TryDequeue lost a handle-enqueued value")
+			}
+		}},
+		{"ProducerHandle.EnqueueBatch+TryDequeueBatch", func() {
+			handle.EnqueueBatch(batch)
+			got := 0
+			for got < len(batch) {
+				n := sharded.TryDequeueBatch(dst)
+				if n == 0 {
+					t.Fatalf("ShardedMPMC.TryDequeueBatch drained only %d of %d", got, len(batch))
+				}
+				got += n
+			}
+		}},
+	}
+
+	for _, p := range probes {
+		t.Run(p.name, func(t *testing.T) {
+			if avg := testing.AllocsPerRun(100, p.op); avg != 0 {
+				t.Errorf("%s allocates %.2f times per op; hot paths must be allocation-free", p.name, avg)
+			}
+		})
+	}
+}

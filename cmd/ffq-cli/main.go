@@ -134,6 +134,7 @@ func runSub(c *client.Client, args []string) error {
 	// Close the connection on interrupt; Recv then returns !ok.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	//ffq:detached signal watcher lives for the process; Close unblocks Recv and main exits
 	go func() {
 		<-sig
 		c.Close()
@@ -196,6 +197,7 @@ func runConsume(c *client.Client, args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	//ffq:detached signal watcher lives for the process; Close unblocks RecvMsg and main exits
 	go func() {
 		<-sig
 		c.Close()

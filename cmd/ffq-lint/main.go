@@ -1,9 +1,12 @@
 // Command ffq-lint runs the module's concurrency-invariant lint suite
-// (internal/analysis): five AST- and type-driven checkers, built only
+// (internal/analysis): eight AST- and type-driven checkers, built only
 // on the standard library's go/parser, go/ast, go/types and
 // go/importer, that enforce the conventions the FFQ algorithms depend
-// on — atomic access discipline, cache-line padding, hot-path purity,
-// spin-loop backoff, and (rank,gap) word packing.
+// on — atomic access discipline, module-wide atomic publication
+// pairing, cache-line padding, hot-path purity, hot-path allocation
+// freedom, spin-loop backoff, goroutine lifecycle joining, and
+// (rank,gap) word packing — plus the marker and stale-suppression
+// audits.
 //
 // Usage:
 //
@@ -19,12 +22,18 @@
 //	-list       print the check IDs and their one-line docs, then exit
 //	-selfcheck  verify the analyzer against its own testdata corpus:
 //	            every injected violation must be reported and nothing
-//	            else (this is the self-test CI runs)
-//	-werror     treat malformed //ffq: markers as findings even when
-//	            the tree is otherwise clean (default true)
+//	            else (this is the self-test CI runs). With package
+//	            patterns, the tree lint follows in the same process,
+//	            sharing the loader — one stdlib type-check instead of
+//	            two.
+//	-json       report findings as a JSON array on stdout
+//	-github     report findings as GitHub Actions ::error annotations
+//	            (in addition to exit status 1), so CI surfaces them
+//	            inline on the offending lines of a pull request
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -36,9 +45,20 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func run(args []string) int {
 	list := false
 	selfcheck := false
+	asJSON := false
+	asGitHub := false
 	var patterns []string
 	for _, a := range args {
 		switch a {
@@ -46,8 +66,12 @@ func run(args []string) int {
 			list = true
 		case "-selfcheck", "--selfcheck":
 			selfcheck = true
+		case "-json", "--json":
+			asJSON = true
+		case "-github", "--github":
+			asGitHub = true
 		case "-h", "-help", "--help":
-			fmt.Fprintln(os.Stderr, "usage: ffq-lint [-list] [-selfcheck] [packages]")
+			fmt.Fprintln(os.Stderr, "usage: ffq-lint [-list] [-selfcheck] [-json] [-github] [packages]")
 			return 0
 		default:
 			if len(a) > 1 && a[0] == '-' {
@@ -57,12 +81,17 @@ func run(args []string) int {
 			patterns = append(patterns, a)
 		}
 	}
+	if asJSON && asGitHub {
+		fmt.Fprintln(os.Stderr, "ffq-lint: -json and -github are mutually exclusive")
+		return 2
+	}
 
 	if list {
 		for _, c := range analysis.Checks() {
 			fmt.Printf("%-18s %s\n", c.ID(), c.Doc())
 		}
 		fmt.Printf("%-18s %s\n", "marker", "//ffq: marker comments must be well-formed and correctly placed")
+		fmt.Printf("%-18s %s\n", "stale-ignore", "line-scoped //ffq: directives must still suppress or sanction a finding")
 		return 0
 	}
 
@@ -79,13 +108,17 @@ func run(args []string) int {
 
 	if selfcheck {
 		corpus := filepath.Join(l.ModuleRoot, "internal", "analysis", "testdata", "src")
-		n, err := analysis.VerifyCorpus(corpus)
+		n, err := analysis.VerifyCorpusWith(l, corpus)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ffq-lint:", err)
 			return 3
 		}
-		fmt.Printf("ffq-lint: selfcheck ok (%d injected violations all caught)\n", n)
-		return 0
+		fmt.Fprintf(os.Stderr, "ffq-lint: selfcheck ok (%d injected violations all caught)\n", n)
+		if len(patterns) == 0 {
+			return 0
+		}
+		// Fall through to the tree lint on the same loader: the corpus
+		// load already type-checked the stdlib packages the tree needs.
 	}
 
 	dirs, err := l.Expand(cwd, patterns)
@@ -111,12 +144,40 @@ func run(args []string) int {
 	}
 
 	findings := analysis.Run(l, pkgs)
-	for _, f := range findings {
+	relName := func(f analysis.Finding) string {
 		rel := f.Pos.Filename
 		if r, err := filepath.Rel(cwd, rel); err == nil && !filepath.IsAbs(r) {
 			rel = r
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		return rel
+	}
+	switch {
+	case asJSON:
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: relName(f), Line: f.Pos.Line, Col: f.Pos.Column,
+				Check: f.Check, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-lint:", err)
+			return 2
+		}
+	case asGitHub:
+		for _, f := range findings {
+			// ::error takes the annotation body after the :: separator;
+			// properties (file, line, col, title) are comma-separated.
+			// Findings are single-line, so no %0A escaping is needed.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=ffq-lint %s::%s\n",
+				relName(f), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relName(f), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "ffq-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))

@@ -236,6 +236,7 @@ func main() {
 
 	if *httpAddr != "" {
 		http.Handle("/metrics", expvarx.Handler())
+		//ffq:detached metrics server serves until the process exits; ListenAndServe never returns cleanly
 		go func() {
 			// DefaultServeMux already carries expvar's /debug/vars.
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {

@@ -47,7 +47,8 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	go b.Serve(ln)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- b.Serve(ln) }()
 	addr := ln.Addr().String()
 
 	// Two consumers join the topic's competitive pool: each message
@@ -102,6 +103,11 @@ func main() {
 		panic(err)
 	}
 	wg.Wait()
+	// Shutdown closed the listener, so Serve has returned; join it and
+	// surface any accept-loop error it swallowed.
+	if err := <-serveErr; err != nil {
+		panic(err)
+	}
 
 	sum := 0
 	for i, n := range counts {

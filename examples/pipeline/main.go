@@ -38,6 +38,7 @@ func main() {
 	}
 
 	// Stage 2: transform (hash the payload).
+	//ffq:detached joins via queue shutdown: s2to3.Close() signals stage 3, which main drains to completion
 	go func() {
 		for {
 			r, ok := s1to2.Dequeue()

@@ -3,6 +3,7 @@ package analysis
 import (
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -12,11 +13,15 @@ import (
 func TestCheckIDs(t *testing.T) {
 	want := []string{
 		"atomic-discipline",
+		"atomic-publish",
+		"goroutine-lifecycle",
+		"hotpath-alloc",
 		"hotpath-purity",
 		"lap-packing",
 		"marker",
 		"padding",
 		"spin-backoff",
+		"stale-ignore",
 	}
 	if got := CheckIDs(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("CheckIDs() = %v, want %v", got, want)
@@ -57,9 +62,24 @@ func TestShippedTreeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The walk must reach the binaries and examples, not just the
+	// library packages: the goroutine-lifecycle findings this suite
+	// exists to catch live disproportionately in cmd/ main packages.
+	coverage := map[string]bool{"cmd/": false, "examples/": false, "internal/": false}
 	for _, p := range pkgs {
 		for _, te := range p.TypeErrors {
 			t.Errorf("%s: type error: %v", p.Path, te)
+		}
+		for prefix := range coverage {
+			if rel, err := filepath.Rel(l.ModuleRoot, p.Dir); err == nil &&
+				strings.HasPrefix(filepath.ToSlash(rel)+"/", prefix) {
+				coverage[prefix] = true
+			}
+		}
+	}
+	for prefix, seen := range coverage {
+		if !seen {
+			t.Errorf("tree walk loaded no packages under %s; the lint gate is not covering the whole module", prefix)
 		}
 	}
 	for _, f := range Run(l, pkgs) {

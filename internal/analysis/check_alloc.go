@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// allocCheck extends the static allocation-freedom story of
+// //ffq:hotpath functions beyond what hotpath-purity already polices.
+// hotpath-purity flags every composite literal, append, closure,
+// string concatenation, and interface-boxing argument *inside the
+// marked body*; this check adds the two heap classes purity does not
+// see there, and — reusing check_spin's one-level helper expansion —
+// applies the full allocation rule set one call level deep into
+// //ffq:packhelper helpers, which purity never enters:
+//
+//   - map index-assign (m[k] = v hashes and may grow buckets) in the
+//     marked body and in helpers;
+//   - the address of a local escaping via return or assignment to a
+//     heap location (return &x, s.p = &x), which forces x onto the
+//     heap, in the marked body and in helpers;
+//   - inside //ffq:packhelper helpers called from a hot path:
+//     composite literals, closures, make/new, append on anything but a
+//     reslice of an existing buffer (append(buf[:0], ...) reuses
+//     capacity; append(s, ...) may grow), non-constant string
+//     concatenation, and non-constant values boxed into interface
+//     parameters — including the implicit conversions at fmt/error
+//     call sites.
+//
+// The static view is cross-validated dynamically: the repo's
+// testing.AllocsPerRun gate requires zero allocations per op on every
+// exported bounded-queue hot path, so a construct this check misses
+// still fails CI, and a finding this check reports that AllocsPerRun
+// cannot reproduce is a candidate false positive to suppress with
+// //ffq:ignore hotpath-alloc reason.
+//
+// Known false negatives: escapes through more than one assignment
+// (p := &x; s.f = p), allocation two or more call levels deep, and
+// helpers invoked through interfaces or function values (the expansion
+// resolves direct calls only).
+type allocCheck struct{}
+
+func (allocCheck) ID() string { return "hotpath-alloc" }
+func (allocCheck) Doc() string {
+	return "//ffq:hotpath functions and their //ffq:packhelper helpers must be allocation-free"
+}
+
+func (c allocCheck) Run(ctx *Context, p *Package) []Finding {
+	var out []Finding
+	// helpers collects the //ffq:packhelper callees reached from the
+	// hot paths of this package, deduplicated so a helper shared by
+	// several hot paths is audited (and reported) once.
+	type helperTarget struct {
+		fd  *ast.FuncDecl
+		pkg *Package
+	}
+	helpers := make(map[*ast.FuncDecl]helperTarget)
+
+	for fd := range p.Markers.Hotpath {
+		if fd.Body == nil {
+			continue
+		}
+		name := funcDeclName(fd)
+		report := func(n ast.Node, format string, args ...any) {
+			out = append(out, Finding{
+				Pos:     p.Fset.Position(n.Pos()),
+				Check:   c.ID(),
+				Message: sprintf(format, args...) + " in hotpath function " + name,
+			})
+		}
+		c.walkBody(p, fd.Body, report)
+		for _, call := range callsOutsideGuards(p, fd.Body) {
+			callee := calleeOf(p.Info, call)
+			if callee == nil {
+				continue
+			}
+			hfd := ctx.declOf(callee)
+			if hfd == nil || hfd.Body == nil {
+				continue
+			}
+			hp := packageAt(ctx, p, hfd)
+			if hp == nil || !hp.Markers.PackHelper[hfd] {
+				continue
+			}
+			helpers[hfd] = helperTarget{fd: hfd, pkg: hp}
+		}
+	}
+
+	// Audit each reached helper once, in source order for determinism.
+	ordered := make([]helperTarget, 0, len(helpers))
+	for _, h := range helpers {
+		ordered = append(ordered, h)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].fd.Pos() < ordered[j].fd.Pos() })
+	for _, h := range ordered {
+		hname := funcDeclName(h.fd)
+		report := func(n ast.Node, format string, args ...any) {
+			out = append(out, Finding{
+				Pos:     h.pkg.Fset.Position(n.Pos()),
+				Check:   c.ID(),
+				Message: sprintf(format, args...) + " in //ffq:packhelper helper " + hname + " reached from a hotpath function",
+			})
+		}
+		c.walkHelper(h.pkg, h.fd.Body, report)
+	}
+	return out
+}
+
+// walkBody applies the in-body rules — the classes hotpath-purity does
+// not already flag — pruning instrumentation-guarded blocks and
+// function literals exactly like purity does.
+func (c allocCheck) walkBody(p *Package, body ast.Node, report func(ast.Node, string, ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // purity reports the closure itself
+		case *ast.IfStmt:
+			if isRecorderGuard(p.Info, n.Cond) {
+				if n.Init != nil {
+					c.walkBody(p, n.Init, report)
+				}
+				if n.Else != nil {
+					c.walkBody(p, n.Else, report)
+				}
+				return false
+			}
+		case *ast.AssignStmt:
+			checkMapAssign(p, n, report)
+			checkEscapingAssign(p, n, report)
+		case *ast.ReturnStmt:
+			checkEscapingReturn(p, n, report)
+		}
+		return true
+	})
+}
+
+// walkHelper applies the full allocation rule set to a
+// //ffq:packhelper body.
+func (c allocCheck) walkHelper(p *Package, body ast.Node, report func(ast.Node, string, ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "function literal (closure allocation)")
+			return false
+		case *ast.CompositeLit:
+			report(n, "composite literal (allocates or copies)")
+			return false
+		case *ast.AssignStmt:
+			checkMapAssign(p, n, report)
+			checkEscapingAssign(p, n, report)
+		case *ast.ReturnStmt:
+			checkEscapingReturn(p, n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !isConstExpr(p.Info, n) {
+				if t := typeOf(p.Info, n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n, "string concatenation (allocates)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkHelperCall(p, n, report)
+		}
+		return true
+	})
+}
+
+// checkHelperCall flags allocating builtins and interface boxing in a
+// helper body.
+func (c allocCheck) checkHelperCall(p *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	if isConversion(p.Info, call) {
+		if len(call.Args) == 1 {
+			hotpathCheck{}.checkBox(p, typeOf(p.Info, call.Fun), call.Args[0], "conversion boxes", report)
+			checkAllocConversion(p, call, report)
+		}
+		return
+	}
+	callee := calleeOf(p.Info, call)
+	if b, ok := callee.(*types.Builtin); ok {
+		switch b.Name() {
+		case "make", "new":
+			report(call, b.Name()+" (allocates)")
+		case "append":
+			checkAppendGrow(call, report)
+		}
+		return
+	}
+	// Boxing through interface-typed parameters, including the
+	// implicit ...any conversions at fmt/error call sites.
+	sig, _ := typeOf(p.Info, call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if params.Len() > 0 {
+				if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		hotpathCheck{}.checkBox(p, pt, arg, "argument boxes", report)
+	}
+}
+
+// checkAppendGrow flags append calls whose destination is not a
+// reslice: append(buf[:0], ...) reuses preallocated capacity, while
+// append(s, ...) on a bare slice may grow and reallocate.
+func checkAppendGrow(call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if _, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok {
+		return
+	}
+	report(call, "append on a non-preallocated slice (may grow and reallocate)")
+}
+
+// checkMapAssign flags assignments through a map index: hashing plus
+// possible bucket growth on the hot path.
+func checkMapAssign(p *Package, n *ast.AssignStmt, report func(ast.Node, string, ...any)) {
+	for _, lhs := range n.Lhs {
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if t := typeOf(p.Info, ix.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				report(lhs, "map index-assign (hashes and may grow buckets)")
+			}
+		}
+	}
+}
+
+// checkEscapingReturn flags return &x where x is a local: the return
+// forces x onto the heap.
+func checkEscapingReturn(p *Package, n *ast.ReturnStmt, report func(ast.Node, string, ...any)) {
+	for _, r := range n.Results {
+		if id := addrOfLocal(p.Info, r); id != nil {
+			report(r, "address of local "+id.Name+" escapes via return (heap allocation)")
+		}
+	}
+}
+
+// checkEscapingAssign flags s.f = &x / *p = &x / a[i] = &x where x is
+// a local: the assignment publishes the address beyond the frame.
+func checkEscapingAssign(p *Package, n *ast.AssignStmt, report func(ast.Node, string, ...any)) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		switch ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if id := addrOfLocal(p.Info, n.Rhs[i]); id != nil {
+			report(n.Rhs[i], "address of local "+id.Name+" escapes via assignment to a heap location (heap allocation)")
+		}
+	}
+}
+
+// addrOfLocal matches &x where x resolves to a function-local variable
+// (including parameters), returning the identifier or nil.
+func addrOfLocal(info *types.Info, e ast.Expr) *ast.Ident {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	id, ok := ast.Unparen(un.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+		return nil // package-level variables already live statically
+	}
+	return id
+}
+
+// callsOutsideGuards collects the call expressions of a hotpath body
+// that sit on the fast path: instrumentation-guarded blocks and
+// function literals are pruned.
+func callsOutsideGuards(p *Package, body ast.Node) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			if isRecorderGuard(p.Info, n.Cond) {
+				if n.Init != nil {
+					ast.Inspect(n.Init, walk)
+				}
+				if n.Else != nil {
+					ast.Inspect(n.Else, walk)
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			calls = append(calls, n)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return calls
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// goroutineCheck enforces bounded goroutine lifetimes: every go
+// statement must be provably joined, or explicitly annotated
+// //ffq:detached reason. Unjoined goroutines are how drain-mode
+// shutdown loses writes, tests leak workers across cases, and file
+// handles outlive the broker that opened them.
+//
+// A spawn counts as joined when any of these holds:
+//
+//  1. WaitGroup discipline: a sync.WaitGroup Add call lexically
+//     precedes the go statement inside the same enclosing function,
+//     and a Wait call on a sync.WaitGroup is reachable — present in
+//     the spawning package, or in the package declaring the spawned
+//     function.
+//  2. The spawned body — a function literal, or the declaration of the
+//     spawned function/method resolved one call level deep — calls
+//     sync.WaitGroup.Done (directly or deferred).
+//  3. Done-channel discipline: the spawned body sends on or closes a
+//     channel (directly or deferred), signalling completion to a
+//     joiner.
+//
+// Known false negatives: an Add in a helper function or a different
+// function than the spawn (lexical precedence is an approximation of
+// dominance), a Wait that is dynamically unreachable, a done-channel
+// send nobody receives, and bodies behind more than one level of
+// indirection. Known false positives — goroutines that are genuinely
+// fire-and-forget — carry //ffq:detached with the reason the leak is
+// bounded.
+type goroutineCheck struct{}
+
+func (goroutineCheck) ID() string { return "goroutine-lifecycle" }
+func (goroutineCheck) Doc() string {
+	return "go statements must be provably joined (WaitGroup or done channel) or marked //ffq:detached"
+}
+
+func (c goroutineCheck) Run(ctx *Context, p *Package) []Finding {
+	var out []Finding
+	pkgHasWait := packageHasWaitGroupWait(p)
+	for _, file := range p.Files {
+		// funcStack tracks the innermost enclosing function body so the
+		// Add-dominates rule scans the right scope.
+		var funcStack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				for _, child := range childrenOf(n) {
+					ast.Inspect(child, walk)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.GoStmt:
+				c.checkGo(ctx, p, n, funcStack, pkgHasWait, &out)
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return out
+}
+
+// childrenOf returns the walkable children of a function node.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body != nil {
+			out = append(out, n.Body)
+		}
+	case *ast.FuncLit:
+		if n.Body != nil {
+			out = append(out, n.Body)
+		}
+	}
+	return out
+}
+
+func (c goroutineCheck) checkGo(ctx *Context, p *Package, g *ast.GoStmt, funcStack []ast.Node, pkgHasWait bool, out *[]Finding) {
+	pos := p.Fset.Position(g.Pos())
+	if p.Markers.detached(pos.Filename, pos.Line) {
+		return
+	}
+
+	// Rule 1: Add lexically precedes the spawn in the enclosing
+	// function, with a reachable Wait.
+	if len(funcStack) > 0 {
+		encl := funcStack[len(funcStack)-1]
+		if addPrecedes(p, encl, g) && (pkgHasWait || spawnedPackageHasWait(ctx, p, g)) {
+			return
+		}
+	}
+
+	// Rules 2 and 3: the spawned body joins itself — WaitGroup.Done, a
+	// channel send, or a channel close, including deferred forms.
+	body, bodyPkg := spawnedBody(ctx, p, g)
+	if body != nil && bodySignalsCompletion(bodyPkg, body) {
+		return
+	}
+
+	*out = append(*out, Finding{
+		Pos:   pos,
+		Check: c.ID(),
+		Message: "goroutine is not provably joined: no dominating sync.WaitGroup.Add with a reachable Wait, " +
+			"and the spawned body neither calls Done nor signals a done channel (join it, or annotate //ffq:detached reason)",
+	})
+}
+
+// addPrecedes reports whether a sync.WaitGroup Add call appears before
+// the go statement inside the enclosing function node.
+func addPrecedes(p *Package, encl ast.Node, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.End() <= g.Pos() &&
+			isWaitGroupMethodCall(p.Info, call, "Add") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// spawnedBody resolves the body the go statement runs: an inline
+// function literal, or (one level deep, cross-package via the loader's
+// declaration index) the body of the named function or method being
+// spawned. The returned package carries the type info the body must be
+// resolved against.
+func spawnedBody(ctx *Context, p *Package, g *ast.GoStmt) (*ast.BlockStmt, *Package) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, p
+	}
+	callee := calleeOf(p.Info, g.Call)
+	if callee == nil {
+		return nil, nil
+	}
+	fd := ctx.declOf(callee)
+	if fd == nil || fd.Body == nil {
+		return nil, nil
+	}
+	return fd.Body, packageAt(ctx, p, fd)
+}
+
+// packageAt finds the loaded package whose directory holds the
+// declaration, defaulting to p (single-source mode, or same package).
+func packageAt(ctx *Context, p *Package, fd *ast.FuncDecl) *Package {
+	if ctx == nil || ctx.loader == nil {
+		return p
+	}
+	pos := p.Fset.Position(fd.Pos())
+	for _, cand := range ctx.loader.pkgs {
+		if cand.Dir != "" && filepath.Dir(pos.Filename) == cand.Dir {
+			return cand
+		}
+	}
+	return p
+}
+
+// bodySignalsCompletion reports whether the body contains a
+// WaitGroup.Done call, a channel send, or a channel close — directly
+// or deferred. Nested function literals are not descended into: a
+// signal there runs on yet another goroutine.
+func bodySignalsCompletion(p *Package, body *ast.BlockStmt) bool {
+	if p == nil {
+		return false
+	}
+	found := false
+	walkSkipFuncLit(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.DeferStmt:
+			if signalCall(p.Info, n.Call) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if signalCall(p.Info, n) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// signalCall reports whether call is WaitGroup.Done or close(ch).
+func signalCall(info *types.Info, call *ast.CallExpr) bool {
+	if isWaitGroupMethodCall(info, call, "Done") {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+			return true
+		}
+		// Partial type info (single-source mode): trust the name.
+		if info.Uses[id] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupMethodCall reports whether call invokes the named method
+// on a sync.WaitGroup value or pointer.
+func isWaitGroupMethodCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// packageHasWaitGroupWait reports whether any file of the package
+// calls sync.WaitGroup.Wait.
+func packageHasWaitGroupWait(p *Package) bool {
+	for _, file := range p.Files {
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isWaitGroupMethodCall(p.Info, call, "Wait") {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnedPackageHasWait reports whether the package declaring the
+// spawned function contains a WaitGroup.Wait call — covering spawns
+// whose join lives next to the spawned body (client goroutines waited
+// by the client's own Close).
+func spawnedPackageHasWait(ctx *Context, p *Package, g *ast.GoStmt) bool {
+	callee := calleeOf(p.Info, g.Call)
+	if callee == nil {
+		return false
+	}
+	fd := ctx.declOf(callee)
+	if fd == nil {
+		return false
+	}
+	dp := packageAt(ctx, p, fd)
+	if dp == nil || dp == p {
+		return false
+	}
+	return packageHasWaitGroupWait(dp)
+}

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// publishCheck enforces module-wide release/acquire publication
+// pairing, the seqlock-torn-read hazard class: when one side of a
+// protocol publishes a field with sync/atomic stores, every reader
+// anywhere in the module must use atomic loads — a single plain read
+// is a Go-memory-model race that the compiler and -race may both miss
+// when the interleaving window is narrow.
+//
+//  1. A plain-typed field written via package-form
+//     atomic.Store*/Add*/Swap*/CompareAndSwap* (&s.f handed to
+//     sync/atomic) must never be read or written plainly in any
+//     *other* package of the module. Same-package mixing is
+//     atomic-discipline's jurisdiction; this check covers the
+//     cross-package leaks it cannot see.
+//  2. A field that is atomically stored (package-form atomic.Store* or
+//     method-form .Store on an atomic value type) but never atomically
+//     read anywhere in the module is an orphan publication: either the
+//     store is dead, or — worse — the readers exist and read plainly.
+//
+// The //ffq:plainread reason escape hatch sanctions deliberate plain
+// accesses, e.g. init-before-publish writes that happen-before the
+// queue is shared.
+//
+// Known false negatives: addresses laundered through intermediate
+// pointers (p := &s.f; atomic.StoreInt64(p, v)), accesses via unsafe,
+// and atomic loads that exist only in _test.go files (the loader skips
+// tests, so such fields still count as orphans — annotate the store).
+type publishCheck struct{}
+
+func (publishCheck) ID() string { return "atomic-publish" }
+func (publishCheck) Doc() string {
+	return "atomically written fields need atomic readers module-wide; stores without any load are orphans"
+}
+
+// publishFacts are the module-wide publication facts, computed once
+// per Run over every loaded package.
+type publishFacts struct {
+	// written holds fields whose address reaches a package-form
+	// sync/atomic write (Store/Add/Swap/CompareAndSwap), mapped to one
+	// representative write position for the report text.
+	written map[types.Object]token.Position
+	// stored holds fields with an atomic Store (package- or
+	// method-form): the release side of a publication.
+	stored map[types.Object]bool
+	// loaded holds fields with any atomic read — Load, Swap,
+	// CompareAndSwap, or Add (all observe the value): the acquire side.
+	loaded map[types.Object]bool
+	// sanctioned marks the selector expressions that are themselves the
+	// &s.f argument of a sync/atomic call.
+	sanctioned map[*ast.SelectorExpr]bool
+	// pkgAtomic maps each package to the fields it accesses atomically
+	// in package form; plain access there is atomic-discipline's to
+	// report, not ours.
+	pkgAtomic map[*Package]map[types.Object]bool
+}
+
+// factPackages returns the package set the cross-package checkers see:
+// every package the loader has loaded, or the Run set when there is no
+// loader (single-source mode).
+func (ctx *Context) factPackages() []*Package {
+	if ctx.loader == nil {
+		return ctx.pkgs
+	}
+	pkgs := make([]*Package, 0, len(ctx.loader.pkgs))
+	for _, p := range ctx.loader.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
+}
+
+// publishFacts computes (memoized on the Context) the module-wide
+// publication facts.
+func (ctx *Context) publishFacts() *publishFacts {
+	if ctx.publish != nil {
+		return ctx.publish
+	}
+	facts := &publishFacts{
+		written:    make(map[types.Object]token.Position),
+		stored:     make(map[types.Object]bool),
+		loaded:     make(map[types.Object]bool),
+		sanctioned: make(map[*ast.SelectorExpr]bool),
+		pkgAtomic:  make(map[*Package]map[types.Object]bool),
+	}
+	for _, p := range ctx.factPackages() {
+		facts.scan(p)
+	}
+	ctx.publish = facts
+	return facts
+}
+
+// scan collects the atomic write/read sites of one package.
+func (f *publishFacts) scan(p *Package) {
+	perPkg := f.pkgAtomic[p]
+	if perPkg == nil {
+		perPkg = make(map[types.Object]bool)
+		f.pkgAtomic[p] = perPkg
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Package form: atomic.StoreInt64(&s.f, v) and friends.
+			callee := calleeOf(p.Info, call)
+			if pkgPathOf(callee) == "sync/atomic" {
+				kind := atomicOpKind(callee.Name())
+				if kind == "" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					obj := fieldObjOf(p.Info, sel)
+					if obj == nil {
+						continue
+					}
+					f.sanctioned[sel] = true
+					perPkg[obj] = true
+					switch kind {
+					case "store":
+						f.stored[obj] = true
+						if _, ok := f.written[obj]; !ok {
+							f.written[obj] = p.Fset.Position(call.Pos())
+						}
+					case "write":
+						// Add/Swap/CAS both write and observe.
+						f.loaded[obj] = true
+						if _, ok := f.written[obj]; !ok {
+							f.written[obj] = p.Fset.Position(call.Pos())
+						}
+					case "load":
+						f.loaded[obj] = true
+					}
+				}
+				return true
+			}
+			// Method form: s.f.Store(v) on an atomic value-typed field.
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.MethodVal {
+				return true
+			}
+			recv := s.Recv()
+			if ptr, isPtr := recv.(*types.Pointer); isPtr {
+				recv = ptr.Elem()
+			}
+			if !isAtomicValueType(recv) {
+				return true
+			}
+			inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObjOf(p.Info, inner)
+			if obj == nil {
+				return true
+			}
+			switch kind := atomicOpKind(sel.Sel.Name); kind {
+			case "store":
+				f.stored[obj] = true
+			case "write", "load":
+				f.loaded[obj] = true
+			}
+			return true
+		})
+	}
+}
+
+// atomicOpKind classifies a sync/atomic function or method name:
+// "store" (pure release), "write" (read-modify-write: observes and
+// writes), "load" (pure acquire), or "" for anything else.
+func atomicOpKind(name string) string {
+	switch {
+	case strings.HasPrefix(name, "Store"):
+		return "store"
+	case strings.HasPrefix(name, "Add"),
+		strings.HasPrefix(name, "Swap"),
+		strings.HasPrefix(name, "CompareAndSwap"),
+		strings.HasPrefix(name, "Or"),
+		strings.HasPrefix(name, "And"):
+		return "write"
+	case strings.HasPrefix(name, "Load"):
+		return "load"
+	}
+	return ""
+}
+
+func (c publishCheck) Run(ctx *Context, p *Package) []Finding {
+	facts := ctx.publishFacts()
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(n.Pos()),
+			Check:   c.ID(),
+			Message: sprintf(format, args...),
+		})
+	}
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if facts.sanctioned[n] {
+					return true
+				}
+				obj := fieldObjOf(p.Info, n)
+				if obj == nil {
+					return true
+				}
+				wpos, written := facts.written[obj]
+				if !written || facts.pkgAtomic[p][obj] {
+					// Same-package mixing is atomic-discipline's report.
+					return true
+				}
+				pos := p.Fset.Position(n.Pos())
+				if p.Markers.plainread(pos.Filename, pos.Line) {
+					return true
+				}
+				report(n, "plain access to field %s, which is written with sync/atomic at %s; use atomic loads/stores everywhere or annotate //ffq:plainread reason", obj.Name(), wpos)
+			case *ast.CallExpr:
+				c.checkOrphanStore(p, facts, n, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkOrphanStore reports an atomic store of a field that is never
+// atomically read anywhere in the module: the release half of a
+// publication whose acquire half does not exist.
+func (publishCheck) checkOrphanStore(p *Package, facts *publishFacts, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	orphan := func(obj types.Object) bool {
+		return obj != nil && facts.stored[obj] && !facts.loaded[obj]
+	}
+	// Package form: atomic.StoreX(&s.f, v).
+	callee := calleeOf(p.Info, call)
+	if pkgPathOf(callee) == "sync/atomic" && atomicOpKind(callee.Name()) == "store" {
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if obj := fieldObjOf(p.Info, sel); orphan(obj) {
+				report(call, "field %s is atomically stored but never atomically loaded anywhere in the module (dead publication, or racy plain readers)", obj.Name())
+			}
+		}
+		return
+	}
+	// Method form: s.f.Store(v).
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" {
+		return
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	recv := s.Recv()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	if !isAtomicValueType(recv) {
+		return
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if obj := fieldObjOf(p.Info, inner); orphan(obj) {
+		report(call, "field %s is atomically stored but never atomically loaded anywhere in the module (dead publication, or racy plain readers)", obj.Name())
+	}
+}

@@ -80,6 +80,22 @@ func parseWants(p *Package) ([]wantEntry, error) {
 // every finding must be wanted. It returns the total number of
 // findings produced and an error describing any mismatch.
 func VerifyCorpus(root string) (int, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	return VerifyCorpusWith(l, root)
+}
+
+// VerifyCorpusWith is VerifyCorpus on a caller-supplied loader, letting
+// a driver share one loader — and with it the source importer's
+// compiled-stdlib work, the dominant cost of a load — between the
+// corpus self-check and the subsequent tree lint. Corpus packages end
+// up in the loader's package map under their testdata import paths;
+// they are harmless to later Runs because findings are only reported
+// for the packages passed to Run, and corpus packages are never in
+// that set.
+func VerifyCorpusWith(l *Loader, root string) (int, error) {
 	ents, err := os.ReadDir(root)
 	if err != nil {
 		return 0, err
@@ -93,11 +109,6 @@ func VerifyCorpus(root string) (int, error) {
 	sort.Strings(dirs)
 	if len(dirs) == 0 {
 		return 0, fmt.Errorf("no corpus packages under %s", root)
-	}
-
-	l, err := NewLoader(root)
-	if err != nil {
-		return 0, err
 	}
 	total := 0
 	var problems []string

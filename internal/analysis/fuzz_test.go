@@ -26,6 +26,17 @@ func FuzzLintParse(f *testing.F) {
 		"package p\n//want:padding \"x\"\n//want+1:marker\n",
 		"package p\n//ffq:ignore all \x00\xff\n",
 		"package p\n//ffq:",
+		"package p\n//ffq:plainread\n",
+		"package p\n//ffq:detached\n",
+		"package p\ntype s struct{ f uint64 }\nfunc h(x *s) uint64 {\n\t//ffq:plainread not yet shared\n\treturn x.f\n}\n",
+		"package p\nfunc h() {\n\t//ffq:detached lives for the process\n\tgo h()\n}\n",
+		"package p\nfunc h() { go func() {}() }\n",
+		"package p\nimport \"sync\"\nfunc h(wg *sync.WaitGroup) { go func() { defer wg.Done() }() }\n",
+		"package p\nimport \"sync/atomic\"\ntype s struct{ n int64 }\nfunc h(x *s) { atomic.StoreInt64(&x.n, 1) }\n",
+		"package p\nfunc h() int {\n\t//ffq:ignore spin-backoff stale on purpose\n\treturn 0\n}\n",
+		"package p\nfunc h() int {\n\t//ffq:ignore stale-ignore kept through refactor\n\t//ffq:ignore padding dead\n\treturn 1\n}\n",
+		"package p\n\n//ffq:hotpath\nfunc f(m map[int]int) { m[1] = 2 }\n",
+		"package p\n\n//ffq:hotpath\nfunc f(v int) *int { return &v }\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

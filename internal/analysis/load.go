@@ -479,7 +479,7 @@ func CheckSource(filename string, src []byte) ([]Finding, error) {
 	p.Types, _ = conf.Check("fuzz", fset, files, p.Info)
 	p.Markers = parseMarkers(fset, files)
 
-	ctx := &Context{CacheLine: 64}
+	ctx := &Context{CacheLine: 64, pkgs: []*Package{p}}
 	var out []Finding
 	out = append(out, p.Markers.Bad...)
 	for _, c := range Checks() {
@@ -491,6 +491,7 @@ func CheckSource(filename string, src []byte) ([]Finding, error) {
 			kept = append(kept, f)
 		}
 	}
+	kept = append(kept, staleFindings(p)...)
 	return kept, nil
 }
 

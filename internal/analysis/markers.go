@@ -10,12 +10,22 @@ import (
 // markers are reported.
 const markerCheckID = "marker"
 
+// staleCheckID is the pseudo-check under which suppressions that no
+// longer suppress anything are reported (the stale-ignore audit).
+const staleCheckID = "stale-ignore"
+
 const markerPrefix = "//ffq:"
 
-// ignoreDirective is one parsed //ffq:ignore comment.
-type ignoreDirective struct {
-	check  string
+// lineDirective is one parsed line-scoped //ffq: directive — ignore,
+// plainread, or detached. A directive covers its own line and the
+// following line. used records whether any checker actually consumed
+// it this run; unconsumed directives are reported as stale.
+type lineDirective struct {
+	verb   string // "ignore", "plainread", "detached"
+	check  string // ignore only: the suppressed check ID (or "all")
 	reason string
+	pos    token.Position
+	used   bool
 }
 
 // Markers holds the parsed //ffq: markers of one package.
@@ -25,27 +35,98 @@ type Markers struct {
 	Hotpath    map[*ast.FuncDecl]bool
 	PackHelper map[*ast.FuncDecl]bool
 	Padded     map[*ast.TypeSpec]bool
-	// ignores maps filename -> line -> directives. A directive
-	// suppresses findings on its own line and the following line.
-	ignores map[string]map[int][]ignoreDirective
+	// directives maps filename -> line -> line-scoped directives
+	// (ignore/plainread/detached). A directive covers its own line and
+	// the following line.
+	directives map[string]map[int][]*lineDirective
 	// Bad collects malformed or misplaced markers as findings.
 	Bad []Finding
 }
 
-// suppressed reports whether an //ffq:ignore directive covers f.
-func (m *Markers) suppressed(f Finding) bool {
+// at returns the directives of the given verb covering (file, line):
+// those written on the line itself or on the line above.
+func (m *Markers) at(verb, file string, line int) []*lineDirective {
 	if m == nil {
-		return false
+		return nil
 	}
-	lines := m.ignores[f.Pos.Filename]
-	for _, ln := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+	lines := m.directives[file]
+	var out []*lineDirective
+	for _, ln := range [2]int{line, line - 1} {
 		for _, d := range lines[ln] {
-			if d.check == "all" || d.check == f.Check {
-				return true
+			if d.verb == verb {
+				out = append(out, d)
 			}
 		}
 	}
-	return false
+	return out
+}
+
+// suppressed reports whether an //ffq:ignore directive covers f, and
+// marks any matching directive as used.
+func (m *Markers) suppressed(f Finding) bool {
+	hit := false
+	for _, d := range m.at("ignore", f.Pos.Filename, f.Pos.Line) {
+		if d.check == "all" || d.check == f.Check {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// plainread reports whether an //ffq:plainread directive covers
+// (file, line) — the sanctioned init-before-publish escape hatch of
+// the atomic-publish check — and marks it used.
+func (m *Markers) plainread(file string, line int) bool {
+	ds := m.at("plainread", file, line)
+	for _, d := range ds {
+		d.used = true
+	}
+	return len(ds) > 0
+}
+
+// detached reports whether an //ffq:detached directive covers
+// (file, line) — the goroutine-lifecycle escape hatch for goroutines
+// that legitimately outlive their spawner — and marks it used.
+func (m *Markers) detached(file string, line int) bool {
+	ds := m.at("detached", file, line)
+	for _, d := range ds {
+		d.used = true
+	}
+	return len(ds) > 0
+}
+
+// staleDirectives returns the line-scoped directives no checker
+// consumed this run, in file order. Callers emit them under
+// staleCheckID after the checker pass.
+func (m *Markers) staleDirectives() []*lineDirective {
+	if m == nil {
+		return nil
+	}
+	var out []*lineDirective
+	for _, byLine := range m.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if !d.used {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// staleMessage renders the stale-ignore finding text for a directive.
+func staleMessage(d *lineDirective) string {
+	switch d.verb {
+	case "ignore":
+		return "stale //ffq:ignore " + d.check + ": the check no longer fires on this or the next line (remove the suppression)"
+	case "plainread":
+		return "stale //ffq:plainread: no plain access to an atomically published field on this or the next line (remove the escape hatch)"
+	case "detached":
+		return "stale //ffq:detached: no go statement on this or the next line (remove the annotation)"
+	}
+	return "stale //ffq:" + d.verb
 }
 
 // parseMarkers extracts every //ffq: marker from the files, attaching
@@ -56,7 +137,7 @@ func parseMarkers(fset *token.FileSet, files []*ast.File) *Markers {
 		Hotpath:    make(map[*ast.FuncDecl]bool),
 		PackHelper: make(map[*ast.FuncDecl]bool),
 		Padded:     make(map[*ast.TypeSpec]bool),
-		ignores:    make(map[string]map[int][]ignoreDirective),
+		directives: make(map[string]map[int][]*lineDirective),
 	}
 	consumed := make(map[*ast.Comment]bool)
 
@@ -75,6 +156,16 @@ func parseMarkers(fset *token.FileSet, files []*ast.File) *Markers {
 			}
 		}
 		return nil
+	}
+
+	addDirective := func(pos token.Position, d *lineDirective) {
+		byLine := m.directives[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]*lineDirective)
+			m.directives[pos.Filename] = byLine
+		}
+		d.pos = pos
+		byLine[pos.Line] = append(byLine[pos.Line], d)
 	}
 
 	for _, f := range files {
@@ -112,8 +203,8 @@ func parseMarkers(fset *token.FileSet, files []*ast.File) *Markers {
 				}
 			}
 		}
-		// Pass 2: ignore directives and leftover (malformed/misplaced)
-		// markers.
+		// Pass 2: line-scoped directives and leftover (malformed or
+		// misplaced) markers.
 		for _, g := range f.Comments {
 			for _, c := range g.List {
 				rest, ok := strings.CutPrefix(c.Text, markerPrefix)
@@ -133,15 +224,18 @@ func parseMarkers(fset *token.FileSet, files []*ast.File) *Markers {
 						m.bad(pos, "//ffq:ignore names unknown check %q (known: "+strings.Join(CheckIDs(), ", ")+", all)", fields[0])
 						continue
 					}
-					byLine := m.ignores[pos.Filename]
-					if byLine == nil {
-						byLine = make(map[int][]ignoreDirective)
-						m.ignores[pos.Filename] = byLine
-					}
-					byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+					addDirective(pos, &lineDirective{
+						verb:   "ignore",
 						check:  fields[0],
 						reason: strings.Join(fields[1:], " "),
 					})
+				case "plainread", "detached":
+					reason := strings.TrimSpace(args)
+					if reason == "" {
+						m.bad(pos, "//ffq:%s needs a justification: //ffq:%s reason...", verb, verb)
+						continue
+					}
+					addDirective(pos, &lineDirective{verb: verb, reason: reason})
 				case "hotpath", "packhelper":
 					m.bad(pos, "//ffq:%s must be in the doc comment of a function declaration", verb)
 				case "padded":

@@ -1,0 +1,32 @@
+// Package atomicpublish is the writer half of the atomic-publish
+// corpus: it publishes fields with package-form sync/atomic stores.
+// Cross-package plain access is exercised by the atomicpublishreader
+// case, which imports this one; the orphan rule — a field atomically
+// stored but never atomically loaded anywhere in the module — is
+// exercised here.
+package atomicpublish
+
+import "sync/atomic"
+
+// Queue publishes Seq to readers in other packages.
+type Queue struct {
+	// Seq is stored and loaded atomically: a paired publication.
+	Seq uint64
+	// Orphan is stored atomically but no package ever loads it.
+	Orphan uint64
+}
+
+// Publish releases a new sequence number.
+func (q *Queue) Publish(v uint64) {
+	atomic.StoreUint64(&q.Seq, v)
+}
+
+// Current acquires the sequence number; this load keeps Seq paired.
+func (q *Queue) Current() uint64 {
+	return atomic.LoadUint64(&q.Seq)
+}
+
+// MarkOrphan stores a field nobody ever atomically reads.
+func (q *Queue) MarkOrphan() {
+	atomic.StoreUint64(&q.Orphan, 1) //want:atomic-publish "field Orphan is atomically stored but never atomically loaded"
+}

@@ -1,0 +1,26 @@
+// Package atomicpublishreader is the reader half of the atomic-publish
+// corpus: it imports the writer package and accesses its atomically
+// published field plainly — the cross-package leak the same-package
+// atomic-discipline check cannot see.
+package atomicpublishreader
+
+import "ffq/internal/analysis/testdata/src/atomicpublish"
+
+// racyRead reads the published field without an atomic load.
+func racyRead(q *atomicpublish.Queue) uint64 {
+	return q.Seq //want:atomic-publish "plain access to field Seq"
+}
+
+// initBeforePublish writes the field plainly before the queue is
+// shared with any other goroutine: sanctioned by the escape hatch.
+func initBeforePublish() *atomicpublish.Queue {
+	q := new(atomicpublish.Queue)
+	//ffq:plainread q is not yet shared; the store below happens-before publication
+	q.Seq = 1
+	return q
+}
+
+// viaAccessor reads through the writer's atomic accessor: clean.
+func viaAccessor(q *atomicpublish.Queue) uint64 {
+	return q.Current()
+}

@@ -1,0 +1,69 @@
+// Package goroutinelifecycle is a corpus case for the
+// goroutine-lifecycle check: every go statement must be provably
+// joined — a dominating WaitGroup.Add with a reachable Wait, or a
+// spawned body that calls Done or signals a done channel — or carry
+// //ffq:detached with a reason.
+package goroutinelifecycle
+
+import "sync"
+
+// leak spawns with no join protocol at all.
+func leak() {
+	go func() {}() //want:goroutine-lifecycle "goroutine is not provably joined"
+}
+
+// leakNamed spawns a named function whose body signals nothing.
+func leakNamed() {
+	go idle() //want:goroutine-lifecycle "goroutine is not provably joined"
+}
+
+func idle() {}
+
+// joinedByAdd follows the WaitGroup discipline: Add dominates the
+// spawn and Wait is reachable.
+func joinedByAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		_ = 1
+	}()
+	wg.Wait()
+}
+
+// joinedByDone is joined through the spawned body's deferred Done.
+func joinedByDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// joinedBySend signals completion on a done channel.
+func joinedBySend(done chan struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// joinedByClose signals completion by closing the channel.
+func joinedByClose(done chan struct{}) {
+	go func() {
+		defer close(done)
+	}()
+}
+
+// joinedNamed spawns a named worker whose body closes its channel —
+// resolved one call level deep through the declaration index.
+func joinedNamed(done chan struct{}) {
+	go worker(done)
+}
+
+func worker(done chan struct{}) {
+	close(done)
+}
+
+// fireAndForget is sanctioned: the annotation carries the reason the
+// leak is bounded.
+func fireAndForget() {
+	//ffq:detached corpus fixture: goroutine lives for the process by design
+	go idle()
+}

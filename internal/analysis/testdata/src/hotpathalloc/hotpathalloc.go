@@ -1,0 +1,64 @@
+// Package hotpathalloc is a corpus case for the hotpath-alloc check:
+// the heap-allocating constructs hotpath-purity does not flag inside
+// //ffq:hotpath bodies (map index-assign, escaping locals), plus the
+// full allocation rule set applied one level deep into
+// //ffq:packhelper helpers, which purity never enters.
+package hotpathalloc
+
+// state is the queue-like receiver under test.
+type state struct {
+	index map[int]int
+	slot  *int
+	buf   []byte
+	spill []byte
+}
+
+// pair exists so a helper can build a composite literal.
+type pair struct{ a, b int }
+
+// sink boxes its arguments, like fmt printers and error wrappers do.
+func sink(args ...any) int { return len(args) }
+
+// enqueue exercises the in-body rules.
+//
+//ffq:hotpath
+func (s *state) enqueue(v int) {
+	s.index[v] = v //want:hotpath-alloc "map index-assign"
+	x := v
+	s.slot = &x //want:hotpath-alloc "address of local x escapes via assignment to a heap location"
+	s.pack(v)
+}
+
+// escape exercises the return-escape rule.
+//
+//ffq:hotpath
+func escape(v int) *int {
+	return &v //want:hotpath-alloc "address of local v escapes via return"
+}
+
+// flush reaches the second helper.
+//
+//ffq:hotpath
+func (s *state) flush(v int) int {
+	return describe(s, v)
+}
+
+// pack is expanded one call level from enqueue; the full allocation
+// rule set applies here.
+//
+//ffq:packhelper
+func (s *state) pack(v int) {
+	s.buf = append(s.buf[:0], byte(v)) // reslice of an existing buffer: reuses capacity
+	s.spill = append(s.spill, byte(v)) //want:hotpath-alloc "append on a non-preallocated slice"
+	scratch := make([]byte, 8)         //want:hotpath-alloc "make (allocates)"
+	s.buf = append(s.buf[:0], scratch...)
+}
+
+// describe is expanded one call level from flush.
+//
+//ffq:packhelper
+func describe(s *state, v int) int {
+	f := func() int { return v } //want:hotpath-alloc "function literal (closure allocation)"
+	p := pair{v, v}              //want:hotpath-alloc "composite literal"
+	return sink(v) + f() + p.a   //want:hotpath-alloc "argument boxes"
+}

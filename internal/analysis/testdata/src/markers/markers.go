@@ -26,8 +26,17 @@ var alsoFloating int
 //want+1:marker "unknown marker //ffq:frobnicate"
 //ffq:frobnicate
 
-// wellFormed carries a correct (if unused) suppression: no finding.
+// The sanction verbs require a justification, exactly like ignore.
+
+//want+1:marker "//ffq:plainread needs a justification"
+//ffq:plainread
+
+//want+1:marker "//ffq:detached needs a justification"
+//ffq:detached
+
+// wellFormed exists so the file has an ordinary declaration between
+// the floating markers; an unused suppression here would itself be a
+// stale-ignore finding (see the staleignore corpus case).
 func wellFormed() int {
-	//ffq:ignore spin-backoff corpus fixture: nothing here actually spins
 	return int(floating) + int(alsoFloating)
 }

@@ -1,0 +1,39 @@
+// Package staleignore is a corpus case for the stale-suppression
+// audit: a line-scoped //ffq: directive that no checker consumed this
+// run is itself a finding — suppressions must die with the finding
+// they justified.
+package staleignore
+
+import "sync/atomic"
+
+// counter carries a live suppression: the ignore below consumes a real
+// atomic-discipline finding every run, so it is not stale.
+type counter struct {
+	hits int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	//ffq:ignore atomic-discipline corpus fixture: demonstrating a live suppression
+	return c.hits
+}
+
+// idle carries a dead suppression: nothing on the covered lines ever
+// fires spin-backoff.
+func idle() int {
+	//want+1:stale-ignore "stale //ffq:ignore spin-backoff"
+	//ffq:ignore spin-backoff corpus fixture: nothing here spins
+	return 0
+}
+
+// quiet shows the audit suppressing itself: the padding ignore is
+// stale, but the stale-ignore suppression covering it consumes the
+// finding — the escape hatch for directives kept through a refactor.
+func quiet() int {
+	//ffq:ignore stale-ignore corpus fixture: keeping the dead suppression until the padded variant lands
+	//ffq:ignore padding corpus fixture: nothing here is padded
+	return 1
+}

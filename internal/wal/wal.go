@@ -469,17 +469,23 @@ func (l *Log) rollLocked() error {
 			return err
 		}
 	}
+	// Open the successor before sealing the current segment: if the
+	// open fails, l.active must still be the live, open handle —
+	// closing first would wedge the log on a closed file and leave the
+	// sealed segment double-accounted in l.segs.
+	f, err := os.OpenFile(l.segPath(l.next), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
 	if err := l.active.Close(); err != nil {
+		f.Close()
+		os.Remove(l.segPath(l.next))
 		return err
 	}
 	l.segs = append(l.segs, segment{
 		base: l.activeBase, end: l.next,
 		size: l.activeSize, sealedAt: time.Now(), index: l.activeIdx,
 	})
-	f, err := os.OpenFile(l.segPath(l.next), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
-	if err != nil {
-		return err
-	}
 	l.active = f
 	l.activeBase = l.next
 	l.activeSize = 0

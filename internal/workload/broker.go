@@ -80,6 +80,7 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 
 	// connect returns a client over the configured transport.
 	var connect func() (*client.Client, error)
+	var serveErr chan error // non-nil only for the tcp transport
 	switch cfg.Transport {
 	case "", "pipe":
 		connect = func() (*client.Client, error) {
@@ -92,7 +93,8 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		if err != nil {
 			return BrokerResult{}, err
 		}
-		go b.Serve(ln)
+		serveErr = make(chan error, 1)
+		go func() { serveErr <- b.Serve(ln) }()
 		addr := ln.Addr().String()
 		connect = func() (*client.Client, error) { return client.Dial(addr, copts) }
 	default:
@@ -178,6 +180,13 @@ func RunBroker(cfg BrokerConfig) (BrokerResult, error) {
 		return BrokerResult{}, fmt.Errorf("workload: broker shutdown: %w", err)
 	}
 	consumerWG.Wait()
+	// Shutdown closed the listener, so Serve has returned; join the
+	// accept loop and surface any error it swallowed.
+	if serveErr != nil {
+		if err := <-serveErr; err != nil {
+			return BrokerResult{}, fmt.Errorf("workload: broker serve: %w", err)
+		}
+	}
 	for _, c := range append(producers, consumers...) {
 		c.Close()
 	}

@@ -17,10 +17,7 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== ffq-lint selfcheck"
-go run ./cmd/ffq-lint -selfcheck
-
-echo "== ffq-lint"
-go run ./cmd/ffq-lint ./...
+echo "== ffq-lint (selfcheck + tree, one shared loader)"
+go run ./cmd/ffq-lint -selfcheck ./...
 
 echo "lint: all clean"
