@@ -2,11 +2,21 @@
 //
 // Usage:
 //
-//	ffq-cli [-addr host:7077] pub <topic> [msg...]   # publish args, or stdin lines
-//	ffq-cli [-addr host:7077] sub <topic>            # print messages until EOF/interrupt
-//	ffq-cli [-addr host:7077] consume <topic> -from 0 -group workers
-//	ffq-cli [-addr host:7077] offsets <topic> [-group workers]
+//	ffq-cli [-addr host:7077] pub <topic> [-key k | -part N] [msg...]   # publish args, or stdin lines
+//	ffq-cli [-addr host:7077] sub <topic> [-part N]  # print messages until EOF/interrupt
+//	ffq-cli [-addr host:7077] consume <topic> [-part N] -from 0 -group workers
+//	ffq-cli [-addr host:7077] offsets <topic> [-part N] [-group workers]
+//	ffq-cli [-addr host:7077] meta                   # cluster shape and topics
 //	ffq-cli [-addr host:7077] ping [-n count]
+//
+// Against a clustered broker (ffqd -cluster), pub -key routes like a
+// real producer: it fetches the cluster shape with METADATA, hashes
+// the key to a partition (FNV-1a, the pinned routing hash), computes
+// the partition's owner by rendezvous hashing, and publishes to that
+// node — redialing if it isn't the one -addr points at. pub/sub/
+// consume/offsets -part address one explicit partition on the
+// connected node (consume and offsets work on replicas too; pub and
+// sub need the owner).
 //
 // pub publishes each argument as one message; with no message
 // arguments it reads stdin and publishes one message per line (so
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"ffq/internal/broker/client"
+	"ffq/internal/cluster"
 )
 
 func main() {
@@ -57,9 +68,9 @@ func main() {
 	}
 	cmd := args[0]
 	switch cmd {
-	case "pub", "sub", "consume", "offsets", "ping":
+	case "pub", "sub", "consume", "offsets", "meta", "ping":
 	default:
-		fatal(fmt.Errorf("unknown command %q (have pub, sub, consume, offsets, ping)", cmd))
+		fatal(fmt.Errorf("unknown command %q (have pub, sub, consume, offsets, meta, ping)", cmd))
 	}
 
 	c, err := client.Dial(*addr, client.Options{Window: *window})
@@ -70,13 +81,15 @@ func main() {
 
 	switch cmd {
 	case "pub":
-		err = runPub(c, args[1:])
+		err = runPub(c, *window, args[1:])
 	case "sub":
 		err = runSub(c, args[1:])
 	case "consume":
 		err = runConsume(c, args[1:])
 	case "offsets":
 		err = runOffsets(c, args[1:])
+	case "meta":
+		err = runMeta(c)
 	case "ping":
 		err = runPing(c, args[1:])
 	}
@@ -85,17 +98,61 @@ func main() {
 	}
 }
 
+// parsePart converts a -part flag value (-1 = unset) to a partition id.
+func parsePart(part int) uint32 {
+	if part < 0 {
+		return client.NoPartition
+	}
+	return uint32(part)
+}
+
 // runPub publishes the argument messages, or stdin lines when none
-// are given, then drains the ACK window.
-func runPub(c *client.Client, args []string) error {
+// are given, then drains the ACK window. -key routes to the keyed
+// partition on its owner node; -part pins a partition on the
+// connected node.
+func runPub(c *client.Client, window int, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("pub: need a topic")
 	}
 	topic := args[0]
+	fs := flag.NewFlagSet("pub", flag.ContinueOnError)
+	key := fs.String("key", "", "route by key: hash to a partition and publish to its owner node")
+	partArg := fs.Int("part", -1, "publish to this explicit partition on the connected node (-1 = unpartitioned)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *key != "" && *partArg >= 0 {
+		return fmt.Errorf("pub: -key and -part are mutually exclusive")
+	}
+	part := parsePart(*partArg)
+	dest := "" // non-empty when -key routed to a different node
+	if *key != "" {
+		meta, err := c.Meta()
+		if err != nil {
+			return err
+		}
+		if meta.Partitions == 0 {
+			return fmt.Errorf("pub: -key needs a clustered broker (this one is standalone)")
+		}
+		cfg := clusterConfig(meta)
+		part = cluster.PartitionForKey([]byte(*key), meta.Partitions)
+		owner := cfg.Owner(topic, part)
+		if owner.ID != meta.NodeID {
+			// The connected node is not the owner: route the publish.
+			oc, err := client.Dial(owner.Addr, client.Options{Window: window})
+			if err != nil {
+				return fmt.Errorf("pub: dialing owner %s (%s): %w", owner.ID, owner.Addr, err)
+			}
+			defer oc.Close()
+			c = oc
+			dest = " on " + owner.ID
+		}
+	}
 	n := 0
-	if len(args) > 1 {
-		for _, m := range args[1:] {
-			if err := c.Publish(topic, []byte(m)); err != nil {
+	msgs := fs.Args()
+	if len(msgs) > 0 {
+		for _, m := range msgs {
+			if err := c.PublishPart(topic, part, []byte(m)); err != nil {
 				return err
 			}
 			n++
@@ -104,7 +161,7 @@ func runPub(c *client.Client, args []string) error {
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Buffer(make([]byte, 64<<10), 1<<20)
 		for sc.Scan() {
-			if err := c.Publish(topic, sc.Bytes()); err != nil {
+			if err := c.PublishPart(topic, part, sc.Bytes()); err != nil {
 				return err
 			}
 			n++
@@ -116,7 +173,49 @@ func runPub(c *client.Client, args []string) error {
 	if err := c.Drain(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ffq-cli: published %d message(s) to %q\n", n, topic)
+	where := topic
+	if part != client.NoPartition {
+		where = fmt.Sprintf("%s@%d", topic, part)
+	}
+	fmt.Fprintf(os.Stderr, "ffq-cli: published %d message(s) to %q%s\n", n, where, dest)
+	return nil
+}
+
+// clusterConfig rebuilds the placement view from a METADATA answer so
+// the cli can compute owners exactly as the brokers do.
+func clusterConfig(meta client.MetaInfo) *cluster.Config {
+	cfg := &cluster.Config{
+		NodeID:      meta.NodeID,
+		Partitions:  meta.Partitions,
+		Replication: meta.Replication,
+	}
+	for _, n := range meta.Nodes {
+		cfg.Peers = append(cfg.Peers, cluster.Peer{ID: n.ID, Addr: n.Addr})
+	}
+	return cfg
+}
+
+// runMeta prints the broker's cluster shape and partitioned topics.
+func runMeta(c *client.Client) error {
+	meta, err := c.Meta()
+	if err != nil {
+		return err
+	}
+	if meta.Partitions == 0 {
+		fmt.Println("standalone broker (no cluster)")
+	} else {
+		fmt.Printf("node        %s\npartitions  %d\nreplication %d\n", meta.NodeID, meta.Partitions, meta.Replication)
+		for _, n := range meta.Nodes {
+			self := ""
+			if n.ID == meta.NodeID {
+				self = " (this node)"
+			}
+			fmt.Printf("peer        %s=%s%s\n", n.ID, n.Addr, self)
+		}
+	}
+	for _, t := range meta.Topics {
+		fmt.Printf("topic       %s\n", t)
+	}
 	return nil
 }
 
@@ -126,7 +225,12 @@ func runSub(c *client.Client, args []string) error {
 		return fmt.Errorf("sub: need a topic")
 	}
 	topic := args[0]
-	sub, err := c.Subscribe(topic, 0) // 0 = client default window
+	fs := flag.NewFlagSet("sub", flag.ContinueOnError)
+	partArg := fs.Int("part", -1, "subscribe to this explicit partition (-1 = unpartitioned)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	sub, err := c.SubscribePart(topic, parsePart(*partArg), 0) // 0 = client default window
 	if err != nil {
 		return err
 	}
@@ -176,6 +280,7 @@ func runConsume(c *client.Client, args []string) error {
 	fromArg := fs.String("from", "0", "replay start offset, or \"cursor\" to resume from -group's committed cursor")
 	group := fs.String("group", "", "consumer group for cursor commits")
 	commitEvery := fs.Int("commit-every", 256, "with -group, commit the cursor every N messages (0 = never)")
+	partArg := fs.Int("part", -1, "replay this explicit partition (-1 = unpartitioned); replicas serve it too")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -190,7 +295,7 @@ func runConsume(c *client.Client, args []string) error {
 		return fmt.Errorf("consume: -from cursor needs -group")
 	}
 
-	sub, err := c.SubscribeFrom(topic, 0, from, *group)
+	sub, err := c.SubscribeFromPart(topic, parsePart(*partArg), 0, from, *group, false)
 	if err != nil {
 		return err
 	}
@@ -249,14 +354,20 @@ func runOffsets(c *client.Client, args []string) error {
 	topic := args[0]
 	fs := flag.NewFlagSet("offsets", flag.ContinueOnError)
 	group := fs.String("group", "", "also report this group's committed cursor")
+	partArg := fs.Int("part", -1, "query this explicit partition (-1 = unpartitioned)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	oldest, next, cursor, err := c.Offsets(topic, *group)
+	part := parsePart(*partArg)
+	oldest, next, cursor, err := c.OffsetsPart(topic, part, *group)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("topic    %s\noldest   %d\nnext     %d\nretained %d\n", topic, oldest, next, next-oldest)
+	display := topic
+	if part != client.NoPartition {
+		display = fmt.Sprintf("%s@%d", topic, part)
+	}
+	fmt.Printf("topic    %s\noldest   %d\nnext     %d\nretained %d\n", display, oldest, next, next-oldest)
 	if *group != "" {
 		fmt.Printf("cursor   %d (group %q, %d behind head)\n", cursor, *group, next-cursor)
 	}

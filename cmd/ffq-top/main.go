@@ -45,6 +45,14 @@
 //
 //	ffq-top -scrape localhost:9077           # same as http://localhost:9077/metrics
 //	ffq-top -scrape http://host:9077/metrics -interval 2s -plain
+//
+// Against a cluster, -scrape takes every node's metrics endpoint at
+// once (comma-separated) and renders a per-node summary plus a
+// per-node × per-partition table: each partitioned topic ("base@N")
+// shows its live depth and replication lag — local WAL head versus
+// the most advanced copy in the cluster — on every node holding it:
+//
+//	ffq-top -scrape n1:9077,n2:9077,n3:9077
 package main
 
 import (
@@ -187,7 +195,7 @@ func main() {
 	plain := flag.Bool("plain", false, "append one line per tick instead of refreshing in place")
 	latency := flag.Bool("latency", false, "record per-op latency histograms and show p50/p99/p999/max per refresh")
 	stallTh := flag.Duration("stall-threshold", 0, "arm the stall watchdog: waits past this become timestamped stall events (0 = off)")
-	scrape := flag.String("scrape", "", "watch a running ffqd broker instead: poll this /metrics URL (host:port implies http and /metrics)")
+	scrape := flag.String("scrape", "", "watch running ffqd brokers instead: poll these /metrics URLs, comma-separated (host:port implies http and /metrics; several = cluster view)")
 	flag.Parse()
 
 	if *scrape != "" {

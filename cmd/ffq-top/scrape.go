@@ -7,7 +7,9 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -26,6 +28,14 @@ import (
 // broker (-data-dir) a third table shows each topic's WAL: on-disk
 // size, retained offset range, segment count, append rate, and the
 // broker-wide fsync p99 (ffqd_wal_fsync_ns).
+//
+// -scrape also takes a comma-separated endpoint list — one per
+// cluster node. All endpoints are polled each tick and the view
+// becomes a cluster frame: a summary line per node plus a per-node ×
+// per-partition table of every partitioned topic ("base@N" labels),
+// each cell showing the node's local WAL head and its replication lag
+// behind the most advanced copy of that partition. A node that fails
+// a scrape renders as "down" for that tick instead of aborting.
 
 // scrapeOnce fetches and parses one exposition.
 func scrapeOnce(client *http.Client, url string) (*expvarx.SampleSet, error) {
@@ -93,14 +103,50 @@ func topicQueueLabels(ss *expvarx.SampleSet, name, topic, op string) map[string]
 	return nil
 }
 
-// runScrape is the -scrape main loop. It renders one frame per
-// interval until the duration elapses or a signal arrives.
-func runScrape(url string, interval, duration time.Duration, plain bool) error {
+// normalizeScrapeURL expands a bare host:port into a full /metrics URL.
+func normalizeScrapeURL(url string) string {
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
 	if !strings.Contains(url[strings.Index(url, "://")+3:], "/") {
 		url += "/metrics"
+	}
+	return url
+}
+
+// scrapeAll polls every endpoint concurrently; a failed endpoint
+// yields a nil SampleSet in its slot (rendered as down) rather than
+// failing the whole tick.
+func scrapeAll(client *http.Client, urls []string) []*expvarx.SampleSet {
+	out := make([]*expvarx.SampleSet, len(urls))
+	var wg sync.WaitGroup
+	for i, url := range urls {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			ss, err := scrapeOnce(client, url)
+			if err == nil {
+				out[i] = ss
+			}
+		}(i, url)
+	}
+	wg.Wait()
+	return out
+}
+
+// runScrape is the -scrape main loop. It renders one frame per
+// interval until the duration elapses or a signal arrives. urlList
+// may name several endpoints (comma-separated); more than one turns
+// the frame into the cluster view.
+func runScrape(urlList string, interval, duration time.Duration, plain bool) error {
+	var urls []string
+	for _, u := range strings.Split(urlList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, normalizeScrapeURL(u))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("scrape: no endpoints")
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
 
@@ -114,8 +160,11 @@ func runScrape(url string, interval, duration time.Duration, plain bool) error {
 	defer ticker.Stop()
 
 	start := time.Now()
-	prev, err := scrapeOnce(client, url)
-	if err != nil {
+	prev := scrapeAll(client, urls)
+	if len(urls) == 1 && prev[0] == nil {
+		// Single-endpoint mode keeps the old contract: an unreachable
+		// broker is a startup error, not an empty frame.
+		_, err := scrapeOnce(client, urls[0])
 		return err
 	}
 	prevAt := start
@@ -126,12 +175,19 @@ func runScrape(url string, interval, duration time.Duration, plain bool) error {
 		case <-deadline:
 			return nil
 		case now := <-ticker.C:
-			cur, err := scrapeOnce(client, url)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ffq-top: scrape:", err)
-				continue
+			cur := scrapeAll(client, urls)
+			if len(urls) == 1 {
+				if cur[0] == nil {
+					fmt.Fprintln(os.Stderr, "ffq-top: scrape:", urls[0], "unreachable")
+					continue
+				}
+				if prev[0] == nil {
+					prev[0] = cur[0]
+				}
+				renderScrape(os.Stdout, plain, urls[0], now.Sub(start), cur[0], prev[0], now.Sub(prevAt))
+			} else {
+				renderClusterScrape(os.Stdout, plain, urls, now.Sub(start), cur, prev, now.Sub(prevAt))
 			}
-			renderScrape(os.Stdout, plain, url, now.Sub(start), cur, prev, now.Sub(prevAt))
 			prev, prevAt = cur, now
 		}
 	}
@@ -259,6 +315,177 @@ func renderScrape(w *os.File, plain bool, url string, elapsed time.Duration,
 				histCol(cur, "ffqd_e2e_latency_ns", e2e, 0.99),
 				histCol(cur, "ffqd_e2e_latency_ns", e2e, 0.999),
 				deq, stalls)
+		}
+	}
+	fmt.Fprintf(&b, "\n(ctrl-c to stop)\n")
+	w.WriteString(b.String())
+}
+
+// endpointLabel shortens a scrape URL to its host:port for column
+// headers.
+func endpointLabel(url string) string {
+	if i := strings.Index(url, "://"); i >= 0 {
+		url = url[i+3:]
+	}
+	if i := strings.Index(url, "/"); i >= 0 {
+		url = url[:i]
+	}
+	return url
+}
+
+// splitPartTopic parses a partitioned display label "base@N". The
+// broker only uses '@' in partitioned names (DirName escapes it
+// elsewhere), so a trailing integer after the last '@' is decisive.
+func splitPartTopic(label string) (base string, part uint64, ok bool) {
+	i := strings.LastIndex(label, "@")
+	if i < 0 {
+		return "", 0, false
+	}
+	part, err := strconv.ParseUint(label[i+1:], 10, 32)
+	if err != nil {
+		return "", 0, false
+	}
+	return label[:i], part, true
+}
+
+// partitionRows collects every partitioned topic label seen on any
+// node, sorted by base name then partition index.
+func partitionRows(sets []*expvarx.SampleSet) []string {
+	seen := map[string]bool{}
+	var rows []string
+	for _, ss := range sets {
+		if ss == nil {
+			continue
+		}
+		for _, fam := range []string{"ffqd_topic_depth", "ffqd_wal_next_offset"} {
+			for _, label := range ss.LabelValues(fam, "topic") {
+				if _, _, ok := splitPartTopic(label); ok && !seen[label] {
+					seen[label] = true
+					rows = append(rows, label)
+				}
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		bi, pi, _ := splitPartTopic(rows[i])
+		bj, pj, _ := splitPartTopic(rows[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return pi < pj
+	})
+	return rows
+}
+
+// renderClusterScrape draws one multi-node frame: a summary line per
+// node and a per-node × per-partition table. Each cell is the node's
+// live depth and its replication lag — the distance between its local
+// WAL head and the most advanced copy of that partition anywhere in
+// the cluster — so a healthy replica reads d0 l0 and a follower
+// catching up shows its backlog directly.
+func renderClusterScrape(w *os.File, plain bool, urls []string, elapsed time.Duration,
+	cur, prev []*expvarx.SampleSet, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	rows := partitionRows(cur)
+
+	// head[row][node] = local WAL next offset; maxHead[row] = the most
+	// advanced copy. Lag is only meaningful against nodes that hold
+	// the partition at all.
+	type cell struct {
+		held  bool
+		depth float64
+		head  float64
+	}
+	grid := make([][]cell, len(rows))
+	maxHead := make([]float64, len(rows))
+	for ri, row := range rows {
+		grid[ri] = make([]cell, len(cur))
+		for ni, ss := range cur {
+			if ss == nil {
+				continue
+			}
+			head, okHead := ss.Value("ffqd_wal_next_offset", map[string]string{"topic": row})
+			depth, okDepth := ss.Value("ffqd_topic_depth", map[string]string{"topic": row})
+			if !okHead && !okDepth {
+				continue
+			}
+			grid[ri][ni] = cell{held: true, depth: depth, head: head}
+			if head > maxHead[ri] {
+				maxHead[ri] = head
+			}
+		}
+	}
+
+	if plain {
+		up, in, out := 0, 0.0, 0.0
+		var maxLag float64
+		for ni, ss := range cur {
+			if ss == nil {
+				continue
+			}
+			up++
+			if prev[ni] != nil {
+				in += (val(ss, "ffqd_messages_in_total") - val(prev[ni], "ffqd_messages_in_total")) / secs
+				out += (val(ss, "ffqd_messages_out_total") - val(prev[ni], "ffqd_messages_out_total")) / secs
+			}
+		}
+		for ri := range rows {
+			for _, c := range grid[ri] {
+				if c.held && maxHead[ri]-c.head > maxLag {
+					maxLag = maxHead[ri] - c.head
+				}
+			}
+		}
+		fmt.Fprintf(w, "t=%-8s nodes=%d/%d parts=%-4d in/s=%-10.0f out/s=%-10.0f maxlag=%.0f\n",
+			elapsed.Round(time.Second), up, len(cur), len(rows), in, out, maxLag)
+		return
+	}
+
+	var b strings.Builder
+	b.WriteString("\x1b[2J\x1b[H")
+	fmt.Fprintf(&b, "ffq-top — cluster, %d nodes — up %s\n\n", len(urls), elapsed.Round(time.Second))
+	fmt.Fprintf(&b, "  %-22s %8s %7s %10s %10s %8s\n", "NODE", "CONNS", "TOPICS", "IN/S", "OUT/S", "ACKS/S")
+	for ni, ss := range cur {
+		name := endpointLabel(urls[ni])
+		if ss == nil {
+			fmt.Fprintf(&b, "  %-22s %s\n", name, "down")
+			continue
+		}
+		rate := func(fam string) float64 {
+			if prev[ni] == nil {
+				return 0
+			}
+			return (val(ss, fam) - val(prev[ni], fam)) / secs
+		}
+		fmt.Fprintf(&b, "  %-22s %8.0f %7.0f %10.0f %10.0f %8.0f\n",
+			name, val(ss, "ffqd_connections"), val(ss, "ffqd_topics"),
+			rate("ffqd_messages_in_total"), rate("ffqd_messages_out_total"), rate("ffqd_acks_total"))
+	}
+
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "\n  partitions (cells: d<depth> l<lag>; lag = most advanced WAL head minus local)\n")
+		fmt.Fprintf(&b, "  %-24s", "TOPIC@PART")
+		for _, url := range urls {
+			fmt.Fprintf(&b, " %14s", endpointLabel(url))
+		}
+		b.WriteString("\n")
+		for ri, row := range rows {
+			fmt.Fprintf(&b, "  %-24s", row)
+			for ni := range cur {
+				switch {
+				case cur[ni] == nil:
+					fmt.Fprintf(&b, " %14s", "down")
+				case !grid[ri][ni].held:
+					fmt.Fprintf(&b, " %14s", "-")
+				default:
+					c := grid[ri][ni]
+					fmt.Fprintf(&b, " %14s", fmt.Sprintf("d%.0f l%.0f", c.depth, maxHead[ri]-c.head))
+				}
+			}
+			b.WriteString("\n")
 		}
 	}
 	fmt.Fprintf(&b, "\n(ctrl-c to stop)\n")

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ffq/internal/obs/expvarx"
+)
+
+func parseSet(t *testing.T, text string) *expvarx.SampleSet {
+	t.Helper()
+	samples, err := expvarx.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return expvarx.NewSampleSet(samples)
+}
+
+func TestSplitPartTopic(t *testing.T) {
+	cases := []struct {
+		label string
+		base  string
+		part  uint64
+		ok    bool
+	}{
+		{"orders@3", "orders", 3, true},
+		{"orders@0", "orders", 0, true},
+		{"orders", "", 0, false},
+		{"orders@", "", 0, false},
+		{"orders@x", "", 0, false},
+		// A base that itself carries an '@' splits at the last one.
+		{"a@2@7", "a@2", 7, true},
+	}
+	for _, c := range cases {
+		base, part, ok := splitPartTopic(c.label)
+		if base != c.base || part != c.part || ok != c.ok {
+			t.Errorf("splitPartTopic(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.label, base, part, ok, c.base, c.part, c.ok)
+		}
+	}
+}
+
+// TestPartitionRows checks the cluster table's row set: partitioned
+// labels from every reachable node, deduplicated, base-then-numeric
+// order (orders@10 sorts after orders@2), unpartitioned topics and
+// down nodes ignored.
+func TestPartitionRows(t *testing.T) {
+	n1 := parseSet(t, `
+ffqd_topic_depth{topic="orders@2"} 5
+ffqd_topic_depth{topic="plain"} 1
+ffqd_wal_next_offset{topic="orders@10"} 100
+`)
+	n2 := parseSet(t, `
+ffqd_topic_depth{topic="orders@2"} 0
+ffqd_topic_depth{topic="audit@0"} 3
+`)
+	rows := partitionRows([]*expvarx.SampleSet{n1, nil, n2})
+	want := []string{"audit@0", "orders@2", "orders@10"}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("partitionRows = %v, want %v", rows, want)
+	}
+}
+
+func TestEndpointLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://n1:9077/metrics": "n1:9077",
+		"https://host:1/x/y":     "host:1",
+		"n2:9077":                "n2:9077",
+	} {
+		if got := endpointLabel(in); got != want {
+			t.Errorf("endpointLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeScrapeURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:9077":         "http://localhost:9077/metrics",
+		"http://h:1":             "http://h:1/metrics",
+		"http://h:1/custom":      "http://h:1/custom",
+		"https://h:9077/metrics": "https://h:9077/metrics",
+	} {
+		if got := normalizeScrapeURL(in); got != want {
+			t.Errorf("normalizeScrapeURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ffq/internal/broker/client"
+	"ffq/internal/cluster"
+)
+
+// reserveAddrs binds n ephemeral loopback ports and releases them, so
+// a cluster's peer list can name every member before any process
+// starts. The tiny window in which another process could steal a port
+// is acceptable in a test.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestClusterKillOwnerNoAckedLoss is the clustered acceptance check
+// from the issue, against real ffqd processes: a 3-node 8-partition
+// cluster sustains keyed publishing, delivers per-key FIFO within each
+// partition, and after SIGKILL of a partition owner every message that
+// was acknowledged AND replicated is still served — by the surviving
+// replica — with contiguous offsets and intact payloads.
+func TestClusterKillOwnerNoAckedLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real ffqd processes; skipped in -short")
+	}
+	const (
+		topic      = "orders"
+		partitions = 8
+		keys       = 64
+		perKey     = 20
+	)
+	scratch := t.TempDir()
+	bin := buildFFQD(t, scratch)
+	addrs := reserveAddrs(t, 3)
+
+	ids := []string{"n1", "n2", "n3"}
+	var peerEnts []string
+	peers := make([]cluster.Peer, len(ids))
+	for i, id := range ids {
+		peerEnts = append(peerEnts, id+"="+addrs[i])
+		peers[i] = cluster.Peer{ID: id, Addr: addrs[i]}
+	}
+	peersFlag := strings.Join(peerEnts, ",")
+
+	procs := make([]*exec.Cmd, len(ids))
+	for i, id := range ids {
+		dataDir := filepath.Join(scratch, "data-"+id)
+		procs[i], _ = startFFQD(t, bin,
+			"-listen", addrs[i],
+			"-cluster", "-node-id", id, "-peers", peersFlag,
+			"-partitions", fmt.Sprint(partitions), "-replication", "2",
+			"-poll-interval", "50ms",
+			"-data-dir", dataDir)
+	}
+
+	// The same static config the nodes run with, for client-side
+	// routing: key → partition → owner/replica addresses.
+	cfg := &cluster.Config{NodeID: ids[0], Peers: peers, Partitions: partitions, Replication: 2}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keyed publish: each key hashes to a partition, each partition's
+	// messages go to its owner. One client per owner keeps each
+	// partition's stream totally ordered.
+	clients := map[string]*client.Client{}
+	dial := func(addr string) *client.Client {
+		t.Helper()
+		if c := clients[addr]; c != nil {
+			return c
+		}
+		c, err := client.Dial(addr, client.Options{})
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		clients[addr] = c
+		return c
+	}
+	t.Cleanup(func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	})
+
+	want := make([][]string, partitions) // per-partition payloads, publish order
+	for seq := 0; seq < perKey; seq++ {
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("key-%03d", k)
+			part := cluster.PartitionForKey([]byte(key), partitions)
+			msg := fmt.Sprintf("%s:%d", key, seq)
+			c := dial(cfg.Owner(topic, part).Addr)
+			if err := c.PublishPart(topic, part, []byte(msg)); err != nil {
+				t.Fatalf("publish %s: %v", msg, err)
+			}
+			want[part] = append(want[part], msg)
+		}
+	}
+	for _, c := range clients {
+		if err := c.Drain(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+
+	// Per-key FIFO within each partition, replayed from the owner: the
+	// payload sequence must equal publish order exactly.
+	readPartition := func(addr string, part uint32, group string) []string {
+		t.Helper()
+		c, err := client.Dial(addr, client.Options{})
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		defer c.Close()
+		sub, err := c.SubscribeFromPart(topic, part, 256, 0, group, false)
+		if err != nil {
+			t.Fatalf("subscribe %s@%d: %v", topic, part, err)
+		}
+		got := make([]string, 0, len(want[part]))
+		for len(got) < len(want[part]) {
+			m, ok := sub.RecvMsg()
+			if !ok {
+				t.Fatalf("replay %s@%d at %s ended at %d of %d: %v",
+					topic, part, addr, len(got), len(want[part]), c.Err())
+			}
+			if m.Offset != uint64(len(got)) {
+				t.Fatalf("replay %s@%d: offset %d, want %d", topic, part, m.Offset, len(got))
+			}
+			got = append(got, string(m.Payload))
+		}
+		return got
+	}
+	for part := uint32(0); part < partitions; part++ {
+		got := readPartition(cfg.Owner(topic, part).Addr, part, "check")
+		for i, msg := range got {
+			if msg != want[part][i] {
+				t.Fatalf("partition %d offset %d = %q, want %q (per-key FIFO broken)", part, i, msg, want[part][i])
+			}
+		}
+	}
+
+	// Wait for every replica to catch up: async replication means the
+	// no-loss guarantee covers what was acknowledged and replicated, so
+	// the kill comes only after the follower cursors reach the log end.
+	deadline := time.Now().Add(60 * time.Second)
+	for part := uint32(0); part < partitions; part++ {
+		placed := cfg.Assign(topic, part)[:2]
+		owner, replica := placed[0], placed[1]
+		oc := dial(owner.Addr)
+		for {
+			_, next, cursor, err := oc.OffsetsPart(topic, part, cluster.ReplicaGroup(replica.ID))
+			if err != nil {
+				t.Fatalf("offsets %s@%d: %v", topic, part, err)
+			}
+			if next != uint64(len(want[part])) {
+				t.Fatalf("owner %s@%d next = %d, want %d", topic, part, next, len(want[part]))
+			}
+			if cursor == next {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s of %s@%d cursor stuck at %d, want %d", replica.ID, topic, part, cursor, next)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// SIGKILL the owner of partition 0 — no drain, no goodbye.
+	victim := cfg.Owner(topic, 0).ID
+	var vi int
+	for i, id := range ids {
+		if id == victim {
+			vi = i
+		}
+	}
+	if err := procs[vi].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	procs[vi].Wait()
+	for _, c := range clients { // connections into the victim are dead now
+		c.Close()
+	}
+	clients = map[string]*client.Client{}
+
+	// Every partition the victim owned must still be fully readable
+	// from its surviving replica: same offsets, same payloads.
+	for part := uint32(0); part < partitions; part++ {
+		placed := cfg.Assign(topic, part)[:2]
+		if placed[0].ID != victim {
+			continue
+		}
+		if placed[1].ID == victim {
+			t.Fatalf("partition %d placed twice on %s", part, victim)
+		}
+		got := readPartition(placed[1].Addr, part, "")
+		for i, msg := range got {
+			if msg != want[part][i] {
+				t.Fatalf("after kill: partition %d offset %d = %q, want %q", part, i, msg, want[part][i])
+			}
+		}
+	}
+
+	// The survivors still drain cleanly.
+	for i, p := range procs {
+		if i == vi {
+			continue
+		}
+		if err := p.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- p.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("node %s drain: %v", ids[i], err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("node %s never finished draining", ids[i])
+		}
+	}
+}

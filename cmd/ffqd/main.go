@@ -20,6 +20,22 @@
 //	     -retention-bytes 1073741824 -retention-age 72h
 //	                                         # durable topics: WAL-backed
 //	                                         # persistence with replay
+//	ffqd -cluster -node-id n1 \
+//	     -peers n1=10.0.0.1:7077,n2=10.0.0.2:7077,n3=10.0.0.3:7077 \
+//	     -partitions 8 -replication 2 -data-dir /var/lib/ffqd
+//	                                         # clustered: partitioned topics,
+//	                                         # rendezvous placement, async
+//	                                         # follower replication
+//
+// With -cluster set, topics are partitioned: producers route each
+// message by key to one of -partitions partitions (FNV-1a of the key,
+// computed client-side), every (topic, partition) is placed on
+// -replication nodes by rendezvous hashing over the static -peers
+// list, and each non-owner holder runs a strict log follower that
+// copies the owner's WAL into a local one and acks its progress as a
+// __replica/<node-id> cursor on the owner. PRODUCE and live CONSUME
+// are owner-only; replay and OFFSETS are served by replicas too. All
+// nodes must agree on -peers, -partitions and -replication.
 //
 // With -data-dir set every topic is durable: PRODUCE batches are
 // appended to a per-topic write-ahead log before they are
@@ -51,6 +67,7 @@ import (
 	"time"
 
 	"ffq/internal/broker"
+	"ffq/internal/cluster"
 	"ffq/internal/obs/expvarx"
 	"ffq/internal/wal"
 )
@@ -72,13 +89,32 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment roll threshold in bytes (0 = default 64MiB)")
 	retentionBytes := flag.Int64("retention-bytes", 0, "per-topic WAL size bound; oldest segments dropped past it (0 = unbounded)")
 	retentionAge := flag.Duration("retention-age", 0, "per-topic WAL age bound; older sealed segments dropped (0 = unbounded)")
+	clusterMode := flag.Bool("cluster", false, "cluster mode: partitioned topics with rendezvous placement and async replication (requires -node-id, -peers, -data-dir)")
+	nodeID := flag.String("node-id", "", "this node's id in the peer list (cluster mode)")
+	peersFlag := flag.String("peers", "", "static cluster members as id=host:port,... including this node (cluster mode)")
+	partitions := flag.Uint("partitions", 8, "per-topic partition count (cluster mode)")
+	replication := flag.Uint("replication", 2, "nodes holding each partition: one owner plus replicas (cluster mode)")
+	pollInterval := flag.Duration("poll-interval", 0, "replication topic-discovery period (cluster mode, 0 = default)")
 	flag.Parse()
 
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		fatal(err)
 	}
-	b, err := broker.New(broker.Options{
+	var clusterCfg *cluster.Config
+	if *clusterMode {
+		peers, err := cluster.ParsePeers(*peersFlag)
+		if err != nil {
+			fatal(err)
+		}
+		clusterCfg = &cluster.Config{
+			NodeID:      *nodeID,
+			Peers:       peers,
+			Partitions:  uint32(*partitions),
+			Replication: uint32(*replication),
+		}
+	}
+	opts := broker.Options{
 		IngressBuffer:  *ingress,
 		DeliverBatch:   *deliverBatch,
 		TopicLanes:     *topicLanes,
@@ -92,7 +128,14 @@ func main() {
 		SegmentBytes:   *segmentBytes,
 		RetentionBytes: *retentionBytes,
 		RetentionAge:   *retentionAge,
-	})
+		Cluster:        clusterCfg,
+	}
+	// Validate explicitly before anything opens: a bad flag combination
+	// is an operator error, reported as one typed message.
+	if err := opts.Validate(); err != nil {
+		fatal(err)
+	}
+	b, err := broker.New(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,6 +148,25 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "ffqd: listening on %s\n", ln.Addr())
+
+	var node *cluster.Node
+	if clusterCfg != nil {
+		node, err = cluster.StartNode(cluster.NodeOptions{
+			Config: clusterCfg,
+			OpenLog: func(topic string, part uint32) (cluster.LocalLog, error) {
+				return b.PartitionLog(topic, part)
+			},
+			PollInterval: *pollInterval,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ffqd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ffqd: cluster node %s (%d peers, %d partitions, replication %d)\n",
+			clusterCfg.NodeID, len(clusterCfg.Peers), clusterCfg.Partitions, clusterCfg.Replication)
+	}
 
 	if *metrics != "" {
 		http.Handle("/metrics", expvarx.Handler())
@@ -127,6 +189,11 @@ func main() {
 	select {
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "ffqd: %v, draining (up to %s)\n", s, *drainTimeout)
+		if node != nil {
+			// Stop the replication followers first: they hold client
+			// connections into peers and into this broker's data path.
+			node.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		err := b.Shutdown(ctx)
 		cancel()

@@ -86,16 +86,21 @@ package broker
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ffq"
+	"ffq/internal/cluster"
 	"ffq/internal/obs"
 	"ffq/internal/obs/expvarx"
 	"ffq/internal/wal"
+	"ffq/internal/wire"
 )
 
 // Defaults for Options zero values.
@@ -169,6 +174,78 @@ type Options struct {
 	// unbounded.
 	RetentionBytes int64
 	RetentionAge   time.Duration
+
+	// Cluster puts the broker in cluster mode: partitioned frames are
+	// checked against the static partition map (PRODUCE and live
+	// CONSUME only on the partition's owner; replay and OFFSETS also on
+	// its replicas) and METADATA answers carry the node list. Requires
+	// DataDir — replication follows the write-ahead log. nil means
+	// standalone, where any partition id is accepted as a plain
+	// namespace.
+	Cluster *cluster.Config
+}
+
+// Option validation errors; Validate wraps them with detail.
+var (
+	ErrNegativeOption          = errors.New("broker: option must not be negative")
+	ErrBadIngressBuffer        = errors.New("broker: IngressBuffer must be a power of two")
+	ErrBadLaneDepth            = errors.New("broker: TopicLaneDepth must be a power of two")
+	ErrRetentionWithoutDataDir = errors.New("broker: retention options require DataDir")
+	ErrFsyncWithoutDataDir     = errors.New("broker: fsync options require DataDir")
+	ErrSegmentWithoutDataDir   = errors.New("broker: SegmentBytes requires DataDir")
+	ErrClusterWithoutDataDir   = errors.New("broker: cluster mode requires DataDir (replication follows the WAL)")
+)
+
+// Validate checks the options for internal consistency and returns a
+// typed error (one of the Err* sentinels, wrapped, or a
+// cluster.Err* sentinel from the embedded cluster config) on the
+// first violation. New validates automatically; cmd wiring calls it
+// directly to reject bad flag combinations before any socket opens.
+func (o *Options) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  int64
+	}{
+		{"IngressBuffer", int64(o.IngressBuffer)},
+		{"DeliverBatch", int64(o.DeliverBatch)},
+		{"TopicLanes", int64(o.TopicLanes)},
+		{"TopicLaneDepth", int64(o.TopicLaneDepth)},
+		{"SegmentBytes", o.SegmentBytes},
+		{"RetentionBytes", o.RetentionBytes},
+		{"RetentionAge", int64(o.RetentionAge)},
+		{"FsyncInterval", int64(o.FsyncInterval)},
+		{"StallThreshold", int64(o.StallThreshold)},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("%w: %s = %d", ErrNegativeOption, v.name, v.val)
+		}
+	}
+	if o.IngressBuffer != 0 && o.IngressBuffer&(o.IngressBuffer-1) != 0 {
+		return fmt.Errorf("%w: %d", ErrBadIngressBuffer, o.IngressBuffer)
+	}
+	if o.TopicLaneDepth != 0 && o.TopicLaneDepth&(o.TopicLaneDepth-1) != 0 {
+		return fmt.Errorf("%w: %d", ErrBadLaneDepth, o.TopicLaneDepth)
+	}
+	if o.DataDir == "" {
+		if o.RetentionBytes != 0 || o.RetentionAge != 0 {
+			return ErrRetentionWithoutDataDir
+		}
+		if o.Fsync != wal.SyncOff || o.FsyncInterval != 0 {
+			return ErrFsyncWithoutDataDir
+		}
+		if o.SegmentBytes != 0 {
+			return ErrSegmentWithoutDataDir
+		}
+		if o.Cluster != nil {
+			return ErrClusterWithoutDataDir
+		}
+	}
+	if o.Cluster != nil {
+		if err := o.Cluster.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Broker accepts ffqd wire connections and routes PRODUCE batches into
@@ -178,7 +255,7 @@ type Broker struct {
 	opts Options
 
 	mu     sync.Mutex
-	topics map[string]*topic
+	topics map[topicKey]*topic
 	conns  map[*conn]struct{}
 	ln     net.Listener
 
@@ -218,10 +295,34 @@ type msg struct {
 	ingressNS int64
 }
 
+// topicKey addresses one fan-out queue: a topic name plus a partition
+// id (wire.NoPartition for classic unpartitioned topics). Every
+// partition of a topic is an independent stream — its own lanes, its
+// own WAL, its own offset space.
+type topicKey struct {
+	name string
+	part uint32
+}
+
+// display is the human-readable form: "orders" for unpartitioned,
+// "orders@3" for partition 3. Used for metrics labels, expvarx
+// registration and subscription indexing; '@' cannot collide with an
+// unpartitioned topic's WAL directory because wal.DirName escapes it.
+func (k topicKey) display() string {
+	if k.part == wire.NoPartition {
+		return k.name
+	}
+	return k.name + "@" + strconv.FormatUint(uint64(k.part), 10)
+}
+
 // topic is one named fan-out queue plus its subscriber accounting.
 type topic struct {
 	name string
-	// nameBytes is the wire form, encoded once.
+	// part is wire.NoPartition for classic topics.
+	part uint32
+	// display is topicKey.display(), computed once.
+	display string
+	// nameBytes is the wire form of the base name, encoded once.
 	nameBytes []byte
 	q         *ffq.ShardedMPMC[msg]
 
@@ -241,6 +342,9 @@ type topic struct {
 
 // New returns a broker; Serve starts it.
 func New(opts Options) (*Broker, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.IngressBuffer == 0 {
 		opts.IngressBuffer = DefaultIngressBuffer
 	}
@@ -258,7 +362,7 @@ func New(opts Options) (*Broker, error) {
 	}
 	b := &Broker{
 		opts:     opts,
-		topics:   map[string]*topic{},
+		topics:   map[topicKey]*topic{},
 		conns:    map[*conn]struct{}{},
 		draining: make(chan struct{}),
 	}
@@ -354,11 +458,13 @@ func (b *Broker) ServeConn(nc net.Conn) {
 	go c.pumpLoop()
 }
 
-// getTopic returns (creating on first use) the named topic.
-func (b *Broker) getTopic(name string) (*topic, error) {
+// getTopic returns (creating on first use) the addressed topic
+// partition (part = wire.NoPartition for classic topics).
+func (b *Broker) getTopic(name string, part uint32) (*topic, error) {
+	key := topicKey{name: name, part: part}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if t, ok := b.topics[name]; ok {
+	if t, ok := b.topics[key]; ok {
 		return t, nil
 	}
 	if b.closing.Load() {
@@ -380,12 +486,21 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 	}
 	t := &topic{
 		name:      name,
+		part:      part,
+		display:   key.display(),
 		nameBytes: []byte(name),
 		q:         q,
 		subs:      map[*sub]struct{}{},
 	}
 	if b.durable() {
-		dir := filepath.Join(b.opts.DataDir, wal.DirName(name))
+		// Partitions get their own directories: DirName escapes '@' in
+		// topic names, so "orders@3" here can never alias a classic
+		// topic literally named "orders@3".
+		dirName := wal.DirName(name)
+		if part != wire.NoPartition {
+			dirName += "@" + strconv.FormatUint(uint64(part), 10)
+		}
+		dir := filepath.Join(b.opts.DataDir, dirName)
 		t.log, err = wal.Open(dir, wal.Options{
 			SegmentBytes:   b.opts.SegmentBytes,
 			Sync:           b.opts.Fsync,
@@ -406,9 +521,9 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 	if b.opts.Instrument {
 		t.lat = &obs.LatencyHist{}
 	}
-	b.topics[name] = t
+	b.topics[key] = t
 	if b.opts.Instrument {
-		name := b.opts.MetricsPrefix + "/topic/" + t.name
+		name := b.opts.MetricsPrefix + "/topic/" + t.display
 		expvarx.Register(name, expvarx.QueueInfo{
 			Stats:    q.Stats,
 			Len:      q.Len,
@@ -419,16 +534,112 @@ func (b *Broker) getTopic(name string) (*topic, error) {
 	return t, nil
 }
 
-// Topics returns the current topic names (for inspection; the set only
+// Topics returns the current topic display names — "name" for classic
+// topics, "name@part" per partition (for inspection; the set only
 // grows until shutdown).
 func (b *Broker) Topics() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := make([]string, 0, len(b.topics))
-	for n := range b.topics {
-		out = append(out, n)
+	for k := range b.topics {
+		out = append(out, k.display())
 	}
 	return out
+}
+
+// PartitionedTopics returns the base names of topics that exist here
+// in partitioned form, sorted. This is what METADATA advertises:
+// replicas poll it off the owners to discover which partition logs
+// they should be following.
+func (b *Broker) PartitionedTopics() []string {
+	b.mu.Lock()
+	seen := map[string]bool{}
+	for k := range b.topics {
+		if k.part != wire.NoPartition {
+			seen[k.name] = true
+		}
+	}
+	b.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartitionLog returns (creating on first use) the write-ahead log
+// backing (topic, part) on this node. It is the replication hook: the
+// cluster follower copies the owner's records into this log with
+// AppendAt, and local replay subscriptions serve from it. Requires a
+// durable broker.
+func (b *Broker) PartitionLog(topic string, part uint32) (*wal.Log, error) {
+	if !b.durable() {
+		return nil, errors.New("broker: partition logs require a data dir")
+	}
+	if part == wire.NoPartition {
+		return nil, errors.New("broker: partition log needs an explicit partition")
+	}
+	t, err := b.getTopic(topic, part)
+	if err != nil {
+		return nil, err
+	}
+	return t.log, nil
+}
+
+// meta builds the METADATA answer: the static cluster shape (zero
+// values when standalone) plus the partitioned topics present here.
+func (b *Broker) meta() wire.MetaResp {
+	var m wire.MetaResp
+	if cl := b.opts.Cluster; cl != nil {
+		m.NodeID = cl.NodeID
+		m.Partitions = cl.Partitions
+		m.Replication = cl.Replication
+		m.Nodes = make([]wire.NodeMeta, len(cl.Peers))
+		for i, p := range cl.Peers {
+			m.Nodes[i] = wire.NodeMeta{ID: p.ID, Addr: p.Addr}
+		}
+	}
+	m.Topics = b.PartitionedTopics()
+	return m
+}
+
+// checkPart enforces cluster addressing on one partition-qualified
+// frame. Unpartitioned frames always pass (the classic namespace
+// stays node-local), as does everything on a standalone broker, where
+// a partition id is just a namespace. On a clustered broker the
+// partition must exist, and the node must hold it: as owner for
+// produce and live consume (needOwner), as owner or replica for
+// replay and offset queries — replicas serve reads of whatever their
+// follower has copied so far.
+func (b *Broker) checkPart(name string, part uint32, needOwner bool) error {
+	cl := b.opts.Cluster
+	if part == wire.NoPartition || cl == nil {
+		return nil
+	}
+	if part >= cl.Partitions {
+		return &wireError{
+			code: wire.ECodeBadPartition, detail: uint64(cl.Partitions),
+			msg: "broker: partition " + strconv.FormatUint(uint64(part), 10) +
+				" out of range (" + strconv.FormatUint(uint64(cl.Partitions), 10) + " partitions)",
+		}
+	}
+	if needOwner {
+		if !cl.Owns(name, part) {
+			return &wireError{
+				code: wire.ECodeNotOwner, detail: uint64(part),
+				msg: "broker: node " + cl.NodeID + " does not own " + topicKey{name, part}.display() +
+					" (owner: " + cl.Owner(name, part).ID + ")",
+			}
+		}
+	} else if !cl.Holds(name, part) {
+		return &wireError{
+			code: wire.ECodeNotOwner, detail: uint64(part),
+			msg: "broker: node " + cl.NodeID + " does not hold " + topicKey{name, part}.display() +
+				" (owner: " + cl.Owner(name, part).ID + ")",
+		}
+	}
+	return nil
 }
 
 // Metrics returns a pointer to the broker's live counters.
@@ -524,7 +735,7 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 	if b.opts.Instrument {
 		expvarx.UnregisterCollector(b.opts.MetricsPrefix)
 		for _, t := range topics {
-			expvarx.Unregister(b.opts.MetricsPrefix + "/topic/" + t.name)
+			expvarx.Unregister(b.opts.MetricsPrefix + "/topic/" + t.display)
 		}
 	}
 	return err

@@ -286,7 +286,7 @@ func TestCreditGatesDelivery(t *testing.T) {
 	}
 	defer nc.Close()
 	var buf wire.Buffer
-	buf.PutConsume([]byte("gated"), 2)
+	buf.PutConsume([]byte("gated"), wire.NoPartition, 2)
 	if _, err := nc.Write(buf.Bytes()); err != nil {
 		t.Fatalf("write: %v", err)
 	}
@@ -314,7 +314,7 @@ func TestCreditGatesDelivery(t *testing.T) {
 		t.Fatalf("got %d messages with credit 2, want 2", n)
 	}
 	buf.Reset()
-	buf.PutCredit([]byte("gated"), 8)
+	buf.PutCredit([]byte("gated"), wire.NoPartition, 8)
 	if _, err := nc.Write(buf.Bytes()); err != nil {
 		t.Fatalf("write credit: %v", err)
 	}

@@ -38,6 +38,7 @@ package client
 import (
 	"errors"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,56 @@ const (
 	DefaultFlushInterval = time.Millisecond
 	DefaultWindow        = 1024
 )
+
+// NoPartition addresses the classic unpartitioned form of a topic;
+// the *Part methods take it to mean "no partition qualifier". The
+// plain methods (Publish, Subscribe, ...) use it implicitly.
+const NoPartition = wire.NoPartition
+
+// ErrOffsetTruncated is the broker's answer to a strict replay
+// (SubscribeFromPart with strict=true) whose requested offset the
+// broker no longer retains, or that hit a retention gap mid-stream.
+// Oldest is the first offset still live; a replication follower
+// recovers by ResetTo(Oldest) on its local log and resubscribing.
+type ErrOffsetTruncated struct {
+	Oldest uint64
+	msg    string
+}
+
+func (e *ErrOffsetTruncated) Error() string {
+	if e.msg != "" {
+		return e.msg
+	}
+	return "client: replay offset truncated; oldest retained is " + strconv.FormatUint(e.Oldest, 10)
+}
+
+// ErrNotOwner reports a partitioned operation sent to a cluster node
+// that does not hold the partition in the required role. The fix is
+// client-side routing: recompute the owner from the cluster config
+// and dial that node.
+type ErrNotOwner struct {
+	Part uint32
+	msg  string
+}
+
+func (e *ErrNotOwner) Error() string { return e.msg }
+
+// NodeInfo is one cluster member as reported by Meta.
+type NodeInfo struct {
+	ID   string
+	Addr string
+}
+
+// MetaInfo is a broker's METADATA answer: the static cluster shape
+// (zero values on a standalone broker) and the partitioned topics
+// present on that node.
+type MetaInfo struct {
+	NodeID      string
+	Partitions  uint32
+	Replication uint32
+	Nodes       []NodeInfo
+	Topics      []string
+}
 
 // Options configures a Client.
 type Options struct {
@@ -77,14 +128,19 @@ type Client struct {
 	wmu  sync.Mutex
 	wbuf wire.Buffer
 
+	// pubs/subs/offsets are two-level maps, topic name then partition
+	// (NoPartition for the classic namespace): the inner lookup keeps
+	// the read loop's byte-slice topic keys allocation-free.
 	mu     sync.Mutex
-	pubs   map[string]*pub
-	subs   map[string]*Subscription
+	pubs   map[string]map[uint32]*pub
+	subs   map[string]map[uint32]*Subscription
 	pings  map[uint64]chan struct{}
 	pingID uint64
-	// offsets holds pending Offsets queries per topic, answered in
-	// FIFO order (the broker replies in request order per connection).
-	offsets map[string][]chan offsetsReply
+	// offsets holds pending Offsets queries per topic partition,
+	// answered in FIFO order (the broker replies in request order per
+	// connection); metas likewise for Meta queries.
+	offsets map[string]map[uint32][]chan offsetsReply
+	metas   []chan MetaInfo
 	err     error
 
 	// done closes when the connection dies (peer close, protocol or
@@ -116,10 +172,10 @@ func New(nc net.Conn, opts Options) *Client {
 	c := &Client{
 		nc:      nc,
 		opts:    opts,
-		pubs:    map[string]*pub{},
-		subs:    map[string]*Subscription{},
+		pubs:    map[string]map[uint32]*pub{},
+		subs:    map[string]map[uint32]*Subscription{},
 		pings:   map[uint64]chan struct{}{},
-		offsets: map[string][]chan offsetsReply{},
+		offsets: map[string]map[uint32][]chan offsetsReply{},
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
@@ -145,12 +201,16 @@ func (c *Client) fail(err error) {
 	}
 	c.err = err
 	pubs := make([]*pub, 0, len(c.pubs))
-	for _, p := range c.pubs {
-		pubs = append(pubs, p)
+	for _, m := range c.pubs {
+		for _, p := range m {
+			pubs = append(pubs, p)
+		}
 	}
 	subs := make([]*Subscription, 0, len(c.subs))
-	for _, s := range c.subs {
-		subs = append(subs, s)
+	for _, m := range c.subs {
+		for _, s := range m {
+			subs = append(subs, s)
+		}
 	}
 	c.mu.Unlock()
 
@@ -184,13 +244,13 @@ func (c *Client) readLoop() {
 				return
 			}
 			if f.Flags&wire.FlagOffset != 0 {
-				topic, base, b, err := wire.ParseDeliverOffsets(f)
+				topic, part, base, b, err := wire.ParseDeliverOffsets(f)
 				if err != nil {
 					c.fail(err)
 					return
 				}
 				c.mu.Lock()
-				s := c.subs[string(topic)]
+				s := c.subs[string(topic)][part]
 				c.mu.Unlock()
 				msgs := wire.CopyMessages(&b)
 				if s == nil || s.mch == nil {
@@ -207,7 +267,7 @@ func (c *Client) readLoop() {
 				return
 			}
 			c.mu.Lock()
-			s := c.subs[string(p.Topic)]
+			s := c.subs[string(p.Topic)][p.Part]
 			c.mu.Unlock()
 			msgs := wire.CopyMessages(&p.Batch)
 			if s == nil {
@@ -217,14 +277,14 @@ func (c *Client) readLoop() {
 				s.ch <- m
 			}
 		case wire.TAck:
-			topic, seq, err := wire.ParseAck(f)
+			topic, part, seq, err := wire.ParseAck(f)
 			if err != nil {
 				c.fail(err)
 				return
 			}
 			if f.Flags&wire.FlagEnd != 0 {
 				c.mu.Lock()
-				s := c.subs[string(topic)]
+				s := c.subs[string(topic)][part]
 				c.mu.Unlock()
 				if s != nil {
 					s.ended.Store(true)
@@ -233,7 +293,7 @@ func (c *Client) readLoop() {
 				continue
 			}
 			c.mu.Lock()
-			p := c.pubs[string(topic)]
+			p := c.pubs[string(topic)][part]
 			c.mu.Unlock()
 			if p != nil {
 				p.mu.Lock()
@@ -244,20 +304,49 @@ func (c *Client) readLoop() {
 				p.mu.Unlock()
 			}
 		case wire.TOffsets:
-			topic, oldest, next, cursor, err := wire.ParseOffsetsResp(f)
+			topic, part, oldest, next, cursor, err := wire.ParseOffsetsResp(f)
 			if err != nil {
 				c.fail(err)
 				return
 			}
 			c.mu.Lock()
 			var ch chan offsetsReply
-			if q := c.offsets[string(topic)]; len(q) > 0 {
+			if q := c.offsets[string(topic)][part]; len(q) > 0 {
 				ch = q[0]
-				c.offsets[string(topic)] = q[1:]
+				c.offsets[string(topic)][part] = q[1:]
 			}
 			c.mu.Unlock()
 			if ch != nil {
 				ch <- offsetsReply{oldest: oldest, next: next, cursor: cursor}
+			}
+		case wire.TMeta:
+			if f.Flags&wire.FlagReply == 0 {
+				c.fail(errors.New("client: METADATA request from broker"))
+				return
+			}
+			m, err := wire.ParseMetaResp(f)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			var ch chan MetaInfo
+			if len(c.metas) > 0 {
+				ch = c.metas[0]
+				c.metas = c.metas[1:]
+			}
+			c.mu.Unlock()
+			if ch != nil {
+				info := MetaInfo{
+					NodeID:      m.NodeID,
+					Partitions:  m.Partitions,
+					Replication: m.Replication,
+					Topics:      m.Topics,
+				}
+				for _, n := range m.Nodes {
+					info.Nodes = append(info.Nodes, NodeInfo{ID: n.ID, Addr: n.Addr})
+				}
+				ch <- info
 			}
 
 		case wire.TPing:
@@ -274,12 +363,19 @@ func (c *Client) readLoop() {
 				ch <- struct{}{}
 			}
 		case wire.TErr:
-			msg, err := wire.ParseErr(f)
+			code, detail, msg, err := wire.ParseErrCode(f)
 			if err != nil {
 				c.fail(err)
 				return
 			}
-			c.fail(errors.New("client: broker error: " + msg))
+			switch code {
+			case wire.ECodeTruncated:
+				c.fail(&ErrOffsetTruncated{Oldest: detail, msg: "client: broker error: " + msg})
+			case wire.ECodeNotOwner:
+				c.fail(&ErrNotOwner{Part: uint32(detail), msg: "client: broker error: " + msg})
+			default:
+				c.fail(errors.New("client: broker error: " + msg))
+			}
 			return
 		default:
 			c.fail(errors.New("client: unexpected frame type from broker"))
@@ -290,10 +386,13 @@ func (c *Client) readLoop() {
 
 // ---- producer side ----
 
-// pub is the per-topic publish state: batch buffer + pipeline window.
+// pub is the per-topic-partition publish state: batch buffer +
+// pipeline window. Each partition pipelines independently — a full
+// window on one partition never blocks publishes to another.
 type pub struct {
 	c     *Client
 	topic []byte
+	part  uint32
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -304,15 +403,18 @@ type pub struct {
 	timerArmed  bool
 }
 
-// pub returns (creating) the publish state for topic.
-func (c *Client) pub(topic string) *pub {
+// pub returns (creating) the publish state for (topic, part).
+func (c *Client) pub(topic string, part uint32) *pub {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.pubs[topic]
+	p, ok := c.pubs[topic][part]
 	if !ok {
-		p = &pub{c: c, topic: []byte(topic)}
+		p = &pub{c: c, topic: []byte(topic), part: part}
 		p.cond = sync.NewCond(&p.mu)
-		c.pubs[topic] = p
+		if c.pubs[topic] == nil {
+			c.pubs[topic] = map[uint32]*pub{}
+		}
+		c.pubs[topic][part] = p
 	}
 	return p
 }
@@ -322,7 +424,15 @@ func (c *Client) pub(topic string) *pub {
 // the pipeline window is full; otherwise it returns immediately and
 // the flush timer picks the batch up.
 func (c *Client) Publish(topic string, msg []byte) error {
-	p := c.pub(topic)
+	return c.PublishPart(topic, NoPartition, msg)
+}
+
+// PublishPart queues msg for one partition of topic, with the same
+// batching and windowing as Publish. Against a clustered broker the
+// connection must be to the partition's owner — anything else dies
+// with ErrNotOwner.
+func (c *Client) PublishPart(topic string, part uint32, msg []byte) error {
+	p := c.pub(topic, part)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := c.Err(); err != nil {
@@ -379,7 +489,7 @@ func (p *pub) flushLocked() error {
 		c.wmu.Lock()
 		p.mu.Unlock()
 		c.wbuf.Reset()
-		c.wbuf.PutProduce(0, p.topic, batch)
+		c.wbuf.PutProduce(0, p.topic, p.part, batch)
 		_, err := c.nc.Write(c.wbuf.Bytes())
 		c.wmu.Unlock()
 		p.mu.Lock()
@@ -423,8 +533,10 @@ func (c *Client) allPubs() []*pub {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]*pub, 0, len(c.pubs))
-	for _, p := range c.pubs {
-		out = append(out, p)
+	for _, m := range c.pubs {
+		for _, p := range m {
+			out = append(out, p)
+		}
 	}
 	return out
 }
@@ -437,6 +549,7 @@ func (c *Client) allPubs() []*pub {
 type Subscription struct {
 	c      *Client
 	topic  []byte
+	part   uint32
 	ch     chan []byte
 	window int
 	// mch replaces ch on a replay subscription: deliveries carry
@@ -471,35 +584,56 @@ type offsetsReply struct {
 // clean end from a connection failure.
 func (s *Subscription) Ended() bool { return s.ended.Load() }
 
+// register indexes a new subscription under (topic, part), rejecting
+// duplicates.
+func (c *Client) register(topic string, s *Subscription) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if _, dup := c.subs[topic][s.part]; dup {
+		return errors.New("client: already subscribed to " + topic)
+	}
+	if c.subs[topic] == nil {
+		c.subs[topic] = map[uint32]*Subscription{}
+	}
+	c.subs[topic][s.part] = s
+	return nil
+}
+
+func (c *Client) unregister(topic string, part uint32) {
+	c.mu.Lock()
+	delete(c.subs[topic], part)
+	c.mu.Unlock()
+}
+
 // Subscribe opens a subscription on topic with the given credit window
 // (0 means the client default). The window bounds broker-side
 // in-flight deliveries and is also the Recv buffer size.
 func (c *Client) Subscribe(topic string, window int) (*Subscription, error) {
+	return c.SubscribePart(topic, NoPartition, window)
+}
+
+// SubscribePart opens a live subscription on one partition of topic.
+// Against a clustered broker the connection must be to the
+// partition's owner.
+func (c *Client) SubscribePart(topic string, part uint32, window int) (*Subscription, error) {
 	if window <= 0 {
 		window = c.opts.Window
 	}
 	s := &Subscription{
 		c:      c,
 		topic:  []byte(topic),
+		part:   part,
 		ch:     make(chan []byte, window),
 		window: window,
 	}
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	if err := c.register(topic, s); err != nil {
 		return nil, err
 	}
-	if _, dup := c.subs[topic]; dup {
-		c.mu.Unlock()
-		return nil, errors.New("client: already subscribed to " + topic)
-	}
-	c.subs[topic] = s
-	c.mu.Unlock()
-	if err := c.writeConsume(s.topic, uint32(window)); err != nil {
-		c.mu.Lock()
-		delete(c.subs, topic)
-		c.mu.Unlock()
+	if err := c.writeConsume(s.topic, part, uint32(window)); err != nil {
+		c.unregister(topic, part)
 		return nil, err
 	}
 	return s, nil
@@ -511,31 +645,31 @@ func (c *Client) Subscribe(topic string, window int) (*Subscription, error) {
 // Every message arrives with its offset via RecvMsg. group may be
 // empty — then there is no cursor to resume from or Commit to.
 func (c *Client) SubscribeFrom(topic string, window int, from uint64, group string) (*Subscription, error) {
+	return c.SubscribeFromPart(topic, NoPartition, window, from, group, false)
+}
+
+// SubscribeFromPart is SubscribeFrom addressed to one partition.
+// Replay is served by the partition's owner and by its replicas (a
+// replica streams what its follower has copied so far). strict asks
+// the broker to fail the stream with ErrOffsetTruncated instead of
+// silently clamping when retention has dropped requested offsets —
+// the mode replication followers run in.
+func (c *Client) SubscribeFromPart(topic string, part uint32, window int, from uint64, group string, strict bool) (*Subscription, error) {
 	if window <= 0 {
 		window = c.opts.Window
 	}
 	s := &Subscription{
 		c:      c,
 		topic:  []byte(topic),
+		part:   part,
 		mch:    make(chan Msg, window),
 		window: window,
 	}
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	if err := c.register(topic, s); err != nil {
 		return nil, err
 	}
-	if _, dup := c.subs[topic]; dup {
-		c.mu.Unlock()
-		return nil, errors.New("client: already subscribed to " + topic)
-	}
-	c.subs[topic] = s
-	c.mu.Unlock()
-	if err := c.writeConsumeFrom(s.topic, uint32(window), from, []byte(group)); err != nil {
-		c.mu.Lock()
-		delete(c.subs, topic)
-		c.mu.Unlock()
+	if err := c.writeConsumeFrom(s.topic, part, uint32(window), from, []byte(group), strict); err != nil {
+		c.unregister(topic, part)
 		return nil, err
 	}
 	return s, nil
@@ -569,12 +703,49 @@ func (s *Subscription) RecvMsg() (m Msg, ok bool) {
 	return m, true
 }
 
+// RecvMsgBatch blocks for one replay-delivered message, then drains
+// whatever else is already buffered, up to max. ok=false as in Recv.
+// It exists for consumers that amortize per-batch work — the
+// replication follower turns each batch into one WAL record instead
+// of one record per message.
+func (s *Subscription) RecvMsgBatch(max int) (msgs []Msg, ok bool) {
+	if max <= 0 {
+		max = s.window
+	}
+	m, ok := <-s.mch
+	if !ok {
+		return nil, false
+	}
+	msgs = append(msgs, m)
+	for len(msgs) < max {
+		select {
+		case m, more := <-s.mch:
+			if !more {
+				// Channel closed behind the buffered tail; deliver what
+				// we have — the next call reports the close.
+				for range msgs {
+					s.replenish()
+				}
+				return msgs, true
+			}
+			msgs = append(msgs, m)
+			continue
+		default:
+		}
+		break
+	}
+	for range msgs {
+		s.replenish()
+	}
+	return msgs, true
+}
+
 // replenish grants the broker more credit once half the window has
 // been consumed.
 func (s *Subscription) replenish() {
 	s.taken++
 	if s.taken >= max(1, s.window/2) {
-		s.c.writeCredit(s.topic, uint32(s.taken))
+		s.c.writeCredit(s.topic, s.part, uint32(s.taken))
 		s.taken = 0
 	}
 }
@@ -586,7 +757,7 @@ func (s *Subscription) Commit(off uint64) error {
 	if s.mch == nil {
 		return errors.New("client: Commit on a non-replay subscription")
 	}
-	return s.c.writeCommit(s.topic, off)
+	return s.c.writeCommit(s.topic, s.part, off)
 }
 
 // closeCh closes the delivery channel exactly once (end marker and
@@ -605,6 +776,12 @@ func (s *Subscription) closeCh() {
 // non-empty, that group's committed cursor (wire.OffsetCursor — i.e.
 // ^uint64(0) — when the group has none).
 func (c *Client) Offsets(topic, group string) (oldest, next, cursor uint64, err error) {
+	return c.OffsetsPart(topic, NoPartition, group)
+}
+
+// OffsetsPart is Offsets addressed to one partition; replicas answer
+// for partitions they hold with the range their follower has copied.
+func (c *Client) OffsetsPart(topic string, part uint32, group string) (oldest, next, cursor uint64, err error) {
 	ch := make(chan offsetsReply, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -612,9 +789,12 @@ func (c *Client) Offsets(topic, group string) (oldest, next, cursor uint64, err 
 		c.mu.Unlock()
 		return 0, 0, 0, err
 	}
-	c.offsets[topic] = append(c.offsets[topic], ch)
+	if c.offsets[topic] == nil {
+		c.offsets[topic] = map[uint32][]chan offsetsReply{}
+	}
+	c.offsets[topic][part] = append(c.offsets[topic][part], ch)
 	c.mu.Unlock()
-	if err := c.writeOffsetsReq([]byte(topic), []byte(group)); err != nil {
+	if err := c.writeOffsetsReq([]byte(topic), part, []byte(group)); err != nil {
 		return 0, 0, 0, err
 	}
 	select {
@@ -622,6 +802,29 @@ func (c *Client) Offsets(topic, group string) (oldest, next, cursor uint64, err 
 		return r.oldest, r.next, r.cursor, nil
 	case <-c.done:
 		return 0, 0, 0, c.Err()
+	}
+}
+
+// Meta queries the broker's cluster shape and partitioned topics. On
+// a standalone broker the cluster fields come back zero.
+func (c *Client) Meta() (MetaInfo, error) {
+	ch := make(chan MetaInfo, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return MetaInfo{}, err
+	}
+	c.metas = append(c.metas, ch)
+	c.mu.Unlock()
+	if err := c.writeMetaReq(); err != nil {
+		return MetaInfo{}, err
+	}
+	select {
+	case m := <-ch:
+		return m, nil
+	case <-c.done:
+		return MetaInfo{}, c.Err()
 	}
 }
 
@@ -664,46 +867,55 @@ func (c *Client) Close() error {
 
 // ---- serialized writer ----
 
-func (c *Client) writeConsume(topic []byte, credit uint32) error {
+func (c *Client) writeConsume(topic []byte, part uint32, credit uint32) error {
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutConsume(topic, credit)
+	c.wbuf.PutConsume(topic, part, credit)
 	_, err := c.nc.Write(c.wbuf.Bytes())
 	c.wmu.Unlock()
 	return err
 }
 
-func (c *Client) writeConsumeFrom(topic []byte, credit uint32, from uint64, group []byte) error {
+func (c *Client) writeConsumeFrom(topic []byte, part uint32, credit uint32, from uint64, group []byte, strict bool) error {
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutConsumeFrom(topic, credit, from, group)
+	c.wbuf.PutConsumeFrom(topic, part, credit, from, group, strict)
 	_, err := c.nc.Write(c.wbuf.Bytes())
 	c.wmu.Unlock()
 	return err
 }
 
-func (c *Client) writeCommit(topic []byte, off uint64) error {
+func (c *Client) writeCommit(topic []byte, part uint32, off uint64) error {
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutAck(wire.FlagOffset, topic, off)
+	c.wbuf.PutAck(wire.FlagOffset, topic, part, off)
 	_, err := c.nc.Write(c.wbuf.Bytes())
 	c.wmu.Unlock()
 	return err
 }
 
-func (c *Client) writeOffsetsReq(topic, group []byte) error {
+func (c *Client) writeOffsetsReq(topic []byte, part uint32, group []byte) error {
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutOffsetsReq(topic, group)
+	c.wbuf.PutOffsetsReq(topic, part, group)
 	_, err := c.nc.Write(c.wbuf.Bytes())
 	c.wmu.Unlock()
 	return err
 }
 
-func (c *Client) writeCredit(topic []byte, n uint32) error {
+func (c *Client) writeCredit(topic []byte, part uint32, n uint32) error {
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutCredit(topic, n)
+	c.wbuf.PutCredit(topic, part, n)
+	_, err := c.nc.Write(c.wbuf.Bytes())
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) writeMetaReq() error {
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutMetaReq()
 	_, err := c.nc.Write(c.wbuf.Bytes())
 	c.wmu.Unlock()
 	return err

@@ -13,6 +13,18 @@ import (
 	"ffq/internal/wire"
 )
 
+// wireError is a protocol violation with a typed wire code: readLoop
+// encodes it as a structured ERR frame (code + detail + text) so
+// clients can react programmatically — a follower hitting
+// ECodeTruncated resyncs to the detail offset instead of giving up.
+type wireError struct {
+	code   uint16
+	detail uint64
+	msg    string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
 // staged is one PRODUCE batch copied out of the reader's frame buffer
 // and parked in the connection's ingress queue until the pump flushes
 // it into the topic.
@@ -48,8 +60,9 @@ type conn struct {
 	// checks it and every delivery loop exits on it.
 	dead atomic.Bool
 
-	// subs is the reader goroutine's subscription index (topic name →
-	// sub). Only the reader touches it.
+	// subs is the reader goroutine's subscription index (topic display
+	// name → sub; one subscription per topic partition). Only the
+	// reader touches it.
 	subs map[string]*sub
 
 	// lastTopic caches the previous PRODUCE frame's topic so the common
@@ -105,7 +118,12 @@ func (c *conn) readLoop() {
 		}
 		if err := c.handleFrame(f, drainMode); err != nil {
 			c.b.m.ProtoErrors.Add(1)
-			c.writeErr(err.Error())
+			var we *wireError
+			if errors.As(err, &we) {
+				c.writeErrCode(we.code, we.detail, we.msg)
+			} else {
+				c.writeErrCode(wire.ECodeGeneric, 0, err.Error())
+			}
 			break
 		}
 	}
@@ -141,8 +159,14 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 			return nil
 		}
 		t := c.lastTopic
-		if t == nil || !bytes.Equal(p.Topic, t.nameBytes) {
-			t, err = c.b.getTopic(string(p.Topic))
+		if t == nil || p.Part != t.part || !bytes.Equal(p.Topic, t.nameBytes) {
+			// Ownership is static config, so checking once per cache miss
+			// covers every frame the cache then serves.
+			name := string(p.Topic)
+			if err := c.b.checkPart(name, p.Part, true); err != nil {
+				return err
+			}
+			t, err = c.b.getTopic(name, p.Part)
 			if err != nil {
 				return err
 			}
@@ -171,21 +195,24 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 		if f.Flags&wire.FlagOffset != 0 {
 			return c.handleConsumeFrom(f)
 		}
-		topicName, credit, err := wire.ParseConsume(f)
+		topicName, part, credit, err := wire.ParseConsume(f)
 		if err != nil {
 			return err
 		}
 		name := string(topicName)
-		if _, dup := c.subs[name]; dup {
-			return errors.New("broker: duplicate subscription to " + name)
+		if err := c.b.checkPart(name, part, true); err != nil {
+			return err
 		}
-		t, err := c.b.getTopic(name)
+		t, err := c.b.getTopic(name, part)
 		if err != nil {
 			return err
 		}
+		if _, dup := c.subs[t.display]; dup {
+			return errors.New("broker: duplicate subscription to " + t.display)
+		}
 		s := &sub{c: c, t: t}
 		s.credit.Store(int64(credit))
-		c.subs[name] = s
+		c.subs[t.display] = s
 		t.mu.Lock()
 		t.subs[s] = struct{}{}
 		t.mu.Unlock()
@@ -198,11 +225,11 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 		if f.Flags&wire.FlagOffset == 0 {
 			return errors.New("broker: unexpected ACK from client")
 		}
-		topicName, off, err := wire.ParseAck(f)
+		topicName, part, off, err := wire.ParseAck(f)
 		if err != nil {
 			return err
 		}
-		s, ok := c.subs[string(topicName)]
+		s, ok := c.subs[topicKey{string(topicName), part}.display()]
 		if !ok || !s.replay {
 			return errors.New("broker: cursor commit without a replay subscription")
 		}
@@ -215,11 +242,17 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 		return nil
 
 	case wire.TOffsets:
-		topicName, group, err := wire.ParseOffsetsReq(f)
+		topicName, part, group, err := wire.ParseOffsetsReq(f)
 		if err != nil {
 			return err
 		}
-		t, err := c.b.getTopic(string(topicName))
+		name := string(topicName)
+		// Offset queries are reads: replicas answer for partitions they
+		// hold, reporting the range their follower has copied so far.
+		if err := c.b.checkPart(name, part, false); err != nil {
+			return err
+		}
+		t, err := c.b.getTopic(name, part)
 		if err != nil {
 			return err
 		}
@@ -233,19 +266,26 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 				cursor = off
 			}
 		}
-		c.writeOffsetsResp(t.nameBytes, st.Oldest, st.Next, cursor)
+		c.writeOffsetsResp(t.nameBytes, t.part, st.Oldest, st.Next, cursor)
 		return nil
 
 	case wire.TCredit:
-		topicName, n, err := wire.ParseCredit(f)
+		topicName, part, n, err := wire.ParseCredit(f)
 		if err != nil {
 			return err
 		}
-		s, ok := c.subs[string(topicName)]
+		s, ok := c.subs[topicKey{string(topicName), part}.display()]
 		if !ok {
 			return errors.New("broker: CREDIT for unknown subscription")
 		}
 		s.credit.Add(int64(n))
+		return nil
+
+	case wire.TMeta:
+		if err := wire.ParseMetaReq(f); err != nil {
+			return err
+		}
+		c.writeMetaResp(c.b.meta())
 		return nil
 
 	case wire.TPing:
@@ -265,24 +305,30 @@ func (c *conn) handleFrame(f wire.Frame, drainMode bool) error {
 // streams the topic's WAL from the requested offset (or the consumer
 // group's persisted cursor) and keeps following the log at the head.
 func (c *conn) handleConsumeFrom(f wire.Frame) error {
-	topicName, credit, from, group, err := wire.ParseConsumeFrom(f)
+	cf, err := wire.ParseConsumeFrom(f)
 	if err != nil {
 		return err
 	}
-	name := string(topicName)
-	if _, dup := c.subs[name]; dup {
-		return errors.New("broker: duplicate subscription to " + name)
+	name := string(cf.Topic)
+	// Replay reads are served by owners and replicas alike — a replica
+	// streams whatever its follower has copied, which is how the
+	// replication chain itself rides this path.
+	if err := c.b.checkPart(name, cf.Part, false); err != nil {
+		return err
 	}
-	t, err := c.b.getTopic(name)
+	t, err := c.b.getTopic(name, cf.Part)
 	if err != nil {
 		return err
+	}
+	if _, dup := c.subs[t.display]; dup {
+		return errors.New("broker: duplicate subscription to " + t.display)
 	}
 	if t.log == nil {
 		return errors.New("broker: replay subscription on a non-durable broker (no data dir)")
 	}
-	s := &sub{c: c, t: t, replay: true, group: string(group), from: from}
-	s.credit.Store(int64(credit))
-	c.subs[name] = s
+	s := &sub{c: c, t: t, replay: true, group: string(cf.Group), from: cf.From, strict: cf.Strict}
+	s.credit.Store(int64(cf.Credit))
+	c.subs[t.display] = s
 	t.mu.Lock()
 	t.subs[s] = struct{}{}
 	t.mu.Unlock()
@@ -390,7 +436,7 @@ func (c *conn) pumpOne(st staged, seqs map[*topic]uint64, touched *[]*topic, lan
 // flush.
 func (c *conn) flushAcks(seqs map[*topic]uint64, touched *[]*topic) {
 	for _, t := range *touched {
-		c.writeAck(0, t.nameBytes, seqs[t])
+		c.writeAck(0, t.nameBytes, t.part, seqs[t])
 		c.b.m.Acks.Add(1)
 	}
 	*touched = (*touched)[:0]
@@ -417,13 +463,13 @@ func (c *conn) teardown() {
 // writeDeliver sends one DELIVER frame; false means the connection
 // died (the claimed messages are lost — delivery is at-most-once once
 // claimed, exactly like an in-process consumer crashing mid-handoff).
-func (c *conn) writeDeliver(topic []byte, msgs [][]byte) bool {
+func (c *conn) writeDeliver(topic []byte, part uint32, msgs [][]byte) bool {
 	if c.dead.Load() {
 		return false
 	}
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutProduce(wire.FlagDeliver, topic, msgs)
+	c.wbuf.PutProduce(wire.FlagDeliver, topic, part, msgs)
 	err := c.flushLocked()
 	c.wmu.Unlock()
 	return c.writeOutcome(err)
@@ -431,26 +477,39 @@ func (c *conn) writeDeliver(topic []byte, msgs [][]byte) bool {
 
 // writeDeliverOffsets sends one replay DELIVER frame carrying the
 // batch's base offset.
-func (c *conn) writeDeliverOffsets(topic []byte, base uint64, msgs [][]byte) bool {
+func (c *conn) writeDeliverOffsets(topic []byte, part uint32, base uint64, msgs [][]byte) bool {
 	if c.dead.Load() {
 		return false
 	}
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutDeliverOffsets(topic, base, msgs)
+	c.wbuf.PutDeliverOffsets(topic, part, base, msgs)
 	err := c.flushLocked()
 	c.wmu.Unlock()
 	return c.writeOutcome(err)
 }
 
 // writeOffsetsResp answers an OFFSETS query.
-func (c *conn) writeOffsetsResp(topic []byte, oldest, next, cursor uint64) bool {
+func (c *conn) writeOffsetsResp(topic []byte, part uint32, oldest, next, cursor uint64) bool {
 	if c.dead.Load() {
 		return false
 	}
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutOffsetsResp(topic, oldest, next, cursor)
+	c.wbuf.PutOffsetsResp(topic, part, oldest, next, cursor)
+	err := c.flushLocked()
+	c.wmu.Unlock()
+	return c.writeOutcome(err)
+}
+
+// writeMetaResp answers a METADATA query.
+func (c *conn) writeMetaResp(m wire.MetaResp) bool {
+	if c.dead.Load() {
+		return false
+	}
+	c.wmu.Lock()
+	c.wbuf.Reset()
+	c.wbuf.PutMetaResp(m)
 	err := c.flushLocked()
 	c.wmu.Unlock()
 	return c.writeOutcome(err)
@@ -458,13 +517,13 @@ func (c *conn) writeOffsetsResp(topic []byte, oldest, next, cursor uint64) bool 
 
 // writeAck sends a cumulative ACK (or, with wire.FlagEnd, the
 // subscription end-of-stream marker).
-func (c *conn) writeAck(flags byte, topic []byte, seq uint64) bool {
+func (c *conn) writeAck(flags byte, topic []byte, part uint32, seq uint64) bool {
 	if c.dead.Load() {
 		return false
 	}
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutAck(flags, topic, seq)
+	c.wbuf.PutAck(flags, topic, part, seq)
 	err := c.flushLocked()
 	c.wmu.Unlock()
 	return c.writeOutcome(err)
@@ -483,15 +542,15 @@ func (c *conn) writePing(token uint64) bool {
 	return c.writeOutcome(err)
 }
 
-// writeErr reports a protocol error to the peer (best effort; the
-// connection is torn down right after).
-func (c *conn) writeErr(msg string) {
+// writeErrCode reports a typed protocol error to the peer (best
+// effort; the connection is torn down right after).
+func (c *conn) writeErrCode(code uint16, detail uint64, msg string) {
 	if c.dead.Load() {
 		return
 	}
 	c.wmu.Lock()
 	c.wbuf.Reset()
-	c.wbuf.PutErr(msg)
+	c.wbuf.PutErrCode(code, detail, msg)
 	c.flushLocked()
 	c.wmu.Unlock()
 }
@@ -527,10 +586,14 @@ type sub struct {
 
 	// replay marks a log-follower subscription; from is its requested
 	// start offset (wire.OffsetCursor = the group's cursor) and group
-	// the consumer group its ACK+FlagOffset commits apply to.
+	// the consumer group its ACK+FlagOffset commits apply to. strict
+	// (wire.FlagStrict) turns silent retention clamps into typed
+	// ECodeTruncated errors — replication followers must copy an exact
+	// offset chain and need to resync deliberately, never skip.
 	replay bool
 	group  string
 	from   uint64
+	strict bool
 }
 
 // run is the delivery loop. The non-blocking TryDequeueBatch claim is
@@ -556,7 +619,7 @@ func (s *sub) run() {
 		if s.t.q.Closed() && s.t.q.Len() == 0 {
 			// Drained: every message this topic will ever carry has
 			// been claimed by someone.
-			s.c.writeAck(wire.FlagEnd, s.t.nameBytes, 0)
+			s.c.writeAck(wire.FlagEnd, s.t.nameBytes, s.t.part, 0)
 			return
 		}
 		cr := s.credit.Load()
@@ -587,7 +650,7 @@ func (s *sub) run() {
 				lat.Record(now - m.ingressNS)
 			}
 		}
-		if !s.c.writeDeliver(s.t.nameBytes, payloads) {
+		if !s.c.writeDeliver(s.t.nameBytes, s.t.part, payloads) {
 			return
 		}
 		s.c.b.m.MsgsOut.Add(int64(len(batch)))
@@ -615,6 +678,19 @@ func (s *sub) runReplay() {
 			}
 		}
 	}
+	// A strict follower (replication) requires the exact offset chain:
+	// if retention already dropped the requested start, tell it where
+	// the live log begins — detail carries the oldest retained offset —
+	// so it can ResetTo and resync instead of silently skipping a gap.
+	if s.strict {
+		if oldest := s.t.log.OldestOffset(); from < oldest {
+			s.c.writeErrCode(wire.ECodeTruncated, oldest,
+				"broker: strict replay of "+s.t.display+" from a truncated offset")
+			s.c.dead.Store(true)
+			return
+		}
+	}
+	want := from
 	r := s.t.log.NewReader(from)
 	defer r.Close()
 	spins := 0
@@ -627,7 +703,7 @@ func (s *sub) runReplay() {
 		// whole sealed log must still terminate, or Shutdown's drain
 		// would wait on it forever.
 		if s.t.log.Sealed() && r.Offset() >= s.t.log.NextOffset() {
-			s.c.writeAck(wire.FlagEnd, s.t.nameBytes, 0)
+			s.c.writeAck(wire.FlagEnd, s.t.nameBytes, s.t.part, 0)
 			return
 		}
 		cr := s.credit.Load()
@@ -644,7 +720,16 @@ func (s *sub) runReplay() {
 		if err != nil {
 			// Corrupt retained log body: surface it instead of skipping
 			// silently; the client sees ERR and the stream ends.
-			s.c.writeErr("broker: replay failed: " + err.Error())
+			s.c.writeErrCode(wire.ECodeGeneric, 0, "broker: replay failed: "+err.Error())
+			s.c.dead.Store(true)
+			return
+		}
+		if s.strict && len(msgs) > 0 && base != want {
+			// Retention overtook the reader mid-stream (or the follower
+			// asked past the head and the chain restarted lower): the
+			// reader clamped, which a strict follower must not absorb.
+			s.c.writeErrCode(wire.ECodeTruncated, base,
+				"broker: strict replay of "+s.t.display+" hit a retention gap")
 			s.c.dead.Store(true)
 			return
 		}
@@ -652,7 +737,7 @@ func (s *sub) runReplay() {
 			if s.t.log.Sealed() {
 				// Shutdown sealed the log and we delivered everything in
 				// it: clean end of stream.
-				s.c.writeAck(wire.FlagEnd, s.t.nameBytes, 0)
+				s.c.writeAck(wire.FlagEnd, s.t.nameBytes, s.t.part, 0)
 				return
 			}
 			// Caught up with the head: park until the next append (or
@@ -666,8 +751,9 @@ func (s *sub) runReplay() {
 			continue
 		}
 		spins = 0
+		want = base + uint64(len(msgs))
 		s.credit.Add(int64(-len(msgs)))
-		if !s.c.writeDeliverOffsets(s.t.nameBytes, base, msgs) {
+		if !s.c.writeDeliverOffsets(s.t.nameBytes, s.t.part, base, msgs) {
 			return
 		}
 		s.c.b.m.MsgsOut.Add(int64(len(msgs)))

@@ -71,7 +71,7 @@ func (b *Broker) collect(emit func(expvarx.Sample)) {
 			credit += s.credit.Load()
 		}
 		t.mu.Unlock()
-		labels := map[string]string{"topic": t.name}
+		labels := map[string]string{"topic": t.display}
 		emit(expvarx.Sample{
 			Name: "ffqd_topic_subscribers", Help: "Active subscriptions per topic.",
 			Type: "gauge", Labels: labels, Value: float64(subs),

@@ -1,0 +1,257 @@
+// Package cluster is ffqd's partition-addressed layer: a static node
+// list, a fixed per-topic partition count, and a deterministic map
+// from (topic, partition) to an owner plus R−1 replicas.
+//
+// # Partitioning
+//
+// A partitioned topic is N independent (topic, partition) streams,
+// each backed by one broker lane group and its own WAL. Producers
+// route a message by key: FNV-1a (64-bit) over the key, modulo the
+// partition count. The hash is computed client-side and only the
+// resulting partition id travels on the wire, so every client
+// implementation that follows this definition routes a key to the
+// same partition — per-key FIFO holds within a partition with a
+// single producer per key, never across partitions.
+//
+// # Placement: rendezvous hashing
+//
+// Each (topic, partition) is placed by highest-random-weight
+// (rendezvous) hashing: every node is scored with
+// FNV-1a(nodeID ‖ 0x00 ‖ topic ‖ 0x00 ‖ partition), nodes sort by
+// descending score, the first is the owner and the next R−1 are
+// replicas. Rendezvous placement needs no coordination or stored
+// assignment table — any party with the node list computes the same
+// map — and removing one node reassigns only that node's partitions.
+//
+// # Replication
+//
+// Replication is asynchronous log following (see Node in node.go): a
+// replica subscribes to the owner's partition WAL over the ordinary
+// strict CONSUME+FlagOffset wire path, copies records into a local
+// WAL at the same offsets, and commits its progress as a follower
+// cursor on the owner. There is no consensus machinery: acked
+// messages are on the owner's log, replicas trail by their lag, and
+// failover is an operator decision, not an automatic election.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Validation errors, wrapped with detail by Config.Validate.
+var (
+	ErrNoNodeID         = errors.New("cluster: node id is empty")
+	ErrUnknownNodeID    = errors.New("cluster: node id is not in the peer list")
+	ErrNoPeers          = errors.New("cluster: peer list is empty")
+	ErrDuplicatePeer    = errors.New("cluster: duplicate peer id or address")
+	ErrBadPartitions    = errors.New("cluster: partition count must be at least 1")
+	ErrBadReplication   = errors.New("cluster: replication factor must be between 1 and the node count")
+	ErrBadPeerSyntax    = errors.New("cluster: peer must be id=host:port")
+	ErrReservedPeerName = errors.New("cluster: peer id may not contain '=', ',' or whitespace")
+)
+
+// Peer is one static cluster member.
+type Peer struct {
+	ID   string
+	Addr string
+}
+
+// Config is the static cluster shape every node and client agrees on.
+type Config struct {
+	// NodeID names this node; it must appear in Peers.
+	NodeID string
+	// Peers is the full member list, including this node.
+	Peers []Peer
+	// Partitions is the per-topic partition count.
+	Partitions uint32
+	// Replication is the number of nodes holding each partition: one
+	// owner plus Replication−1 followers.
+	Replication uint32
+}
+
+// ParsePeers parses the -peers flag syntax: comma-separated
+// `id=host:port` entries.
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(ent, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPeerSyntax, ent)
+		}
+		if strings.ContainsAny(id, "=, \t") {
+			return nil, fmt.Errorf("%w: %q", ErrReservedPeerName, id)
+		}
+		peers = append(peers, Peer{ID: id, Addr: addr})
+	}
+	if len(peers) == 0 {
+		return nil, ErrNoPeers
+	}
+	return peers, nil
+}
+
+// Validate checks the config for internal consistency and returns a
+// typed error (one of the Err* sentinels, wrapped) on the first
+// violation.
+func (c *Config) Validate() error {
+	if c.NodeID == "" {
+		return ErrNoNodeID
+	}
+	if len(c.Peers) == 0 {
+		return ErrNoPeers
+	}
+	ids := make(map[string]bool, len(c.Peers))
+	addrs := make(map[string]bool, len(c.Peers))
+	self := false
+	for _, p := range c.Peers {
+		if p.ID == "" || p.Addr == "" {
+			return fmt.Errorf("%w: %q=%q", ErrBadPeerSyntax, p.ID, p.Addr)
+		}
+		if ids[p.ID] || addrs[p.Addr] {
+			return fmt.Errorf("%w: %q=%q", ErrDuplicatePeer, p.ID, p.Addr)
+		}
+		ids[p.ID] = true
+		addrs[p.Addr] = true
+		if p.ID == c.NodeID {
+			self = true
+		}
+	}
+	if !self {
+		return fmt.Errorf("%w: %q", ErrUnknownNodeID, c.NodeID)
+	}
+	if c.Partitions < 1 {
+		return fmt.Errorf("%w: %d", ErrBadPartitions, c.Partitions)
+	}
+	if c.Replication < 1 || int(c.Replication) > len(c.Peers) {
+		return fmt.Errorf("%w: %d of %d nodes", ErrBadReplication, c.Replication, len(c.Peers))
+	}
+	return nil
+}
+
+// Self returns this node's Peer entry. Valid only after Validate.
+func (c *Config) Self() Peer {
+	for _, p := range c.Peers {
+		if p.ID == c.NodeID {
+			return p
+		}
+	}
+	return Peer{}
+}
+
+// PeerByID returns the named peer.
+func (c *Config) PeerByID(id string) (Peer, bool) {
+	for _, p := range c.Peers {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Peer{}, false
+}
+
+// FNV-1a 64-bit parameters; the routing and placement hash is pinned
+// to this exact algorithm so independent implementations agree.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1a folds b into a running FNV-1a 64-bit hash.
+func fnv1a(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// PartitionForKey routes a message key to a partition: FNV-1a 64-bit
+// over the key, modulo the partition count. A nil/empty key hashes
+// like any other byte string (constant), so keyless traffic should
+// pick a partition by other means (see client.go's round-robin).
+func PartitionForKey(key []byte, partitions uint32) uint32 {
+	return uint32(fnv1a(fnvOffset64, key) % uint64(partitions))
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection over
+// uint64. Raw FNV-1a is not avalanching — two ids differing in one
+// trailing byte produce hashes differing by a tiny multiple of the
+// FNV prime, so their rank order would be decided by a couple of low
+// bits and barely move across partitions. The finalizer spreads every
+// input bit over the whole word, which is what rendezvous ranking
+// actually needs.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// score is the rendezvous weight of node id for (topic, part):
+// mix64(FNV-1a(topic ‖ 0x00 ‖ partition-be32 ‖ id)). The 0x00
+// separator keeps topic/id concatenation from aliasing. Pinned — any
+// party recomputing the partition map must use exactly this function.
+func score(id, topic string, part uint32) uint64 {
+	h := fnv1a(fnvOffset64, []byte(topic))
+	h = fnv1a(h, []byte{0, byte(part >> 24), byte(part >> 16), byte(part >> 8), byte(part)})
+	return mix64(fnv1a(h, []byte(id)))
+}
+
+// Assign returns the nodes holding (topic, part) in rank order: the
+// owner first, then the Replication−1 followers. Deterministic in the
+// config alone — every node and client computes the same assignment.
+func (c *Config) Assign(topic string, part uint32) []Peer {
+	ranked := make([]Peer, len(c.Peers))
+	copy(ranked, c.Peers)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := score(ranked[i].ID, topic, part), score(ranked[j].ID, topic, part)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].ID < ranked[j].ID // total order even on score ties
+	})
+	n := int(c.Replication)
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	return ranked[:n]
+}
+
+// Owner returns the node owning (topic, part).
+func (c *Config) Owner(topic string, part uint32) Peer {
+	return c.Assign(topic, part)[0]
+}
+
+// Owns reports whether this node owns (topic, part).
+func (c *Config) Owns(topic string, part uint32) bool {
+	return c.Owner(topic, part).ID == c.NodeID
+}
+
+// Replicates reports whether this node holds (topic, part) as a
+// non-owner follower.
+func (c *Config) Replicates(topic string, part uint32) bool {
+	for i, p := range c.Assign(topic, part) {
+		if p.ID == c.NodeID {
+			return i > 0
+		}
+	}
+	return false
+}
+
+// Holds reports whether this node holds (topic, part) at all (owner
+// or follower).
+func (c *Config) Holds(topic string, part uint32) bool {
+	for _, p := range c.Assign(topic, part) {
+		if p.ID == c.NodeID {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+func testConfig(nodes, partitions, replication int) *Config {
+	c := &Config{
+		NodeID:      "n1",
+		Partitions:  uint32(partitions),
+		Replication: uint32(replication),
+	}
+	for i := 1; i <= nodes; i++ {
+		c.Peers = append(c.Peers, Peer{
+			ID:   fmt.Sprintf("n%d", i),
+			Addr: fmt.Sprintf("127.0.0.1:%d", 7076+i),
+		})
+	}
+	return c
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n1=127.0.0.1:7077, n2=127.0.0.1:7078,n3=host:7079,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Peer{
+		{ID: "n1", Addr: "127.0.0.1:7077"},
+		{ID: "n2", Addr: "127.0.0.1:7078"},
+		{ID: "n3", Addr: "host:7079"},
+	}
+	if len(peers) != len(want) {
+		t.Fatalf("got %d peers", len(peers))
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peer %d: %+v want %+v", i, peers[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "n1", "=addr", "n1=", "n 1=addr"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) passed", bad)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(3, 8, 2).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want error
+	}{
+		{"empty-node-id", func(c *Config) { c.NodeID = "" }, ErrNoNodeID},
+		{"unknown-node-id", func(c *Config) { c.NodeID = "ghost" }, ErrUnknownNodeID},
+		{"no-peers", func(c *Config) { c.Peers = nil }, ErrNoPeers},
+		{"dup-id", func(c *Config) { c.Peers[1].ID = "n1" }, ErrDuplicatePeer},
+		{"dup-addr", func(c *Config) { c.Peers[1].Addr = c.Peers[0].Addr }, ErrDuplicatePeer},
+		{"zero-partitions", func(c *Config) { c.Partitions = 0 }, ErrBadPartitions},
+		{"zero-replication", func(c *Config) { c.Replication = 0 }, ErrBadReplication},
+		{"replication-over-nodes", func(c *Config) { c.Replication = 4 }, ErrBadReplication},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := testConfig(3, 8, 2)
+			tc.mut(c)
+			if err := c.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPartitionForKeyIsFNV1a pins the routing hash to standard FNV-1a
+// 64: any client that implements the documented algorithm routes keys
+// identically.
+func TestPartitionForKeyIsFNV1a(t *testing.T) {
+	keys := [][]byte{nil, {}, []byte("a"), []byte("order-12345"), []byte{0, 1, 2, 255}}
+	for _, k := range keys {
+		h := fnv.New64a()
+		h.Write(k)
+		want := uint32(h.Sum64() % 8)
+		if got := PartitionForKey(k, 8); got != want {
+			t.Fatalf("key %q: partition %d, want %d", k, got, want)
+		}
+	}
+	// Keys spread: 1000 distinct keys over 8 partitions must hit all 8.
+	seen := make(map[uint32]int)
+	for i := 0; i < 1000; i++ {
+		seen[PartitionForKey([]byte(fmt.Sprintf("key-%d", i)), 8)]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("1000 keys hit only %d of 8 partitions: %v", len(seen), seen)
+	}
+}
+
+// TestRendezvousAssign checks the placement properties: determinism,
+// distinct replicas, owner spread across nodes, and minimal
+// disruption when a node is removed.
+func TestRendezvousAssign(t *testing.T) {
+	c := testConfig(3, 8, 2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	owners := make(map[string]int)
+	for part := uint32(0); part < 8; part++ {
+		a := c.Assign("orders", part)
+		if len(a) != 2 {
+			t.Fatalf("part %d: %d assignees", part, len(a))
+		}
+		if a[0].ID == a[1].ID {
+			t.Fatalf("part %d: owner repeated as replica", part)
+		}
+		// Deterministic across calls and consistent with the views.
+		b := c.Assign("orders", part)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("part %d: assignment not deterministic", part)
+		}
+		if c.Owner("orders", part) != a[0] {
+			t.Fatalf("part %d: Owner disagrees with Assign", part)
+		}
+		owners[a[0].ID]++
+
+		// Every peer agrees on the full map.
+		for _, peer := range c.Peers {
+			view := &Config{NodeID: peer.ID, Peers: c.Peers, Partitions: c.Partitions, Replication: c.Replication}
+			va := view.Assign("orders", part)
+			if va[0] != a[0] || va[1] != a[1] {
+				t.Fatalf("part %d: node %s computes a different assignment", part, peer.ID)
+			}
+			holds := peer.ID == a[0].ID || peer.ID == a[1].ID
+			if view.Holds("orders", part) != holds {
+				t.Fatalf("part %d: Holds wrong on %s", part, peer.ID)
+			}
+			if view.Owns("orders", part) != (peer.ID == a[0].ID) {
+				t.Fatalf("part %d: Owns wrong on %s", part, peer.ID)
+			}
+			if view.Replicates("orders", part) != (peer.ID == a[1].ID) {
+				t.Fatalf("part %d: Replicates wrong on %s", part, peer.ID)
+			}
+		}
+	}
+	// 8 partitions over 3 nodes: no node may own everything, and with a
+	// sane hash every node owns something. (Deterministic, not flaky.)
+	if len(owners) < 2 {
+		t.Fatalf("ownership collapsed onto %v", owners)
+	}
+
+	// Removing n3 must not move any partition whose assignment didn't
+	// involve n3 — rendezvous minimal disruption.
+	two := &Config{NodeID: "n1", Peers: c.Peers[:2], Partitions: 8, Replication: 2}
+	for part := uint32(0); part < 8; part++ {
+		before := c.Assign("orders", part)
+		after := two.Assign("orders", part)
+		if before[0].ID != "n3" && after[0] != before[0] {
+			t.Fatalf("part %d: owner moved from %s to %s without n3 involved", part, before[0].ID, after[0].ID)
+		}
+	}
+
+	// Different topics shuffle placement independently.
+	same := true
+	for part := uint32(0); part < 8; part++ {
+		if c.Owner("orders", part) != c.Owner("audit", part) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("placement identical across topics; topic not hashed")
+	}
+}

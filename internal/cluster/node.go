@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ffq/internal/broker/client"
+)
+
+// ReplicaGroupPrefix namespaces the consumer groups replication
+// followers commit under on the owner: "__replica/<nodeID>". The
+// owner's cursor store thereby doubles as the replication lag table —
+// OFFSETS with this group reports how far a given replica has acked.
+const ReplicaGroupPrefix = "__replica/"
+
+// ReplicaGroup returns the follower cursor group for a node.
+func ReplicaGroup(nodeID string) string { return ReplicaGroupPrefix + nodeID }
+
+// LocalLog is the slice of a write-ahead log the follower needs:
+// offsets are reproduced from the owner, never assigned locally.
+// *wal.Log satisfies it.
+type LocalLog interface {
+	// NextOffset is where the local copy ends — the resume point.
+	NextOffset() uint64
+	// AppendAt appends a batch whose first message has the given
+	// offset; it fails on any gap or overlap (wal.ErrOffsetGap).
+	AppendAt(base uint64, payloads [][]byte) error
+	// ResetTo discards the local copy and restarts the chain at base
+	// (the owner's oldest retained offset after truncation).
+	ResetTo(base uint64) error
+}
+
+// NodeOptions configures the follower manager.
+type NodeOptions struct {
+	// Config is the validated static cluster shape.
+	Config *Config
+	// OpenLog returns the local log for a partition this node
+	// replicates (the broker's PartitionLog, adapted).
+	OpenLog func(topic string, part uint32) (LocalLog, error)
+	// Dial connects to a peer address. nil means client.Dial over TCP.
+	Dial func(addr string) (*client.Client, error)
+	// PollInterval is the topic-discovery period: how often peers'
+	// METADATA is polled for partitioned topics this node should be
+	// following. 0 means DefaultPollInterval.
+	PollInterval time.Duration
+	// Window is the follower's replay credit window in messages.
+	// 0 means DefaultFollowWindow.
+	Window int
+	// Logf reports follower errors (reconnects, resyncs). nil means
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for NodeOptions zero values.
+const (
+	DefaultPollInterval = 2 * time.Second
+	DefaultFollowWindow = 1024
+)
+
+// Node is the replication side of a cluster member: it discovers
+// partitioned topics by polling peers' METADATA, and for every
+// partition this node replicates, runs a follower that strict-replays
+// the owner's log into a local one.
+//
+// The follower is a plain wire client — CONSUME+FlagOffset with
+// FlagStrict under the node's __replica/<id> group — so replication
+// exercises exactly the path ordinary durable consumers use. Each
+// received batch is AppendAt'ed to the local log at the owner's
+// offsets and acked back as a cursor commit; a typed
+// ErrOffsetTruncated from the owner (retention outran the replica)
+// triggers ResetTo(oldest) and a fresh subscription. Followers
+// reconnect with backoff for as long as the node runs: a dead owner
+// just means the replica holds what it copied and retries.
+type Node struct {
+	opts NodeOptions
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	stopped   bool
+	followers map[topicPart]bool
+	clients   map[*client.Client]bool
+}
+
+// topicPart keys one follower.
+type topicPart struct {
+	topic string
+	part  uint32
+}
+
+// StartNode validates the options and starts the discovery loop.
+func StartNode(opts NodeOptions) (*Node, error) {
+	if opts.Config == nil {
+		return nil, errors.New("cluster: node needs a config")
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.OpenLog == nil {
+		return nil, errors.New("cluster: node needs an OpenLog hook")
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = DefaultPollInterval
+	}
+	if opts.Window <= 0 {
+		opts.Window = DefaultFollowWindow
+	}
+	n := &Node{
+		opts:      opts,
+		stop:      make(chan struct{}),
+		followers: map[topicPart]bool{},
+		clients:   map[*client.Client]bool{},
+	}
+	n.wg.Add(1)
+	go n.pollLoop()
+	return n, nil
+}
+
+// Close stops discovery and every follower, then waits for them.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	clients := make([]*client.Client, 0, len(n.clients))
+	for c := range n.clients {
+		clients = append(clients, c)
+	}
+	n.mu.Unlock()
+	close(n.stop)
+	// Closing the connections unblocks followers parked in Recv.
+	for _, c := range clients {
+		c.Close()
+	}
+	n.wg.Wait()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.opts.Logf != nil {
+		n.opts.Logf(format, args...)
+	}
+}
+
+// dial connects to a peer and tracks the client so Close can unblock
+// its receiver.
+func (n *Node) dial(addr string) (*client.Client, error) {
+	var c *client.Client
+	var err error
+	if n.opts.Dial != nil {
+		c, err = n.opts.Dial(addr)
+	} else {
+		c, err = client.Dial(addr, client.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		c.Close()
+		return nil, errors.New("cluster: node closed")
+	}
+	n.clients[c] = true
+	n.mu.Unlock()
+	return c, nil
+}
+
+func (n *Node) release(c *client.Client) {
+	c.Close()
+	n.mu.Lock()
+	delete(n.clients, c)
+	n.mu.Unlock()
+}
+
+// pollLoop discovers partitioned topics: every peer's METADATA lists
+// the topics it holds, and any partition of any of them that this
+// node replicates gets a follower. Discovery is idempotent — a
+// follower, once started, lives until Close.
+func (n *Node) pollLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opts.PollInterval)
+	defer t.Stop()
+	for {
+		n.pollOnce()
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (n *Node) pollOnce() {
+	cfg := n.opts.Config
+	for _, p := range cfg.Peers {
+		if p.ID == cfg.NodeID {
+			continue
+		}
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		c, err := n.dial(p.Addr)
+		if err != nil {
+			continue // peer down; next poll retries
+		}
+		meta, err := c.Meta()
+		n.release(c)
+		if err != nil {
+			continue
+		}
+		for _, topic := range meta.Topics {
+			for part := uint32(0); part < cfg.Partitions; part++ {
+				if cfg.Replicates(topic, part) {
+					n.ensureFollower(topic, part)
+				}
+			}
+		}
+	}
+}
+
+// ensureFollower starts the follower for (topic, part) once.
+func (n *Node) ensureFollower(topic string, part uint32) {
+	key := topicPart{topic, part}
+	n.mu.Lock()
+	if n.stopped || n.followers[key] {
+		n.mu.Unlock()
+		return
+	}
+	n.followers[key] = true
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go n.runFollower(topic, part)
+}
+
+// runFollower keeps one partition's local copy in sync with its
+// owner, reconnecting with capped backoff until Close.
+func (n *Node) runFollower(topic string, part uint32) {
+	defer n.wg.Done()
+	owner := n.opts.Config.Owner(topic, part)
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		err := n.followOnce(topic, part, owner)
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		if err != nil {
+			n.logf("cluster: follower %s@%d (owner %s): %v", topic, part, owner.ID, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// followOnce runs one follower session: subscribe strictly at the
+// local log's next offset, append every received batch at the owner's
+// offsets, commit the follower cursor, and on a truncation error
+// resync the local copy to the owner's oldest retained offset.
+func (n *Node) followOnce(topic string, part uint32, owner Peer) error {
+	log, err := n.opts.OpenLog(topic, part)
+	if err != nil {
+		return err
+	}
+	c, err := n.dial(owner.Addr)
+	if err != nil {
+		return err
+	}
+	defer n.release(c)
+	from := log.NextOffset()
+	sub, err := c.SubscribeFromPart(topic, part, n.opts.Window, from, ReplicaGroup(n.opts.Config.NodeID), true)
+	if err != nil {
+		return err
+	}
+	payloads := make([][]byte, 0, n.opts.Window)
+	for {
+		msgs, ok := sub.RecvMsgBatch(n.opts.Window)
+		if !ok {
+			err := c.Err()
+			var trunc *client.ErrOffsetTruncated
+			if errors.As(err, &trunc) {
+				// The owner dropped offsets we have not copied yet; the
+				// local chain cannot be continued, only restarted at the
+				// owner's oldest live offset.
+				if rerr := log.ResetTo(trunc.Oldest); rerr != nil {
+					return rerr
+				}
+				n.logf("cluster: follower %s@%d resync to %d after truncation", topic, part, trunc.Oldest)
+			}
+			return err
+		}
+		base := msgs[0].Offset
+		payloads = payloads[:0]
+		for i, m := range msgs {
+			if m.Offset != base+uint64(i) {
+				return fmt.Errorf("cluster: replay stream gap at %d (batch base %d)", m.Offset, base)
+			}
+			payloads = append(payloads, m.Payload)
+		}
+		if err := log.AppendAt(base, payloads); err != nil {
+			return err
+		}
+		// The commit is the replication ack: the owner's cursor table
+		// records the first offset this replica does NOT yet hold.
+		if err := sub.Commit(base + uint64(len(msgs))); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAppendAt covers the replication follower's append: offsets are
+// reproduced, not assigned, and any gap fails closed.
+func TestAppendAt(t *testing.T) {
+	l, dir := testOpen(t, Options{SegmentBytes: 1 << 10})
+	defer l.Close()
+
+	if err := l.AppendAt(0, [][]byte{payload(0), payload(1)}); err != nil {
+		t.Fatalf("AppendAt(0): %v", err)
+	}
+	if err := l.AppendAt(2, [][]byte{payload(2)}); err != nil {
+		t.Fatalf("AppendAt(2): %v", err)
+	}
+	// A gap (missed records) and a replayed duplicate both fail closed.
+	if err := l.AppendAt(5, [][]byte{payload(5)}); !errors.Is(err, ErrOffsetGap) {
+		t.Fatalf("gap append: %v", err)
+	}
+	if err := l.AppendAt(1, [][]byte{payload(1)}); !errors.Is(err, ErrOffsetGap) {
+		t.Fatalf("duplicate append: %v", err)
+	}
+	if got := l.NextOffset(); got != 3 {
+		t.Fatalf("NextOffset = %d, want 3", got)
+	}
+	// An empty batch is a no-op, never a gap check.
+	if err := l.AppendAt(99, nil); err != nil {
+		t.Fatalf("empty AppendAt: %v", err)
+	}
+
+	// The copied log recovers like any other.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	r := l2.NewReader(0)
+	defer r.Close()
+	if first, count := readAll(t, l2, r, 8); first != 0 || count != 3 {
+		t.Fatalf("recovered replay: got [%d, %d), want [0, 3)", first, first+count)
+	}
+}
+
+// TestResetTo covers the follower resync: the local copy is discarded
+// and the offset chain restarts at the owner's oldest live offset.
+func TestResetTo(t *testing.T) {
+	l, dir := testOpen(t, Options{SegmentBytes: 1 << 10})
+	defer l.Close()
+
+	appendN(t, l, 0, 300, 5) // several segments at the 1KiB roll
+
+	const base = 1000
+	if err := l.ResetTo(base); err != nil {
+		t.Fatalf("ResetTo: %v", err)
+	}
+	if got := l.NextOffset(); got != base {
+		t.Fatalf("NextOffset = %d, want %d", got, base)
+	}
+	if got := l.OldestOffset(); got != base {
+		t.Fatalf("OldestOffset = %d, want %d", got, base)
+	}
+	st := l.Stats()
+	if st.Segments != 1 || st.Bytes != 0 {
+		t.Fatalf("post-reset stats: %+v", st)
+	}
+
+	// The chain continues from the new base and survives recovery.
+	if err := l.AppendAt(base, [][]byte{payload(base), payload(base + 1)}); err != nil {
+		t.Fatalf("AppendAt after reset: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.OldestOffset(); got != base {
+		t.Fatalf("recovered OldestOffset = %d, want %d", got, base)
+	}
+	r := l2.NewReader(base)
+	defer r.Close()
+	if first, count := readAll(t, l2, r, 8); first != base || count != 2 {
+		t.Fatalf("recovered replay: got [%d, %d), want [%d, %d)", first, first+count, base, base+2)
+	}
+}

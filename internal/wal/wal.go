@@ -142,6 +142,10 @@ var (
 	// ErrCorrupt is returned by readers that hit an invalid record in
 	// the retained log body (the open scan repairs only the tail).
 	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrOffsetGap is returned by AppendAt when the batch's base offset
+	// is not the log's next offset: the follower missed records (or
+	// replayed old ones) and must resync rather than write a hole.
+	ErrOffsetGap = errors.New("wal: append base is not the next offset")
 )
 
 // Options configures a Log.
@@ -422,7 +426,33 @@ func (l *Log) Append(payloads [][]byte) (base uint64, err error) {
 	if l.sealed {
 		return 0, ErrSealed
 	}
+	return l.appendLocked(payloads)
+}
 
+// AppendAt writes one batch whose first message must land exactly at
+// offset base — the replication follower's append: offsets are
+// assigned by the partition owner and reproduced here, never invented.
+// A base behind or ahead of the log's next offset is ErrOffsetGap; the
+// caller resyncs instead of creating a hole or a duplicate.
+func (l *Log) AppendAt(base uint64, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return ErrSealed
+	}
+	if base != l.next {
+		return fmt.Errorf("%w: log next %d, batch base %d", ErrOffsetGap, l.next, base)
+	}
+	_, err := l.appendLocked(payloads)
+	return err
+}
+
+// appendLocked encodes and writes one batch record at l.next. Callers
+// hold l.mu and have checked sealed.
+func (l *Log) appendLocked(payloads [][]byte) (base uint64, err error) {
 	bodyLen := wire.BatchSize(payloads)
 	recLen := recHeader + bodyLen
 	if cap(l.enc) < recLen {
@@ -538,6 +568,43 @@ func (l *Log) EnforceRetention() {
 	l.mu.Lock()
 	l.enforceRetentionLocked()
 	l.mu.Unlock()
+}
+
+// ResetTo discards every retained record and restarts the offset chain
+// at base — the replication follower's resync after the owner's
+// retention overtook it (the records below base are gone at the source,
+// so a contiguous local copy can only start there). The caller must
+// ensure no concurrent reader depends on the discarded records; open
+// Readers hold their own file handles and will surface read errors.
+func (l *Log) ResetTo(base uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed {
+		return ErrSealed
+	}
+	for _, s := range l.segs {
+		os.Remove(l.segPath(s.base))
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	os.Remove(l.segPath(l.activeBase))
+	f, err := os.OpenFile(l.segPath(base), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	l.active = f
+	l.activeBase = base
+	l.activeSize = 0
+	l.activeIdx = nil
+	l.segs = nil
+	l.next = base
+	l.oldest = base
+	l.total = 0
+	l.dirty = false
+	close(l.notify)
+	l.notify = make(chan struct{})
+	return nil
 }
 
 // syncLoop is the SyncInterval policy's background fsync.

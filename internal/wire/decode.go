@@ -69,6 +69,41 @@ func getTopic(b []byte) (topic, rest []byte, err error) {
 	return b[2 : 2+n], b[2+n:], nil
 }
 
+// getPart splits the partition field off b when flags carries
+// FlagPart; without it the frame addresses the unpartitioned topic
+// (NoPartition) and b is untouched. An explicit on-wire NoPartition is
+// rejected — it is the absence sentinel, never a valid id.
+func getPart(flags byte, b []byte) (part uint32, rest []byte, err error) {
+	if flags&FlagPart == 0 {
+		return NoPartition, b, nil
+	}
+	if len(b) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	part = binary.BigEndian.Uint32(b)
+	if part == NoPartition {
+		return 0, nil, ErrBadPartition
+	}
+	return part, b[4:], nil
+}
+
+// getString splits a leading `uint16 len | bytes` metadata string off
+// b, copying it out (metadata is cold path; the copy frees the frame
+// buffer).
+func getString(b []byte) (s string, rest []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n > MaxTopic {
+		return "", nil, ErrTopicTooLong
+	}
+	if len(b) < 2+n {
+		return "", nil, ErrTruncated
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
 // ParsePing returns the token of a PING frame.
 func ParsePing(f Frame) (token uint64, err error) {
 	if f.Type != TPing {
@@ -145,11 +180,13 @@ func (p *Batch) Next() ([]byte, bool) {
 	return m, true
 }
 
-// ProduceBody is a validated PRODUCE batch: the topic plus the batch
-// iterator.
+// ProduceBody is a validated PRODUCE batch: the topic and partition
+// plus the batch iterator.
 type ProduceBody struct {
 	// Topic aliases the frame body.
 	Topic []byte
+	// Part is the addressed partition (NoPartition without FlagPart).
+	Part uint32
 	Batch
 }
 
@@ -164,36 +201,45 @@ func ParseProduce(f Frame) (ProduceBody, error) {
 	if err != nil {
 		return p, err
 	}
+	part, rest, err := getPart(f.Flags, rest)
+	if err != nil {
+		return p, err
+	}
 	b, err := ParseBatch(rest)
 	if err != nil {
 		return p, err
 	}
 	p.Topic = topic
+	p.Part = part
 	p.Batch = b
 	return p, nil
 }
 
 // ParseDeliverOffsets validates a replay DELIVER frame
-// (PRODUCE+FlagDeliver+FlagOffset) and returns the topic, the offset
-// of the batch's first message, and the batch iterator (message i has
-// offset base+i).
-func ParseDeliverOffsets(f Frame) (topic []byte, base uint64, b Batch, err error) {
+// (PRODUCE+FlagDeliver+FlagOffset) and returns the topic, partition,
+// the offset of the batch's first message, and the batch iterator
+// (message i has offset base+i).
+func ParseDeliverOffsets(f Frame) (topic []byte, part uint32, base uint64, b Batch, err error) {
 	if f.Type != TProduce || f.Flags&FlagOffset == 0 {
-		return nil, 0, b, ErrWrongType
+		return nil, 0, 0, b, ErrWrongType
 	}
 	topic, rest, err := getTopic(f.Body)
 	if err != nil {
-		return nil, 0, b, err
+		return nil, 0, 0, b, err
+	}
+	part, rest, err = getPart(f.Flags, rest)
+	if err != nil {
+		return nil, 0, 0, b, err
 	}
 	if len(rest) < 8 {
-		return nil, 0, b, ErrTruncated
+		return nil, 0, 0, b, ErrTruncated
 	}
 	base = binary.BigEndian.Uint64(rest)
 	b, err = ParseBatch(rest[8:])
 	if err != nil {
-		return nil, 0, b, err
+		return nil, 0, 0, b, err
 	}
-	return topic, base, b, nil
+	return topic, part, base, b, nil
 }
 
 // CopyMessages drains p's remaining messages into freshly owned
@@ -242,126 +288,264 @@ func getGroup(b []byte) (group []byte, err error) {
 	return b[2 : 2+n], nil
 }
 
-// ParseConsumeFrom returns the fields of a durable CONSUME frame
-// (FlagOffset set): topic, initial credit, from-offset (OffsetCursor =
-// resume from the group cursor) and consumer group (possibly empty).
-func ParseConsumeFrom(f Frame) (topic []byte, credit uint32, from uint64, group []byte, err error) {
-	if f.Type != TConsume || f.Flags&FlagOffset == 0 {
-		return nil, 0, 0, nil, ErrWrongType
-	}
-	topic, rest, err := getTopic(f.Body)
-	if err != nil {
-		return nil, 0, 0, nil, err
-	}
-	if len(rest) < 12 {
-		return nil, 0, 0, nil, ErrTruncated
-	}
-	credit = binary.BigEndian.Uint32(rest)
-	from = binary.BigEndian.Uint64(rest[4:])
-	group, err = getGroup(rest[12:])
-	if err != nil {
-		return nil, 0, 0, nil, err
-	}
-	return topic, credit, from, group, nil
+// ConsumeFromBody is a validated durable CONSUME frame (FlagOffset
+// set): a log-follower subscription.
+type ConsumeFromBody struct {
+	// Topic and Group alias the frame body.
+	Topic []byte
+	// Part is the addressed partition (NoPartition without FlagPart).
+	Part uint32
+	// Credit is the initial delivery window.
+	Credit uint32
+	// From is the replay start offset; OffsetCursor means resume from
+	// Group's persisted cursor.
+	From  uint64
+	Group []byte
+	// Strict reports FlagStrict: fail with ECodeTruncated instead of
+	// clamping when retention has dropped From.
+	Strict bool
 }
 
-// ParseOffsetsReq returns the topic and consumer group of an OFFSETS
-// query.
-func ParseOffsetsReq(f Frame) (topic, group []byte, err error) {
-	if f.Type != TOffsets || f.Flags&FlagReply != 0 {
-		return nil, nil, ErrWrongType
+// ParseConsumeFrom returns the fields of a durable CONSUME frame
+// (FlagOffset set). Topic and Group alias the frame body.
+func ParseConsumeFrom(f Frame) (ConsumeFromBody, error) {
+	var c ConsumeFromBody
+	if f.Type != TConsume || f.Flags&FlagOffset == 0 {
+		return c, ErrWrongType
 	}
 	topic, rest, err := getTopic(f.Body)
 	if err != nil {
-		return nil, nil, err
+		return c, err
+	}
+	part, rest, err := getPart(f.Flags, rest)
+	if err != nil {
+		return c, err
+	}
+	if len(rest) < 12 {
+		return c, ErrTruncated
+	}
+	c.Topic = topic
+	c.Part = part
+	c.Credit = binary.BigEndian.Uint32(rest)
+	c.From = binary.BigEndian.Uint64(rest[4:])
+	c.Strict = f.Flags&FlagStrict != 0
+	c.Group, err = getGroup(rest[12:])
+	if err != nil {
+		return ConsumeFromBody{}, err
+	}
+	return c, nil
+}
+
+// ParseOffsetsReq returns the topic, partition and consumer group of
+// an OFFSETS query.
+func ParseOffsetsReq(f Frame) (topic []byte, part uint32, group []byte, err error) {
+	if f.Type != TOffsets || f.Flags&FlagReply != 0 {
+		return nil, 0, nil, ErrWrongType
+	}
+	topic, rest, err := getTopic(f.Body)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	part, rest, err = getPart(f.Flags, rest)
+	if err != nil {
+		return nil, 0, nil, err
 	}
 	group, err = getGroup(rest)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
-	return topic, group, nil
+	return topic, part, group, nil
 }
 
 // ParseOffsetsResp returns the fields of an OFFSETS reply: oldest
 // retained offset, next offset to be assigned, and the queried group's
 // cursor (OffsetCursor when absent).
-func ParseOffsetsResp(f Frame) (topic []byte, oldest, next, cursor uint64, err error) {
+func ParseOffsetsResp(f Frame) (topic []byte, part uint32, oldest, next, cursor uint64, err error) {
 	if f.Type != TOffsets || f.Flags&FlagReply == 0 {
-		return nil, 0, 0, 0, ErrWrongType
+		return nil, 0, 0, 0, 0, ErrWrongType
 	}
 	topic, rest, err := getTopic(f.Body)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return nil, 0, 0, 0, 0, err
+	}
+	part, rest, err = getPart(f.Flags, rest)
+	if err != nil {
+		return nil, 0, 0, 0, 0, err
 	}
 	if len(rest) < 24 {
-		return nil, 0, 0, 0, ErrTruncated
+		return nil, 0, 0, 0, 0, ErrTruncated
 	}
 	if len(rest) > 24 {
-		return nil, 0, 0, 0, ErrTrailingBytes
+		return nil, 0, 0, 0, 0, ErrTrailingBytes
 	}
-	return topic, binary.BigEndian.Uint64(rest),
+	return topic, part, binary.BigEndian.Uint64(rest),
 		binary.BigEndian.Uint64(rest[8:]),
 		binary.BigEndian.Uint64(rest[16:]), nil
 }
 
-// ParseConsume returns the topic and initial credit of a CONSUME frame.
-func ParseConsume(f Frame) (topic []byte, credit uint32, err error) {
+// ParseConsume returns the topic, partition and initial credit of a
+// CONSUME frame.
+func ParseConsume(f Frame) (topic []byte, part uint32, credit uint32, err error) {
 	if f.Type != TConsume {
-		return nil, 0, ErrWrongType
+		return nil, 0, 0, ErrWrongType
 	}
 	topic, rest, err := getTopic(f.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
+	}
+	part, rest, err = getPart(f.Flags, rest)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	if len(rest) < 4 {
-		return nil, 0, ErrTruncated
+		return nil, 0, 0, ErrTruncated
 	}
 	if len(rest) > 4 {
-		return nil, 0, ErrTrailingBytes
+		return nil, 0, 0, ErrTrailingBytes
 	}
-	return topic, binary.BigEndian.Uint32(rest), nil
+	return topic, part, binary.BigEndian.Uint32(rest), nil
 }
 
-// ParseAck returns the topic and cumulative sequence of an ACK frame.
-func ParseAck(f Frame) (topic []byte, seq uint64, err error) {
+// ParseAck returns the topic, partition and cumulative sequence of an
+// ACK frame.
+func ParseAck(f Frame) (topic []byte, part uint32, seq uint64, err error) {
 	if f.Type != TAck {
-		return nil, 0, ErrWrongType
+		return nil, 0, 0, ErrWrongType
 	}
 	topic, rest, err := getTopic(f.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
+	}
+	part, rest, err = getPart(f.Flags, rest)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	if len(rest) < 8 {
-		return nil, 0, ErrTruncated
+		return nil, 0, 0, ErrTruncated
 	}
 	if len(rest) > 8 {
-		return nil, 0, ErrTrailingBytes
+		return nil, 0, 0, ErrTrailingBytes
 	}
-	return topic, binary.BigEndian.Uint64(rest), nil
+	return topic, part, binary.BigEndian.Uint64(rest), nil
 }
 
-// ParseCredit returns the topic and grant of a CREDIT frame.
-func ParseCredit(f Frame) (topic []byte, n uint32, err error) {
+// ParseCredit returns the topic, partition and grant of a CREDIT
+// frame.
+func ParseCredit(f Frame) (topic []byte, part uint32, n uint32, err error) {
 	if f.Type != TCredit {
-		return nil, 0, ErrWrongType
+		return nil, 0, 0, ErrWrongType
 	}
 	topic, rest, err := getTopic(f.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
+	}
+	part, rest, err = getPart(f.Flags, rest)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	if len(rest) < 4 {
-		return nil, 0, ErrTruncated
+		return nil, 0, 0, ErrTruncated
 	}
 	if len(rest) > 4 {
-		return nil, 0, ErrTrailingBytes
+		return nil, 0, 0, ErrTrailingBytes
 	}
-	return topic, binary.BigEndian.Uint32(rest), nil
+	return topic, part, binary.BigEndian.Uint32(rest), nil
 }
 
-// ParseErr returns the reason carried by an ERR frame.
+// ParseErr returns the human-readable reason carried by an ERR frame,
+// discarding the code and detail (see ParseErrCode).
 func ParseErr(f Frame) (string, error) {
+	_, _, msg, err := ParseErrCode(f)
+	return msg, err
+}
+
+// ParseErrCode returns the structured fields of an ERR frame: the
+// code, its detail (meaning depends on the code) and the
+// human-readable text.
+func ParseErrCode(f Frame) (code uint16, detail uint64, msg string, err error) {
 	if f.Type != TErr {
-		return "", ErrWrongType
+		return 0, 0, "", ErrWrongType
 	}
-	return string(f.Body), nil
+	if len(f.Body) < errHeader {
+		return 0, 0, "", ErrTruncated
+	}
+	return binary.BigEndian.Uint16(f.Body),
+		binary.BigEndian.Uint64(f.Body[2:]),
+		string(f.Body[errHeader:]), nil
+}
+
+// ParseMetaReq validates a METADATA query (empty body).
+func ParseMetaReq(f Frame) error {
+	if f.Type != TMeta || f.Flags&FlagReply != 0 {
+		return ErrWrongType
+	}
+	if len(f.Body) != 0 {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// ParseMetaResp decodes a METADATA reply. Everything is copied out of
+// the frame body — metadata is cold path and outlives the read buffer.
+func ParseMetaResp(f Frame) (MetaResp, error) {
+	var m MetaResp
+	if f.Type != TMeta || f.Flags&FlagReply == 0 {
+		return m, ErrWrongType
+	}
+	b := f.Body
+	var err error
+	m.NodeID, b, err = getString(b)
+	if err != nil {
+		return MetaResp{}, err
+	}
+	if len(b) < 10 {
+		return MetaResp{}, ErrTruncated
+	}
+	m.Partitions = binary.BigEndian.Uint32(b)
+	m.Replication = binary.BigEndian.Uint32(b[4:])
+	nn := int(binary.BigEndian.Uint16(b[8:]))
+	b = b[10:]
+	if nn > MaxNodes {
+		return MetaResp{}, ErrMetaTooLarge
+	}
+	// Each node costs at least its two length headers, so a count the
+	// remaining body cannot fit fails before any allocation trusts it.
+	if nn*4 > len(b) {
+		return MetaResp{}, ErrTruncated
+	}
+	for i := 0; i < nn; i++ {
+		var n NodeMeta
+		n.ID, b, err = getString(b)
+		if err != nil {
+			return MetaResp{}, err
+		}
+		n.Addr, b, err = getString(b)
+		if err != nil {
+			return MetaResp{}, err
+		}
+		m.Nodes = append(m.Nodes, n)
+	}
+	if len(b) < 2 {
+		return MetaResp{}, ErrTruncated
+	}
+	tn := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if tn > MaxMetaTopics {
+		return MetaResp{}, ErrMetaTooLarge
+	}
+	if tn*2 > len(b) {
+		return MetaResp{}, ErrTruncated
+	}
+	for i := 0; i < tn; i++ {
+		var t string
+		t, b, err = getString(b)
+		if err != nil {
+			return MetaResp{}, err
+		}
+		m.Topics = append(m.Topics, t)
+	}
+	if len(b) != 0 {
+		return MetaResp{}, ErrTrailingBytes
+	}
+	return m, nil
 }

@@ -73,6 +73,51 @@ func checkTopic(topic []byte) {
 	}
 }
 
+// partSize returns the encoded size of the partition field: 0 for
+// NoPartition (field and FlagPart omitted), 4 otherwise.
+//
+//ffq:hotpath
+func partSize(part uint32) int {
+	if part == NoPartition {
+		return 0
+	}
+	return 4
+}
+
+// partFlag returns FlagPart for an explicit partition id, 0 for
+// NoPartition.
+//
+//ffq:hotpath
+func partFlag(part uint32) byte {
+	if part == NoPartition {
+		return 0
+	}
+	return FlagPart
+}
+
+// putPart writes the partition field (nothing for NoPartition) and
+// returns its encoded size.
+//
+//ffq:hotpath
+func putPart(dst []byte, part uint32) int {
+	if part == NoPartition {
+		return 0
+	}
+	binary.BigEndian.PutUint32(dst, part)
+	return 4
+}
+
+// putString writes a `uint16 len | bytes` metadata string and returns
+// its encoded size. Panics above MaxTopic — metadata strings are
+// operator configuration, so an oversized one is a bug, not input.
+func putString(dst []byte, s string) int {
+	if len(s) > MaxTopic {
+		panic("wire: metadata string exceeds MaxTopic")
+	}
+	binary.BigEndian.PutUint16(dst, uint16(len(s)))
+	return 2 + copy(dst[2:], s)
+}
+
 // PutPing appends a PING frame carrying token; pong marks it a reply.
 //
 //ffq:hotpath
@@ -122,14 +167,17 @@ func EncodeBatch(dst []byte, msgs [][]byte) int {
 	return o
 }
 
-// PutProduce appends one batch-carrying PRODUCE frame. The broker's
-// delivery path reuses it with FlagDeliver. Panics if the batch or the
-// topic exceeds the wire limits (caller bugs, not input).
+// PutProduce appends one batch-carrying PRODUCE frame addressing
+// (topic, part); part NoPartition encodes the classic unpartitioned
+// form. The broker's delivery path reuses it with FlagDeliver. Panics
+// if the batch or the topic exceeds the wire limits (caller bugs, not
+// input).
 //
 //ffq:hotpath
-func (b *Buffer) PutProduce(flags byte, topic []byte, msgs [][]byte) {
+func (b *Buffer) PutProduce(flags byte, topic []byte, part uint32, msgs [][]byte) {
 	checkTopic(topic)
-	body := 2 + len(topic) + BatchSize(msgs)
+	flags |= partFlag(part)
+	body := 2 + len(topic) + partSize(part) + BatchSize(msgs)
 	if body+2 > MaxFrame {
 		panic("wire: frame exceeds MaxFrame")
 	}
@@ -137,6 +185,7 @@ func (b *Buffer) PutProduce(flags byte, topic []byte, msgs [][]byte) {
 	putHeader(dst, TProduce, flags, body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	EncodeBatch(dst[o:], msgs)
 }
 
@@ -146,16 +195,17 @@ func (b *Buffer) PutProduce(flags byte, topic []byte, msgs [][]byte) {
 // Panics on wire-limit violations, like PutProduce.
 //
 //ffq:hotpath
-func (b *Buffer) PutDeliverOffsets(topic []byte, base uint64, msgs [][]byte) {
+func (b *Buffer) PutDeliverOffsets(topic []byte, part uint32, base uint64, msgs [][]byte) {
 	checkTopic(topic)
-	body := 2 + len(topic) + 8 + BatchSize(msgs)
+	body := 2 + len(topic) + partSize(part) + 8 + BatchSize(msgs)
 	if body+2 > MaxFrame {
 		panic("wire: frame exceeds MaxFrame")
 	}
 	dst := b.ensure(headerSize + body)
-	putHeader(dst, TProduce, FlagDeliver|FlagOffset, body)
+	putHeader(dst, TProduce, FlagDeliver|FlagOffset|partFlag(part), body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	binary.BigEndian.PutUint64(dst[o:], base)
 	o += 8
 	EncodeBatch(dst[o:], msgs)
@@ -165,30 +215,38 @@ func (b *Buffer) PutDeliverOffsets(topic []byte, base uint64, msgs [][]byte) {
 // credit window.
 //
 //ffq:hotpath
-func (b *Buffer) PutConsume(topic []byte, credit uint32) {
+func (b *Buffer) PutConsume(topic []byte, part uint32, credit uint32) {
 	checkTopic(topic)
-	body := 2 + len(topic) + 4
+	body := 2 + len(topic) + partSize(part) + 4
 	dst := b.ensure(headerSize + body)
-	putHeader(dst, TConsume, 0, body)
+	putHeader(dst, TConsume, partFlag(part), body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	binary.BigEndian.PutUint32(dst[o:], credit)
 }
 
 // PutConsumeFrom appends the durable CONSUME form: subscribe as a log
 // follower replaying from offset `from` (OffsetCursor = resume from
 // the group's persisted cursor), committing cursors under the given
-// consumer group (may be empty: no cursor persistence).
-func (b *Buffer) PutConsumeFrom(topic []byte, credit uint32, from uint64, group []byte) {
+// consumer group (may be empty: no cursor persistence). strict sets
+// FlagStrict: fail with ECodeTruncated instead of clamping when
+// retention has dropped `from` — the replication follower's form.
+func (b *Buffer) PutConsumeFrom(topic []byte, part uint32, credit uint32, from uint64, group []byte, strict bool) {
 	checkTopic(topic)
 	if len(group) > MaxGroup {
 		panic("wire: group exceeds MaxGroup")
 	}
-	body := 2 + len(topic) + 4 + 8 + 2 + len(group)
+	flags := byte(FlagOffset) | partFlag(part)
+	if strict {
+		flags |= FlagStrict
+	}
+	body := 2 + len(topic) + partSize(part) + 4 + 8 + 2 + len(group)
 	dst := b.ensure(headerSize + body)
-	putHeader(dst, TConsume, FlagOffset, body)
+	putHeader(dst, TConsume, flags, body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	binary.BigEndian.PutUint32(dst[o:], credit)
 	o += 4
 	binary.BigEndian.PutUint64(dst[o:], from)
@@ -199,16 +257,17 @@ func (b *Buffer) PutConsumeFrom(topic []byte, credit uint32, from uint64, group 
 
 // PutOffsetsReq appends an OFFSETS query for a topic's durable offset
 // range; group (may be empty) selects whose cursor the reply carries.
-func (b *Buffer) PutOffsetsReq(topic, group []byte) {
+func (b *Buffer) PutOffsetsReq(topic []byte, part uint32, group []byte) {
 	checkTopic(topic)
 	if len(group) > MaxGroup {
 		panic("wire: group exceeds MaxGroup")
 	}
-	body := 2 + len(topic) + 2 + len(group)
+	body := 2 + len(topic) + partSize(part) + 2 + len(group)
 	dst := b.ensure(headerSize + body)
-	putHeader(dst, TOffsets, 0, body)
+	putHeader(dst, TOffsets, partFlag(part), body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	binary.BigEndian.PutUint16(dst[o:], uint16(len(group)))
 	copy(dst[o+2:], group)
 }
@@ -216,55 +275,113 @@ func (b *Buffer) PutOffsetsReq(topic, group []byte) {
 // PutOffsetsResp appends the broker's OFFSETS reply: oldest retained
 // offset, next offset to be assigned, and the queried group's cursor
 // (OffsetCursor when the group has none or none was named).
-func (b *Buffer) PutOffsetsResp(topic []byte, oldest, next, cursor uint64) {
+func (b *Buffer) PutOffsetsResp(topic []byte, part uint32, oldest, next, cursor uint64) {
 	checkTopic(topic)
-	body := 2 + len(topic) + 24
+	body := 2 + len(topic) + partSize(part) + 24
 	dst := b.ensure(headerSize + body)
-	putHeader(dst, TOffsets, FlagReply, body)
+	putHeader(dst, TOffsets, FlagReply|partFlag(part), body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	binary.BigEndian.PutUint64(dst[o:], oldest)
 	binary.BigEndian.PutUint64(dst[o+8:], next)
 	binary.BigEndian.PutUint64(dst[o+16:], cursor)
 }
 
 // PutAck appends an ACK frame: the first seq messages produced on this
-// connection for topic are accepted. FlagEnd turns it into the
+// connection for (topic, part) are accepted. FlagEnd turns it into the
 // subscription end-of-stream marker. With FlagOffset it is instead the
 // client→broker consumer-group cursor commit (seq = first unprocessed
 // offset).
 //
 //ffq:hotpath
-func (b *Buffer) PutAck(flags byte, topic []byte, seq uint64) {
+func (b *Buffer) PutAck(flags byte, topic []byte, part uint32, seq uint64) {
 	checkTopic(topic)
-	body := 2 + len(topic) + 8
+	flags |= partFlag(part)
+	body := 2 + len(topic) + partSize(part) + 8
 	dst := b.ensure(headerSize + body)
 	putHeader(dst, TAck, flags, body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	binary.BigEndian.PutUint64(dst[o:], seq)
 }
 
 // PutCredit appends a CREDIT frame granting n more deliveries.
 //
 //ffq:hotpath
-func (b *Buffer) PutCredit(topic []byte, n uint32) {
+func (b *Buffer) PutCredit(topic []byte, part uint32, n uint32) {
 	checkTopic(topic)
-	body := 2 + len(topic) + 4
+	body := 2 + len(topic) + partSize(part) + 4
 	dst := b.ensure(headerSize + body)
-	putHeader(dst, TCredit, 0, body)
+	putHeader(dst, TCredit, partFlag(part), body)
 	o := headerSize
 	o += putTopic(dst[o:], topic)
+	o += putPart(dst[o:], part)
 	binary.BigEndian.PutUint32(dst[o:], n)
 }
 
-// PutErr appends an ERR frame. Cold path by definition (the sender
-// closes the connection after it), so it is not hotpath-marked.
+// PutErr appends a generic ERR frame (ECodeGeneric, no detail). Cold
+// path by definition (the sender closes the connection after it), so
+// it is not hotpath-marked.
 func (b *Buffer) PutErr(msg string) {
-	if len(msg) > MaxFrame-headerSize {
-		msg = msg[:MaxFrame-headerSize]
+	b.PutErrCode(ECodeGeneric, 0, msg)
+}
+
+// PutErrCode appends a typed ERR frame: `uint16 code | uint64 detail |
+// text`. The detail's meaning depends on the code (ECodeTruncated: the
+// oldest live offset; ECodeNotOwner/ECodeBadPartition: the partition).
+func (b *Buffer) PutErrCode(code uint16, detail uint64, msg string) {
+	if len(msg) > MaxFrame-headerSize-errHeader {
+		msg = msg[:MaxFrame-headerSize-errHeader]
 	}
-	dst := b.ensure(headerSize + len(msg))
-	putHeader(dst, TErr, 0, len(msg))
-	copy(dst[headerSize:], msg)
+	body := errHeader + len(msg)
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TErr, 0, body)
+	binary.BigEndian.PutUint16(dst[headerSize:], code)
+	binary.BigEndian.PutUint64(dst[headerSize+2:], detail)
+	copy(dst[headerSize+errHeader:], msg)
+}
+
+// PutMetaReq appends a METADATA query (empty body).
+func (b *Buffer) PutMetaReq() {
+	dst := b.ensure(headerSize)
+	putHeader(dst, TMeta, 0, 0)
+}
+
+// PutMetaResp appends the broker's METADATA reply. Panics when the
+// node or topic list exceeds the wire limits — cluster shape is
+// operator configuration, so oversize is a bug, not input.
+func (b *Buffer) PutMetaResp(m MetaResp) {
+	if len(m.Nodes) > MaxNodes || len(m.Topics) > MaxMetaTopics {
+		panic("wire: metadata exceeds MaxNodes/MaxMetaTopics")
+	}
+	body := 2 + len(m.NodeID) + 4 + 4 + 2 + 2
+	for _, n := range m.Nodes {
+		body += 2 + len(n.ID) + 2 + len(n.Addr)
+	}
+	for _, t := range m.Topics {
+		body += 2 + len(t)
+	}
+	if body+2 > MaxFrame {
+		panic("wire: frame exceeds MaxFrame")
+	}
+	dst := b.ensure(headerSize + body)
+	putHeader(dst, TMeta, FlagReply, body)
+	o := headerSize
+	o += putString(dst[o:], m.NodeID)
+	binary.BigEndian.PutUint32(dst[o:], m.Partitions)
+	binary.BigEndian.PutUint32(dst[o+4:], m.Replication)
+	o += 8
+	binary.BigEndian.PutUint16(dst[o:], uint16(len(m.Nodes)))
+	o += 2
+	for _, n := range m.Nodes {
+		o += putString(dst[o:], n.ID)
+		o += putString(dst[o:], n.Addr)
+	}
+	binary.BigEndian.PutUint16(dst[o:], uint16(len(m.Topics)))
+	o += 2
+	for _, t := range m.Topics {
+		o += putString(dst[o:], t)
+	}
 }

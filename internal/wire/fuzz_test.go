@@ -9,24 +9,50 @@ import (
 // and every parser: truncated, oversized and garbage frames must
 // surface as errors, never as panics, unbounded reads or out-of-range
 // slices. Valid PRODUCE batches additionally round-trip through the
-// encoder byte-for-byte.
+// encoder byte-for-byte, in both the unpartitioned and partitioned
+// forms.
 func FuzzFrameDecode(f *testing.F) {
 	var b Buffer
 	b.PutPing(7, true)
-	b.PutProduce(0, []byte("orders"), [][]byte{[]byte("a"), []byte("bb"), nil})
-	b.PutConsume([]byte("orders"), 16)
-	b.PutAck(FlagEnd, []byte("orders"), 12)
-	b.PutCredit([]byte("x"), 1)
+	b.PutProduce(0, []byte("orders"), NoPartition, [][]byte{[]byte("a"), []byte("bb"), nil})
+	b.PutConsume([]byte("orders"), NoPartition, 16)
+	b.PutAck(FlagEnd, []byte("orders"), NoPartition, 12)
+	b.PutCredit([]byte("x"), NoPartition, 1)
 	b.PutErr("nope")
-	b.PutConsumeFrom([]byte("orders"), 16, 1234, []byte("grp"))
-	b.PutDeliverOffsets([]byte("orders"), 99, [][]byte{[]byte("m")})
-	b.PutOffsetsReq([]byte("orders"), []byte("grp"))
-	b.PutOffsetsResp([]byte("orders"), 1, 2, OffsetCursor)
+	b.PutConsumeFrom([]byte("orders"), NoPartition, 16, 1234, []byte("grp"), false)
+	b.PutDeliverOffsets([]byte("orders"), NoPartition, 99, [][]byte{[]byte("m")})
+	b.PutOffsetsReq([]byte("orders"), NoPartition, []byte("grp"))
+	b.PutOffsetsResp([]byte("orders"), NoPartition, 1, 2, OffsetCursor)
 	f.Add(b.Bytes())
+
+	// The partitioned vocabulary: every FlagPart form, the strict
+	// replay subscription, METADATA both ways and typed ERR bodies.
+	var p Buffer
+	p.PutProduce(0, []byte("orders"), 3, [][]byte{[]byte("k1"), []byte("k2")})
+	p.PutConsume([]byte("orders"), 3, 16)
+	p.PutConsumeFrom([]byte("orders"), 3, 16, 1234, []byte("__replica/n2"), true)
+	p.PutDeliverOffsets([]byte("orders"), 3, 99, [][]byte{[]byte("m")})
+	p.PutAck(FlagOffset, []byte("orders"), 3, 12)
+	p.PutCredit([]byte("orders"), 3, 1)
+	p.PutOffsetsReq([]byte("orders"), 3, []byte("grp"))
+	p.PutOffsetsResp([]byte("orders"), 3, 1, 2, OffsetCursor)
+	p.PutMetaReq()
+	p.PutMetaResp(MetaResp{
+		NodeID: "n1", Partitions: 8, Replication: 2,
+		Nodes:  []NodeMeta{{ID: "n1", Addr: "127.0.0.1:7077"}, {ID: "n2", Addr: "127.0.0.1:7078"}},
+		Topics: []string{"orders", "audit"},
+	})
+	p.PutErrCode(ECodeTruncated, 4096, "truncated")
+	p.PutErrCode(ECodeNotOwner, 3, "not owner")
+	f.Add(p.Bytes())
+
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 2, TPing, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0})
 	f.Add(bytes.Repeat([]byte{0}, headerSize))
+	// A PRODUCE claiming FlagPart with the explicit NoPartition
+	// sentinel in the field — must fail closed, never alias.
+	f.Add([]byte{0, 0, 0, 13, TProduce, FlagPart, 0, 1, 't', 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
@@ -45,12 +71,15 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 			case TProduce:
 				if fr.Flags&FlagOffset != 0 {
-					topic, _, b, err := ParseDeliverOffsets(fr)
+					topic, part, _, b, err := ParseDeliverOffsets(fr)
 					if err != nil {
 						return
 					}
 					if b.N > MaxBatch || len(topic) > MaxTopic {
 						t.Fatalf("deliver-offsets passed oversized fields: n=%d topic=%d", b.N, len(topic))
+					}
+					if fr.Flags&FlagPart != 0 && part == NoPartition {
+						t.Fatal("deliver-offsets passed the NoPartition sentinel")
 					}
 					for {
 						if _, ok := b.Next(); !ok {
@@ -68,6 +97,9 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 				if len(p.Topic) > MaxTopic {
 					t.Fatalf("parser passed an oversized topic: %d", len(p.Topic))
+				}
+				if fr.Flags&FlagPart != 0 && p.Part == NoPartition {
+					t.Fatal("parser passed the NoPartition sentinel")
 				}
 				// Iterate a copy so the re-encode below sees the full batch.
 				it := p
@@ -87,30 +119,42 @@ func FuzzFrameDecode(f *testing.F) {
 				cp := p
 				msgs := CopyMessages(&cp.Batch)
 				var enc Buffer
-				enc.PutProduce(fr.Flags, p.Topic, msgs)
+				enc.PutProduce(fr.Flags&^byte(FlagPart), p.Topic, p.Part, msgs)
 				raw := enc.Bytes()
+				if raw[5] != fr.Flags {
+					t.Fatalf("re-encode flags mismatch: got %x want %x", raw[5], fr.Flags)
+				}
 				if !bytes.Equal(raw[headerSize:], fr.Body) {
 					t.Fatalf("re-encode mismatch:\n got %x\nwant %x", raw[headerSize:], fr.Body)
 				}
 			case TConsume:
 				if fr.Flags&FlagOffset != 0 {
-					if topic, _, _, group, err := ParseConsumeFrom(fr); err == nil &&
-						(len(topic) > MaxTopic || len(group) > MaxGroup) {
-						t.Fatalf("oversized consume-from fields: topic=%d group=%d", len(topic), len(group))
+					if cf, err := ParseConsumeFrom(fr); err == nil &&
+						(len(cf.Topic) > MaxTopic || len(cf.Group) > MaxGroup) {
+						t.Fatalf("oversized consume-from fields: topic=%d group=%d", len(cf.Topic), len(cf.Group))
 					}
-				} else if topic, _, err := ParseConsume(fr); err == nil && len(topic) > MaxTopic {
+				} else if topic, _, _, err := ParseConsume(fr); err == nil && len(topic) > MaxTopic {
 					t.Fatalf("oversized topic passed: %d", len(topic))
 				}
 			case TAck:
-				_, _, _ = ParseAck(fr)
+				_, _, _, _ = ParseAck(fr)
 			case TCredit:
-				_, _, _ = ParseCredit(fr)
+				_, _, _, _ = ParseCredit(fr)
 			case TOffsets:
 				if fr.Flags&FlagReply != 0 {
-					_, _, _, _, _ = ParseOffsetsResp(fr)
-				} else if topic, group, err := ParseOffsetsReq(fr); err == nil &&
+					_, _, _, _, _, _ = ParseOffsetsResp(fr)
+				} else if topic, _, group, err := ParseOffsetsReq(fr); err == nil &&
 					(len(topic) > MaxTopic || len(group) > MaxGroup) {
 					t.Fatalf("oversized offsets-req fields: topic=%d group=%d", len(topic), len(group))
+				}
+			case TMeta:
+				if fr.Flags&FlagReply != 0 {
+					if m, err := ParseMetaResp(fr); err == nil &&
+						(len(m.Nodes) > MaxNodes || len(m.Topics) > MaxMetaTopics) {
+						t.Fatalf("oversized meta passed: nodes=%d topics=%d", len(m.Nodes), len(m.Topics))
+					}
+				} else {
+					_ = ParseMetaReq(fr)
 				}
 			case TErr:
 				if msg, err := ParseErr(fr); err == nil && len(msg) > MaxFrame {

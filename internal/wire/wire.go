@@ -55,6 +55,42 @@
 //	        subscription's consumer-group cursor — every offset below it
 //	        has been processed downstream. Cumulative and durable.
 //
+// # Partitioned-topic extensions (FlagPart)
+//
+// Clustered brokers address topics as (name, partition). Every
+// topic-bearing frame grows a partition-aware form gated by FlagPart:
+// a `uint32 partition` field directly after the topic field, before
+// anything else in the body. A frame without FlagPart addresses the
+// classic unpartitioned topic (partition = NoPartition); the two
+// namespaces never collide. Key→partition routing is client-side —
+// FNV-1a over the message key modulo the partition count (see
+// internal/cluster) — so every client implementation routes a key to
+// the same partition and the wire only ever carries the resulting
+// partition id.
+//
+// CONSUME+FlagOffset additionally honors FlagStrict: a strict replay
+// subscription fails with a typed ERR (ECodeTruncated, detail = the
+// oldest live offset) instead of silently clamping forward when
+// retention has dropped the requested offset — which is how
+// replication followers detect that they must resync rather than
+// copy a log with a hole in it.
+//
+//	METADATA (TMeta) client→broker: empty body, ask for the cluster
+//	        map. The reply (FlagReply) carries the answering node's id,
+//	        the partition count and replication factor, the static node
+//	        list (id + addr each) and the partitioned topic names the
+//	        node currently knows — enough for a client to compute the
+//	        full rendezvous partition map locally, and for replication
+//	        followers to discover topics to follow. An unclustered
+//	        broker answers with a zero partition count and no nodes.
+//
+// # Typed errors
+//
+// ERR bodies are structured: `uint16 code | uint64 detail | text`.
+// Code 0 is a generic error (detail 0); ECodeTruncated carries the
+// oldest live offset in detail, ECodeNotOwner the partition a PRODUCE
+// was misrouted to. The text remains human-readable on every code.
+//
 // # Fail-closed decoding
 //
 // The decoder trusts nothing: frames above MaxFrame, topics above
@@ -76,6 +112,7 @@ const (
 	TCredit  = 5
 	TErr     = 6
 	TOffsets = 7
+	TMeta    = 8
 )
 
 // Frame flags.
@@ -90,8 +127,38 @@ const (
 	// with a from-offset + group, DELIVER with a base offset, ACK as a
 	// client→broker consumer-group cursor commit.
 	FlagOffset = 1 << 3
-	// FlagReply marks the broker's response to an OFFSETS query.
+	// FlagReply marks the broker's response to an OFFSETS or METADATA
+	// query.
 	FlagReply = 1 << 4
+	// FlagPart marks a frame's partitioned form: a uint32 partition id
+	// follows the topic field.
+	FlagPart = 1 << 5
+	// FlagStrict on CONSUME+FlagOffset makes the replay subscription
+	// fail with a typed ERR instead of clamping when retention has
+	// dropped the requested offset (the replication follower's form).
+	FlagStrict = 1 << 6
+)
+
+// NoPartition is the partition id of a classic unpartitioned topic;
+// encoders omit the partition field (and FlagPart) for it, and it is
+// rejected as an explicit on-wire partition id.
+const NoPartition = ^uint32(0)
+
+// ERR frame codes. The code tells a client how to react; the text
+// stays human-readable either way.
+const (
+	// ECodeGeneric is an uncategorized terminal error (detail 0).
+	ECodeGeneric = 0
+	// ECodeTruncated: a strict replay subscription asked for an offset
+	// retention has dropped; detail carries the oldest live offset, so
+	// a replication follower can resync from there.
+	ECodeTruncated = 1
+	// ECodeNotOwner: a partitioned frame reached a node that is not the
+	// partition's owner; detail carries the partition id.
+	ECodeNotOwner = 2
+	// ECodeBadPartition: the partition id is outside the cluster's
+	// partition count; detail carries the offending id.
+	ECodeBadPartition = 3
 )
 
 // OffsetCursor is the CONSUME from-offset sentinel meaning "resume
@@ -112,8 +179,14 @@ const (
 	MaxGroup = 1024
 	// MaxBatch bounds the message count of one PRODUCE frame.
 	MaxBatch = 64 << 10
+	// MaxNodes bounds the node list of a METADATA reply.
+	MaxNodes = 1024
+	// MaxMetaTopics bounds the topic list of a METADATA reply.
+	MaxMetaTopics = 4096
 	// pingBody is the fixed PING body size (the token).
 	pingBody = 8
+	// errHeader is the fixed ERR body prefix: code + detail.
+	errHeader = 10
 )
 
 // Decode errors. Reader and the Parse functions return these (possibly
@@ -126,8 +199,32 @@ var (
 	ErrTopicTooLong  = errors.New("wire: topic exceeds MaxTopic")
 	ErrGroupTooLong  = errors.New("wire: group exceeds MaxGroup")
 	ErrBatchTooLarge = errors.New("wire: batch exceeds MaxBatch")
+	ErrBadPartition  = errors.New("wire: partition id is the NoPartition sentinel")
+	ErrMetaTooLarge  = errors.New("wire: metadata exceeds MaxNodes/MaxMetaTopics")
 	ErrWrongType     = errors.New("wire: frame type does not match parser")
 )
+
+// NodeMeta is one cluster member in a METADATA reply.
+type NodeMeta struct {
+	ID, Addr string
+}
+
+// MetaResp is a decoded METADATA reply: the static cluster shape plus
+// the partitioned topics the answering node currently knows. An
+// unclustered broker reports Partitions == 0 and no nodes.
+type MetaResp struct {
+	// NodeID identifies the answering node.
+	NodeID string
+	// Partitions is the cluster-wide partition count per topic;
+	// Replication the number of nodes holding each partition (owner
+	// plus followers).
+	Partitions  uint32
+	Replication uint32
+	// Nodes is the static cluster member list.
+	Nodes []NodeMeta
+	// Topics lists the partitioned topic base names the node knows.
+	Topics []string
+}
 
 // Frame is one decoded frame. Body aliases the Reader's internal
 // buffer and is valid only until the next Read.

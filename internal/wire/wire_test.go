@@ -17,12 +17,12 @@ func TestRoundTrip(t *testing.T) {
 
 	var b Buffer
 	b.PutPing(0xdeadbeefcafe, false)
-	b.PutProduce(0, topic, msgs)
-	b.PutProduce(FlagDeliver, topic, msgs[:1])
-	b.PutConsume(topic, 128)
-	b.PutAck(0, topic, 42)
-	b.PutAck(FlagEnd, topic, 99)
-	b.PutCredit(topic, 64)
+	b.PutProduce(0, topic, NoPartition, msgs)
+	b.PutProduce(FlagDeliver, topic, NoPartition, msgs[:1])
+	b.PutConsume(topic, NoPartition, 128)
+	b.PutAck(0, topic, NoPartition, 42)
+	b.PutAck(FlagEnd, topic, NoPartition, 99)
+	b.PutCredit(topic, NoPartition, 64)
 	b.PutErr("boom")
 
 	r := NewReader(bytes.NewReader(b.Bytes()))
@@ -43,8 +43,8 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(p.Topic) != "orders" || p.N != len(msgs) {
-		t.Fatalf("produce: topic=%q n=%d", p.Topic, p.N)
+	if string(p.Topic) != "orders" || p.Part != NoPartition || p.N != len(msgs) {
+		t.Fatalf("produce: topic=%q part=%d n=%d", p.Topic, p.Part, p.N)
 	}
 	for i := range msgs {
 		m, ok := p.Next()
@@ -71,23 +71,23 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if topic, credit, err := ParseConsume(f); err != nil || string(topic) != "orders" || credit != 128 {
-		t.Fatalf("consume: %q %d %v", topic, credit, err)
+	if topic, part, credit, err := ParseConsume(f); err != nil || string(topic) != "orders" || part != NoPartition || credit != 128 {
+		t.Fatalf("consume: %q %d %d %v", topic, part, credit, err)
 	}
 
 	f, err = r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if topic, seq, err := ParseAck(f); err != nil || string(topic) != "orders" || seq != 42 || f.Flags&FlagEnd != 0 {
-		t.Fatalf("ack: %q %d %v flags=%x", topic, seq, err, f.Flags)
+	if topic, part, seq, err := ParseAck(f); err != nil || string(topic) != "orders" || part != NoPartition || seq != 42 || f.Flags&FlagEnd != 0 {
+		t.Fatalf("ack: %q %d %d %v flags=%x", topic, part, seq, err, f.Flags)
 	}
 
 	f, err = r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, seq, err := ParseAck(f); err != nil || seq != 99 || f.Flags&FlagEnd == 0 {
+	if _, _, seq, err := ParseAck(f); err != nil || seq != 99 || f.Flags&FlagEnd == 0 {
 		t.Fatalf("end ack: %d %v flags=%x", seq, err, f.Flags)
 	}
 
@@ -95,8 +95,8 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if topic, n, err := ParseCredit(f); err != nil || string(topic) != "orders" || n != 64 {
-		t.Fatalf("credit: %q %d %v", topic, n, err)
+	if topic, part, n, err := ParseCredit(f); err != nil || string(topic) != "orders" || part != NoPartition || n != 64 {
+		t.Fatalf("credit: %q %d %d %v", topic, part, n, err)
 	}
 
 	f, err = r.Next()
@@ -109,6 +109,281 @@ func TestRoundTrip(t *testing.T) {
 
 	if _, err := r.Next(); err != io.EOF {
 		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+// TestPartitionedRoundTrip covers the FlagPart forms of every
+// topic-bearing frame: the partition id travels, the flag is set, and
+// unpartitioned parsers of the same frames report NoPartition.
+func TestPartitionedRoundTrip(t *testing.T) {
+	topic := []byte("orders")
+	group := []byte("billing")
+	msgs := [][]byte{[]byte("k1"), []byte("k2")}
+	const part = uint32(5)
+
+	var b Buffer
+	b.PutProduce(0, topic, part, msgs)
+	b.PutConsume(topic, part, 32)
+	b.PutConsumeFrom(topic, part, 16, 88, group, true)
+	b.PutDeliverOffsets(topic, part, 700, msgs)
+	b.PutAck(FlagOffset, topic, part, 9)
+	b.PutCredit(topic, part, 11)
+	b.PutOffsetsReq(topic, part, group)
+	b.PutOffsetsResp(topic, part, 1, 2, 3)
+
+	r := NewReader(bytes.NewReader(b.Bytes()))
+
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Flags&FlagPart == 0 {
+		t.Fatalf("produce flags = %x, FlagPart missing", f.Flags)
+	}
+	p, err := ParseProduce(f)
+	if err != nil || string(p.Topic) != "orders" || p.Part != part || p.N != 2 {
+		t.Fatalf("produce: topic=%q part=%d n=%d %v", p.Topic, p.Part, p.N, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, pt, credit, err := ParseConsume(f); err != nil || string(tp) != "orders" || pt != part || credit != 32 {
+		t.Fatalf("consume: %q %d %d %v", tp, pt, credit, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := ParseConsumeFrom(f)
+	if err != nil || string(cf.Topic) != "orders" || cf.Part != part ||
+		cf.Credit != 16 || cf.From != 88 || string(cf.Group) != "billing" || !cf.Strict {
+		t.Fatalf("consume-from: %+v %v", cf, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, pt, base, batch, err := ParseDeliverOffsets(f)
+	if err != nil || string(tp) != "orders" || pt != part || base != 700 || batch.N != 2 {
+		t.Fatalf("deliver-offsets: %q %d %d n=%d %v", tp, pt, base, batch.N, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, pt, seq, err := ParseAck(f); err != nil || string(tp) != "orders" || pt != part || seq != 9 {
+		t.Fatalf("ack: %q %d %d %v", tp, pt, seq, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, pt, n, err := ParseCredit(f); err != nil || string(tp) != "orders" || pt != part || n != 11 {
+		t.Fatalf("credit: %q %d %d %v", tp, pt, n, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, pt, g, err := ParseOffsetsReq(f); err != nil || string(tp) != "orders" || pt != part || string(g) != "billing" {
+		t.Fatalf("offsets req: %q %d %q %v", tp, pt, g, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp, pt, oldest, next, cursor, err := ParseOffsetsResp(f); err != nil ||
+		string(tp) != "orders" || pt != part || oldest != 1 || next != 2 || cursor != 3 {
+		t.Fatalf("offsets resp: %q %d %d %d %d %v", tp, pt, oldest, next, cursor, err)
+	}
+}
+
+// TestPartitionFailClosed checks the partition field's rejection
+// paths: a truncated field and the explicit NoPartition sentinel on
+// the wire.
+func TestPartitionFailClosed(t *testing.T) {
+	t.Run("explicit-sentinel", func(t *testing.T) {
+		// topic "t" + a 4-byte partition field carrying NoPartition.
+		body := []byte{0, 1, 't', 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 16}
+		if _, _, _, err := ParseConsume(Frame{Type: TConsume, Flags: FlagPart, Body: body}); !errors.Is(err, ErrBadPartition) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated-part", func(t *testing.T) {
+		body := []byte{0, 1, 't', 0, 0}
+		if _, _, _, err := ParseConsume(Frame{Type: TConsume, Flags: FlagPart, Body: body}); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("flagless-body-mismatch", func(t *testing.T) {
+		// A partitioned CONSUME body parsed without FlagPart must fail:
+		// the 4 partition bytes become trailing garbage after the credit.
+		var b Buffer
+		b.PutConsume([]byte("t"), 3, 16)
+		f, err := NewReader(bytes.NewReader(b.Bytes())).Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ParseConsume(Frame{Type: TConsume, Flags: 0, Body: f.Body}); !errors.Is(err, ErrTrailingBytes) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// TestMetaRoundTrip covers the METADATA query and reply codec.
+func TestMetaRoundTrip(t *testing.T) {
+	want := MetaResp{
+		NodeID:      "n1",
+		Partitions:  8,
+		Replication: 2,
+		Nodes: []NodeMeta{
+			{ID: "n1", Addr: "127.0.0.1:7077"},
+			{ID: "n2", Addr: "127.0.0.1:7078"},
+			{ID: "n3", Addr: "127.0.0.1:7079"},
+		},
+		Topics: []string{"orders", "audit"},
+	}
+	var b Buffer
+	b.PutMetaReq()
+	b.PutMetaResp(want)
+	b.PutMetaResp(MetaResp{NodeID: "solo"}) // unclustered: no nodes, no topics
+
+	r := NewReader(bytes.NewReader(b.Bytes()))
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseMetaReq(f); err != nil {
+		t.Fatalf("meta req: %v", err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMetaResp(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeID != want.NodeID || got.Partitions != want.Partitions || got.Replication != want.Replication ||
+		len(got.Nodes) != len(want.Nodes) || len(got.Topics) != len(want.Topics) {
+		t.Fatalf("meta resp: %+v", got)
+	}
+	for i, n := range want.Nodes {
+		if got.Nodes[i] != n {
+			t.Fatalf("node %d: %+v want %+v", i, got.Nodes[i], n)
+		}
+	}
+	for i, tp := range want.Topics {
+		if got.Topics[i] != tp {
+			t.Fatalf("topic %d: %q want %q", i, got.Topics[i], tp)
+		}
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ParseMetaResp(f); err != nil || got.NodeID != "solo" || got.Partitions != 0 || len(got.Nodes) != 0 {
+		t.Fatalf("unclustered meta: %+v %v", got, err)
+	}
+}
+
+// TestMetaFailClosed feeds the METADATA parser truncated and lying
+// bodies.
+func TestMetaFailClosed(t *testing.T) {
+	var b Buffer
+	b.PutMetaResp(MetaResp{NodeID: "n1", Partitions: 4, Replication: 2,
+		Nodes: []NodeMeta{{ID: "n1", Addr: "a"}}, Topics: []string{"t"}})
+	f, err := NewReader(bytes.NewReader(b.Bytes())).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := f.Body
+
+	t.Run("req-nonempty", func(t *testing.T) {
+		if err := ParseMetaReq(Frame{Type: TMeta, Body: []byte{0}}); !errors.Is(err, ErrTrailingBytes) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		body := append(append([]byte(nil), valid...), 0xff)
+		if _, err := ParseMetaResp(Frame{Type: TMeta, Flags: FlagReply, Body: body}); !errors.Is(err, ErrTrailingBytes) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated-everywhere", func(t *testing.T) {
+		for cut := 0; cut < len(valid); cut++ {
+			if _, err := ParseMetaResp(Frame{Type: TMeta, Flags: FlagReply, Body: valid[:cut]}); err == nil {
+				t.Fatalf("cut at %d parsed", cut)
+			}
+		}
+	})
+	t.Run("node-count-lies", func(t *testing.T) {
+		// NodeID "" + partitions/replication + a node count the body
+		// cannot fit.
+		body := make([]byte, 2+4+4+2)
+		binary.BigEndian.PutUint16(body[10:], 500)
+		if _, err := ParseMetaResp(Frame{Type: TMeta, Flags: FlagReply, Body: body}); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("node-count-over-limit", func(t *testing.T) {
+		body := make([]byte, 2+4+4+2+4*(MaxNodes+1))
+		binary.BigEndian.PutUint16(body[10:], MaxNodes+1)
+		if _, err := ParseMetaResp(Frame{Type: TMeta, Flags: FlagReply, Body: body}); !errors.Is(err, ErrMetaTooLarge) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// TestErrCodeRoundTrip covers the typed ERR body: code + detail +
+// text, and the lenient ParseErr view over it.
+func TestErrCodeRoundTrip(t *testing.T) {
+	var b Buffer
+	b.PutErrCode(ECodeTruncated, 4096, "offset 100 truncated")
+	b.PutErrCode(ECodeNotOwner, 3, "partition 3 owned by n2")
+	b.PutErr("plain")
+
+	r := NewReader(bytes.NewReader(b.Bytes()))
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, detail, msg, err := ParseErrCode(f); err != nil || code != ECodeTruncated || detail != 4096 || msg != "offset 100 truncated" {
+		t.Fatalf("err code: %d %d %q %v", code, detail, msg, err)
+	}
+	if msg, err := ParseErr(f); err != nil || msg != "offset 100 truncated" {
+		t.Fatalf("lenient view: %q %v", msg, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, detail, _, err := ParseErrCode(f); err != nil || code != ECodeNotOwner || detail != 3 {
+		t.Fatalf("not-owner: %d %d %v", code, detail, err)
+	}
+
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, detail, msg, err := ParseErrCode(f); err != nil || code != ECodeGeneric || detail != 0 || msg != "plain" {
+		t.Fatalf("generic: %d %d %q %v", code, detail, msg, err)
+	}
+
+	// A body shorter than the code+detail prefix fails closed.
+	if _, _, _, err := ParseErrCode(Frame{Type: TErr, Body: make([]byte, errHeader-1)}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short err body: %v", err)
 	}
 }
 
@@ -157,7 +432,7 @@ func TestReaderFailClosed(t *testing.T) {
 	t.Run("topic-over-limit", func(t *testing.T) {
 		body := make([]byte, 2+MaxTopic+1)
 		binary.BigEndian.PutUint16(body, MaxTopic+1)
-		if _, _, err := ParseConsume(Frame{Type: TConsume, Body: body}); !errors.Is(err, ErrTopicTooLong) {
+		if _, _, _, err := ParseConsume(Frame{Type: TConsume, Body: body}); !errors.Is(err, ErrTopicTooLong) {
 			t.Fatalf("got %v", err)
 		}
 	})
@@ -180,7 +455,7 @@ func TestReaderFailClosed(t *testing.T) {
 	})
 	t.Run("produce-msg-overruns", func(t *testing.T) {
 		var b Buffer
-		b.PutProduce(0, []byte("t"), [][]byte{[]byte("abc")})
+		b.PutProduce(0, []byte("t"), NoPartition, [][]byte{[]byte("abc")})
 		raw := b.Bytes()
 		// Inflate the message length field past the body end.
 		binary.BigEndian.PutUint32(raw[headerSize+2+1+4:], 1<<20)
@@ -194,7 +469,7 @@ func TestReaderFailClosed(t *testing.T) {
 	})
 	t.Run("produce-trailing", func(t *testing.T) {
 		var b Buffer
-		b.PutProduce(0, []byte("t"), [][]byte{[]byte("abc")})
+		b.PutProduce(0, []byte("t"), NoPartition, [][]byte{[]byte("abc")})
 		raw := frame(append(b.Bytes()[headerSize:], 0xff), TProduce, 0)
 		f, err := NewReader(bytes.NewReader(raw)).Next()
 		if err != nil {
@@ -216,8 +491,8 @@ func TestReaderFailClosed(t *testing.T) {
 // buffer being clobbered by the next frame.
 func TestCopyMessages(t *testing.T) {
 	var b Buffer
-	b.PutProduce(0, []byte("t"), [][]byte{[]byte("first"), []byte("second")})
-	b.PutProduce(0, []byte("t"), [][]byte{bytes.Repeat([]byte("z"), 64)})
+	b.PutProduce(0, []byte("t"), NoPartition, [][]byte{[]byte("first"), []byte("second")})
+	b.PutProduce(0, []byte("t"), NoPartition, [][]byte{bytes.Repeat([]byte("z"), 64)})
 
 	r := NewReader(bytes.NewReader(b.Bytes()))
 	f, err := r.Next()
@@ -242,20 +517,22 @@ func TestCopyMessages(t *testing.T) {
 
 // TestEncodersAllocationFree is the runtime counterpart of the
 // //ffq:hotpath markers: a warmed Buffer must encode without
-// allocating.
+// allocating, in both the unpartitioned and partitioned forms.
 func TestEncodersAllocationFree(t *testing.T) {
 	topic := []byte("orders")
 	msgs := [][]byte{bytes.Repeat([]byte("m"), 100), bytes.Repeat([]byte("n"), 100)}
 	var b Buffer
-	b.PutProduce(0, topic, msgs) // warm the buffer
+	b.PutProduce(0, topic, NoPartition, msgs) // warm the buffer
 	b.Reset()
 	allocs := testing.AllocsPerRun(100, func() {
 		b.Reset()
 		b.PutPing(1, true)
-		b.PutProduce(0, topic, msgs)
-		b.PutConsume(topic, 8)
-		b.PutAck(0, topic, 3)
-		b.PutCredit(topic, 4)
+		b.PutProduce(0, topic, NoPartition, msgs)
+		b.PutProduce(0, topic, 7, msgs)
+		b.PutConsume(topic, NoPartition, 8)
+		b.PutAck(0, topic, 7, 3)
+		b.PutCredit(topic, 7, 4)
+		b.PutDeliverOffsets(topic, 7, 100, msgs)
 	})
 	if allocs != 0 {
 		t.Fatalf("warmed encoders allocated %.1f times per run", allocs)
@@ -277,10 +554,16 @@ func TestEncoderPanics(t *testing.T) {
 	}
 	var b Buffer
 	long := make([]byte, MaxTopic+1)
-	mustPanic("oversized topic", func() { b.PutCredit(long, 1) })
-	mustPanic("oversized batch", func() { b.PutProduce(0, []byte("t"), make([][]byte, MaxBatch+1)) })
+	mustPanic("oversized topic", func() { b.PutCredit(long, NoPartition, 1) })
+	mustPanic("oversized batch", func() { b.PutProduce(0, []byte("t"), NoPartition, make([][]byte, MaxBatch+1)) })
 	mustPanic("oversized frame", func() {
-		b.PutProduce(0, []byte("t"), [][]byte{make([]byte, MaxFrame)})
+		b.PutProduce(0, []byte("t"), NoPartition, [][]byte{make([]byte, MaxFrame)})
+	})
+	mustPanic("oversized node list", func() {
+		b.PutMetaResp(MetaResp{Nodes: make([]NodeMeta, MaxNodes+1)})
+	})
+	mustPanic("oversized meta string", func() {
+		b.PutMetaResp(MetaResp{NodeID: string(long)})
 	})
 }
 
@@ -293,12 +576,12 @@ func TestOffsetFramesRoundTrip(t *testing.T) {
 	msgs := [][]byte{[]byte("a"), []byte(""), bytes.Repeat([]byte("y"), 200)}
 
 	var b Buffer
-	b.PutConsumeFrom(topic, 64, 1234, group)
-	b.PutConsumeFrom(topic, 8, OffsetCursor, nil)
-	b.PutDeliverOffsets(topic, 900, msgs)
-	b.PutOffsetsReq(topic, group)
-	b.PutOffsetsResp(topic, 10, 5000, 4242)
-	b.PutAck(FlagOffset, topic, 777)
+	b.PutConsumeFrom(topic, NoPartition, 64, 1234, group, false)
+	b.PutConsumeFrom(topic, NoPartition, 8, OffsetCursor, nil, false)
+	b.PutDeliverOffsets(topic, NoPartition, 900, msgs)
+	b.PutOffsetsReq(topic, NoPartition, group)
+	b.PutOffsetsResp(topic, NoPartition, 10, 5000, 4242)
+	b.PutAck(FlagOffset, topic, NoPartition, 777)
 
 	r := NewReader(bytes.NewReader(b.Bytes()))
 
@@ -306,17 +589,18 @@ func TestOffsetFramesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tp, credit, from, g, err := ParseConsumeFrom(f)
-	if err != nil || string(tp) != "orders" || credit != 64 || from != 1234 || string(g) != "billing" {
-		t.Fatalf("consume-from: %q %d %d %q %v", tp, credit, from, g, err)
+	cf, err := ParseConsumeFrom(f)
+	if err != nil || string(cf.Topic) != "orders" || cf.Part != NoPartition ||
+		cf.Credit != 64 || cf.From != 1234 || string(cf.Group) != "billing" || cf.Strict {
+		t.Fatalf("consume-from: %+v %v", cf, err)
 	}
 
 	f, err = r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, credit, from, g, err := ParseConsumeFrom(f); err != nil || credit != 8 || from != OffsetCursor || len(g) != 0 {
-		t.Fatalf("consume-from cursor: %d %d %q %v", credit, from, g, err)
+	if cf, err := ParseConsumeFrom(f); err != nil || cf.Credit != 8 || cf.From != OffsetCursor || len(cf.Group) != 0 {
+		t.Fatalf("consume-from cursor: %+v %v", cf, err)
 	}
 
 	f, err = r.Next()
@@ -326,9 +610,9 @@ func TestOffsetFramesRoundTrip(t *testing.T) {
 	if f.Flags&FlagDeliver == 0 || f.Flags&FlagOffset == 0 {
 		t.Fatalf("deliver flags = %x", f.Flags)
 	}
-	tp, base, batch, err := ParseDeliverOffsets(f)
-	if err != nil || string(tp) != "orders" || base != 900 || batch.N != len(msgs) {
-		t.Fatalf("deliver-offsets: %q %d n=%d %v", tp, base, batch.N, err)
+	tp, part, base, batch, err := ParseDeliverOffsets(f)
+	if err != nil || string(tp) != "orders" || part != NoPartition || base != 900 || batch.N != len(msgs) {
+		t.Fatalf("deliver-offsets: %q %d %d n=%d %v", tp, part, base, batch.N, err)
 	}
 	for i := range msgs {
 		m, ok := batch.Next()
@@ -341,24 +625,24 @@ func TestOffsetFramesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tp, g, err := ParseOffsetsReq(f); err != nil || string(tp) != "orders" || string(g) != "billing" {
-		t.Fatalf("offsets req: %q %q %v", tp, g, err)
+	if tp, part, g, err := ParseOffsetsReq(f); err != nil || string(tp) != "orders" || part != NoPartition || string(g) != "billing" {
+		t.Fatalf("offsets req: %q %d %q %v", tp, part, g, err)
 	}
 
 	f, err = r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tp, oldest, next, cursor, err := ParseOffsetsResp(f); err != nil ||
-		string(tp) != "orders" || oldest != 10 || next != 5000 || cursor != 4242 {
-		t.Fatalf("offsets resp: %q %d %d %d %v", tp, oldest, next, cursor, err)
+	if tp, part, oldest, next, cursor, err := ParseOffsetsResp(f); err != nil ||
+		string(tp) != "orders" || part != NoPartition || oldest != 10 || next != 5000 || cursor != 4242 {
+		t.Fatalf("offsets resp: %q %d %d %d %d %v", tp, part, oldest, next, cursor, err)
 	}
 
 	f, err = r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tp, seq, err := ParseAck(f); err != nil || string(tp) != "orders" || seq != 777 || f.Flags&FlagOffset == 0 {
+	if tp, _, seq, err := ParseAck(f); err != nil || string(tp) != "orders" || seq != 777 || f.Flags&FlagOffset == 0 {
 		t.Fatalf("cursor ack: %q %d %v flags=%x", tp, seq, err, f.Flags)
 	}
 }
@@ -395,7 +679,7 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 // CONSUME form.
 func TestParseConsumeFromErrors(t *testing.T) {
 	var b Buffer
-	b.PutConsumeFrom([]byte("t"), 1, 2, []byte("g"))
+	b.PutConsumeFrom([]byte("t"), NoPartition, 1, 2, []byte("g"), false)
 	r := NewReader(bytes.NewReader(b.Bytes()))
 	f, err := r.Next()
 	if err != nil {
@@ -404,15 +688,15 @@ func TestParseConsumeFromErrors(t *testing.T) {
 	// Wrong flag: a classic CONSUME parser must reject the durable form
 	// and vice versa.
 	classic := Frame{Type: TConsume, Flags: 0, Body: f.Body}
-	if _, _, _, _, err := ParseConsumeFrom(classic); !errors.Is(err, ErrWrongType) {
+	if _, err := ParseConsumeFrom(classic); !errors.Is(err, ErrWrongType) {
 		t.Fatalf("flagless parse: %v", err)
 	}
-	if _, _, err := ParseConsume(f); err == nil {
+	if _, _, _, err := ParseConsume(f); err == nil {
 		t.Fatal("classic parser accepted durable body")
 	}
 	// Truncated group field.
 	trunc := Frame{Type: TConsume, Flags: FlagOffset, Body: f.Body[:len(f.Body)-1]}
-	if _, _, _, _, err := ParseConsumeFrom(trunc); !errors.Is(err, ErrTruncated) {
+	if _, err := ParseConsumeFrom(trunc); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("truncated group: %v", err)
 	}
 }

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ffq/internal/broker"
+	"ffq/internal/broker/client"
+	"ffq/internal/cluster"
+)
+
+// ClusterConfig parameterizes the clustered workload: a static
+// in-process cluster of durable brokers takes keyed publishes routed
+// to per-partition owners, and the measured quantities are keyed
+// publish throughput and the async replication catch-up — how long
+// after the last ACK every follower cursor reaches its owner's head.
+type ClusterConfig struct {
+	// Nodes is the member count (>= 2).
+	Nodes int
+	// Partitions and Replication are the cluster shape (replication
+	// includes the owner, so 2 means one follower per partition).
+	Partitions  uint32
+	Replication uint32
+	// Keys is the routing-key population; each key hashes to one
+	// partition and keeps FIFO order within it.
+	Keys int
+	// MessagesPerKey is how many messages each key publishes.
+	MessagesPerKey int
+	// PayloadSize is the message body size in bytes (>= 1).
+	PayloadSize int
+	// MaxBatch and Window are the client knobs, as in BrokerConfig.
+	MaxBatch int
+	Window   int
+	// DataDir is the scratch root; every node gets its own WAL
+	// directory inside it. Required — cluster mode is durable-only.
+	DataDir string
+}
+
+// ClusterResult is the outcome of one clustered workload run.
+type ClusterResult struct {
+	// Messages is the number of keyed messages published and acked.
+	Messages int
+	// Publish is first publish to last ACK across all owners.
+	Publish time.Duration
+	// Catchup is last ACK to every follower cursor reaching its
+	// owner's log head — the async replication lag drained to zero.
+	Catchup time.Duration
+}
+
+// PublishMsgsPerSec returns acked keyed-publish throughput.
+func (r ClusterResult) PublishMsgsPerSec() float64 {
+	if r.Publish <= 0 {
+		return 0
+	}
+	return float64(r.Messages) / r.Publish.Seconds()
+}
+
+// RunCluster executes the clustered workload once: start the cluster,
+// route every keyed message to its partition owner, wait for acks,
+// then wait for every replica to catch up.
+func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
+	if cfg.Nodes < 2 || cfg.Partitions < 1 || cfg.Replication < 2 ||
+		cfg.Keys < 1 || cfg.MessagesPerKey < 1 {
+		return ClusterResult{}, fmt.Errorf("workload: bad cluster config %+v", cfg)
+	}
+	if cfg.DataDir == "" {
+		return ClusterResult{}, fmt.Errorf("workload: cluster workload needs a DataDir")
+	}
+	if cfg.PayloadSize < 1 {
+		cfg.PayloadSize = 16
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 64
+	}
+	const topic = "bench"
+
+	// Listeners first: the peer list needs every address.
+	lns := make([]net.Listener, cfg.Nodes)
+	peers := make([]cluster.Peer, cfg.Nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("n%d", i+1), Addr: ln.Addr().String()}
+	}
+
+	brokers := make([]*broker.Broker, cfg.Nodes)
+	nodes := make([]*cluster.Node, cfg.Nodes)
+	configs := make([]*cluster.Config, cfg.Nodes)
+	serveErr := make(chan error, cfg.Nodes)
+	serving := 0
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, b := range brokers {
+			if b != nil {
+				b.Shutdown(ctx)
+			}
+		}
+		// Shutdown closed the listeners, so every accept loop returns;
+		// join them all.
+		for i := 0; i < serving; i++ {
+			<-serveErr
+		}
+	}()
+	for i := range brokers {
+		ccfg := &cluster.Config{
+			NodeID:      peers[i].ID,
+			Peers:       peers,
+			Partitions:  cfg.Partitions,
+			Replication: cfg.Replication,
+		}
+		configs[i] = ccfg
+		b, err := broker.New(broker.Options{
+			DataDir: filepath.Join(cfg.DataDir, ccfg.NodeID),
+			Cluster: ccfg,
+		})
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		brokers[i] = b
+		go func(b *broker.Broker, ln net.Listener) { serveErr <- b.Serve(ln) }(b, lns[i])
+		serving++
+		n, err := cluster.StartNode(cluster.NodeOptions{
+			Config: ccfg,
+			OpenLog: func(topic string, part uint32) (cluster.LocalLog, error) {
+				return b.PartitionLog(topic, part)
+			},
+			PollInterval: 25 * time.Millisecond,
+			Window:       1024,
+		})
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		nodes[i] = n
+	}
+
+	// One publishing client per node; keys route to partition owners.
+	// The sink join is registered before the client-close defer: LIFO
+	// runs the closes first, which is what ends the sink subscriptions.
+	var sinkWG sync.WaitGroup
+	defer sinkWG.Wait()
+	copts := client.Options{MaxBatch: cfg.MaxBatch, Window: cfg.Window}
+	clients := make(map[string]*client.Client, cfg.Nodes)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for _, p := range peers {
+		c, err := client.Dial(p.Addr, copts)
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		clients[p.ID] = c
+	}
+	routing := configs[0]
+	partOf := make([]uint32, cfg.Keys)
+	perPart := make([]int, cfg.Partitions)
+	for k := range partOf {
+		partOf[k] = cluster.PartitionForKey([]byte(fmt.Sprintf("key-%06d", k)), cfg.Partitions)
+		perPart[partOf[k]] += cfg.MessagesPerKey
+	}
+	owner := make([]*client.Client, cfg.Partitions)
+	for p := range owner {
+		owner[p] = clients[routing.Owner(topic, uint32(p)).ID]
+	}
+
+	// Live sinks: replication follows the WAL, not the live pool, so
+	// without a live consumer each partition's bounded topic queue
+	// fills and pushes back on the pump. Drain every partition's live
+	// fan-out at its owner, like a real consumer-group deployment.
+	for p := uint32(0); p < cfg.Partitions; p++ {
+		sub, err := owner[p].SubscribePart(topic, p, 4096)
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		sinkWG.Add(1)
+		go func(sub *client.Subscription) {
+			defer sinkWG.Done()
+			for {
+				if _, ok := sub.Recv(); !ok {
+					return
+				}
+			}
+		}(sub)
+	}
+
+	payload := make([]byte, cfg.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	total := cfg.Keys * cfg.MessagesPerKey
+
+	t0 := time.Now()
+	for seq := 0; seq < cfg.MessagesPerKey; seq++ {
+		for k := 0; k < cfg.Keys; k++ {
+			part := partOf[k]
+			if err := owner[part].PublishPart(topic, part, payload); err != nil {
+				return ClusterResult{}, err
+			}
+		}
+	}
+	for _, c := range clients {
+		if err := c.Drain(); err != nil {
+			return ClusterResult{}, err
+		}
+	}
+	publish := time.Since(t0)
+
+	// Replication catch-up: the owner's __replica/<id> cursor is the
+	// follower's ack — wait until every one reaches the log head.
+	t1 := time.Now()
+	deadline := t1.Add(60 * time.Second)
+	for part := uint32(0); part < cfg.Partitions; part++ {
+		if perPart[part] == 0 {
+			continue
+		}
+		placed := routing.Assign(topic, part)[:cfg.Replication]
+		oc := clients[placed[0].ID]
+		for _, replica := range placed[1:] {
+			for {
+				_, next, cursor, err := oc.OffsetsPart(topic, part, cluster.ReplicaGroup(replica.ID))
+				if err != nil {
+					return ClusterResult{}, err
+				}
+				if next != uint64(perPart[part]) {
+					return ClusterResult{}, fmt.Errorf("workload: partition %d head %d, want %d", part, next, perPart[part])
+				}
+				if cursor == next {
+					break
+				}
+				if time.Now().After(deadline) {
+					return ClusterResult{}, fmt.Errorf("workload: replica %s of partition %d stuck at %d of %d",
+						replica.ID, part, cursor, next)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	return ClusterResult{Messages: total, Publish: publish, Catchup: time.Since(t1)}, nil
+}

@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+// TestClusterReplicationSmoke runs the clustered workload end to end:
+// a 3-node 8-partition replication-2 in-process cluster takes keyed
+// publishes routed to per-partition owners, every message is acked,
+// and RunCluster itself fails unless every follower cursor converges
+// to its owner's head — so a pass means the async replication drained
+// to zero lag. The reported rates feed EXPERIMENTS.md.
+func TestClusterReplicationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-broker workload; skipped in -short")
+	}
+	res, err := RunCluster(ClusterConfig{
+		Nodes:          3,
+		Partitions:     8,
+		Replication:    2,
+		Keys:           64,
+		MessagesPerKey: 100,
+		MaxBatch:       64,
+		DataDir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	if res.Messages != 64*100 {
+		t.Fatalf("messages = %d, want %d", res.Messages, 64*100)
+	}
+	t.Logf("keyed publish %.0f msgs/s (%d msgs in %s), replication catch-up %s after last ack",
+		res.PublishMsgsPerSec(), res.Messages, res.Publish.Round(0), res.Catchup)
+}
+
+// BenchmarkClusterPublish reports keyed acked-publish throughput and
+// replication catch-up for the in-process cluster, next to the
+// single-broker numbers from BenchmarkDurablePublish.
+func BenchmarkClusterPublish(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunCluster(ClusterConfig{
+			Nodes:          3,
+			Partitions:     8,
+			Replication:    2,
+			Keys:           256,
+			MessagesPerKey: 100,
+			MaxBatch:       64,
+			DataDir:        b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PublishMsgsPerSec(), "msgs/s")
+		b.ReportMetric(res.Catchup.Seconds()*1000, "catchup-ms")
+	}
+}
