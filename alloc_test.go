@@ -31,6 +31,10 @@ func TestHotPathAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	line, err := ffq.NewLineSPSC[int](cap)
+	if err != nil {
+		t.Fatal(err)
+	}
 	handle, ok := sharded.AcquireProducer()
 	if !ok {
 		t.Fatal("AcquireProducer refused a handle on a fresh queue")
@@ -129,6 +133,42 @@ func TestHotPathAllocFree(t *testing.T) {
 			}
 			if _, ok := sharded.TryDequeue(); !ok {
 				t.Fatal("ShardedMPMC.TryDequeue lost a handle-enqueued value")
+			}
+		}},
+		{"LineSPSC.Enqueue+Dequeue", func() {
+			line.Enqueue(1)
+			if _, ok := line.Dequeue(); !ok {
+				t.Fatal("LineSPSC.Dequeue lost a value")
+			}
+		}},
+		{"LineSPSC.TryEnqueue+TryDequeue", func() {
+			if !line.TryEnqueue(1) {
+				t.Fatal("LineSPSC.TryEnqueue refused on an empty queue")
+			}
+			if _, ok := line.TryDequeue(); !ok {
+				t.Fatal("LineSPSC.TryDequeue lost a value")
+			}
+		}},
+		{"LineSPSC.EnqueueBatch+DequeueBatch", func() {
+			line.EnqueueBatch(batch)
+			got := 0
+			for got < len(batch) {
+				n, ok := line.DequeueBatch(dst[got:])
+				if !ok || n == 0 {
+					t.Fatalf("LineSPSC.DequeueBatch drained only %d of %d", got, len(batch))
+				}
+				got += n
+			}
+		}},
+		{"LineSPSC.EnqueueBatch+TryDequeueBatch", func() {
+			line.EnqueueBatch(batch)
+			got := 0
+			for got < len(batch) {
+				n := line.TryDequeueBatch(dst[got:])
+				if n == 0 {
+					t.Fatalf("LineSPSC.TryDequeueBatch drained only %d of %d", got, len(batch))
+				}
+				got += n
 			}
 		}},
 		{"ProducerHandle.EnqueueBatch+TryDequeueBatch", func() {

@@ -362,6 +362,59 @@ func BenchmarkCoreBatchOps(b *testing.B) {
 	}
 }
 
+// BenchmarkLineSPSC is the acceptance gate for the line-granular SPSC
+// (DESIGN.md §4.10): against the scalar SPSC on the same
+// single-threaded enqueue+dequeue pairing, line/batch=64 must be at
+// least 1.5x faster per element and line/single must stay within 1.15x
+// of scalar/single (TestLineBeatsScalarSPSC is the CI gate; this is
+// its benchmark face). The scalar baseline uses EnqueueBatch-free
+// single ops at batch=1 and a TryDequeue drain loop at larger batches,
+// which is the cheapest scalar formulation available.
+func BenchmarkLineSPSC(b *testing.B) {
+	b.Run("scalar/single", func(b *testing.B) {
+		q, _ := core.NewSPSC[uint64](1<<16, core.WithLayout(core.LayoutPadded))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(uint64(i))
+			q.TryDequeue()
+		}
+	})
+	b.Run("line/single", func(b *testing.B) {
+		q, _ := core.NewLineSPSC[uint64](1 << 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(uint64(i))
+			q.TryDequeue()
+		}
+	})
+	for _, batch := range []int{8, 64} {
+		batch := batch
+		b.Run(fmt.Sprintf("scalar/batch=%d", batch), func(b *testing.B) {
+			q, _ := core.NewSPSC[uint64](1<<16, core.WithLayout(core.LayoutPadded))
+			src := make([]uint64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				for _, v := range src {
+					q.Enqueue(v)
+				}
+				for range src {
+					q.TryDequeue()
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("line/batch=%d", batch), func(b *testing.B) {
+			q, _ := core.NewLineSPSC[uint64](1 << 16)
+			src := make([]uint64, batch)
+			dst := make([]uint64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				q.EnqueueBatch(src)
+				q.TryDequeueBatch(dst)
+			}
+		})
+	}
+}
+
 // BenchmarkShardedVsMPMC is the benchmark face of the fan-in
 // comparison (and the TestShardedBeatsMPMC gate): 4 producers push
 // into one shared queue drained by 4 consumers, once through a single

@@ -14,6 +14,7 @@
 //	ffq-micro -json BENCH_sharded.json -variant sharded -producers 4 -consumers 1
 //	ffq-micro -json - -sharded-compare -producers 4 -consumers 4
 //	ffq-micro -json - -broker -transport pipe -consumers 4
+//	ffq-micro -json BENCH_shm.json -variant shm -slot-size 64
 //	ffq-micro -latency -variant spmc -consumers 1
 //	ffq-micro -latency -json BENCH_lat.json -stall-every 100000
 //
@@ -30,6 +31,12 @@
 // With -sharded-compare (requires -json) the run instead measures the
 // sharded-vs-FFQ^m fan-in comparison at -producers x -consumers and
 // records both throughputs plus the speedup ratio.
+//
+// With -variant shm (requires -json) the sweep instead measures the
+// shared-memory SPSC transport (internal/shm): this binary re-execs
+// itself as a separate producer process that streams fixed-size
+// payloads through an mmap segment, and the consumer side reports
+// per-element nanoseconds and payloads/s across batch sizes 1, 8, 64.
 //
 // With -broker (requires -json) the sweep instead measures the ffqd
 // broker's end-to-end loopback throughput across client auto-batch
@@ -52,6 +59,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strconv"
 	"time"
 
 	"ffq/internal/experiments"
@@ -69,7 +78,7 @@ func main() {
 	pairs := flag.Int("pairs", 1, "producer/consumer pairs (figure 6)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	jsonOut := flag.String("json", "", "write the instrumented stats sweep as JSON to this file (\"-\" = stdout)")
-	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc, mpmc, sharded, unbounded or unbounded-mpmc")
+	variant := flag.String("variant", "spmc", "queue variant for -json: spsc, spmc, mpmc, sharded, unbounded, unbounded-mpmc, or shm (two-process mmap transport sweep)")
 	consumers := flag.Int("consumers", 1, "consumers per producer for -json")
 	batch := flag.Int("batch", 1, "items per batch for -json (sharded and unbounded variants use native batch ops)")
 	brokerSweep := flag.Bool("broker", false, "with -json: sweep ffqd broker loopback throughput across client batch sizes instead of a queue sweep")
@@ -79,7 +88,21 @@ func main() {
 	latency := flag.Bool("latency", false, "latency mode: record sojourn and per-op latency percentiles (table, or sojourn_*/enq_*/deq_* metrics with -json)")
 	stallEvery := flag.Int("stall-every", 0, "with -latency: inject an artificial consumer stall every N items (0 = none)")
 	stallDur := flag.Duration("stall-dur", workload.DefaultStallDuration, "with -latency: injected stall length")
+	slotSize := flag.Int("slot-size", 64, "with -variant shm: payload size in bytes")
+	shmCap := flag.Int("shm-capacity", 1<<12, "with -variant shm: ring capacity in payloads")
+	// Hidden child-process flags: -variant shm re-execs this binary as
+	// the producer of the two-process run.
+	shmChild := flag.String("shm-child", "", "(internal) produce into this segment path and exit")
+	shmItems := flag.Int("shm-items", 0, "(internal) payloads for -shm-child")
 	flag.Parse()
+
+	if *shmChild != "" {
+		if err := workload.ShmProduce(*shmChild, *slotSize, *shmCap, *shmItems, *batch); err != nil {
+			fmt.Fprintln(os.Stderr, "ffq-micro (shm child):", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := experiments.DefaultOptions()
 	o.Runs = *runs
@@ -94,6 +117,8 @@ func main() {
 			err = runBrokerSweep(o, *jsonOut, *transport, *producers, *consumers)
 		case *shardedCompare:
 			err = runShardedCompare(o, *jsonOut, *producers, *consumers)
+		case *variant == "shm":
+			err = runShmSweep(o, *jsonOut, *slotSize, *shmCap)
 		default:
 			err = runStatsSweep(o, *jsonOut, *variant, *producers, *consumers, *batch, *latency)
 		}
@@ -244,6 +269,37 @@ func runLatency(o experiments.Options, variant string, producers, consumers, bat
 // writes the JSON records (including the speedup ratio).
 func runShardedCompare(o experiments.Options, path string, producers, consumers int) error {
 	recs, err := experiments.ShardedVsMPMC(o, producers, consumers)
+	if err != nil {
+		return err
+	}
+	return writeRecords(path, recs)
+}
+
+// runShmSweep executes the shared-memory transport sweep with the
+// producer in a separate process — this binary re-exec'd with the
+// hidden -shm-child flags — and writes the JSON records.
+func runShmSweep(o experiments.Options, path string, slotSize, capacity int) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	spawn := func(batch int) func(segPath string) (func() error, error) {
+		return func(segPath string) (func() error, error) {
+			n := experiments.ShmSweepItems(o)
+			cmd := exec.Command(exe,
+				"-shm-child", segPath,
+				"-shm-items", strconv.Itoa(n),
+				"-slot-size", strconv.Itoa(slotSize),
+				"-shm-capacity", strconv.Itoa(capacity),
+				"-batch", strconv.Itoa(batch))
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return nil, err
+			}
+			return cmd.Wait, nil
+		}
+	}
+	recs, err := experiments.ShmSweep(o, slotSize, capacity, nil, spawn)
 	if err != nil {
 		return err
 	}

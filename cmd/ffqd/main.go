@@ -84,6 +84,8 @@ func main() {
 	opLatency := flag.Bool("op-latency", false, "record per-op enqueue/dequeue latency histograms on topic queues (ffq_op_latency_ns)")
 	stallTh := flag.Duration("stall-threshold", 0, "arm the stall watchdog on topic queues: waits past this become stall events (0 = off)")
 	dataDir := flag.String("data-dir", "", "durable topics: write-ahead log directory (empty = in-memory only)")
+	shmDir := flag.String("shm-dir", "", "shared-memory ingress: scan this directory for mmap segment files from local producers (empty = off)")
+	shmScan := flag.Duration("shm-scan-interval", 0, "how often -shm-dir is scanned for new segments (0 = default 50ms)")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: off, interval, segment or always")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "background fsync period under -fsync interval (0 = default)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "WAL segment roll threshold in bytes (0 = default 64MiB)")
@@ -101,6 +103,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The interval default only means anything with a WAL; without
+	// -data-dir it would fail validation, so it applies only when
+	// durable topics are on. An explicit -fsync without -data-dir still
+	// reaches Validate and is rejected as the operator error it is.
+	if *dataDir == "" {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "fsync" })
+		if !explicit {
+			policy = wal.SyncOff
+		}
+	}
 	var clusterCfg *cluster.Config
 	if *clusterMode {
 		peers, err := cluster.ParsePeers(*peersFlag)
@@ -115,20 +128,22 @@ func main() {
 		}
 	}
 	opts := broker.Options{
-		IngressBuffer:  *ingress,
-		DeliverBatch:   *deliverBatch,
-		TopicLanes:     *topicLanes,
-		TopicLaneDepth: *laneDepth,
-		Instrument:     !*noInstrument,
-		OpLatency:      *opLatency,
-		StallThreshold: *stallTh,
-		DataDir:        *dataDir,
-		Fsync:          policy,
-		FsyncInterval:  *fsyncInterval,
-		SegmentBytes:   *segmentBytes,
-		RetentionBytes: *retentionBytes,
-		RetentionAge:   *retentionAge,
-		Cluster:        clusterCfg,
+		IngressBuffer:   *ingress,
+		DeliverBatch:    *deliverBatch,
+		TopicLanes:      *topicLanes,
+		TopicLaneDepth:  *laneDepth,
+		Instrument:      !*noInstrument,
+		OpLatency:       *opLatency,
+		StallThreshold:  *stallTh,
+		DataDir:         *dataDir,
+		Fsync:           policy,
+		FsyncInterval:   *fsyncInterval,
+		SegmentBytes:    *segmentBytes,
+		RetentionBytes:  *retentionBytes,
+		RetentionAge:    *retentionAge,
+		ShmDir:          *shmDir,
+		ShmScanInterval: *shmScan,
+		Cluster:         clusterCfg,
 	}
 	// Validate explicitly before anything opens: a bad flag combination
 	// is an operator error, reported as one typed message.
@@ -141,6 +156,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "ffqd: durable topics in %s (fsync=%s)\n", *dataDir, policy)
+	}
+	if *shmDir != "" {
+		fmt.Fprintf(os.Stderr, "ffqd: shared-memory ingress from %s\n", *shmDir)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -51,6 +51,20 @@ func (a ffqSPSCAdapter) Dequeue() (uint64, bool) {
 }
 func (a ffqSPSCAdapter) TryDequeue() (uint64, bool) { return a.q.TryDequeue() }
 
+// ffqLineAdapter maps Dequeue to the non-blocking poll like the scalar
+// SPSC adapter (one consumer owns the head; an empty queue reserves
+// nothing) and exposes the native whole-line batch ops.
+type ffqLineAdapter struct{ q *core.LineSPSC[uint64] }
+
+func (a ffqLineAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
+func (a ffqLineAdapter) Dequeue() (uint64, bool) {
+	return a.q.TryDequeue()
+}
+func (a ffqLineAdapter) TryDequeue() (uint64, bool)            { return a.q.TryDequeue() }
+func (a ffqLineAdapter) EnqueueBatch(vs []uint64)              { a.q.EnqueueBatch(vs) }
+func (a ffqLineAdapter) DequeueBatch(dst []uint64) (int, bool) { return a.q.DequeueBatch(dst) }
+func (a ffqLineAdapter) Close()                                { a.q.Close() }
+
 type segSPMCAdapter struct{ q *segq.SPMC[uint64] }
 
 func (a segSPMCAdapter) Enqueue(v uint64)                      { a.q.Enqueue(v) }
@@ -193,6 +207,19 @@ func Factories() []Named {
 					q, err := core.NewSPSC[uint64](capacity, ffqLayout)
 					check(err)
 					return queue.SelfRegistering{Q: ffqSPSCAdapter{q}}
+				},
+				Bounded: true,
+			},
+		},
+		{
+			MaxThreads: 1,
+			Factory: queue.Factory{
+				Name:  "ffq-line",
+				Brief: "FFQ SPSC with multi-value cache-line cells (7 values/line)",
+				New: func(capacity, _ int) queue.Shared {
+					q, err := core.NewLineSPSC[uint64](capacity)
+					check(err)
+					return queue.SelfRegistering{Q: ffqLineAdapter{q}}
 				},
 				Bounded: true,
 			},

@@ -23,7 +23,7 @@ func blocking(name string) bool {
 // queues; per-lane runs on the sharded queue).
 func batcher(name string) bool {
 	switch name {
-	case "ffq-mpmc", "ffq-spmc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc":
+	case "ffq-mpmc", "ffq-spmc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc", "ffq-line":
 		return true
 	}
 	return false
@@ -33,10 +33,16 @@ func batcher(name string) bool {
 // non-blocking TryDequeue poll (the FFQ family).
 func tryDequeuer(name string) bool {
 	switch name {
-	case "ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc":
+	case "ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc", "ffq-line":
 		return true
 	}
 	return false
+}
+
+// singleConsumer names the strictly one-producer/one-consumer entries:
+// the conformance runs must not fan their dequeues out.
+func singleConsumer(name string) bool {
+	return name == "ffq-spsc" || name == "ffq-line"
 }
 
 // Every registry entry must pass the conformance suite through the
@@ -53,7 +59,7 @@ func TestRegistryConformance(t *testing.T) {
 			opts.Blocking = blocking(f.Name)
 			if f.MaxThreads == 1 {
 				opts.Producers = 1
-				if f.Name == "ffq-spsc" {
+				if singleConsumer(f.Name) {
 					opts.Consumers = 1
 				}
 			}
@@ -97,7 +103,7 @@ func TestFactoryMetadata(t *testing.T) {
 		}
 		seen[f.Name] = true
 	}
-	for _, want := range []string{"ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc", "wfqueue", "lcrq", "ccqueue", "msqueue", "htm", "vyukov", "chan"} {
+	for _, want := range []string{"ffq-mpmc", "ffq-spmc", "ffq-spsc", "ffq-line", "ffq-sharded", "ffq-useg", "ffq-useg-mpmc", "wfqueue", "lcrq", "ccqueue", "msqueue", "htm", "vyukov", "chan"} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)
 		}
@@ -124,7 +130,7 @@ func TestRegistryLinearizable(t *testing.T) {
 			opts.Blocking = blocking(f.Name)
 			if f.MaxThreads == 1 {
 				opts.Producers = 1
-				if f.Name == "ffq-spsc" {
+				if singleConsumer(f.Name) {
 					opts.Consumers = 1
 				}
 			}

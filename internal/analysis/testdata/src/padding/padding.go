@@ -69,3 +69,34 @@ type innerQ[T any] struct {
 	head atomic.Int64
 	_    [32]byte
 }
+
+// lineCellGood is the line-granular SPSC's packed cell: one sequence
+// word plus seven values filling exactly one cache line. Packing many
+// values beside one atomic is the design — a single hot word per line
+// passes rule 2, and 8+7*8 = 64 passes rule 1.
+//
+//ffq:padded
+type lineCellGood struct {
+	seq  atomic.Uint64
+	vals [7]uint64
+}
+
+// lineCellShort drops one value: 56 bytes, so array neighbours share
+// lines and the whole-line publish protocol breaks.
+//
+//ffq:padded
+type lineCellShort struct { //want:padding "padded struct lineCellShort is 56 bytes, not a multiple of the 64-byte cache line (add 8 trailing pad bytes)"
+	seq  atomic.Uint64
+	vals [6]uint64
+}
+
+// lineCellTwoSeqs packs a second sequence word into the same line:
+// producer and consumer would ping-pong the line between caches on
+// every publish/consume pair.
+//
+//ffq:padded
+type lineCellTwoSeqs struct {
+	pseq atomic.Uint64
+	cseq atomic.Uint64 //want:padding "atomic fields pseq and cseq of padded struct lineCellTwoSeqs share one 64-byte cache line"
+	vals [6]uint64
+}

@@ -175,6 +175,14 @@ type Options struct {
 	RetentionBytes int64
 	RetentionAge   time.Duration
 
+	// ShmDir turns on shared-memory ingress: the broker scans the
+	// directory for mmap segment files (internal/shm) created by local
+	// producers and pumps each into its topic. Empty means off.
+	ShmDir string
+	// ShmScanInterval is how often ShmDir is scanned for new segments.
+	// 0 means DefaultShmScanInterval.
+	ShmScanInterval time.Duration
+
 	// Cluster puts the broker in cluster mode: partitioned frames are
 	// checked against the static partition map (PRODUCE and live
 	// CONSUME only on the partition's owner; replay and OFFSETS also on
@@ -215,6 +223,7 @@ func (o *Options) Validate() error {
 		{"RetentionAge", int64(o.RetentionAge)},
 		{"FsyncInterval", int64(o.FsyncInterval)},
 		{"StallThreshold", int64(o.StallThreshold)},
+		{"ShmScanInterval", int64(o.ShmScanInterval)},
 	} {
 		if v.val < 0 {
 			return fmt.Errorf("%w: %s = %d", ErrNegativeOption, v.name, v.val)
@@ -266,10 +275,15 @@ type Broker struct {
 
 	// readWG tracks reader goroutines, pumpWG the ingress pumps,
 	// deliverWG the subscription delivery goroutines. Shutdown waits
-	// for them in that order.
+	// for them in that order. shmWG tracks the shared-memory scanner
+	// and its per-segment pumps (see shm.go).
 	readWG    sync.WaitGroup
 	pumpWG    sync.WaitGroup
 	deliverWG sync.WaitGroup
+	shmWG     sync.WaitGroup
+
+	// shm tracks the shared-memory segments being served.
+	shm shmState
 
 	m      Metrics
 	connID atomic.Uint64
@@ -360,6 +374,9 @@ func New(opts Options) (*Broker, error) {
 	if opts.MetricsPrefix == "" {
 		opts.MetricsPrefix = "ffqd"
 	}
+	if opts.ShmScanInterval == 0 {
+		opts.ShmScanInterval = DefaultShmScanInterval
+	}
 	b := &Broker{
 		opts:     opts,
 		topics:   map[topicKey]*topic{},
@@ -381,6 +398,9 @@ func New(opts Options) (*Broker, error) {
 			b.retainWG.Add(1)
 			go b.retentionLoop()
 		}
+	}
+	if opts.ShmDir != "" {
+		b.initShm()
 	}
 	return b, nil
 }
@@ -674,8 +694,11 @@ func (b *Broker) Shutdown(ctx context.Context) error {
 		c.nc.SetReadDeadline(time.Now())
 	}
 	// Pumps flush the staged batches and exit; after this no producer
-	// touches any topic queue or appends to any log.
+	// touches any topic queue or appends to any log. The shared-memory
+	// scanner and segment pumps exit on the same draining signal —
+	// their segments stay on disk with anything not yet pumped.
 	b.pumpWG.Wait()
+	b.shmWG.Wait()
 
 	b.mu.Lock()
 	topics := make([]*topic, 0, len(b.topics))

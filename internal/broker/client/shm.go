@@ -1,0 +1,78 @@
+package client
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"ffq/internal/shm"
+)
+
+// ShmPublisher publishes to a local ffqd through a shared-memory
+// segment instead of the wire: payloads go straight into an mmap SPSC
+// ring that the broker's ShmDir scanner pumps into the topic. One
+// goroutine at a time may use it. There are no ACKs on this path — the
+// handoff is the ring itself, and delivery to the topic is bounded by
+// the broker's scan interval plus pump latency.
+type ShmPublisher struct {
+	p    *shm.Producer
+	path string
+}
+
+// shmSeq makes segment names unique within a process that opens
+// several publishers for one topic.
+var shmSeq atomic.Uint64
+
+// DialShm creates a fresh segment under dir (the broker's -shm-dir)
+// for topic, sized for payloads up to slotSize bytes and a ring of at
+// least capacity of them. The file name embeds the topic, the PID and
+// a sequence number, so concurrent producers never collide; the file
+// appears atomically, so the broker can never scan a half-built one.
+func DialShm(dir, topic string, slotSize, capacity int) (*ShmPublisher, error) {
+	name := fmt.Sprintf("%s-%d-%d.ffq", sanitize(topic), os.Getpid(), shmSeq.Add(1))
+	path := filepath.Join(dir, name)
+	p, err := shm.Create(path, topic, slotSize, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &ShmPublisher{p: p, path: path}, nil
+}
+
+// sanitize keeps segment file names flat and portable: anything
+// outside [a-zA-Z0-9._-] becomes '_' (the topic the broker routes on
+// is the header's, not the file name's).
+func sanitize(topic string) string {
+	out := []byte(topic)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Path returns the segment file backing this publisher.
+func (s *ShmPublisher) Path() string { return s.path }
+
+// Publish appends one payload, blocking while the ring is full. It
+// returns shm.ErrTooLarge for oversized payloads and shm.ErrPeerDead
+// if the draining broker process died.
+func (s *ShmPublisher) Publish(payload []byte) error { return s.p.Enqueue(payload) }
+
+// TryPublish appends one payload if the ring has space.
+func (s *ShmPublisher) TryPublish(payload []byte) (bool, error) { return s.p.TryEnqueue(payload) }
+
+// PublishBatch appends every payload in order with line-granular
+// publication (one release store per cache line of the ring).
+func (s *ShmPublisher) PublishBatch(payloads [][]byte) error { return s.p.EnqueueBatch(payloads) }
+
+// Close marks the segment closed and unmaps it. The broker drains
+// whatever was published and then removes the file.
+func (s *ShmPublisher) Close() error {
+	s.p.Close()
+	return s.p.Detach()
+}

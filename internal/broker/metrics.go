@@ -30,6 +30,14 @@ type Metrics struct {
 	// MsgsDropped counts messages from PRODUCE frames that arrived
 	// after Shutdown's produce cutoff (discarded, never acknowledged).
 	MsgsDropped atomic.Int64
+	// ShmSegments is the number of shared-memory ingress segments
+	// currently being served; ShmMsgs/ShmBytes count what the segment
+	// pumps moved into topics; ShmAttachErrors counts segment files
+	// refused by the fail-closed attach (or busy).
+	ShmSegments     atomic.Int64
+	ShmMsgs         atomic.Int64
+	ShmBytes        atomic.Int64
+	ShmAttachErrors atomic.Int64
 }
 
 // collect is the broker's expvarx.Collector: global counters plus
@@ -52,6 +60,21 @@ func (b *Broker) collect(emit func(expvarx.Sample)) {
 	c("ffqd_acks_total", "Cumulative ACK frames written.", b.m.Acks.Load())
 	c("ffqd_protocol_errors_total", "Connections dropped for protocol violations.", b.m.ProtoErrors.Load())
 	c("ffqd_messages_dropped_total", "Messages discarded after the shutdown produce cutoff.", b.m.MsgsDropped.Load())
+	if b.opts.ShmDir != "" {
+		emit(expvarx.Sample{
+			Name: "ffq_shm_segments", Help: "Shared-memory ingress segments currently served.",
+			Type: "gauge", Value: float64(b.m.ShmSegments.Load()),
+		})
+		c("ffq_shm_messages_total", "Messages pumped from shared-memory segments into topics.", b.m.ShmMsgs.Load())
+		c("ffq_shm_bytes_total", "Payload bytes pumped from shared-memory segments.", b.m.ShmBytes.Load())
+		c("ffq_shm_attach_errors_total", "Segment files refused by the fail-closed attach.", b.m.ShmAttachErrors.Load())
+		for topic, depth := range b.ShmTopicDepths() {
+			emit(expvarx.Sample{
+				Name: "ffq_shm_depth", Help: "Approximate unconsumed values per shared-memory segment topic.",
+				Type: "gauge", Labels: map[string]string{"topic": topic}, Value: float64(depth),
+			})
+		}
+	}
 
 	b.mu.Lock()
 	topics := make([]*topic, 0, len(b.topics))

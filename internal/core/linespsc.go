@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ffq/internal/obs"
+)
+
+// LineVals is the number of values carried per line cell. With an
+// 8-byte payload a cell is exactly one 64-byte cache line: seven
+// values plus the 8-byte sequence word, the layout of smelt-consensus
+// ff_queue.h transplanted onto the FFQ rank protocol.
+const LineVals = 7
+
+const (
+	// lineSeqShift splits the sequence word: the high bits carry the
+	// line rank, the low nibble the publication state.
+	lineSeqShift = 4
+	// lineStateMask extracts the publication state: 1..LineVals values
+	// published, or lineFree.
+	lineStateMask = (1 << lineSeqShift) - 1
+	// lineFree marks a cell writable for the rank in the high bits. It
+	// is outside 1..LineVals, so a free cell can never be mistaken for
+	// a published one of the same rank.
+	lineFree = lineStateMask
+	// lineSlipSpins bounds the temporal-slipping stand-off in
+	// DequeueBatch (see the comment there).
+	lineSlipSpins = 64
+)
+
+// lineSeq packs a line rank and a publication state into one sequence
+// word.
+//
+//ffq:hotpath
+func lineSeq(rank, state uint64) uint64 { return rank<<lineSeqShift | state }
+
+// lineCell is one multi-value ring cell. Cross-thread synchronization
+// happens only through seq: the producer's release store of
+// (rank<<4)|count publishes vals[0:count], the consumer's release
+// store of ((rank+lines)<<4)|lineFree returns the drained line.
+//
+// The struct is deliberately not //ffq:padded: the padding checker
+// cannot size [LineVals]T for a type parameter. The concrete shape is
+// lint-enforced through the padding corpus (packedline cases), and
+// TestLineCellGeometry pins the 64-byte instantiation.
+type lineCell[T any] struct {
+	seq  atomic.Uint64
+	vals [LineVals]T
+}
+
+// LineSPSC is a bounded single-producer/single-consumer queue whose
+// ring cells are whole cache lines holding LineVals values plus one
+// sequence word (SNIPPETS.md snippet 2, smelt-consensus ff_queue.h).
+// Where the scalar SPSC pays one flag-word store per value, this
+// variant pays one release store per publish call — up to LineVals
+// values move per synchronization point when batched — and the
+// consumer hands a fully drained line back with a single store.
+//
+// Single-value Enqueue still publishes eagerly: each call release-
+// stores the line's incremented fill count, so a value is visible the
+// moment Enqueue returns and a partial line can never wedge the
+// consumer. Batch calls amortize that store over the whole line.
+//
+// Exactly one goroutine may enqueue and exactly one (possibly
+// different) goroutine may dequeue.
+//
+//ffq:padded
+type LineSPSC[T any] struct {
+	cells   []lineCell[T]
+	mask    uint64
+	lines   uint64
+	yieldTh int
+	// rec is nil unless WithInstrumentation/WithRecorder was given;
+	// every path checks it before recording.
+	rec *obs.Recorder
+	_   [CacheLineSize - 56]byte
+
+	// Producer-private words. enq is published by the producer once
+	// per call (not per value) so Len stays approximate but cheap; it
+	// shares the producer's line because nothing else writes it.
+	ptail    uint64 // line rank being filled
+	pcount   int    // values already published into the current line
+	enqTotal int64
+	enq      atomic.Int64
+	_        [CacheLineSize - 32]byte
+
+	// Consumer-private words, mirrored layout.
+	chead    uint64 // line rank being drained
+	coff     int    // values already consumed from the head line
+	ccount   int    // cached published count of the head line
+	deqTotal int64
+	deq      atomic.Int64
+	_        [CacheLineSize - 40]byte
+
+	closed atomic.Bool
+	_      [CacheLineSize - 4]byte
+}
+
+// NewLineSPSC returns a line-granular SPSC queue holding at least
+// capacity values. The ring is organized as a power-of-two number of
+// LineVals-value lines, so the effective capacity (Cap) rounds up.
+func NewLineSPSC[T any](capacity int, opts ...Option) (*LineSPSC[T], error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.rec = cfg.recorder()
+	if capacity < 1 {
+		return nil, fmt.Errorf("ffq: capacity %d too small (minimum 1)", capacity)
+	}
+	if capacity > 1<<30 {
+		return nil, fmt.Errorf("ffq: capacity %d exceeds the 2^30 maximum", capacity)
+	}
+	lines := uint64(2)
+	for int(lines)*LineVals < capacity {
+		lines <<= 1
+	}
+	q := &LineSPSC[T]{
+		cells:   make([]lineCell[T], lines),
+		mask:    lines - 1,
+		lines:   lines,
+		yieldTh: cfg.yieldTh,
+		rec:     cfg.rec,
+	}
+	for i := range q.cells {
+		q.cells[i].seq.Store(lineSeq(uint64(i), lineFree))
+	}
+	return q, nil
+}
+
+// Cap returns the number of values the ring can hold: a power-of-two
+// line count times LineVals.
+func (q *LineSPSC[T]) Cap() int { return int(q.lines) * LineVals }
+
+// Len returns an instantaneous approximation of the number of queued
+// values. The underlying counters advance once per operation call (not
+// per value), so a batch in flight appears all at once.
+func (q *LineSPSC[T]) Len() int {
+	n := q.enq.Load() - q.deq.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// waitLineFree spins until the producer's current line has been handed
+// back by the consumer. Producer goroutine only.
+func (q *LineSPSC[T]) waitLineFree(c *lineCell[T]) {
+	want := lineSeq(q.ptail, lineFree)
+	if c.seq.Load() == want {
+		return
+	}
+	spins := 0
+	stalled := false
+	var waitStart time.Time
+	if q.rec != nil {
+		waitStart = time.Now()
+	}
+	for c.seq.Load() != want {
+		spins++
+		if q.rec != nil {
+			q.rec.FullSpin()
+			stalled = q.rec.StallCheck(obs.RoleProducer, int64(q.ptail), waitStart, spins, stalled)
+			if backoff(spins<<4, q.yieldTh) {
+				q.rec.ProducerYield()
+			}
+		} else {
+			backoff(spins<<4, q.yieldTh)
+		}
+	}
+	if q.rec != nil {
+		q.rec.EndWait(obs.RoleProducer, int64(q.ptail), time.Since(waitStart), stalled)
+	}
+}
+
+// publish appends the producer's staged fill count to the current
+// line with one release store and advances to the next line when full.
+// Producer goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) publish(c *lineCell[T]) {
+	c.seq.Store(lineSeq(q.ptail, uint64(q.pcount)))
+	if q.pcount == LineVals {
+		q.ptail++
+		q.pcount = 0
+	}
+}
+
+// Enqueue inserts v at the tail, blocking while the ring is full.
+// Producer goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) Enqueue(v T) {
+	var opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
+	c := &q.cells[q.ptail&q.mask]
+	if q.pcount == 0 {
+		q.waitLineFree(c)
+	}
+	c.vals[q.pcount] = v
+	q.pcount++
+	q.publish(c)
+	q.enqTotal++
+	q.enq.Store(q.enqTotal)
+	if q.rec != nil {
+		q.rec.Enqueue()
+		q.rec.EnqueueDone(opStart)
+	}
+}
+
+// TryEnqueue inserts v if the ring has space and reports whether it
+// did. Space can only be missing at a line boundary: mid-line the
+// producer always owns the remaining slots. Producer goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) TryEnqueue(v T) bool {
+	c := &q.cells[q.ptail&q.mask]
+	if q.pcount == 0 && c.seq.Load() != lineSeq(q.ptail, lineFree) {
+		return false
+	}
+	c.vals[q.pcount] = v
+	q.pcount++
+	q.publish(c)
+	q.enqTotal++
+	q.enq.Store(q.enqTotal)
+	if q.rec != nil {
+		q.rec.Enqueue()
+	}
+	return true
+}
+
+// EnqueueBatch inserts all of vs in order, blocking while the ring is
+// full. This is the line-granular fast path: each full line costs one
+// release store for LineVals values. Producer goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) EnqueueBatch(vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	var opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
+	total := len(vs)
+	for len(vs) > 0 {
+		c := &q.cells[q.ptail&q.mask]
+		if q.pcount == 0 {
+			q.waitLineFree(c)
+		}
+		n := copy(c.vals[q.pcount:], vs)
+		q.pcount += n
+		vs = vs[n:]
+		q.publish(c)
+	}
+	q.enqTotal += int64(total)
+	q.enq.Store(q.enqTotal)
+	if q.rec != nil {
+		q.rec.EnqueueN(total)
+		q.rec.ObserveBatch(total)
+		q.rec.EnqueueDone(opStart)
+	}
+}
+
+// refill refreshes the consumer's cached view of the head line and
+// reports whether at least one unconsumed value is visible. Consumer
+// goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) refill() bool {
+	if q.coff < q.ccount {
+		return true
+	}
+	c := &q.cells[q.chead&q.mask]
+	s := c.seq.Load()
+	// The head cell's rank bits always equal chead here (the consumer
+	// returns a line before advancing past it), so only the state
+	// matters: lineFree or a count not beyond what we already took.
+	st := s & lineStateMask
+	if s>>lineSeqShift != q.chead || st == lineFree || int(st) <= q.coff {
+		return false
+	}
+	q.ccount = int(st)
+	return true
+}
+
+// takeOne pops the next value from the consumer's cached window and,
+// on draining the line's last slot, returns the whole line to the
+// producer with a single release store. Callers must ensure
+// q.coff < q.ccount. Consumer goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) takeOne() T {
+	c := &q.cells[q.chead&q.mask]
+	v := c.vals[q.coff]
+	var zero T
+	c.vals[q.coff] = zero
+	q.coff++
+	q.deqTotal++
+	if q.coff == LineVals {
+		c.seq.Store(lineSeq(q.chead+q.lines, lineFree))
+		q.chead++
+		q.coff = 0
+		q.ccount = 0
+	}
+	return v
+}
+
+// TryDequeue removes the head value if one is published. Consumer
+// goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) TryDequeue() (v T, ok bool) {
+	if !q.refill() {
+		var zero T
+		return zero, false
+	}
+	v = q.takeOne()
+	q.deq.Store(q.deqTotal)
+	if q.rec != nil {
+		q.rec.Dequeue()
+	}
+	return v, true
+}
+
+// Dequeue removes and returns the head value, blocking while the queue
+// is empty. It returns ok=false only once the queue is closed and
+// drained. Consumer goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) Dequeue() (v T, ok bool) {
+	spins := 0
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
+	for {
+		if q.refill() {
+			v = q.takeOne()
+			q.deq.Store(q.deqTotal)
+			if q.rec != nil {
+				if spins > 0 {
+					q.rec.EndWait(obs.RoleConsumer, int64(q.chead), time.Since(waitStart), stalled)
+				}
+				q.rec.Dequeue()
+				q.rec.DequeueDone(opStart)
+			}
+			return v, true
+		}
+		if q.closed.Load() {
+			// Publishes happen-before Close in the producer, so one
+			// more refill catches a value published between the poll
+			// above and the closed load.
+			if q.refill() {
+				continue
+			}
+			var zero T
+			return zero, false
+		}
+		spins++
+		if q.rec != nil {
+			if spins == 1 {
+				waitStart = time.Now()
+			}
+			q.rec.EmptySpin()
+			stalled = q.rec.StallCheck(obs.RoleConsumer, int64(q.chead), waitStart, spins, stalled)
+			if backoff(spins, q.yieldTh) {
+				q.rec.ConsumerYield()
+			}
+		} else {
+			backoff(spins, q.yieldTh)
+		}
+	}
+}
+
+// DequeueBatch fills dst with up to len(dst) values, blocking until at
+// least one is available. It returns n=0, ok=false only once the queue
+// is closed and drained; a partial line left by Close is delivered
+// (with ok=true) before that.
+//
+// When the head line is the producer's active, partially filled line,
+// the consumer applies temporal slipping (Torquati): instead of
+// chasing the producer value by value — which trades the cell's cache
+// line back and forth on every store — it stands off for a bounded
+// number of relax rounds to let the producer finish the line, then
+// drains it whole. Consumer goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) DequeueBatch(dst []T) (n int, ok bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	spins, slip := 0, 0
+	stalled := false
+	var waitStart, opStart time.Time
+	if q.rec != nil {
+		opStart = q.rec.OpStart()
+	}
+	for {
+		for q.coff < q.ccount && n < len(dst) {
+			dst[n] = q.takeOne()
+			n++
+		}
+		if n == len(dst) {
+			break
+		}
+		c := &q.cells[q.chead&q.mask]
+		s := c.seq.Load()
+		st := int(s & lineStateMask)
+		if s>>lineSeqShift == q.chead && st != lineFree && st > q.coff {
+			if n == 0 && st < LineVals && slip < lineSlipSpins && !q.closed.Load() {
+				slip++
+				cpuRelax()
+				continue
+			}
+			q.ccount = st
+			continue
+		}
+		if n > 0 {
+			break
+		}
+		if q.closed.Load() {
+			// Re-check after the closed load; see Dequeue.
+			s = c.seq.Load()
+			st = int(s & lineStateMask)
+			if s>>lineSeqShift == q.chead && st != lineFree && st > q.coff {
+				q.ccount = st
+				continue
+			}
+			return 0, false
+		}
+		spins++
+		if q.rec != nil {
+			if spins == 1 {
+				waitStart = time.Now()
+			}
+			q.rec.EmptySpin()
+			stalled = q.rec.StallCheck(obs.RoleConsumer, int64(q.chead), waitStart, spins, stalled)
+			if backoff(spins, q.yieldTh) {
+				q.rec.ConsumerYield()
+			}
+		} else {
+			backoff(spins, q.yieldTh)
+		}
+	}
+	q.deq.Store(q.deqTotal)
+	if q.rec != nil {
+		q.rec.DequeueN(n)
+		q.rec.ObserveBatch(n)
+		if spins > 0 {
+			q.rec.EndWait(obs.RoleConsumer, int64(q.chead), time.Since(waitStart), stalled)
+		}
+		q.rec.DequeueDone(opStart)
+	}
+	return n, true
+}
+
+// TryDequeueBatch fills dst with whatever is published right now and
+// returns the count; it never blocks and never slips. Consumer
+// goroutine only.
+//
+//ffq:hotpath
+func (q *LineSPSC[T]) TryDequeueBatch(dst []T) int {
+	n := 0
+	for n < len(dst) && q.refill() {
+		dst[n] = q.takeOne()
+		n++
+	}
+	if n > 0 {
+		q.deq.Store(q.deqTotal)
+		if q.rec != nil {
+			q.rec.DequeueN(n)
+			q.rec.ObserveBatch(n)
+		}
+	}
+	return n
+}
+
+// Close marks the queue closed. Values already published — including a
+// partial line — remain dequeueable; blocked Dequeue/DequeueBatch
+// calls return ok=false once the ring drains. Producer goroutine only
+// (Close is a producer-side operation, like the scalar variants).
+func (q *LineSPSC[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (q *LineSPSC[T]) Closed() bool { return q.closed.Load() }
+
+// Recorder returns the queue's attached metrics recorder, or nil when
+// the queue was built without instrumentation.
+func (q *LineSPSC[T]) Recorder() *obs.Recorder { return q.rec }
+
+// Stats snapshots the queue's instrumentation counters.
+func (q *LineSPSC[T]) Stats() obs.Stats { return q.rec.Snapshot() }

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestLineCellGeometry pins the layout the whole design hangs on: with
+// an 8-byte payload a line cell is exactly one cache line.
+func TestLineCellGeometry(t *testing.T) {
+	if s := unsafe.Sizeof(lineCell[uint64]{}); s != CacheLineSize {
+		t.Fatalf("lineCell[uint64] is %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(lineCell[int]{}); s != CacheLineSize {
+		t.Fatalf("lineCell[int] is %d bytes, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(LineSPSC[uint64]{}); s%CacheLineSize != 0 {
+		t.Fatalf("LineSPSC[uint64] is %d bytes, not a cache-line multiple", s)
+	}
+}
+
+func TestNewLineSPSCValidation(t *testing.T) {
+	if _, err := NewLineSPSC[int](0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewLineSPSC[int](1<<30 + 1); err == nil {
+		t.Fatal("over-limit capacity accepted")
+	}
+	q, err := NewLineSPSC[int](100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() < 100 {
+		t.Fatalf("Cap() = %d, below requested capacity 100", q.Cap())
+	}
+	if q.Cap()%LineVals != 0 {
+		t.Fatalf("Cap() = %d, not a whole number of lines", q.Cap())
+	}
+}
+
+func TestLineSPSCSequentialFIFO(t *testing.T) {
+	q, err := NewLineSPSC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave singles and partial/overfull batches so lines are
+	// filled across call boundaries.
+	next := 0
+	emit := func(n int) {
+		if n == 1 {
+			q.Enqueue(next)
+			next++
+			return
+		}
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = next
+			next++
+		}
+		q.EnqueueBatch(vs)
+	}
+	want := 0
+	take := func(n int) {
+		if n == 1 {
+			v, ok := q.TryDequeue()
+			if !ok {
+				t.Fatalf("TryDequeue empty at %d", want)
+			}
+			if v != want {
+				t.Fatalf("got %d, want %d", v, want)
+			}
+			want++
+			return
+		}
+		dst := make([]int, n)
+		got, ok := q.DequeueBatch(dst)
+		if !ok {
+			t.Fatalf("DequeueBatch closed at %d", want)
+		}
+		for i := 0; i < got; i++ {
+			if dst[i] != want {
+				t.Fatalf("got %d, want %d", dst[i], want)
+			}
+			want++
+		}
+	}
+	emit(1)
+	emit(3)  // line 0 now holds 4
+	emit(10) // completes line 0, fills line 1, starts line 2
+	take(2)
+	take(1)
+	emit(1)
+	take(12) // drain everything published so far, across lines
+	if want != next {
+		t.Fatalf("consumed %d of %d published", want, next)
+	}
+	if n := q.Len(); n != 0 {
+		t.Fatalf("Len() = %d on drained queue", n)
+	}
+}
+
+func TestLineSPSCTryEnqueueFull(t *testing.T) {
+	q, err := NewLineSPSC[int](1) // rounds up to 2 lines = 14 values
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for q.TryEnqueue(n) {
+		n++
+		if n > q.Cap() {
+			t.Fatalf("TryEnqueue accepted %d values into a %d-cap ring", n, q.Cap())
+		}
+	}
+	if n != q.Cap() {
+		t.Fatalf("TryEnqueue filled %d values, want %d", n, q.Cap())
+	}
+	// Draining one full line frees exactly one line's worth of space.
+	for i := 0; i < LineVals; i++ {
+		v, ok := q.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("TryDequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	for i := 0; i < LineVals; i++ {
+		if !q.TryEnqueue(n + i) {
+			t.Fatalf("TryEnqueue refused with a freed line (slot %d)", i)
+		}
+	}
+	if q.TryEnqueue(-1) {
+		t.Fatal("TryEnqueue accepted into a full ring")
+	}
+}
+
+// TestLineSPSCPartialLineVisible pins the eager-publish contract: a
+// single Enqueue is dequeueable immediately, with no batch flush.
+func TestLineSPSCPartialLineVisible(t *testing.T) {
+	q, err := NewLineSPSC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(42)
+	if v, ok := q.TryDequeue(); !ok || v != 42 {
+		t.Fatalf("TryDequeue = %d,%v after a single Enqueue", v, ok)
+	}
+}
+
+// TestLineSPSCCloseFlushesPartialLine is the close-semantics half of
+// the conformance satellite: values sitting in a partially filled line
+// at Close are delivered before ok=false.
+func TestLineSPSCCloseFlushesPartialLine(t *testing.T) {
+	q, err := NewLineSPSC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 values: one full line plus a 3-value partial line.
+	vs := make([]int, 10)
+	for i := range vs {
+		vs[i] = i
+	}
+	q.EnqueueBatch(vs)
+	q.Close()
+	dst := make([]int, 32)
+	got := 0
+	for {
+		n, ok := q.DequeueBatch(dst[got:])
+		got += n
+		if !ok {
+			break
+		}
+	}
+	if got != len(vs) {
+		t.Fatalf("drained %d values after Close, want %d", got, len(vs))
+	}
+	for i := 0; i < got; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue returned a value from a closed drained queue")
+	}
+	if n, ok := q.DequeueBatch(dst); n != 0 || ok {
+		t.Fatalf("DequeueBatch = %d,%v on a closed drained queue", n, ok)
+	}
+}
+
+func TestLineSPSCZeroSizedBatch(t *testing.T) {
+	q, err := NewLineSPSC[int](16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.EnqueueBatch(nil)
+	if n, ok := q.DequeueBatch(nil); n != 0 || !ok {
+		t.Fatalf("DequeueBatch(nil) = %d,%v, want 0,true", n, ok)
+	}
+	if n := q.TryDequeueBatch(nil); n != 0 {
+		t.Fatalf("TryDequeueBatch(nil) = %d", n)
+	}
+}
+
+// TestLineSPSCPointerPayload checks that consumed slots drop their
+// references (the consumer zeroes each taken value) and that non-8-byte
+// payloads round-trip.
+func TestLineSPSCPointerPayload(t *testing.T) {
+	q, err := NewLineSPSC[*int](16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		v := new(int)
+		*v = i
+		q.Enqueue(v)
+		got, ok := q.Dequeue()
+		if !ok || *got != i {
+			t.Fatalf("round-trip %d failed", i)
+		}
+	}
+	// After draining, no cell may still hold a pointer.
+	for i := range q.cells {
+		for j, p := range q.cells[i].vals {
+			if p != nil {
+				t.Fatalf("cell %d slot %d retains a consumed pointer", i, j)
+			}
+		}
+	}
+}
+
+// TestLineSPSCStress is the 1M-item -race stress the ISSUE asks for:
+// a producer mixing singles and ragged batches against a consumer
+// mixing all three dequeue forms, ending with Close flushing a partial
+// line.
+func TestLineSPSCStress(t *testing.T) {
+	const total = 1_000_000
+	q, err := NewLineSPSC[int](512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := 0
+		buf := make([]int, 23) // deliberately not a multiple of LineVals
+		for next < total {
+			switch next % 5 {
+			case 0:
+				q.Enqueue(next)
+				next++
+			case 1, 2:
+				n := len(buf)
+				if total-next < n {
+					n = total - next
+				}
+				for i := 0; i < n; i++ {
+					buf[i] = next + i
+				}
+				q.EnqueueBatch(buf[:n])
+				next += n
+			default:
+				if q.TryEnqueue(next) {
+					next++
+				}
+			}
+		}
+		// One trailing value lands in a fresh partial line right
+		// before Close, exercising the flush-on-close path.
+		q.Enqueue(total)
+		q.Close()
+	}()
+	want := 0
+	dst := make([]int, 31)
+	for {
+		var got int
+		var ok bool
+		switch want % 3 {
+		case 0:
+			var v int
+			v, ok = q.Dequeue()
+			if ok {
+				dst[0] = v
+				got = 1
+			}
+		case 1:
+			got, ok = q.DequeueBatch(dst)
+		default:
+			got = q.TryDequeueBatch(dst)
+			ok = got > 0 || !q.Closed()
+			if got == 0 && q.Closed() {
+				// Closed and possibly drained: one blocking call
+				// settles it.
+				got, ok = q.DequeueBatch(dst)
+			}
+		}
+		if !ok && got == 0 {
+			break
+		}
+		for i := 0; i < got; i++ {
+			if dst[i] != want {
+				t.Fatalf("got %d, want %d", dst[i], want)
+			}
+			want++
+		}
+	}
+	if want != total+1 {
+		t.Fatalf("consumed %d values, want %d", want, total+1)
+	}
+	<-done
+}
+
+// TestLineSPSCInstrumented checks the recorder wiring: op counts and
+// batch observations land in Stats.
+func TestLineSPSCInstrumented(t *testing.T) {
+	q, err := NewLineSPSC[int](64, WithInstrumentation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	q.EnqueueBatch(vs)
+	q.Enqueue(10)
+	dst := make([]int, 16)
+	n, ok := q.DequeueBatch(dst)
+	if !ok || n != 10 {
+		t.Fatalf("DequeueBatch = %d,%v", n, ok)
+	}
+	st := q.Stats()
+	if st.Enqueues != 10 || st.Dequeues != 10 {
+		t.Fatalf("Stats counts = %d enq / %d deq, want 10/10", st.Enqueues, st.Dequeues)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ffq/internal/harness"
+	"ffq/internal/report"
+	"ffq/internal/workload"
+)
+
+// ShmSweepItems is the per-run payload count ShmSweep moves; the
+// ffq-micro child process must publish exactly this many, so the flag
+// wiring reads it from here.
+func ShmSweepItems(o Options) int {
+	o.fill()
+	return harness.ScaleInt(1_000_000, o.Scale, 5000)
+}
+
+// ShmSweep measures the shared-memory SPSC transport (internal/shm)
+// across producer batch sizes: per-element nanoseconds and payload
+// rate, consumer side. spawn is handed through to workload.RunShm —
+// ffq-micro passes a re-exec of itself so the producer is a real
+// separate process; nil keeps the producer in-process (tests).
+func ShmSweep(o Options, slotSize, capacity int, batches []int, spawn func(batch int) func(path string) (func() error, error)) ([]report.Record, error) {
+	o.fill()
+	if slotSize < 8 {
+		slotSize = 64
+	}
+	if capacity < 1 {
+		capacity = 1 << 12
+	}
+	if len(batches) == 0 {
+		batches = []int{1, 8, 64}
+	}
+	items := ShmSweepItems(o)
+	twoProcess := spawn != nil
+	var recs []report.Record
+	for _, batch := range batches {
+		var lastNS float64
+		sum, err := harness.RepeatErr(o.Runs, func() (float64, error) {
+			cfg := workload.ShmConfig{
+				SlotSize: slotSize,
+				Capacity: capacity,
+				Items:    items,
+				Batch:    batch,
+			}
+			if spawn != nil {
+				cfg.Spawn = spawn(batch)
+			}
+			res, err := workload.RunShm(cfg)
+			if err != nil {
+				return 0, err
+			}
+			lastNS = res.NsPerElement()
+			return res.MsgsPerSec(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, report.Record{
+			Name:      fmt.Sprintf("shm/batch=%d", batch),
+			Timestamp: time.Now(),
+			Params: map[string]any{
+				"slot_size":   slotSize,
+				"capacity":    capacity,
+				"batch":       batch,
+				"items":       items,
+				"runs":        o.Runs,
+				"two_process": twoProcess,
+			},
+			Metrics: map[string]float64{
+				"msgs_per_sec_mean":   sum.Mean,
+				"msgs_per_sec_stddev": sum.Stddev,
+				"msgs_per_sec_min":    sum.Min,
+				"msgs_per_sec_max":    sum.Max,
+				"ns_per_element":      lastNS,
+			},
+		})
+	}
+	return recs, nil
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestShmSweepShape(t *testing.T) {
+	recs, err := ShmSweep(micro(), 32, 256, []int{1, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.Metrics["msgs_per_sec_mean"] <= 0 {
+			t.Errorf("%s: non-positive rate", r.Name)
+		}
+		if r.Metrics["ns_per_element"] <= 0 {
+			t.Errorf("%s: non-positive per-element cost", r.Name)
+		}
+		if r.Params["two_process"] != false {
+			t.Errorf("%s: in-process run flagged two_process", r.Name)
+		}
+	}
+	if recs[0].Name != "shm/batch=1" || recs[1].Name != "shm/batch=8" {
+		t.Errorf("record names: %s, %s", recs[0].Name, recs[1].Name)
+	}
+}

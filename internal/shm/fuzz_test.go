@@ -1,0 +1,109 @@
+package shm
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzShmAttach throws arbitrary bytes at the header decoder with an
+// attacker-chosen file size. The property is fail-closed: the decoder
+// must never panic, and any header it accepts must describe a segment
+// whose geometry is internally consistent and within the hard caps —
+// otherwise Attach would mmap and index out of bounds on garbage.
+func FuzzShmAttach(f *testing.F) {
+	g, err := geometryFor(32, 64)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := make([]byte, crcRegion)
+	writeHeader(valid, g, "seed-topic")
+	f.Add(valid, int64(g.TotalSize))
+	f.Add(valid[:40], int64(g.TotalSize)) // truncated
+	f.Add([]byte{}, int64(0))
+
+	badMagic := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(badMagic[offMagic:], 0x746f6e2d716666)
+	f.Add(badMagic, int64(g.TotalSize))
+
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVersion[offVersion:], Version+9)
+	binary.LittleEndian.PutUint32(badVersion[offCRC:], headerCRC(badVersion))
+	f.Add(badVersion, int64(g.TotalSize))
+
+	absurd := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(absurd[offLines:], 1<<60)
+	binary.LittleEndian.PutUint64(absurd[offTotalSize:], 1<<62)
+	binary.LittleEndian.PutUint32(absurd[offCRC:], headerCRC(absurd))
+	f.Add(absurd, int64(1<<62))
+
+	flipped := append([]byte(nil), valid...)
+	flipped[offTopic+3] ^= 0x40 // CRC now stale
+	f.Add(flipped, int64(g.TotalSize))
+
+	f.Fuzz(func(t *testing.T, hdr []byte, size int64) {
+		err := ValidateHeader(hdr, size)
+		if err != nil {
+			return
+		}
+		// Accepted: every figure the consumer will index with must be
+		// in range and mutually consistent.
+		lines := binary.LittleEndian.Uint64(hdr[offLines:])
+		stride := binary.LittleEndian.Uint64(hdr[offCellStride:])
+		vals := binary.LittleEndian.Uint32(hdr[offValsPerLine:])
+		total := binary.LittleEndian.Uint64(hdr[offTotalSize:])
+		if lines == 0 || lines&(lines-1) != 0 || lines > maxLines {
+			t.Fatalf("accepted %d lines", lines)
+		}
+		if vals == 0 || int(vals) > stateFree-1 {
+			t.Fatalf("accepted %d vals/line", vals)
+		}
+		if total != headerBytes+lines*stride {
+			t.Fatalf("accepted total %d != header+%d*%d", total, lines, stride)
+		}
+		if size >= 0 && uint64(size) != total {
+			t.Fatalf("accepted file size %d for total %d", size, total)
+		}
+	})
+}
+
+// TestAttachOnFuzzedFiles replays the fuzzer's seed shapes through the
+// real Attach path (mmap and all) to prove the same inputs are refused
+// end to end, not just by ValidateHeader.
+func TestAttachOnFuzzedFiles(t *testing.T) {
+	g, err := geometryFor(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cases := []struct {
+		name   string
+		mutate func(hdr []byte) ([]byte, int64)
+	}{
+		{"truncated", func(h []byte) ([]byte, int64) { return h[:40], 40 }},
+		{"zero magic", func(h []byte) ([]byte, int64) {
+			binary.LittleEndian.PutUint64(h[offMagic:], 0)
+			return h, int64(g.TotalSize)
+		}},
+		{"stale crc", func(h []byte) ([]byte, int64) {
+			h[offSlotSize]++
+			return h, int64(g.TotalSize)
+		}},
+		{"short file", func(h []byte) ([]byte, int64) { return h, int64(g.TotalSize) - 8 }},
+	}
+	for _, tc := range cases {
+		hdr := make([]byte, crcRegion)
+		writeHeader(hdr, g, "seed-topic")
+		mutated, size := tc.mutate(hdr)
+		data := make([]byte, size)
+		copy(data, mutated)
+		p := filepath.Join(dir, tc.name+".ffq")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Attach(p); err == nil {
+			t.Errorf("%s: Attach accepted a corrupt segment", tc.name)
+		}
+	}
+}

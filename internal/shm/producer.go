@@ -1,0 +1,202 @@
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+)
+
+// spinWait yields to the scheduler after a short spin; cross-process
+// peers are OS-scheduled, so burning a full quantum busy-waiting on a
+// descheduled partner helps nobody.
+func spinWait(spins int) {
+	if spins > 64 {
+		runtime.Gosched()
+	}
+}
+
+// livenessInterval is how many failed spin iterations a blocked side
+// waits between PID-liveness probes of its peer.
+const livenessInterval = 1024
+
+// Producer is the producing side of a segment. It creates the file,
+// owns the tail, and is the only process that may call these methods
+// (one goroutine at a time).
+type Producer struct {
+	seg      *segment
+	ptail    uint64 // line rank being filled
+	pcount   int    // slots already published into the current line
+	enqTotal uint64
+}
+
+// Create builds a fresh segment file at path for payloads of up to
+// slotSize bytes and a ring of at least capacity values, and returns
+// its Producer. The file appears atomically: it is populated under a
+// temporary name and renamed into place only after the header, cell
+// sequence words and producer heartbeat PID are all written, so a
+// scanner can never attach a half-built segment.
+func Create(path, topic string, slotSize, capacity int) (*Producer, error) {
+	if len(topic) == 0 || len(topic) > maxTopicLen {
+		return nil, fmt.Errorf("shm: topic length %d out of range [1,%d]", len(topic), maxTopicLen)
+	}
+	g, err := geometryFor(slotSize, capacity)
+	if err != nil {
+		return nil, err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Producer, error) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Truncate(int64(g.TotalSize)); err != nil {
+		return fail(err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, int(g.TotalSize), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fail(fmt.Errorf("shm: mmap %s: %w", tmp, err))
+	}
+	s := &segment{f: f, mem: mem, geo: g, topic: topic}
+	writeHeader(s.mem[:headerBytes], g, topic)
+	for i := uint64(0); i < g.Lines; i++ {
+		s.cellSeq(i).Store(i<<seqShift | stateFree)
+	}
+	s.word(offProdPID).Store(uint64(os.Getpid()))
+	if err := os.Rename(tmp, path); err != nil {
+		s.detach()
+		os.Remove(tmp)
+		return nil, err
+	}
+	return &Producer{seg: s}, nil
+}
+
+// Topic returns the topic name embedded in the header.
+func (p *Producer) Topic() string { return p.seg.topic }
+
+// Geometry returns the segment's cell layout.
+func (p *Producer) Geometry() Geometry { return p.seg.geo }
+
+// waitLineFree blocks until the current line has been handed back,
+// probing the consumer's liveness while it waits. A dead consumer
+// unblocks the producer with ErrPeerDead instead of wedging it on a
+// ring nobody will ever drain.
+func (p *Producer) waitLineFree(seq *atomic.Uint64) error {
+	want := p.ptail<<seqShift | stateFree
+	spins := 0
+	for seq.Load() != want {
+		spins++
+		if spins%livenessInterval == 0 {
+			if pid := p.seg.word(offConsPID).Load(); pid != 0 && !processAlive(pid) {
+				return ErrPeerDead
+			}
+		}
+		spinWait(spins)
+	}
+	return nil
+}
+
+// writeSlot fills the next slot of the current line (length prefix
+// plus payload) without publishing it.
+func (p *Producer) writeSlot(payload []byte) {
+	slot := p.seg.slot(p.ptail&(p.seg.geo.Lines-1), p.pcount)
+	binary.LittleEndian.PutUint32(slot, uint32(len(payload)))
+	copy(slot[4:], payload)
+	p.pcount++
+}
+
+// publish release-stores the line's fill count and advances to the
+// next line when full, exactly the in-process protocol.
+func (p *Producer) publish(seq *atomic.Uint64) {
+	seq.Store(p.ptail<<seqShift | uint64(p.pcount))
+	if p.pcount == p.seg.geo.ValsPerLine {
+		p.ptail++
+		p.pcount = 0
+	}
+}
+
+// Enqueue appends one payload, blocking while the ring is full. It
+// returns ErrTooLarge for oversized payloads and ErrPeerDead when the
+// attached consumer has died.
+func (p *Producer) Enqueue(payload []byte) error {
+	if len(payload) > p.seg.geo.SlotSize {
+		return ErrTooLarge
+	}
+	seq := p.seg.cellSeq(p.ptail & (p.seg.geo.Lines - 1))
+	if p.pcount == 0 {
+		if err := p.waitLineFree(seq); err != nil {
+			return err
+		}
+	}
+	p.writeSlot(payload)
+	p.publish(seq)
+	p.enqTotal++
+	p.seg.word(offEnqCount).Store(p.enqTotal)
+	return nil
+}
+
+// TryEnqueue appends one payload if the ring has space, reporting
+// whether it did. Space can only be missing at a line boundary.
+func (p *Producer) TryEnqueue(payload []byte) (bool, error) {
+	if len(payload) > p.seg.geo.SlotSize {
+		return false, ErrTooLarge
+	}
+	seq := p.seg.cellSeq(p.ptail & (p.seg.geo.Lines - 1))
+	if p.pcount == 0 && seq.Load() != p.ptail<<seqShift|stateFree {
+		return false, nil
+	}
+	p.writeSlot(payload)
+	p.publish(seq)
+	p.enqTotal++
+	p.seg.word(offEnqCount).Store(p.enqTotal)
+	return true, nil
+}
+
+// EnqueueBatch appends every payload in order, publishing each filled
+// line with a single release store.
+func (p *Producer) EnqueueBatch(payloads [][]byte) error {
+	for _, pl := range payloads {
+		if len(pl) > p.seg.geo.SlotSize {
+			return ErrTooLarge
+		}
+	}
+	i := 0
+	for i < len(payloads) {
+		seq := p.seg.cellSeq(p.ptail & (p.seg.geo.Lines - 1))
+		if p.pcount == 0 {
+			if err := p.waitLineFree(seq); err != nil {
+				return err
+			}
+		}
+		for p.pcount < p.seg.geo.ValsPerLine && i < len(payloads) {
+			p.writeSlot(payloads[i])
+			i++
+		}
+		p.publish(seq)
+	}
+	p.enqTotal += uint64(len(payloads))
+	p.seg.word(offEnqCount).Store(p.enqTotal)
+	return nil
+}
+
+// Close marks the segment closed. Values already published — including
+// a partial line — stay consumable; the consumer sees ErrClosed once
+// drained.
+func (p *Producer) Close() error {
+	if p.seg.mem == nil {
+		return nil
+	}
+	p.seg.word(offClosed).Store(1)
+	return nil
+}
+
+// Detach unmaps the segment and closes the file. The segment file
+// itself is left for the consumer (it is removed by the draining side
+// once closed or dead).
+func (p *Producer) Detach() error { return p.seg.detach() }

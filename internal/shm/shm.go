@@ -1,0 +1,362 @@
+// Package shm carries the line-granular SPSC protocol of
+// internal/core (DESIGN.md §4.10) across process boundaries: a
+// single-producer/single-consumer ring of multi-value cells living in
+// an mmap-backed file, addressed entirely by offsets so the two
+// processes need not share an address-space layout.
+//
+// A segment file is one page of header plus the cell array. The
+// header's static half (magic, version, geometry, topic) is written
+// once at Create, protected by a CRC32, and validated fail-closed at
+// Attach: any mismatch — truncation, wrong magic or version, absurd
+// geometry, checksum damage — refuses the segment rather than mapping
+// it. The mutable half holds the producer/consumer heartbeat PIDs, the
+// closed flag and the approximate fill counters; peers poll each
+// other's PID liveness while blocked, so a SIGKILLed partner is
+// detected without any extra watchdog process.
+//
+// Synchronization is exactly the in-process line protocol: each cell
+// is a 64-byte-aligned block of one 8-byte sequence word plus
+// valsPerLine fixed-size slots; the producer's release store of
+// (rank<<4)|count publishes count filled slots, the consumer's store
+// of ((rank+lines)<<4)|free returns the drained cell. Payloads are
+// length-prefixed byte strings of up to slotSize bytes.
+package shm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// Magic identifies segment files: "FFQSHM01" read as a little-endian
+// u64.
+const Magic = 0x31304d4853514646
+
+// Version is the header format version this package reads and writes.
+const Version = 1
+
+const (
+	// headerBytes is the size of the header page; the cell array
+	// starts at this offset.
+	headerBytes = 4096
+	// crcRegion is the extent of the static header covered by the
+	// checksum (with the CRC field itself zeroed).
+	crcRegion = 256
+	// maxTopicLen bounds the embedded topic name.
+	maxTopicLen = 128
+	// maxSlotSize bounds a single payload.
+	maxSlotSize = 1 << 20
+	// maxLines bounds the ring so absurd-geometry headers cannot make
+	// Attach map gigantic regions.
+	maxLines = 1 << 22
+
+	// Static header field offsets.
+	offMagic       = 0  // u64
+	offVersion     = 8  // u32
+	offCRC         = 12 // u32
+	offSlotSize    = 16 // u32
+	offSlotStride  = 20 // u32
+	offValsPerLine = 24 // u32
+	offTopicLen    = 28 // u32
+	offLines       = 32 // u64
+	offCellStride  = 40 // u64
+	offDataOff     = 48 // u64
+	offTotalSize   = 56 // u64
+	offTopic       = 64 // [maxTopicLen]byte
+
+	// Mutable header words (not covered by the CRC). The fill
+	// counters get their own cache lines: each is written by exactly
+	// one side, hot, and must not false-share with the other.
+	offProdPID  = 256 // u64, heartbeat PID of the producer
+	offConsPID  = 320 // u64, heartbeat PID of the consumer
+	offClosed   = 384 // u64, set to 1 by Producer.Close
+	offEnqCount = 448 // u64, values published (updated per call)
+	offDeqCount = 512 // u64, values consumed (updated per call)
+)
+
+// Line-protocol sequence-word encoding, identical to internal/core.
+const (
+	seqShift  = 4
+	stateMask = (1 << seqShift) - 1
+	stateFree = stateMask
+)
+
+// Errors. ErrBadSegment wraps every fail-closed Attach refusal.
+var (
+	ErrBadSegment = errors.New("shm: bad segment")
+	ErrClosed     = errors.New("shm: segment closed and drained")
+	ErrPeerDead   = errors.New("shm: peer process died")
+	ErrTooLarge   = errors.New("shm: payload exceeds slot size")
+	ErrBusy       = errors.New("shm: segment already has a live consumer")
+)
+
+// Geometry describes a segment's cell layout.
+type Geometry struct {
+	// SlotSize is the maximum payload length in bytes.
+	SlotSize int
+	// SlotStride is the 8-byte-aligned size of one slot: a u32 length
+	// prefix plus SlotSize payload bytes.
+	SlotStride int
+	// ValsPerLine is the number of slots per cell (1..14; small slots
+	// pack several per 64-byte line like the in-process queue).
+	ValsPerLine int
+	// Lines is the power-of-two cell count.
+	Lines uint64
+	// CellStride is the 64-byte-aligned size of one cell.
+	CellStride uint64
+	// TotalSize is the file size: header page plus cell array.
+	TotalSize uint64
+}
+
+// Cap returns the ring capacity in values.
+func (g Geometry) Cap() int { return int(g.Lines) * g.ValsPerLine }
+
+func align(n, to uint64) uint64 { return (n + to - 1) &^ (to - 1) }
+
+// geometryFor derives the cell layout for a payload size and a
+// capacity hint (values), mirroring core.NewLineSPSC's rounding.
+func geometryFor(slotSize, capacity int) (Geometry, error) {
+	if slotSize < 1 || slotSize > maxSlotSize {
+		return Geometry{}, fmt.Errorf("shm: slot size %d out of range [1,%d]", slotSize, maxSlotSize)
+	}
+	if capacity < 1 {
+		return Geometry{}, fmt.Errorf("shm: capacity %d too small (minimum 1)", capacity)
+	}
+	g := Geometry{SlotSize: slotSize}
+	g.SlotStride = int(align(uint64(4+slotSize), 8))
+	// Pack as many slots per cell as fit beside the sequence word in
+	// one cache line; one slot per cell once payloads outgrow it. The
+	// nibble encoding caps a cell at stateFree-1 slots.
+	g.ValsPerLine = (64 - 8) / g.SlotStride
+	if g.ValsPerLine < 1 {
+		g.ValsPerLine = 1
+	}
+	if g.ValsPerLine > stateFree-1 {
+		g.ValsPerLine = stateFree - 1
+	}
+	g.CellStride = align(8+uint64(g.ValsPerLine)*uint64(g.SlotStride), 64)
+	g.Lines = 2
+	for int(g.Lines)*g.ValsPerLine < capacity {
+		g.Lines <<= 1
+		if g.Lines > maxLines {
+			return Geometry{}, fmt.Errorf("shm: capacity %d needs more than %d lines", capacity, maxLines)
+		}
+	}
+	g.TotalSize = headerBytes + g.Lines*g.CellStride
+	return g, nil
+}
+
+// segment is one mapped file, shared by Producer and Consumer.
+type segment struct {
+	f     *os.File
+	mem   []byte
+	geo   Geometry
+	topic string
+}
+
+// word returns the atomic u64 at a header offset. The mapping is
+// page-aligned, so any 8-aligned offset is atomically addressable.
+func (s *segment) word(off uintptr) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&s.mem[off]))
+}
+
+// cellSeq returns the sequence word of cell i.
+func (s *segment) cellSeq(i uint64) *atomic.Uint64 {
+	return s.word(uintptr(headerBytes + i*s.geo.CellStride))
+}
+
+// slot returns the full stride of slot idx in cell i (length prefix
+// included).
+func (s *segment) slot(i uint64, idx int) []byte {
+	off := headerBytes + i*s.geo.CellStride + 8 + uint64(idx*s.geo.SlotStride)
+	return s.mem[off : off+uint64(s.geo.SlotStride)]
+}
+
+func (s *segment) detach() error {
+	mem := s.mem
+	s.mem = nil
+	var err error
+	if mem != nil {
+		err = syscall.Munmap(mem)
+	}
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		s.f = nil
+	}
+	return err
+}
+
+// processAlive reports whether pid exists (signal 0 probe; EPERM means
+// it exists under another uid).
+func processAlive(pid uint64) bool {
+	if pid == 0 || pid > 1<<31 {
+		return false
+	}
+	err := syscall.Kill(int(pid), 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// headerCRC computes the static-header checksum: CRC32 (IEEE) over the
+// first crcRegion bytes with the CRC field zeroed.
+func headerCRC(hdr []byte) uint32 {
+	var scratch [crcRegion]byte
+	copy(scratch[:], hdr[:crcRegion])
+	binary.LittleEndian.PutUint32(scratch[offCRC:], 0)
+	return crc32.ChecksumIEEE(scratch[:])
+}
+
+// writeHeader fills in the static header for a fresh segment.
+func writeHeader(hdr []byte, g Geometry, topic string) {
+	binary.LittleEndian.PutUint64(hdr[offMagic:], Magic)
+	binary.LittleEndian.PutUint32(hdr[offVersion:], Version)
+	binary.LittleEndian.PutUint32(hdr[offSlotSize:], uint32(g.SlotSize))
+	binary.LittleEndian.PutUint32(hdr[offSlotStride:], uint32(g.SlotStride))
+	binary.LittleEndian.PutUint32(hdr[offValsPerLine:], uint32(g.ValsPerLine))
+	binary.LittleEndian.PutUint32(hdr[offTopicLen:], uint32(len(topic)))
+	binary.LittleEndian.PutUint64(hdr[offLines:], g.Lines)
+	binary.LittleEndian.PutUint64(hdr[offCellStride:], g.CellStride)
+	binary.LittleEndian.PutUint64(hdr[offDataOff:], headerBytes)
+	binary.LittleEndian.PutUint64(hdr[offTotalSize:], g.TotalSize)
+	copy(hdr[offTopic:offTopic+maxTopicLen], topic)
+	binary.LittleEndian.PutUint32(hdr[offCRC:], headerCRC(hdr))
+}
+
+// parseHeader validates a static header fail-closed and returns the
+// decoded geometry and topic. size is the actual file size.
+func parseHeader(hdr []byte, size int64) (Geometry, string, error) {
+	fail := func(format string, args ...any) (Geometry, string, error) {
+		return Geometry{}, "", fmt.Errorf("%w: %s", ErrBadSegment, fmt.Sprintf(format, args...))
+	}
+	if len(hdr) < crcRegion {
+		return fail("header truncated at %d bytes", len(hdr))
+	}
+	if m := binary.LittleEndian.Uint64(hdr[offMagic:]); m != Magic {
+		return fail("magic %#x, want %#x", m, uint64(Magic))
+	}
+	if v := binary.LittleEndian.Uint32(hdr[offVersion:]); v != Version {
+		return fail("version %d, want %d", v, Version)
+	}
+	if crc := binary.LittleEndian.Uint32(hdr[offCRC:]); crc != headerCRC(hdr) {
+		return fail("header checksum %#x does not match %#x", crc, headerCRC(hdr))
+	}
+	var g Geometry
+	g.SlotSize = int(binary.LittleEndian.Uint32(hdr[offSlotSize:]))
+	g.SlotStride = int(binary.LittleEndian.Uint32(hdr[offSlotStride:]))
+	g.ValsPerLine = int(binary.LittleEndian.Uint32(hdr[offValsPerLine:]))
+	topicLen := int(binary.LittleEndian.Uint32(hdr[offTopicLen:]))
+	g.Lines = binary.LittleEndian.Uint64(hdr[offLines:])
+	g.CellStride = binary.LittleEndian.Uint64(hdr[offCellStride:])
+	dataOff := binary.LittleEndian.Uint64(hdr[offDataOff:])
+	g.TotalSize = binary.LittleEndian.Uint64(hdr[offTotalSize:])
+
+	if g.SlotSize < 1 || g.SlotSize > maxSlotSize {
+		return fail("slot size %d out of range [1,%d]", g.SlotSize, maxSlotSize)
+	}
+	if g.SlotStride != int(align(uint64(4+g.SlotSize), 8)) {
+		return fail("slot stride %d inconsistent with slot size %d", g.SlotStride, g.SlotSize)
+	}
+	if g.ValsPerLine < 1 || g.ValsPerLine > stateFree-1 {
+		return fail("%d values per line out of range [1,%d]", g.ValsPerLine, stateFree-1)
+	}
+	if g.Lines < 2 || g.Lines > maxLines || g.Lines&(g.Lines-1) != 0 {
+		return fail("line count %d is not a power of two in [2,%d]", g.Lines, maxLines)
+	}
+	want := align(8+uint64(g.ValsPerLine)*uint64(g.SlotStride), 64)
+	if g.CellStride != want {
+		return fail("cell stride %d inconsistent with geometry (want %d)", g.CellStride, want)
+	}
+	if dataOff != headerBytes {
+		return fail("data offset %d, want %d", dataOff, headerBytes)
+	}
+	if g.TotalSize != headerBytes+g.Lines*g.CellStride {
+		return fail("total size %d inconsistent with geometry (want %d)", g.TotalSize, headerBytes+g.Lines*g.CellStride)
+	}
+	if size >= 0 && uint64(size) != g.TotalSize {
+		return fail("file is %d bytes, header claims %d", size, g.TotalSize)
+	}
+	if topicLen < 0 || topicLen > maxTopicLen {
+		return fail("topic length %d out of range [0,%d]", topicLen, maxTopicLen)
+	}
+	topic := string(hdr[offTopic : offTopic+topicLen])
+	return g, topic, nil
+}
+
+// ValidateHeader parses and validates a raw static header without
+// mapping anything; the fuzzer drives Attach's decoding through it.
+// size < 0 skips the file-size cross-check.
+func ValidateHeader(hdr []byte, size int64) error {
+	_, _, err := parseHeader(hdr, size)
+	return err
+}
+
+// openAndMap opens path, validates its header fail-closed, and maps
+// the whole segment read-write.
+func openAndMap(path string) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < headerBytes {
+		f.Close()
+		return nil, fmt.Errorf("%w: file is %d bytes, smaller than the %d-byte header", ErrBadSegment, st.Size(), headerBytes)
+	}
+	hdr := make([]byte, crcRegion+maxTopicLen)
+	if _, err := f.ReadAt(hdr[:crcRegion], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadSegment, err)
+	}
+	geo, topic, err := parseHeader(hdr[:crcRegion], st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, int(geo.TotalSize), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: mmap %s: %w", path, err)
+	}
+	return &segment{f: f, mem: mem, geo: geo, topic: topic}, nil
+}
+
+// PeekDepth reads a segment's topic and approximate unconsumed depth
+// without attaching: a plain read of the header page, for metrics
+// scrapes that must not disturb the live consumer. The counter reads
+// are not atomic with each other, so the depth is approximate — fine
+// for a gauge.
+func PeekDepth(path string) (topic string, depth int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return "", 0, err
+	}
+	hdr := make([]byte, offDeqCount+8)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return "", 0, fmt.Errorf("%w: reading header: %v", ErrBadSegment, err)
+	}
+	_, topic, err = parseHeader(hdr[:crcRegion], st.Size())
+	if err != nil {
+		return "", 0, err
+	}
+	depth = int64(binary.LittleEndian.Uint64(hdr[offEnqCount:])) -
+		int64(binary.LittleEndian.Uint64(hdr[offDeqCount:]))
+	if depth < 0 {
+		depth = 0
+	}
+	return topic, depth, nil
+}

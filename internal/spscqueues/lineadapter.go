@@ -1,0 +1,45 @@
+package spscqueues
+
+import "ffq/internal/core"
+
+// LineAdapter exposes the line-granular FFQ SPSC variant (multi-value
+// cache-line cells, DESIGN.md §4.10) through this package's streaming
+// interface, so the lineage comparison shows what line-granular
+// publication buys over the scalar cell protocol.
+type LineAdapter struct {
+	q *core.LineSPSC[uint64]
+	// cap is the requested capacity. The ring itself rounds up to a
+	// power-of-two number of 7-value lines, so it holds at least this
+	// many values; the registry contract reports the requested figure.
+	cap int
+}
+
+// NewLineAdapter returns an adapter over a line-granular SPSC queue
+// holding at least capacity values (power of two, like every entry in
+// this registry).
+func NewLineAdapter(capacity int) (*LineAdapter, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	q, err := core.NewLineSPSC[uint64](capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &LineAdapter{q: q, cap: capacity}, nil
+}
+
+// Cap returns the requested capacity.
+func (a *LineAdapter) Cap() int { return a.cap }
+
+// TryEnqueue inserts v if the ring has space. Producer only.
+func (a *LineAdapter) TryEnqueue(v uint64) bool { return a.q.TryEnqueue(v) }
+
+// Enqueue inserts v, spinning while the ring is full. Producer only.
+func (a *LineAdapter) Enqueue(v uint64) { a.q.Enqueue(v) }
+
+// Dequeue removes the head item; ok=false when empty. Consumer only.
+func (a *LineAdapter) Dequeue() (uint64, bool) { return a.q.TryDequeue() }
+
+// Flush is a no-op: every enqueue call release-stores the line's fill
+// count, so values are never parked invisibly.
+func (a *LineAdapter) Flush() {}

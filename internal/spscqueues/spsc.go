@@ -95,6 +95,13 @@ func Factories() []Factory {
 			Brief: "FFQ SPSC variant (this paper)",
 			New:   func(c int) (Queue, error) { return NewFFQAdapter(c) },
 		},
+		{
+			Name:  "ffq-line",
+			Brief: "FFQ SPSC with multi-value cache-line cells (7 values/line)",
+			// Not marked Batching: every enqueue release-stores the
+			// line's fill count, so nothing waits for a Flush.
+			New: func(c int) (Queue, error) { return NewLineAdapter(c) },
+		},
 	}
 }
 

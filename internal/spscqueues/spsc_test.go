@@ -9,7 +9,7 @@ import (
 
 func TestRegistry(t *testing.T) {
 	fs := Factories()
-	if len(fs) != 6 {
+	if len(fs) != 7 {
 		t.Fatalf("registry has %d entries", len(fs))
 	}
 	seen := map[string]bool{}

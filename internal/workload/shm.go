@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"ffq/internal/shm"
+)
+
+// ShmConfig describes one shared-memory SPSC transport run: a producer
+// (in-process goroutine, or a separate process via Spawn) streams Items
+// fixed-size payloads through an mmap segment to a consumer in this
+// process, which validates the sequence numbers stamped into them.
+type ShmConfig struct {
+	// Dir is where the segment file is created; empty means a fresh
+	// temporary directory.
+	Dir string
+	// SlotSize is the payload size in bytes (>= 8: each payload leads
+	// with its sequence number).
+	SlotSize int
+	// Capacity is the ring's minimum capacity in payloads.
+	Capacity int
+	// Items is the number of payloads to move.
+	Items int
+	// Batch is the producer's EnqueueBatch size; <= 1 publishes
+	// singles.
+	Batch int
+	// Spawn, when set, starts the producer as a separate process: it
+	// is called with the segment path the producer must create, and
+	// returns a wait function that reaps the producer. nil runs the
+	// producer as a goroutine — same protocol, no process isolation.
+	Spawn func(path string) (wait func() error, err error)
+}
+
+// ShmResult is the outcome of RunShm.
+type ShmResult struct {
+	// Items and Bytes are the payloads and payload bytes moved.
+	Items int
+	Bytes int64
+	// Elapsed is consumer wall time, attach to last payload.
+	Elapsed time.Duration
+	// TwoProcess records whether the producer ran as its own process.
+	TwoProcess bool
+}
+
+// NsPerElement is the per-payload cost in nanoseconds.
+func (r ShmResult) NsPerElement() float64 {
+	if r.Items == 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.Items)
+}
+
+// MsgsPerSec is the realized payload rate.
+func (r ShmResult) MsgsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Items) / r.Elapsed.Seconds()
+}
+
+var shmRunSeq atomic.Uint64
+
+// ShmProduce is the producer half of the workload: create the segment
+// at path and stream items slotSize-byte payloads, each stamped with
+// its sequence number, in batches of batch. The ffq-micro child
+// process calls it; RunShm uses it in-process when Spawn is nil.
+func ShmProduce(path string, slotSize, capacity, items, batch int) error {
+	p, err := shm.Create(path, "micro", slotSize, capacity)
+	if err != nil {
+		return err
+	}
+	defer p.Detach()
+	if batch < 1 {
+		batch = 1
+	}
+	payloads := make([][]byte, batch)
+	backing := make([]byte, batch*slotSize)
+	for i := range payloads {
+		payloads[i] = backing[i*slotSize : (i+1)*slotSize]
+	}
+	for seq := 0; seq < items; {
+		n := batch
+		if left := items - seq; left < n {
+			n = left
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(payloads[i], uint64(seq+i))
+		}
+		if n == 1 {
+			err = p.Enqueue(payloads[0])
+		} else {
+			err = p.EnqueueBatch(payloads[:n])
+		}
+		if err != nil {
+			return err
+		}
+		seq += n
+	}
+	return p.Close()
+}
+
+// RunShm executes one shared-memory transport run and reports the
+// consumer-side throughput. Every payload's sequence stamp is checked,
+// so the result also certifies exactly-once in-order delivery.
+func RunShm(cfg ShmConfig) (ShmResult, error) {
+	if cfg.SlotSize < 8 {
+		return ShmResult{}, errors.New("workload: shm SlotSize must be >= 8 (payloads carry a sequence stamp)")
+	}
+	if cfg.Items <= 0 {
+		return ShmResult{}, errors.New("workload: shm Items must be positive")
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ffq-shm-micro")
+		if err != nil {
+			return ShmResult{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("micro-%d-%d.ffq", os.Getpid(), shmRunSeq.Add(1)))
+	defer os.Remove(path)
+
+	var wait func() error
+	prodErr := make(chan error, 1)
+	if cfg.Spawn != nil {
+		w, err := cfg.Spawn(path)
+		if err != nil {
+			return ShmResult{}, err
+		}
+		wait = w
+	} else {
+		go func() {
+			prodErr <- ShmProduce(path, cfg.SlotSize, cfg.Capacity, cfg.Items, cfg.Batch)
+		}()
+	}
+
+	// The producer creates the segment (atomic rename); wait for it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return ShmResult{}, errors.New("workload: shm segment never appeared")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	c, err := shm.Attach(path)
+	if err != nil {
+		return ShmResult{}, err
+	}
+	defer c.Detach()
+
+	buf := make([]byte, c.Geometry().SlotSize)
+	start := time.Now()
+	var bytes int64
+	for seq := 0; seq < cfg.Items; seq++ {
+		n, err := c.Next(buf)
+		if err != nil {
+			return ShmResult{}, fmt.Errorf("workload: shm consumer at %d/%d: %w", seq, cfg.Items, err)
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != uint64(seq) {
+			return ShmResult{}, fmt.Errorf("workload: shm payload %d carries sequence %d", seq, got)
+		}
+		bytes += int64(n)
+	}
+	elapsed := time.Since(start)
+	if _, err := c.Next(buf); !errors.Is(err, shm.ErrClosed) {
+		return ShmResult{}, fmt.Errorf("workload: shm stream did not end cleanly: %v", err)
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return ShmResult{}, fmt.Errorf("workload: shm producer process: %w", err)
+		}
+	} else if err := <-prodErr; err != nil {
+		return ShmResult{}, fmt.Errorf("workload: shm producer: %w", err)
+	}
+	return ShmResult{
+		Items:      cfg.Items,
+		Bytes:      bytes,
+		Elapsed:    elapsed,
+		TwoProcess: cfg.Spawn != nil,
+	}, nil
+}

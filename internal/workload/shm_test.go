@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestRunShmInProcess(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		res, err := RunShm(ShmConfig{
+			SlotSize: 32,
+			Capacity: 256,
+			Items:    20000,
+			Batch:    batch,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if res.Items != 20000 || res.TwoProcess {
+			t.Fatalf("batch=%d: result %+v", batch, res)
+		}
+		if res.Bytes != 20000*32 {
+			t.Fatalf("batch=%d: moved %d bytes", batch, res.Bytes)
+		}
+		if res.NsPerElement() <= 0 || res.MsgsPerSec() <= 0 {
+			t.Fatalf("batch=%d: degenerate rates %+v", batch, res)
+		}
+	}
+}
+
+func TestRunShmValidation(t *testing.T) {
+	if _, err := RunShm(ShmConfig{SlotSize: 4, Capacity: 16, Items: 10}); err == nil {
+		t.Error("slot size below the sequence stamp accepted")
+	}
+	if _, err := RunShm(ShmConfig{SlotSize: 32, Capacity: 16, Items: 0}); err == nil {
+		t.Error("zero items accepted")
+	}
+}
+
+// TestShmWorkloadHelper is the producer child of TestRunShmTwoProcess.
+func TestShmWorkloadHelper(t *testing.T) {
+	path := os.Getenv("FFQ_SHM_WORKLOAD_PATH")
+	if path == "" {
+		t.Skip("helper process entry point")
+	}
+	if err := ShmProduce(path, 32, 256, 20000, 16); err != nil {
+		t.Fatalf("helper produce: %v", err)
+	}
+}
+
+// TestRunShmTwoProcess runs the workload with the producer re-exec'd
+// as a real separate process — the configuration ffq-micro's
+// -variant shm sweep uses.
+func TestRunShmTwoProcess(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunShm(ShmConfig{
+		SlotSize: 32,
+		Capacity: 256,
+		Items:    20000,
+		Batch:    16,
+		Spawn: func(path string) (func() error, error) {
+			cmd := exec.Command(exe, "-test.run=TestShmWorkloadHelper$", "-test.v")
+			cmd.Env = append(os.Environ(), "FFQ_SHM_WORKLOAD_PATH="+path)
+			if err := cmd.Start(); err != nil {
+				return nil, err
+			}
+			return cmd.Wait, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != 20000 || !res.TwoProcess {
+		t.Fatalf("result %+v", res)
+	}
+}

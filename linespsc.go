@@ -1,0 +1,80 @@
+package ffq
+
+import "ffq/internal/core"
+
+// LineVals is the number of values a LineSPSC ring cell carries: seven
+// values plus one 8-byte sequence word fill exactly one 64-byte cache
+// line for 8-byte payloads.
+const LineVals = core.LineVals
+
+// LineSPSC is a bounded FIFO queue for exactly one producer goroutine
+// and exactly one consumer goroutine whose ring cells are whole cache
+// lines holding LineVals values plus a single sequence word. Compared
+// to SPSC, which synchronizes once per value, LineSPSC synchronizes
+// once per publish call — a full EnqueueBatch line moves LineVals
+// values per release store, and the consumer returns a drained line
+// with one store — so batch throughput per element is a multiple of
+// the scalar queue's. Single-value operations still publish eagerly
+// (a value is visible the moment Enqueue returns) and stay within a
+// few percent of SPSC.
+//
+// See the README's "Line SPSC & shared-memory transport" section and
+// DESIGN.md §4.10 for the cell geometry and publish protocol.
+type LineSPSC[T any] struct{ q *core.LineSPSC[T] }
+
+// NewLineSPSC returns a line-granular SPSC queue holding at least
+// capacity values (capacity >= 1; the ring rounds up to a power-of-two
+// number of LineVals-value lines, so Cap may exceed capacity).
+func NewLineSPSC[T any](capacity int, opts ...Option) (*LineSPSC[T], error) {
+	q, err := core.NewLineSPSC[T](capacity, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &LineSPSC[T]{q: q}, nil
+}
+
+// Enqueue inserts v at the tail, spinning while the ring is full.
+// Producer goroutine only.
+func (s *LineSPSC[T]) Enqueue(v T) { s.q.Enqueue(v) }
+
+// TryEnqueue inserts v if the ring has space and reports whether it
+// did. Producer goroutine only.
+func (s *LineSPSC[T]) TryEnqueue(v T) bool { return s.q.TryEnqueue(v) }
+
+// EnqueueBatch inserts every element of vs in order, publishing each
+// filled line with a single release store. This is the fast path the
+// cell geometry exists for. Producer goroutine only.
+func (s *LineSPSC[T]) EnqueueBatch(vs []T) { s.q.EnqueueBatch(vs) }
+
+// Dequeue removes the head value, blocking while the queue is empty;
+// ok=false after Close once drained. Consumer goroutine only.
+func (s *LineSPSC[T]) Dequeue() (v T, ok bool) { return s.q.Dequeue() }
+
+// TryDequeue removes the head value if one is published. Consumer
+// goroutine only.
+func (s *LineSPSC[T]) TryDequeue() (v T, ok bool) { return s.q.TryDequeue() }
+
+// DequeueBatch fills dst with up to len(dst) values, blocking until at
+// least one is available; ok=false only once closed and drained. When
+// the head line is the producer's active partial line it briefly
+// stands off (temporal slipping) so the line can move whole. Consumer
+// goroutine only.
+func (s *LineSPSC[T]) DequeueBatch(dst []T) (n int, ok bool) { return s.q.DequeueBatch(dst) }
+
+// TryDequeueBatch fills dst with whatever is published right now and
+// returns the count, never blocking. Consumer goroutine only.
+func (s *LineSPSC[T]) TryDequeueBatch(dst []T) int { return s.q.TryDequeueBatch(dst) }
+
+// Close marks the queue closed (producer side, after the final
+// Enqueue). A partial line already published stays dequeueable.
+func (s *LineSPSC[T]) Close() { s.q.Close() }
+
+// Len approximates the number of queued values; it advances once per
+// operation call, so a batch appears all at once.
+func (s *LineSPSC[T]) Len() int { return s.q.Len() }
+
+// Cap returns the ring capacity in values (lines x LineVals).
+func (s *LineSPSC[T]) Cap() int { return s.q.Cap() }
+
+// Stats snapshots the queue's instrumentation counters.
+func (s *LineSPSC[T]) Stats() Stats { return s.q.Stats() }
