@@ -129,6 +129,7 @@ func (b *Broker) shmServe(path string, c *shm.Consumer) {
 	payloads := make([][]byte, 0, shmDrainMax)
 	walScratch := make([][]byte, 0, shmDrainMax)
 	idle := 0
+	finishing := false // Close/death observed; the next empty drain ends the segment
 	for {
 		payloads = payloads[:0]
 		payloads, err = c.TryDrain(payloads, shmDrainMax)
@@ -176,15 +177,20 @@ func (b *Broker) shmServe(path string, c *shm.Consumer) {
 			return // leave the segment; unconsumed values survive the restart
 		default:
 		}
-		if c.CloseRequested() || !c.ProducerAlive() {
-			// Producer is done (or dead). One more drain closes the race
-			// with its final publishes, then the segment is garbage.
-			payloads, err = c.TryDrain(payloads[:0], shmDrainMax)
-			if err == nil && len(payloads) > 0 {
-				continue
-			}
+		if finishing {
+			// This drain came up empty after Close/death was observed,
+			// so every final publish racing with it has already gone
+			// through the WAL+enqueue path above; the segment is garbage.
 			removeFile = true
 			return
+		}
+		if c.CloseRequested() || !c.ProducerAlive() {
+			// Producer is done (or dead). Publishes precede the Close
+			// store, so looping back for one more drain — through the
+			// normal WAL+enqueue path, never consumed here — closes the
+			// race with its final publishes.
+			finishing = true
+			continue
 		}
 		idle++
 		if idle > 1 {

@@ -115,6 +115,75 @@ func TestShmIngress(t *testing.T) {
 	}
 }
 
+// TestShmIngressCloseRace closes each segment immediately after its
+// last publish, while the pump is still draining — the window where a
+// pump that observes CloseRequested must not drop the final values on
+// the floor. Several short segments in sequence widen the window.
+func TestShmIngressCloseRace(t *testing.T) {
+	dir := t.TempDir()
+	b, addr := startBroker(t, broker.Options{
+		ShmDir:          dir,
+		ShmScanInterval: 2 * time.Millisecond,
+	})
+
+	cc, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	sub, err := cc.Subscribe("orders", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const segments, perSeg = 8, 250
+	wait := startDrain(t, sub, segments*perSeg)
+	for s := 0; s < segments; s++ {
+		pub, err := client.DialShm(dir, "orders", 32, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := s * perSeg
+		for i := 0; i < perSeg; {
+			batch := make([][]byte, 0, 16)
+			for j := 0; j < 16 && i < perSeg; j++ {
+				batch = append(batch, []byte(fmt.Sprintf("m-%d", base+i)))
+				i++
+			}
+			if err := pub.PublishBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Close with the stream still in flight; nothing may be lost.
+		if err := pub.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Wait out this segment's removal before starting the next:
+		// it proves the pump drained it fully, and it keeps delivery
+		// in global order (lanes of different segments don't order
+		// against each other).
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, err := os.Stat(pub.Path()); os.IsNotExist(err) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("segment %d never drained and removed after close", s)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wait()
+	if got := b.Metrics().ShmMsgs.Load(); got != segments*perSeg {
+		t.Errorf("ShmMsgs = %d, want %d", got, segments*perSeg)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
 // TestShmIngressHelper is the child process of TestShmIngressTwoProcess:
 // it publishes 1500 messages through client.DialShm and exits.
 func TestShmIngressHelper(t *testing.T) {

@@ -2,6 +2,7 @@ package shm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 )
@@ -48,15 +49,27 @@ func Attach(path string) (*Consumer, error) {
 	c.chead = c.deqTotal / v
 	c.coff = int(c.deqTotal % v)
 	c.ccount = c.coff
-	// Crash reconciliation: if the derived head line was already
-	// handed back (its sequence word carries next lap's rank), every
-	// value in it was consumed before the counter update was lost —
-	// skip to the next line.
-	seq := s.cellSeq(c.chead & (s.geo.Lines - 1)).Load()
-	if seq>>seqShift == c.chead+s.geo.Lines {
+	// Crash reconciliation: while the derived head line was already
+	// handed back (its sequence word carries next lap's rank, whether
+	// still free or re-published by the producer), every value in it
+	// was consumed before the counter update was lost — skip past it.
+	// A single drain call hands back many lines before its one counter
+	// store, so this must walk forward until a line the predecessor did
+	// not finish. It terminates at latest at the producer's tail, whose
+	// lines still carry the current lap's rank.
+	advanced := false
+	//ffq:ignore spin-backoff not a wait loop: each iteration advances chead one line and it stops at the producer tail, so it runs at most one lap
+	for {
+		seq := s.cellSeq(c.chead & (s.geo.Lines - 1)).Load()
+		if seq>>seqShift != c.chead+s.geo.Lines {
+			break
+		}
 		c.chead++
 		c.coff, c.ccount = 0, 0
 		c.deqTotal = c.chead * v
+		advanced = true
+	}
+	if advanced {
 		s.word(offDeqCount).Store(c.deqTotal)
 	}
 	return c, nil
@@ -123,21 +136,23 @@ func (c *Consumer) take(buf []byte) (int, error) {
 		c.coff, c.ccount = 0, 0
 	}
 	if copied < n {
-		return copied, fmt.Errorf("shm: %d-byte payload truncated into %d-byte buffer", n, len(buf))
+		return copied, fmt.Errorf("%w: %d-byte payload into %d-byte buffer", ErrTruncated, n, len(buf))
 	}
 	return n, nil
 }
 
 // TryDequeue copies the next payload into buf if one is published,
-// returning its length. ok=false means nothing is ready (buf should
-// hold Geometry().SlotSize bytes to never truncate).
+// returning its length. ok reports whether a value was consumed, so it
+// is true even on ErrTruncated — the value is gone either way (size buf
+// at Geometry().SlotSize to never truncate). ok=false with a nil error
+// means nothing is ready.
 func (c *Consumer) TryDequeue(buf []byte) (n int, ok bool, err error) {
 	if !c.refill() {
 		return 0, false, nil
 	}
 	n, err = c.take(buf)
 	c.seg.word(offDeqCount).Store(c.deqTotal)
-	return n, err == nil, err
+	return n, err == nil || errors.Is(err, ErrTruncated), err
 }
 
 // Next copies the next payload into buf, blocking until one is

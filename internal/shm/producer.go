@@ -47,6 +47,11 @@ func Create(path, topic string, slotSize, capacity int) (*Producer, error) {
 		return nil, err
 	}
 	tmp := path + ".tmp"
+	// A producer that crashed between OpenFile and Rename leaves a stale
+	// tmp behind; clear it so recreation at the same path cannot wedge
+	// on EEXIST. (Two live producers sharing one path is already a
+	// protocol violation — the rename would clobber regardless.)
+	os.Remove(tmp)
 	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, err

@@ -93,6 +93,10 @@ var (
 	ErrPeerDead   = errors.New("shm: peer process died")
 	ErrTooLarge   = errors.New("shm: payload exceeds slot size")
 	ErrBusy       = errors.New("shm: segment already has a live consumer")
+	// ErrTruncated is returned by dequeues given an undersized buffer.
+	// The value WAS consumed (only its tail is lost); callers must not
+	// treat it as retryable.
+	ErrTruncated = errors.New("shm: payload truncated into undersized buffer")
 )
 
 // Geometry describes a segment's cell layout.

@@ -213,6 +213,129 @@ func TestShmConsumerCrashResume(t *testing.T) {
 	}
 }
 
+// TestShmConsumerCrashResumeMultiLine is the regression test for the
+// broker-pump crash shape: one TryDrain call hands back several lines
+// before its single counter store, so a successor attaching after a
+// SIGKILL at that point must walk past ALL of them, not just one —
+// otherwise it resumes on a handed-back line whose rank never matches
+// and wedges forever.
+func TestShmConsumerCrashResumeMultiLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.ffq")
+	p, err := Create(path, "t", 4, 56) // 7 values/line, 8 lines
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Detach()
+	if v := p.Geometry().ValsPerLine; v != 7 {
+		t.Fatalf("ValsPerLine = %d, want 7", v)
+	}
+	const total = 40
+	buf4 := make([]byte, 4)
+	for i := 0; i < total; i++ {
+		binary.LittleEndian.PutUint32(buf4, uint32(i))
+		if err := p.Enqueue(buf4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, err := Attach(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain three full lines in one call, then roll the shared counter
+	// back to its pre-drain value: exactly the shared-memory state a
+	// SIGKILL between TryDrain's line hand-backs and its counter store
+	// leaves behind.
+	drained, err := c1.TryDrain(nil, 21)
+	if err != nil || len(drained) != 21 {
+		t.Fatalf("TryDrain = %d payloads, err %v", len(drained), err)
+	}
+	c1.seg.word(offDeqCount).Store(0)
+	c1.seg.word(offConsPID).Store(1 << 30) // registration looks dead
+	c1.seg.detach()
+
+	c2, err := Attach(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Detach()
+	buf := make([]byte, c2.Geometry().SlotSize)
+	for i := 21; i < total; i++ {
+		n, err := c2.Next(buf)
+		if err != nil || n != 4 {
+			t.Fatalf("successor read %d: n=%d err=%v", i, n, err)
+		}
+		if got := binary.LittleEndian.Uint32(buf); got != uint32(i) {
+			t.Fatalf("successor read %d: got value %d", i, got)
+		}
+	}
+	// The producer must not be wedged either: the reconciled counter
+	// freed three lines' worth of space.
+	for i := 0; i < 21; i++ {
+		if ok, err := p.TryEnqueue(buf4); err != nil || !ok {
+			t.Fatalf("producer enqueue %d after reconciliation: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+// TestShmTryDequeueTruncated: an undersized buffer consumes the value
+// and must say so — ok=true with ErrTruncated — so a caller retrying
+// on !ok cannot mistake the loss for "nothing ready".
+func TestShmTryDequeueTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.ffq")
+	p, err := Create(path, "t", 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Detach()
+	if err := p.Enqueue([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Enqueue([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Attach(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Detach()
+	small := make([]byte, 4)
+	n, ok, err := c.TryDequeue(small)
+	if !ok || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated TryDequeue: n=%d ok=%v err=%v, want ok=true ErrTruncated", n, ok, err)
+	}
+	if n != 4 || string(small) != "abcd" {
+		t.Fatalf("truncated TryDequeue copied %d bytes %q", n, small[:n])
+	}
+	// The truncated value is gone; the next dequeue yields the second.
+	buf := make([]byte, c.Geometry().SlotSize)
+	n, ok, err = c.TryDequeue(buf)
+	if err != nil || !ok || string(buf[:n]) != "second" {
+		t.Fatalf("dequeue after truncation: n=%d ok=%v err=%v payload=%q", n, ok, err, buf[:n])
+	}
+}
+
+// TestShmCreateClearsStaleTmp: a crashed producer's leftover tmp file
+// must not wedge recreation at the same path with EEXIST.
+func TestShmCreateClearsStaleTmp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.ffq")
+	if err := os.WriteFile(path+".tmp", []byte("half-built wreckage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Create(path, "t", 8, 16)
+	if err != nil {
+		t.Fatalf("Create over stale tmp: %v", err)
+	}
+	defer p.Detach()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("tmp file still present after Create: %v", err)
+	}
+	c, err := Attach(path)
+	if err != nil {
+		t.Fatalf("Attach recreated segment: %v", err)
+	}
+	c.Detach()
+}
+
 // --- two-process tests -------------------------------------------------
 
 // TestShmHelperProducer is not a test: it is the child process of the
